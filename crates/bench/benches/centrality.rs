@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for betweenness centrality (supports Fig. 7c /
+//! Table 1 top): exact Brandes vs. the coloring-based approximation and the
+//! Riondato–Kornaropoulos sampling baseline on the Deezer stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsc_centrality::approx::{approximate, CentralityApproxConfig};
+use qsc_centrality::brandes;
+use qsc_centrality::sampling::{betweenness_sampling, SamplingConfig};
+use qsc_datasets::Scale;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let g = qsc_datasets::load_graph("deezer", Scale::Small).unwrap();
+    let mut group = c.benchmark_group("centrality_exact");
+    group.sample_size(10);
+    group.bench_function("brandes", |b| b.iter(|| black_box(brandes::betweenness(&g))));
+    group.finish();
+}
+
+fn bench_approximations(c: &mut Criterion) {
+    let g = qsc_datasets::load_graph("deezer", Scale::Small).unwrap();
+    let mut group = c.benchmark_group("centrality_approx");
+    group.sample_size(10);
+    for colors in [25usize, 100] {
+        group.bench_with_input(BenchmarkId::new("coloring", colors), &colors, |b, &colors| {
+            b.iter(|| {
+                black_box(approximate(&g, &CentralityApproxConfig::with_max_colors(colors)).scores)
+            })
+        });
+    }
+    group.bench_function("riondato_kornaropoulos_eps_0.05", |b| {
+        b.iter(|| {
+            black_box(betweenness_sampling(
+                &g,
+                &SamplingConfig { epsilon: 0.05, seed: 3, ..Default::default() },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_approximations);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the coloring algorithms (supports Table 4
+//! and Sec. 6.3): Rothko at several color budgets vs. classical stable
+//! coloring on the OpenFlights and Facebook stand-ins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsc_core::rothko::{Rothko, RothkoConfig, SplitMean};
+use qsc_core::stable_coloring;
+use qsc_datasets::Scale;
+use std::hint::black_box;
+
+fn bench_rothko(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rothko");
+    group.sample_size(10);
+    for name in ["openflights", "facebook"] {
+        let g = qsc_datasets::load_graph(name, Scale::Small).unwrap();
+        for colors in [16usize, 64, 128] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}"), colors),
+                &colors,
+                |b, &colors| {
+                    b.iter(|| {
+                        let config = RothkoConfig::with_max_colors(colors)
+                            .split_mean(SplitMean::Geometric);
+                        black_box(Rothko::new(config).run(&g).partition.num_colors())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_stable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_coloring");
+    group.sample_size(10);
+    for name in ["openflights", "facebook"] {
+        let g = qsc_datasets::load_graph(name, Scale::Small).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(stable_coloring(&g).num_colors()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rothko, bench_stable);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for linear programming (supports Fig. 7b /
+//! Table 1 bottom): exact simplex and interior-point vs. the coloring-based
+//! reduction on the qap15 stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsc_datasets::Scale;
+use qsc_lp::interior_point::{self, InteriorPointConfig};
+use qsc_lp::reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant};
+use qsc_lp::simplex;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let lp = qsc_datasets::load_lp("qap15", Scale::Small).unwrap();
+    let mut group = c.benchmark_group("lp_exact");
+    group.sample_size(10);
+    group.bench_function("simplex", |b| b.iter(|| black_box(simplex::solve(&lp).objective)));
+    group.bench_function("interior_point", |b| {
+        b.iter(|| {
+            black_box(interior_point::solve_with(&lp, &InteriorPointConfig::default()).0.objective)
+        })
+    });
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let lp = qsc_datasets::load_lp("qap15", Scale::Small).unwrap();
+    let mut group = c.benchmark_group("lp_reduced");
+    group.sample_size(10);
+    for colors in [10usize, 40] {
+        group.bench_with_input(BenchmarkId::new("colors", colors), &colors, |b, &colors| {
+            b.iter(|| {
+                let reduced = reduce_with_rothko(
+                    &lp,
+                    &LpColoringConfig::with_max_colors(colors),
+                    LpReductionVariant::SqrtNormalized,
+                );
+                black_box(simplex::solve(&reduced.problem).objective)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for max-flow (supports Fig. 7a): exact
+//! push-relabel and Dinic vs. the coloring-based approximation at two color
+//! budgets on a vision-style grid instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsc_datasets::Scale;
+use qsc_flow::reduce::{approximate_max_flow, FlowApproxConfig};
+use qsc_flow::{dinic, push_relabel};
+use std::hint::black_box;
+
+fn bench_exact_solvers(c: &mut Criterion) {
+    let net = qsc_datasets::load_flow("tsukuba0", Scale::Small).unwrap();
+    let mut group = c.benchmark_group("maxflow_exact");
+    group.sample_size(10);
+    group.bench_function("push_relabel", |b| {
+        b.iter(|| black_box(push_relabel::max_flow(&net).value))
+    });
+    group.bench_function("dinic", |b| b.iter(|| black_box(dinic::max_flow(&net).value)));
+    group.finish();
+}
+
+fn bench_approximation(c: &mut Criterion) {
+    let net = qsc_datasets::load_flow("tsukuba0", Scale::Small).unwrap();
+    let mut group = c.benchmark_group("maxflow_approx");
+    group.sample_size(10);
+    for colors in [10usize, 35] {
+        group.bench_with_input(BenchmarkId::new("colors", colors), &colors, |b, &colors| {
+            b.iter(|| {
+                black_box(
+                    approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(colors)).value,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_solvers, bench_approximation);
+criterion_main!(benches);

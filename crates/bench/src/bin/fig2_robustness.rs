@@ -1,0 +1,64 @@
+//! E-FIG2: the robustness experiment of Fig. 2 and Sec. 6.3.
+//!
+//! A synthetic |V| = 1000, |E| ≈ 21 600 graph with a 100-color stable
+//! coloring is perturbed by adding up to 1.5% random edges. The stable
+//! coloring collapses towards one color per node while the q = 4 coloring
+//! keeps its compression ratio.
+
+use qsc_bench::{render_table, timed};
+use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_core::stable_coloring;
+use qsc_graph::generators::{perturb_add_edges, stable_blueprint_graph};
+
+fn main() {
+    let base = stable_blueprint_graph(100, 10, 0.44, 1, 42);
+    let m = base.num_edges();
+    println!(
+        "Fig. 2 — robustness to edge insertions (|V| = {}, |E| = {})",
+        base.num_nodes(),
+        m
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for added in [0usize, 40, 80, 120, 160, 240, 320] {
+        let g = if added == 0 {
+            base.clone()
+        } else {
+            perturb_add_edges(&base, added, 7 + added as u64)
+        };
+        let (stable, stable_secs) = timed(|| stable_coloring(&g).num_colors());
+        let (qstable, q_secs) = timed(|| {
+            Rothko::new(RothkoConfig::with_target_error(4.0))
+                .run(&g)
+                .partition
+                .num_colors()
+        });
+        rows.push(vec![
+            added.to_string(),
+            format!("{:.2}%", 100.0 * added as f64 / m as f64),
+            stable.to_string(),
+            format!("{:.1}x", g.num_nodes() as f64 / stable as f64),
+            qstable.to_string(),
+            format!("{:.1}x", g.num_nodes() as f64 / qstable as f64),
+            format!("{:.2}s / {:.2}s", stable_secs, q_secs),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "added edges",
+                "% of |E|",
+                "stable colors",
+                "stable ratio",
+                "q=4 colors",
+                "q=4 ratio",
+                "time (stable/q)"
+            ],
+            &rows
+        )
+    );
+    println!("paper: the stable coloring degrades to ~750 colors at 1.5% perturbation while");
+    println!("a q = 4 coloring keeps a ~6.5x compression ratio.");
+}

@@ -1,0 +1,83 @@
+//! E-FIG7: speed/accuracy trade-offs for the three task types (Fig. 7).
+//!
+//! For every dataset of each family, sweeps color budgets and reports the
+//! end-to-end approximation time as a fraction of the exact baseline time,
+//! together with the task's accuracy metric (relative error for max-flow and
+//! LP, Spearman's ρ for centrality).
+//!
+//! Usage: `fig7_tradeoff [--task maxflow|lp|centrality] [--scale small|full]`
+
+use qsc_bench::experiments::{
+    centrality_tradeoff, lp_tradeoff, maxflow_tradeoff, tradeoff_table, DEFAULT_BUDGETS,
+};
+use qsc_bench::report::TradeoffPoint;
+use qsc_datasets::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let task = arg_value(&args, "--task");
+    let scale = match arg_value(&args, "--scale").as_deref() {
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
+    };
+    let budgets = DEFAULT_BUDGETS;
+
+    let run_maxflow = task.is_none() || task.as_deref() == Some("maxflow");
+    let run_lp = task.is_none() || task.as_deref() == Some("lp");
+    let run_centrality = task.is_none() || task.as_deref() == Some("centrality");
+
+    if run_maxflow {
+        println!("Fig. 7(a) — maximum flow (relative error; 1.0 is ideal)");
+        let mut points: Vec<TradeoffPoint> = Vec::new();
+        for spec in qsc_datasets::flow_datasets() {
+            points.extend(maxflow_tradeoff(spec.name, scale, budgets));
+        }
+        println!("{}", tradeoff_table(&points));
+        summarize(&points, false);
+    }
+    if run_lp {
+        println!("Fig. 7(b) — linear optimization (relative error; 1.0 is ideal)");
+        let mut points = Vec::new();
+        for spec in qsc_datasets::lp_datasets() {
+            points.extend(lp_tradeoff(spec.name, scale, budgets));
+        }
+        println!("{}", tradeoff_table(&points));
+        summarize(&points, false);
+    }
+    if run_centrality {
+        println!("Fig. 7(c) — betweenness centrality (Spearman's rho; 1.0 is ideal)");
+        let mut points = Vec::new();
+        for spec in qsc_datasets::graph_datasets() {
+            if matches!(spec.task, qsc_datasets::Task::Centrality) {
+                points.extend(centrality_tradeoff(spec.name, scale, budgets));
+            }
+        }
+        println!("{}", tradeoff_table(&points));
+        summarize(&points, true);
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Print the headline statistic the paper reports for Fig. 7: the average
+/// accuracy of the points whose runtime is at most 1% of the exact baseline.
+fn summarize(points: &[TradeoffPoint], higher_is_better: bool) {
+    let cheap: Vec<&TradeoffPoint> = points
+        .iter()
+        .filter(|p| p.approx_seconds <= 0.01 * p.exact_seconds)
+        .collect();
+    let pool: Vec<&TradeoffPoint> = if cheap.is_empty() { points.iter().collect() } else { cheap };
+    if pool.is_empty() {
+        return;
+    }
+    let geo_mean = (pool.iter().map(|p| p.accuracy.max(1e-12).ln()).sum::<f64>()
+        / pool.len() as f64)
+        .exp();
+    if higher_is_better {
+        println!("==> mean correlation within the 1% time budget: {geo_mean:.3}\n");
+    } else {
+        println!("==> geometric-mean relative error within the 1% time budget: {geo_mean:.3}\n");
+    }
+}

@@ -1,0 +1,64 @@
+//! E-FIG8: accuracy as a function of the number of colors (Fig. 8).
+//!
+//! Same sweep as Fig. 7 but presented as accuracy vs. #colors per dataset,
+//! highlighting the diminishing-returns pattern the paper reports (no task
+//! needs more than ~150 colors to converge).
+//!
+//! Usage: `fig8_colors [--scale small|full]`
+
+use qsc_bench::experiments::{centrality_tradeoff, lp_tradeoff, maxflow_tradeoff};
+use qsc_bench::render_table;
+use qsc_bench::report::TradeoffPoint;
+use qsc_datasets::Scale;
+
+const BUDGETS: &[usize] = &[5, 10, 20, 35, 60, 100, 150];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--scale")
+        && args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+            == Some("small")
+    {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
+
+    println!("Fig. 8(a) — max-flow accuracy vs. number of colors");
+    let mut flow_points = Vec::new();
+    for spec in qsc_datasets::flow_datasets().iter().take(4) {
+        flow_points.extend(maxflow_tradeoff(spec.name, scale, BUDGETS));
+    }
+    print_curves(&flow_points);
+
+    println!("Fig. 8(b) — LP accuracy vs. number of colors");
+    let mut lp_points = Vec::new();
+    for spec in qsc_datasets::lp_datasets() {
+        lp_points.extend(lp_tradeoff(spec.name, scale, BUDGETS));
+    }
+    print_curves(&lp_points);
+
+    println!("Fig. 8(c) — centrality correlation vs. number of colors");
+    let mut c_points = Vec::new();
+    for spec in qsc_datasets::graph_datasets() {
+        if matches!(spec.task, qsc_datasets::Task::Centrality) {
+            c_points.extend(centrality_tradeoff(spec.name, scale, BUDGETS));
+        }
+    }
+    print_curves(&c_points);
+}
+
+fn print_curves(points: &[TradeoffPoint]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.dataset.clone(),
+                p.colors.to_string(),
+                format!("{:.4}", p.accuracy),
+                format!("{:.2}", p.max_q_error),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["dataset", "colors", "accuracy", "max q"], &rows));
+}

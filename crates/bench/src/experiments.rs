@@ -1,0 +1,158 @@
+//! Shared experiment drivers used by the figure/table binaries.
+//!
+//! Each driver measures, for one dataset and a list of color budgets, the
+//! end-to-end approximation time (coloring + reduction + solving), the exact
+//! baseline time, and the paper's accuracy metric for that task (relative
+//! error for max-flow and LP, Spearman's ρ for centrality).
+
+use crate::report::TradeoffPoint;
+use crate::timed;
+use qsc_centrality::approx::{approximate, CentralityApproxConfig};
+use qsc_centrality::{brandes, spearman};
+use qsc_datasets::Scale;
+use qsc_flow::reduce::{approximate_max_flow, relative_error, FlowApproxConfig};
+use qsc_flow::push_relabel;
+use qsc_lp::interior_point::{self, InteriorPointConfig};
+use qsc_lp::reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant};
+use qsc_lp::simplex;
+
+/// Default color budgets swept by the Fig. 7 / Fig. 8 experiments.
+pub const DEFAULT_BUDGETS: &[usize] = &[5, 10, 20, 35, 60, 100, 150];
+
+/// Max-flow speed/accuracy sweep for one dataset.
+pub fn maxflow_tradeoff(dataset: &str, scale: Scale, budgets: &[usize]) -> Vec<TradeoffPoint> {
+    let network = qsc_datasets::load_flow(dataset, scale).expect("known flow dataset");
+    let (exact, exact_seconds) = timed(|| push_relabel::max_flow(&network));
+    budgets
+        .iter()
+        .map(|&budget| {
+            let (approx, approx_seconds) =
+                timed(|| approximate_max_flow(&network, &FlowApproxConfig::with_max_colors(budget)));
+            TradeoffPoint {
+                task: "maxflow".into(),
+                dataset: dataset.into(),
+                colors: approx.colors,
+                approx_seconds,
+                exact_seconds,
+                accuracy: relative_error(exact.value, approx.value),
+                max_q_error: approx.max_q_error,
+            }
+        })
+        .collect()
+}
+
+/// LP speed/accuracy sweep for one dataset.
+pub fn lp_tradeoff(dataset: &str, scale: Scale, budgets: &[usize]) -> Vec<TradeoffPoint> {
+    let lp = qsc_datasets::load_lp(dataset, scale).expect("known LP dataset");
+    let (exact, exact_seconds) =
+        timed(|| interior_point::solve_with(&lp, &InteriorPointConfig::default()).0);
+    budgets
+        .iter()
+        .map(|&budget| {
+            let ((reduced, solution), approx_seconds) = timed(|| {
+                let reduced = reduce_with_rothko(
+                    &lp,
+                    &LpColoringConfig::with_max_colors(budget),
+                    LpReductionVariant::SqrtNormalized,
+                );
+                let solution = simplex::solve(&reduced.problem);
+                (reduced, solution)
+            });
+            let accuracy = if solution.objective > 0.0 && exact.objective > 0.0 {
+                (solution.objective / exact.objective).max(exact.objective / solution.objective)
+            } else {
+                f64::INFINITY
+            };
+            TradeoffPoint {
+                task: "lp".into(),
+                dataset: dataset.into(),
+                colors: reduced.num_rows() + reduced.num_cols(),
+                approx_seconds,
+                exact_seconds,
+                accuracy,
+                max_q_error: reduced.max_q_error,
+            }
+        })
+        .collect()
+}
+
+/// Centrality speed/accuracy sweep for one dataset.
+pub fn centrality_tradeoff(dataset: &str, scale: Scale, budgets: &[usize]) -> Vec<TradeoffPoint> {
+    let graph = qsc_datasets::load_graph(dataset, scale).expect("known graph dataset");
+    let (exact, exact_seconds) = timed(|| brandes::betweenness(&graph));
+    budgets
+        .iter()
+        .map(|&budget| {
+            let (approx, approx_seconds) =
+                timed(|| approximate(&graph, &CentralityApproxConfig::with_max_colors(budget)));
+            TradeoffPoint {
+                task: "centrality".into(),
+                dataset: dataset.into(),
+                colors: approx.partition.num_colors(),
+                approx_seconds,
+                exact_seconds,
+                accuracy: spearman(&exact, &approx.scores),
+                max_q_error: approx.max_q_error,
+            }
+        })
+        .collect()
+}
+
+/// Render a list of trade-off points as the text table printed by the
+/// figure binaries.
+pub fn tradeoff_table(points: &[TradeoffPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.dataset.clone(),
+                p.colors.to_string(),
+                format!("{:.4}", p.approx_seconds),
+                format!("{:.4}", p.exact_seconds),
+                format!("{:.2}%", 100.0 * p.approx_seconds / p.exact_seconds.max(1e-9)),
+                format!("{:.4}", p.accuracy),
+                format!("{:.2}", p.max_q_error),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &["dataset", "colors", "approx(s)", "exact(s)", "budget", "accuracy", "max q"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxflow_driver_produces_points() {
+        let points = maxflow_tradeoff("tsukuba0", Scale::Small, &[5, 10]);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.accuracy >= 1.0));
+        assert!(points[1].colors >= points[0].colors);
+    }
+
+    #[test]
+    fn centrality_driver_produces_points() {
+        let points = centrality_tradeoff("deezer", Scale::Small, &[10, 40]);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.accuracy <= 1.0 + 1e-9));
+        assert!(points[1].accuracy >= points[0].accuracy - 0.2);
+    }
+
+    #[test]
+    fn lp_driver_produces_points() {
+        let points = lp_tradeoff("qap15", Scale::Small, &[8, 30]);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.accuracy.is_finite()));
+    }
+
+    #[test]
+    fn table_renders_all_points() {
+        let points = maxflow_tradeoff("venus0", Scale::Small, &[6]);
+        let table = tradeoff_table(&points);
+        assert!(table.contains("venus0"));
+        assert!(table.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! # qsc-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Sec. 6). Each experiment is a binary (see `src/bin/`); the
+//! mapping from paper table/figure to binary is given in `DESIGN.md`
+//! ("Per-experiment index") and the measured results are recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! This library crate holds the small amount of shared harness code: wall
+//! clock timing, text-table rendering, and serializable result records.
+
+use std::time::Instant;
+
+pub mod experiments;
+pub mod report;
+
+/// Time a closure, returning its result and the elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// Relative-error metric used by the paper for max-flow and LP tasks:
+/// `max(v/v̂, v̂/v)`, ideal value 1.0.
+pub fn relative_error(actual: f64, predicted: f64) -> f64 {
+    qsc_flow::reduce::relative_error(actual, predicted)
+}
+
+/// Render a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_value_and_duration() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let table = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2.5".into()],
+            ],
+        );
+        assert!(table.contains("longer-name"));
+        assert!(table.lines().count() >= 4);
+    }
+
+    #[test]
+    fn relative_error_wrapper() {
+        assert_eq!(relative_error(2.0, 4.0), 2.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Coloring-based betweenness-centrality approximation (Sec. 4.3 / 6.1).
+//!
+//! The approximation colors the graph with the Rothko algorithm (the paper
+//! uses witness weights `α = β = 1` for centrality) and then assumes that
+//! nodes of the same color have similar centrality. Two estimators are
+//! provided:
+//!
+//! * [`stratified`] — pick one representative per color and run a Brandes
+//!   single-source accumulation from each, weighting its contribution by the
+//!   color size. This is an `O(k · m)` stratified source-sampling estimate
+//!   whose strata are the colors (the paper's "compute Eq. (9) once per
+//!   color" strategy).
+//! * [`reduced_graph`] — compute betweenness on the reduced multigraph and
+//!   lift each color's score to its members. This only touches the `k`-node
+//!   reduced graph after coloring and is the cheapest option.
+
+use crate::brandes;
+use qsc_core::reduced::{lift_color_values, reduced_graph, ReductionWeighting};
+use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_core::Partition;
+use qsc_graph::Graph;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which coloring-based estimator to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ApproxMethod {
+    /// One weighted Brandes source per color (recommended).
+    #[default]
+    Stratified,
+    /// Betweenness of the reduced graph lifted back to the nodes.
+    ReducedGraph,
+}
+
+/// Configuration of the coloring-based approximation.
+#[derive(Clone, Debug)]
+pub struct CentralityApproxConfig {
+    /// Color budget.
+    pub max_colors: usize,
+    /// Estimator.
+    pub method: ApproxMethod,
+    /// Seed for choosing color representatives.
+    pub seed: u64,
+    /// Number of representatives sampled per color by the stratified
+    /// estimator (capped at the color size). More representatives reduce the
+    /// within-color sampling variance at a proportional cost in
+    /// single-source Brandes passes.
+    pub representatives_per_color: usize,
+}
+
+impl CentralityApproxConfig {
+    /// Default configuration with the given color budget.
+    pub fn with_max_colors(max_colors: usize) -> Self {
+        CentralityApproxConfig {
+            max_colors,
+            method: ApproxMethod::Stratified,
+            seed: 0,
+            representatives_per_color: 4,
+        }
+    }
+}
+
+/// Result of the approximation.
+#[derive(Clone, Debug)]
+pub struct ApproxCentrality {
+    /// Estimated betweenness per node.
+    pub scores: Vec<f64>,
+    /// The coloring used.
+    pub partition: Partition,
+    /// Maximum q-error of the coloring.
+    pub max_q_error: f64,
+}
+
+/// Approximate betweenness centrality of every node using a quasi-stable
+/// coloring computed by Rothko.
+pub fn approximate(g: &Graph, config: &CentralityApproxConfig) -> ApproxCentrality {
+    let coloring = Rothko::new(RothkoConfig::for_centrality(config.max_colors)).run(g);
+    approximate_with_partition(g, coloring.partition, coloring.max_q_error, config)
+}
+
+/// Approximate betweenness with a caller-supplied coloring.
+pub fn approximate_with_partition(
+    g: &Graph,
+    partition: Partition,
+    max_q_error: f64,
+    config: &CentralityApproxConfig,
+) -> ApproxCentrality {
+    let scores = match config.method {
+        ApproxMethod::Stratified => stratified_with(
+            g,
+            &partition,
+            config.seed,
+            config.representatives_per_color.max(1),
+        ),
+        ApproxMethod::ReducedGraph => reduced_graph_scores(g, &partition),
+    };
+    ApproxCentrality { scores, partition, max_q_error }
+}
+
+/// Stratified estimator with one representative per color (see
+/// [`stratified_with`] for the multi-representative variant).
+pub fn stratified(g: &Graph, partition: &Partition, seed: u64) -> Vec<f64> {
+    stratified_with(g, partition, seed, 1)
+}
+
+/// Stratified estimator: up to `reps` random representatives per color, each
+/// weighted by `|color| / #representatives`, accumulated with Brandes
+/// single-source passes. With `reps >= |color|` for every color this is
+/// exact Brandes.
+pub fn stratified_with(g: &Graph, partition: &Partition, seed: u64, reps: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sources = Vec::with_capacity(partition.num_colors() * reps);
+    for c in 0..partition.num_colors() as u32 {
+        let members = partition.members(c);
+        if members.is_empty() {
+            continue;
+        }
+        let take = reps.min(members.len());
+        let mut chosen: Vec<qsc_graph::NodeId> = members.to_vec();
+        // Partial Fisher–Yates: choose `take` distinct representatives.
+        for i in 0..take {
+            let j = rng.random_range(i..chosen.len());
+            chosen.swap(i, j);
+        }
+        let weight = members.len() as f64 / take as f64;
+        for &v in &chosen[..take] {
+            sources.push((v, weight));
+        }
+    }
+    brandes::betweenness_from_sources(g, &sources)
+}
+
+/// Reduced-graph estimator: betweenness of the reduced graph, lifted to the
+/// original nodes (each node receives its color's score).
+pub fn reduced_graph_scores(g: &Graph, partition: &Partition) -> Vec<f64> {
+    let reduced = reduced_graph(g, partition, ReductionWeighting::Sum);
+    let color_scores = brandes::betweenness(&reduced);
+    lift_color_values(partition, &color_scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::spearman;
+    use qsc_graph::generators;
+
+    #[test]
+    fn stratified_with_singleton_colors_is_exact() {
+        // When every node is its own color the stratified estimator is exact
+        // Brandes.
+        let g = generators::karate_club();
+        let exact = brandes::betweenness(&g);
+        let partition = Partition::discrete(34);
+        let approx = stratified(&g, &partition, 3);
+        for v in 0..34 {
+            assert!((exact[v] - approx[v]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn karate_correlation_is_high() {
+        let g = generators::karate_club();
+        let exact = brandes::betweenness(&g);
+        let approx = approximate(&g, &CentralityApproxConfig::with_max_colors(12));
+        let rho = spearman(&exact, &approx.scores);
+        assert!(rho > 0.75, "Spearman correlation too low: {rho}");
+        assert!(approx.partition.num_colors() <= 12);
+    }
+
+    #[test]
+    fn more_colors_improve_correlation_on_scale_free_graph() {
+        let g = generators::barabasi_albert(400, 3, 11);
+        let exact = brandes::betweenness(&g);
+        let coarse = approximate(&g, &CentralityApproxConfig::with_max_colors(5));
+        let fine = approximate(&g, &CentralityApproxConfig::with_max_colors(60));
+        let rho_coarse = spearman(&exact, &coarse.scores);
+        let rho_fine = spearman(&exact, &fine.scores);
+        assert!(
+            rho_fine + 0.05 >= rho_coarse,
+            "more colors should not hurt much: coarse {rho_coarse}, fine {rho_fine}"
+        );
+        assert!(rho_fine > 0.8, "fine correlation too low: {rho_fine}");
+    }
+
+    #[test]
+    fn reduced_graph_method_produces_scores() {
+        let g = generators::barabasi_albert(200, 3, 5);
+        let config = CentralityApproxConfig {
+            method: ApproxMethod::ReducedGraph,
+            seed: 1,
+            ..CentralityApproxConfig::with_max_colors(20)
+        };
+        let approx = approximate(&g, &config);
+        assert_eq!(approx.scores.len(), 200);
+        // Scores are non-negative and not all zero.
+        assert!(approx.scores.iter().all(|&s| s >= 0.0));
+        assert!(approx.scores.iter().any(|&s| s > 0.0));
+        // Nodes in the same color share the same score.
+        let p = &approx.partition;
+        for c in 0..p.num_colors() as u32 {
+            let members = p.members(c);
+            for w in members.windows(2) {
+                assert_eq!(approx.scores[w[0] as usize], approx.scores[w[1] as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::barabasi_albert(150, 2, 9);
+        let config = CentralityApproxConfig::with_max_colors(15);
+        let a = approximate(&g, &config);
+        let b = approximate(&g, &config);
+        assert_eq!(a.scores, b.scores);
+    }
+}

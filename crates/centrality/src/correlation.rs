@@ -1,0 +1,115 @@
+//! Spearman's rank correlation coefficient, the accuracy metric used for the
+//! centrality experiments (Sec. 6.1).
+
+/// Spearman's rank correlation between two equal-length value vectors.
+/// Ties receive their average rank. Returns 1.0 for constant identical
+/// vectors and 0.0 if either vector is constant while the other is not.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Average ranks (1-based) with ties sharing the mean of their positions.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[order[k]] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson correlation of two vectors.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..a.len() {
+        let da = a[i] - mean_a;
+        let db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 && var_b == 0.0 {
+        return 1.0;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_transform_invariance() {
+        // Spearman only depends on ranks.
+        let a = [1.0f64, 5.0, 2.0, 9.0];
+        let b: Vec<f64> = a.iter().map(|&x| x.powi(3) + 7.0).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let r = ranks(&[2.0, 1.0, 2.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn constant_vector_edge_cases() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&a, &b), 0.0);
+        assert_eq!(spearman(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // Classic example: one discordant pair among 5.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 2.0, 3.0, 5.0, 4.0];
+        let rho = spearman(&a, &b);
+        assert!((rho - 0.9).abs() < 1e-12, "got {rho}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # qsc-centrality
+//!
+//! Betweenness centrality substrate and the centrality application of
+//! quasi-stable coloring (Sec. 4.3 of the paper).
+//!
+//! * [`brandes`] — exact betweenness centrality (the paper's exact baseline).
+//! * [`approx`] — coloring-based approximation (stratified per-color
+//!   sampling and reduced-graph lifting).
+//! * [`sampling`] — the Riondato–Kornaropoulos shortest-path-sampling
+//!   baseline of Table 1.
+//! * [`correlation`] — Spearman's rank correlation, the accuracy metric.
+//!
+//! ## Example
+//!
+//! ```
+//! use qsc_graph::generators::karate_club;
+//! use qsc_centrality::{brandes, approx, correlation};
+//!
+//! let g = karate_club();
+//! let exact = brandes::betweenness(&g);
+//! let estimate = approx::approximate(
+//!     &g,
+//!     &approx::CentralityApproxConfig::with_max_colors(12),
+//! );
+//! let rho = correlation::spearman(&exact, &estimate.scores);
+//! assert!(rho > 0.7);
+//! ```
+
+pub mod approx;
+pub mod brandes;
+pub mod correlation;
+pub mod sampling;
+
+pub use approx::{approximate, ApproxCentrality, ApproxMethod, CentralityApproxConfig};
+pub use brandes::betweenness;
+pub use correlation::spearman;
+pub use sampling::{betweenness_sampling, SamplingConfig};

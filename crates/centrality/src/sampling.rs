@@ -1,0 +1,179 @@
+//! The Riondato–Kornaropoulos sampling baseline [WSDM 2014], used in
+//! Table 1 (top) of the paper's evaluation.
+//!
+//! The estimator samples `r` shortest paths uniformly at random (pick a
+//! random pair `(s, t)`, then a uniformly random shortest path between them)
+//! and adds `1/r` to every interior vertex of each sampled path. With
+//!
+//! ```text
+//! r = (c / ε²) · (⌊log₂(VD − 2)⌋ + 1 + ln(1/δ))
+//! ```
+//!
+//! samples, where `VD` is the vertex diameter, every estimate is within `ε`
+//! of the normalized betweenness with probability `1 − δ`.
+
+use qsc_graph::traversal::{approx_diameter, shortest_path_dag};
+use qsc_graph::{Graph, NodeId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration of the sampling estimator.
+#[derive(Clone, Debug)]
+pub struct SamplingConfig {
+    /// Additive error target `ε` on the *normalized* betweenness.
+    pub epsilon: f64,
+    /// Failure probability `δ`.
+    pub delta: f64,
+    /// The universal constant `c` of the VC bound (0.5 in the original
+    /// paper).
+    pub constant: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional hard cap on the number of samples.
+    pub max_samples: Option<usize>,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig { epsilon: 0.05, delta: 0.1, constant: 0.5, seed: 0, max_samples: None }
+    }
+}
+
+impl SamplingConfig {
+    /// Configuration targeting an additive error `ε` (with default `δ`).
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        SamplingConfig { epsilon, ..Default::default() }
+    }
+}
+
+/// Number of samples prescribed by the VC-dimension bound for a graph with
+/// approximate vertex diameter `vd`.
+pub fn sample_size(config: &SamplingConfig, vd: usize) -> usize {
+    let vd = vd.max(3) as f64;
+    let r = (config.constant / (config.epsilon * config.epsilon))
+        * ((vd - 2.0).log2().floor() + 1.0 + (1.0 / config.delta).ln());
+    let r = r.ceil().max(1.0) as usize;
+    match config.max_samples {
+        Some(cap) => r.min(cap),
+        None => r,
+    }
+}
+
+/// Estimate betweenness centrality by sampling shortest paths. Returns
+/// *unnormalized* scores scaled to the same ordered-pair convention as
+/// [`crate::brandes::betweenness`] so the two can be compared directly.
+pub fn betweenness_sampling(g: &Graph, config: &SamplingConfig) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut scores = vec![0.0f64; n];
+    if n < 3 {
+        return scores;
+    }
+    let vd = approx_diameter(g);
+    let r = sample_size(config, vd);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut successes = 0usize;
+    let mut attempts = 0usize;
+    while successes < r && attempts < 20 * r {
+        attempts += 1;
+        let s = rng.random_range(0..n) as NodeId;
+        let t = rng.random_range(0..n) as NodeId;
+        if s == t {
+            continue;
+        }
+        let dag = shortest_path_dag(g, s);
+        if dag.sigma[t as usize] == 0.0 {
+            continue; // t unreachable from s
+        }
+        successes += 1;
+        // Walk back from t choosing each predecessor with probability
+        // sigma(pred)/sigma(current): this samples a shortest path uniformly.
+        let mut v = t;
+        while v != s {
+            let preds = &dag.preds[v as usize];
+            let total: f64 = preds.iter().map(|&p| dag.sigma[p as usize]).sum();
+            let mut pick = rng.random::<f64>() * total;
+            let mut chosen = preds[0];
+            for &p in preds {
+                pick -= dag.sigma[p as usize];
+                if pick <= 0.0 {
+                    chosen = p;
+                    break;
+                }
+            }
+            if chosen != s {
+                scores[chosen as usize] += 1.0;
+            }
+            v = chosen;
+        }
+    }
+    if successes == 0 {
+        return scores;
+    }
+    // Each sample contributes 1/r to the normalized betweenness estimate;
+    // rescale to the unnormalized ordered-pair scale n(n-1).
+    let scale = (n as f64) * (n as f64 - 1.0) / successes as f64;
+    for s in scores.iter_mut() {
+        *s *= scale;
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes;
+    use crate::correlation::spearman;
+    use qsc_graph::generators;
+
+    #[test]
+    fn sample_size_grows_with_precision() {
+        let loose = sample_size(&SamplingConfig::with_epsilon(0.1), 10);
+        let tight = sample_size(&SamplingConfig::with_epsilon(0.02), 10);
+        assert!(tight > loose);
+        let capped = sample_size(
+            &SamplingConfig { max_samples: Some(100), ..SamplingConfig::with_epsilon(0.001) },
+            10,
+        );
+        assert_eq!(capped, 100);
+    }
+
+    #[test]
+    fn star_graph_estimates_center() {
+        let mut b = qsc_graph::GraphBuilder::new_undirected(12);
+        for leaf in 1..12 {
+            b.add_edge(0, leaf, 1.0);
+        }
+        let g = b.build();
+        let est = betweenness_sampling(&g, &SamplingConfig::with_epsilon(0.05));
+        // The center must dominate every leaf.
+        for leaf in 1..12 {
+            assert!(est[0] > est[leaf]);
+        }
+    }
+
+    #[test]
+    fn correlates_with_exact_on_karate() {
+        let g = generators::karate_club();
+        let exact = brandes::betweenness(&g);
+        let est = betweenness_sampling(
+            &g,
+            &SamplingConfig { epsilon: 0.03, seed: 7, ..Default::default() },
+        );
+        let rho = spearman(&exact, &est);
+        assert!(rho > 0.7, "sampling correlation too low: {rho}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::barabasi_albert(100, 2, 3);
+        let cfg = SamplingConfig { epsilon: 0.1, seed: 42, ..Default::default() };
+        assert_eq!(betweenness_sampling(&g, &cfg), betweenness_sampling(&g, &cfg));
+    }
+
+    #[test]
+    fn tiny_graph_returns_zeros() {
+        let g = qsc_graph::Graph::empty(2, false);
+        let est = betweenness_sampling(&g, &SamplingConfig::default());
+        assert_eq!(est, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # qsc-core
+//!
+//! Quasi-stable coloring for graph compression — the primary contribution of
+//! Kayali & Suciu, *"Quasi-stable Coloring for Graph Compression:
+//! Approximating Max-Flow, Linear Programs, and Centrality"* (VLDB 2022).
+//!
+//! A *coloring* of a graph is a partition of its nodes. A coloring is
+//! *stable* (the classical 1-WL / color-refinement fixpoint) when any two
+//! nodes of the same color have identical weights towards every color. The
+//! paper relaxes this: a coloring is *q-stable* when those weights may differ
+//! by at most `q`. Relaxation lets real graphs compress by orders of
+//! magnitude while the reduced graph still approximates linear programs,
+//! max-flow and betweenness centrality.
+//!
+//! The crate provides:
+//!
+//! * [`Partition`] — colorings with split/meet/refinement operations.
+//! * [`similarity`] — the `∼` relations of Definition 1 (exact, absolute `q`,
+//!   relative `ε`, bisimulation, clamped congruence).
+//! * [`stable::stable_coloring`] — classical color refinement (1-WL).
+//! * [`rothko`] — the paper's heuristic Algorithm 1 (anytime, witness-driven
+//!   splitting), producing q-stable colorings with a target number of colors
+//!   or target maximum error.
+//! * [`q_error`] — exact evaluation of how (quasi-)stable a coloring is.
+//! * [`reduced`] — reduced-graph construction with the weightings used by
+//!   the three applications.
+//! * [`stats`] — compression statistics (Table 4 / Sec. 6.2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qsc_graph::generators::karate_club;
+//! use qsc_core::rothko::{Rothko, RothkoConfig};
+//!
+//! let g = karate_club();
+//! // Color the karate club with at most 6 colors (Fig. 1b of the paper).
+//! let coloring = Rothko::new(RothkoConfig::with_max_colors(6)).run(&g);
+//! assert_eq!(coloring.partition.num_colors(), 6);
+//! // The resulting coloring has a small maximum q-error.
+//! assert!(coloring.max_q_error <= 6.0);
+//! ```
+
+pub mod partition;
+pub mod q_error;
+pub mod reduced;
+pub mod rothko;
+pub mod similarity;
+pub mod stable;
+pub mod stats;
+
+pub use partition::Partition;
+pub use q_error::{max_q_error, mean_q_error, QErrorReport};
+pub use reduced::{reduced_graph, ReductionWeighting};
+pub use rothko::{Coloring, Rothko, RothkoConfig, RothkoRun};
+pub use similarity::{Absolute, Bisimulation, Clamped, Exact, Relative, Similarity};
+pub use stable::stable_coloring;
+pub use stats::{coloring_stats, ColoringStats};

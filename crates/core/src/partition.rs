@@ -1,0 +1,325 @@
+//! Colorings (node partitions) and their lattice operations.
+
+use qsc_graph::NodeId;
+
+/// Identifier of a color (a class of the partition).
+pub type ColorId = u32;
+
+/// A coloring `P = {P_1, ..., P_k}` of nodes `0..n`.
+///
+/// Stored redundantly as both a `node -> color` map and `color -> members`
+/// buckets so that splitting a color and iterating a color's members are both
+/// cheap.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    color_of: Vec<ColorId>,
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// The coarsest partition: all `n` nodes in a single color (no colors at
+    /// all when `n == 0`).
+    pub fn unit(n: usize) -> Self {
+        if n == 0 {
+            return Partition { color_of: Vec::new(), members: Vec::new() };
+        }
+        Partition {
+            color_of: vec![0; n],
+            members: vec![(0..n as NodeId).collect()],
+        }
+    }
+
+    /// The finest partition `P_⊥`: every node in its own color.
+    pub fn discrete(n: usize) -> Self {
+        Partition {
+            color_of: (0..n as ColorId).collect(),
+            members: (0..n as NodeId).map(|v| vec![v]).collect(),
+        }
+    }
+
+    /// Build from a `node -> color` assignment; colors are compacted to
+    /// `0..k` preserving the order of first appearance.
+    pub fn from_assignment(assignment: &[u32]) -> Self {
+        let n = assignment.len();
+        let mut remap: std::collections::HashMap<u32, ColorId> = std::collections::HashMap::new();
+        let mut color_of = vec![0 as ColorId; n];
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+        for (v, &raw) in assignment.iter().enumerate() {
+            let next_id = members.len() as ColorId;
+            let c = *remap.entry(raw).or_insert(next_id);
+            if c as usize == members.len() {
+                members.push(Vec::new());
+            }
+            color_of[v] = c;
+            members[c as usize].push(v as NodeId);
+        }
+        Partition { color_of, members }
+    }
+
+    /// Build from explicit color classes. Panics if the classes are not a
+    /// partition of `0..n`.
+    pub fn from_classes(n: usize, classes: Vec<Vec<NodeId>>) -> Self {
+        let mut color_of = vec![u32::MAX; n];
+        for (c, class) in classes.iter().enumerate() {
+            for &v in class {
+                assert!(
+                    color_of[v as usize] == u32::MAX,
+                    "node {v} appears in more than one class"
+                );
+                color_of[v as usize] = c as ColorId;
+            }
+        }
+        assert!(
+            color_of.iter().all(|&c| c != u32::MAX),
+            "classes do not cover all nodes"
+        );
+        Partition { color_of, members: classes }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.color_of.len()
+    }
+
+    /// Number of colors `k`.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The color of node `v`.
+    #[inline]
+    pub fn color_of(&self, v: NodeId) -> ColorId {
+        self.color_of[v as usize]
+    }
+
+    /// The full `node -> color` assignment.
+    #[inline]
+    pub fn assignment(&self) -> &[ColorId] {
+        &self.color_of
+    }
+
+    /// Members of color `c`.
+    #[inline]
+    pub fn members(&self, c: ColorId) -> &[NodeId] {
+        &self.members[c as usize]
+    }
+
+    /// Size of color `c`.
+    #[inline]
+    pub fn size(&self, c: ColorId) -> usize {
+        self.members[c as usize].len()
+    }
+
+    /// Sizes of all colors.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.members.iter().map(|m| m.len()).collect()
+    }
+
+    /// Iterate `(color, members)` pairs.
+    pub fn classes(&self) -> impl Iterator<Item = (ColorId, &[NodeId])> {
+        self.members.iter().enumerate().map(|(c, m)| (c as ColorId, m.as_slice()))
+    }
+
+    /// Split color `c`: members for which `eject(v)` is true move to a new
+    /// color (appended at the end). Returns the new color id, or `None` if
+    /// the split would leave either side empty (in which case nothing
+    /// changes).
+    pub fn split_color<F: FnMut(NodeId) -> bool>(
+        &mut self,
+        c: ColorId,
+        mut eject: F,
+    ) -> Option<ColorId> {
+        let old = std::mem::take(&mut self.members[c as usize]);
+        let (ejected, retained): (Vec<NodeId>, Vec<NodeId>) =
+            old.into_iter().partition(|&v| eject(v));
+        if ejected.is_empty() || retained.is_empty() {
+            // Undo: put everything back.
+            let mut all = retained;
+            all.extend(ejected);
+            all.sort_unstable();
+            self.members[c as usize] = all;
+            return None;
+        }
+        let new_color = self.members.len() as ColorId;
+        for &v in &ejected {
+            self.color_of[v as usize] = new_color;
+        }
+        self.members[c as usize] = retained;
+        self.members.push(ejected);
+        Some(new_color)
+    }
+
+    /// Greatest lower bound (common refinement) `P ∧ Q`: the partition whose
+    /// classes are the non-empty intersections `P_i ∩ Q_j`.
+    pub fn meet(&self, other: &Partition) -> Partition {
+        assert_eq!(self.num_nodes(), other.num_nodes());
+        let n = self.num_nodes();
+        let mut key_to_color: std::collections::HashMap<(ColorId, ColorId), ColorId> =
+            std::collections::HashMap::new();
+        let mut assignment = vec![0 as ColorId; n];
+        for v in 0..n {
+            let key = (self.color_of[v], other.color_of[v]);
+            let next = key_to_color.len() as ColorId;
+            let c = *key_to_color.entry(key).or_insert(next);
+            assignment[v] = c;
+        }
+        Partition::from_assignment(&assignment)
+    }
+
+    /// Whether `self` is a refinement of `other` (`self ⊆ other`): every
+    /// class of `self` is contained in some class of `other`.
+    pub fn is_refinement_of(&self, other: &Partition) -> bool {
+        if self.num_nodes() != other.num_nodes() {
+            return false;
+        }
+        for class in &self.members {
+            if class.is_empty() {
+                continue;
+            }
+            let target = other.color_of(class[0]);
+            if !class.iter().all(|&v| other.color_of(v) == target) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether two partitions define the same equivalence classes (ignoring
+    /// color numbering).
+    pub fn same_as(&self, other: &Partition) -> bool {
+        self.is_refinement_of(other) && other.is_refinement_of(self)
+    }
+
+    /// A canonical `node -> color` assignment where colors are numbered by
+    /// the smallest node they contain; useful for hashing/comparison.
+    pub fn canonical_assignment(&self) -> Vec<ColorId> {
+        let mut first_seen: std::collections::HashMap<ColorId, ColorId> =
+            std::collections::HashMap::new();
+        let mut out = vec![0 as ColorId; self.num_nodes()];
+        for v in 0..self.num_nodes() {
+            let c = self.color_of[v];
+            let next = first_seen.len() as ColorId;
+            let canon = *first_seen.entry(c).or_insert(next);
+            out[v] = canon;
+        }
+        out
+    }
+
+    /// Number of singleton colors.
+    pub fn singleton_count(&self) -> usize {
+        self.members.iter().filter(|m| m.len() == 1).count()
+    }
+
+    /// Validate internal consistency (every node in exactly one class, class
+    /// lists match `color_of`). Intended for tests and debug assertions.
+    pub fn validate(&self) -> bool {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        for (c, class) in self.members.iter().enumerate() {
+            for &v in class {
+                if v as usize >= n || seen[v as usize] || self.color_of[v as usize] != c as ColorId
+                {
+                    return false;
+                }
+                seen[v as usize] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_discrete() {
+        let u = Partition::unit(5);
+        assert_eq!(u.num_colors(), 1);
+        assert_eq!(u.size(0), 5);
+        assert!(u.validate());
+
+        let d = Partition::discrete(5);
+        assert_eq!(d.num_colors(), 5);
+        assert_eq!(d.singleton_count(), 5);
+        assert!(d.validate());
+        assert!(d.is_refinement_of(&u));
+        assert!(!u.is_refinement_of(&d));
+    }
+
+    #[test]
+    fn from_assignment_compacts() {
+        let p = Partition::from_assignment(&[7, 7, 3, 7, 3]);
+        assert_eq!(p.num_colors(), 2);
+        assert_eq!(p.members(0), &[0, 1, 3]);
+        assert_eq!(p.members(1), &[2, 4]);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn from_classes_checks_partition() {
+        let p = Partition::from_classes(4, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(p.color_of(2), 0);
+        assert_eq!(p.color_of(3), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_classes_rejects_overlap() {
+        Partition::from_classes(3, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_classes_rejects_missing() {
+        Partition::from_classes(3, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn split_color_moves_members() {
+        let mut p = Partition::unit(6);
+        let new = p.split_color(0, |v| v >= 3).unwrap();
+        assert_eq!(new, 1);
+        assert_eq!(p.num_colors(), 2);
+        assert_eq!(p.members(0), &[0, 1, 2]);
+        assert_eq!(p.members(1), &[3, 4, 5]);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn split_color_rejects_trivial() {
+        let mut p = Partition::unit(4);
+        assert!(p.split_color(0, |_| true).is_none());
+        assert!(p.split_color(0, |_| false).is_none());
+        assert_eq!(p.num_colors(), 1);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn meet_is_common_refinement() {
+        let p = Partition::from_assignment(&[0, 0, 1, 1]);
+        let q = Partition::from_assignment(&[0, 1, 0, 1]);
+        let m = p.meet(&q);
+        assert_eq!(m.num_colors(), 4);
+        assert!(m.is_refinement_of(&p));
+        assert!(m.is_refinement_of(&q));
+    }
+
+    #[test]
+    fn same_as_ignores_numbering() {
+        let p = Partition::from_assignment(&[0, 0, 1, 2]);
+        let q = Partition::from_assignment(&[5, 5, 9, 1]);
+        assert!(p.same_as(&q));
+        assert_eq!(p.canonical_assignment(), q.canonical_assignment());
+    }
+
+    #[test]
+    fn refinement_detects_non_refinement() {
+        let p = Partition::from_assignment(&[0, 0, 1, 1]);
+        let q = Partition::from_assignment(&[0, 1, 1, 1]);
+        assert!(!p.is_refinement_of(&q));
+        assert!(!q.is_refinement_of(&p));
+    }
+}

@@ -1,0 +1,495 @@
+//! Measuring how (quasi-)stable a coloring is.
+//!
+//! For a coloring `P` of a weighted directed graph, the *q-error* of a pair
+//! of colors `(P_i, P_j)` in the outgoing direction is
+//! `max_{v ∈ P_i} w(v, P_j) − min_{v ∈ P_i} w(v, P_j)`; the incoming
+//! direction is defined symmetrically over `w(P_i, v)` for `v ∈ P_j`.
+//! A coloring is `q`-stable iff every such error is at most `q`, and stable
+//! iff every error is exactly zero.
+
+use crate::partition::Partition;
+use crate::similarity::Similarity;
+use qsc_graph::Graph;
+
+/// Direction of a degree/error matrix entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Entry `(i, j)` talks about outgoing weights of nodes in `P_i` into `P_j`.
+    Out,
+    /// Entry `(i, j)` talks about incoming weights of nodes in `P_j` from `P_i`.
+    In,
+}
+
+/// Per-color-pair degree summaries of a coloring: for every ordered pair of
+/// colors `(i, j)`, the maximum, minimum and total weight from nodes of `P_i`
+/// into `P_j` (outgoing view) and from `P_i` into nodes of `P_j` (incoming
+/// view). This is the `U`/`L` pair of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct DegreeMatrices {
+    /// Number of colors `k`. All matrices are `k × k`, row-major.
+    pub k: usize,
+    /// `out_max[i*k + j] = max_{v ∈ P_i} w(v, P_j)`.
+    pub out_max: Vec<f64>,
+    /// `out_min[i*k + j] = min_{v ∈ P_i} w(v, P_j)`.
+    pub out_min: Vec<f64>,
+    /// `in_max[i*k + j] = max_{v ∈ P_j} w(P_i, v)`.
+    pub in_max: Vec<f64>,
+    /// `in_min[i*k + j] = min_{v ∈ P_j} w(P_i, v)`.
+    pub in_min: Vec<f64>,
+    /// `sum[i*k + j] = w(P_i, P_j)`, the total weight between the colors.
+    pub sum: Vec<f64>,
+    /// `nonzero[i*k + j]`: number of nodes of `P_i` with non-zero weight into
+    /// `P_j` (used to decide whether a pair has any edges at all).
+    pub nonzero: Vec<u32>,
+}
+
+impl DegreeMatrices {
+    /// Compute the degree matrices of `p` on `g`. `O(n + m + k²)` time and
+    /// `O(k²)` memory.
+    pub fn compute(g: &Graph, p: &Partition) -> Self {
+        let n = g.num_nodes();
+        assert_eq!(p.num_nodes(), n, "partition does not match graph");
+        let k = p.num_colors();
+        let mut out_max = vec![f64::NEG_INFINITY; k * k];
+        let mut out_min = vec![f64::INFINITY; k * k];
+        let mut in_max = vec![f64::NEG_INFINITY; k * k];
+        let mut in_min = vec![f64::INFINITY; k * k];
+        let mut sum = vec![0.0f64; k * k];
+        let mut out_count = vec![0u32; k * k];
+        let mut in_count = vec![0u32; k * k];
+
+        let mut scratch = vec![0.0f64; k];
+        let mut touched: Vec<u32> = Vec::with_capacity(k);
+
+        for v in 0..n as u32 {
+            let ci = p.color_of(v) as usize;
+            // Outgoing.
+            touched.clear();
+            for (t, w) in g.out_edges(v) {
+                let cj = p.color_of(t) as usize;
+                if scratch[cj] == 0.0 && !touched.contains(&(cj as u32)) {
+                    touched.push(cj as u32);
+                }
+                scratch[cj] += w;
+            }
+            for &cj in &touched {
+                let cj = cj as usize;
+                let w = scratch[cj];
+                let idx = ci * k + cj;
+                if w > out_max[idx] {
+                    out_max[idx] = w;
+                }
+                if w < out_min[idx] {
+                    out_min[idx] = w;
+                }
+                sum[idx] += w;
+                out_count[idx] += 1;
+                scratch[cj] = 0.0;
+            }
+            // Incoming.
+            touched.clear();
+            for (s, w) in g.in_edges(v) {
+                let cj = p.color_of(s) as usize;
+                if scratch[cj] == 0.0 && !touched.contains(&(cj as u32)) {
+                    touched.push(cj as u32);
+                }
+                scratch[cj] += w;
+            }
+            for &cj in &touched {
+                let cj = cj as usize;
+                let w = scratch[cj];
+                // Entry (cj, ci): weights from P_cj into node v of P_ci.
+                let idx = cj * k + ci;
+                if w > in_max[idx] {
+                    in_max[idx] = w;
+                }
+                if w < in_min[idx] {
+                    in_min[idx] = w;
+                }
+                in_count[idx] += 1;
+                scratch[cj] = 0.0;
+            }
+        }
+
+        // Account for nodes with zero weight towards a color: if not every
+        // node of the source color touched the pair, the minimum weight is at
+        // most 0 and the maximum at least 0. Pairs with no edges at all get
+        // max = min = 0.
+        for i in 0..k {
+            let size_i = p.size(i as u32) as u32;
+            for j in 0..k {
+                let idx = i * k + j;
+                if out_count[idx] == 0 {
+                    out_max[idx] = 0.0;
+                    out_min[idx] = 0.0;
+                } else if out_count[idx] < size_i {
+                    out_max[idx] = out_max[idx].max(0.0);
+                    out_min[idx] = out_min[idx].min(0.0);
+                }
+                let size_j = p.size(j as u32) as u32;
+                if in_count[idx] == 0 {
+                    in_max[idx] = 0.0;
+                    in_min[idx] = 0.0;
+                } else if in_count[idx] < size_j {
+                    in_max[idx] = in_max[idx].max(0.0);
+                    in_min[idx] = in_min[idx].min(0.0);
+                }
+            }
+        }
+
+        DegreeMatrices {
+            k,
+            out_max,
+            out_min,
+            in_max,
+            in_min,
+            sum,
+            nonzero: out_count,
+        }
+    }
+
+    /// Outgoing error `U − L` at `(i, j)`.
+    #[inline]
+    pub fn out_error(&self, i: usize, j: usize) -> f64 {
+        self.out_max[i * self.k + j] - self.out_min[i * self.k + j]
+    }
+
+    /// Incoming error at `(i, j)`.
+    #[inline]
+    pub fn in_error(&self, i: usize, j: usize) -> f64 {
+        self.in_max[i * self.k + j] - self.in_min[i * self.k + j]
+    }
+
+    /// Outgoing *relative* error at `(i, j)`: the smallest `ε` such that all
+    /// outgoing weights of `P_i` into `P_j` are pairwise `∼_ε`-similar
+    /// (`ln(max/min)` for positive weights, `0` when all weights are equal,
+    /// `+∞` when the weights mix zero/non-zero values or signs).
+    pub fn out_relative_error(&self, i: usize, j: usize) -> f64 {
+        relative_spread(self.out_min[i * self.k + j], self.out_max[i * self.k + j])
+    }
+
+    /// Incoming relative error at `(i, j)` (see [`Self::out_relative_error`]).
+    pub fn in_relative_error(&self, i: usize, j: usize) -> f64 {
+        relative_spread(self.in_min[i * self.k + j], self.in_max[i * self.k + j])
+    }
+
+    /// Maximum relative error over all pairs and both directions.
+    pub fn max_relative_error(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.k {
+            for j in 0..self.k {
+                max = max
+                    .max(self.out_relative_error(i, j))
+                    .max(self.in_relative_error(i, j));
+            }
+        }
+        max
+    }
+
+    /// Total weight `w(P_i, P_j)`.
+    #[inline]
+    pub fn pair_weight(&self, i: usize, j: usize) -> f64 {
+        self.sum[i * self.k + j]
+    }
+
+    /// Maximum error over all pairs and both directions.
+    pub fn max_error(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.k {
+            for j in 0..self.k {
+                max = max.max(self.out_error(i, j)).max(self.in_error(i, j));
+            }
+        }
+        max
+    }
+
+    /// Mean error over pairs that have at least one edge (both directions).
+    pub fn mean_error(&self) -> f64 {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for i in 0..self.k {
+            for j in 0..self.k {
+                if self.nonzero[i * self.k + j] > 0 {
+                    total += self.out_error(i, j);
+                    total += self.in_error(i, j);
+                    count += 2;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// The smallest `ε` such that every value in `[min, max]`-spread data is
+/// pairwise `∼_ε`-similar (Sec. 3.1, ε-relative coloring).
+fn relative_spread(min: f64, max: f64) -> f64 {
+    if min == max {
+        return 0.0;
+    }
+    if min <= 0.0 && max >= 0.0 && (min != 0.0 || max != 0.0) {
+        // A zero together with a non-zero value (or mixed signs) can never
+        // be ε-similar.
+        if min == 0.0 && max == 0.0 {
+            return 0.0;
+        }
+        return f64::INFINITY;
+    }
+    let (lo, hi) = (min.abs().min(max.abs()), min.abs().max(max.abs()));
+    if lo == 0.0 {
+        return f64::INFINITY;
+    }
+    (hi / lo).ln()
+}
+
+/// Maximum ε-relative error of a coloring: the smallest `ε` such that `p` is
+/// an ε-relative quasi-stable coloring of `g` (possibly `+∞`).
+pub fn max_relative_error(g: &Graph, p: &Partition) -> f64 {
+    DegreeMatrices::compute(g, p).max_relative_error()
+}
+
+/// A compact report of the quality of a coloring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QErrorReport {
+    /// Maximum q-error over all color pairs and both directions.
+    pub max_q: f64,
+    /// Mean q-error over color pairs with at least one edge.
+    pub mean_q: f64,
+    /// Number of colors.
+    pub num_colors: usize,
+    /// The pair of colors and direction attaining the maximum error.
+    pub worst_pair: Option<(u32, u32, Direction)>,
+}
+
+/// Compute a [`QErrorReport`] for a coloring.
+pub fn q_error_report(g: &Graph, p: &Partition) -> QErrorReport {
+    let m = DegreeMatrices::compute(g, p);
+    let mut max_q = 0.0f64;
+    let mut worst = None;
+    for i in 0..m.k {
+        for j in 0..m.k {
+            let eo = m.out_error(i, j);
+            if eo > max_q {
+                max_q = eo;
+                worst = Some((i as u32, j as u32, Direction::Out));
+            }
+            let ei = m.in_error(i, j);
+            if ei > max_q {
+                max_q = ei;
+                worst = Some((i as u32, j as u32, Direction::In));
+            }
+        }
+    }
+    QErrorReport { max_q, mean_q: m.mean_error(), num_colors: m.k, worst_pair: worst }
+}
+
+/// Maximum q-error of the coloring: the smallest `q` for which `p` is a
+/// `q`-stable coloring of `g`.
+pub fn max_q_error(g: &Graph, p: &Partition) -> f64 {
+    DegreeMatrices::compute(g, p).max_error()
+}
+
+/// Mean q-error of the coloring over color pairs with at least one edge.
+pub fn mean_q_error(g: &Graph, p: &Partition) -> f64 {
+    DegreeMatrices::compute(g, p).mean_error()
+}
+
+/// Exhaustively check Definition 1: is `p` a `∼`-quasi-stable coloring of
+/// `g`? This performs pairwise similarity checks within every color (cost
+/// `O(Σ_i |P_i|² · k)` in the worst case); it is intended for validation and
+/// tests, not production use. For the absolute (`q`) relation prefer
+/// [`max_q_error`].
+pub fn is_quasi_stable<S: Similarity>(g: &Graph, p: &Partition, sim: &S) -> bool {
+    let k = p.num_colors();
+    let n = g.num_nodes();
+    // Per node, accumulate weight to each color (out) and from each color
+    // (in), then check pairwise within each color.
+    for j in 0..k as u32 {
+        // Outgoing weights into color j, grouped by source color.
+        let mut per_node = vec![0.0f64; n];
+        for &t in p.members(j) {
+            for (s, w) in g.in_edges(t) {
+                per_node[s as usize] += w;
+            }
+        }
+        for i in 0..k as u32 {
+            let members = p.members(i);
+            for a in 0..members.len() {
+                for b in (a + 1)..members.len() {
+                    let u = per_node[members[a] as usize];
+                    let v = per_node[members[b] as usize];
+                    if !sim.similar(u, v) {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Incoming weights from color j, grouped by target color.
+        let mut per_node_in = vec![0.0f64; n];
+        for &s in p.members(j) {
+            for (t, w) in g.out_edges(s) {
+                per_node_in[t as usize] += w;
+            }
+        }
+        for i in 0..k as u32 {
+            let members = p.members(i);
+            for a in 0..members.len() {
+                for b in (a + 1)..members.len() {
+                    let u = per_node_in[members[a] as usize];
+                    let v = per_node_in[members[b] as usize];
+                    if !sim.similar(u, v) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{Absolute, Exact};
+    use qsc_graph::generators;
+    use qsc_graph::GraphBuilder;
+
+    #[test]
+    fn discrete_partition_has_zero_error() {
+        let g = generators::karate_club();
+        let p = Partition::discrete(34);
+        assert_eq!(max_q_error(&g, &p), 0.0);
+        assert!(is_quasi_stable(&g, &p, &Exact));
+    }
+
+    #[test]
+    fn unit_partition_error_is_degree_spread() {
+        let g = generators::karate_club();
+        let p = Partition::unit(34);
+        // Max error = max degree - min degree = 17 - 1 = 16.
+        assert_eq!(max_q_error(&g, &p), 16.0);
+        assert!(!is_quasi_stable(&g, &p, &Exact));
+        assert!(is_quasi_stable(&g, &p, &Absolute::new(16.0)));
+        assert!(!is_quasi_stable(&g, &p, &Absolute::new(15.0)));
+    }
+
+    #[test]
+    fn star_partition_errors() {
+        // Star with center 0 and 4 leaves; partition {0},{1..4} is stable.
+        let mut b = GraphBuilder::new_undirected(5);
+        for leaf in 1..5 {
+            b.add_edge(0, leaf, 1.0);
+        }
+        let g = b.build();
+        let p = Partition::from_classes(5, vec![vec![0], vec![1, 2, 3, 4]]);
+        assert_eq!(max_q_error(&g, &p), 0.0);
+        // Putting the center together with leaves: error 4 - 1 = 3.
+        let bad = Partition::unit(5);
+        assert_eq!(max_q_error(&g, &bad), 3.0);
+        let report = q_error_report(&g, &bad);
+        assert_eq!(report.max_q, 3.0);
+        assert_eq!(report.num_colors, 1);
+        assert!(report.worst_pair.is_some());
+    }
+
+    #[test]
+    fn degree_matrices_shape_and_sum() {
+        let g = generators::karate_club();
+        let p = Partition::from_assignment(
+            &(0..34).map(|v| if v < 17 { 0 } else { 1 }).collect::<Vec<_>>(),
+        );
+        let m = DegreeMatrices::compute(&g, &p);
+        assert_eq!(m.k, 2);
+        // Total of the sum matrix equals total arc weight.
+        let total: f64 = m.sum.iter().sum();
+        assert_eq!(total, g.total_weight());
+        // Cross-pair sums are symmetric for undirected graphs.
+        assert_eq!(m.pair_weight(0, 1), m.pair_weight(1, 0));
+    }
+
+    #[test]
+    fn directed_in_out_errors_differ() {
+        // 0 -> 2, 1 -> 2, 1 -> 3  with colors {0,1}, {2,3}.
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(1, 3, 1.0);
+        let g = b.build();
+        let p = Partition::from_classes(4, vec![vec![0, 1], vec![2, 3]]);
+        let m = DegreeMatrices::compute(&g, &p);
+        // Outgoing from color 0 to color 1: node 0 has 1, node 1 has 2 => err 1.
+        assert_eq!(m.out_error(0, 1), 1.0);
+        // Incoming into color 1 from color 0: node 2 has 2, node 3 has 1 => err 1.
+        assert_eq!(m.in_error(0, 1), 1.0);
+        // No edges inside color 0.
+        assert_eq!(m.out_error(0, 0), 0.0);
+        assert_eq!(max_q_error(&g, &p), 1.0);
+    }
+
+    #[test]
+    fn zero_degree_nodes_counted_in_min() {
+        // Color {0,1} where only node 0 has an edge to color {2}: min is 0.
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 2, 5.0);
+        let g = b.build();
+        let p = Partition::from_classes(3, vec![vec![0, 1], vec![2]]);
+        let m = DegreeMatrices::compute(&g, &p);
+        assert_eq!(m.out_max[1], 5.0);
+        assert_eq!(m.out_min[1], 0.0);
+        assert_eq!(m.out_error(0, 1), 5.0);
+    }
+
+    #[test]
+    fn mean_error_leq_max_error() {
+        let g = generators::barabasi_albert(200, 3, 7);
+        let p = Partition::from_assignment(
+            &(0..200).map(|v| (v % 5) as u32).collect::<Vec<_>>(),
+        );
+        let report = q_error_report(&g, &p);
+        assert!(report.mean_q <= report.max_q);
+        assert!(report.mean_q >= 0.0);
+    }
+
+    #[test]
+    fn relative_error_of_star_partition() {
+        // Star with center 0 and 4 leaves, all nodes in one color: degrees
+        // into the color are {4, 1, 1, 1, 1}, so the relative spread is
+        // ln(4 / 1).
+        let mut b = GraphBuilder::new_undirected(5);
+        for leaf in 1..5 {
+            b.add_edge(0, leaf, 1.0);
+        }
+        let g = b.build();
+        let unit = Partition::unit(5);
+        let m = DegreeMatrices::compute(&g, &unit);
+        assert!((m.out_relative_error(0, 0) - 4.0f64.ln()).abs() < 1e-12);
+        assert!((max_relative_error(&g, &unit) - 4.0f64.ln()).abs() < 1e-12);
+        // The stable coloring {center}, {leaves} has zero relative error.
+        let p = Partition::from_classes(5, vec![vec![0], vec![1, 2, 3, 4]]);
+        assert_eq!(max_relative_error(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn relative_error_infinite_when_zero_mixes_with_nonzero() {
+        // Node 1 has no edge into color {2}, node 0 does: zero is only
+        // ε-similar to zero, so the relative error is infinite while the
+        // absolute error is finite.
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 2, 5.0);
+        let g = b.build();
+        let p = Partition::from_classes(3, vec![vec![0, 1], vec![2]]);
+        assert_eq!(max_q_error(&g, &p), 5.0);
+        assert!(max_relative_error(&g, &p).is_infinite());
+    }
+
+    #[test]
+    fn stable_coloring_has_zero_q() {
+        let g = generators::colored_regular(10, 8, 4, 2, 3);
+        let p = crate::stable::stable_coloring(&g);
+        assert_eq!(max_q_error(&g, &p), 0.0);
+        assert_eq!(mean_q_error(&g, &p), 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Reduced-graph construction (Sec. 3.2).
+//!
+//! Given a coloring `P = {P_1..P_k}` of a weighted directed graph `G`, the
+//! reduced graph `Ĝ` has one node per color and an edge between colors `i`
+//! and `j` whenever some node of `P_i` has an edge into `P_j`. Different
+//! applications use different edge weights on `Ĝ`; this module implements the
+//! weightings used in the paper:
+//!
+//! * [`ReductionWeighting::Sum`] — `ŵ(i,j) = w(P_i, P_j)`; used as the
+//!   capacity `ĉ₂` for the max-flow upper bound (Theorem 6).
+//! * [`ReductionWeighting::SqrtNormalized`] — `w(P_i,P_j) / √(|P_i|·|P_j|)`;
+//!   the LP reduction of Eq. (4)/(6).
+//! * [`ReductionWeighting::TargetAverage`] — `w(P_i,P_j) / |P_j|`; the
+//!   Grohe et al. variant discussed after Theorem 4.
+//! * [`ReductionWeighting::SourceAverage`] — `w(P_i,P_j) / |P_i|`; the
+//!   average out-weight of a node of `P_i` into `P_j`, useful for
+//!   random-walk style applications.
+
+use crate::partition::Partition;
+use crate::q_error::DegreeMatrices;
+use qsc_graph::{Graph, GraphBuilder};
+
+/// Weighting scheme for the reduced graph's edges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReductionWeighting {
+    /// Total weight between the colors.
+    #[default]
+    Sum,
+    /// Total weight divided by `sqrt(|P_i| * |P_j|)` (the LP reduction).
+    SqrtNormalized,
+    /// Total weight divided by the size of the target color.
+    TargetAverage,
+    /// Total weight divided by the size of the source color.
+    SourceAverage,
+}
+
+impl ReductionWeighting {
+    /// Apply the weighting to a raw inter-color weight.
+    pub fn apply(&self, sum: f64, size_i: usize, size_j: usize) -> f64 {
+        match self {
+            ReductionWeighting::Sum => sum,
+            ReductionWeighting::SqrtNormalized => sum / ((size_i * size_j) as f64).sqrt(),
+            ReductionWeighting::TargetAverage => sum / size_j as f64,
+            ReductionWeighting::SourceAverage => sum / size_i as f64,
+        }
+    }
+}
+
+/// Construct the reduced graph of `g` under coloring `p` with the given edge
+/// weighting. The reduced graph is always directed (color-pair weights are
+/// not symmetric in general even for undirected inputs once normalized).
+pub fn reduced_graph(g: &Graph, p: &Partition, weighting: ReductionWeighting) -> Graph {
+    reduced_graph_with(g, p, |_, _, sum, size_i, size_j| weighting.apply(sum, size_i, size_j))
+}
+
+/// Construct the reduced graph with a custom weighting callback
+/// `f(i, j, w(P_i,P_j), |P_i|, |P_j|) -> ŵ(i,j)`. Returning `0.0` omits the
+/// edge.
+pub fn reduced_graph_with<F>(g: &Graph, p: &Partition, mut weight: F) -> Graph
+where
+    F: FnMut(usize, usize, f64, usize, usize) -> f64,
+{
+    assert_eq!(p.num_nodes(), g.num_nodes(), "partition does not match graph");
+    let k = p.num_colors();
+    let matrices = DegreeMatrices::compute(g, p);
+    let mut b = GraphBuilder::new_directed(k);
+    for i in 0..k {
+        for j in 0..k {
+            let sum = matrices.pair_weight(i, j);
+            if matrices.nonzero[i * k + j] == 0 && sum == 0.0 {
+                continue;
+            }
+            let w = weight(i, j, sum, p.size(i as u32), p.size(j as u32));
+            if w != 0.0 {
+                b.add_edge(i as u32, j as u32, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The raw `k × k` inter-color weight matrix `w(P_i, P_j)` (row-major).
+pub fn quotient_matrix(g: &Graph, p: &Partition) -> Vec<f64> {
+    DegreeMatrices::compute(g, p).sum
+}
+
+/// Lift per-color values back to per-node values: node `v` receives the
+/// value of its color.
+pub fn lift_color_values(p: &Partition, color_values: &[f64]) -> Vec<f64> {
+    assert_eq!(color_values.len(), p.num_colors());
+    (0..p.num_nodes())
+        .map(|v| color_values[p.color_of(v as u32) as usize])
+        .collect()
+}
+
+/// Lift per-color values, dividing each color's value evenly among its
+/// members (so that the lifted values sum to the color values' sum).
+pub fn lift_color_values_scaled(p: &Partition, color_values: &[f64]) -> Vec<f64> {
+    assert_eq!(color_values.len(), p.num_colors());
+    (0..p.num_nodes())
+        .map(|v| {
+            let c = p.color_of(v as u32);
+            color_values[c as usize] / p.size(c) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rothko::{Rothko, RothkoConfig};
+    use crate::stable::stable_coloring;
+    use qsc_graph::generators;
+    use qsc_graph::GraphBuilder;
+
+    #[test]
+    fn sum_weighting_preserves_total_weight() {
+        let g = generators::karate_club();
+        let coloring = Rothko::new(RothkoConfig::with_max_colors(6)).run(&g);
+        let reduced = reduced_graph(&g, &coloring.partition, ReductionWeighting::Sum);
+        assert_eq!(reduced.num_nodes(), 6);
+        // The reduced graph's total weight equals the total arc weight of the
+        // original (each undirected edge counted twice, as in the original).
+        assert!((reduced.total_weight() - g.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stable_coloring_reduction_is_exact_quotient() {
+        // For a stable coloring, every node of P_i has the same weight into
+        // P_j, so w(P_i,P_j) = |P_i| * (per-node weight) and the
+        // SourceAverage weighting recovers that per-node weight exactly.
+        let g = generators::colored_regular(8, 6, 4, 2, 9);
+        let p = stable_coloring(&g);
+        let reduced = reduced_graph(&g, &p, ReductionWeighting::SourceAverage);
+        for i in 0..p.num_colors() as u32 {
+            let v = p.members(i)[0];
+            for j in 0..p.num_colors() as u32 {
+                let per_node: f64 = g
+                    .out_edges(v)
+                    .filter(|&(t, _)| p.color_of(t) == j)
+                    .map(|(_, w)| w)
+                    .sum();
+                assert!(
+                    (reduced.weight(i, j) - per_node).abs() < 1e-9,
+                    "quotient weight mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_normalization_matches_formula() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 2, 2.0);
+        b.add_edge(1, 2, 4.0);
+        b.add_edge(1, 3, 6.0);
+        let g = b.build();
+        let p = crate::Partition::from_classes(4, vec![vec![0, 1], vec![2, 3]]);
+        let r = reduced_graph(&g, &p, ReductionWeighting::SqrtNormalized);
+        // w(P0, P1) = 12, |P0| = |P1| = 2 => 12 / 2 = 6.
+        assert!((r.weight(0, 1) - 6.0).abs() < 1e-12);
+        assert_eq!(r.weight(1, 0), 0.0);
+    }
+
+    #[test]
+    fn weighting_apply_variants() {
+        assert_eq!(ReductionWeighting::Sum.apply(12.0, 3, 4), 12.0);
+        assert_eq!(ReductionWeighting::TargetAverage.apply(12.0, 3, 4), 3.0);
+        assert_eq!(ReductionWeighting::SourceAverage.apply(12.0, 3, 4), 4.0);
+        assert!((ReductionWeighting::SqrtNormalized.apply(12.0, 3, 4) - 12.0 / 12f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lift_functions_round_trip() {
+        let p = crate::Partition::from_assignment(&[0, 0, 1, 1, 1]);
+        let values = vec![10.0, 30.0];
+        let lifted = lift_color_values(&p, &values);
+        assert_eq!(lifted, vec![10.0, 10.0, 30.0, 30.0, 30.0]);
+        let scaled = lift_color_values_scaled(&p, &values);
+        assert_eq!(scaled, vec![5.0, 5.0, 10.0, 10.0, 10.0]);
+        let total: f64 = scaled.iter().sum();
+        assert!((total - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quotient_matrix_row_sums() {
+        let g = generators::karate_club();
+        let p = crate::Partition::from_assignment(
+            &(0..34).map(|v| (v % 3) as u32).collect::<Vec<_>>(),
+        );
+        let q = quotient_matrix(&g, &p);
+        let total: f64 = q.iter().sum();
+        assert_eq!(total, g.total_weight());
+    }
+}

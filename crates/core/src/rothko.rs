@@ -1,0 +1,625 @@
+//! The **Rothko** algorithm (Algorithm 1 of the paper): a heuristic, anytime
+//! procedure for computing quasi-stable colorings.
+//!
+//! Computing a *maximal* q-stable coloring is NP-hard (Theorem 12), so Rothko
+//! instead refines greedily: starting from the single-color partition it
+//! repeatedly finds the *witness* — the pair of colors `(P_i, P_j)` with the
+//! largest (optionally size-weighted) degree error — and splits the offending
+//! color at the mean of its degrees towards the witness target. The process
+//! stops when a target number of colors or a target maximum error is reached.
+//!
+//! The algorithm is *anytime*: interrupting it at any point yields a valid
+//! coloring, and the longer it runs the smaller the error. [`RothkoRun`]
+//! exposes the per-step interface used by the responsiveness experiment
+//! (Table 6) and by interactive applications.
+
+use crate::partition::Partition;
+use crate::q_error::{q_error_report, DegreeMatrices};
+use qsc_graph::{Graph, NodeId};
+
+/// How to pick the split threshold inside the witness color.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SplitMean {
+    /// Split at the arithmetic mean of the degrees (the paper's default).
+    #[default]
+    Arithmetic,
+    /// Split at the geometric mean of the positive degrees. The paper notes
+    /// this yields more balanced splits on scale-free graphs, where the
+    /// arithmetic mean is dragged far above the median degree.
+    Geometric,
+}
+
+/// Configuration of the Rothko algorithm.
+#[derive(Clone, Debug)]
+pub struct RothkoConfig {
+    /// Stop when the coloring reaches this many colors (the paper's `n`).
+    pub max_colors: usize,
+    /// Stop when the maximum q-error drops to this value or below (the
+    /// paper's `ε`).
+    pub target_error: f64,
+    /// Weight exponent for the *source* color size in the witness choice
+    /// (the paper's `α`).
+    pub alpha: f64,
+    /// Weight exponent for the *target* color size in the witness choice
+    /// (the paper's `β`).
+    pub beta: f64,
+    /// Split-threshold rule.
+    pub split_mean: SplitMean,
+    /// Optional initial coloring to refine (defaults to one color).
+    pub initial: Option<Partition>,
+    /// Hard cap on the number of refinement steps (safety valve; `None`
+    /// means "until one of the stopping conditions is met").
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for RothkoConfig {
+    fn default() -> Self {
+        RothkoConfig {
+            max_colors: usize::MAX,
+            target_error: 0.0,
+            alpha: 0.0,
+            beta: 0.0,
+            split_mean: SplitMean::Arithmetic,
+            initial: None,
+            max_iterations: None,
+        }
+    }
+}
+
+impl RothkoConfig {
+    /// Stop at `max_colors` colors (no error target).
+    pub fn with_max_colors(max_colors: usize) -> Self {
+        RothkoConfig { max_colors, ..Default::default() }
+    }
+
+    /// Refine until the maximum q-error is at most `q` (no color cap).
+    pub fn with_target_error(q: f64) -> Self {
+        RothkoConfig { target_error: q, ..Default::default() }
+    }
+
+    /// The weighting the paper uses for max-flow problems: `α = β = 0`
+    /// (only the total capacity between colors matters, not their sizes).
+    pub fn for_max_flow(max_colors: usize) -> Self {
+        RothkoConfig { max_colors, alpha: 0.0, beta: 0.0, ..Default::default() }
+    }
+
+    /// The weighting the paper uses for linear programs: `α = 1, β = 0`
+    /// (prioritize splitting colors that cover many rows).
+    pub fn for_linear_program(max_colors: usize) -> Self {
+        RothkoConfig { max_colors, alpha: 1.0, beta: 0.0, ..Default::default() }
+    }
+
+    /// The weighting the paper uses for betweenness centrality: `α = β = 1`
+    /// (the number of paths depends on both color sizes).
+    pub fn for_centrality(max_colors: usize) -> Self {
+        RothkoConfig {
+            max_colors,
+            alpha: 1.0,
+            beta: 1.0,
+            split_mean: SplitMean::Geometric,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setter for the split rule.
+    pub fn split_mean(mut self, mean: SplitMean) -> Self {
+        self.split_mean = mean;
+        self
+    }
+
+    /// Builder-style setter for the error target.
+    pub fn target_error(mut self, q: f64) -> Self {
+        self.target_error = q;
+        self
+    }
+
+    /// Builder-style setter for the witness weights.
+    pub fn weights(mut self, alpha: f64, beta: f64) -> Self {
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// Builder-style setter for the initial partition.
+    pub fn initial(mut self, p: Partition) -> Self {
+        self.initial = Some(p);
+        self
+    }
+}
+
+/// The result of a Rothko run: a coloring plus its quality metrics.
+#[derive(Clone, Debug)]
+pub struct Coloring {
+    /// The computed partition.
+    pub partition: Partition,
+    /// The maximum q-error of the partition (smallest `q` such that it is
+    /// `q`-stable).
+    pub max_q_error: f64,
+    /// Mean q-error over color pairs with edges.
+    pub mean_q_error: f64,
+    /// Number of split steps performed.
+    pub iterations: usize,
+}
+
+impl Coloring {
+    /// Compression ratio `n : k`.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.partition.num_colors() == 0 {
+            return 1.0;
+        }
+        self.partition.num_nodes() as f64 / self.partition.num_colors() as f64
+    }
+}
+
+/// The Rothko quasi-stable coloring algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct Rothko {
+    config: RothkoConfig,
+}
+
+impl Rothko {
+    /// Create a runner with the given configuration.
+    pub fn new(config: RothkoConfig) -> Self {
+        Rothko { config }
+    }
+
+    /// Run the algorithm to completion on `g`.
+    pub fn run(&self, g: &Graph) -> Coloring {
+        self.start(g).run_to_completion()
+    }
+
+    /// Start an anytime run on `g`; call [`RothkoRun::step`] to advance.
+    pub fn start<'g>(&self, g: &'g Graph) -> RothkoRun<'g> {
+        RothkoRun::new(g, self.config.clone())
+    }
+}
+
+/// Identity of the witness chosen in one Rothko step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Witness {
+    /// Color that will be split.
+    split_color: u32,
+    /// The color towards which the degrees are measured.
+    other_color: u32,
+    /// `true` if the degrees are outgoing weights of `split_color` into
+    /// `other_color`, `false` if they are incoming weights from
+    /// `other_color`.
+    outgoing: bool,
+    /// The unweighted error of the pair.
+    error: f64,
+}
+
+/// An in-progress, resumable Rothko run.
+pub struct RothkoRun<'g> {
+    graph: &'g Graph,
+    config: RothkoConfig,
+    partition: Partition,
+    iterations: usize,
+    last_max_error: f64,
+    done: bool,
+}
+
+impl<'g> RothkoRun<'g> {
+    fn new(graph: &'g Graph, config: RothkoConfig) -> Self {
+        let n = graph.num_nodes();
+        let partition = match &config.initial {
+            Some(p) => {
+                assert_eq!(p.num_nodes(), n, "initial partition size mismatch");
+                p.clone()
+            }
+            None => Partition::unit(n.max(0)),
+        };
+        let done = n == 0;
+        RothkoRun {
+            graph,
+            config,
+            partition,
+            iterations: 0,
+            last_max_error: f64::INFINITY,
+            done,
+        }
+    }
+
+    /// The current coloring.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Maximum q-error observed at the start of the last step (∞ before the
+    /// first step).
+    pub fn current_error(&self) -> f64 {
+        self.last_max_error
+    }
+
+    /// Number of splits performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the run has reached a stopping condition.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Perform one refinement step. Returns `true` if a split was performed,
+    /// `false` if the run is finished (stopping condition reached or no
+    /// further split possible).
+    pub fn step(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        if self.partition.num_colors() >= self.config.max_colors
+            || self.partition.num_colors() >= self.graph.num_nodes()
+        {
+            self.done = true;
+            return false;
+        }
+        if let Some(max_iter) = self.config.max_iterations {
+            if self.iterations >= max_iter {
+                self.done = true;
+                return false;
+            }
+        }
+
+        let matrices = DegreeMatrices::compute(self.graph, &self.partition);
+        let witness = self.pick_witness(&matrices);
+        self.last_max_error = matrices.max_error();
+        if self.last_max_error <= self.config.target_error {
+            self.done = true;
+            return false;
+        }
+        let Some(witness) = witness else {
+            // No splittable pair (all remaining error is inside singleton
+            // colors, which cannot happen, or the graph is already stable).
+            self.done = true;
+            return false;
+        };
+
+        let degrees = self.witness_degrees(&witness);
+        if !self.split_at_mean(witness.split_color, &degrees) {
+            // Could not split (degenerate); stop rather than loop forever.
+            self.done = true;
+            return false;
+        }
+        self.iterations += 1;
+        true
+    }
+
+    /// Run until a stopping condition is reached and return the coloring.
+    pub fn run_to_completion(mut self) -> Coloring {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Stop now and package the current coloring with exact quality metrics.
+    pub fn finish(self) -> Coloring {
+        let report = q_error_report(self.graph, &self.partition);
+        Coloring {
+            partition: self.partition,
+            max_q_error: report.max_q,
+            mean_q_error: report.mean_q,
+            iterations: self.iterations,
+        }
+    }
+
+    /// Choose the witness pair maximizing the size-weighted error, skipping
+    /// pairs whose source color is a singleton (they cannot be split).
+    fn pick_witness(&self, m: &DegreeMatrices) -> Option<Witness> {
+        let k = m.k;
+        let alpha = self.config.alpha;
+        let beta = self.config.beta;
+        let size_pow = |c: usize, e: f64| -> f64 {
+            if e == 0.0 {
+                1.0
+            } else {
+                (self.partition.size(c as u32) as f64).powf(e)
+            }
+        };
+        let mut best: Option<(f64, Witness)> = None;
+        let mut consider = |weighted: f64, w: Witness| {
+            if w.error <= 0.0 {
+                return;
+            }
+            if self.partition.size(w.split_color) < 2 {
+                return;
+            }
+            match &best {
+                Some((bw, _)) if *bw >= weighted => {}
+                _ => best = Some((weighted, w)),
+            }
+        };
+        for i in 0..k {
+            for j in 0..k {
+                let eo = m.out_error(i, j);
+                if eo > 0.0 {
+                    let weighted = eo * size_pow(i, alpha) * size_pow(j, beta);
+                    consider(
+                        weighted,
+                        Witness {
+                            split_color: i as u32,
+                            other_color: j as u32,
+                            outgoing: true,
+                            error: eo,
+                        },
+                    );
+                }
+                let ei = m.in_error(i, j);
+                if ei > 0.0 {
+                    // The color being split is P_j (its nodes differ in their
+                    // incoming weight from P_i).
+                    let weighted = ei * size_pow(j, alpha) * size_pow(i, beta);
+                    consider(
+                        weighted,
+                        Witness {
+                            split_color: j as u32,
+                            other_color: i as u32,
+                            outgoing: false,
+                            error: ei,
+                        },
+                    );
+                }
+            }
+        }
+        best.map(|(_, w)| w)
+    }
+
+    /// Degrees of the witness color's members towards/from the other color.
+    fn witness_degrees(&self, w: &Witness) -> Vec<(NodeId, f64)> {
+        let members = self.partition.members(w.split_color);
+        let mut result = Vec::with_capacity(members.len());
+        for &v in members {
+            let mut d = 0.0;
+            if w.outgoing {
+                for (t, weight) in self.graph.out_edges(v) {
+                    if self.partition.color_of(t) == w.other_color {
+                        d += weight;
+                    }
+                }
+            } else {
+                for (s, weight) in self.graph.in_edges(v) {
+                    if self.partition.color_of(s) == w.other_color {
+                        d += weight;
+                    }
+                }
+            }
+            result.push((v, d));
+        }
+        result
+    }
+
+    /// Split the color at the configured mean of `degrees`. Falls back to the
+    /// arithmetic mean and then the mid-range if the preferred threshold
+    /// would produce an empty side.
+    fn split_at_mean(&mut self, color: u32, degrees: &[(NodeId, f64)]) -> bool {
+        let values: Vec<f64> = degrees.iter().map(|&(_, d)| d).collect();
+        let arithmetic = values.iter().sum::<f64>() / values.len() as f64;
+        let geometric = {
+            let positive: Vec<f64> = values.iter().copied().filter(|&d| d > 0.0).collect();
+            if positive.is_empty() {
+                arithmetic
+            } else {
+                (positive.iter().map(|d| d.ln()).sum::<f64>() / positive.len() as f64).exp()
+            }
+        };
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mid = (min + max) / 2.0;
+
+        let thresholds: [f64; 3] = match self.config.split_mean {
+            SplitMean::Arithmetic => [arithmetic, geometric, mid],
+            SplitMean::Geometric => [geometric, arithmetic, mid],
+        };
+        let degree_of: std::collections::HashMap<NodeId, f64> =
+            degrees.iter().copied().collect();
+        for &threshold in &thresholds {
+            let result =
+                self.partition.split_color(color, |v| degree_of[&v] > threshold);
+            if result.is_some() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::q_error::max_q_error;
+    use crate::stable::stable_coloring;
+    use qsc_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn karate_six_colors_matches_paper_scale() {
+        // Fig. 1b: 6 colors suffice for q = 3 on the karate club.
+        let g = generators::karate_club();
+        let coloring = Rothko::new(RothkoConfig::with_max_colors(6)).run(&g);
+        assert_eq!(coloring.partition.num_colors(), 6);
+        assert!(coloring.partition.validate());
+        // The heuristic should reach a single-digit q at 6 colors.
+        assert!(
+            coloring.max_q_error <= 6.0,
+            "q error too large: {}",
+            coloring.max_q_error
+        );
+        assert_eq!(coloring.max_q_error, max_q_error(&g, &coloring.partition));
+    }
+
+    #[test]
+    fn karate_leaders_get_own_color_eventually() {
+        // With enough colors the high-degree leaders (nodes 0 and 33) are
+        // separated from the low-degree members.
+        let g = generators::karate_club();
+        let coloring = Rothko::new(RothkoConfig::with_max_colors(6)).run(&g);
+        let p = &coloring.partition;
+        let leader_color = p.color_of(0);
+        let size = p.size(leader_color);
+        assert!(size <= 6, "leader color unexpectedly large: {size}");
+    }
+
+    #[test]
+    fn target_error_is_respected() {
+        let g = generators::barabasi_albert(300, 3, 11);
+        let coloring = Rothko::new(RothkoConfig::with_target_error(4.0)).run(&g);
+        assert!(
+            coloring.max_q_error <= 4.0,
+            "expected q <= 4, got {}",
+            coloring.max_q_error
+        );
+        assert!(coloring.partition.num_colors() < 300);
+    }
+
+    #[test]
+    fn zero_error_target_reaches_stability() {
+        // Running with target error 0 must produce a stable coloring (same
+        // number of colors as classical color refinement or finer).
+        let g = generators::karate_club();
+        let coloring = Rothko::new(RothkoConfig::with_target_error(0.0)).run(&g);
+        assert_eq!(coloring.max_q_error, 0.0);
+        let stable = stable_coloring(&g);
+        // Rothko's greedy splits cannot be coarser than the coarsest stable
+        // coloring.
+        assert!(coloring.partition.num_colors() >= stable.num_colors());
+    }
+
+    #[test]
+    fn colored_regular_recovers_blueprint() {
+        // The Fig. 2 graph has a perfect stable coloring with `groups`
+        // colors; Rothko with that color budget should find a near-zero
+        // error.
+        let g = generators::colored_regular(10, 10, 4, 3, 5);
+        let coloring = Rothko::new(RothkoConfig::with_max_colors(10)).run(&g);
+        assert!(coloring.partition.num_colors() <= 10);
+        assert!(
+            coloring.max_q_error <= 3.0,
+            "error {} too large for a block-regular graph",
+            coloring.max_q_error
+        );
+    }
+
+    #[test]
+    fn anytime_interface_progresses() {
+        let g = generators::barabasi_albert(200, 3, 3);
+        let rothko = Rothko::new(RothkoConfig::with_max_colors(20));
+        let mut run = rothko.start(&g);
+        let mut colors_seen = vec![run.partition().num_colors()];
+        while run.step() {
+            colors_seen.push(run.partition().num_colors());
+            assert!(run.partition().validate());
+        }
+        assert!(run.is_done());
+        // Every step adds exactly one color.
+        for w in colors_seen.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+        let final_coloring = run.finish();
+        assert_eq!(final_coloring.partition.num_colors(), 20);
+        assert_eq!(final_coloring.iterations, 19);
+    }
+
+    #[test]
+    fn fig6_two_maximal_colorings_graph() {
+        // Fig. 6: top rows of n, n+1, n+2 nodes each pointing from a distinct
+        // bottom node. With q = 1 the bottom nodes {1,2,3} cannot all share a
+        // color but a 2/1 split is enough.
+        let n = 5usize;
+        let total = 3 + (n) + (n + 1) + (n + 2);
+        let mut b = GraphBuilder::new_directed(total);
+        let mut next = 3u32;
+        for (bottom, count) in [(0u32, n), (1u32, n + 1), (2u32, n + 2)] {
+            for _ in 0..count {
+                b.add_edge(bottom, next, 1.0);
+                next += 1;
+            }
+        }
+        let g = b.build();
+        let coloring = Rothko::new(RothkoConfig::with_target_error(1.0)).run(&g);
+        assert!(coloring.max_q_error <= 1.0);
+        // Bottom nodes must be split into exactly two colors ({1,2},{3} or
+        // {1},{2,3}); top nodes can all share one color.
+        let bottom_colors: std::collections::HashSet<u32> =
+            [0, 1, 2].iter().map(|&v| coloring.partition.color_of(v)).collect();
+        assert_eq!(bottom_colors.len(), 2);
+    }
+
+    #[test]
+    fn geometric_split_balances_scale_free() {
+        let g = generators::barabasi_albert(500, 3, 17);
+        let arith = Rothko::new(
+            RothkoConfig::with_max_colors(8).split_mean(SplitMean::Arithmetic),
+        )
+        .run(&g);
+        let geo = Rothko::new(
+            RothkoConfig::with_max_colors(8).split_mean(SplitMean::Geometric),
+        )
+        .run(&g);
+        // Both are valid 8-color colorings.
+        assert_eq!(arith.partition.num_colors(), 8);
+        assert_eq!(geo.partition.num_colors(), 8);
+        // The geometric split should produce a more balanced partition: its
+        // largest color should not be larger than the arithmetic one's by
+        // more than a small factor (typically it is much smaller).
+        let max_arith = arith.partition.sizes().into_iter().max().unwrap();
+        let max_geo = geo.partition.sizes().into_iter().max().unwrap();
+        assert!(max_geo <= max_arith + 50, "geometric {max_geo} vs arithmetic {max_arith}");
+    }
+
+    #[test]
+    fn respects_initial_partition() {
+        let g = generators::karate_club();
+        let init = Partition::from_assignment(
+            &(0..34).map(|v| if v == 0 { 0 } else { 1 }).collect::<Vec<_>>(),
+        );
+        let config = RothkoConfig::with_max_colors(5).initial(init.clone());
+        let coloring = Rothko::new(config).run(&g);
+        assert!(coloring.partition.is_refinement_of(&init));
+        assert_eq!(coloring.partition.num_colors(), 5);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let empty = qsc_graph::Graph::empty(0, false);
+        let c = Rothko::new(RothkoConfig::with_max_colors(5)).run(&empty);
+        assert_eq!(c.partition.num_colors(), 0);
+
+        let single = qsc_graph::Graph::empty(1, false);
+        let c = Rothko::new(RothkoConfig::with_max_colors(5)).run(&single);
+        assert_eq!(c.partition.num_colors(), 1);
+        assert_eq!(c.max_q_error, 0.0);
+    }
+
+    #[test]
+    fn max_iterations_caps_work() {
+        let g = generators::barabasi_albert(300, 3, 23);
+        let config = RothkoConfig {
+            max_colors: usize::MAX,
+            target_error: 0.0,
+            max_iterations: Some(5),
+            ..Default::default()
+        };
+        let c = Rothko::new(config).run(&g);
+        assert_eq!(c.iterations, 5);
+        assert_eq!(c.partition.num_colors(), 6);
+    }
+
+    #[test]
+    fn directed_graph_witnesses_both_directions() {
+        // A directed graph where the only error is in the incoming
+        // direction: two sinks with different in-degrees.
+        let mut b = GraphBuilder::new_directed(6);
+        // Sources 0..3 all point to sink 4; source 3 also points to sink 5.
+        b.add_edge(0, 4, 1.0);
+        b.add_edge(1, 4, 1.0);
+        b.add_edge(2, 4, 1.0);
+        b.add_edge(3, 4, 1.0);
+        b.add_edge(3, 5, 1.0);
+        let g = b.build();
+        let c = Rothko::new(RothkoConfig::with_target_error(0.0)).run(&g);
+        assert_eq!(c.max_q_error, 0.0);
+        // Sinks 4 and 5 must end in different colors (different in-degrees),
+        // and source 3 must differ from sources 0-2 (different out-degree).
+        assert_ne!(c.partition.color_of(4), c.partition.color_of(5));
+        assert_ne!(c.partition.color_of(3), c.partition.color_of(0));
+        assert_eq!(c.partition.color_of(0), c.partition.color_of(1));
+    }
+}

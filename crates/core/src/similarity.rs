@@ -1,0 +1,213 @@
+//! The similarity relations `∼` of Definition 1.
+//!
+//! A similarity relation is a reflexive, symmetric (not necessarily
+//! transitive) relation on the reals. A coloring is *`∼`-quasi-stable* when,
+//! for every pair of colors `(P_i, P_j)`, the bipartite graph between them is
+//! `∼`-regular: all outgoing weights from `P_i` to `P_j` are pairwise
+//! similar, and all incoming weights into `P_j` from `P_i` are pairwise
+//! similar.
+
+/// A reflexive and symmetric relation on `f64` values.
+pub trait Similarity {
+    /// Whether `u ∼ v`.
+    fn similar(&self, u: f64, v: f64) -> bool;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+/// Equality: `u ∼ v` iff `u == v`. `=`-quasi-stable colorings are exactly
+/// the classical stable colorings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Exact;
+
+impl Similarity for Exact {
+    fn similar(&self, u: f64, v: f64) -> bool {
+        u == v
+    }
+    fn name(&self) -> String {
+        "exact".to_string()
+    }
+}
+
+/// Absolute error bound: `u ∼_q v` iff `|u − v| ≤ q`. The paper's `q`-stable
+/// colorings.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Absolute {
+    /// Maximum allowed absolute difference.
+    pub q: f64,
+}
+
+impl Absolute {
+    /// Create a `q`-similarity. Panics if `q < 0`.
+    pub fn new(q: f64) -> Self {
+        assert!(q >= 0.0 && q.is_finite(), "q must be a finite non-negative number");
+        Absolute { q }
+    }
+}
+
+impl Similarity for Absolute {
+    fn similar(&self, u: f64, v: f64) -> bool {
+        (u - v).abs() <= self.q
+    }
+    fn name(&self) -> String {
+        format!("absolute(q={})", self.q)
+    }
+}
+
+/// Relative error bound: `u ∼_ε v` iff `u · e^{−ε} ≤ v ≤ u · e^{ε}`.
+/// Note zero is similar only to itself under this relation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Relative {
+    /// Maximum allowed log-ratio.
+    pub eps: f64,
+}
+
+impl Relative {
+    /// Create an `ε`-relative similarity. Panics if `eps < 0`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "eps must be a finite non-negative number");
+        Relative { eps }
+    }
+}
+
+impl Similarity for Relative {
+    fn similar(&self, u: f64, v: f64) -> bool {
+        if u == 0.0 || v == 0.0 {
+            return u == v;
+        }
+        if u.signum() != v.signum() {
+            return false;
+        }
+        let (a, b) = (u.abs(), v.abs());
+        b <= a * self.eps.exp() && b >= a * (-self.eps).exp()
+    }
+    fn name(&self) -> String {
+        format!("relative(eps={})", self.eps)
+    }
+}
+
+/// Bisimulation: `u ≡ v` iff both are zero or both are non-zero. A
+/// `≡`-quasi-stable coloring is a bisimulation on the graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Bisimulation;
+
+impl Similarity for Bisimulation {
+    fn similar(&self, u: f64, v: f64) -> bool {
+        (u == 0.0) == (v == 0.0)
+    }
+    fn name(&self) -> String {
+        "bisimulation".to_string()
+    }
+}
+
+/// Clamped congruence: `u ∼ v` iff `min(u, c) == min(v, c)`. This is a
+/// congruence w.r.t. addition restricted to non-negative reals and therefore
+/// (Theorem 12 (1)) admits a unique maximum quasi-stable coloring. With
+/// `c = 1` it coincides with bisimulation on 0/1 weights; with `c = ∞` it is
+/// exact equality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Clamped {
+    /// Clamp value.
+    pub c: f64,
+}
+
+impl Clamped {
+    /// Create a clamped congruence. Panics if `c < 0` or `c` is NaN.
+    pub fn new(c: f64) -> Self {
+        assert!(c >= 0.0 && !c.is_nan(), "clamp must be non-negative");
+        Clamped { c }
+    }
+}
+
+impl Similarity for Clamped {
+    fn similar(&self, u: f64, v: f64) -> bool {
+        u.min(self.c) == v.min(self.c)
+    }
+    fn name(&self) -> String {
+        format!("clamped(c={})", self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_reflexive_symmetric<S: Similarity>(s: &S, values: &[f64]) {
+        for &u in values {
+            assert!(s.similar(u, u), "{} not reflexive at {u}", s.name());
+            for &v in values {
+                assert_eq!(
+                    s.similar(u, v),
+                    s.similar(v, u),
+                    "{} not symmetric at ({u}, {v})",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    const SAMPLE: &[f64] = &[0.0, 0.5, 1.0, 2.0, 3.5, 10.0, 100.0];
+
+    #[test]
+    fn exact_is_equality() {
+        let s = Exact;
+        check_reflexive_symmetric(&s, SAMPLE);
+        assert!(s.similar(2.0, 2.0));
+        assert!(!s.similar(2.0, 2.0001));
+    }
+
+    #[test]
+    fn absolute_threshold() {
+        let s = Absolute::new(2.0);
+        check_reflexive_symmetric(&s, SAMPLE);
+        assert!(s.similar(1.0, 3.0));
+        assert!(s.similar(3.0, 1.0));
+        assert!(!s.similar(1.0, 3.5));
+        // Not transitive: 0 ~ 2 and 2 ~ 4 but 0 !~ 4.
+        assert!(s.similar(0.0, 2.0) && s.similar(2.0, 4.0) && !s.similar(0.0, 4.0));
+    }
+
+    #[test]
+    fn relative_threshold() {
+        let s = Relative::new(0.1);
+        check_reflexive_symmetric(&s, SAMPLE);
+        assert!(s.similar(100.0, 105.0));
+        assert!(!s.similar(100.0, 120.0));
+        // Zero is similar only to itself.
+        assert!(s.similar(0.0, 0.0));
+        assert!(!s.similar(0.0, 0.001));
+    }
+
+    #[test]
+    fn bisimulation_zero_pattern() {
+        let s = Bisimulation;
+        check_reflexive_symmetric(&s, SAMPLE);
+        assert!(s.similar(3.0, 900.0));
+        assert!(!s.similar(0.0, 900.0));
+        assert!(s.similar(0.0, 0.0));
+    }
+
+    #[test]
+    fn clamped_congruence() {
+        let s = Clamped::new(3.0);
+        check_reflexive_symmetric(&s, SAMPLE);
+        assert!(s.similar(5.0, 17.0)); // both clamp to 3
+        assert!(!s.similar(2.0, 5.0));
+        assert!(s.similar(1.0, 1.0));
+        // Congruence property: x ~ y => x + z ~ y + z (on a few samples).
+        for &(x, y) in &[(5.0, 17.0), (1.0, 1.0), (4.0, 8.0)] {
+            if s.similar(x, y) {
+                for &z in &[0.0, 1.0, 2.5] {
+                    assert!(s.similar(x + z, y + z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn absolute_rejects_negative_q() {
+        Absolute::new(-1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Coloring statistics (Sec. 6.2 "Coloring Characteristics", Table 4).
+
+use crate::partition::Partition;
+
+/// Summary statistics of a coloring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColoringStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of colors.
+    pub colors: usize,
+    /// Compression ratio `nodes / colors`.
+    pub compression_ratio: f64,
+    /// Size of the largest color.
+    pub max_color_size: usize,
+    /// Median color size.
+    pub median_color_size: usize,
+    /// Mean color size.
+    pub mean_color_size: f64,
+    /// Number of singleton colors.
+    pub singletons: usize,
+    /// Fraction of nodes living in singleton colors.
+    pub singleton_node_fraction: f64,
+}
+
+/// Compute [`ColoringStats`] for a partition.
+pub fn coloring_stats(p: &Partition) -> ColoringStats {
+    let nodes = p.num_nodes();
+    let colors = p.num_colors();
+    let sizes = p.sizes();
+    let max_color_size = sizes.iter().copied().max().unwrap_or(0);
+    let mut sorted = sizes.clone();
+    sorted.sort_unstable();
+    let median_color_size = if sorted.is_empty() { 0 } else { sorted[sorted.len() / 2] };
+    let singletons = sizes.iter().filter(|&&s| s == 1).count();
+    ColoringStats {
+        nodes,
+        colors,
+        compression_ratio: if colors == 0 { 1.0 } else { nodes as f64 / colors as f64 },
+        max_color_size,
+        median_color_size,
+        mean_color_size: if colors == 0 { 0.0 } else { nodes as f64 / colors as f64 },
+        singletons,
+        singleton_node_fraction: if nodes == 0 { 0.0 } else { singletons as f64 / nodes as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_balanced_partition() {
+        let p = Partition::from_assignment(&[0, 0, 1, 1, 2, 2]);
+        let s = coloring_stats(&p);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.colors, 3);
+        assert_eq!(s.compression_ratio, 2.0);
+        assert_eq!(s.max_color_size, 2);
+        assert_eq!(s.median_color_size, 2);
+        assert_eq!(s.singletons, 0);
+    }
+
+    #[test]
+    fn stats_counts_singletons() {
+        let p = Partition::from_assignment(&[0, 1, 2, 2, 2]);
+        let s = coloring_stats(&p);
+        assert_eq!(s.singletons, 2);
+        assert!((s.singleton_node_fraction - 0.4).abs() < 1e-12);
+        assert_eq!(s.max_color_size, 3);
+    }
+
+    #[test]
+    fn stats_of_discrete_partition() {
+        let p = Partition::discrete(10);
+        let s = coloring_stats(&p);
+        assert_eq!(s.compression_ratio, 1.0);
+        assert_eq!(s.singletons, 10);
+    }
+}

@@ -1,0 +1,281 @@
+//! Dataset registry: descriptors (mirroring Tables 2 and 3) and loaders that
+//! build the synthetic stand-ins.
+
+use qsc_flow::FlowNetwork;
+use qsc_graph::{generators, Graph};
+use qsc_lp::generators as lp_gen;
+use qsc_lp::LpProblem;
+
+/// Which experiment family a dataset belongs to (the grouping of Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Task {
+    /// General evaluation (compression characteristics, Table 4).
+    General,
+    /// Betweenness-centrality experiments.
+    Centrality,
+    /// Max-flow experiments.
+    MaxFlow,
+    /// Linear-programming experiments.
+    LinearProgram,
+}
+
+/// Loading scale.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scale {
+    /// Small instances for unit/integration tests (hundreds to a few
+    /// thousand nodes).
+    Small,
+    /// The sizes used by the benchmark harness (thousands to tens of
+    /// thousands of nodes).
+    #[default]
+    Full,
+}
+
+/// Error from the registry loaders.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// The requested dataset name is not in the registry.
+    UnknownDataset(String),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::UnknownDataset(name) => write!(f, "unknown dataset: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Descriptor of a graph dataset (a row of Table 2).
+#[derive(Clone, Debug)]
+pub struct GraphDatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Experiment family.
+    pub task: Task,
+    /// Node count reported in Table 2.
+    pub paper_nodes: usize,
+    /// Edge count reported in Table 2.
+    pub paper_edges: usize,
+    /// Whether the paper's instance is real data (`R`) or simulated (`S`).
+    pub real: bool,
+    /// The generator family used for the stand-in.
+    pub stand_in: &'static str,
+}
+
+/// Descriptor of a max-flow dataset (the max-flow block of Table 2).
+#[derive(Clone, Debug)]
+pub struct FlowDatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Node count reported in Table 2.
+    pub paper_nodes: usize,
+    /// Edge count reported in Table 2.
+    pub paper_edges: usize,
+    /// Grid dimensions of the stand-in at full scale.
+    pub grid: (usize, usize),
+    /// Seed for the stand-in.
+    pub seed: u64,
+}
+
+/// Descriptor of an LP dataset (a row of Table 3).
+#[derive(Clone, Debug)]
+pub struct LpDatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Rows reported in Table 3.
+    pub paper_rows: usize,
+    /// Columns reported in Table 3.
+    pub paper_cols: usize,
+    /// Non-zeros reported in Table 3.
+    pub paper_nonzeros: usize,
+    /// Exact solution time reported in Table 3 (minutes).
+    pub paper_solve_minutes: f64,
+    /// The generator family used for the stand-in.
+    pub stand_in: &'static str,
+}
+
+/// The graph datasets of Table 2 that are loaded as plain graphs
+/// (general-evaluation + centrality groups).
+pub fn graph_datasets() -> Vec<GraphDatasetSpec> {
+    vec![
+        GraphDatasetSpec { name: "karate", task: Task::General, paper_nodes: 34, paper_edges: 78, real: true, stand_in: "exact edge list" },
+        GraphDatasetSpec { name: "openflights", task: Task::General, paper_nodes: 3_425, paper_edges: 38_513, real: true, stand_in: "hub-and-spoke" },
+        GraphDatasetSpec { name: "dblp", task: Task::General, paper_nodes: 317_080, paper_edges: 1_049_866, real: true, stand_in: "power-law cluster" },
+        GraphDatasetSpec { name: "astrophysics", task: Task::Centrality, paper_nodes: 18_772, paper_edges: 198_110, real: true, stand_in: "power-law cluster" },
+        GraphDatasetSpec { name: "facebook", task: Task::Centrality, paper_nodes: 22_470, paper_edges: 171_002, real: true, stand_in: "power-law cluster" },
+        GraphDatasetSpec { name: "deezer", task: Task::Centrality, paper_nodes: 28_281, paper_edges: 92_752, real: true, stand_in: "Barabási–Albert" },
+        GraphDatasetSpec { name: "enron", task: Task::Centrality, paper_nodes: 36_692, paper_edges: 183_831, real: true, stand_in: "power-law cluster" },
+        GraphDatasetSpec { name: "epinions", task: Task::Centrality, paper_nodes: 75_879, paper_edges: 508_837, real: true, stand_in: "Barabási–Albert" },
+    ]
+}
+
+/// The max-flow datasets of Table 2.
+pub fn flow_datasets() -> Vec<FlowDatasetSpec> {
+    vec![
+        FlowDatasetSpec { name: "tsukuba0", paper_nodes: 110_594, paper_edges: 506_546, grid: (96, 80), seed: 100 },
+        FlowDatasetSpec { name: "tsukuba2", paper_nodes: 110_594, paper_edges: 500_544, grid: (96, 80), seed: 102 },
+        FlowDatasetSpec { name: "venus0", paper_nodes: 166_224, paper_edges: 787_946, grid: (104, 88), seed: 110 },
+        FlowDatasetSpec { name: "venus1", paper_nodes: 166_224, paper_edges: 787_716, grid: (104, 88), seed: 111 },
+        FlowDatasetSpec { name: "sawtooth0", paper_nodes: 164_922, paper_edges: 790_296, grid: (104, 88), seed: 120 },
+        FlowDatasetSpec { name: "sawtooth1", paper_nodes: 164_922, paper_edges: 789_014, grid: (104, 88), seed: 121 },
+        FlowDatasetSpec { name: "simcells", paper_nodes: 903_962, paper_edges: 6_738_294, grid: (128, 104), seed: 130 },
+        FlowDatasetSpec { name: "cells", paper_nodes: 3_582_102, paper_edges: 31_537_228, grid: (144, 120), seed: 131 },
+    ]
+}
+
+/// The LP datasets of Table 3.
+pub fn lp_datasets() -> Vec<LpDatasetSpec> {
+    vec![
+        LpDatasetSpec { name: "qap15", paper_rows: 6_331, paper_cols: 22_275, paper_nonzeros: 110_700, paper_solve_minutes: 22.0, stand_in: "assignment-like" },
+        LpDatasetSpec { name: "nug08-3rd", paper_rows: 19_728, paper_cols: 20_448, paper_nonzeros: 139_008, paper_solve_minutes: 100.0, stand_in: "assignment-like" },
+        LpDatasetSpec { name: "supportcase10", paper_rows: 10_713, paper_cols: 1_429_098, paper_nonzeros: 4_287_094, paper_solve_minutes: 31.0, stand_in: "covering-like" },
+        LpDatasetSpec { name: "ex10", paper_rows: 69_609, paper_cols: 17_680, paper_nonzeros: 1_179_680, paper_solve_minutes: 24.0, stand_in: "transport-like" },
+    ]
+}
+
+/// Load the stand-in graph for a graph dataset.
+pub fn load_graph(name: &str, scale: Scale) -> Result<Graph, DatasetError> {
+    let (small, full) = match name {
+        "karate" => return Ok(generators::karate_club()),
+        "openflights" => ((400, 20, 3), (3_400, 60, 5)),
+        "dblp" => ((800, 3, 0), (8_000, 3, 0)),
+        "astrophysics" => ((700, 5, 0), (6_000, 7, 0)),
+        "facebook" => ((700, 4, 0), (6_000, 6, 0)),
+        "deezer" => ((800, 2, 0), (7_000, 3, 0)),
+        "enron" => ((800, 3, 0), (7_000, 5, 0)),
+        "epinions" => ((900, 3, 0), (8_000, 5, 0)),
+        other => return Err(DatasetError::UnknownDataset(other.to_string())),
+    };
+    let (n, m, hubs) = match scale {
+        Scale::Small => small,
+        Scale::Full => full,
+    };
+    let seed = stable_seed(name);
+    let graph = match name {
+        "openflights" => generators::hub_and_spoke(n, m, 2, seed),
+        "deezer" | "epinions" => generators::barabasi_albert(n, m, seed),
+        _ => generators::powerlaw_cluster(n, m, 0.4, seed),
+    };
+    let _ = hubs;
+    Ok(graph)
+}
+
+/// Load the stand-in network for a max-flow dataset.
+pub fn load_flow(name: &str, scale: Scale) -> Result<FlowNetwork, DatasetError> {
+    let spec = flow_datasets()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| DatasetError::UnknownDataset(name.to_string()))?;
+    let (w, h) = match scale {
+        Scale::Small => (spec.grid.0 / 6, spec.grid.1 / 6),
+        Scale::Full => spec.grid,
+    };
+    let (net, _) = qsc_flow::generators::grid_flow_network(w.max(4), h.max(4), 3.0, 0.25, spec.seed);
+    Ok(net)
+}
+
+/// Load the stand-in problem for an LP dataset.
+pub fn load_lp(name: &str, scale: Scale) -> Result<LpProblem, DatasetError> {
+    let small = matches!(scale, Scale::Small);
+    let lp = match name {
+        "qap15" => lp_gen::assignment_like(if small { 8 } else { 200 }, 0.4, 200),
+        "nug08-3rd" => lp_gen::assignment_like(if small { 7 } else { 160 }, 0.8, 201),
+        "supportcase10" => {
+            if small {
+                lp_gen::covering_like(12, 240, 6, 0.08, 202)
+            } else {
+                lp_gen::covering_like(300, 12_000, 15, 0.08, 202)
+            }
+        }
+        "ex10" => {
+            if small {
+                lp_gen::transport_like(10, 8, 3, 203)
+            } else {
+                lp_gen::transport_like(250, 120, 5, 203)
+            }
+        }
+        other => return Err(DatasetError::UnknownDataset(other.to_string())),
+    };
+    Ok(lp)
+}
+
+/// Deterministic seed derived from the dataset name.
+fn stable_seed(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_twenty_datasets() {
+        let total = graph_datasets().len() + flow_datasets().len() + lp_datasets().len();
+        assert_eq!(total, 20, "the paper evaluates on 20 datasets");
+    }
+
+    #[test]
+    fn all_graph_datasets_load_small() {
+        for spec in graph_datasets() {
+            let g = load_graph(spec.name, Scale::Small).unwrap();
+            assert!(g.num_nodes() > 0, "{} is empty", spec.name);
+            assert!(g.num_edges() > 0, "{} has no edges", spec.name);
+        }
+    }
+
+    #[test]
+    fn all_flow_datasets_load_small() {
+        for spec in flow_datasets() {
+            let net = load_flow(spec.name, Scale::Small).unwrap();
+            assert!(net.num_nodes() > 10, "{} too small", spec.name);
+            assert!(net.source_capacity() > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_lp_datasets_load_small() {
+        for spec in lp_datasets() {
+            let lp = load_lp(spec.name, Scale::Small).unwrap();
+            assert!(lp.num_rows() > 0 && lp.num_cols() > 0, "{} empty", spec.name);
+            // The origin is feasible for every generated LP.
+            assert!(lp.is_feasible(&vec![0.0; lp.num_cols()], 1e-9));
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        assert!(load_graph("nope", Scale::Small).is_err());
+        assert!(load_flow("nope", Scale::Small).is_err());
+        assert!(load_lp("nope", Scale::Small).is_err());
+    }
+
+    #[test]
+    fn loads_are_deterministic() {
+        let a = load_graph("dblp", Scale::Small).unwrap();
+        let b = load_graph("dblp", Scale::Small).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        let f1 = load_flow("tsukuba0", Scale::Small).unwrap();
+        let f2 = load_flow("tsukuba0", Scale::Small).unwrap();
+        assert_eq!(f1.graph.total_weight(), f2.graph.total_weight());
+    }
+
+    #[test]
+    fn full_scale_is_larger_than_small() {
+        let s = load_graph("facebook", Scale::Small).unwrap();
+        let f = load_graph("facebook", Scale::Full).unwrap();
+        assert!(f.num_nodes() > s.num_nodes());
+        let lp_s = load_lp("qap15", Scale::Small).unwrap();
+        let lp_f = load_lp("qap15", Scale::Full).unwrap();
+        assert!(lp_f.num_cols() > lp_s.num_cols());
+    }
+
+    #[test]
+    fn covering_stand_in_is_wide() {
+        // supportcase10's defining feature: far more columns than rows.
+        let lp = load_lp("supportcase10", Scale::Full).unwrap();
+        assert!(lp.num_cols() > 10 * lp.num_rows());
+    }
+}

@@ -1,0 +1,234 @@
+//! Flow networks and the shared residual-graph representation.
+
+use qsc_graph::{Graph, NodeId};
+
+/// A max-flow problem instance: a directed capacity graph plus designated
+/// source and sink nodes.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    /// Directed graph whose edge weights are capacities (must be ≥ 0).
+    pub graph: Graph,
+    /// Source node.
+    pub source: NodeId,
+    /// Sink node.
+    pub sink: NodeId,
+}
+
+impl FlowNetwork {
+    /// Create a network, validating the source/sink and capacities.
+    pub fn new(graph: Graph, source: NodeId, sink: NodeId) -> Self {
+        assert!((source as usize) < graph.num_nodes(), "source out of range");
+        assert!((sink as usize) < graph.num_nodes(), "sink out of range");
+        assert_ne!(source, sink, "source and sink must differ");
+        debug_assert!(
+            graph.arcs().all(|(_, _, w)| w >= 0.0),
+            "capacities must be non-negative"
+        );
+        FlowNetwork { graph, source, sink }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of capacity arcs.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Total capacity leaving the source (a trivial upper bound on the
+    /// max-flow value).
+    pub fn source_capacity(&self) -> f64 {
+        self.graph.out_weight(self.source)
+    }
+}
+
+/// Result of a max-flow computation.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The maximum flow value.
+    pub value: f64,
+    /// Per-arc flow, aligned with [`ResidualGraph::original_arcs`] (the arcs
+    /// of the input graph in `Graph::arcs()` order).
+    pub flows: Vec<f64>,
+    /// Number of augmentations / relabel passes performed (algorithm
+    /// specific; used for reporting only).
+    pub iterations: usize,
+}
+
+/// A residual graph with paired forward/backward edges, shared by all the
+/// max-flow algorithms.
+#[derive(Clone, Debug)]
+pub struct ResidualGraph {
+    n: usize,
+    /// `head[e]` is the target of edge `e`; edges `2k` and `2k+1` are a
+    /// forward/backward pair.
+    head: Vec<u32>,
+    /// Remaining capacity of each edge.
+    cap: Vec<f64>,
+    /// Original capacity of each edge (for flow extraction).
+    orig_cap: Vec<f64>,
+    /// Adjacency lists of edge ids.
+    adj: Vec<Vec<u32>>,
+    /// Number of original arcs (= number of forward edges).
+    num_arcs: usize,
+}
+
+impl ResidualGraph {
+    /// Build the residual graph of a capacity graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut rg = ResidualGraph {
+            n,
+            head: Vec::new(),
+            cap: Vec::new(),
+            orig_cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            num_arcs: 0,
+        };
+        for (u, v, c) in g.arcs() {
+            rg.add_edge(u, v, c.max(0.0));
+        }
+        rg
+    }
+
+    /// Build an empty residual graph on `n` nodes (for hand-built networks).
+    pub fn with_nodes(n: usize) -> Self {
+        ResidualGraph {
+            n,
+            head: Vec::new(),
+            cap: Vec::new(),
+            orig_cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+            num_arcs: 0,
+        }
+    }
+
+    /// Add a directed capacity edge.
+    pub fn add_edge(&mut self, u: u32, v: u32, cap: f64) {
+        let e = self.head.len() as u32;
+        self.head.push(v);
+        self.cap.push(cap);
+        self.orig_cap.push(cap);
+        self.adj[u as usize].push(e);
+        self.head.push(u);
+        self.cap.push(0.0);
+        self.orig_cap.push(0.0);
+        self.adj[v as usize].push(e + 1);
+        self.num_arcs += 1;
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of original (forward) arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Edge ids incident to `u` (forward and backward).
+    #[inline]
+    pub fn edges_of(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Target node of edge `e`.
+    #[inline]
+    pub fn target(&self, e: u32) -> u32 {
+        self.head[e as usize]
+    }
+
+    /// Remaining capacity of edge `e`.
+    #[inline]
+    pub fn capacity(&self, e: u32) -> f64 {
+        self.cap[e as usize]
+    }
+
+    /// Push `amount` of flow along edge `e` (decreasing its capacity and
+    /// increasing the reverse edge's).
+    #[inline]
+    pub fn push(&mut self, e: u32, amount: f64) {
+        self.cap[e as usize] -= amount;
+        self.cap[(e ^ 1) as usize] += amount;
+    }
+
+    /// Flow currently routed through each original arc.
+    pub fn arc_flows(&self) -> Vec<f64> {
+        (0..self.num_arcs)
+            .map(|k| (self.orig_cap[2 * k] - self.cap[2 * k]).max(0.0))
+            .collect()
+    }
+
+    /// Nodes reachable from `source` in the residual graph (used to extract
+    /// a minimum cut after a max-flow computation).
+    pub fn residual_reachable(&self, source: u32, tol: f64) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![source];
+        seen[source as usize] = true;
+        while let Some(u) = stack.pop() {
+            for &e in self.edges_of(u) {
+                if self.cap[e as usize] > tol {
+                    let v = self.head[e as usize];
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsc_graph::GraphBuilder;
+
+    #[test]
+    fn network_construction() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 2, 3.0);
+        let net = FlowNetwork::new(b.build(), 0, 2);
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 2);
+        assert_eq!(net.source_capacity(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn source_equals_sink_rejected() {
+        let g = Graph::empty(2, true);
+        FlowNetwork::new(g, 1, 1);
+    }
+
+    #[test]
+    fn residual_push_and_flows() {
+        let mut rg = ResidualGraph::with_nodes(3);
+        rg.add_edge(0, 1, 5.0);
+        rg.add_edge(1, 2, 4.0);
+        assert_eq!(rg.num_arcs(), 2);
+        rg.push(0, 3.0);
+        assert_eq!(rg.capacity(0), 2.0);
+        assert_eq!(rg.capacity(1), 3.0);
+        assert_eq!(rg.arc_flows(), vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn reachability_respects_capacity() {
+        let mut rg = ResidualGraph::with_nodes(3);
+        rg.add_edge(0, 1, 1.0);
+        rg.add_edge(1, 2, 1.0);
+        rg.push(0, 1.0); // saturate 0 -> 1
+        let reach = rg.residual_reachable(0, 1e-12);
+        assert!(reach[0]);
+        assert!(!reach[1]);
+        assert!(!reach[2]);
+    }
+}

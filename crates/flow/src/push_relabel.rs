@@ -1,0 +1,214 @@
+//! Push–relabel maximum flow (FIFO active-node selection with the gap
+//! heuristic and periodic global relabeling).
+//!
+//! This is the stand-in for the `GraphsFlows` push-relabel baseline used by
+//! the paper's max-flow experiments; the paper notes that push-relabel
+//! cannot be stopped early because its pre-flows are not valid flows, which
+//! is exactly why the coloring-based approximation is attractive.
+
+use crate::network::{FlowNetwork, FlowResult, ResidualGraph};
+use std::collections::VecDeque;
+
+const EPS: f64 = 1e-12;
+
+/// Compute a maximum flow with the push–relabel algorithm.
+pub fn max_flow(network: &FlowNetwork) -> FlowResult {
+    let mut rg = ResidualGraph::from_graph(&network.graph);
+    let n = rg.num_nodes();
+    let source = network.source as usize;
+    let sink = network.sink as usize;
+
+    let mut height = vec![0usize; n];
+    let mut excess = vec![0.0f64; n];
+    let mut count = vec![0usize; 2 * n + 1]; // nodes per height (gap heuristic)
+    let mut active: VecDeque<u32> = VecDeque::new();
+    let mut in_queue = vec![false; n];
+    let mut relabels = 0usize;
+
+    // Initial global relabel: heights = BFS distance to the sink.
+    global_relabel(&rg, sink, source, &mut height, n);
+    for h in &height {
+        count[*h] += 1;
+    }
+
+    // Saturate all source-adjacent edges.
+    for &e in rg.edges_of(source as u32).to_vec().iter() {
+        let cap = rg.capacity(e);
+        if cap > EPS {
+            let v = rg.target(e) as usize;
+            rg.push(e, cap);
+            excess[v] += cap;
+            excess[source] -= cap;
+            if v != sink && v != source && !in_queue[v] {
+                active.push_back(v as u32);
+                in_queue[v] = true;
+            }
+        }
+    }
+
+    let mut work = 0usize;
+    let relabel_period = 6 * n + rg.num_arcs();
+
+    while let Some(u) = active.pop_front() {
+        let u = u as usize;
+        in_queue[u] = false;
+        if u == source || u == sink {
+            continue;
+        }
+        // Discharge u.
+        while excess[u] > EPS {
+            let mut pushed_any = false;
+            for &e in rg.edges_of(u as u32).to_vec().iter() {
+                if excess[u] <= EPS {
+                    break;
+                }
+                let v = rg.target(e) as usize;
+                if rg.capacity(e) > EPS && height[u] == height[v] + 1 {
+                    let amount = excess[u].min(rg.capacity(e));
+                    rg.push(e, amount);
+                    excess[u] -= amount;
+                    excess[v] += amount;
+                    pushed_any = true;
+                    if v != source && v != sink && !in_queue[v] {
+                        active.push_back(v as u32);
+                        in_queue[v] = true;
+                    }
+                }
+            }
+            if excess[u] <= EPS {
+                break;
+            }
+            if !pushed_any {
+                // Relabel u to one more than the lowest admissible neighbour.
+                let old_height = height[u];
+                let mut min_h = usize::MAX;
+                for &e in rg.edges_of(u as u32) {
+                    if rg.capacity(e) > EPS {
+                        min_h = min_h.min(height[rg.target(e) as usize]);
+                    }
+                }
+                if min_h == usize::MAX {
+                    // No outgoing residual capacity at all; park the node.
+                    height[u] = 2 * n;
+                    break;
+                }
+                count[old_height] -= 1;
+                height[u] = min_h + 1;
+                if height[u] > 2 * n {
+                    height[u] = 2 * n;
+                }
+                count[height[u]] += 1;
+                relabels += 1;
+                work += 1;
+                // Gap heuristic: if no node remains at old_height, lift every
+                // node above it (except the source) to n+1 so they stop
+                // trying to reach the sink.
+                if count[old_height] == 0 && old_height < n {
+                    for w in 0..n {
+                        if w != source && height[w] > old_height && height[w] <= n {
+                            count[height[w]] -= 1;
+                            height[w] = n + 1;
+                            count[height[w]] += 1;
+                        }
+                    }
+                }
+            }
+            work += 1;
+            if work >= relabel_period {
+                work = 0;
+                for h in count.iter_mut() {
+                    *h = 0;
+                }
+                global_relabel(&rg, sink, source, &mut height, n);
+                for h in &height {
+                    count[*h] += 1;
+                }
+            }
+        }
+        if excess[u] > EPS && height[u] < 2 * n && !in_queue[u] {
+            active.push_back(u as u32);
+            in_queue[u] = true;
+        }
+    }
+
+    let value = excess[sink];
+    FlowResult { value, flows: rg.arc_flows(), iterations: relabels }
+}
+
+/// Heights from a reverse BFS from the sink; unreachable nodes (and the
+/// source) get height `n`.
+fn global_relabel(rg: &ResidualGraph, sink: usize, source: usize, height: &mut [usize], n: usize) {
+    for h in height.iter_mut() {
+        *h = n;
+    }
+    height[sink] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(sink as u32);
+    while let Some(u) = queue.pop_front() {
+        for &e in rg.edges_of(u) {
+            // Edge e goes u -> v in the residual graph; we need residual
+            // capacity on the reverse edge v -> u for v to reach the sink
+            // through u.
+            let v = rg.target(e);
+            if rg.capacity(e ^ 1) > EPS && height[v as usize] == n && (v as usize) != source {
+                height[v as usize] = height[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    height[source] = n;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsc_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn clrs_network_value() {
+        let mut b = GraphBuilder::new_directed(6);
+        b.add_edge(0, 1, 16.0);
+        b.add_edge(0, 2, 13.0);
+        b.add_edge(1, 2, 10.0);
+        b.add_edge(2, 1, 4.0);
+        b.add_edge(1, 3, 12.0);
+        b.add_edge(3, 2, 9.0);
+        b.add_edge(2, 4, 14.0);
+        b.add_edge(4, 3, 7.0);
+        b.add_edge(3, 5, 20.0);
+        b.add_edge(4, 5, 4.0);
+        let net = FlowNetwork::new(b.build(), 0, 5);
+        let r = max_flow(&net);
+        assert!((r.value - 23.0).abs() < 1e-9, "got {}", r.value);
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_random_networks() {
+        for seed in 0..6 {
+            let g = generators::erdos_renyi_nm(40, 200, seed).to_directed();
+            let net = FlowNetwork::new(g, 0, 39);
+            let pr = max_flow(&net).value;
+            let dinic = crate::dinic::max_flow(&net).value;
+            assert!(
+                (pr - dinic).abs() < 1e-6,
+                "seed {seed}: push-relabel {pr} vs Dinic {dinic}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_on_grid_network() {
+        let (net, _) = crate::generators::grid_flow_network(8, 8, 4.0, 0.5, 3);
+        let pr = max_flow(&net).value;
+        let dinic = crate::dinic::max_flow(&net).value;
+        assert!((pr - dinic).abs() < 1e-6, "push-relabel {pr} vs Dinic {dinic}");
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut b = GraphBuilder::new_directed(2);
+        b.add_edge(0, 1, 7.5);
+        let net = FlowNetwork::new(b.build(), 0, 1);
+        assert!((max_flow(&net).value - 7.5).abs() < 1e-12);
+    }
+}

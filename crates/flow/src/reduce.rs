@@ -1,0 +1,297 @@
+//! Approximate max-flow via quasi-stable coloring (Sec. 4.2, Theorem 6).
+//!
+//! Given a network `G = (X, c, {s}, {t})` and a coloring in which the source
+//! and the sink have their own colors, Theorem 6 sandwiches the true
+//! max-flow between the max-flows of two reduced networks:
+//!
+//! * `Ĝ₂` with capacities `ĉ₂(i,j) = c(P_i, P_j)` (total inter-color
+//!   capacity) — an **upper bound**;
+//! * `Ĝ₁` with capacities `ĉ₁(i,j) = maxUFlow(P_i, P_j, c)` (maximum uniform
+//!   flow between the colors) — a **lower bound**.
+//!
+//! The practical approximation used in the paper's evaluation solves the
+//! upper-bound network `Ĝ₂`; the lower bound is provided for validation and
+//! for the Theorem 6 property tests.
+
+use crate::dinic;
+use crate::network::{FlowNetwork, FlowResult};
+use crate::uniform_flow::max_uniform_flow;
+use qsc_core::reduced::reduced_graph_with;
+use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_core::Partition;
+use qsc_graph::{Bipartite, Graph};
+
+/// Configuration for the coloring-based max-flow approximation.
+#[derive(Clone, Debug)]
+pub struct FlowApproxConfig {
+    /// Color budget (including the two reserved colors for source and sink).
+    pub max_colors: usize,
+    /// Optional q-error target (alternative stopping rule).
+    pub target_error: f64,
+}
+
+impl FlowApproxConfig {
+    /// Budget-based configuration (the paper uses `α = β = 0` for flows).
+    pub fn with_max_colors(max_colors: usize) -> Self {
+        FlowApproxConfig { max_colors, target_error: 0.0 }
+    }
+}
+
+/// Result of the coloring-based approximation.
+#[derive(Clone, Debug)]
+pub struct ApproxFlow {
+    /// The approximate max-flow value (the upper bound `maxFlow(Ĝ₂)`).
+    pub value: f64,
+    /// Number of colors actually used.
+    pub colors: usize,
+    /// Maximum q-error of the coloring.
+    pub max_q_error: f64,
+    /// The coloring of the original nodes.
+    pub partition: Partition,
+}
+
+/// A coloring of a flow network with the source and sink pinned to their own
+/// colors.
+pub fn color_network(network: &FlowNetwork, config: &FlowApproxConfig) -> Partition {
+    let n = network.num_nodes();
+    let mut assignment = vec![0u32; n];
+    assignment[network.source as usize] = 1;
+    assignment[network.sink as usize] = 2;
+    let initial = Partition::from_assignment(&assignment);
+    let rothko_config = RothkoConfig {
+        max_colors: config.max_colors.max(3),
+        target_error: config.target_error,
+        alpha: 0.0,
+        beta: 0.0,
+        initial: Some(initial),
+        ..Default::default()
+    };
+    Rothko::new(rothko_config).run(&network.graph).partition
+}
+
+/// Build the upper-bound reduced network `Ĝ₂` for an arbitrary coloring in
+/// which the source and sink are singletons. Returns the reduced network and
+/// the color ids of the source and sink.
+pub fn reduced_network_upper(
+    network: &FlowNetwork,
+    partition: &Partition,
+) -> (FlowNetwork, u32, u32) {
+    assert_eq!(partition.num_nodes(), network.num_nodes());
+    let s_color = partition.color_of(network.source);
+    let t_color = partition.color_of(network.sink);
+    assert_eq!(partition.size(s_color), 1, "source must have its own color");
+    assert_eq!(partition.size(t_color), 1, "sink must have its own color");
+    let reduced: Graph = reduced_graph_with(&network.graph, partition, |i, j, sum, _, _| {
+        if i == j {
+            0.0 // self-loops carry no s-t flow
+        } else {
+            sum
+        }
+    });
+    (FlowNetwork::new(reduced, s_color, t_color), s_color, t_color)
+}
+
+/// Build the lower-bound reduced network `Ĝ₁` (uniform-flow capacities).
+/// This requires one max-uniform-flow computation per pair of adjacent
+/// colors and is intended for validation on small/medium networks.
+pub fn reduced_network_lower(
+    network: &FlowNetwork,
+    partition: &Partition,
+    tolerance: f64,
+) -> FlowNetwork {
+    let s_color = partition.color_of(network.source);
+    let t_color = partition.color_of(network.sink);
+    let g = &network.graph;
+    let k = partition.num_colors();
+    let mut builder = qsc_graph::GraphBuilder::new_directed(k);
+    for i in 0..k as u32 {
+        for j in 0..k as u32 {
+            if i == j {
+                continue;
+            }
+            // Collect the bipartite graph between colors i and j.
+            let members_i = partition.members(i);
+            let mut index_of_j = std::collections::HashMap::new();
+            for (idx, &v) in partition.members(j).iter().enumerate() {
+                index_of_j.insert(v, idx as u32);
+            }
+            let mut edges = Vec::new();
+            for (xi, &u) in members_i.iter().enumerate() {
+                for (v, w) in g.out_edges(u) {
+                    if let Some(&yj) = index_of_j.get(&v) {
+                        edges.push((xi as u32, yj, w));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            let bip = Bipartite::from_edges(members_i.len(), partition.size(j), &edges);
+            let capacity = max_uniform_flow(&bip, tolerance);
+            if capacity > 0.0 {
+                builder.add_edge(i, j, capacity);
+            }
+        }
+    }
+    FlowNetwork::new(builder.build(), s_color, t_color)
+}
+
+/// Approximate the max-flow of a network: color it with Rothko, build the
+/// reduced network `Ĝ₂`, and solve the (much smaller) reduced problem.
+pub fn approximate_max_flow(network: &FlowNetwork, config: &FlowApproxConfig) -> ApproxFlow {
+    let partition = color_network(network, config);
+    approximate_with_partition(network, partition)
+}
+
+/// Approximate the max-flow with a caller-supplied coloring (the source and
+/// sink must be singleton colors).
+pub fn approximate_with_partition(network: &FlowNetwork, partition: Partition) -> ApproxFlow {
+    let (reduced, _, _) = reduced_network_upper(network, &partition);
+    let result = dinic::max_flow(&reduced);
+    let max_q_error = qsc_core::q_error::max_q_error(&network.graph, &partition);
+    ApproxFlow {
+        value: result.value,
+        colors: partition.num_colors(),
+        max_q_error,
+        partition,
+    }
+}
+
+/// Exact max-flow (push-relabel), provided here for convenient comparison.
+pub fn exact_max_flow(network: &FlowNetwork) -> FlowResult {
+    crate::push_relabel::max_flow(network)
+}
+
+/// Relative error metric used throughout the paper's evaluation:
+/// `max(v/v̂, v̂/v)` (1.0 is perfect). Returns `f64::INFINITY` if exactly one
+/// of the two values is zero and 1.0 if both are.
+pub fn relative_error(actual: f64, predicted: f64) -> f64 {
+    if actual == 0.0 && predicted == 0.0 {
+        return 1.0;
+    }
+    if actual <= 0.0 || predicted <= 0.0 {
+        return f64::INFINITY;
+    }
+    (actual / predicted).max(predicted / actual)
+}
+
+/// Lift the reduced flow value to a statement about the original network
+/// (identity for the value; kept for symmetry with the LP API). The
+/// `source`/`sink` arguments are unused but documented for clarity.
+pub fn reduced_flow_is_upper_bound(reduced_value: f64, exact_value: f64) -> bool {
+    reduced_value + 1e-6 >= exact_value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsc_graph::{generators, GraphBuilder};
+
+    fn small_network() -> FlowNetwork {
+        let (net, _) = crate::generators::grid_flow_network(6, 6, 4.0, 0.4, 7);
+        net
+    }
+
+    #[test]
+    fn theorem6_sandwich_on_grid() {
+        let net = small_network();
+        let exact = dinic::max_flow(&net).value;
+        let partition = color_network(&net, &FlowApproxConfig::with_max_colors(10));
+        let (upper_net, _, _) = reduced_network_upper(&net, &partition);
+        let upper = dinic::max_flow(&upper_net).value;
+        let lower_net = reduced_network_lower(&net, &partition, 1e-6);
+        let lower = dinic::max_flow(&lower_net).value;
+        assert!(
+            lower <= exact + 1e-6,
+            "lower bound {lower} exceeds exact {exact}"
+        );
+        assert!(
+            upper + 1e-6 >= exact,
+            "upper bound {upper} below exact {exact}"
+        );
+    }
+
+    #[test]
+    fn stable_coloring_is_exact_for_symmetric_network() {
+        // Corollary 9 (2): a stable coloring preserves the max-flow value.
+        // Build a network whose stable coloring is coarse: two parallel,
+        // identical paths.
+        let mut b = GraphBuilder::new_directed(6);
+        // s = 0, t = 5; two symmetric middle paths 1-3 and 2-4.
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(0, 2, 2.0);
+        b.add_edge(1, 3, 1.0);
+        b.add_edge(2, 4, 1.0);
+        b.add_edge(3, 5, 2.0);
+        b.add_edge(4, 5, 2.0);
+        let net = FlowNetwork::new(b.build(), 0, 5);
+        let exact = dinic::max_flow(&net).value;
+        assert!((exact - 2.0).abs() < 1e-9);
+        // Coloring: {s}, {1,2}, {3,4}, {t} — a stable coloring.
+        let partition = Partition::from_classes(6, vec![vec![0], vec![1, 2], vec![3, 4], vec![5]]);
+        assert_eq!(qsc_core::q_error::max_q_error(&net.graph, &partition), 0.0);
+        let approx = approximate_with_partition(&net, partition.clone());
+        assert!((approx.value - exact).abs() < 1e-9);
+        let lower_net = reduced_network_lower(&net, &partition, 1e-9);
+        let lower = dinic::max_flow(&lower_net).value;
+        assert!((lower - exact).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pathological_network_upper_bound_overestimates() {
+        // Fig. 4 / Example 7 style: the layer coloring is 1-stable yet the
+        // ĉ₂ upper bound exceeds the true flow.
+        let layer_size = 6;
+        let layers = 5;
+        let (g, s, t) = generators::pathological_flow_layers(layers, layer_size);
+        let n = g.num_nodes();
+        let net = FlowNetwork::new(g, s, t);
+        let exact = dinic::max_flow(&net).value;
+        // Layer coloring: {s}, each layer, {t}.
+        let mut assignment = vec![0u32; n];
+        for l in 0..layers {
+            for i in 0..layer_size {
+                assignment[l * layer_size + i] = l as u32;
+            }
+        }
+        assignment[s as usize] = layers as u32;
+        assignment[t as usize] = layers as u32 + 1;
+        let partition = Partition::from_assignment(&assignment);
+        let q = qsc_core::q_error::max_q_error(&net.graph, &partition);
+        assert!(q <= 1.0, "layer coloring should be 1-stable, got q = {q}");
+        let approx = approximate_with_partition(&net, partition.clone());
+        assert!(
+            approx.value > exact + 0.5,
+            "expected overestimate: approx {} vs exact {}",
+            approx.value,
+            exact
+        );
+        // And the lower bound collapses to ~0 because the uniform flow of the
+        // staircase is zero.
+        let lower_net = reduced_network_lower(&net, &partition, 1e-6);
+        let lower = dinic::max_flow(&lower_net).value;
+        assert!(lower < 0.5, "expected near-zero lower bound, got {lower}");
+    }
+
+    #[test]
+    fn approximation_converges_with_more_colors() {
+        let net = small_network();
+        let exact = dinic::max_flow(&net).value;
+        let coarse = approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(6));
+        let fine = approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(24));
+        let err_coarse = relative_error(exact, coarse.value);
+        let err_fine = relative_error(exact, fine.value);
+        assert!(err_fine <= err_coarse + 0.35, "coarse {err_coarse}, fine {err_fine}");
+        assert!(fine.colors <= 24);
+        assert!(fine.max_q_error <= coarse.max_q_error + 1e-9);
+    }
+
+    #[test]
+    fn relative_error_metric() {
+        assert_eq!(relative_error(4.0, 4.0), 1.0);
+        assert_eq!(relative_error(2.0, 4.0), 2.0);
+        assert_eq!(relative_error(4.0, 2.0), 2.0);
+        assert_eq!(relative_error(0.0, 0.0), 1.0);
+        assert!(relative_error(0.0, 1.0).is_infinite());
+    }
+}

@@ -1,0 +1,185 @@
+//! Weighted bipartite graphs `(X, Y, w)`.
+//!
+//! Bipartite graphs appear in two places in the paper:
+//!
+//! * Definition 1 checks, for every pair of colors `(P_i, P_j)`, whether the
+//!   induced bipartite graph is `∼`-regular.
+//! * Theorem 6 / Lemma 8 need the *maximum uniform flow* of the bipartite
+//!   graph between two colors, which is computed in `qsc-flow`.
+//!
+//! The type stores a dense list of weighted edges from left nodes `0..nx` to
+//! right nodes `0..ny`, in CSR form over the left side.
+
+/// A weighted bipartite graph with `nx` left nodes and `ny` right nodes.
+#[derive(Clone, Debug)]
+pub struct Bipartite {
+    nx: usize,
+    ny: usize,
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl Bipartite {
+    /// Build from an edge list `(x, y, w)`. Duplicate `(x, y)` pairs are
+    /// merged by summing weights.
+    pub fn from_edges(nx: usize, ny: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let mut es: Vec<(u32, u32, f64)> = edges.to_vec();
+        es.sort_unstable_by_key(|&(x, y, _)| (x, y));
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(es.len());
+        for (x, y, w) in es {
+            assert!((x as usize) < nx, "left node {x} out of range");
+            assert!((y as usize) < ny, "right node {y} out of range");
+            match merged.last_mut() {
+                Some(last) if last.0 == x && last.1 == y => last.2 += w,
+                _ => merged.push((x, y, w)),
+            }
+        }
+        let mut offsets = vec![0usize; nx + 1];
+        for &(x, _, _) in &merged {
+            offsets[x as usize + 1] += 1;
+        }
+        for i in 0..nx {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = merged.iter().map(|&(_, y, _)| y).collect();
+        let weights = merged.iter().map(|&(_, _, w)| w).collect();
+        Bipartite { nx, ny, offsets, targets, weights }
+    }
+
+    /// Build from a dense `nx x ny` matrix of weights (zero entries are
+    /// omitted).
+    pub fn from_dense(matrix: &[Vec<f64>]) -> Self {
+        let nx = matrix.len();
+        let ny = matrix.first().map_or(0, |r| r.len());
+        let mut edges = Vec::new();
+        for (x, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), ny, "ragged matrix");
+            for (y, &w) in row.iter().enumerate() {
+                if w != 0.0 {
+                    edges.push((x as u32, y as u32, w));
+                }
+            }
+        }
+        Self::from_edges(nx, ny, &edges)
+    }
+
+    /// Number of left nodes.
+    #[inline]
+    pub fn num_left(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of right nodes.
+    #[inline]
+    pub fn num_right(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of stored (non-zero) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterate edges `(y, w)` leaving left node `x`.
+    #[inline]
+    pub fn edges_of(&self, x: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[x as usize];
+        let hi = self.offsets[x as usize + 1];
+        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Iterate all edges `(x, y, w)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.nx as u32).flat_map(move |x| self.edges_of(x).map(move |(y, w)| (x, y, w)))
+    }
+
+    /// Total outgoing weight `w(x, Y)` of left node `x`.
+    pub fn left_weight(&self, x: u32) -> f64 {
+        self.edges_of(x).map(|(_, w)| w).sum()
+    }
+
+    /// Total incoming weight `w(X, y)` of right node `y`. O(#edges).
+    pub fn right_weight(&self, y: u32) -> f64 {
+        self.edges().filter(|&(_, t, _)| t == y).map(|(_, _, w)| w).sum()
+    }
+
+    /// All right-weights at once in O(#edges).
+    pub fn right_weights(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.ny];
+        for (_, y, w) in self.edges() {
+            acc[y as usize] += w;
+        }
+        acc
+    }
+
+    /// All left-weights at once in O(#edges).
+    pub fn left_weights(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.nx];
+        for (x, _, w) in self.edges() {
+            acc[x as usize] += w;
+        }
+        acc
+    }
+
+    /// Total weight `w(X, Y)` of the bipartite graph.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Whether the graph is `(a, b)`-biregular within tolerance `tol`:
+    /// every left node has out-weight `a` and every right node in-weight `b`.
+    pub fn is_biregular(&self, tol: f64) -> Option<(f64, f64)> {
+        if self.nx == 0 || self.ny == 0 {
+            return Some((0.0, 0.0));
+        }
+        let lw = self.left_weights();
+        let rw = self.right_weights();
+        let a = lw[0];
+        let b = rw[0];
+        if lw.iter().all(|&x| (x - a).abs() <= tol) && rw.iter().all(|&x| (x - b).abs() <= tol) {
+            Some((a, b))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_merges_duplicates() {
+        let b = Bipartite::from_edges(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0)]);
+        assert_eq!(b.num_edges(), 2);
+        assert_eq!(b.left_weight(0), 3.0);
+        assert_eq!(b.right_weight(1), 3.0);
+    }
+
+    #[test]
+    fn from_dense_drops_zeros() {
+        let b = Bipartite::from_dense(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        assert_eq!(b.num_edges(), 2);
+        assert_eq!(b.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn biregular_detection() {
+        // Complete bipartite K_{2,2} with unit weights: (2,2)-biregular.
+        let b = Bipartite::from_dense(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert_eq!(b.is_biregular(1e-12), Some((2.0, 2.0)));
+        let c = Bipartite::from_dense(&[vec![1.0, 1.0], vec![1.0, 0.0]]);
+        assert_eq!(c.is_biregular(1e-12), None);
+    }
+
+    #[test]
+    fn weights_sums() {
+        let b = Bipartite::from_dense(&[vec![1.0, 2.0, 0.0], vec![0.0, 4.0, 8.0]]);
+        assert_eq!(b.left_weights(), vec![3.0, 12.0]);
+        assert_eq!(b.right_weights(), vec![1.0, 6.0, 8.0]);
+        assert_eq!(b.num_left(), 2);
+        assert_eq!(b.num_right(), 3);
+    }
+}

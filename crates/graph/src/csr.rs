@@ -1,0 +1,383 @@
+//! Immutable CSR (compressed sparse row) weighted directed graph.
+//!
+//! The graph stores both the out-adjacency and the in-adjacency so that the
+//! coloring algorithms can inspect incoming and outgoing weights of a node in
+//! O(deg) time. Undirected graphs are represented as symmetric directed
+//! graphs (each undirected edge becomes two arcs); [`Graph::is_directed`]
+//! records which convention was used so that edge counts and generators can
+//! report logical edge counts.
+
+use crate::builder::GraphBuilder;
+
+/// Dense node identifier. All nodes of a graph with `n` nodes are `0..n`.
+pub type NodeId = u32;
+
+/// An immutable weighted directed graph in CSR form.
+///
+/// Construct via [`GraphBuilder`] or one of the [`crate::generators`].
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    /// Number of *logical* edges: arcs for directed graphs, undirected edges
+    /// for undirected graphs.
+    m: usize,
+    directed: bool,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<f64>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<f64>,
+}
+
+impl Graph {
+    /// Build a graph from raw parts. Intended for use by [`GraphBuilder`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        n: usize,
+        m: usize,
+        directed: bool,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        out_weights: Vec<f64>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<NodeId>,
+        in_weights: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), n + 1);
+        debug_assert_eq!(in_offsets.len(), n + 1);
+        debug_assert_eq!(out_targets.len(), out_weights.len());
+        debug_assert_eq!(in_sources.len(), in_weights.len());
+        Graph {
+            n,
+            m,
+            directed,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
+    /// Create an empty graph with `n` isolated nodes.
+    pub fn empty(n: usize, directed: bool) -> Self {
+        Graph {
+            n,
+            m: 0,
+            directed,
+            out_offsets: vec![0; n + 1],
+            out_targets: Vec::new(),
+            out_weights: Vec::new(),
+            in_offsets: vec![0; n + 1],
+            in_sources: Vec::new(),
+            in_weights: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of logical edges (arcs for directed graphs, edges for
+    /// undirected graphs).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Number of stored arcs (twice `num_edges` for undirected graphs).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Whether this graph was built as a directed graph.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Outgoing arcs of `v` as parallel slices `(targets, weights)`.
+    #[inline]
+    pub fn out_arcs(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        let lo = self.out_offsets[v as usize];
+        let hi = self.out_offsets[v as usize + 1];
+        (&self.out_targets[lo..hi], &self.out_weights[lo..hi])
+    }
+
+    /// Incoming arcs of `v` as parallel slices `(sources, weights)`.
+    #[inline]
+    pub fn in_arcs(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        let lo = self.in_offsets[v as usize];
+        let hi = self.in_offsets[v as usize + 1];
+        (&self.in_sources[lo..hi], &self.in_weights[lo..hi])
+    }
+
+    /// Iterate the outgoing arcs `(target, weight)` of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (t, w) = self.out_arcs(v);
+        t.iter().copied().zip(w.iter().copied())
+    }
+
+    /// Iterate the incoming arcs `(source, weight)` of `v`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (s, w) = self.in_arcs(v);
+        s.iter().copied().zip(w.iter().copied())
+    }
+
+    /// Out-degree (number of outgoing arcs) of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// In-degree (number of incoming arcs) of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+    }
+
+    /// Total outgoing weight `w(v, X)` of `v`.
+    #[inline]
+    pub fn out_weight(&self, v: NodeId) -> f64 {
+        let (_, w) = self.out_arcs(v);
+        w.iter().sum()
+    }
+
+    /// Total incoming weight `w(X, v)` of `v`.
+    #[inline]
+    pub fn in_weight(&self, v: NodeId) -> f64 {
+        let (_, w) = self.in_arcs(v);
+        w.iter().sum()
+    }
+
+    /// Weight of the arc `(u, v)`, or `0.0` if absent. O(log deg(u)).
+    pub fn weight(&self, u: NodeId, v: NodeId) -> f64 {
+        let (targets, weights) = self.out_arcs(u);
+        match targets.binary_search(&v) {
+            Ok(i) => weights[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Whether the arc `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (targets, _) = self.out_arcs(u);
+        targets.binary_search(&v).is_ok()
+    }
+
+    /// Iterate all node ids.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n as NodeId
+    }
+
+    /// Iterate all stored arcs as `(source, target, weight)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.nodes().flat_map(move |u| self.out_edges(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// Iterate all logical edges; for undirected graphs each edge `{u,v}` is
+    /// reported once with `u <= v`.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId, f64)> {
+        if self.directed {
+            self.arcs().collect()
+        } else {
+            self.arcs().filter(|&(u, v, _)| u <= v).collect()
+        }
+    }
+
+    /// Total weight from a set `U` to a set `V`: `w(U, V)` of Eq. (1).
+    ///
+    /// Runs in `O(sum_{u in U} deg(u))` time; `in_v` must be a boolean mask
+    /// over nodes marking membership in `V`.
+    pub fn weight_between_masked(&self, us: &[NodeId], in_v: &[bool]) -> f64 {
+        let mut total = 0.0;
+        for &u in us {
+            for (t, w) in self.out_edges(u) {
+                if in_v[t as usize] {
+                    total += w;
+                }
+            }
+        }
+        total
+    }
+
+    /// Total weight from a set `U` to a set `V` (both given as node lists).
+    pub fn weight_between(&self, us: &[NodeId], vs: &[NodeId]) -> f64 {
+        let mut mask = vec![false; self.n];
+        for &v in vs {
+            mask[v as usize] = true;
+        }
+        self.weight_between_masked(us, &mask)
+    }
+
+    /// Sum of all edge weights (over stored arcs).
+    pub fn total_weight(&self) -> f64 {
+        self.out_weights.iter().sum()
+    }
+
+    /// Return the transpose graph (all arcs reversed). The transpose of an
+    /// undirected graph is itself (a copy).
+    pub fn transpose(&self) -> Graph {
+        if !self.directed {
+            return self.clone();
+        }
+        let mut b = GraphBuilder::new_directed(self.n);
+        for (u, v, w) in self.arcs() {
+            b.add_edge(v, u, w);
+        }
+        b.build()
+    }
+
+    /// Build the induced subgraph on `nodes`, relabelling them `0..nodes.len()`
+    /// in the given order. Returns the subgraph and the mapping
+    /// `new id -> old id`.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut new_id = vec![u32::MAX; self.n];
+        for (i, &v) in nodes.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let mut b = if self.directed {
+            GraphBuilder::new_directed(nodes.len())
+        } else {
+            GraphBuilder::new_undirected(nodes.len())
+        };
+        for &u in nodes {
+            for (v, w) in self.out_edges(u) {
+                let nu = new_id[u as usize];
+                let nv = new_id[v as usize];
+                if nv != u32::MAX {
+                    if self.directed || nu <= nv {
+                        b.add_edge(nu, nv, w);
+                    }
+                }
+            }
+        }
+        (b.build(), nodes.to_vec())
+    }
+
+    /// Convert an undirected graph into an explicitly directed one with an
+    /// arc in each direction (weights preserved). Directed graphs are
+    /// returned unchanged.
+    pub fn to_directed(&self) -> Graph {
+        if self.directed {
+            return self.clone();
+        }
+        let mut g = self.clone();
+        g.directed = true;
+        g.m = g.out_targets.len();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new_undirected(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 0, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5, true);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn triangle_basic() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert!(!g.is_directed());
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.weight(1, 2), 2.0);
+        assert_eq!(g.weight(2, 1), 2.0);
+        assert_eq!(g.weight(0, 2), 3.0);
+        assert_eq!(g.weight(2, 2), 0.0);
+    }
+
+    #[test]
+    fn directed_graph_in_out() {
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(3, 0, 5.0);
+        let g = b.build();
+        assert!(g.is_directed());
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.in_weight(0), 5.0);
+        assert_eq!(g.out_weight(0), 2.0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn weight_between_sets() {
+        let g = triangle();
+        assert_eq!(g.weight_between(&[0], &[1, 2]), 4.0);
+        assert_eq!(g.weight_between(&[0, 1], &[2]), 5.0);
+        assert_eq!(g.weight_between(&[], &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn transpose_directed() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        let g = b.build();
+        let t = g.transpose();
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(2, 1));
+        assert!(!t.has_edge(0, 1));
+        assert_eq!(t.weight(2, 1), 2.0);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = triangle();
+        let (sub, map) = g.induced_subgraph(&[1, 2]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(sub.weight(0, 1), 2.0);
+    }
+
+    #[test]
+    fn edges_undirected_reported_once() {
+        let g = triangle();
+        let e = g.edges();
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn to_directed_doubles_edges() {
+        let g = triangle();
+        let d = g.to_directed();
+        assert!(d.is_directed());
+        assert_eq!(d.num_edges(), 6);
+        assert_eq!(d.num_arcs(), 6);
+    }
+}

@@ -1,0 +1,238 @@
+//! Graph IO: whitespace-separated edge lists and DIMACS max-flow files.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::{GraphError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Read an edge list: one `u v [weight]` triple per line, `#`-prefixed lines
+/// are comments. Node ids may be arbitrary non-negative integers; they are
+/// compacted to `0..n`. Returns the graph (undirected if `directed == false`).
+pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph> {
+    let reader = BufReader::new(reader);
+    let mut raw_edges: Vec<(u64, u64, f64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: u64 = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing source"))?
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad source id"))?;
+        let v: u64 = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing target"))?
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad target id"))?;
+        let w: f64 = match parts.next() {
+            Some(s) => s.parse().map_err(|_| parse_err(lineno, "bad weight"))?,
+            None => 1.0,
+        };
+        if !w.is_finite() {
+            return Err(GraphError::InvalidWeight { weight: w });
+        }
+        max_id = max_id.max(u).max(v);
+        raw_edges.push((u, v, w));
+    }
+    // Compact ids.
+    let mut present = vec![false; (max_id + 1) as usize];
+    for &(u, v, _) in &raw_edges {
+        present[u as usize] = true;
+        present[v as usize] = true;
+    }
+    let mut remap = vec![u32::MAX; (max_id + 1) as usize];
+    let mut next = 0u32;
+    for (id, &p) in present.iter().enumerate() {
+        if p {
+            remap[id] = next;
+            next += 1;
+        }
+    }
+    let n = next as usize;
+    let mut b = if directed {
+        GraphBuilder::new_directed(n)
+    } else {
+        GraphBuilder::new_undirected(n)
+    };
+    for (u, v, w) in raw_edges {
+        b.add_edge(remap[u as usize], remap[v as usize], w);
+    }
+    Ok(b.build())
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P, directed: bool) -> Result<Graph> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f, directed)
+}
+
+/// Write a graph as an edge list (`u v weight` per line).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
+    writeln!(writer, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (u, v, w) in g.edges() {
+        writeln!(writer, "{u} {v} {w}")?;
+    }
+    Ok(())
+}
+
+/// A parsed DIMACS max-flow problem: the capacity graph plus source and sink.
+#[derive(Clone, Debug)]
+pub struct DimacsMaxFlow {
+    /// Directed capacity graph.
+    pub graph: Graph,
+    /// Source node.
+    pub source: NodeId,
+    /// Sink node.
+    pub sink: NodeId,
+}
+
+/// Read a DIMACS max-flow file:
+///
+/// ```text
+/// c comment
+/// p max <nodes> <arcs>
+/// n <id> s
+/// n <id> t
+/// a <from> <to> <capacity>
+/// ```
+///
+/// Node ids in the file are 1-based.
+pub fn read_dimacs_max_flow<R: Read>(reader: R) -> Result<DimacsMaxFlow> {
+    let reader = BufReader::new(reader);
+    let mut n: Option<usize> = None;
+    let mut source: Option<NodeId> = None;
+    let mut sink: Option<NodeId> = None;
+    let mut edges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        match parts[0] {
+            "p" => {
+                if parts.len() < 4 || parts[1] != "max" {
+                    return Err(parse_err(lineno, "expected 'p max <n> <m>'"));
+                }
+                n = Some(parts[2].parse().map_err(|_| parse_err(lineno, "bad node count"))?);
+            }
+            "n" => {
+                if parts.len() < 3 {
+                    return Err(parse_err(lineno, "expected 'n <id> s|t'"));
+                }
+                let id: usize = parts[1].parse().map_err(|_| parse_err(lineno, "bad node id"))?;
+                match parts[2] {
+                    "s" => source = Some((id - 1) as NodeId),
+                    "t" => sink = Some((id - 1) as NodeId),
+                    other => return Err(parse_err(lineno, &format!("bad node role {other}"))),
+                }
+            }
+            "a" => {
+                if parts.len() < 4 {
+                    return Err(parse_err(lineno, "expected 'a <u> <v> <cap>'"));
+                }
+                let u: usize = parts[1].parse().map_err(|_| parse_err(lineno, "bad arc source"))?;
+                let v: usize = parts[2].parse().map_err(|_| parse_err(lineno, "bad arc target"))?;
+                let c: f64 = parts[3].parse().map_err(|_| parse_err(lineno, "bad capacity"))?;
+                edges.push(((u - 1) as NodeId, (v - 1) as NodeId, c));
+            }
+            other => return Err(parse_err(lineno, &format!("unknown line type {other}"))),
+        }
+    }
+    let n = n.ok_or_else(|| parse_err(0, "missing problem line"))?;
+    let source = source.ok_or_else(|| parse_err(0, "missing source"))?;
+    let sink = sink.ok_or_else(|| parse_err(0, "missing sink"))?;
+    let mut b = GraphBuilder::new_directed(n);
+    for (u, v, c) in edges {
+        b.add_edge(u, v, c);
+    }
+    Ok(DimacsMaxFlow { graph: b.build(), source, sink })
+}
+
+/// Write a DIMACS max-flow file.
+pub fn write_dimacs_max_flow<W: Write>(
+    g: &Graph,
+    source: NodeId,
+    sink: NodeId,
+    mut writer: W,
+) -> Result<()> {
+    let arcs: Vec<_> = g.arcs().collect();
+    writeln!(writer, "c generated by qsc-graph")?;
+    writeln!(writer, "p max {} {}", g.num_nodes(), arcs.len())?;
+    writeln!(writer, "n {} s", source + 1)?;
+    writeln!(writer, "n {} t", sink + 1)?;
+    for (u, v, w) in arcs {
+        writeln!(writer, "a {} {} {}", u + 1, v + 1, w)?;
+    }
+    Ok(())
+}
+
+fn parse_err(line: usize, message: &str) -> GraphError {
+    GraphError::Parse { line: line + 1, message: message.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let text = "# comment\n0 1 2.0\n1 2\n2 0 0.5\n";
+        let g = read_edge_list(text.as_bytes(), false).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight(0, 1), 2.0);
+        assert_eq!(g.weight(1, 2), 1.0);
+
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice(), false).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.weight(2, 0), 0.5);
+    }
+
+    #[test]
+    fn edge_list_compacts_sparse_ids() {
+        let text = "10 20\n20 35\n";
+        let g = read_edge_list(text.as_bytes(), true).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_bad_line_errors() {
+        let text = "0 x\n";
+        assert!(read_edge_list(text.as_bytes(), true).is_err());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let text = "c tiny\np max 4 5\nn 1 s\nn 4 t\na 1 2 3\na 1 3 2\na 2 4 2\na 3 4 3\na 2 3 1\n";
+        let p = read_dimacs_max_flow(text.as_bytes()).unwrap();
+        assert_eq!(p.graph.num_nodes(), 4);
+        assert_eq!(p.graph.num_edges(), 5);
+        assert_eq!(p.source, 0);
+        assert_eq!(p.sink, 3);
+        assert_eq!(p.graph.weight(0, 1), 3.0);
+
+        let mut out = Vec::new();
+        write_dimacs_max_flow(&p.graph, p.source, p.sink, &mut out).unwrap();
+        let p2 = read_dimacs_max_flow(out.as_slice()).unwrap();
+        assert_eq!(p2.graph.num_edges(), 5);
+        assert_eq!(p2.source, 0);
+        assert_eq!(p2.sink, 3);
+    }
+
+    #[test]
+    fn dimacs_missing_source_errors() {
+        let text = "p max 2 1\na 1 2 1\n";
+        assert!(read_dimacs_max_flow(text.as_bytes()).is_err());
+    }
+}

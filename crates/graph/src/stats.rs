@@ -1,0 +1,112 @@
+//! Degree and size statistics used when reporting dataset summaries
+//! (Table 2) and coloring characteristics (Sec. 6.2).
+
+use crate::csr::Graph;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of logical edges.
+    pub edges: usize,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Density `m / (n * (n-1) / 2)` for undirected, `m / (n * (n-1))` for
+    /// directed graphs.
+    pub density: f64,
+    /// Total edge weight over stored arcs.
+    pub total_weight: f64,
+}
+
+/// Compute [`GraphStats`] for a graph.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let degrees: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
+    let min_degree = degrees.iter().copied().min().unwrap_or(0);
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let mean_degree = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
+    let possible = if n < 2 {
+        1.0
+    } else if g.is_directed() {
+        (n * (n - 1)) as f64
+    } else {
+        (n * (n - 1)) as f64 / 2.0
+    };
+    GraphStats {
+        nodes: n,
+        edges: m,
+        min_degree,
+        max_degree,
+        mean_degree,
+        density: m as f64 / possible,
+        total_weight: g.total_weight(),
+    }
+}
+
+/// Degree histogram: `hist[d]` is the number of nodes with out-degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for v in g.nodes() {
+        hist[g.out_degree(v)] += 1;
+    }
+    hist
+}
+
+/// Median of a slice of sizes (0 for empty input).
+pub fn median(values: &[usize]) -> usize {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_karate() {
+        let g = generators::karate_club();
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 34);
+        assert_eq!(s.edges, 78);
+        assert_eq!(s.max_degree, 17); // node 34 (0-indexed 33)
+        assert!(s.mean_degree > 4.0 && s.mean_degree < 5.0);
+        assert!(s.density > 0.0 && s.density < 1.0);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = generators::barabasi_albert(100, 2, 5);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn stats_directed_density() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let s = graph_stats(&g);
+        assert!((s.density - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[5, 1, 3]), 3);
+        assert_eq!(median(&[4, 1, 3, 2]), 3);
+        assert_eq!(median(&[]), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Basic traversals: BFS distances, connected components, shortest-path
+//! counting (the sigma values used by betweenness centrality).
+
+use crate::csr::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// BFS distances from `source` following out-edges; unreachable nodes get
+/// `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for (v, _) in g.out_edges(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components (treating arcs as undirected).
+/// Returns `(component id per node, number of components)`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(start as NodeId);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in g.out_edges(u) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+            for (v, _) in g.in_edges(u) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Largest weakly connected component as a node list (ids in the original
+/// graph), sorted ascending.
+pub fn largest_component(g: &Graph) -> Vec<NodeId> {
+    let (comp, k) = connected_components(g);
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (0..g.num_nodes() as NodeId).filter(|&v| comp[v as usize] == best).collect()
+}
+
+/// Result of a single-source shortest-path (BFS) pass with path counting, as
+/// used by Brandes' algorithm.
+#[derive(Clone, Debug)]
+pub struct ShortestPathDag {
+    /// BFS distance per node (`usize::MAX` if unreachable).
+    pub dist: Vec<usize>,
+    /// Number of shortest paths from the source to each node.
+    pub sigma: Vec<f64>,
+    /// Predecessors of each node on shortest paths.
+    pub preds: Vec<Vec<NodeId>>,
+    /// Nodes in non-decreasing order of distance (only reachable ones).
+    pub order: Vec<NodeId>,
+}
+
+/// Single-source BFS with shortest-path counting over out-edges (unweighted).
+pub fn shortest_path_dag(g: &Graph, source: NodeId) -> ShortestPathDag {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    sigma[source as usize] = 1.0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let du = dist[u as usize];
+        for (v, _) in g.out_edges(u) {
+            let dv = &mut dist[v as usize];
+            if *dv == usize::MAX {
+                *dv = du + 1;
+                queue.push_back(v);
+            }
+            if dist[v as usize] == du + 1 {
+                sigma[v as usize] += sigma[u as usize];
+                preds[v as usize].push(u);
+            }
+        }
+    }
+    ShortestPathDag { dist, sigma, preds, order }
+}
+
+/// Number of shortest paths between `s` and `t` (0 if unreachable).
+pub fn count_shortest_paths(g: &Graph, s: NodeId, t: NodeId) -> f64 {
+    shortest_path_dag(g, s).sigma[t as usize]
+}
+
+/// Graph diameter approximation via double-sweep BFS (lower bound on the true
+/// diameter); used for the Riondato–Kornaropoulos sample-size bound.
+pub fn approx_diameter(g: &Graph) -> usize {
+    if g.num_nodes() == 0 {
+        return 0;
+    }
+    let d0 = bfs_distances(g, 0);
+    let far = d0
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != usize::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| i as NodeId)
+        .unwrap_or(0);
+    let d1 = bfs_distances(g, far);
+    d1.iter().filter(|&&d| d != usize::MAX).max().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new_undirected(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, (i + 1) as NodeId, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn components_counts() {
+        let mut b = GraphBuilder::new_undirected(6);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 4, 1.0);
+        let g = b.build();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[5], comp[0]);
+        let lc = largest_component(&g);
+        assert_eq!(lc, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sigma_counts_paths() {
+        // Diamond: 0 -> {1,2} -> 3: two shortest paths from 0 to 3.
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(1, 3, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build();
+        assert_eq!(count_shortest_paths(&g, 0, 3), 2.0);
+        let dag = shortest_path_dag(&g, 0);
+        assert_eq!(dag.dist[3], 2);
+        assert_eq!(dag.preds[3].len(), 2);
+        assert_eq!(dag.order[0], 0);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = path_graph(10);
+        assert_eq!(approx_diameter(&g), 9);
+    }
+
+    #[test]
+    fn karate_is_connected() {
+        let g = generators::karate_club();
+        let (_, k) = connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(approx_diameter(&g) >= 4);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cholesky factorization of symmetric positive (semi-)definite matrices.
+
+use crate::dense::DenseMatrix;
+
+/// A lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    n: usize,
+    l: DenseMatrix,
+}
+
+/// Errors from the factorization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The matrix is not (numerically) positive definite, even after the
+    /// requested regularization.
+    NotPositiveDefinite { pivot: usize },
+    /// The matrix is not square.
+    NotSquare,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            CholeskyError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+impl Cholesky {
+    /// Factor a symmetric positive definite matrix.
+    pub fn factor(a: &DenseMatrix) -> Result<Self, CholeskyError> {
+        Self::factor_regularized(a, 0.0)
+    }
+
+    /// Factor with diagonal regularization: effectively factors
+    /// `A + regularization * I`. The interior-point solver uses a small
+    /// regularization to keep the normal equations well conditioned near the
+    /// optimum.
+    pub fn factor_regularized(a: &DenseMatrix, regularization: f64) -> Result<Self, CholeskyError> {
+        if a.rows() != a.cols() {
+            return Err(CholeskyError::NotSquare);
+        }
+        let n = a.rows();
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut sum = a.get(j, j) + regularization;
+            for k in 0..j {
+                let ljk = l.get(j, k);
+                sum -= ljk * ljk;
+            }
+            if sum <= 0.0 || !sum.is_finite() {
+                return Err(CholeskyError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = sum.sqrt();
+            l.set(j, j, ljj);
+            // Below-diagonal entries of column j.
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / ljj);
+            }
+        }
+        Ok(Cholesky { n, l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor_matrix(&self) -> &DenseMatrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` using forward/backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        // Forward: L y = b.
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l.get(i, k) * y[k];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = vec![0.0; self.n];
+        for i in (0..self.n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..self.n {
+                s -= self.l.get(k, i) * x[k];
+            }
+            x[i] = s / self.l.get(i, i);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_and_solve_spd() {
+        // A = [[4, 2], [2, 3]] is SPD.
+        let a = DenseMatrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let chol = Cholesky::factor(&a).unwrap();
+        let x = chol.solve(&[10.0, 8.0]);
+        // Verify A x = b.
+        let b = a.matvec(&x);
+        assert!((b[0] - 10.0).abs() < 1e-10);
+        assert!((b[1] - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(CholeskyError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn regularization_rescues_semidefinite() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert!(Cholesky::factor(&a).is_err());
+        let chol = Cholesky::factor_regularized(&a, 1e-8).unwrap();
+        assert_eq!(chol.dim(), 2);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert_eq!(Cholesky::factor(&a).unwrap_err(), CholeskyError::NotSquare);
+    }
+
+    #[test]
+    fn larger_random_spd_system() {
+        // Build SPD as M Mᵀ + I for a fixed M.
+        let m = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0, 0.5, -1.0],
+            vec![0.0, 1.0, 3.0, 2.0],
+            vec![2.0, -1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+        ]);
+        let mut a = m.matmul(&m.transpose());
+        for i in 0..4 {
+            a.add_to(i, i, 1.0);
+        }
+        let chol = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = chol.solve(&b);
+        let ax = a.matvec(&x);
+        for i in 0..4 {
+            assert!((ax[i] - b[i]).abs() < 1e-9, "component {i}: {} vs {}", ax[i], b[i]);
+        }
+    }
+}

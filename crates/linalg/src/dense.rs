@@ -1,0 +1,191 @@
+//! Row-major dense matrices.
+
+/// A dense `rows x cols` matrix stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from nested rows. Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Add to an element.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, value: f64) {
+        self.data[r * self.cols + c] += value;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows).map(|r| crate::vec_ops::dot(self.row(r), x)).collect()
+    }
+
+    /// Transposed matrix-vector product `Aᵀ x`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, out_c) in out.iter_mut().enumerate() {
+                *out_c += self.get(r, c) * xr;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `A B`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.add_to(i, j, aik * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+        assert_eq!(m.matvec_transpose(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+}

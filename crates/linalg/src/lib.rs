@@ -1,0 +1,22 @@
+//! # qsc-linalg
+//!
+//! Minimal dense and sparse linear algebra substrate for the LP solvers in
+//! `qsc-lp`. Implemented from scratch (no external linear-algebra crates):
+//!
+//! * [`DenseMatrix`] — row-major dense matrices with matrix/vector products.
+//! * [`Cholesky`] — Cholesky factorization with optional diagonal
+//!   regularization, used by the interior-point normal equations.
+//! * [`Lu`] — LU factorization with partial pivoting.
+//! * [`SparseMatrix`] — CSR sparse matrices for LP constraint storage.
+//! * [`vec_ops`] — small vector helpers (dot, norms, axpy).
+
+pub mod cholesky;
+pub mod dense;
+pub mod lu;
+pub mod sparse;
+pub mod vec_ops;
+
+pub use cholesky::Cholesky;
+pub use dense::DenseMatrix;
+pub use lu::Lu;
+pub use sparse::SparseMatrix;

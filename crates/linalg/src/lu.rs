@@ -1,0 +1,170 @@
+//! LU factorization with partial pivoting.
+
+use crate::dense::DenseMatrix;
+
+/// An LU factorization `P A = L U` with partial pivoting.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    n: usize,
+    /// Combined L (below diagonal, unit diagonal implicit) and U (upper).
+    lu: DenseMatrix,
+    /// Row permutation.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Errors from the factorization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix is singular to working precision.
+    Singular { pivot: usize },
+    /// The matrix is not square.
+    NotSquare,
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::Singular { pivot } => write!(f, "matrix is singular (pivot {pivot})"),
+            LuError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+impl Lu {
+    /// Factor a square matrix.
+    pub fn factor(a: &DenseMatrix) -> Result<Self, LuError> {
+        if a.rows() != a.cols() {
+            return Err(LuError::NotSquare);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for col in 0..n {
+            // Pivot search.
+            let mut pivot_row = col;
+            let mut pivot_val = lu.get(col, col).abs();
+            for r in (col + 1)..n {
+                let v = lu.get(r, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-14 {
+                return Err(LuError::Singular { pivot: col });
+            }
+            if pivot_row != col {
+                // Swap rows in-place.
+                for c in 0..n {
+                    let a = lu.get(col, c);
+                    let b = lu.get(pivot_row, c);
+                    lu.set(col, c, b);
+                    lu.set(pivot_row, c, a);
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let diag = lu.get(col, col);
+            for r in (col + 1)..n {
+                let factor = lu.get(r, col) / diag;
+                lu.set(r, col, factor);
+                for c in (col + 1)..n {
+                    lu.add_to(r, c, -factor * lu.get(col, c));
+                }
+            }
+        }
+        Ok(Lu { n, lu, perm, sign })
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        // Apply permutation.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward: L y = Pb (unit diagonal).
+        for i in 0..self.n {
+            for k in 0..i {
+                y[i] -= self.lu.get(i, k) * y[k];
+            }
+        }
+        // Backward: U x = y.
+        let mut x = vec![0.0; self.n];
+        for i in (0..self.n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..self.n {
+                s -= self.lu.get(i, k) * x[k];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        x
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.n {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_small_system() {
+        let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        let ax = a.matvec(&x);
+        assert!((ax[0] - 5.0).abs() < 1e-12);
+        assert!((ax[1] - 10.0).abs() < 1e-12);
+        assert!((lu.determinant() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LuError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert_eq!(Lu::factor(&a).unwrap_err(), LuError::NotSquare);
+    }
+
+    #[test]
+    fn four_by_four() {
+        let a = DenseMatrix::from_rows(&[
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![3.0, 4.0, 3.0, 2.0],
+            vec![2.0, 3.0, 4.0, 3.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        ]);
+        let lu = Lu::factor(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = lu.solve(&b);
+        let ax = a.matvec(&x);
+        for i in 0..4 {
+            assert!((ax[i] - b[i]).abs() < 1e-10);
+        }
+    }
+}

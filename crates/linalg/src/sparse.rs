@@ -1,0 +1,185 @@
+//! CSR sparse matrices for LP constraint storage.
+
+use crate::dense::DenseMatrix;
+
+/// A sparse `rows x cols` matrix in CSR (compressed sparse row) form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Build from a triplet list `(row, col, value)`. Duplicate entries are
+    /// summed; zeros are kept out of the structure.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        let mut entries: Vec<(u32, u32, f64)> = triplets
+            .iter()
+            .copied()
+            .filter(|&(r, c, v)| {
+                assert!((r as usize) < rows && (c as usize) < cols, "entry out of range");
+                v != 0.0
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut indptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            indptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            indptr[i + 1] += indptr[i];
+        }
+        let indices = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        SparseMatrix { rows, cols, indptr, indices, values }
+    }
+
+    /// Build from a dense matrix, dropping zeros.
+    pub fn from_dense(m: &DenseMatrix) -> Self {
+        let mut triplets = Vec::new();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let v = m.get(r, c);
+                if v != 0.0 {
+                    triplets.push((r as u32, c as u32, v));
+                }
+            }
+        }
+        Self::from_triplets(m.rows(), m.cols(), &triplets)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate the non-zero entries `(col, value)` of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Iterate all non-zero entries `(row, col, value)`.
+    pub fn triplets(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r as u32, c, v)))
+    }
+
+    /// Entry lookup (O(log nnz(row))).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        match self.indices[lo..hi].binary_search(&(c as u32)) {
+            Ok(i) => self.values[lo + i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(c, v)| v * x[c as usize]).sum())
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `Aᵀ y`.
+    pub fn matvec_transpose(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let yr = y[r];
+            if yr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r) {
+                out[c as usize] += v * yr;
+            }
+        }
+        out
+    }
+
+    /// Convert to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.triplets() {
+            m.set(r as usize, c as usize, v);
+        }
+        m
+    }
+
+    /// Transpose (CSR of the transposed matrix).
+    pub fn transpose(&self) -> SparseMatrix {
+        let triplets: Vec<(u32, u32, f64)> =
+            self.triplets().map(|(r, c, v)| (c, r, v)).collect();
+        SparseMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_merges_and_drops_zero() {
+        let m = SparseMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 1, 2.0), (0, 1, 3.0), (1, 2, 0.0), (1, 0, -1.0)],
+        );
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 2), 0.0);
+        assert_eq!(m.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = SparseMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+        assert_eq!(m.matvec_transpose(&[1.0, 2.0]), vec![1.0, 6.0, 2.0]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 0), 2.0);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        let s = SparseMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let m = SparseMatrix::from_triplets(2, 4, &[(1, 3, 4.0), (1, 0, 1.0)]);
+        let row: Vec<(u32, f64)> = m.row(1).collect();
+        assert_eq!(row, vec![(0, 1.0), (3, 4.0)]);
+        assert_eq!(m.row(0).count(), 0);
+    }
+}

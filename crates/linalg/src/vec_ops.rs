@@ -1,0 +1,77 @@
+//! Small dense-vector helpers.
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise `a - b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Scale a vector in place.
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        let b = [1.0, 2.0];
+        assert_eq!(dot(&a, &b), 11.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 3.0]), 7.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 5.0];
+        assert_eq!(add(&a, &b), vec![4.0, 7.0]);
+        assert_eq!(sub(&b, &a), vec![2.0, 3.0]);
+        let mut c = [1.0, -2.0];
+        scale(&mut c, -3.0);
+        assert_eq!(c, [-3.0, 6.0]);
+    }
+}

@@ -1,0 +1,415 @@
+//! Primal-dual interior-point method (Mehrotra predictor–corrector).
+//!
+//! This is the stand-in for the Tulip interior-point solver used by the
+//! paper, in two roles:
+//!
+//! * *exact baseline* — run to a tight duality-gap tolerance;
+//! * *early-stopping baseline* (Table 1, bottom) — stop as soon as the
+//!   primal/dual objective ratio certifies the requested relative error,
+//!   mirroring "set a relative error and solve until that bound is met".
+//!
+//! Internally the problem `max cᵀx, Ax ≤ b, x ≥ 0` is converted to the
+//! standard min-form `min fᵀz, Āz = b, z ≥ 0` with `z = [x; w]`,
+//! `Ā = [A I]`, `f = [-c; 0]`, and the usual normal-equation Newton system
+//! `(Ā D Āᵀ) Δλ = r` is solved with a dense Cholesky factorization.
+
+use crate::problem::{LpProblem, LpSolution, LpStatus};
+use qsc_linalg::{vec_ops, Cholesky, DenseMatrix, SparseMatrix};
+
+/// Configuration of the interior-point solver.
+#[derive(Clone, Debug)]
+pub struct InteriorPointConfig {
+    /// Convergence tolerance on the relative duality gap and residuals.
+    pub tolerance: f64,
+    /// Maximum number of interior-point iterations.
+    pub max_iterations: usize,
+    /// If set, stop as soon as the primal/dual bound ratio
+    /// `max(dual/primal, primal/dual)` drops below this value (the paper's
+    /// early-stopping baseline). Must be `>= 1`.
+    pub stop_at_relative_error: Option<f64>,
+    /// Step-length damping factor (fraction of the way to the boundary).
+    pub step_fraction: f64,
+    /// Diagonal regularization added to the normal equations.
+    pub regularization: f64,
+}
+
+impl Default for InteriorPointConfig {
+    fn default() -> Self {
+        InteriorPointConfig {
+            tolerance: 1e-8,
+            max_iterations: 200,
+            stop_at_relative_error: None,
+            step_fraction: 0.99,
+            regularization: 1e-10,
+        }
+    }
+}
+
+/// Progress record of one interior-point iteration (used by the
+/// early-stopping experiments to measure time-to-tolerance).
+#[derive(Clone, Debug)]
+pub struct IpmTrace {
+    /// Iteration number.
+    pub iteration: usize,
+    /// Primal objective `cᵀx` of the current (interior) iterate.
+    pub primal_objective: f64,
+    /// Dual objective bound.
+    pub dual_objective: f64,
+    /// Relative duality gap.
+    pub relative_gap: f64,
+}
+
+/// Solve with the default configuration.
+pub fn solve(problem: &LpProblem) -> LpSolution {
+    solve_with(problem, &InteriorPointConfig::default()).0
+}
+
+/// Solve with an explicit configuration, returning the per-iteration trace.
+pub fn solve_with(problem: &LpProblem, config: &InteriorPointConfig) -> (LpSolution, Vec<IpmTrace>) {
+    let m = problem.num_rows();
+    let n = problem.num_cols();
+    let total = n + m; // x variables + slacks
+
+    // Standard min-form data: min f z, Abar z = b, z >= 0.
+    let f: Vec<f64> = problem
+        .c
+        .iter()
+        .map(|&cj| -cj)
+        .chain(std::iter::repeat(0.0).take(m))
+        .collect();
+    let b = problem.b.clone();
+    let abar = AbarOps { a: &problem.a, m, n };
+
+    // Starting point (Mehrotra-style): least-squares estimates shifted into
+    // the positive orthant.
+    let (mut z, mut lambda, mut s) = starting_point(&abar, &b, &f, config.regularization);
+
+    let mut trace = Vec::new();
+    let mut status = LpStatus::IterationLimit;
+    let mut iterations = 0usize;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Residuals.
+        let az = abar.matvec(&z);
+        let r_b = vec_ops::sub(&az, &b); // A z - b
+        let at_lambda = abar.matvec_transpose(&lambda);
+        let r_c: Vec<f64> = (0..total).map(|i| at_lambda[i] + s[i] - f[i]).collect();
+        let mu = vec_ops::dot(&z, &s) / total as f64;
+
+        // Objective bookkeeping (original maximization problem).
+        let primal_obj = problem.objective_value(&z[..n]);
+        // Dual of max{cᵀx : Ax ≤ b, x ≥ 0} is min{bᵀy : Aᵀy ≥ c, y ≥ 0} with
+        // y = -λ in the min-form KKT system.
+        let y: Vec<f64> = lambda.iter().map(|&l| -l).collect();
+        let dual_obj = vec_ops::dot(&b, &y);
+        let rel_gap = (primal_obj - dual_obj).abs() / (1.0 + primal_obj.abs());
+        trace.push(IpmTrace {
+            iteration: iter,
+            primal_objective: primal_obj,
+            dual_objective: dual_obj,
+            relative_gap: rel_gap,
+        });
+
+        let primal_res = vec_ops::norm_inf(&r_b) / (1.0 + vec_ops::norm_inf(&b));
+        let dual_res = vec_ops::norm_inf(&r_c) / (1.0 + vec_ops::norm_inf(&f));
+
+        if primal_res < config.tolerance && dual_res < config.tolerance && rel_gap < config.tolerance
+        {
+            status = LpStatus::Optimal;
+            break;
+        }
+        if let Some(target) = config.stop_at_relative_error {
+            // Certify the relative error via the primal/dual bounds once the
+            // iterate is reasonably feasible.
+            if primal_res < 1e-4 && dual_res < 1e-2 && primal_obj > 0.0 && dual_obj > 0.0 {
+                let ratio = (dual_obj / primal_obj).max(primal_obj / dual_obj);
+                if ratio <= target {
+                    status = LpStatus::EarlyStopped;
+                    break;
+                }
+            }
+        }
+
+        // Newton systems share the normal-equation matrix Abar D Abarᵀ with
+        // D = diag(z ./ s).
+        let d: Vec<f64> = (0..total).map(|i| z[i] / s[i]).collect();
+        let normal = abar.normal_matrix(&d);
+        let chol = match Cholesky::factor_regularized(&normal, config.regularization.max(1e-12)) {
+            Ok(c) => c,
+            Err(_) => {
+                // Numerical breakdown: report the current iterate.
+                status = LpStatus::IterationLimit;
+                break;
+            }
+        };
+
+        // Affine (predictor) step: r_xs = -z.*s.
+        let r_xs_aff: Vec<f64> = (0..total).map(|i| -z[i] * s[i]).collect();
+        let (dz_aff, dlam_aff, ds_aff) =
+            newton_step(&abar, &chol, &d, &z, &s, &r_b, &r_c, &r_xs_aff);
+        let alpha_p_aff = max_step(&z, &dz_aff);
+        let alpha_d_aff = max_step(&s, &ds_aff);
+        let mu_aff = {
+            let mut acc = 0.0;
+            for i in 0..total {
+                acc += (z[i] + alpha_p_aff * dz_aff[i]) * (s[i] + alpha_d_aff * ds_aff[i]);
+            }
+            acc / total as f64
+        };
+        let sigma = if mu > 0.0 { (mu_aff / mu).powi(3).clamp(0.0, 1.0) } else { 0.0 };
+
+        // Corrector step: r_xs = σμ e − z.*s − Δz_aff.*Δs_aff.
+        let r_xs: Vec<f64> = (0..total)
+            .map(|i| sigma * mu - z[i] * s[i] - dz_aff[i] * ds_aff[i])
+            .collect();
+        let (dz, dlam, ds) = newton_step(&abar, &chol, &d, &z, &s, &r_b, &r_c, &r_xs);
+
+        let alpha_p = (config.step_fraction * max_step(&z, &dz)).min(1.0);
+        let alpha_d = (config.step_fraction * max_step(&s, &ds)).min(1.0);
+
+        for i in 0..total {
+            z[i] += alpha_p * dz[i];
+            s[i] += alpha_d * ds[i];
+        }
+        for i in 0..m {
+            lambda[i] += alpha_d * dlam[i];
+        }
+        let _ = dlam_aff;
+
+        // Detect unboundedness / infeasibility heuristically: the objective
+        // diverges while the step sizes stay large.
+        if !primal_obj.is_finite() || primal_obj.abs() > 1e30 {
+            status = LpStatus::Unbounded;
+            break;
+        }
+    }
+
+    let x = z[..n].to_vec();
+    let objective = problem.objective_value(&x);
+    (
+        LpSolution { status, objective, x, iterations },
+        trace,
+    )
+}
+
+/// Sparse `[A I]` operator helpers.
+struct AbarOps<'a> {
+    a: &'a SparseMatrix,
+    m: usize,
+    n: usize,
+}
+
+impl AbarOps<'_> {
+    /// `[A I] z`.
+    fn matvec(&self, z: &[f64]) -> Vec<f64> {
+        let mut out = self.a.matvec(&z[..self.n]);
+        for i in 0..self.m {
+            out[i] += z[self.n + i];
+        }
+        out
+    }
+
+    /// `[A I]ᵀ y = [Aᵀ y; y]`.
+    fn matvec_transpose(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = self.a.matvec_transpose(y);
+        out.extend_from_slice(y);
+        out
+    }
+
+    /// Dense `Ā D Āᵀ = A D_x Aᵀ + D_w` where `D = diag(d)`.
+    fn normal_matrix(&self, d: &[f64]) -> DenseMatrix {
+        let m = self.m;
+        let n = self.n;
+        let mut out = DenseMatrix::zeros(m, m);
+        // A D_x Aᵀ: accumulate column-by-column of A (i.e. over variables).
+        // For each variable j, the column a_j contributes d_j * a_j a_jᵀ.
+        // Iterate rows of A and accumulate outer products via row pairs:
+        // cheaper formulation: out[r1][r2] += sum_j d_j A[r1][j] A[r2][j].
+        // We implement it by iterating each row r1, scaling by d, and dotting
+        // with each row r2 via a scatter into a dense work vector.
+        let mut work = vec![0.0f64; n];
+        for r1 in 0..m {
+            for x in work.iter_mut() {
+                *x = 0.0;
+            }
+            for (j, v) in self.a.row(r1) {
+                work[j as usize] = v * d[j as usize];
+            }
+            for r2 in r1..m {
+                let mut acc = 0.0;
+                for (j, v) in self.a.row(r2) {
+                    acc += work[j as usize] * v;
+                }
+                if r1 == r2 {
+                    acc += d[n + r1]; // slack contribution
+                }
+                out.set(r1, r2, acc);
+                out.set(r2, r1, acc);
+            }
+        }
+        out
+    }
+}
+
+/// Newton step from the normal equations with complementarity rhs `r_xs`.
+#[allow(clippy::too_many_arguments)]
+fn newton_step(
+    abar: &AbarOps<'_>,
+    chol: &Cholesky,
+    d: &[f64],
+    z: &[f64],
+    s: &[f64],
+    r_b: &[f64],
+    r_c: &[f64],
+    r_xs: &[f64],
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let total = z.len();
+    // rhs = -r_b - Ā S^{-1} r_xs - Ā D r_c
+    let tmp: Vec<f64> = (0..total).map(|i| r_xs[i] / s[i] + d[i] * r_c[i]).collect();
+    let a_tmp = abar.matvec(&tmp);
+    let rhs: Vec<f64> = (0..r_b.len()).map(|i| -r_b[i] - a_tmp[i]).collect();
+    let dlam = chol.solve(&rhs);
+    // Δs = -r_c - Āᵀ Δλ
+    let at_dlam = abar.matvec_transpose(&dlam);
+    let ds: Vec<f64> = (0..total).map(|i| -r_c[i] - at_dlam[i]).collect();
+    // Δz = S^{-1}(r_xs - Z Δs)
+    let dz: Vec<f64> = (0..total).map(|i| (r_xs[i] - z[i] * ds[i]) / s[i]).collect();
+    (dz, dlam, ds)
+}
+
+/// Largest `alpha` in `[0, 1]` such that `v + alpha * dv >= 0`.
+fn max_step(v: &[f64], dv: &[f64]) -> f64 {
+    let mut alpha = 1.0f64;
+    for i in 0..v.len() {
+        if dv[i] < 0.0 {
+            alpha = alpha.min(-v[i] / dv[i]);
+        }
+    }
+    alpha.max(0.0)
+}
+
+/// Mehrotra's heuristic starting point.
+fn starting_point(
+    abar: &AbarOps<'_>,
+    b: &[f64],
+    f: &[f64],
+    regularization: f64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let total = abar.n + abar.m;
+    let d = vec![1.0; total];
+    let normal = abar.normal_matrix(&d);
+    let chol = Cholesky::factor_regularized(&normal, regularization.max(1e-10))
+        .expect("Ā Āᵀ + reg I must be positive definite");
+    // z0 = Āᵀ (Ā Āᵀ)^{-1} b   (least-norm solution of Āz = b)
+    let y = chol.solve(b);
+    let mut z: Vec<f64> = abar.matvec_transpose(&y);
+    // λ0 = (Ā Āᵀ)^{-1} Ā f,  s0 = f − Āᵀ λ0
+    let af = abar.matvec(f);
+    let lambda = chol.solve(&af);
+    let at_lambda = abar.matvec_transpose(&lambda);
+    let mut s: Vec<f64> = (0..total).map(|i| f[i] - at_lambda[i]).collect();
+
+    // Shift into the strictly positive orthant.
+    let dz = (-z.iter().cloned().fold(f64::INFINITY, f64::min)).max(0.0) + 1.0;
+    let ds = (-s.iter().cloned().fold(f64::INFINITY, f64::min)).max(0.0) + 1.0;
+    for zi in z.iter_mut() {
+        *zi += dz;
+    }
+    for si in s.iter_mut() {
+        *si += ds;
+    }
+    (z, lambda, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LpProblem;
+    use crate::simplex;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn matches_simplex_on_textbook_lp() {
+        let lp = LpProblem::from_dense(
+            "textbook",
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            vec![4.0, 12.0, 18.0],
+            vec![3.0, 5.0],
+        );
+        let exact = simplex::solve(&lp);
+        let (ipm, trace) = solve_with(&lp, &InteriorPointConfig::default());
+        assert_eq!(ipm.status, LpStatus::Optimal);
+        assert_close(ipm.objective, exact.objective, 1e-4);
+        assert!(!trace.is_empty());
+        // The relative gap is (weakly) driven towards zero.
+        assert!(trace.last().unwrap().relative_gap < 1e-4);
+    }
+
+    #[test]
+    fn matches_simplex_on_fig3_lp() {
+        let lp = LpProblem::from_dense(
+            "fig3",
+            &[
+                vec![4.0, 8.0, 2.0],
+                vec![6.0, 5.0, 1.0],
+                vec![7.0, 4.0, 2.0],
+                vec![3.0, 1.0, 22.0],
+                vec![2.0, 3.0, 21.0],
+            ],
+            vec![20.0, 20.0, 21.0, 50.0, 51.0],
+            vec![9.0, 10.0, 50.0],
+        );
+        let (ipm, _) = solve_with(&lp, &InteriorPointConfig::default());
+        assert_eq!(ipm.status, LpStatus::Optimal);
+        assert_close(ipm.objective, 128.157, 0.01);
+        assert!(lp.max_violation(&ipm.x) < 1e-4);
+    }
+
+    #[test]
+    fn early_stopping_stops_sooner_with_looser_target() {
+        let lp = crate::generators::block_lp(&crate::generators::BlockLpSpec {
+            name: "early-stop".into(),
+            block_rows: 6,
+            block_cols: 4,
+            rows_per_block: 5,
+            cols_per_block: 5,
+            density: 0.6,
+            noise: 0.05,
+            seed: 7,
+        });
+        let tight = InteriorPointConfig {
+            stop_at_relative_error: Some(1.001),
+            ..Default::default()
+        };
+        let loose = InteriorPointConfig {
+            stop_at_relative_error: Some(2.0),
+            ..Default::default()
+        };
+        let (sol_tight, _) = solve_with(&lp, &tight);
+        let (sol_loose, _) = solve_with(&lp, &loose);
+        assert!(sol_loose.iterations <= sol_tight.iterations);
+        assert!(matches!(
+            sol_loose.status,
+            LpStatus::EarlyStopped | LpStatus::Optimal
+        ));
+    }
+
+    #[test]
+    fn solution_is_near_feasible() {
+        let lp = LpProblem::from_dense(
+            "feas",
+            &[vec![2.0, 1.0, 0.5], vec![1.0, 3.0, 1.0], vec![0.5, 0.5, 2.0]],
+            vec![10.0, 15.0, 8.0],
+            vec![1.0, 2.0, 1.5],
+        );
+        let (sol, _) = solve_with(&lp, &InteriorPointConfig::default());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(lp.max_violation(&sol.x) < 1e-5);
+        let exact = simplex::solve(&lp);
+        assert_close(sol.objective, exact.objective, 1e-3 * (1.0 + exact.objective.abs()));
+    }
+}

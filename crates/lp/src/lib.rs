@@ -1,0 +1,51 @@
+//! # qsc-lp
+//!
+//! Linear programming substrate and the LP application of quasi-stable
+//! coloring (Sec. 4.1 of the paper).
+//!
+//! * [`problem::LpProblem`] — LPs in the paper's canonical form
+//!   `max cᵀx, Ax ≤ b, x ≥ 0`.
+//! * [`simplex`] — dense two-phase primal simplex (the exact reference
+//!   solver for small/medium problems and all reduced problems).
+//! * [`interior_point`] — primal-dual interior-point method with an
+//!   early-stopping mode (the Tulip stand-in, and the early-stopping
+//!   baseline of Table 1).
+//! * [`reduce`] — LP dimensionality reduction via quasi-stable coloring of
+//!   the extended matrix (Eq. 3–6, Theorem 2), including the Fig. 3 example.
+//! * [`generators`] — structured, compressible LP generators standing in for
+//!   the Mittelmann benchmark instances of Table 3.
+//! * [`mps`] — minimal MPS reader/writer for loading external LPs.
+//!
+//! ## Example: approximate a structured LP
+//!
+//! ```
+//! use qsc_lp::generators::{block_lp, BlockLpSpec};
+//! use qsc_lp::reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant};
+//! use qsc_lp::simplex;
+//!
+//! let lp = block_lp(&BlockLpSpec {
+//!     name: "demo".into(),
+//!     block_rows: 4, block_cols: 3,
+//!     rows_per_block: 5, cols_per_block: 5,
+//!     density: 0.8, noise: 0.02, seed: 1,
+//! });
+//! let exact = simplex::solve(&lp).objective;
+//! let reduced = reduce_with_rothko(
+//!     &lp,
+//!     &LpColoringConfig::with_max_colors(12),
+//!     LpReductionVariant::SqrtNormalized,
+//! );
+//! let approx = simplex::solve(&reduced.problem).objective;
+//! let relative_error = (exact / approx).max(approx / exact);
+//! assert!(relative_error < 2.0);
+//! ```
+
+pub mod generators;
+pub mod interior_point;
+pub mod mps;
+pub mod problem;
+pub mod reduce;
+pub mod simplex;
+
+pub use problem::{LpProblem, LpSolution, LpStatus};
+pub use reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant, ReducedLp};

@@ -1,0 +1,203 @@
+//! The linear-programming problem model.
+//!
+//! All problems are kept in the paper's canonical form (Eq. 2):
+//!
+//! ```text
+//! maximize  cᵀ x    subject to    A x ≤ b,   x ≥ 0
+//! ```
+//!
+//! with `A ∈ R^{m×n}` stored sparsely.
+
+use qsc_linalg::SparseMatrix;
+
+/// A linear program `max cᵀx s.t. Ax ≤ b, x ≥ 0`.
+#[derive(Clone, Debug)]
+pub struct LpProblem {
+    /// Optional human-readable name.
+    pub name: String,
+    /// Constraint matrix `A` (`m × n`).
+    pub a: SparseMatrix,
+    /// Right-hand side `b` (length `m`).
+    pub b: Vec<f64>,
+    /// Objective coefficients `c` (length `n`).
+    pub c: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Construct a problem, validating dimensions.
+    pub fn new(name: impl Into<String>, a: SparseMatrix, b: Vec<f64>, c: Vec<f64>) -> Self {
+        assert_eq!(a.rows(), b.len(), "b length must equal the number of rows");
+        assert_eq!(a.cols(), c.len(), "c length must equal the number of columns");
+        LpProblem { name: name.into(), a, b, c }
+    }
+
+    /// Construct from dense row data.
+    pub fn from_dense(
+        name: impl Into<String>,
+        rows: &[Vec<f64>],
+        b: Vec<f64>,
+        c: Vec<f64>,
+    ) -> Self {
+        let m = rows.len();
+        let n = rows.first().map_or(0, |r| r.len());
+        let mut triplets = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "ragged constraint rows");
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    triplets.push((i as u32, j as u32, v));
+                }
+            }
+        }
+        Self::new(name, SparseMatrix::from_triplets(m, n, &triplets), b, c)
+    }
+
+    /// Number of constraints `m`.
+    pub fn num_rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of variables `n`.
+    pub fn num_cols(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Number of non-zero constraint coefficients.
+    pub fn num_nonzeros(&self) -> usize {
+        self.a.nnz()
+    }
+
+    /// Objective value `cᵀ x` of a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_cols());
+        qsc_linalg::vec_ops::dot(&self.c, x)
+    }
+
+    /// Whether `x` is feasible within tolerance `tol` (`x ≥ -tol` and
+    /// `Ax ≤ b + tol` componentwise).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_cols() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        let ax = self.a.matvec(x);
+        ax.iter().zip(&self.b).all(|(&lhs, &rhs)| lhs <= rhs + tol)
+    }
+
+    /// Maximum constraint violation of `x` (0 when feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let ax = self.a.matvec(x);
+        let constraint = ax
+            .iter()
+            .zip(&self.b)
+            .map(|(&lhs, &rhs)| (lhs - rhs).max(0.0))
+            .fold(0.0f64, f64::max);
+        let bound = x.iter().map(|&v| (-v).max(0.0)).fold(0.0f64, f64::max);
+        constraint.max(bound)
+    }
+
+    /// The extended matrix `𝑨` of Eq. (3): `(m+1) × (n+1)` with `b` as the
+    /// last column and `cᵀ` as the last row (the `∞` corner is omitted).
+    /// Returned as a triplet list for building the coloring graph.
+    pub fn extended_matrix_triplets(&self) -> Vec<(u32, u32, f64)> {
+        let m = self.num_rows() as u32;
+        let n = self.num_cols() as u32;
+        let mut triplets: Vec<(u32, u32, f64)> = self.a.triplets().collect();
+        for (i, &bi) in self.b.iter().enumerate() {
+            if bi != 0.0 {
+                triplets.push((i as u32, n, bi));
+            }
+        }
+        for (j, &cj) in self.c.iter().enumerate() {
+            if cj != 0.0 {
+                triplets.push((m, j as u32, cj));
+            }
+        }
+        triplets
+    }
+}
+
+/// Status of an LP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints are infeasible.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+    /// The iteration limit was reached before convergence; the reported
+    /// solution is the best found so far.
+    IterationLimit,
+    /// Early-stopped at the requested tolerance (interior-point only).
+    EarlyStopped,
+}
+
+/// Result of solving an LP.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value `cᵀ x` of the reported point (`-inf` if infeasible).
+    pub objective: f64,
+    /// The primal point.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+impl LpSolution {
+    /// Whether the solver proved optimality.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LpProblem {
+        // max x0 + x1 s.t. x0 + x1 <= 1, x0 <= 0.75
+        LpProblem::from_dense(
+            "tiny",
+            &[vec![1.0, 1.0], vec![1.0, 0.0]],
+            vec![1.0, 0.75],
+            vec![1.0, 1.0],
+        )
+    }
+
+    #[test]
+    fn dimensions_and_objective() {
+        let lp = tiny();
+        assert_eq!(lp.num_rows(), 2);
+        assert_eq!(lp.num_cols(), 2);
+        assert_eq!(lp.num_nonzeros(), 3);
+        assert_eq!(lp.objective_value(&[0.5, 0.5]), 1.0);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let lp = tiny();
+        assert!(lp.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[1.0, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[-0.1, 0.0], 1e-9));
+        assert!(lp.max_violation(&[1.0, 0.5]) > 0.4);
+        assert_eq!(lp.max_violation(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn extended_matrix_has_b_and_c() {
+        let lp = tiny();
+        let t = lp.extended_matrix_triplets();
+        // A entries (3) + b entries (2) + c entries (2).
+        assert_eq!(t.len(), 7);
+        assert!(t.contains(&(0, 2, 1.0))); // b_0 in last column
+        assert!(t.contains(&(2, 0, 1.0))); // c_0 in last row
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        LpProblem::from_dense("bad", &[vec![1.0]], vec![1.0, 2.0], vec![1.0]);
+    }
+}

@@ -1,0 +1,493 @@
+//! LP dimensionality reduction via quasi-stable coloring (Sec. 4.1).
+//!
+//! The LP `max cᵀx, Ax ≤ b, x ≥ 0` is associated with the weighted bipartite
+//! graph of its extended matrix `𝑨` (Eq. 3): one node per row (plus one for
+//! the objective row `cᵀ`) and one node per column (plus one for the
+//! right-hand side `b`). A quasi-stable coloring of that graph — with the
+//! objective row and the rhs column pinned to their own colors — induces the
+//! reduced LP of Eq. (5)/(6). Theorem 2 guarantees that the reduced optimum
+//! converges to the true optimum as the coloring error `q → 0`.
+
+use crate::problem::LpProblem;
+use qsc_core::rothko::{Rothko, RothkoConfig, SplitMean};
+use qsc_core::Partition;
+use qsc_graph::GraphBuilder;
+use qsc_linalg::SparseMatrix;
+
+/// Which reduced-matrix weighting to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LpReductionVariant {
+    /// Eq. (6): `Â(r,s) = A(P_r,Q_s)/√(|P_r||Q_s|)`, `b̂(r) = b(P_r)/√|P_r|`,
+    /// `ĉ(s) = c(Q_s)/√|Q_s|`.
+    #[default]
+    SqrtNormalized,
+    /// The Grohe et al. variant: `Â'(r,s) = A(P_r,Q_s)/|Q_s|`,
+    /// `b̂'(r) = b(P_r)`, `ĉ'(s) = c(Q_s)/|Q_s|`.
+    GroheAverage,
+}
+
+/// Configuration for coloring an LP's extended matrix.
+#[derive(Clone, Debug)]
+pub struct LpColoringConfig {
+    /// Total color budget for the bipartite coloring (rows + columns,
+    /// including the two reserved colors for the objective row and the rhs
+    /// column).
+    pub max_colors: usize,
+    /// Alternative stopping rule: maximum q-error target.
+    pub target_error: f64,
+    /// Witness weighting exponents; the paper uses `α = 1, β = 0` for LPs.
+    pub alpha: f64,
+    /// See `alpha`.
+    pub beta: f64,
+    /// Split rule for the Rothko algorithm.
+    pub split_mean: SplitMean,
+}
+
+impl LpColoringConfig {
+    /// Budget-based configuration with the paper's LP weights.
+    pub fn with_max_colors(max_colors: usize) -> Self {
+        LpColoringConfig {
+            max_colors,
+            target_error: 0.0,
+            alpha: 1.0,
+            beta: 0.0,
+            split_mean: SplitMean::Arithmetic,
+        }
+    }
+
+    /// Error-target configuration with the paper's LP weights.
+    pub fn with_target_error(q: f64) -> Self {
+        LpColoringConfig {
+            max_colors: usize::MAX,
+            target_error: q,
+            alpha: 1.0,
+            beta: 0.0,
+            split_mean: SplitMean::Arithmetic,
+        }
+    }
+}
+
+/// The result of reducing an LP through a coloring.
+#[derive(Clone, Debug)]
+pub struct ReducedLp {
+    /// The reduced problem (Eq. 5).
+    pub problem: LpProblem,
+    /// For each original row, the index of the reduced row it maps to.
+    pub row_of: Vec<u32>,
+    /// For each original column, the index of the reduced column it maps to.
+    pub col_of: Vec<u32>,
+    /// Sizes |P_r| of the reduced rows.
+    pub row_sizes: Vec<usize>,
+    /// Sizes |Q_s| of the reduced columns.
+    pub col_sizes: Vec<usize>,
+    /// Maximum q-error of the coloring that produced this reduction.
+    pub max_q_error: f64,
+    /// The weighting variant used.
+    pub variant: LpReductionVariant,
+}
+
+impl ReducedLp {
+    /// Number of rows of the reduced LP.
+    pub fn num_rows(&self) -> usize {
+        self.problem.num_rows()
+    }
+
+    /// Number of columns of the reduced LP.
+    pub fn num_cols(&self) -> usize {
+        self.problem.num_cols()
+    }
+
+    /// Compression ratio in terms of non-zeros of the constraint matrix.
+    pub fn compression_ratio(&self, original: &LpProblem) -> f64 {
+        original.num_nonzeros().max(1) as f64 / self.problem.num_nonzeros().max(1) as f64
+    }
+
+    /// Lift a reduced solution `x̂` back to the original variable space
+    /// (`x = Vᵀ x̂`, Eq. 10).
+    pub fn lift_solution(&self, x_hat: &[f64]) -> Vec<f64> {
+        assert_eq!(x_hat.len(), self.num_cols());
+        self.col_of
+            .iter()
+            .map(|&s| {
+                let s = s as usize;
+                match self.variant {
+                    LpReductionVariant::SqrtNormalized => {
+                        x_hat[s] / (self.col_sizes[s] as f64).sqrt()
+                    }
+                    LpReductionVariant::GroheAverage => x_hat[s],
+                }
+            })
+            .collect()
+    }
+}
+
+/// A row/column coloring of an LP's extended matrix.
+#[derive(Clone, Debug)]
+pub struct LpColoring {
+    /// Color of each original row, in `0..num_row_colors`.
+    pub row_colors: Vec<u32>,
+    /// Color of each original column, in `0..num_col_colors`.
+    pub col_colors: Vec<u32>,
+    /// Number of row colors (excluding the reserved objective-row color).
+    pub num_row_colors: usize,
+    /// Number of column colors (excluding the reserved rhs-column color).
+    pub num_col_colors: usize,
+    /// Maximum q-error of the underlying coloring of the extended matrix.
+    pub max_q_error: f64,
+}
+
+/// Color the extended matrix of `problem` with the Rothko algorithm.
+pub fn color_lp(problem: &LpProblem, config: &LpColoringConfig) -> LpColoring {
+    let m = problem.num_rows();
+    let n = problem.num_cols();
+    // Node layout: rows 0..m, objective row m, columns m+1 .. m+1+n, rhs
+    // column m+1+n.
+    let total_nodes = m + 1 + n + 1;
+    let obj_row = m as u32;
+    let rhs_col = (m + 1 + n) as u32;
+    let col_node = |j: usize| (m + 1 + j) as u32;
+
+    let mut builder = GraphBuilder::new_directed(total_nodes);
+    for (i, j, v) in problem.a.triplets() {
+        builder.add_edge(i, col_node(j as usize), v);
+    }
+    for (i, &bi) in problem.b.iter().enumerate() {
+        if bi != 0.0 {
+            builder.add_edge(i as u32, rhs_col, bi);
+        }
+    }
+    for (j, &cj) in problem.c.iter().enumerate() {
+        if cj != 0.0 {
+            builder.add_edge(obj_row, col_node(j), cj);
+        }
+    }
+    let graph = builder.build();
+
+    // Initial partition: {constraint rows}, {objective row}, {columns},
+    // {rhs column}. The objective row and rhs column stay singletons because
+    // Rothko only ever splits colors.
+    let mut assignment = vec![0u32; total_nodes];
+    assignment[obj_row as usize] = 1;
+    for j in 0..n {
+        assignment[col_node(j) as usize] = 2;
+    }
+    assignment[rhs_col as usize] = 3;
+    let initial = Partition::from_assignment(&assignment);
+
+    let rothko_config = RothkoConfig {
+        max_colors: config.max_colors.max(4),
+        target_error: config.target_error,
+        alpha: config.alpha,
+        beta: config.beta,
+        split_mean: config.split_mean,
+        initial: Some(initial),
+        max_iterations: None,
+    };
+    let coloring = Rothko::new(rothko_config).run(&graph);
+    let p = &coloring.partition;
+
+    // Re-number row colors and column colors independently.
+    let mut row_color_ids: Vec<u32> = Vec::new();
+    let mut row_colors = vec![0u32; m];
+    for (i, rc) in row_colors.iter_mut().enumerate() {
+        let c = p.color_of(i as u32);
+        let idx = match row_color_ids.iter().position(|&x| x == c) {
+            Some(idx) => idx,
+            None => {
+                row_color_ids.push(c);
+                row_color_ids.len() - 1
+            }
+        };
+        *rc = idx as u32;
+    }
+    let mut col_color_ids: Vec<u32> = Vec::new();
+    let mut col_colors = vec![0u32; n];
+    for (j, cc) in col_colors.iter_mut().enumerate() {
+        let c = p.color_of(col_node(j));
+        let idx = match col_color_ids.iter().position(|&x| x == c) {
+            Some(idx) => idx,
+            None => {
+                col_color_ids.push(c);
+                col_color_ids.len() - 1
+            }
+        };
+        *cc = idx as u32;
+    }
+
+    LpColoring {
+        row_colors,
+        col_colors,
+        num_row_colors: row_color_ids.len(),
+        num_col_colors: col_color_ids.len(),
+        max_q_error: coloring.max_q_error,
+    }
+}
+
+/// Build the reduced LP from an explicit row/column coloring.
+pub fn reduce_lp(
+    problem: &LpProblem,
+    coloring: &LpColoring,
+    variant: LpReductionVariant,
+) -> ReducedLp {
+    let k = coloring.num_row_colors;
+    let l = coloring.num_col_colors;
+    let mut row_sizes = vec![0usize; k];
+    for &r in &coloring.row_colors {
+        row_sizes[r as usize] += 1;
+    }
+    let mut col_sizes = vec![0usize; l];
+    for &c in &coloring.col_colors {
+        col_sizes[c as usize] += 1;
+    }
+
+    // Aggregate A, b, c by color.
+    let mut a_sum = vec![0.0f64; k * l];
+    for (i, j, v) in problem.a.triplets() {
+        let r = coloring.row_colors[i as usize] as usize;
+        let s = coloring.col_colors[j as usize] as usize;
+        a_sum[r * l + s] += v;
+    }
+    let mut b_sum = vec![0.0f64; k];
+    for (i, &bi) in problem.b.iter().enumerate() {
+        b_sum[coloring.row_colors[i] as usize] += bi;
+    }
+    let mut c_sum = vec![0.0f64; l];
+    for (j, &cj) in problem.c.iter().enumerate() {
+        c_sum[coloring.col_colors[j] as usize] += cj;
+    }
+
+    let mut triplets = Vec::new();
+    for r in 0..k {
+        for s in 0..l {
+            let v = a_sum[r * l + s];
+            if v != 0.0 {
+                let scaled = match variant {
+                    LpReductionVariant::SqrtNormalized => {
+                        v / ((row_sizes[r] * col_sizes[s]) as f64).sqrt()
+                    }
+                    LpReductionVariant::GroheAverage => v / col_sizes[s] as f64,
+                };
+                triplets.push((r as u32, s as u32, scaled));
+            }
+        }
+    }
+    let b_hat: Vec<f64> = (0..k)
+        .map(|r| match variant {
+            LpReductionVariant::SqrtNormalized => b_sum[r] / (row_sizes[r] as f64).sqrt(),
+            LpReductionVariant::GroheAverage => b_sum[r],
+        })
+        .collect();
+    let c_hat: Vec<f64> = (0..l)
+        .map(|s| match variant {
+            LpReductionVariant::SqrtNormalized => c_sum[s] / (col_sizes[s] as f64).sqrt(),
+            LpReductionVariant::GroheAverage => c_sum[s] / col_sizes[s] as f64,
+        })
+        .collect();
+
+    let reduced_problem = LpProblem::new(
+        format!("{}-reduced-{}x{}", problem.name, k, l),
+        SparseMatrix::from_triplets(k, l, &triplets),
+        b_hat,
+        c_hat,
+    );
+    ReducedLp {
+        problem: reduced_problem,
+        row_of: coloring.row_colors.clone(),
+        col_of: coloring.col_colors.clone(),
+        row_sizes,
+        col_sizes,
+        max_q_error: coloring.max_q_error,
+        variant,
+    }
+}
+
+/// Convenience: color the LP with Rothko and build the reduced LP.
+pub fn reduce_with_rothko(
+    problem: &LpProblem,
+    config: &LpColoringConfig,
+    variant: LpReductionVariant,
+) -> ReducedLp {
+    let coloring = color_lp(problem, config);
+    reduce_lp(problem, &coloring, variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex;
+
+    fn fig3_problem() -> LpProblem {
+        LpProblem::from_dense(
+            "fig3",
+            &[
+                vec![4.0, 8.0, 2.0],
+                vec![6.0, 5.0, 1.0],
+                vec![7.0, 4.0, 2.0],
+                vec![3.0, 1.0, 22.0],
+                vec![2.0, 3.0, 21.0],
+            ],
+            vec![20.0, 20.0, 21.0, 50.0, 51.0],
+            vec![9.0, 10.0, 50.0],
+        )
+    }
+
+    /// The exact partition shown in Fig. 3(b): rows {1,2,3}, {4,5}; columns
+    /// {x1,x2}, {x3}.
+    fn fig3_coloring() -> LpColoring {
+        LpColoring {
+            row_colors: vec![0, 0, 0, 1, 1],
+            col_colors: vec![0, 0, 1],
+            num_row_colors: 2,
+            num_col_colors: 2,
+            max_q_error: 1.0,
+        }
+    }
+
+    #[test]
+    fn fig3_example_reduced_matrix_matches_paper() {
+        let lp = fig3_problem();
+        let reduced = reduce_lp(&lp, &fig3_coloring(), LpReductionVariant::SqrtNormalized);
+        assert_eq!(reduced.num_rows(), 2);
+        assert_eq!(reduced.num_cols(), 2);
+        // Â(1,1) = 34/√(3·2), Â(1,2) = 5/√(3·1), Â(2,1) = 9/√(2·2),
+        // Â(2,2) = 43/√(2·1); b̂ = (61/√3, 101/√2); ĉ = (19/√2, 50).
+        let a = &reduced.problem.a;
+        assert!((a.get(0, 0) - 34.0 / 6f64.sqrt()).abs() < 1e-9);
+        assert!((a.get(0, 1) - 5.0 / 3f64.sqrt()).abs() < 1e-9);
+        assert!((a.get(1, 0) - 9.0 / 2.0).abs() < 1e-9);
+        assert!((a.get(1, 1) - 43.0 / 2f64.sqrt()).abs() < 1e-9);
+        assert!((reduced.problem.b[0] - 61.0 / 3f64.sqrt()).abs() < 1e-9);
+        assert!((reduced.problem.b[1] - 101.0 / 2f64.sqrt()).abs() < 1e-9);
+        assert!((reduced.problem.c[0] - 19.0 / 2f64.sqrt()).abs() < 1e-9);
+        assert!((reduced.problem.c[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_example_objective_values_match_paper() {
+        // The paper reports: original optimum 128.157, reduced optimum
+        // 130.199.
+        let lp = fig3_problem();
+        let original = simplex::solve(&lp);
+        assert!((original.objective - 128.157).abs() < 0.01);
+
+        let reduced = reduce_lp(&lp, &fig3_coloring(), LpReductionVariant::SqrtNormalized);
+        let reduced_sol = simplex::solve(&reduced.problem);
+        assert!(
+            (reduced_sol.objective - 130.199).abs() < 0.01,
+            "reduced optimum {} != 130.199",
+            reduced_sol.objective
+        );
+    }
+
+    #[test]
+    fn stable_coloring_reduction_is_exact() {
+        // Theorem 2 with q = 0: a stable (q = 0) coloring preserves the LP
+        // optimum exactly. Build an LP with duplicated rows and columns so
+        // the coloring with q = 0 is non-trivial.
+        let lp = LpProblem::from_dense(
+            "duplicated",
+            &[
+                vec![1.0, 1.0, 2.0, 2.0],
+                vec![1.0, 1.0, 2.0, 2.0],
+                vec![3.0, 3.0, 1.0, 1.0],
+            ],
+            vec![10.0, 10.0, 12.0],
+            vec![2.0, 2.0, 5.0, 5.0],
+        );
+        let config = LpColoringConfig::with_target_error(0.0);
+        let reduced = reduce_with_rothko(&lp, &config, LpReductionVariant::SqrtNormalized);
+        assert!(reduced.max_q_error <= 1e-9);
+        assert!(reduced.num_rows() < lp.num_rows() || reduced.num_cols() < lp.num_cols());
+        let original = simplex::solve(&lp);
+        let red = simplex::solve(&reduced.problem);
+        assert!(
+            (original.objective - red.objective).abs() < 1e-6,
+            "exact reduction changed the optimum: {} vs {}",
+            original.objective,
+            red.objective
+        );
+    }
+
+    #[test]
+    fn rothko_coloring_separates_rows_and_columns() {
+        let lp = fig3_problem();
+        let coloring = color_lp(&lp, &LpColoringConfig::with_max_colors(6));
+        assert_eq!(coloring.row_colors.len(), 5);
+        assert_eq!(coloring.col_colors.len(), 3);
+        assert!(coloring.num_row_colors >= 1);
+        assert!(coloring.num_col_colors >= 1);
+        // Budget respected: the total number of colors (rows + cols +
+        // reserved obj/rhs) is at most 6, so the visible ones are at most 4.
+        assert!(coloring.num_row_colors + coloring.num_col_colors <= 4);
+    }
+
+    #[test]
+    fn more_colors_reduce_error_on_block_lp() {
+        let lp = crate::generators::block_lp(&crate::generators::BlockLpSpec {
+            name: "block".into(),
+            block_rows: 4,
+            block_cols: 3,
+            rows_per_block: 6,
+            cols_per_block: 6,
+            density: 0.7,
+            noise: 0.05,
+            seed: 3,
+        });
+        let exact = simplex::solve(&lp).objective;
+        let coarse = simplex::solve(
+            &reduce_with_rothko(
+                &lp,
+                &LpColoringConfig::with_max_colors(6),
+                LpReductionVariant::SqrtNormalized,
+            )
+            .problem,
+        )
+        .objective;
+        let fine = simplex::solve(
+            &reduce_with_rothko(
+                &lp,
+                &LpColoringConfig::with_max_colors(16),
+                LpReductionVariant::SqrtNormalized,
+            )
+            .problem,
+        )
+        .objective;
+        let rel = |v: f64| (v / exact).max(exact / v);
+        assert!(
+            rel(fine) <= rel(coarse) + 0.25,
+            "finer coloring should not be much worse: coarse {} fine {} exact {}",
+            coarse,
+            fine,
+            exact
+        );
+        // The fine reduction should be within ~30% of the optimum on this
+        // highly structured instance.
+        assert!(rel(fine) < 1.3, "fine relative error too large: {}", rel(fine));
+    }
+
+    #[test]
+    fn lift_solution_has_original_dimension() {
+        let lp = fig3_problem();
+        let reduced = reduce_lp(&lp, &fig3_coloring(), LpReductionVariant::SqrtNormalized);
+        let sol = simplex::solve(&reduced.problem);
+        let lifted = reduced.lift_solution(&sol.x);
+        assert_eq!(lifted.len(), 3);
+        // The lifted point is non-negative.
+        assert!(lifted.iter().all(|&v| v >= -1e-9));
+    }
+
+    #[test]
+    fn grohe_variant_also_exact_for_stable_coloring() {
+        let lp = LpProblem::from_dense(
+            "duplicated2",
+            &[vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![4.0, 4.0],
+            vec![3.0, 3.0],
+        );
+        let config = LpColoringConfig::with_target_error(0.0);
+        let reduced = reduce_with_rothko(&lp, &config, LpReductionVariant::GroheAverage);
+        let original = simplex::solve(&lp);
+        let red = simplex::solve(&reduced.problem);
+        assert!((original.objective - red.objective).abs() < 1e-6);
+    }
+}

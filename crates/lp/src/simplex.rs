@@ -1,0 +1,426 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `max cᵀx s.t. Ax ≤ b, x ≥ 0` via the standard tableau method:
+//! slack variables turn the inequalities into equalities, negative
+//! right-hand sides are handled with phase-1 artificial variables, and
+//! Dantzig pricing (with a Bland's-rule fallback to guarantee termination)
+//! drives the pivoting. Intended for the small-to-medium LPs of this
+//! reproduction — the reduced LPs produced by quasi-stable coloring have at
+//! most a few hundred rows.
+
+use crate::problem::{LpProblem, LpSolution, LpStatus};
+
+/// Configuration of the simplex solver.
+#[derive(Clone, Debug)]
+pub struct SimplexConfig {
+    /// Numerical tolerance for reduced costs, ratio tests and feasibility.
+    pub tolerance: f64,
+    /// Maximum number of pivots across both phases.
+    pub max_iterations: usize,
+    /// After this many pivots without improvement, switch to Bland's rule to
+    /// prevent cycling.
+    pub bland_threshold: usize,
+}
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        SimplexConfig { tolerance: 1e-9, max_iterations: 50_000, bland_threshold: 1_000 }
+    }
+}
+
+/// Solve an LP with the default configuration.
+pub fn solve(problem: &LpProblem) -> LpSolution {
+    solve_with(problem, &SimplexConfig::default())
+}
+
+/// Solve an LP with an explicit configuration.
+pub fn solve_with(problem: &LpProblem, config: &SimplexConfig) -> LpSolution {
+    solve_two_phase(problem, config)
+}
+
+struct Simplex {
+    /// Constraint rows of the tableau: `m` rows, each of length
+    /// `total_vars + 1` (last entry = rhs).
+    rows: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `total_vars + 1`; the last entry
+    /// holds the negated objective value of the current basis.
+    obj: Vec<f64>,
+    /// Index of the basic variable of each row.
+    basis: Vec<usize>,
+    n: usize,
+    m: usize,
+    num_artificial: usize,
+    config: SimplexConfig,
+    iterations: usize,
+}
+
+impl Simplex {
+    fn new(problem: &LpProblem, config: SimplexConfig) -> Self {
+        let m = problem.num_rows();
+        let n = problem.num_cols();
+        // Variable layout: [0..n) original, [n..n+m) slacks,
+        // [n+m..n+m+num_artificial) artificials (one per negative-rhs row).
+        let negative_rows: Vec<bool> = problem.b.iter().map(|&bi| bi < 0.0).collect();
+        let num_artificial = negative_rows.iter().filter(|&&x| x).count();
+        let total = n + m + num_artificial;
+
+        let mut rows = vec![vec![0.0; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut artificial_cursor = 0usize;
+        for i in 0..m {
+            let sign = if negative_rows[i] { -1.0 } else { 1.0 };
+            for (j, v) in problem.a.row(i) {
+                rows[i][j as usize] = sign * v;
+            }
+            rows[i][n + i] = sign; // slack
+            rows[i][total] = sign * problem.b[i];
+            if negative_rows[i] {
+                let art = n + m + artificial_cursor;
+                rows[i][art] = 1.0;
+                basis[i] = art;
+                artificial_cursor += 1;
+            } else {
+                basis[i] = n + i;
+            }
+        }
+
+        Simplex {
+            rows,
+            obj: vec![0.0; total + 1],
+            basis,
+            n,
+            m,
+            num_artificial,
+            config,
+            iterations: 0,
+        }
+    }
+
+    fn total_vars(&self) -> usize {
+        self.n + self.m + self.num_artificial
+    }
+
+    fn pivot_loop(&mut self, _phase1: bool) -> LoopStatus {
+        let tol = self.config.tolerance;
+        let total = self.total_vars();
+        let mut stalled = 0usize;
+        loop {
+            if self.iterations >= self.config.max_iterations {
+                return LoopStatus::IterationLimit;
+            }
+            let use_bland = stalled >= self.config.bland_threshold;
+            // Entering variable: positive reduced cost (maximization).
+            let mut entering: Option<usize> = None;
+            let mut best = tol;
+            for j in 0..total {
+                let rc = self.obj[j];
+                if rc > tol {
+                    if use_bland {
+                        entering = Some(j);
+                        break;
+                    }
+                    if rc > best {
+                        best = rc;
+                        entering = Some(j);
+                    }
+                }
+            }
+            let Some(enter) = entering else {
+                return LoopStatus::Optimal;
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.m {
+                let a = self.rows[i][enter];
+                if a > tol {
+                    let ratio = self.rows[i][total] / a;
+                    if ratio < best_ratio - tol
+                        || (use_bland
+                            && (ratio - best_ratio).abs() <= tol
+                            && leave.map_or(true, |l| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(leave_row) = leave else {
+                return LoopStatus::Unbounded;
+            };
+            let before = self.obj[total];
+            self.pivot(leave_row, enter);
+            let after = self.obj[total];
+            if (after - before).abs() <= tol {
+                stalled += 1;
+            } else {
+                stalled = 0;
+            }
+            self.iterations += 1;
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let total = self.total_vars();
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > 0.0);
+        for j in 0..=total {
+            self.rows[row][j] /= pivot_val;
+        }
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col];
+            if factor != 0.0 {
+                for j in 0..=total {
+                    self.rows[i][j] -= factor * self.rows[row][j];
+                }
+            }
+        }
+        let factor = self.obj[col];
+        if factor != 0.0 {
+            for j in 0..=total {
+                self.obj[j] -= factor * self.rows[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivot any artificial variables that remain basic (at
+    /// value zero) out of the basis where possible.
+    fn evict_artificials(&mut self) {
+        let art_start = self.n + self.m;
+        let total = self.total_vars();
+        for i in 0..self.m {
+            if self.basis[i] >= art_start {
+                // Find a non-artificial column with a non-zero entry.
+                if let Some(col) = (0..art_start)
+                    .find(|&j| self.rows[i][j].abs() > self.config.tolerance)
+                {
+                    self.pivot(i, col);
+                } else {
+                    // Redundant row: zero it (the artificial stays basic at 0).
+                    for j in 0..=total {
+                        if j < art_start {
+                            self.rows[i][j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(&self, status: LpStatus, objective_override: Option<f64>) -> LpSolution {
+        let total = self.total_vars();
+        let mut x = vec![0.0; self.n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.n {
+                x[b] = self.rows[i][total];
+            }
+        }
+        let objective = objective_override.unwrap_or(-self.obj[total]);
+        LpSolution { status, objective, x, iterations: self.iterations }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LoopStatus {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+// The phase-2 objective needs the problem's `c`; `Simplex::phase2_costs`
+// cannot see it, so `solve_with` is implemented as a free function that
+// threads the coefficients through. To keep the solver self-contained we
+// instead rebuild the reduced costs here.
+impl Simplex {
+    fn set_phase2_objective(&mut self, c: &[f64]) {
+        let total = self.total_vars();
+        let mut obj = vec![0.0; total + 1];
+        obj[..self.n].copy_from_slice(c);
+        // Price out the basic variables: for each row whose basic variable
+        // has a non-zero objective coefficient, subtract c_B * row.
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = if b < self.n { c[b] } else { 0.0 };
+            if cb != 0.0 {
+                for j in 0..=total {
+                    obj[j] -= cb * self.rows[i][j];
+                }
+                // The basic column itself becomes 0 (it is the identity in
+                // this row); adding cb back keeps reduced cost of the basic
+                // variable at 0, which the subtraction already achieves since
+                // rows[i][b] == 1.
+            }
+        }
+        // Artificial variables must never re-enter.
+        for j in (self.n + self.m)..total {
+            obj[j] = f64::NEG_INFINITY;
+        }
+        self.obj = obj;
+    }
+}
+
+/// Internal re-implementation of [`solve_with`] wiring phase 2 correctly.
+pub(crate) fn solve_two_phase(problem: &LpProblem, config: &SimplexConfig) -> LpSolution {
+    let mut s = Simplex::new(problem, config.clone());
+    let tol = config.tolerance;
+    if s.num_artificial > 0 {
+        let total = s.total_vars();
+        let mut obj = vec![0.0; total + 1];
+        for (i, &b) in s.basis.clone().iter().enumerate() {
+            if b >= s.n + s.m {
+                for j in 0..=total {
+                    obj[j] += s.rows[i][j];
+                }
+            }
+        }
+        for art in (s.n + s.m)..total {
+            obj[art] -= 1.0;
+        }
+        s.obj = obj;
+        let status = s.pivot_loop(true);
+        if status == LoopStatus::IterationLimit {
+            return s.report(LpStatus::IterationLimit, None);
+        }
+        // `obj[total]` holds the negated phase-1 objective, i.e. the total
+        // residual infeasibility (sum of artificial values).
+        let infeasibility = s.obj[s.total_vars()];
+        if infeasibility > tol.max(1e-7) {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                objective: f64::NEG_INFINITY,
+                x: vec![0.0; s.n],
+                iterations: s.iterations,
+            };
+        }
+        s.evict_artificials();
+    }
+    s.set_phase2_objective(&problem.c);
+    let status = s.pivot_loop(false);
+    match status {
+        LoopStatus::Optimal => s.report(LpStatus::Optimal, None),
+        LoopStatus::Unbounded => s.report(LpStatus::Unbounded, Some(f64::INFINITY)),
+        LoopStatus::IterationLimit => s.report(LpStatus::IterationLimit, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LpProblem;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => opt 36 at (2,6).
+        let lp = LpProblem::from_dense(
+            "textbook",
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            vec![4.0, 12.0, 18.0],
+            vec![3.0, 5.0],
+        );
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 36.0, 1e-7);
+        assert_close(sol.x[0], 2.0, 1e-7);
+        assert_close(sol.x[1], 6.0, 1e-7);
+        assert!(lp.is_feasible(&sol.x, 1e-7));
+    }
+
+    #[test]
+    fn paper_fig3_original_lp() {
+        // The 5x3 LP of Fig. 3(a); the paper reports optimal value 128.157.
+        let lp = LpProblem::from_dense(
+            "fig3",
+            &[
+                vec![4.0, 8.0, 2.0],
+                vec![6.0, 5.0, 1.0],
+                vec![7.0, 4.0, 2.0],
+                vec![3.0, 1.0, 22.0],
+                vec![2.0, 3.0, 21.0],
+            ],
+            vec![20.0, 20.0, 21.0, 50.0, 51.0],
+            vec![9.0, 10.0, 50.0],
+        );
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 128.157, 0.01);
+        assert!(lp.is_feasible(&sol.x, 1e-7));
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        // max x with only constraint -x <= 1: unbounded.
+        let lp = LpProblem::from_dense("unbounded", &[vec![-1.0]], vec![1.0], vec![1.0]);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detection() {
+        // x <= -1 with x >= 0 is infeasible.
+        let lp = LpProblem::from_dense("infeasible", &[vec![1.0]], vec![-1.0], vec![1.0]);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_feasible_problem() {
+        // max x + y s.t. -x <= -1 (i.e. x >= 1), x + y <= 3 => opt 3.
+        let lp = LpProblem::from_dense(
+            "negative-rhs",
+            &[vec![-1.0, 0.0], vec![1.0, 1.0]],
+            vec![-1.0, 3.0],
+            vec![1.0, 1.0],
+        );
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 3.0, 1e-7);
+        assert!(sol.x[0] >= 1.0 - 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the optimum.
+        let lp = LpProblem::from_dense(
+            "degenerate",
+            &[
+                vec![1.0, 1.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![1.0, 0.0],
+            ],
+            vec![1.0, 1.0, 2.0, 1.0],
+            vec![1.0, 1.0],
+        );
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 1.0, 1e-7);
+    }
+
+    #[test]
+    fn zero_objective() {
+        let lp = LpProblem::from_dense("zero", &[vec![1.0]], vec![5.0], vec![0.0]);
+        let sol = solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn respects_iteration_limit() {
+        let lp = LpProblem::from_dense(
+            "limited",
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            vec![4.0, 12.0, 18.0],
+            vec![3.0, 5.0],
+        );
+        let config = SimplexConfig { max_iterations: 1, ..Default::default() };
+        let sol = solve_with(&lp, &config);
+        assert_eq!(sol.status, LpStatus::IterationLimit);
+    }
+}

@@ -1,0 +1,47 @@
+//! Approximate betweenness centrality on a social-network stand-in
+//! (the Sec. 4.3 / Fig. 7c workflow) and compare against the
+//! Riondato–Kornaropoulos sampling baseline of Table 1.
+//!
+//! Run with: `cargo run -p qsc-examples --bin centrality_social --release`
+
+use qsc_centrality::approx::{approximate, CentralityApproxConfig};
+use qsc_centrality::sampling::{betweenness_sampling, SamplingConfig};
+use qsc_centrality::{brandes, spearman};
+use qsc_examples::{fmt, section};
+
+fn main() {
+    let g = qsc_datasets::load_graph("facebook", qsc_datasets::Scale::Small).expect("dataset");
+    println!(
+        "social-graph stand-in for facebook: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    section("Exact betweenness (Brandes)");
+    let start = std::time::Instant::now();
+    let exact = brandes::betweenness(&g);
+    let exact_secs = start.elapsed().as_secs_f64();
+    let mut top: Vec<usize> = (0..g.num_nodes()).collect();
+    top.sort_by(|&a, &b| exact[b].partial_cmp(&exact[a]).unwrap());
+    println!("time: {:.3}s", exact_secs);
+    println!("top-5 nodes by betweenness: {:?}", &top[..5]);
+
+    section("Quasi-stable coloring approximation");
+    println!("{:<8} {:>12} {:>10}", "colors", "Spearman ρ", "time(s)");
+    for budget in [10, 25, 50, 100] {
+        let start = std::time::Instant::now();
+        let approx = approximate(&g, &CentralityApproxConfig::with_max_colors(budget));
+        let secs = start.elapsed().as_secs_f64();
+        let rho = spearman(&exact, &approx.scores);
+        println!("{:<8} {:>12} {:>10}", approx.partition.num_colors(), fmt(rho), fmt(secs));
+    }
+
+    section("Riondato–Kornaropoulos sampling baseline");
+    println!("{:<8} {:>12} {:>10}", "epsilon", "Spearman ρ", "time(s)");
+    for epsilon in [0.1, 0.05, 0.03] {
+        let start = std::time::Instant::now();
+        let est = betweenness_sampling(&g, &SamplingConfig::with_epsilon(epsilon));
+        let secs = start.elapsed().as_secs_f64();
+        println!("{:<8} {:>12} {:>10}", epsilon, fmt(spearman(&exact, &est)), fmt(secs));
+    }
+}

@@ -1,0 +1,54 @@
+//! Approximate max-flow on a vision-style grid network (the Sec. 4.2 /
+//! Fig. 7a workflow, on the Tsukuba stereo-vision stand-in).
+//!
+//! Run with: `cargo run -p qsc-examples --bin maxflow_vision --release`
+
+use qsc_examples::{fmt, section};
+use qsc_flow::reduce::{approximate_max_flow, relative_error, FlowApproxConfig};
+use qsc_flow::{dinic, push_relabel};
+
+fn main() {
+    let network = qsc_datasets::load_flow("tsukuba0", qsc_datasets::Scale::Full).expect("dataset");
+    println!(
+        "flow network stand-in for tsukuba0: {} nodes, {} arcs",
+        network.num_nodes(),
+        network.num_edges()
+    );
+
+    section("Exact max-flow (push-relabel baseline)");
+    let start = std::time::Instant::now();
+    let exact = push_relabel::max_flow(&network);
+    let exact_secs = start.elapsed().as_secs_f64();
+    println!("max flow: {}", fmt(exact.value));
+    println!("time: {:.3}s ({} relabels)", exact_secs, exact.iterations);
+
+    let check = dinic::max_flow(&network);
+    println!("cross-check (Dinic): {}", fmt(check.value));
+
+    section("Coloring-based approximation (Theorem 6 upper bound)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "colors", "value", "rel.err", "max q", "time(s)"
+    );
+    for budget in [5, 10, 20, 35, 60] {
+        let start = std::time::Instant::now();
+        let approx = approximate_max_flow(&network, &FlowApproxConfig::with_max_colors(budget));
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10}",
+            approx.colors,
+            fmt(approx.value),
+            fmt(relative_error(exact.value, approx.value)),
+            fmt(approx.max_q_error),
+            fmt(secs)
+        );
+    }
+
+    section("Minimum cut of the original network");
+    let cut = qsc_flow::min_cut(&network);
+    println!(
+        "min-cut capacity {} across {} edges (equals the max flow, as it must)",
+        fmt(cut.capacity),
+        cut.edges.len()
+    );
+}

@@ -1,0 +1,51 @@
+//! The robustness experiment of Fig. 2: stable coloring collapses under a
+//! handful of random edge insertions, quasi-stable coloring does not.
+//!
+//! Run with: `cargo run -p qsc-examples --bin robustness --release`
+
+use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_core::stable_coloring;
+use qsc_examples::section;
+use qsc_graph::generators::{perturb_add_edges, stable_blueprint_graph};
+
+fn main() {
+    // |V| = 1000, |E| ≈ 21 600, stable coloring of size ≈ 100 by
+    // construction (Fig. 2's synthetic graph).
+    let base = stable_blueprint_graph(100, 10, 0.44, 1, 42);
+    println!(
+        "synthetic regular graph: {} nodes, {} edges",
+        base.num_nodes(),
+        base.num_edges()
+    );
+
+    section("Colors vs. fraction of perturbed edges");
+    println!(
+        "{:<12} {:>14} {:>16} {:>14}",
+        "added edges", "% of |E|", "stable colors", "q=4 colors"
+    );
+    let m = base.num_edges();
+    for added in [0usize, 40, 80, 160, 240, 320] {
+        let g = if added == 0 {
+            base.clone()
+        } else {
+            perturb_add_edges(&base, added, 7 + added as u64)
+        };
+        let stable = stable_coloring(&g).num_colors();
+        let qstable = Rothko::new(RothkoConfig::with_target_error(4.0))
+            .run(&g)
+            .partition
+            .num_colors();
+        println!(
+            "{:<12} {:>13.2}% {:>16} {:>14}",
+            added,
+            100.0 * added as f64 / m as f64,
+            stable,
+            qstable
+        );
+    }
+    println!();
+    println!(
+        "The stable coloring degrades towards one color per node, while the \
+         q-stable coloring stays two orders of magnitude smaller."
+    );
+}

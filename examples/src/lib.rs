@@ -1,0 +1,36 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples themselves live at the package root (`quickstart.rs`,
+//! `lp_approximation.rs`, `maxflow_vision.rs`, `centrality_social.rs`,
+//! `robustness.rs`) and are declared as binaries of this package:
+//!
+//! ```text
+//! cargo run -p qsc-examples --bin quickstart
+//! cargo run -p qsc-examples --bin lp_approximation --release
+//! ```
+
+/// Format a floating-point value for the example output tables.
+pub fn fmt(value: f64) -> String {
+    if value.abs() >= 100.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_rules() {
+        assert_eq!(fmt(1234.5678), "1234.6");
+        assert_eq!(fmt(1.23456), "1.235");
+    }
+}

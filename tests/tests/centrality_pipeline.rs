@@ -1,0 +1,136 @@
+//! Cross-crate centrality tests: the Fig. 5 phenomenon (stable colorings do
+//! not preserve betweenness), approximation quality on the dataset
+//! stand-ins, and agreement between the estimators.
+
+use proptest::prelude::*;
+use qsc_centrality::approx::{
+    approximate, reduced_graph_scores, stratified, ApproxMethod, CentralityApproxConfig,
+};
+use qsc_centrality::sampling::{betweenness_sampling, SamplingConfig};
+use qsc_centrality::{brandes, spearman};
+use qsc_core::{stable_coloring, Partition};
+use qsc_graph::{generators, GraphBuilder};
+
+/// Disjoint union of a 6-cycle and two triangles: every node is 2-regular so
+/// the stable coloring has a single color, yet cycle nodes have positive
+/// betweenness while triangle nodes have zero. This realizes the Fig. 5
+/// phenomenon (same 1-WL color, different centrality) with a minimal graph.
+fn cycle_and_triangles() -> qsc_graph::Graph {
+    let mut b = GraphBuilder::new_undirected(12);
+    for i in 0..6u32 {
+        b.add_edge(i, (i + 1) % 6, 1.0);
+    }
+    for base in [6u32, 9u32] {
+        b.add_edge(base, base + 1, 1.0);
+        b.add_edge(base + 1, base + 2, 1.0);
+        b.add_edge(base + 2, base, 1.0);
+    }
+    b.build()
+}
+
+#[test]
+fn fig5_stable_coloring_does_not_preserve_centrality() {
+    let g = cycle_and_triangles();
+    let stable = stable_coloring(&g);
+    // All nodes are 2-regular: a single stable color.
+    assert_eq!(stable.num_colors(), 1);
+    let centrality = brandes::betweenness(&g);
+    // Nodes 0..6 (the cycle) have strictly positive betweenness, the
+    // triangle nodes have zero — despite sharing the color.
+    assert!(centrality[0] > 0.0);
+    assert!(centrality[6] == 0.0);
+    assert_ne!(centrality[0], centrality[6]);
+}
+
+#[test]
+fn stratified_estimator_is_exact_for_the_discrete_partition() {
+    let g = generators::karate_club();
+    let exact = brandes::betweenness(&g);
+    let estimate = stratified(&g, &Partition::discrete(34), 0);
+    for v in 0..34 {
+        assert!((exact[v] - estimate[v]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn centrality_datasets_reach_high_correlation_with_few_colors() {
+    // Fig. 7c / 8c shape: 50-100 colors give rank correlation well above
+    // 0.9 on the social-network stand-ins.
+    for name in ["facebook", "deezer"] {
+        let g = qsc_datasets::load_graph(name, qsc_datasets::Scale::Small).unwrap();
+        let exact = brandes::betweenness(&g);
+        let approx = approximate(&g, &CentralityApproxConfig::with_max_colors(80));
+        let rho = spearman(&exact, &approx.scores);
+        assert!(rho > 0.85, "{name}: correlation {rho} too low with 80 colors");
+        let coarse = approximate(&g, &CentralityApproxConfig::with_max_colors(10));
+        let rho_coarse = spearman(&exact, &coarse.scores);
+        assert!(
+            rho >= rho_coarse - 0.05,
+            "{name}: more colors should not hurt ({rho_coarse} -> {rho})"
+        );
+    }
+}
+
+#[test]
+fn sampling_baseline_and_coloring_both_recover_ranking() {
+    let g = qsc_datasets::load_graph("enron", qsc_datasets::Scale::Small).unwrap();
+    let exact = brandes::betweenness(&g);
+    let coloring = approximate(&g, &CentralityApproxConfig::with_max_colors(60));
+    let sampled = betweenness_sampling(
+        &g,
+        &SamplingConfig { epsilon: 0.05, seed: 5, ..Default::default() },
+    );
+    let rho_coloring = spearman(&exact, &coloring.scores);
+    let rho_sampling = spearman(&exact, &sampled);
+    assert!(rho_coloring > 0.8, "coloring correlation {rho_coloring}");
+    assert!(rho_sampling > 0.6, "sampling correlation {rho_sampling}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn estimators_produce_nonnegative_scores(seed in 0u64..100, colors in 4usize..20) {
+        let g = generators::barabasi_albert(120, 2, seed);
+        let approx = approximate(&g, &CentralityApproxConfig {
+            method: ApproxMethod::Stratified,
+            seed,
+            ..CentralityApproxConfig::with_max_colors(colors)
+        });
+        prop_assert_eq!(approx.scores.len(), 120);
+        prop_assert!(approx.scores.iter().all(|&s| s >= 0.0 && s.is_finite()));
+
+        let reduced = reduced_graph_scores(&g, &approx.partition);
+        prop_assert!(reduced.iter().all(|&s| s >= 0.0 && s.is_finite()));
+    }
+
+    #[test]
+    fn spearman_of_identical_rankings_is_one(values in proptest::collection::vec(0.0f64..100.0, 5..60)) {
+        prop_assert!((spearman(&values, &values) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brandes_total_mass_matches_pair_count_on_trees(n in 3usize..40) {
+        // On a path graph (a tree), every ordered pair (s, t) with
+        // d(s,t) >= 2 contributes exactly d(s,t) - 1 units of betweenness in
+        // total (each interior vertex of the unique path gets 1).
+        let mut b = GraphBuilder::new_undirected(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, (i + 1) as u32, 1.0);
+        }
+        let g = b.build();
+        let total: f64 = brandes::betweenness(&g).iter().sum();
+        let mut expected = 0.0;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    let d = (s as i64 - t as i64).unsigned_abs() as f64;
+                    if d >= 2.0 {
+                        expected += d - 1.0;
+                    }
+                }
+            }
+        }
+        prop_assert!((total - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-crate max-flow tests: Theorem 6's sandwich, max-flow = min-cut,
+//! solver agreement, and the Fig. 4 / Example 7 pathological instance.
+
+use proptest::prelude::*;
+use qsc_core::Partition;
+use qsc_flow::generators::{grid_flow_network, layered_random_network};
+use qsc_flow::reduce::{
+    approximate_max_flow, approximate_with_partition, color_network, reduced_network_lower,
+    reduced_network_upper, relative_error, FlowApproxConfig,
+};
+use qsc_flow::{dinic, edmonds_karp, min_cut, push_relabel, FlowNetwork};
+use qsc_graph::{generators, GraphBuilder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn solvers_agree_and_match_min_cut(
+        seed in 0u64..500,
+        n in 10usize..40,
+        m_factor in 2usize..6,
+    ) {
+        let g = generators::erdos_renyi_nm(n, (n * m_factor).min(n * (n - 1) / 2), seed)
+            .to_directed();
+        let net = FlowNetwork::new(g, 0, (n - 1) as u32);
+        let d = dinic::max_flow(&net).value;
+        let ek = edmonds_karp::max_flow(&net).value;
+        let pr = push_relabel::max_flow(&net).value;
+        prop_assert!((d - ek).abs() < 1e-6, "dinic {} vs edmonds-karp {}", d, ek);
+        prop_assert!((d - pr).abs() < 1e-6, "dinic {} vs push-relabel {}", d, pr);
+        let cut = min_cut(&net);
+        prop_assert!((cut.capacity - d).abs() < 1e-6);
+        let cut_capacity: f64 = cut.edges.iter().map(|&(_, _, c)| c).sum();
+        prop_assert!(cut_capacity + 1e-6 >= d);
+    }
+
+    #[test]
+    fn theorem6_upper_bound_holds_for_any_coloring(
+        seed in 0u64..200,
+        colors in 3usize..12,
+    ) {
+        let net = layered_random_network(4, 8, 0.35, 4.0, seed);
+        let exact = dinic::max_flow(&net).value;
+        let partition = color_network(&net, &FlowApproxConfig::with_max_colors(colors));
+        let (upper_net, _, _) = reduced_network_upper(&net, &partition);
+        let upper = dinic::max_flow(&upper_net).value;
+        prop_assert!(
+            upper + 1e-6 >= exact,
+            "upper bound {} below exact {}", upper, exact
+        );
+    }
+
+    #[test]
+    fn theorem6_lower_bound_holds(
+        seed in 0u64..60,
+        colors in 3usize..8,
+    ) {
+        // Smaller networks: the lower bound needs one max-uniform-flow
+        // computation per color pair.
+        let (net, _) = grid_flow_network(5, 5, 2.0, 0.3, seed);
+        let exact = dinic::max_flow(&net).value;
+        let partition = color_network(&net, &FlowApproxConfig::with_max_colors(colors));
+        let lower_net = reduced_network_lower(&net, &partition, 1e-6);
+        let lower = dinic::max_flow(&lower_net).value;
+        prop_assert!(
+            lower <= exact + 1e-4,
+            "lower bound {} exceeds exact {}", lower, exact
+        );
+    }
+}
+
+#[test]
+fn fig4_pathological_instance_demonstrates_both_failure_modes() {
+    // Example 7: a 1-stable coloring whose ĉ₂ upper bound badly
+    // overestimates and whose ĉ₁ lower bound collapses to zero.
+    let layers = 6;
+    let layer_size = 8;
+    let (g, s, t) = generators::pathological_flow_layers(layers, layer_size);
+    let n = g.num_nodes();
+    let net = FlowNetwork::new(g, s, t);
+    let exact = dinic::max_flow(&net).value;
+
+    let mut assignment = vec![0u32; n];
+    for l in 0..layers {
+        for i in 0..layer_size {
+            assignment[l * layer_size + i] = l as u32;
+        }
+    }
+    assignment[s as usize] = layers as u32;
+    assignment[t as usize] = layers as u32 + 1;
+    let partition = Partition::from_assignment(&assignment);
+    assert!(qsc_core::q_error::max_q_error(&net.graph, &partition) <= 1.0);
+
+    let approx = approximate_with_partition(&net, partition.clone());
+    assert!(
+        approx.value >= exact + 1.0,
+        "upper bound {} should overestimate exact {}",
+        approx.value,
+        exact
+    );
+    let lower_net = reduced_network_lower(&net, &partition, 1e-6);
+    let lower = dinic::max_flow(&lower_net).value;
+    assert!(lower < 0.5, "lower bound should collapse, got {lower}");
+}
+
+#[test]
+fn corollary9_stable_coloring_preserves_max_flow() {
+    // Build a network made of identical parallel branches: the stable
+    // coloring merges the branches and Corollary 9 (2) promises the reduced
+    // flow equals the exact flow.
+    let branches = 5;
+    let mut b = GraphBuilder::new_directed(2 + 2 * branches);
+    let s = 0u32;
+    let t = 1u32;
+    for i in 0..branches as u32 {
+        let a = 2 + 2 * i;
+        let c = 3 + 2 * i;
+        b.add_edge(s, a, 2.0);
+        b.add_edge(a, c, 1.0);
+        b.add_edge(c, t, 2.0);
+    }
+    let net = FlowNetwork::new(b.build(), s, t);
+    let exact = dinic::max_flow(&net).value;
+    assert!((exact - branches as f64).abs() < 1e-9);
+
+    let stable = qsc_core::stable_coloring(&net.graph);
+    // Source and sink end up in their own colors because their degrees are
+    // unique.
+    assert_eq!(stable.size(stable.color_of(s)), 1);
+    assert_eq!(stable.size(stable.color_of(t)), 1);
+    let approx = approximate_with_partition(&net, stable);
+    assert!((approx.value - exact).abs() < 1e-9);
+    assert_eq!(approx.max_q_error, 0.0);
+}
+
+#[test]
+fn grid_approximation_quality_improves_with_colors() {
+    // The Fig. 8a shape: error decreases (roughly monotonically) with the
+    // number of colors.
+    let (net, _) = grid_flow_network(12, 10, 3.0, 0.25, 9);
+    let exact = dinic::max_flow(&net).value;
+    let mut errors = Vec::new();
+    for colors in [4, 8, 16, 32] {
+        let approx = approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(colors));
+        errors.push(relative_error(exact, approx.value));
+    }
+    assert!(
+        errors.last().unwrap() <= &(errors[0] + 0.3),
+        "error should not grow substantially with colors: {errors:?}"
+    );
+    assert!(*errors.last().unwrap() < 2.5, "32-color error too large: {errors:?}");
+}

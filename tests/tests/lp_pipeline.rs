@@ -1,0 +1,214 @@
+//! Cross-crate LP tests: Theorem 2 (exact for q = 0, convergent for q → 0),
+//! simplex/interior-point agreement, and the Fig. 3 worked example.
+
+use proptest::prelude::*;
+use qsc_lp::generators::{assignment_like, block_lp, covering_like, transport_like, BlockLpSpec};
+use qsc_lp::interior_point::{self, InteriorPointConfig};
+use qsc_lp::reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant};
+use qsc_lp::{simplex, LpProblem, LpStatus};
+
+fn relative_error(a: f64, b: f64) -> f64 {
+    if a <= 0.0 || b <= 0.0 {
+        return f64::INFINITY;
+    }
+    (a / b).max(b / a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn simplex_and_interior_point_agree(
+        seed in 0u64..400,
+        block_rows in 2usize..5,
+        block_cols in 2usize..4,
+    ) {
+        let lp = block_lp(&BlockLpSpec {
+            name: "prop".into(),
+            block_rows,
+            block_cols,
+            rows_per_block: 3,
+            cols_per_block: 3,
+            density: 0.8,
+            noise: 0.1,
+            seed,
+        });
+        let s = simplex::solve(&lp);
+        prop_assert_eq!(s.status, LpStatus::Optimal);
+        let (ipm, _) = interior_point::solve_with(&lp, &InteriorPointConfig::default());
+        prop_assert!(
+            (s.objective - ipm.objective).abs() <= 1e-3 * (1.0 + s.objective.abs()),
+            "simplex {} vs interior point {}", s.objective, ipm.objective
+        );
+        // The simplex solution is feasible.
+        prop_assert!(lp.is_feasible(&s.x, 1e-6));
+    }
+
+    #[test]
+    fn zero_noise_block_lp_reduces_exactly(
+        seed in 0u64..200,
+        block_rows in 2usize..5,
+        block_cols in 2usize..4,
+        expansion in 2usize..5,
+    ) {
+        // Theorem 2 with q = 0: the blueprint partition is a stable coloring
+        // of the extended matrix, so the reduced LP has the same optimum.
+        let lp = block_lp(&BlockLpSpec {
+            name: "exact".into(),
+            block_rows,
+            block_cols,
+            rows_per_block: expansion,
+            cols_per_block: expansion,
+            density: 1.0,
+            noise: 0.0,
+            seed,
+        });
+        let exact = simplex::solve(&lp);
+        prop_assert_eq!(exact.status, LpStatus::Optimal);
+        let reduced = reduce_with_rothko(
+            &lp,
+            &LpColoringConfig::with_target_error(0.0),
+            LpReductionVariant::SqrtNormalized,
+        );
+        prop_assert!(reduced.max_q_error <= 1e-9);
+        prop_assert!(reduced.num_rows() <= block_rows + 1);
+        let approx = simplex::solve(&reduced.problem);
+        prop_assert!(
+            (exact.objective - approx.objective).abs() <= 1e-5 * (1.0 + exact.objective.abs()),
+            "exact {} vs reduced {}", exact.objective, approx.objective
+        );
+    }
+
+    #[test]
+    fn reduced_lp_value_is_finite_and_positive(
+        seed in 0u64..200,
+        colors in 6usize..20,
+    ) {
+        let lp = block_lp(&BlockLpSpec {
+            name: "budget".into(),
+            block_rows: 4,
+            block_cols: 3,
+            rows_per_block: 4,
+            cols_per_block: 4,
+            density: 0.8,
+            noise: 0.15,
+            seed,
+        });
+        let reduced = reduce_with_rothko(
+            &lp,
+            &LpColoringConfig::with_max_colors(colors),
+            LpReductionVariant::SqrtNormalized,
+        );
+        let sol = simplex::solve(&reduced.problem);
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!(sol.objective.is_finite() && sol.objective > 0.0);
+    }
+}
+
+#[test]
+fn fig3_worked_example_end_to_end() {
+    // Fig. 3: original optimum 128.157, reduced optimum 130.199 under the
+    // q = 1 coloring shown in the paper.
+    let lp = LpProblem::from_dense(
+        "fig3",
+        &[
+            vec![4.0, 8.0, 2.0],
+            vec![6.0, 5.0, 1.0],
+            vec![7.0, 4.0, 2.0],
+            vec![3.0, 1.0, 22.0],
+            vec![2.0, 3.0, 21.0],
+        ],
+        vec![20.0, 20.0, 21.0, 50.0, 51.0],
+        vec![9.0, 10.0, 50.0],
+    );
+    let exact = simplex::solve(&lp);
+    assert!((exact.objective - 128.157).abs() < 0.01);
+
+    let coloring = qsc_lp::reduce::LpColoring {
+        row_colors: vec![0, 0, 0, 1, 1],
+        col_colors: vec![0, 0, 1],
+        num_row_colors: 2,
+        num_col_colors: 2,
+        max_q_error: 1.0,
+    };
+    let reduced = qsc_lp::reduce::reduce_lp(&lp, &coloring, LpReductionVariant::SqrtNormalized);
+    let approx = simplex::solve(&reduced.problem);
+    assert!((approx.objective - 130.199).abs() < 0.01);
+    assert!(relative_error(exact.objective, approx.objective) < 1.02);
+}
+
+#[test]
+fn error_shrinks_with_color_budget_on_dataset_stand_ins() {
+    // The Fig. 8b shape on the four Table 3 stand-ins: a generous color
+    // budget gives a much better approximation than a tiny one.
+    for name in ["qap15", "nug08-3rd", "supportcase10", "ex10"] {
+        let lp = qsc_datasets::load_lp(name, qsc_datasets::Scale::Small).unwrap();
+        let exact = simplex::solve(&lp);
+        assert_eq!(exact.status, LpStatus::Optimal, "{name} exact solve failed");
+        let tiny = simplex::solve(
+            &reduce_with_rothko(
+                &lp,
+                &LpColoringConfig::with_max_colors(5),
+                LpReductionVariant::SqrtNormalized,
+            )
+            .problem,
+        );
+        let generous = simplex::solve(
+            &reduce_with_rothko(
+                &lp,
+                &LpColoringConfig::with_max_colors(40),
+                LpReductionVariant::SqrtNormalized,
+            )
+            .problem,
+        );
+        let err_tiny = relative_error(exact.objective, tiny.objective);
+        let err_generous = relative_error(exact.objective, generous.objective);
+        assert!(
+            err_generous <= err_tiny * 1.5 + 0.5,
+            "{name}: generous budget should not be much worse (tiny {err_tiny}, generous {err_generous})"
+        );
+        assert!(
+            err_generous < 3.0,
+            "{name}: 40-color approximation too far off ({err_generous})"
+        );
+    }
+}
+
+#[test]
+fn all_lp_generators_are_feasible_and_bounded() {
+    let problems = vec![
+        assignment_like(6, 0.3, 1),
+        covering_like(8, 60, 4, 0.1, 2),
+        transport_like(6, 5, 2, 3),
+        block_lp(&BlockLpSpec {
+            name: "b".into(),
+            block_rows: 3,
+            block_cols: 3,
+            rows_per_block: 3,
+            cols_per_block: 3,
+            density: 0.7,
+            noise: 0.1,
+            seed: 4,
+        }),
+    ];
+    for lp in problems {
+        let sol = simplex::solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal, "{} not optimal", lp.name);
+        assert!(sol.objective.is_finite());
+        assert!(lp.is_feasible(&sol.x, 1e-6), "{} solution infeasible", lp.name);
+    }
+}
+
+#[test]
+fn early_stopping_is_faster_but_less_accurate() {
+    // The Table 1 (bottom) comparison in miniature: the early-stopped IPM
+    // uses fewer iterations than the exact IPM.
+    let lp = qsc_datasets::load_lp("qap15", qsc_datasets::Scale::Small).unwrap();
+    let (exact, _) = interior_point::solve_with(&lp, &InteriorPointConfig::default());
+    let (stopped, _) = interior_point::solve_with(
+        &lp,
+        &InteriorPointConfig { stop_at_relative_error: Some(2.0), ..Default::default() },
+    );
+    assert!(stopped.iterations <= exact.iterations);
+    assert!(matches!(stopped.status, LpStatus::EarlyStopped | LpStatus::Optimal));
+}
