@@ -13,7 +13,9 @@ fn bench_exact(c: &mut Criterion) {
     let g = qsc_datasets::load_graph("deezer", Scale::Small).unwrap();
     let mut group = c.benchmark_group("centrality_exact");
     group.sample_size(10);
-    group.bench_function("brandes", |b| b.iter(|| black_box(brandes::betweenness(&g))));
+    group.bench_function("brandes", |b| {
+        b.iter(|| black_box(brandes::betweenness(&g)))
+    });
     group.finish();
 }
 
@@ -22,17 +24,27 @@ fn bench_approximations(c: &mut Criterion) {
     let mut group = c.benchmark_group("centrality_approx");
     group.sample_size(10);
     for colors in [25usize, 100] {
-        group.bench_with_input(BenchmarkId::new("coloring", colors), &colors, |b, &colors| {
-            b.iter(|| {
-                black_box(approximate(&g, &CentralityApproxConfig::with_max_colors(colors)).scores)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("coloring", colors),
+            &colors,
+            |b, &colors| {
+                b.iter(|| {
+                    black_box(
+                        approximate(&g, &CentralityApproxConfig::with_max_colors(colors)).scores,
+                    )
+                })
+            },
+        );
     }
     group.bench_function("riondato_kornaropoulos_eps_0.05", |b| {
         b.iter(|| {
             black_box(betweenness_sampling(
                 &g,
-                &SamplingConfig { epsilon: 0.05, seed: 3, ..Default::default() },
+                &SamplingConfig {
+                    epsilon: 0.05,
+                    seed: 3,
+                    ..Default::default()
+                },
             ))
         })
     });

@@ -15,12 +15,12 @@ fn bench_rothko(c: &mut Criterion) {
         let g = qsc_datasets::load_graph(name, Scale::Small).unwrap();
         for colors in [16usize, 64, 128] {
             group.bench_with_input(
-                BenchmarkId::new(format!("{name}"), colors),
+                BenchmarkId::new(name.to_string(), colors),
                 &colors,
                 |b, &colors| {
                     b.iter(|| {
-                        let config = RothkoConfig::with_max_colors(colors)
-                            .split_mean(SplitMean::Geometric);
+                        let config =
+                            RothkoConfig::with_max_colors(colors).split_mean(SplitMean::Geometric);
                         black_box(Rothko::new(config).run(&g).partition.num_colors())
                     })
                 },

@@ -13,10 +13,16 @@ fn bench_exact(c: &mut Criterion) {
     let lp = qsc_datasets::load_lp("qap15", Scale::Small).unwrap();
     let mut group = c.benchmark_group("lp_exact");
     group.sample_size(10);
-    group.bench_function("simplex", |b| b.iter(|| black_box(simplex::solve(&lp).objective)));
+    group.bench_function("simplex", |b| {
+        b.iter(|| black_box(simplex::solve(&lp).objective))
+    });
     group.bench_function("interior_point", |b| {
         b.iter(|| {
-            black_box(interior_point::solve_with(&lp, &InteriorPointConfig::default()).0.objective)
+            black_box(
+                interior_point::solve_with(&lp, &InteriorPointConfig::default())
+                    .0
+                    .objective,
+            )
         })
     });
     group.finish();

@@ -15,7 +15,9 @@ fn bench_exact_solvers(c: &mut Criterion) {
     group.bench_function("push_relabel", |b| {
         b.iter(|| black_box(push_relabel::max_flow(&net).value))
     });
-    group.bench_function("dinic", |b| b.iter(|| black_box(dinic::max_flow(&net).value)));
+    group.bench_function("dinic", |b| {
+        b.iter(|| black_box(dinic::max_flow(&net).value))
+    });
     group.finish();
 }
 

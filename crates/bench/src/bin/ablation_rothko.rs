@@ -57,7 +57,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "configuration", "max q", "mean q", "largest color", "time"],
+            &[
+                "dataset",
+                "configuration",
+                "max q",
+                "mean q",
+                "largest color",
+                "time"
+            ],
             &rows
         )
     );

@@ -1,0 +1,98 @@
+//! Incremental refinement engine vs. from-scratch recomputation, recorded.
+//!
+//! Times `Rothko::run` (incremental engine, `O(touched)` per split) against
+//! `Rothko::run_reference` (degree matrices rebuilt from the graph every
+//! step, the seed's original behaviour) on Barabási–Albert graphs, and
+//! writes the measurements to `BENCH_rothko.json`. The headline row is the
+//! 200-color run on the 10k-node graph.
+//!
+//! Run with: `cargo run --release -p qsc-bench --bin bench_rothko_incremental`
+
+use qsc_bench::timed;
+use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_graph::generators;
+
+struct Row {
+    nodes: usize,
+    edges: usize,
+    colors: usize,
+    incremental_seconds: f64,
+    scratch_seconds: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scratch_seconds / self.incremental_seconds
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"graph\":\"barabasi_albert\",\"nodes\":{},\"edges\":{},\"colors\":{},\"incremental_seconds\":{:.6},\"from_scratch_seconds\":{:.6},\"speedup\":{:.2}}}",
+            self.nodes,
+            self.edges,
+            self.colors,
+            self.incremental_seconds,
+            self.scratch_seconds,
+            self.speedup()
+        )
+    }
+}
+
+/// Best-of-`reps` wall time for one closure.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, secs) = timed(&mut f);
+        best = best.min(secs);
+    }
+    best
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &(n, colors, reps) in &[(2_000usize, 64usize, 3usize), (10_000, 200, 3)] {
+        let g = generators::barabasi_albert(n, 4, 7);
+        let config = RothkoConfig::with_max_colors(colors);
+
+        let incremental = best_of(reps, || {
+            let c = Rothko::new(config.clone()).run(&g);
+            assert_eq!(c.partition.num_colors(), colors);
+            c.max_q_error
+        });
+        let scratch = best_of(reps, || {
+            let c = Rothko::new(config.clone()).run_reference(&g);
+            assert_eq!(c.partition.num_colors(), colors);
+            c.max_q_error
+        });
+
+        let row = Row {
+            nodes: n,
+            edges: g.num_edges(),
+            colors,
+            incremental_seconds: incremental,
+            scratch_seconds: scratch,
+        };
+        println!(
+            "n={} m={} colors={}: incremental {:.4}s, from-scratch {:.4}s, speedup {:.1}x",
+            row.nodes,
+            row.edges,
+            row.colors,
+            row.incremental_seconds,
+            row.scratch_seconds,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let json: Vec<String> = rows.iter().map(Row::to_json).collect();
+    std::fs::write("BENCH_rothko.json", json.join("\n") + "\n")
+        .expect("failed to write BENCH_rothko.json");
+    println!("wrote BENCH_rothko.json");
+
+    let headline = rows.last().expect("at least one row");
+    assert!(
+        headline.speedup() >= 5.0,
+        "incremental engine speedup {:.1}x below the 5x acceptance bar",
+        headline.speedup()
+    );
+}

@@ -10,11 +10,18 @@ use qsc_graph::generators::karate_club;
 
 fn main() {
     let g = karate_club();
-    println!("Fig. 1 — Zachary's karate club ({} nodes, {} edges)", g.num_nodes(), g.num_edges());
+    println!(
+        "Fig. 1 — Zachary's karate club ({} nodes, {} edges)",
+        g.num_nodes(),
+        g.num_edges()
+    );
     println!();
 
     let stable = stable_coloring(&g);
-    println!("(a) stable coloring: {} colors (paper: 27)", stable.num_colors());
+    println!(
+        "(a) stable coloring: {} colors (paper: 27)",
+        stable.num_colors()
+    );
 
     let coloring = Rothko::new(RothkoConfig::with_max_colors(6)).run(&g);
     let stats = coloring_stats(&coloring.partition);
@@ -29,7 +36,8 @@ fn main() {
         println!("  color {color}: {{{}}}", labels.join(", "));
     }
     let leaders_color = coloring.partition.color_of(0);
-    if coloring.partition.color_of(33) == leaders_color && coloring.partition.size(leaders_color) == 2
+    if coloring.partition.color_of(33) == leaders_color
+        && coloring.partition.size(leaders_color) == 2
     {
         println!();
         println!("the club leaders {{1, 34}} form their own color, as in Fig. 1b");

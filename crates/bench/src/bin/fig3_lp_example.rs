@@ -21,7 +21,10 @@ fn main() {
     );
     println!("Fig. 3 — worked LP example");
     let exact = simplex::solve(&lp);
-    println!("(a) original LP: 5 rows x 3 cols, optimum = {:.3} (paper: 128.157)", exact.objective);
+    println!(
+        "(a) original LP: 5 rows x 3 cols, optimum = {:.3} (paper: 128.157)",
+        exact.objective
+    );
 
     // The q = 1 coloring shown in Fig. 3(b): rows {1,2,3}, {4,5}; columns
     // {x1,x2}, {x3}.
@@ -35,9 +38,14 @@ fn main() {
     let reduced = reduce_lp(&lp, &coloring, LpReductionVariant::SqrtNormalized);
     println!("(b) reduced constraint matrix (Eq. 6):");
     for r in 0..reduced.num_rows() {
-        let entries: Vec<String> =
-            (0..reduced.num_cols()).map(|s| format!("{:8.4}", reduced.problem.a.get(r, s))).collect();
-        println!("    [{}]  <= {:8.4}", entries.join(" "), reduced.problem.b[r]);
+        let entries: Vec<String> = (0..reduced.num_cols())
+            .map(|s| format!("{:8.4}", reduced.problem.a.get(r, s)))
+            .collect();
+        println!(
+            "    [{}]  <= {:8.4}",
+            entries.join(" "),
+            reduced.problem.b[r]
+        );
     }
     println!(
         "    objective: [{}]",
@@ -50,7 +58,10 @@ fn main() {
             .join(" ")
     );
     let approx = simplex::solve(&reduced.problem);
-    println!("(c) reduced LP optimum = {:.3} (paper: 130.199)", approx.objective);
+    println!(
+        "(c) reduced LP optimum = {:.3} (paper: 130.199)",
+        approx.objective
+    );
     println!(
         "relative error max(v/v̂, v̂/v) = {:.4}",
         (exact.objective / approx.objective).max(approx.objective / exact.objective)

@@ -58,7 +58,10 @@ fn main() {
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Print the headline statistic the paper reports for Fig. 7: the average
@@ -68,13 +71,16 @@ fn summarize(points: &[TradeoffPoint], higher_is_better: bool) {
         .iter()
         .filter(|p| p.approx_seconds <= 0.01 * p.exact_seconds)
         .collect();
-    let pool: Vec<&TradeoffPoint> = if cheap.is_empty() { points.iter().collect() } else { cheap };
+    let pool: Vec<&TradeoffPoint> = if cheap.is_empty() {
+        points.iter().collect()
+    } else {
+        cheap
+    };
     if pool.is_empty() {
         return;
     }
-    let geo_mean = (pool.iter().map(|p| p.accuracy.max(1e-12).ln()).sum::<f64>()
-        / pool.len() as f64)
-        .exp();
+    let geo_mean =
+        (pool.iter().map(|p| p.accuracy.max(1e-12).ln()).sum::<f64>() / pool.len() as f64).exp();
     if higher_is_better {
         println!("==> mean correlation within the 1% time budget: {geo_mean:.3}\n");
     } else {

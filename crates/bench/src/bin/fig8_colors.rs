@@ -16,7 +16,11 @@ const BUDGETS: &[usize] = &[5, 10, 20, 35, 60, 100, 150];
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = if args.iter().any(|a| a == "--scale")
-        && args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+        && args
+            .iter()
+            .position(|a| a == "--scale")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
             == Some("small")
     {
         Scale::Small
@@ -60,5 +64,8 @@ fn print_curves(points: &[TradeoffPoint]) {
             ]
         })
         .collect();
-    println!("{}", render_table(&["dataset", "colors", "accuracy", "max q"], &rows));
+    println!(
+        "{}",
+        render_table(&["dataset", "colors", "accuracy", "max q"], &rows)
+    );
 }

@@ -78,7 +78,14 @@ fn sampling_time_to_target(g: &qsc_graph::Graph, exact: &[f64], target: f64) -> 
     let mut spent = 0.0;
     for epsilon in [0.1, 0.05, 0.03, 0.02, 0.015, 0.01, 0.007] {
         let (scores, secs) = timed(|| {
-            betweenness_sampling(g, &SamplingConfig { epsilon, seed: 1, ..Default::default() })
+            betweenness_sampling(
+                g,
+                &SamplingConfig {
+                    epsilon,
+                    seed: 1,
+                    ..Default::default()
+                },
+            )
         });
         spent += secs;
         if spearman(exact, &scores) >= target {

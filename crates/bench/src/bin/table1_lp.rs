@@ -84,7 +84,10 @@ fn early_stop_time_to_target(lp: &qsc_lp::LpProblem, exact: f64, target: f64) ->
     let (solution, secs) = timed(|| {
         interior_point::solve_with(
             lp,
-            &InteriorPointConfig { stop_at_relative_error: Some(target), ..Default::default() },
+            &InteriorPointConfig {
+                stop_at_relative_error: Some(target),
+                ..Default::default()
+            },
         )
         .0
     });

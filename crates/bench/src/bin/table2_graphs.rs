@@ -37,7 +37,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "task", "paper |V|", "paper |E|", "ours |V|", "ours |E|", "stand-in"],
+            &[
+                "dataset",
+                "task",
+                "paper |V|",
+                "paper |E|",
+                "ours |V|",
+                "ours |E|",
+                "stand-in"
+            ],
             &rows
         )
     );

@@ -69,7 +69,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "setting", "max q", "mean q", "colors", "compression", "time"],
+            &[
+                "dataset",
+                "setting",
+                "max q",
+                "mean q",
+                "colors",
+                "compression",
+                "time"
+            ],
             &table_rows
         )
     );

@@ -16,7 +16,8 @@ fn main() {
     let mut rows = Vec::new();
     for spec in qsc_datasets::lp_datasets() {
         let lp = qsc_datasets::load_lp(spec.name, Scale::Full).unwrap();
-        let (exact, _) = timed(|| interior_point::solve_with(&lp, &InteriorPointConfig::default()).0);
+        let (exact, _) =
+            timed(|| interior_point::solve_with(&lp, &InteriorPointConfig::default()).0);
         for &colors in COLOR_BUDGETS {
             let reduced = reduce_with_rothko(
                 &lp,
@@ -43,7 +44,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "colors", "rows", "cols", "non-zeros", "compression", "rel. error"],
+            &[
+                "dataset",
+                "colors",
+                "rows",
+                "cols",
+                "non-zeros",
+                "compression",
+                "rel. error"
+            ],
             &rows
         )
     );

@@ -21,17 +21,29 @@ fn main() {
         let n = lp.num_cols();
         let mut builder = qsc_graph::GraphBuilder::new_directed(m + n + 2);
         for (i, j, v) in triplets {
-            let col = if (j as usize) < n { m as u32 + 1 + j } else { (m + n + 1) as u32 };
+            let col = if (j as usize) < n {
+                m as u32 + 1 + j
+            } else {
+                (m + n + 1) as u32
+            };
             let row = i;
             builder.add_edge(row, col, v);
         }
         let graph = builder.build();
-        rows.push(measure("linear opt.", &graph, RothkoConfig::for_linear_program(100)));
+        rows.push(measure(
+            "linear opt.",
+            &graph,
+            RothkoConfig::for_linear_program(100),
+        ));
     }
     // Max-flow: the largest grid stand-in.
     {
         let net = qsc_datasets::load_flow("cells", Scale::Full).unwrap();
-        rows.push(measure("max-flow", &net.graph, RothkoConfig::for_max_flow(35)));
+        rows.push(measure(
+            "max-flow",
+            &net.graph,
+            RothkoConfig::for_max_flow(35),
+        ));
     }
     // Centrality: the largest social-graph stand-in.
     {
@@ -42,7 +54,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["task", "time-to-first-result", "update frequency", "time to converge", "colors"],
+            &[
+                "task",
+                "time-to-first-result",
+                "update frequency",
+                "time to converge",
+                "colors"
+            ],
             &rows
         )
     );
@@ -67,7 +85,14 @@ fn measure(task: &str, graph: &qsc_graph::Graph, config: RothkoConfig) -> Vec<St
     vec![
         task.to_string(),
         format!("{:.0} ms", first.unwrap_or(total) * 1e3),
-        format!("{:.3} s", if updates > 0 { total / updates as f64 } else { total }),
+        format!(
+            "{:.3} s",
+            if updates > 0 {
+                total / updates as f64
+            } else {
+                total
+            }
+        ),
         format!("{:.2} s", total),
         colors.to_string(),
     ]

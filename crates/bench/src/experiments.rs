@@ -10,8 +10,8 @@ use crate::timed;
 use qsc_centrality::approx::{approximate, CentralityApproxConfig};
 use qsc_centrality::{brandes, spearman};
 use qsc_datasets::Scale;
-use qsc_flow::reduce::{approximate_max_flow, relative_error, FlowApproxConfig};
 use qsc_flow::push_relabel;
+use qsc_flow::reduce::{approximate_max_flow, relative_error, FlowApproxConfig};
 use qsc_lp::interior_point::{self, InteriorPointConfig};
 use qsc_lp::reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant};
 use qsc_lp::simplex;
@@ -26,8 +26,9 @@ pub fn maxflow_tradeoff(dataset: &str, scale: Scale, budgets: &[usize]) -> Vec<T
     budgets
         .iter()
         .map(|&budget| {
-            let (approx, approx_seconds) =
-                timed(|| approximate_max_flow(&network, &FlowApproxConfig::with_max_colors(budget)));
+            let (approx, approx_seconds) = timed(|| {
+                approximate_max_flow(&network, &FlowApproxConfig::with_max_colors(budget))
+            });
             TradeoffPoint {
                 task: "maxflow".into(),
                 dataset: dataset.into(),
@@ -109,14 +110,25 @@ pub fn tradeoff_table(points: &[TradeoffPoint]) -> String {
                 p.colors.to_string(),
                 format!("{:.4}", p.approx_seconds),
                 format!("{:.4}", p.exact_seconds),
-                format!("{:.2}%", 100.0 * p.approx_seconds / p.exact_seconds.max(1e-9)),
+                format!(
+                    "{:.2}%",
+                    100.0 * p.approx_seconds / p.exact_seconds.max(1e-9)
+                ),
                 format!("{:.4}", p.accuracy),
                 format!("{:.2}", p.max_q_error),
             ]
         })
         .collect();
     crate::render_table(
-        &["dataset", "colors", "approx(s)", "exact(s)", "budget", "accuracy", "max q"],
+        &[
+            "dataset",
+            "colors",
+            "approx(s)",
+            "exact(s)",
+            "budget",
+            "accuracy",
+            "max q",
+        ],
         &rows,
     )
 }

@@ -1,15 +1,12 @@
 //! Serializable experiment records (written as JSON lines next to the text
 //! tables so results can be post-processed or plotted externally).
 //!
-//! The records derive `serde::Serialize` for downstream consumers; the
-//! built-in JSON-lines writer below is hand-rolled so the harness does not
-//! need a JSON dependency.
-
-use serde::Serialize;
+//! The JSON-lines writer below is hand-rolled so the harness does not need a
+//! JSON dependency (the build environment is offline).
 
 /// One point of a speed/accuracy trade-off curve (Fig. 7) or a
 /// colors/accuracy curve (Fig. 8).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TradeoffPoint {
     /// Task type: "maxflow", "lp", or "centrality".
     pub task: String,
@@ -46,7 +43,7 @@ impl TradeoffPoint {
 }
 
 /// One row of the Table 4-style compression report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CompressionRow {
     /// Dataset name.
     pub dataset: String,

@@ -94,7 +94,11 @@ pub fn approximate_with_partition(
         ),
         ApproxMethod::ReducedGraph => reduced_graph_scores(g, &partition),
     };
-    ApproxCentrality { scores, partition, max_q_error }
+    ApproxCentrality {
+        scores,
+        partition,
+        max_q_error,
+    }
 }
 
 /// Stratified estimator with one representative per color (see

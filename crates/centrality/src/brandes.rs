@@ -149,8 +149,8 @@ mod tests {
         let c = betweenness(&g);
         // Center lies on all 5*4 = 20 ordered leaf pairs.
         assert!((c[0] - 20.0).abs() < 1e-9);
-        for leaf in 1..6 {
-            assert_eq!(c[leaf], 0.0);
+        for &score in &c[1..6] {
+            assert_eq!(score, 0.0);
         }
     }
 

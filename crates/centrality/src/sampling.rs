@@ -35,14 +35,23 @@ pub struct SamplingConfig {
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        SamplingConfig { epsilon: 0.05, delta: 0.1, constant: 0.5, seed: 0, max_samples: None }
+        SamplingConfig {
+            epsilon: 0.05,
+            delta: 0.1,
+            constant: 0.5,
+            seed: 0,
+            max_samples: None,
+        }
     }
 }
 
 impl SamplingConfig {
     /// Configuration targeting an additive error `ε` (with default `δ`).
     pub fn with_epsilon(epsilon: f64) -> Self {
-        SamplingConfig { epsilon, ..Default::default() }
+        SamplingConfig {
+            epsilon,
+            ..Default::default()
+        }
     }
 }
 
@@ -131,7 +140,10 @@ mod tests {
         let tight = sample_size(&SamplingConfig::with_epsilon(0.02), 10);
         assert!(tight > loose);
         let capped = sample_size(
-            &SamplingConfig { max_samples: Some(100), ..SamplingConfig::with_epsilon(0.001) },
+            &SamplingConfig {
+                max_samples: Some(100),
+                ..SamplingConfig::with_epsilon(0.001)
+            },
             10,
         );
         assert_eq!(capped, 100);
@@ -157,7 +169,11 @@ mod tests {
         let exact = brandes::betweenness(&g);
         let est = betweenness_sampling(
             &g,
-            &SamplingConfig { epsilon: 0.03, seed: 7, ..Default::default() },
+            &SamplingConfig {
+                epsilon: 0.03,
+                seed: 7,
+                ..Default::default()
+            },
         );
         let rho = spearman(&exact, &est);
         assert!(rho > 0.7, "sampling correlation too low: {rho}");
@@ -166,8 +182,15 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = generators::barabasi_albert(100, 2, 3);
-        let cfg = SamplingConfig { epsilon: 0.1, seed: 42, ..Default::default() };
-        assert_eq!(betweenness_sampling(&g, &cfg), betweenness_sampling(&g, &cfg));
+        let cfg = SamplingConfig {
+            epsilon: 0.1,
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(
+            betweenness_sampling(&g, &cfg),
+            betweenness_sampling(&g, &cfg)
+        );
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!
 //! The crate provides:
 //!
-//! * [`Partition`] — colorings with split/meet/refinement operations.
+//! * [`Partition`] — colorings with split/meet/refinement operations
+//!   (splits emit [`SplitEvent`]s for incremental consumers).
+//! * [`IncrementalDegrees`] — the incremental refinement engine: degree
+//!   matrices and witness candidates maintained in `O(touched)` per split
+//!   instead of recomputed from the graph; both Rothko and the stable
+//!   coloring drive their refinement through it.
 //! * [`similarity`] — the `∼` relations of Definition 1 (exact, absolute `q`,
 //!   relative `ε`, bisimulation, clamped congruence).
 //! * [`stable::stable_coloring`] — classical color refinement (1-WL).
@@ -48,8 +53,8 @@ pub mod similarity;
 pub mod stable;
 pub mod stats;
 
-pub use partition::Partition;
-pub use q_error::{max_q_error, mean_q_error, QErrorReport};
+pub use partition::{Partition, SplitEvent};
+pub use q_error::{max_q_error, mean_q_error, IncrementalDegrees, QErrorReport, WitnessCandidate};
 pub use reduced::{reduced_graph, ReductionWeighting};
 pub use rothko::{Coloring, Rothko, RothkoConfig, RothkoRun};
 pub use similarity::{Absolute, Bisimulation, Clamped, Exact, Relative, Similarity};

@@ -5,6 +5,24 @@ use qsc_graph::NodeId;
 /// Identifier of a color (a class of the partition).
 pub type ColorId = u32;
 
+/// The record of one split: color `parent` lost `moved_nodes`, which now form
+/// the fresh color `child` (always appended at the end of the partition, so
+/// `child == k - 1` after the split).
+///
+/// Split events are the currency of the incremental refinement engine
+/// ([`crate::q_error::IncrementalDegrees`]): consumers that maintain
+/// per-color state apply the event instead of rescanning the whole graph,
+/// touching only work proportional to `moved_nodes` and their incident edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitEvent {
+    /// The color that was split (it keeps the non-ejected members).
+    pub parent: ColorId,
+    /// The newly created color holding the ejected members.
+    pub child: ColorId,
+    /// The nodes that moved from `parent` to `child`.
+    pub moved_nodes: Vec<NodeId>,
+}
+
 /// A coloring `P = {P_1, ..., P_k}` of nodes `0..n`.
 ///
 /// Stored redundantly as both a `node -> color` map and `color -> members`
@@ -21,7 +39,10 @@ impl Partition {
     /// all when `n == 0`).
     pub fn unit(n: usize) -> Self {
         if n == 0 {
-            return Partition { color_of: Vec::new(), members: Vec::new() };
+            return Partition {
+                color_of: Vec::new(),
+                members: Vec::new(),
+            };
         }
         Partition {
             color_of: vec![0; n],
@@ -73,7 +94,10 @@ impl Partition {
             color_of.iter().all(|&c| c != u32::MAX),
             "classes do not cover all nodes"
         );
-        Partition { color_of, members: classes }
+        Partition {
+            color_of,
+            members: classes,
+        }
     }
 
     /// Number of nodes.
@@ -119,18 +143,21 @@ impl Partition {
 
     /// Iterate `(color, members)` pairs.
     pub fn classes(&self) -> impl Iterator<Item = (ColorId, &[NodeId])> {
-        self.members.iter().enumerate().map(|(c, m)| (c as ColorId, m.as_slice()))
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(c, m)| (c as ColorId, m.as_slice()))
     }
 
     /// Split color `c`: members for which `eject(v)` is true move to a new
-    /// color (appended at the end). Returns the new color id, or `None` if
-    /// the split would leave either side empty (in which case nothing
-    /// changes).
+    /// color (appended at the end). Returns the [`SplitEvent`] describing the
+    /// split, or `None` if the split would leave either side empty (in which
+    /// case nothing changes).
     pub fn split_color<F: FnMut(NodeId) -> bool>(
         &mut self,
         c: ColorId,
         mut eject: F,
-    ) -> Option<ColorId> {
+    ) -> Option<SplitEvent> {
         let old = std::mem::take(&mut self.members[c as usize]);
         let (ejected, retained): (Vec<NodeId>, Vec<NodeId>) =
             old.into_iter().partition(|&v| eject(v));
@@ -147,8 +174,13 @@ impl Partition {
             self.color_of[v as usize] = new_color;
         }
         self.members[c as usize] = retained;
+        let event = SplitEvent {
+            parent: c,
+            child: new_color,
+            moved_nodes: ejected.clone(),
+        };
         self.members.push(ejected);
-        Some(new_color)
+        Some(event)
     }
 
     /// Greatest lower bound (common refinement) `P ∧ Q`: the partition whose
@@ -159,11 +191,10 @@ impl Partition {
         let mut key_to_color: std::collections::HashMap<(ColorId, ColorId), ColorId> =
             std::collections::HashMap::new();
         let mut assignment = vec![0 as ColorId; n];
-        for v in 0..n {
+        for (v, slot) in assignment.iter_mut().enumerate() {
             let key = (self.color_of[v], other.color_of[v]);
             let next = key_to_color.len() as ColorId;
-            let c = *key_to_color.entry(key).or_insert(next);
-            assignment[v] = c;
+            *slot = *key_to_color.entry(key).or_insert(next);
         }
         Partition::from_assignment(&assignment)
     }
@@ -198,11 +229,10 @@ impl Partition {
         let mut first_seen: std::collections::HashMap<ColorId, ColorId> =
             std::collections::HashMap::new();
         let mut out = vec![0 as ColorId; self.num_nodes()];
-        for v in 0..self.num_nodes() {
+        for (v, slot) in out.iter_mut().enumerate() {
             let c = self.color_of[v];
             let next = first_seen.len() as ColorId;
-            let canon = *first_seen.entry(c).or_insert(next);
-            out[v] = canon;
+            *slot = *first_seen.entry(c).or_insert(next);
         }
         out
     }
@@ -280,8 +310,10 @@ mod tests {
     #[test]
     fn split_color_moves_members() {
         let mut p = Partition::unit(6);
-        let new = p.split_color(0, |v| v >= 3).unwrap();
-        assert_eq!(new, 1);
+        let event = p.split_color(0, |v| v >= 3).unwrap();
+        assert_eq!(event.parent, 0);
+        assert_eq!(event.child, 1);
+        assert_eq!(event.moved_nodes, vec![3, 4, 5]);
         assert_eq!(p.num_colors(), 2);
         assert_eq!(p.members(0), &[0, 1, 2]);
         assert_eq!(p.members(1), &[3, 4, 5]);

@@ -1,4 +1,5 @@
-//! Measuring how (quasi-)stable a coloring is.
+//! Measuring how (quasi-)stable a coloring is, and maintaining that
+//! measurement incrementally while a coloring is refined.
 //!
 //! For a coloring `P` of a weighted directed graph, the *q-error* of a pair
 //! of colors `(P_i, P_j)` in the outgoing direction is
@@ -6,10 +7,76 @@
 //! direction is defined symmetrically over `w(P_i, v)` for `v ∈ P_j`.
 //! A coloring is `q`-stable iff every such error is at most `q`, and stable
 //! iff every error is exactly zero.
+//!
+//! Two evaluators live here:
+//!
+//! * [`DegreeMatrices`] — the from-scratch `O(n + m + k²)` computation, used
+//!   for one-shot reports and as the ground truth the incremental engine is
+//!   cross-checked against.
+//! * [`IncrementalDegrees`] — the incremental refinement engine. Built once,
+//!   then updated after every [`SplitEvent`] in time proportional to the
+//!   edges incident to the moved nodes (plus the two affected rows), instead
+//!   of rescanning the whole graph. This is what makes
+//!   [`crate::rothko::Rothko`] splits `O(touched)` rather than `O(graph)`
+//!   and keeps the anytime loop's per-step latency interactive (Table 6 of
+//!   the paper).
+//!
+//! # Incremental maintenance invariants
+//!
+//! `IncrementalDegrees` maintains, between any two calls of
+//! [`IncrementalDegrees::apply_split`]:
+//!
+//! 1. **Accumulators.** For every node `v` and color `j < k`:
+//!    `dout[v][j] = w(v, P_j)` and `din[v][j] = w(P_j, v)` — the per-node
+//!    per-color weighted degrees. Nodes with no edges into a color hold an
+//!    explicit `0.0`, so min/max over a color's members needs no implicit
+//!    zero bookkeeping (unlike `DegreeMatrices`, which tracks non-zero
+//!    counts instead of dense rows).
+//! 2. **Pair summaries.** For every ordered color pair `(i, j)`:
+//!    `out_min/out_max[i][j] = min/max_{u ∈ P_i} dout[u][j]` and
+//!    `in_min/in_max[i][j] = min/max_{v ∈ P_j} din[v][i]` — numerically
+//!    identical to `DegreeMatrices::compute` up to floating-point
+//!    associativity (exactly identical for integer-valued weights).
+//! 3. **Witness rows.** Per *split-candidate* color `s`, a lazily refreshed
+//!    cache row over all entries whose split color is `s` (the out-entries
+//!    `(s, ·)` and in-entries `(·, s)`): the row's maximum unweighted error
+//!    and its best β-weighted witness candidate. A split marks dirty only
+//!    the rows whose entries could have changed — the parent, the child,
+//!    every color containing a neighbor of a moved node, and rows whose
+//!    cached best pointed at the parent — so a
+//!    [`IncrementalDegrees::refresh`] + witness pick costs
+//!    `O(changed rows · k)`, not `O(k²)`.
+//!
+//! A split `P_c → (P_c, P_child)` updates state as follows. Accumulator
+//! columns `c`/`child` change only for in/out-neighbors of the moved nodes
+//! (weight conservation: `dout[u][c] + dout[u][child]` is invariant, and
+//! symmetrically for `din`). Pair summaries split into three classes:
+//! rows/columns of `c` and `child` over the *member* axis are rebuilt by
+//! scanning the two colors' members (`O((|P_c| + |P_child|) · k)`); entries
+//! `(i, c)`/`(c, j)` over *other* colors' member axes are patched from the
+//! touched neighbors, falling back to a one-column rescan only when a
+//! touched node was the entry's unique extremum; all remaining entries are
+//! untouched by construction. Debug builds cross-check the full state
+//! against `DegreeMatrices::compute` after every split
+//! ([`IncrementalDegrees::verify_against`]).
+//!
+//! Two structural specializations keep the engine lean:
+//!
+//! * **Symmetric graphs.** For undirected graphs the in-direction state is
+//!   an exact mirror of the out-direction (`din[v] == dout[v]`,
+//!   `in_min/max[i][j] == out_min/max[j][i]`, bit-for-bit, because the CSR
+//!   stores both adjacency directions in ascending neighbor order), so the
+//!   engine skips it entirely — half the memory and per-split work with
+//!   identical results.
+//! * **Degrees-only mode** ([`IncrementalDegrees::new_degrees_only`]).
+//!   Signature-based refiners (the stable coloring) read accumulator rows
+//!   and never ask for pair errors; this mode maintains only invariant 1,
+//!   making `apply_split` pure `O(deg(moved))` and skipping the `O(k²)`
+//!   matrices, which keeps near-discrete colorings (`k → n`) affordable.
 
-use crate::partition::Partition;
+use crate::partition::{Partition, SplitEvent};
 use crate::similarity::Similarity;
-use qsc_graph::Graph;
+use qsc_graph::{Graph, NodeId};
 
 /// Direction of a degree/error matrix entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -283,7 +350,12 @@ pub fn q_error_report(g: &Graph, p: &Partition) -> QErrorReport {
             }
         }
     }
-    QErrorReport { max_q, mean_q: m.mean_error(), num_colors: m.k, worst_pair: worst }
+    QErrorReport {
+        max_q,
+        mean_q: m.mean_error(),
+        num_colors: m.k,
+        worst_pair: worst,
+    }
 }
 
 /// Maximum q-error of the coloring: the smallest `q` for which `p` is a
@@ -350,6 +422,997 @@ pub fn is_quasi_stable<S: Similarity>(g: &Graph, p: &Partition, sim: &S) -> bool
     true
 }
 
+/// A witness candidate produced by [`IncrementalDegrees::pick_witness`]: the
+/// color pair and direction with the largest size-weighted error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WitnessCandidate {
+    /// The color whose members disagree (the one to split).
+    pub split_color: u32,
+    /// The color the disagreeing degrees point towards / come from.
+    pub other_color: u32,
+    /// `true`: members of `split_color` differ in outgoing weight into
+    /// `other_color`; `false`: they differ in incoming weight from it.
+    pub outgoing: bool,
+    /// The unweighted q-error of the pair.
+    pub error: f64,
+}
+
+/// Per-row best witness candidate cached by the engine (weighted by the
+/// target-size exponent β only; the source-size exponent α is applied at
+/// pick time because the row's own size can change without invalidating the
+/// row's internal ordering).
+#[derive(Clone, Copy, Debug)]
+struct RowBest {
+    weighted: f64,
+    other: u32,
+    outgoing: bool,
+    error: f64,
+}
+
+/// Per-color scratch record used while applying a split (one per color that
+/// contains a neighbor of a moved node).
+#[derive(Clone, Copy, Debug)]
+struct TouchedColor {
+    color: u32,
+    /// Entry extrema at batch start (for detecting a lost extremum).
+    orig_min: f64,
+    orig_max: f64,
+    /// Whether a touched node held the entry's unique extremum and moved
+    /// inward, requiring a one-column rescan.
+    rescan: bool,
+    /// Distinct touched members of this color.
+    count: usize,
+    /// Min/max of the touched members' accumulator values in the child
+    /// column.
+    child_min: f64,
+    child_max: f64,
+}
+
+/// The incremental refinement engine: degree matrices plus per-node degree
+/// accumulators, kept in sync with a partition across [`SplitEvent`]s.
+///
+/// See the module documentation for the maintained invariants. Typical use:
+///
+/// ```
+/// use qsc_core::q_error::{DegreeMatrices, IncrementalDegrees};
+/// use qsc_core::Partition;
+/// use qsc_graph::generators::karate_club;
+///
+/// let g = karate_club();
+/// let mut p = Partition::unit(g.num_nodes());
+/// let mut engine = IncrementalDegrees::new(&g, &p);
+/// // Split off the high-degree nodes and update the engine in O(touched).
+/// let event = p.split_color(0, |v| g.out_degree(v) > 5).unwrap();
+/// engine.apply_split(&g, &p, &event);
+/// assert_eq!(engine.verify_against(&g, &p), Ok(()));
+/// let scratch = DegreeMatrices::compute(&g, &p);
+/// assert_eq!(engine.out_error(0, 1), scratch.out_error(0, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalDegrees {
+    n: usize,
+    k: usize,
+    /// Column capacity (stride) of the accumulators and matrices; grows
+    /// geometrically as colors are added.
+    cap: usize,
+    /// `dout[v * cap + j] = w(v, P_j)`.
+    dout: Vec<f64>,
+    /// `din[v * cap + j] = w(P_j, v)`.
+    din: Vec<f64>,
+    /// `out_min/out_max[i * cap + j]` over `u ∈ P_i` of `dout[u][j]`.
+    out_min: Vec<f64>,
+    out_max: Vec<f64>,
+    /// `in_min/in_max[i * cap + j]` over `v ∈ P_j` of `din[v][i]`.
+    in_min: Vec<f64>,
+    in_max: Vec<f64>,
+    /// Whether the graph is undirected (stored as symmetric arcs). The
+    /// in-direction state is then an exact mirror of the out-direction
+    /// (`din[v] == dout[v]` and `in_min/max[i][j] == out_min/max[j][i]`,
+    /// including floating-point operation order, since the CSR stores both
+    /// adjacency directions in ascending neighbor order), so the engine
+    /// skips it entirely: half the memory, half the per-split work,
+    /// bit-identical results.
+    symmetric: bool,
+    /// Whether pair summaries and the witness cache are maintained. The
+    /// degrees-only mode (`new_degrees_only`) keeps just the accumulators,
+    /// which is all signature-based refiners like the stable coloring need;
+    /// it makes `apply_split` pure `O(deg(moved))` and skips the `O(k²)`
+    /// matrix storage entirely.
+    track_summaries: bool,
+    /// β exponent used by the last [`Self::refresh`]; negative values void
+    /// the best-pointed-at-parent invalidation shortcut (shrinking a target
+    /// color then *grows* candidate weights), so splits dirty every row.
+    last_beta: f64,
+    /// Witness-row cache (see module docs, invariant 3).
+    row_max_err: Vec<f64>,
+    row_best: Vec<Option<RowBest>>,
+    row_dirty: Vec<bool>,
+    /// Node-stamp scratch for deduplicating touched neighbors.
+    node_stamp: Vec<u32>,
+    node_delta: Vec<f64>,
+    stamp_gen: u32,
+    touched_nodes: Vec<NodeId>,
+    /// Color-slot scratch for per-touched-color aggregation (self-validating
+    /// indices into `touched_colors`).
+    color_slot: Vec<u32>,
+    touched_colors: Vec<TouchedColor>,
+    /// Row-recompute scratch (4 × cap).
+    row_scratch: Vec<f64>,
+}
+
+impl IncrementalDegrees {
+    /// Build the full engine (accumulators + pair summaries + witness
+    /// cache) for partition `p` on `g` in `O(n·k + m)` time.
+    pub fn new(g: &Graph, p: &Partition) -> Self {
+        Self::with_mode(g, p, true)
+    }
+
+    /// Build a degrees-only engine: per-node accumulators maintained in
+    /// `O(deg(moved))` per split, no `O(k²)` pair summaries or witness
+    /// cache. This is what signature-based refiners (the stable coloring)
+    /// use — they read accumulator rows and never ask for errors, so
+    /// near-discrete colorings (`k → n`) stay affordable.
+    pub fn new_degrees_only(g: &Graph, p: &Partition) -> Self {
+        Self::with_mode(g, p, false)
+    }
+
+    fn with_mode(g: &Graph, p: &Partition, track_summaries: bool) -> Self {
+        let n = g.num_nodes();
+        assert_eq!(p.num_nodes(), n, "partition does not match graph");
+        let symmetric = !g.is_directed();
+        let k = p.num_colors();
+        let cap = k.next_power_of_two().max(4);
+        let mat_cap = if track_summaries { cap } else { 0 };
+        let in_cap = if symmetric { 0 } else { cap };
+        let in_mat_cap = if symmetric { 0 } else { mat_cap };
+        let mut engine = IncrementalDegrees {
+            n,
+            k,
+            cap,
+            dout: vec![0.0; n * cap],
+            din: vec![0.0; n * in_cap],
+            out_min: vec![0.0; mat_cap * mat_cap],
+            out_max: vec![0.0; mat_cap * mat_cap],
+            in_min: vec![0.0; in_mat_cap * in_mat_cap],
+            in_max: vec![0.0; in_mat_cap * in_mat_cap],
+            symmetric,
+            track_summaries,
+            last_beta: 0.0,
+            row_max_err: vec![0.0; mat_cap],
+            row_best: vec![None; mat_cap],
+            row_dirty: vec![true; mat_cap],
+            node_stamp: vec![0; n],
+            node_delta: vec![0.0; n],
+            stamp_gen: 0,
+            touched_nodes: Vec::new(),
+            color_slot: vec![0; mat_cap],
+            touched_colors: Vec::new(),
+            row_scratch: vec![0.0; 4 * mat_cap],
+        };
+
+        // Accumulators: one sweep over each adjacency direction.
+        let (offs, tgts, wts) = g.out_adjacency();
+        for v in 0..n {
+            let base = v * cap;
+            for e in offs[v]..offs[v + 1] {
+                engine.dout[base + p.color_of(tgts[e]) as usize] += wts[e];
+            }
+        }
+        if !symmetric {
+            let (offs, srcs, wts) = g.in_adjacency();
+            for v in 0..n {
+                let base = v * cap;
+                for e in offs[v]..offs[v + 1] {
+                    engine.din[base + p.color_of(srcs[e]) as usize] += wts[e];
+                }
+            }
+        }
+
+        if track_summaries {
+            // Pair summaries: scan each color's members once.
+            for s in 0..k {
+                engine.recompute_color_axis(p, s);
+            }
+        }
+        engine
+    }
+
+    /// Number of colors currently tracked.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the graph is undirected, i.e. the in-direction state mirrors
+    /// the out-direction exactly (see the module docs). Consumers can skip
+    /// their own in-direction work when this holds.
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// The maintained `w(v, P_j)` accumulator.
+    #[inline]
+    pub fn out_degree_of(&self, v: NodeId, color: u32) -> f64 {
+        self.dout[v as usize * self.cap + color as usize]
+    }
+
+    /// The maintained `w(P_j, v)` accumulator.
+    #[inline]
+    pub fn in_degree_of(&self, v: NodeId, color: u32) -> f64 {
+        if self.symmetric {
+            return self.out_degree_of(v, color);
+        }
+        self.din[v as usize * self.cap + color as usize]
+    }
+
+    /// The full out-degree accumulator row of `v` (length `k`).
+    #[inline]
+    pub fn out_row(&self, v: NodeId) -> &[f64] {
+        let base = v as usize * self.cap;
+        &self.dout[base..base + self.k]
+    }
+
+    /// The full in-degree accumulator row of `v` (length `k`).
+    #[inline]
+    pub fn in_row(&self, v: NodeId) -> &[f64] {
+        if self.symmetric {
+            return self.out_row(v);
+        }
+        let base = v as usize * self.cap;
+        &self.din[base..base + self.k]
+    }
+
+    /// Outgoing error `U − L` at `(i, j)` (same convention as
+    /// [`DegreeMatrices::out_error`]).
+    #[inline]
+    pub fn out_error(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(
+            self.track_summaries,
+            "pair summaries not tracked by this engine"
+        );
+        self.out_max[i * self.cap + j] - self.out_min[i * self.cap + j]
+    }
+
+    /// Incoming error at `(i, j)` (same convention as
+    /// [`DegreeMatrices::in_error`]).
+    #[inline]
+    pub fn in_error(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(
+            self.track_summaries,
+            "pair summaries not tracked by this engine"
+        );
+        if self.symmetric {
+            return self.out_error(j, i);
+        }
+        self.in_max[i * self.cap + j] - self.in_min[i * self.cap + j]
+    }
+
+    /// Apply a split performed on the partition. `p` must be the partition
+    /// *after* the split and `event.child` must be the next color id (splits
+    /// are applied in order).
+    ///
+    /// Cost: `O(deg(moved) + (|parent| + |child|)·k)` plus a one-column
+    /// member rescan for each pair summary whose unique extremum moved.
+    pub fn apply_split(&mut self, g: &Graph, p: &Partition, event: &SplitEvent) {
+        let c = event.parent as usize;
+        let child = event.child as usize;
+        assert_eq!(child, self.k, "split events must be applied in order");
+        assert_eq!(
+            p.num_colors(),
+            self.k + 1,
+            "partition out of sync with engine"
+        );
+        self.ensure_capacity(self.k + 1);
+        self.k += 1;
+        let cap = self.cap;
+        let track = self.track_summaries;
+
+        if track {
+            // Fresh row/column for the child: "no edges" until proven
+            // otherwise.
+            for i in 0..self.k {
+                self.out_min[i * cap + child] = 0.0;
+                self.out_max[i * cap + child] = 0.0;
+                self.out_min[child * cap + i] = 0.0;
+                self.out_max[child * cap + i] = 0.0;
+                if !self.symmetric {
+                    self.in_min[i * cap + child] = 0.0;
+                    self.in_max[i * cap + child] = 0.0;
+                    self.in_min[child * cap + i] = 0.0;
+                    self.in_max[child * cap + i] = 0.0;
+                }
+            }
+            self.row_max_err[child] = 0.0;
+            self.row_best[child] = None;
+        }
+
+        // ---- Out side: sources with edges into the moved nodes. Their
+        // dout mass shifts from column `parent` to column `child`.
+        self.collect_touched(g, &event.moved_nodes, true);
+        let touched = std::mem::take(&mut self.touched_nodes);
+        self.begin_color_batch();
+        for &u in &touched {
+            let d = self.node_delta[u as usize];
+            let base = u as usize * cap;
+            let old = self.dout[base + c];
+            let new = old - d;
+            self.dout[base + c] = new;
+            self.dout[base + child] += d;
+            if !track {
+                continue;
+            }
+            let i = p.color_of(u) as usize;
+            if i == c || i == child {
+                continue; // both color axes are rebuilt below
+            }
+            let child_val = self.dout[base + child];
+            self.patch_entry(EntryKind::OutCol, i, c, old, new, child_val);
+        }
+        let batch = std::mem::take(&mut self.touched_colors);
+        for t in &batch {
+            let i = t.color as usize;
+            if t.rescan {
+                self.rescan_out_entry(p, i, c);
+            }
+            let (mut mn, mut mx) = (t.child_min, t.child_max);
+            if t.count < p.size(t.color) {
+                mn = mn.min(0.0);
+                mx = mx.max(0.0);
+            }
+            self.out_min[i * cap + child] = mn;
+            self.out_max[i * cap + child] = mx;
+            self.row_dirty[i] = true;
+        }
+        self.touched_colors = batch;
+        self.touched_nodes = touched;
+
+        // ---- In side: targets of the moved nodes' out-edges. Their din
+        // mass shifts from column `parent` to column `child`. (Skipped for
+        // undirected graphs, where the in-state mirrors the out-state.)
+        if !self.symmetric {
+            self.in_side_split_update(g, p, event, c, child);
+        }
+        if track {
+            // ---- Member axes of child and parent. The child is rebuilt
+            // from its members' (now final) accumulator rows; the parent's
+            // entries over unchanged columns only shrank in membership, so
+            // they keep their value unless the departed child attained the
+            // old extremum (then a one-column member rescan re-derives it).
+            self.recompute_color_axis(p, child);
+            self.recompute_parent_axis(p, c, child);
+
+            // ---- Witness-row invalidation: rows recomputed above are
+            // dirty, and any cached best that pointed at the parent saw its
+            // target size or error change. A negative β voids that
+            // shortcut: shrinking a target color *raises* candidate
+            // weights, so stale non-best candidates can overtake silently —
+            // dirty everything.
+            self.row_dirty[c] = true;
+            self.row_dirty[child] = true;
+            if self.last_beta < 0.0 {
+                self.row_dirty[..self.k].fill(true);
+            } else {
+                for s in 0..self.k {
+                    if let Some(best) = &self.row_best[s] {
+                        if best.other as usize == c {
+                            self.row_dirty[s] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                self.verify_against(g, p),
+                Ok(()),
+                "incremental state diverged from scratch recomputation"
+            );
+        }
+    }
+
+    /// The in-direction half of [`Self::apply_split`]: shift din mass of
+    /// the moved nodes' out-neighbors from the parent column to the child
+    /// column, patching the affected in-entries. Not called for undirected
+    /// graphs (the in-state mirrors the out-state there).
+    fn in_side_split_update(
+        &mut self,
+        g: &Graph,
+        p: &Partition,
+        event: &SplitEvent,
+        c: usize,
+        child: usize,
+    ) {
+        let cap = self.cap;
+        let track = self.track_summaries;
+        self.collect_touched(g, &event.moved_nodes, false);
+        let touched = std::mem::take(&mut self.touched_nodes);
+        self.begin_color_batch();
+        for &t in &touched {
+            let d = self.node_delta[t as usize];
+            let base = t as usize * cap;
+            let old = self.din[base + c];
+            let new = old - d;
+            self.din[base + c] = new;
+            self.din[base + child] += d;
+            if !track {
+                continue;
+            }
+            let j = p.color_of(t) as usize;
+            if j == c || j == child {
+                continue;
+            }
+            let child_val = self.din[base + child];
+            self.patch_entry(EntryKind::InRow, c, j, old, new, child_val);
+        }
+        let batch = std::mem::take(&mut self.touched_colors);
+        for t in &batch {
+            let j = t.color as usize;
+            if t.rescan {
+                self.rescan_in_entry(p, c, j);
+            }
+            let (mut mn, mut mx) = (t.child_min, t.child_max);
+            if t.count < p.size(t.color) {
+                mn = mn.min(0.0);
+                mx = mx.max(0.0);
+            }
+            self.in_min[child * cap + j] = mn;
+            self.in_max[child * cap + j] = mx;
+            self.row_dirty[j] = true;
+        }
+        self.touched_colors = batch;
+        self.touched_nodes = touched;
+    }
+
+    /// Rebuild the parent's member-axis entries after a split: out-entries
+    /// `(c, j)` and in-entries `(j, c)`. Columns `c`/`child` saw their
+    /// accumulator values change and are always rescanned; for every other
+    /// column the values are untouched and membership only shrank, so the
+    /// old extremum stands unless the child color attained it.
+    /// Cost: `O(k)` comparisons plus `O(|parent|)` per rescanned column.
+    fn recompute_parent_axis(&mut self, p: &Partition, c: usize, child: usize) {
+        let cap = self.cap;
+        for j in 0..self.k {
+            if j == c || j == child {
+                self.rescan_out_entry(p, c, j);
+                if !self.symmetric {
+                    // In-entry over the parent's member axis with the
+                    // changed column as first index: (c, c) for j == c,
+                    // (child, c) for j == child.
+                    self.rescan_in_entry(p, j, c);
+                }
+                continue;
+            }
+            let out_idx = c * cap + j;
+            let out_child = child * cap + j;
+            if self.out_min[out_child] == self.out_min[out_idx]
+                || self.out_max[out_child] == self.out_max[out_idx]
+            {
+                self.rescan_out_entry(p, c, j);
+            }
+            if self.symmetric {
+                continue;
+            }
+            let in_idx = j * cap + c;
+            let in_child = j * cap + child;
+            if self.in_min[in_child] == self.in_min[in_idx]
+                || self.in_max[in_child] == self.in_max[in_idx]
+            {
+                self.rescan_in_entry(p, j, c);
+            }
+        }
+    }
+
+    /// Recompute the dirty witness rows. `beta` is the target-size exponent
+    /// of the witness weighting (the paper's β); it must be the same value
+    /// across calls for a given run, since clean rows keep their cached
+    /// β-weighted bests.
+    pub fn refresh(&mut self, p: &Partition, beta: f64) {
+        assert!(
+            self.track_summaries,
+            "refresh requires a summary-tracking engine"
+        );
+        if beta != self.last_beta {
+            // Clean rows cached their bests under the old weighting; a
+            // changed β makes those stale, so rebuild everything.
+            self.row_dirty[..self.k].fill(true);
+            self.last_beta = beta;
+        }
+        for s in 0..self.k {
+            if !self.row_dirty[s] {
+                continue;
+            }
+            self.row_dirty[s] = false;
+            let mut max_err = 0.0f64;
+            let mut best: Option<RowBest> = None;
+            let splittable = p.size(s as u32) >= 2;
+            let mut consider = |weighted: f64, error: f64, other: u32, outgoing: bool| match &best {
+                Some(b) if b.weighted >= weighted => {}
+                _ => {
+                    best = Some(RowBest {
+                        weighted,
+                        other,
+                        outgoing,
+                        error,
+                    })
+                }
+            };
+            for j in 0..self.k {
+                let e = self.out_error(s, j);
+                if e > max_err {
+                    max_err = e;
+                }
+                if splittable && e > 0.0 {
+                    consider(e * size_pow(p.size(j as u32), beta), e, j as u32, true);
+                }
+            }
+            if !self.symmetric {
+                // For undirected graphs the in-entries (i, s) mirror the
+                // out-entries (s, i) already scanned above (equal error and
+                // weight, and the out candidate wins the tie), so this loop
+                // only runs for directed graphs.
+                for i in 0..self.k {
+                    let e = self.in_error(i, s);
+                    if e > max_err {
+                        max_err = e;
+                    }
+                    if splittable && e > 0.0 {
+                        consider(e * size_pow(p.size(i as u32), beta), e, i as u32, false);
+                    }
+                }
+            }
+            self.row_max_err[s] = max_err;
+            self.row_best[s] = best;
+        }
+    }
+
+    /// Maximum q-error over all pairs and directions. Requires
+    /// [`Self::refresh`] since the last split.
+    pub fn max_error(&self) -> f64 {
+        debug_assert!(
+            self.row_dirty[..self.k].iter().all(|d| !d),
+            "max_error called with dirty witness rows; call refresh() first"
+        );
+        self.row_max_err[..self.k]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+
+    /// The witness with the largest `error · |P_split|^α · |P_other|^β`
+    /// weight among splittable colors (size ≥ 2), or `None` when every
+    /// remaining error sits inside singleton colors or the coloring is
+    /// stable. Requires [`Self::refresh`] since the last split (with the
+    /// same `beta`).
+    pub fn pick_witness(&self, p: &Partition, alpha: f64) -> Option<WitnessCandidate> {
+        debug_assert!(
+            self.row_dirty[..self.k].iter().all(|d| !d),
+            "pick_witness called with dirty witness rows; call refresh() first"
+        );
+        let mut best: Option<(f64, WitnessCandidate)> = None;
+        for s in 0..self.k {
+            let Some(row) = &self.row_best[s] else {
+                continue;
+            };
+            let weighted = row.weighted * size_pow(p.size(s as u32), alpha);
+            match &best {
+                Some((bw, _)) if *bw >= weighted => {}
+                _ => {
+                    best = Some((
+                        weighted,
+                        WitnessCandidate {
+                            split_color: s as u32,
+                            other_color: row.other,
+                            outgoing: row.outgoing,
+                            error: row.error,
+                        },
+                    ))
+                }
+            }
+        }
+        best.map(|(_, w)| w)
+    }
+
+    /// Cross-check the full maintained state against a from-scratch
+    /// [`DegreeMatrices::compute`] (and freshly recomputed accumulators),
+    /// with a small tolerance for floating-point associativity. Returns a
+    /// description of the first mismatch. Intended for tests and the debug
+    /// assertion inside [`Self::apply_split`].
+    pub fn verify_against(&self, g: &Graph, p: &Partition) -> Result<(), String> {
+        if p.num_colors() != self.k {
+            return Err(format!(
+                "color count {} != engine {}",
+                p.num_colors(),
+                self.k
+            ));
+        }
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+        if self.track_summaries {
+            let scratch = DegreeMatrices::compute(g, p);
+            for i in 0..self.k {
+                for j in 0..self.k {
+                    let idx = i * self.cap + j;
+                    let sidx = i * self.k + j;
+                    let (in_min_ours, in_max_ours) = if self.symmetric {
+                        (
+                            self.out_min[j * self.cap + i],
+                            self.out_max[j * self.cap + i],
+                        )
+                    } else {
+                        (self.in_min[idx], self.in_max[idx])
+                    };
+                    for (name, ours, theirs) in [
+                        ("out_min", self.out_min[idx], scratch.out_min[sidx]),
+                        ("out_max", self.out_max[idx], scratch.out_max[sidx]),
+                        ("in_min", in_min_ours, scratch.in_min[sidx]),
+                        ("in_max", in_max_ours, scratch.in_max[sidx]),
+                    ] {
+                        if !close(ours, theirs) {
+                            return Err(format!(
+                                "{name}[{i}][{j}]: incremental {ours} vs scratch {theirs}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Accumulators, recomputed fresh.
+        for v in 0..self.n as NodeId {
+            let mut fresh = vec![0.0f64; self.k];
+            for (t, w) in g.out_edges(v) {
+                fresh[p.color_of(t) as usize] += w;
+            }
+            for (j, &expected) in fresh.iter().enumerate() {
+                if !close(self.out_degree_of(v, j as u32), expected) {
+                    return Err(format!(
+                        "dout[{v}][{j}]: incremental {} vs fresh {}",
+                        self.out_degree_of(v, j as u32),
+                        expected
+                    ));
+                }
+            }
+            let mut fresh = vec![0.0f64; self.k];
+            for (s, w) in g.in_edges(v) {
+                fresh[p.color_of(s) as usize] += w;
+            }
+            for (j, &expected) in fresh.iter().enumerate() {
+                if !close(self.in_degree_of(v, j as u32), expected) {
+                    return Err(format!(
+                        "din[{v}][{j}]: incremental {} vs fresh {}",
+                        self.in_degree_of(v, j as u32),
+                        expected
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- internals ----
+
+    /// Rebuild every pair summary indexed along color `s`'s member axis:
+    /// out-entries `(s, j)` and in-entries `(j, s)` for all `j`, by scanning
+    /// the accumulator rows of `P_s`'s members. `O(|P_s| · k)`.
+    fn recompute_color_axis(&mut self, p: &Partition, s: usize) {
+        let k = self.k;
+        let cap = self.cap;
+        let (omin, rest) = self.row_scratch.split_at_mut(cap);
+        let (omax, rest) = rest.split_at_mut(cap);
+        let (imin, imax) = rest.split_at_mut(cap);
+        omin[..k].fill(f64::INFINITY);
+        omax[..k].fill(f64::NEG_INFINITY);
+        imin[..k].fill(f64::INFINITY);
+        imax[..k].fill(f64::NEG_INFINITY);
+        if self.symmetric {
+            for &u in p.members(s as u32) {
+                let base = u as usize * cap;
+                for j in 0..k {
+                    let o = self.dout[base + j];
+                    if o < omin[j] {
+                        omin[j] = o;
+                    }
+                    if o > omax[j] {
+                        omax[j] = o;
+                    }
+                }
+            }
+            for j in 0..k {
+                self.out_min[s * cap + j] = omin[j];
+                self.out_max[s * cap + j] = omax[j];
+            }
+        } else {
+            for &u in p.members(s as u32) {
+                let base = u as usize * cap;
+                for j in 0..k {
+                    let o = self.dout[base + j];
+                    if o < omin[j] {
+                        omin[j] = o;
+                    }
+                    if o > omax[j] {
+                        omax[j] = o;
+                    }
+                    let i = self.din[base + j];
+                    if i < imin[j] {
+                        imin[j] = i;
+                    }
+                    if i > imax[j] {
+                        imax[j] = i;
+                    }
+                }
+            }
+            for j in 0..k {
+                self.out_min[s * cap + j] = omin[j];
+                self.out_max[s * cap + j] = omax[j];
+                self.in_min[j * cap + s] = imin[j];
+                self.in_max[j * cap + s] = imax[j];
+            }
+        }
+        self.row_dirty[s] = true;
+    }
+
+    /// Collect the distinct neighbors of `moved` (sources of their in-edges
+    /// when `incoming`, targets of their out-edges otherwise) into
+    /// `touched_nodes`, accumulating per-neighbor weight deltas in
+    /// `node_delta`.
+    fn collect_touched(&mut self, g: &Graph, moved: &[NodeId], incoming: bool) {
+        self.stamp_gen = self.stamp_gen.wrapping_add(1);
+        if self.stamp_gen == 0 {
+            self.node_stamp.fill(0);
+            self.stamp_gen = 1;
+        }
+        self.touched_nodes.clear();
+        for &v in moved {
+            let (nbrs, wts) = if incoming {
+                g.in_arcs(v)
+            } else {
+                g.out_arcs(v)
+            };
+            for (idx, &u) in nbrs.iter().enumerate() {
+                if self.node_stamp[u as usize] != self.stamp_gen {
+                    self.node_stamp[u as usize] = self.stamp_gen;
+                    self.node_delta[u as usize] = 0.0;
+                    self.touched_nodes.push(u);
+                }
+                self.node_delta[u as usize] += wts[idx];
+            }
+        }
+    }
+
+    fn begin_color_batch(&mut self) {
+        // Slot lookups self-validate (a stored index is live only if the
+        // record at that index names the same color), so clearing the
+        // record list is all the reset a new batch needs.
+        self.touched_colors.clear();
+    }
+
+    /// Patch one pair summary entry for a touched node whose accumulator
+    /// moved from `old` to `new`, and record the node's `child`-column value
+    /// for the batch finalization. `row`/`col` index the entry in the
+    /// affected matrix (`EntryKind` chooses which); the *batched* color is
+    /// the one whose member axis the entry ranges over.
+    fn patch_entry(
+        &mut self,
+        kind: EntryKind,
+        row: usize,
+        col: usize,
+        old: f64,
+        new: f64,
+        child_val: f64,
+    ) {
+        let idx = row * self.cap + col;
+        let (cur_min, cur_max) = match kind {
+            EntryKind::OutCol => (self.out_min[idx], self.out_max[idx]),
+            EntryKind::InRow => (self.in_min[idx], self.in_max[idx]),
+        };
+        let batched_color = match kind {
+            EntryKind::OutCol => row as u32,
+            EntryKind::InRow => col as u32,
+        };
+        let slot = self.color_slot[batched_color as usize] as usize;
+        let slot = if slot < self.touched_colors.len()
+            && self.touched_colors[slot].color == batched_color
+        {
+            slot
+        } else {
+            let fresh = self.touched_colors.len();
+            self.color_slot[batched_color as usize] = fresh as u32;
+            self.touched_colors.push(TouchedColor {
+                color: batched_color,
+                orig_min: cur_min,
+                orig_max: cur_max,
+                rescan: false,
+                count: 0,
+                child_min: f64::INFINITY,
+                child_max: f64::NEG_INFINITY,
+            });
+            fresh
+        };
+        let record = &mut self.touched_colors[slot];
+        // A touched node that held the batch-start extremum and moved
+        // strictly inward may leave the entry without its extremum.
+        if (old == record.orig_max && new < old) || (old == record.orig_min && new > old) {
+            record.rescan = true;
+        }
+        record.count += 1;
+        if child_val < record.child_min {
+            record.child_min = child_val;
+        }
+        if child_val > record.child_max {
+            record.child_max = child_val;
+        }
+        let (emn, emx) = match kind {
+            EntryKind::OutCol => (&mut self.out_min[idx], &mut self.out_max[idx]),
+            EntryKind::InRow => (&mut self.in_min[idx], &mut self.in_max[idx]),
+        };
+        if new < *emn {
+            *emn = new;
+        }
+        if new > *emx {
+            *emx = new;
+        }
+    }
+
+    /// Recompute out-entry `(i, j)` from `P_i`'s members.
+    fn rescan_out_entry(&mut self, p: &Partition, i: usize, j: usize) {
+        let cap = self.cap;
+        let mut mn = f64::INFINITY;
+        let mut mx = f64::NEG_INFINITY;
+        for &u in p.members(i as u32) {
+            let x = self.dout[u as usize * cap + j];
+            if x < mn {
+                mn = x;
+            }
+            if x > mx {
+                mx = x;
+            }
+        }
+        self.out_min[i * cap + j] = mn;
+        self.out_max[i * cap + j] = mx;
+    }
+
+    /// Recompute in-entry `(i, j)` from `P_j`'s members.
+    fn rescan_in_entry(&mut self, p: &Partition, i: usize, j: usize) {
+        let cap = self.cap;
+        let mut mn = f64::INFINITY;
+        let mut mx = f64::NEG_INFINITY;
+        for &v in p.members(j as u32) {
+            let x = self.din[v as usize * cap + i];
+            if x < mn {
+                mn = x;
+            }
+            if x > mx {
+                mx = x;
+            }
+        }
+        self.in_min[i * cap + j] = mn;
+        self.in_max[i * cap + j] = mx;
+    }
+
+    /// Grow the column capacity to hold `needed` colors (amortized).
+    fn ensure_capacity(&mut self, needed: usize) {
+        if needed <= self.cap {
+            return;
+        }
+        let new_cap = needed.next_power_of_two();
+        let old_cap = self.cap;
+        let regrow = |data: &mut Vec<f64>, rows: usize| {
+            let mut grown = vec![0.0; rows * new_cap];
+            for r in 0..rows {
+                grown[r * new_cap..r * new_cap + old_cap]
+                    .copy_from_slice(&data[r * old_cap..(r + 1) * old_cap]);
+            }
+            *data = grown;
+        };
+        regrow(&mut self.dout, self.n);
+        if !self.symmetric {
+            regrow(&mut self.din, self.n);
+        }
+        if self.track_summaries {
+            regrow(&mut self.out_min, old_cap);
+            regrow(&mut self.out_max, old_cap);
+            self.out_min.resize(new_cap * new_cap, 0.0);
+            self.out_max.resize(new_cap * new_cap, 0.0);
+            if !self.symmetric {
+                regrow(&mut self.in_min, old_cap);
+                regrow(&mut self.in_max, old_cap);
+                self.in_min.resize(new_cap * new_cap, 0.0);
+                self.in_max.resize(new_cap * new_cap, 0.0);
+            }
+            self.row_max_err.resize(new_cap, 0.0);
+            self.row_best.resize(new_cap, None);
+            self.row_dirty.resize(new_cap, true);
+            self.color_slot.resize(new_cap, u32::MAX);
+            self.row_scratch.resize(4 * new_cap, 0.0);
+        }
+        self.cap = new_cap;
+    }
+}
+
+/// Witness selection over from-scratch [`DegreeMatrices`], mirroring the
+/// engine's row-ordered scan — including its floating-point operation order
+/// and first-strictly-greater tie-breaking — exactly. This is what the
+/// non-incremental reference stepper ([`crate::rothko::Rothko::run_reference`])
+/// uses, so the incremental and from-scratch paths pick identical witnesses
+/// whenever the underlying matrices are numerically identical.
+pub fn pick_witness_scratch(
+    m: &DegreeMatrices,
+    p: &Partition,
+    alpha: f64,
+    beta: f64,
+) -> Option<WitnessCandidate> {
+    let k = m.k;
+    let mut best: Option<(f64, WitnessCandidate)> = None;
+    for s in 0..k {
+        if p.size(s as u32) < 2 {
+            continue;
+        }
+        let mut row_best: Option<RowBest> = None;
+        let mut consider = |weighted: f64, error: f64, other: u32, outgoing: bool| match &row_best {
+            Some(b) if b.weighted >= weighted => {}
+            _ => {
+                row_best = Some(RowBest {
+                    weighted,
+                    other,
+                    outgoing,
+                    error,
+                })
+            }
+        };
+        for j in 0..k {
+            let e = m.out_error(s, j);
+            if e > 0.0 {
+                consider(e * size_pow(p.size(j as u32), beta), e, j as u32, true);
+            }
+        }
+        for i in 0..k {
+            let e = m.in_error(i, s);
+            if e > 0.0 {
+                consider(e * size_pow(p.size(i as u32), beta), e, i as u32, false);
+            }
+        }
+        if let Some(row) = row_best {
+            let weighted = row.weighted * size_pow(p.size(s as u32), alpha);
+            match &best {
+                Some((bw, _)) if *bw >= weighted => {}
+                _ => {
+                    best = Some((
+                        weighted,
+                        WitnessCandidate {
+                            split_color: s as u32,
+                            other_color: row.other,
+                            outgoing: row.outgoing,
+                            error: row.error,
+                        },
+                    ))
+                }
+            }
+        }
+    }
+    best.map(|(_, w)| w)
+}
+
+/// Which matrix a [`IncrementalDegrees::patch_entry`] call updates.
+#[derive(Clone, Copy, Debug)]
+enum EntryKind {
+    /// Out-matrix entry `(i, c)`: the batched color is the row `i`.
+    OutCol,
+    /// In-matrix entry `(c, j)`: the batched color is the column `j`.
+    InRow,
+}
+
+/// `size^exponent` with the paper's convention that an exponent of zero
+/// disables the weighting entirely (including for empty products).
+#[inline]
+pub(crate) fn size_pow(size: usize, exponent: f64) -> f64 {
+    if exponent == 0.0 {
+        1.0
+    } else {
+        (size as f64).powf(exponent)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,7 +1462,9 @@ mod tests {
     fn degree_matrices_shape_and_sum() {
         let g = generators::karate_club();
         let p = Partition::from_assignment(
-            &(0..34).map(|v| if v < 17 { 0 } else { 1 }).collect::<Vec<_>>(),
+            &(0..34)
+                .map(|v| if v < 17 { 0 } else { 1 })
+                .collect::<Vec<_>>(),
         );
         let m = DegreeMatrices::compute(&g, &p);
         assert_eq!(m.k, 2);
@@ -445,9 +1510,7 @@ mod tests {
     #[test]
     fn mean_error_leq_max_error() {
         let g = generators::barabasi_albert(200, 3, 7);
-        let p = Partition::from_assignment(
-            &(0..200).map(|v| (v % 5) as u32).collect::<Vec<_>>(),
-        );
+        let p = Partition::from_assignment(&(0..200).map(|v| (v % 5) as u32).collect::<Vec<_>>());
         let report = q_error_report(&g, &p);
         assert!(report.mean_q <= report.max_q);
         assert!(report.mean_q >= 0.0);

@@ -50,7 +50,9 @@ impl ReductionWeighting {
 /// weighting. The reduced graph is always directed (color-pair weights are
 /// not symmetric in general even for undirected inputs once normalized).
 pub fn reduced_graph(g: &Graph, p: &Partition, weighting: ReductionWeighting) -> Graph {
-    reduced_graph_with(g, p, |_, _, sum, size_i, size_j| weighting.apply(sum, size_i, size_j))
+    reduced_graph_with(g, p, |_, _, sum, size_i, size_j| {
+        weighting.apply(sum, size_i, size_j)
+    })
 }
 
 /// Construct the reduced graph with a custom weighting callback
@@ -60,7 +62,11 @@ pub fn reduced_graph_with<F>(g: &Graph, p: &Partition, mut weight: F) -> Graph
 where
     F: FnMut(usize, usize, f64, usize, usize) -> f64,
 {
-    assert_eq!(p.num_nodes(), g.num_nodes(), "partition does not match graph");
+    assert_eq!(
+        p.num_nodes(),
+        g.num_nodes(),
+        "partition does not match graph"
+    );
     let k = p.num_colors();
     let matrices = DegreeMatrices::compute(g, p);
     let mut b = GraphBuilder::new_directed(k);
@@ -167,7 +173,10 @@ mod tests {
         assert_eq!(ReductionWeighting::Sum.apply(12.0, 3, 4), 12.0);
         assert_eq!(ReductionWeighting::TargetAverage.apply(12.0, 3, 4), 3.0);
         assert_eq!(ReductionWeighting::SourceAverage.apply(12.0, 3, 4), 4.0);
-        assert!((ReductionWeighting::SqrtNormalized.apply(12.0, 3, 4) - 12.0 / 12f64.sqrt()).abs() < 1e-12);
+        assert!(
+            (ReductionWeighting::SqrtNormalized.apply(12.0, 3, 4) - 12.0 / 12f64.sqrt()).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -185,9 +194,8 @@ mod tests {
     #[test]
     fn quotient_matrix_row_sums() {
         let g = generators::karate_club();
-        let p = crate::Partition::from_assignment(
-            &(0..34).map(|v| (v % 3) as u32).collect::<Vec<_>>(),
-        );
+        let p =
+            crate::Partition::from_assignment(&(0..34).map(|v| (v % 3) as u32).collect::<Vec<_>>());
         let q = quotient_matrix(&g, &p);
         let total: f64 = q.iter().sum();
         assert_eq!(total, g.total_weight());

@@ -12,10 +12,28 @@
 //! coloring, and the longer it runs the smaller the error. [`RothkoRun`]
 //! exposes the per-step interface used by the responsiveness experiment
 //! (Table 6) and by interactive applications.
+//!
+//! Each run drives the incremental refinement engine
+//! ([`IncrementalDegrees`]): the degree matrices and witness candidates are
+//! built once and then *updated* after every split by touching only the
+//! edges incident to the moved nodes, so a step costs `O(touched)` instead
+//! of the `O(m + k²)` a from-scratch recomputation would (the seed's
+//! original behaviour, still available via [`Rothko::run_reference`] for
+//! equivalence tests and benchmarks).
+//!
+//! Witness selection scans candidates grouped by split color (the engine's
+//! cache rows) rather than the interleaved pair order earlier revisions
+//! used; on exact weighted ties the chosen witness can therefore differ
+//! from those revisions, while all behavioral guarantees (error targets,
+//! color budgets, one-color-per-step) are unchanged. The incremental and
+//! reference paths share the selection code operation-for-operation, so
+//! they remain bit-identical to each other.
 
 use crate::partition::Partition;
-use crate::q_error::{q_error_report, DegreeMatrices};
-use qsc_graph::{Graph, NodeId};
+use crate::q_error::{
+    pick_witness_scratch, q_error_report, DegreeMatrices, IncrementalDegrees, WitnessCandidate,
+};
+use qsc_graph::Graph;
 
 /// How to pick the split threshold inside the witness color.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,24 +87,40 @@ impl Default for RothkoConfig {
 impl RothkoConfig {
     /// Stop at `max_colors` colors (no error target).
     pub fn with_max_colors(max_colors: usize) -> Self {
-        RothkoConfig { max_colors, ..Default::default() }
+        RothkoConfig {
+            max_colors,
+            ..Default::default()
+        }
     }
 
     /// Refine until the maximum q-error is at most `q` (no color cap).
     pub fn with_target_error(q: f64) -> Self {
-        RothkoConfig { target_error: q, ..Default::default() }
+        RothkoConfig {
+            target_error: q,
+            ..Default::default()
+        }
     }
 
     /// The weighting the paper uses for max-flow problems: `α = β = 0`
     /// (only the total capacity between colors matters, not their sizes).
     pub fn for_max_flow(max_colors: usize) -> Self {
-        RothkoConfig { max_colors, alpha: 0.0, beta: 0.0, ..Default::default() }
+        RothkoConfig {
+            max_colors,
+            alpha: 0.0,
+            beta: 0.0,
+            ..Default::default()
+        }
     }
 
     /// The weighting the paper uses for linear programs: `α = 1, β = 0`
     /// (prioritize splitting colors that cover many rows).
     pub fn for_linear_program(max_colors: usize) -> Self {
-        RothkoConfig { max_colors, alpha: 1.0, beta: 0.0, ..Default::default() }
+        RothkoConfig {
+            max_colors,
+            alpha: 1.0,
+            beta: 0.0,
+            ..Default::default()
+        }
     }
 
     /// The weighting the paper uses for betweenness centrality: `α = β = 1`
@@ -170,23 +204,24 @@ impl Rothko {
 
     /// Start an anytime run on `g`; call [`RothkoRun::step`] to advance.
     pub fn start<'g>(&self, g: &'g Graph) -> RothkoRun<'g> {
-        RothkoRun::new(g, self.config.clone())
+        RothkoRun::new(g, self.config.clone(), false)
     }
-}
 
-/// Identity of the witness chosen in one Rothko step.
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct Witness {
-    /// Color that will be split.
-    split_color: u32,
-    /// The color towards which the degrees are measured.
-    other_color: u32,
-    /// `true` if the degrees are outgoing weights of `split_color` into
-    /// `other_color`, `false` if they are incoming weights from
-    /// `other_color`.
-    outgoing: bool,
-    /// The unweighted error of the pair.
-    error: f64,
+    /// Run to completion recomputing [`DegreeMatrices`] from the graph on
+    /// every step (the seed's original `O(k·m + k³)` behaviour — no engine
+    /// is built at all). Witness selection mirrors the incremental path
+    /// operation-for-operation, so for graphs with exactly representable
+    /// weights the result is bit-identical to [`Self::run`]; used by
+    /// equivalence tests and the incremental-vs-scratch benchmark.
+    pub fn run_reference(&self, g: &Graph) -> Coloring {
+        self.start_reference(g).run_to_completion()
+    }
+
+    /// Start a from-scratch (non-incremental) run; see
+    /// [`Self::run_reference`].
+    pub fn start_reference<'g>(&self, g: &'g Graph) -> RothkoRun<'g> {
+        RothkoRun::new(g, self.config.clone(), true)
+    }
 }
 
 /// An in-progress, resumable Rothko run.
@@ -194,26 +229,40 @@ pub struct RothkoRun<'g> {
     graph: &'g Graph,
     config: RothkoConfig,
     partition: Partition,
+    /// The incremental engine (`None` in from-scratch reference mode,
+    /// which recomputes [`DegreeMatrices`] from the graph each step — the
+    /// seed's original per-step cost model).
+    engine: Option<IncrementalDegrees>,
+    /// Dense per-node degree scratch reused across steps by
+    /// [`Self::split_at_mean`] (no per-step allocation).
+    deg_scratch: Vec<f64>,
     iterations: usize,
     last_max_error: f64,
     done: bool,
 }
 
 impl<'g> RothkoRun<'g> {
-    fn new(graph: &'g Graph, config: RothkoConfig) -> Self {
+    fn new(graph: &'g Graph, config: RothkoConfig, from_scratch: bool) -> Self {
         let n = graph.num_nodes();
         let partition = match &config.initial {
             Some(p) => {
                 assert_eq!(p.num_nodes(), n, "initial partition size mismatch");
                 p.clone()
             }
-            None => Partition::unit(n.max(0)),
+            None => Partition::unit(n),
+        };
+        let engine = if from_scratch {
+            None
+        } else {
+            Some(IncrementalDegrees::new(graph, &partition))
         };
         let done = n == 0;
         RothkoRun {
             graph,
             config,
             partition,
+            engine,
+            deg_scratch: vec![0.0; n],
             iterations: 0,
             last_max_error: f64::INFINITY,
             done,
@@ -261,9 +310,21 @@ impl<'g> RothkoRun<'g> {
             }
         }
 
-        let matrices = DegreeMatrices::compute(self.graph, &self.partition);
-        let witness = self.pick_witness(&matrices);
-        self.last_max_error = matrices.max_error();
+        let witness = match &mut self.engine {
+            Some(engine) => {
+                engine.refresh(&self.partition, self.config.beta);
+                self.last_max_error = engine.max_error();
+                engine.pick_witness(&self.partition, self.config.alpha)
+            }
+            None => {
+                // Reference mode: the seed's original per-step behaviour —
+                // recompute the degree matrices from the graph, then run
+                // the same row-ordered witness selection over them.
+                let m = DegreeMatrices::compute(self.graph, &self.partition);
+                self.last_max_error = m.max_error();
+                pick_witness_scratch(&m, &self.partition, self.config.alpha, self.config.beta)
+            }
+        };
         if self.last_max_error <= self.config.target_error {
             self.done = true;
             return false;
@@ -275,8 +336,8 @@ impl<'g> RothkoRun<'g> {
             return false;
         };
 
-        let degrees = self.witness_degrees(&witness);
-        if !self.split_at_mean(witness.split_color, &degrees) {
+        self.fill_witness_degrees(&witness);
+        if !self.split_at_mean(&witness) {
             // Could not split (degenerate); stop rather than loop forever.
             self.done = true;
             return false;
@@ -302,119 +363,105 @@ impl<'g> RothkoRun<'g> {
         }
     }
 
-    /// Choose the witness pair maximizing the size-weighted error, skipping
-    /// pairs whose source color is a singleton (they cannot be split).
-    fn pick_witness(&self, m: &DegreeMatrices) -> Option<Witness> {
-        let k = m.k;
-        let alpha = self.config.alpha;
-        let beta = self.config.beta;
-        let size_pow = |c: usize, e: f64| -> f64 {
-            if e == 0.0 {
-                1.0
-            } else {
-                (self.partition.size(c as u32) as f64).powf(e)
-            }
-        };
-        let mut best: Option<(f64, Witness)> = None;
-        let mut consider = |weighted: f64, w: Witness| {
-            if w.error <= 0.0 {
-                return;
-            }
-            if self.partition.size(w.split_color) < 2 {
-                return;
-            }
-            match &best {
-                Some((bw, _)) if *bw >= weighted => {}
-                _ => best = Some((weighted, w)),
-            }
-        };
-        for i in 0..k {
-            for j in 0..k {
-                let eo = m.out_error(i, j);
-                if eo > 0.0 {
-                    let weighted = eo * size_pow(i, alpha) * size_pow(j, beta);
-                    consider(
-                        weighted,
-                        Witness {
-                            split_color: i as u32,
-                            other_color: j as u32,
-                            outgoing: true,
-                            error: eo,
-                        },
-                    );
-                }
-                let ei = m.in_error(i, j);
-                if ei > 0.0 {
-                    // The color being split is P_j (its nodes differ in their
-                    // incoming weight from P_i).
-                    let weighted = ei * size_pow(j, alpha) * size_pow(i, beta);
-                    consider(
-                        weighted,
-                        Witness {
-                            split_color: j as u32,
-                            other_color: i as u32,
-                            outgoing: false,
-                            error: ei,
-                        },
-                    );
-                }
-            }
-        }
-        best.map(|(_, w)| w)
-    }
-
-    /// Degrees of the witness color's members towards/from the other color.
-    fn witness_degrees(&self, w: &Witness) -> Vec<(NodeId, f64)> {
+    /// Split the witness color at the configured mean of its members'
+    /// degrees towards/from the other color. Falls back to the other mean
+    /// and then the mid-range if the preferred threshold would produce an
+    /// empty side. On success the split event is pushed into the
+    /// incremental engine.
+    ///
+    /// The degrees are read straight from the engine's accumulators (no
+    /// graph traversal) into a dense per-node scratch buffer reused across
+    /// steps, so this allocates nothing on the hot path.
+    /// Fill `deg_scratch` with each member's degree towards/from the
+    /// witness target: read straight from the engine's accumulators in
+    /// incremental mode (no graph traversal), or aggregated from the edges
+    /// in reference mode (the seed's behaviour). Either way the dense
+    /// per-node buffer is reused across steps, so nothing allocates.
+    fn fill_witness_degrees(&mut self, w: &WitnessCandidate) {
         let members = self.partition.members(w.split_color);
-        let mut result = Vec::with_capacity(members.len());
-        for &v in members {
-            let mut d = 0.0;
-            if w.outgoing {
-                for (t, weight) in self.graph.out_edges(v) {
-                    if self.partition.color_of(t) == w.other_color {
-                        d += weight;
-                    }
-                }
-            } else {
-                for (s, weight) in self.graph.in_edges(v) {
-                    if self.partition.color_of(s) == w.other_color {
-                        d += weight;
-                    }
+        match &self.engine {
+            Some(engine) => {
+                for &v in members {
+                    self.deg_scratch[v as usize] = if w.outgoing {
+                        engine.out_degree_of(v, w.other_color)
+                    } else {
+                        engine.in_degree_of(v, w.other_color)
+                    };
                 }
             }
-            result.push((v, d));
+            None => {
+                for &v in members {
+                    let mut d = 0.0;
+                    if w.outgoing {
+                        for (t, weight) in self.graph.out_edges(v) {
+                            if self.partition.color_of(t) == w.other_color {
+                                d += weight;
+                            }
+                        }
+                    } else {
+                        for (s, weight) in self.graph.in_edges(v) {
+                            if self.partition.color_of(s) == w.other_color {
+                                d += weight;
+                            }
+                        }
+                    }
+                    self.deg_scratch[v as usize] = d;
+                }
+            }
         }
-        result
     }
 
-    /// Split the color at the configured mean of `degrees`. Falls back to the
-    /// arithmetic mean and then the mid-range if the preferred threshold
-    /// would produce an empty side.
-    fn split_at_mean(&mut self, color: u32, degrees: &[(NodeId, f64)]) -> bool {
-        let values: Vec<f64> = degrees.iter().map(|&(_, d)| d).collect();
-        let arithmetic = values.iter().sum::<f64>() / values.len() as f64;
-        let geometric = {
-            let positive: Vec<f64> = values.iter().copied().filter(|&d| d > 0.0).collect();
-            if positive.is_empty() {
-                arithmetic
-            } else {
-                (positive.iter().map(|d| d.ln()).sum::<f64>() / positive.len() as f64).exp()
+    /// Split the witness color at the configured mean of the degrees
+    /// prepared by [`Self::fill_witness_degrees`]. Falls back to the other
+    /// mean and then the mid-range if the preferred threshold would produce
+    /// an empty side. On success the split event is pushed into the
+    /// incremental engine (when one is attached).
+    fn split_at_mean(&mut self, w: &WitnessCandidate) -> bool {
+        let members = self.partition.members(w.split_color);
+        let len = members.len();
+        debug_assert!(len >= 2, "witness picked a singleton color");
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut log_sum = 0.0f64;
+        let mut positive = 0usize;
+        for &v in members {
+            let d = self.deg_scratch[v as usize];
+            sum += d;
+            min = min.min(d);
+            max = max.max(d);
+            if d > 0.0 {
+                log_sum += d.ln();
+                positive += 1;
             }
+        }
+        if min == max {
+            // Degenerate: every member has the same degree towards the
+            // witness target, so no threshold can separate them. Report the
+            // color as unsplittable without trying (and allocating for)
+            // the three fallback thresholds.
+            return false;
+        }
+        let arithmetic = sum / len as f64;
+        let geometric = if positive == 0 {
+            arithmetic
+        } else {
+            (log_sum / positive as f64).exp()
         };
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mid = (min + max) / 2.0;
-
         let thresholds: [f64; 3] = match self.config.split_mean {
             SplitMean::Arithmetic => [arithmetic, geometric, mid],
             SplitMean::Geometric => [geometric, arithmetic, mid],
         };
-        let degree_of: std::collections::HashMap<NodeId, f64> =
-            degrees.iter().copied().collect();
         for &threshold in &thresholds {
-            let result =
-                self.partition.split_color(color, |v| degree_of[&v] > threshold);
-            if result.is_some() {
+            let scratch = &self.deg_scratch;
+            if let Some(event) = self
+                .partition
+                .split_color(w.split_color, |v| scratch[v as usize] > threshold)
+            {
+                if let Some(engine) = &mut self.engine {
+                    engine.apply_split(self.graph, &self.partition, &event);
+                }
                 return true;
             }
         }
@@ -537,22 +584,20 @@ mod tests {
         assert!(coloring.max_q_error <= 1.0);
         // Bottom nodes must be split into exactly two colors ({1,2},{3} or
         // {1},{2,3}); top nodes can all share one color.
-        let bottom_colors: std::collections::HashSet<u32> =
-            [0, 1, 2].iter().map(|&v| coloring.partition.color_of(v)).collect();
+        let bottom_colors: std::collections::HashSet<u32> = [0, 1, 2]
+            .iter()
+            .map(|&v| coloring.partition.color_of(v))
+            .collect();
         assert_eq!(bottom_colors.len(), 2);
     }
 
     #[test]
     fn geometric_split_balances_scale_free() {
         let g = generators::barabasi_albert(500, 3, 17);
-        let arith = Rothko::new(
-            RothkoConfig::with_max_colors(8).split_mean(SplitMean::Arithmetic),
-        )
-        .run(&g);
-        let geo = Rothko::new(
-            RothkoConfig::with_max_colors(8).split_mean(SplitMean::Geometric),
-        )
-        .run(&g);
+        let arith =
+            Rothko::new(RothkoConfig::with_max_colors(8).split_mean(SplitMean::Arithmetic)).run(&g);
+        let geo =
+            Rothko::new(RothkoConfig::with_max_colors(8).split_mean(SplitMean::Geometric)).run(&g);
         // Both are valid 8-color colorings.
         assert_eq!(arith.partition.num_colors(), 8);
         assert_eq!(geo.partition.num_colors(), 8);
@@ -561,14 +606,19 @@ mod tests {
         // more than a small factor (typically it is much smaller).
         let max_arith = arith.partition.sizes().into_iter().max().unwrap();
         let max_geo = geo.partition.sizes().into_iter().max().unwrap();
-        assert!(max_geo <= max_arith + 50, "geometric {max_geo} vs arithmetic {max_arith}");
+        assert!(
+            max_geo <= max_arith + 50,
+            "geometric {max_geo} vs arithmetic {max_arith}"
+        );
     }
 
     #[test]
     fn respects_initial_partition() {
         let g = generators::karate_club();
         let init = Partition::from_assignment(
-            &(0..34).map(|v| if v == 0 { 0 } else { 1 }).collect::<Vec<_>>(),
+            &(0..34)
+                .map(|v| if v == 0 { 0 } else { 1 })
+                .collect::<Vec<_>>(),
         );
         let config = RothkoConfig::with_max_colors(5).initial(init.clone());
         let coloring = Rothko::new(config).run(&g);

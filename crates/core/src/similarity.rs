@@ -41,7 +41,10 @@ pub struct Absolute {
 impl Absolute {
     /// Create a `q`-similarity. Panics if `q < 0`.
     pub fn new(q: f64) -> Self {
-        assert!(q >= 0.0 && q.is_finite(), "q must be a finite non-negative number");
+        assert!(
+            q >= 0.0 && q.is_finite(),
+            "q must be a finite non-negative number"
+        );
         Absolute { q }
     }
 }
@@ -66,7 +69,10 @@ pub struct Relative {
 impl Relative {
     /// Create an `ε`-relative similarity. Panics if `eps < 0`.
     pub fn new(eps: f64) -> Self {
-        assert!(eps >= 0.0 && eps.is_finite(), "eps must be a finite non-negative number");
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "eps must be a finite non-negative number"
+        );
         Relative { eps }
     }
 }

@@ -6,14 +6,25 @@
 //! total incoming weight from `P_j`. The fixpoint is the coarsest stable
 //! coloring that refines the initial coloring.
 //!
-//! The implementation hashes per-node signatures each round; each round costs
-//! `O(n + m)` (plus sorting per-node signature entries), and the number of
-//! rounds is at most `n`. This matches the behaviour (though not the
-//! `O((n + m) log n)` bound) of the optimized partition-refinement algorithms
-//! cited by the paper [Paige–Tarjan 1987, Berkholz et al. 2017]; it is more
-//! than fast enough for the laptop-scale datasets used in this reproduction.
+//! In the paper's lattice view stable coloring is the `ε = 0` special case
+//! of quasi-stable coloring, and the implementation says so literally: it
+//! drives the same incremental refinement engine
+//! ([`crate::q_error::IncrementalDegrees`], in its degrees-only mode) as
+//! Rothko. Each round derives every node's sparse per-color weight
+//! signature — candidate colors from the node's edges, values from the
+//! engine's accumulators — and ejects the disagreeing groups via
+//! [`Partition::split_color`], feeding each
+//! [`crate::partition::SplitEvent`] back into the engine so the
+//! accumulators stay exact in `O(deg(moved))` per split. A round costs
+//! `O(m log Δ)` plus the split updates (even when `k → n`), and the number
+//! of rounds is at most `n`. This matches the behaviour (though not the
+//! `O((n + m) log n)` bound) of the optimized partition-refinement
+//! algorithms cited by the paper [Paige–Tarjan 1987, Berkholz et al. 2017];
+//! it is more than fast enough for the laptop-scale datasets used in this
+//! reproduction.
 
 use crate::partition::Partition;
+use crate::q_error::IncrementalDegrees;
 use qsc_graph::Graph;
 use std::collections::HashMap;
 
@@ -45,6 +56,10 @@ pub fn stable_coloring_with(g: &Graph, opts: &StableOptions) -> Partition {
         }
         None => Partition::unit(n),
     };
+    // Degrees-only engine: stable refinement reads accumulator rows for
+    // signatures and never asks for pair errors, so the O(k²) summary
+    // machinery is skipped — splits cost O(deg(moved)) even as k → n.
+    let mut engine = IncrementalDegrees::new_degrees_only(g, &partition);
     let mut round = 0usize;
     loop {
         if let Some(max) = opts.max_rounds {
@@ -53,11 +68,9 @@ pub fn stable_coloring_with(g: &Graph, opts: &StableOptions) -> Partition {
             }
         }
         round += 1;
-        let refined = refine_once(g, &partition);
-        if refined.num_colors() == partition.num_colors() {
+        if refine_round(g, &mut partition, &mut engine) == 0 {
             break;
         }
-        partition = refined;
         if partition.num_colors() == n {
             break;
         }
@@ -65,40 +78,99 @@ pub fn stable_coloring_with(g: &Graph, opts: &StableOptions) -> Partition {
     partition
 }
 
-/// One round of refinement: split colors by (out-signature, in-signature).
-fn refine_once(g: &Graph, p: &Partition) -> Partition {
-    let n = g.num_nodes();
-    // Signature of node v: current color, sorted (color, out-weight) pairs,
-    // sorted (color, in-weight) pairs. Weights are aggregated per neighbour
-    // color; f64 sums are keyed by their bit patterns (weights in the
-    // evaluation graphs are small integers, so summation order is not an
-    // issue in practice).
-    let mut sig_to_color: HashMap<(u32, Vec<(u32, u64)>, Vec<(u32, u64)>), u32> = HashMap::new();
-    let mut assignment = vec![0u32; n];
-    let mut scratch: HashMap<u32, f64> = HashMap::new();
+/// Sparse per-node weight signature: sorted `(color, weight-bits)` pairs for
+/// the colors the node has non-zero weight towards/from. Weights are keyed
+/// by their bit patterns (weights in the evaluation graphs are small
+/// integers, so summation order is not an issue in practice).
+type Signature = Vec<(u32, u64)>;
+
+/// One round of refinement w.r.t. the round-start partition: group each
+/// color's members by their engine accumulator rows and eject every
+/// disagreeing group as a new color. Returns the number of splits performed.
+fn refine_round(g: &Graph, p: &mut Partition, engine: &mut IncrementalDegrees) -> usize {
+    let n = p.num_nodes();
+    let k = p.num_colors();
+
+    // Group nodes by (round-start color, out-signature, in-signature). The
+    // candidate colors come from each node's edges (so a node costs
+    // O(deg log deg), keeping a round O(m log) even when k → n) while the
+    // weight values are read from the engine's accumulators, which hold
+    // exactly the per-(node, color) sums a from-scratch pass over the edges
+    // would produce.
+    let symmetric = engine.is_symmetric();
+    let mut sig_to_group: HashMap<(u32, Signature, Signature), u32> = HashMap::new();
+    let mut group_of = vec![0u32; n];
+    let mut stamp = vec![0u32; k];
+    let mut colors: Vec<u32> = Vec::new();
     for v in 0..n as u32 {
-        scratch.clear();
-        for (t, w) in g.out_edges(v) {
-            *scratch.entry(p.color_of(t)).or_insert(0.0) += w;
-        }
-        let mut out_sig: Vec<(u32, u64)> =
-            scratch.iter().map(|(&c, &w)| (c, w.to_bits())).collect();
-        out_sig.sort_unstable();
-
-        scratch.clear();
-        for (s, w) in g.in_edges(v) {
-            *scratch.entry(p.color_of(s)).or_insert(0.0) += w;
-        }
-        let mut in_sig: Vec<(u32, u64)> =
-            scratch.iter().map(|(&c, &w)| (c, w.to_bits())).collect();
-        in_sig.sort_unstable();
-
+        let sig_from = |incoming: bool, stamp: &mut [u32], colors: &mut Vec<u32>| {
+            // Distinct stamp markers for the out- and in-passes of the same
+            // node, so the second pass doesn't mistake the first pass's
+            // stamps for its own.
+            let marker = 2 * v + if incoming { 2 } else { 1 };
+            colors.clear();
+            let neighbors: Box<dyn Iterator<Item = (u32, f64)>> = if incoming {
+                Box::new(g.in_edges(v))
+            } else {
+                Box::new(g.out_edges(v))
+            };
+            for (u, _) in neighbors {
+                let c = p.color_of(u) as usize;
+                if stamp[c] != marker {
+                    stamp[c] = marker;
+                    colors.push(c as u32);
+                }
+            }
+            colors.sort_unstable();
+            colors
+                .iter()
+                .filter_map(|&c| {
+                    let w = if incoming {
+                        engine.in_degree_of(v, c)
+                    } else {
+                        engine.out_degree_of(v, c)
+                    };
+                    (w != 0.0).then_some((c, w.to_bits()))
+                })
+                .collect::<Signature>()
+        };
+        let out_sig = sig_from(false, &mut stamp, &mut colors);
+        // For undirected graphs the in-signature equals the out-signature
+        // for every node, so a constant placeholder groups identically.
+        let in_sig = if symmetric {
+            Signature::new()
+        } else {
+            sig_from(true, &mut stamp, &mut colors)
+        };
         let key = (p.color_of(v), out_sig, in_sig);
-        let next = sig_to_color.len() as u32;
-        let c = *sig_to_color.entry(key).or_insert(next);
-        assignment[v as usize] = c;
+        let next = sig_to_group.len() as u32;
+        group_of[v as usize] = *sig_to_group.entry(key).or_insert(next);
     }
-    Partition::from_assignment(&assignment)
+
+    // Apply the grouping color by color: the first-seen group keeps the
+    // color id, every other group is ejected as a fresh color and the split
+    // event is pushed into the engine.
+    let mut splits = 0usize;
+    let mut groups: Vec<u32> = Vec::new();
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    for c in 0..k as u32 {
+        groups.clear();
+        seen.clear();
+        for &v in p.members(c) {
+            let gid = group_of[v as usize];
+            if seen.insert(gid, ()).is_none() {
+                groups.push(gid);
+            }
+        }
+        for &gid in groups.iter().skip(1) {
+            let event = p
+                .split_color(c, |v| group_of[v as usize] == gid)
+                .expect("signature groups are non-empty and proper");
+            engine.apply_split(g, p, &event);
+            splits += 1;
+        }
+    }
+    splits
 }
 
 /// Whether `p` is a stable coloring of `g` (exact equality of weights).
@@ -179,9 +251,14 @@ mod tests {
     fn initial_partition_is_refined() {
         let g = generators::karate_club();
         let init = Partition::from_assignment(
-            &(0..34).map(|v| if v < 17 { 0 } else { 1 }).collect::<Vec<_>>(),
+            &(0..34)
+                .map(|v| if v < 17 { 0 } else { 1 })
+                .collect::<Vec<_>>(),
         );
-        let opts = StableOptions { initial: Some(init.clone()), max_rounds: None };
+        let opts = StableOptions {
+            initial: Some(init.clone()),
+            max_rounds: None,
+        };
         let p = stable_coloring_with(&g, &opts);
         assert!(p.is_refinement_of(&init));
         assert!(is_stable(&g, &p));
@@ -193,7 +270,10 @@ mod tests {
     #[test]
     fn max_rounds_limits_refinement() {
         let g = generators::karate_club();
-        let opts = StableOptions { initial: None, max_rounds: Some(1) };
+        let opts = StableOptions {
+            initial: None,
+            max_rounds: Some(1),
+        };
         let p1 = stable_coloring_with(&g, &opts);
         // One round distinguishes only by degree.
         let degrees: std::collections::HashSet<usize> =
@@ -230,5 +310,18 @@ mod tests {
         let p = stable_coloring(&g);
         assert!(Partition::discrete(34).is_refinement_of(&p));
         assert!(p.is_refinement_of(&Partition::unit(34)));
+    }
+
+    #[test]
+    fn agrees_with_rothko_at_zero_error() {
+        // The ε = 0 special case through the shared engine must land on the
+        // same fixpoint cardinality the q = 0 Rothko run refines towards.
+        use crate::rothko::{Rothko, RothkoConfig};
+        let g = generators::barabasi_albert(150, 3, 5);
+        let stable = stable_coloring(&g);
+        assert!(is_stable(&g, &stable));
+        let rothko = Rothko::new(RothkoConfig::with_target_error(0.0)).run(&g);
+        assert_eq!(rothko.max_q_error, 0.0);
+        assert!(rothko.partition.num_colors() >= stable.num_colors());
     }
 }

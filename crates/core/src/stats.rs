@@ -31,17 +31,33 @@ pub fn coloring_stats(p: &Partition) -> ColoringStats {
     let max_color_size = sizes.iter().copied().max().unwrap_or(0);
     let mut sorted = sizes.clone();
     sorted.sort_unstable();
-    let median_color_size = if sorted.is_empty() { 0 } else { sorted[sorted.len() / 2] };
+    let median_color_size = if sorted.is_empty() {
+        0
+    } else {
+        sorted[sorted.len() / 2]
+    };
     let singletons = sizes.iter().filter(|&&s| s == 1).count();
     ColoringStats {
         nodes,
         colors,
-        compression_ratio: if colors == 0 { 1.0 } else { nodes as f64 / colors as f64 },
+        compression_ratio: if colors == 0 {
+            1.0
+        } else {
+            nodes as f64 / colors as f64
+        },
         max_color_size,
         median_color_size,
-        mean_color_size: if colors == 0 { 0.0 } else { nodes as f64 / colors as f64 },
+        mean_color_size: if colors == 0 {
+            0.0
+        } else {
+            nodes as f64 / colors as f64
+        },
         singletons,
-        singleton_node_fraction: if nodes == 0 { 0.0 } else { singletons as f64 / nodes as f64 },
+        singleton_node_fraction: if nodes == 0 {
+            0.0
+        } else {
+            singletons as f64 / nodes as f64
+        },
     }
 }
 

@@ -101,38 +101,170 @@ pub struct LpDatasetSpec {
 /// (general-evaluation + centrality groups).
 pub fn graph_datasets() -> Vec<GraphDatasetSpec> {
     vec![
-        GraphDatasetSpec { name: "karate", task: Task::General, paper_nodes: 34, paper_edges: 78, real: true, stand_in: "exact edge list" },
-        GraphDatasetSpec { name: "openflights", task: Task::General, paper_nodes: 3_425, paper_edges: 38_513, real: true, stand_in: "hub-and-spoke" },
-        GraphDatasetSpec { name: "dblp", task: Task::General, paper_nodes: 317_080, paper_edges: 1_049_866, real: true, stand_in: "power-law cluster" },
-        GraphDatasetSpec { name: "astrophysics", task: Task::Centrality, paper_nodes: 18_772, paper_edges: 198_110, real: true, stand_in: "power-law cluster" },
-        GraphDatasetSpec { name: "facebook", task: Task::Centrality, paper_nodes: 22_470, paper_edges: 171_002, real: true, stand_in: "power-law cluster" },
-        GraphDatasetSpec { name: "deezer", task: Task::Centrality, paper_nodes: 28_281, paper_edges: 92_752, real: true, stand_in: "Barabási–Albert" },
-        GraphDatasetSpec { name: "enron", task: Task::Centrality, paper_nodes: 36_692, paper_edges: 183_831, real: true, stand_in: "power-law cluster" },
-        GraphDatasetSpec { name: "epinions", task: Task::Centrality, paper_nodes: 75_879, paper_edges: 508_837, real: true, stand_in: "Barabási–Albert" },
+        GraphDatasetSpec {
+            name: "karate",
+            task: Task::General,
+            paper_nodes: 34,
+            paper_edges: 78,
+            real: true,
+            stand_in: "exact edge list",
+        },
+        GraphDatasetSpec {
+            name: "openflights",
+            task: Task::General,
+            paper_nodes: 3_425,
+            paper_edges: 38_513,
+            real: true,
+            stand_in: "hub-and-spoke",
+        },
+        GraphDatasetSpec {
+            name: "dblp",
+            task: Task::General,
+            paper_nodes: 317_080,
+            paper_edges: 1_049_866,
+            real: true,
+            stand_in: "power-law cluster",
+        },
+        GraphDatasetSpec {
+            name: "astrophysics",
+            task: Task::Centrality,
+            paper_nodes: 18_772,
+            paper_edges: 198_110,
+            real: true,
+            stand_in: "power-law cluster",
+        },
+        GraphDatasetSpec {
+            name: "facebook",
+            task: Task::Centrality,
+            paper_nodes: 22_470,
+            paper_edges: 171_002,
+            real: true,
+            stand_in: "power-law cluster",
+        },
+        GraphDatasetSpec {
+            name: "deezer",
+            task: Task::Centrality,
+            paper_nodes: 28_281,
+            paper_edges: 92_752,
+            real: true,
+            stand_in: "Barabási–Albert",
+        },
+        GraphDatasetSpec {
+            name: "enron",
+            task: Task::Centrality,
+            paper_nodes: 36_692,
+            paper_edges: 183_831,
+            real: true,
+            stand_in: "power-law cluster",
+        },
+        GraphDatasetSpec {
+            name: "epinions",
+            task: Task::Centrality,
+            paper_nodes: 75_879,
+            paper_edges: 508_837,
+            real: true,
+            stand_in: "Barabási–Albert",
+        },
     ]
 }
 
 /// The max-flow datasets of Table 2.
 pub fn flow_datasets() -> Vec<FlowDatasetSpec> {
     vec![
-        FlowDatasetSpec { name: "tsukuba0", paper_nodes: 110_594, paper_edges: 506_546, grid: (96, 80), seed: 100 },
-        FlowDatasetSpec { name: "tsukuba2", paper_nodes: 110_594, paper_edges: 500_544, grid: (96, 80), seed: 102 },
-        FlowDatasetSpec { name: "venus0", paper_nodes: 166_224, paper_edges: 787_946, grid: (104, 88), seed: 110 },
-        FlowDatasetSpec { name: "venus1", paper_nodes: 166_224, paper_edges: 787_716, grid: (104, 88), seed: 111 },
-        FlowDatasetSpec { name: "sawtooth0", paper_nodes: 164_922, paper_edges: 790_296, grid: (104, 88), seed: 120 },
-        FlowDatasetSpec { name: "sawtooth1", paper_nodes: 164_922, paper_edges: 789_014, grid: (104, 88), seed: 121 },
-        FlowDatasetSpec { name: "simcells", paper_nodes: 903_962, paper_edges: 6_738_294, grid: (128, 104), seed: 130 },
-        FlowDatasetSpec { name: "cells", paper_nodes: 3_582_102, paper_edges: 31_537_228, grid: (144, 120), seed: 131 },
+        FlowDatasetSpec {
+            name: "tsukuba0",
+            paper_nodes: 110_594,
+            paper_edges: 506_546,
+            grid: (96, 80),
+            seed: 100,
+        },
+        FlowDatasetSpec {
+            name: "tsukuba2",
+            paper_nodes: 110_594,
+            paper_edges: 500_544,
+            grid: (96, 80),
+            seed: 102,
+        },
+        FlowDatasetSpec {
+            name: "venus0",
+            paper_nodes: 166_224,
+            paper_edges: 787_946,
+            grid: (104, 88),
+            seed: 110,
+        },
+        FlowDatasetSpec {
+            name: "venus1",
+            paper_nodes: 166_224,
+            paper_edges: 787_716,
+            grid: (104, 88),
+            seed: 111,
+        },
+        FlowDatasetSpec {
+            name: "sawtooth0",
+            paper_nodes: 164_922,
+            paper_edges: 790_296,
+            grid: (104, 88),
+            seed: 120,
+        },
+        FlowDatasetSpec {
+            name: "sawtooth1",
+            paper_nodes: 164_922,
+            paper_edges: 789_014,
+            grid: (104, 88),
+            seed: 121,
+        },
+        FlowDatasetSpec {
+            name: "simcells",
+            paper_nodes: 903_962,
+            paper_edges: 6_738_294,
+            grid: (128, 104),
+            seed: 130,
+        },
+        FlowDatasetSpec {
+            name: "cells",
+            paper_nodes: 3_582_102,
+            paper_edges: 31_537_228,
+            grid: (144, 120),
+            seed: 131,
+        },
     ]
 }
 
 /// The LP datasets of Table 3.
 pub fn lp_datasets() -> Vec<LpDatasetSpec> {
     vec![
-        LpDatasetSpec { name: "qap15", paper_rows: 6_331, paper_cols: 22_275, paper_nonzeros: 110_700, paper_solve_minutes: 22.0, stand_in: "assignment-like" },
-        LpDatasetSpec { name: "nug08-3rd", paper_rows: 19_728, paper_cols: 20_448, paper_nonzeros: 139_008, paper_solve_minutes: 100.0, stand_in: "assignment-like" },
-        LpDatasetSpec { name: "supportcase10", paper_rows: 10_713, paper_cols: 1_429_098, paper_nonzeros: 4_287_094, paper_solve_minutes: 31.0, stand_in: "covering-like" },
-        LpDatasetSpec { name: "ex10", paper_rows: 69_609, paper_cols: 17_680, paper_nonzeros: 1_179_680, paper_solve_minutes: 24.0, stand_in: "transport-like" },
+        LpDatasetSpec {
+            name: "qap15",
+            paper_rows: 6_331,
+            paper_cols: 22_275,
+            paper_nonzeros: 110_700,
+            paper_solve_minutes: 22.0,
+            stand_in: "assignment-like",
+        },
+        LpDatasetSpec {
+            name: "nug08-3rd",
+            paper_rows: 19_728,
+            paper_cols: 20_448,
+            paper_nonzeros: 139_008,
+            paper_solve_minutes: 100.0,
+            stand_in: "assignment-like",
+        },
+        LpDatasetSpec {
+            name: "supportcase10",
+            paper_rows: 10_713,
+            paper_cols: 1_429_098,
+            paper_nonzeros: 4_287_094,
+            paper_solve_minutes: 31.0,
+            stand_in: "covering-like",
+        },
+        LpDatasetSpec {
+            name: "ex10",
+            paper_rows: 69_609,
+            paper_cols: 17_680,
+            paper_nonzeros: 1_179_680,
+            paper_solve_minutes: 24.0,
+            stand_in: "transport-like",
+        },
     ]
 }
 
@@ -173,7 +305,8 @@ pub fn load_flow(name: &str, scale: Scale) -> Result<FlowNetwork, DatasetError> 
         Scale::Small => (spec.grid.0 / 6, spec.grid.1 / 6),
         Scale::Full => spec.grid,
     };
-    let (net, _) = qsc_flow::generators::grid_flow_network(w.max(4), h.max(4), 3.0, 0.25, spec.seed);
+    let (net, _) =
+        qsc_flow::generators::grid_flow_network(w.max(4), h.max(4), 3.0, 0.25, spec.seed);
     Ok(net)
 }
 
@@ -204,7 +337,9 @@ pub fn load_lp(name: &str, scale: Scale) -> Result<LpProblem, DatasetError> {
 
 /// Deterministic seed derived from the dataset name.
 fn stable_seed(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 #[cfg(test)]
@@ -239,7 +374,11 @@ mod tests {
     fn all_lp_datasets_load_small() {
         for spec in lp_datasets() {
             let lp = load_lp(spec.name, Scale::Small).unwrap();
-            assert!(lp.num_rows() > 0 && lp.num_cols() > 0, "{} empty", spec.name);
+            assert!(
+                lp.num_rows() > 0 && lp.num_cols() > 0,
+                "{} empty",
+                spec.name
+            );
             // The origin is feasible for every generated LP.
             assert!(lp.is_feasible(&vec![0.0; lp.num_cols()], 1e-9));
         }

@@ -9,7 +9,11 @@ const EPS: f64 = 1e-12;
 pub fn max_flow(network: &FlowNetwork) -> FlowResult {
     let mut rg = ResidualGraph::from_graph(&network.graph);
     let value = run(&mut rg, network.source, network.sink);
-    FlowResult { value: value.0, flows: rg.arc_flows(), iterations: value.1 }
+    FlowResult {
+        value: value.0,
+        flows: rg.arc_flows(),
+        iterations: value.1,
+    }
 }
 
 /// Run Dinic on an existing residual graph; returns `(flow value, phases)`.

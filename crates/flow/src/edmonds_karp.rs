@@ -56,7 +56,11 @@ pub fn max_flow(network: &FlowNetwork) -> FlowResult {
         total += bottleneck;
         augmentations += 1;
     }
-    FlowResult { value: total, flows: rg.arc_flows(), iterations: augmentations }
+    FlowResult {
+        value: total,
+        flows: rg.arc_flows(),
+        iterations: augmentations,
+    }
 }
 
 #[cfg(test)]

@@ -97,21 +97,33 @@ pub fn layered_random_network(
     let mut b = GraphBuilder::new_directed(n);
     for i in 0..layer_width {
         b.add_edge(source, id(0, i), 1.0 + rng.random::<f64>() * max_capacity);
-        b.add_edge(id(layers - 1, i), sink, 1.0 + rng.random::<f64>() * max_capacity);
+        b.add_edge(
+            id(layers - 1, i),
+            sink,
+            1.0 + rng.random::<f64>() * max_capacity,
+        );
     }
     for l in 0..layers - 1 {
         for i in 0..layer_width {
             let mut connected = false;
             for j in 0..layer_width {
                 if rng.random::<f64>() < density {
-                    b.add_edge(id(l, i), id(l + 1, j), 1.0 + rng.random::<f64>() * max_capacity);
+                    b.add_edge(
+                        id(l, i),
+                        id(l + 1, j),
+                        1.0 + rng.random::<f64>() * max_capacity,
+                    );
                     connected = true;
                 }
             }
             if !connected {
                 // Keep the network connected layer to layer.
                 let j = rng.random_range(0..layer_width);
-                b.add_edge(id(l, i), id(l + 1, j), 1.0 + rng.random::<f64>() * max_capacity);
+                b.add_edge(
+                    id(l, i),
+                    id(l + 1, j),
+                    1.0 + rng.random::<f64>() * max_capacity,
+                );
             }
         }
     }

@@ -26,7 +26,11 @@ pub fn min_cut(network: &FlowNetwork) -> MinCut {
             edges.push((u, v, c));
         }
     }
-    MinCut { capacity: value, source_side, edges }
+    MinCut {
+        capacity: value,
+        source_side,
+        edges,
+    }
 }
 
 #[cfg(test)]

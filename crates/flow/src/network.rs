@@ -24,7 +24,11 @@ impl FlowNetwork {
             graph.arcs().all(|(_, _, w)| w >= 0.0),
             "capacities must be non-negative"
         );
-        FlowNetwork { graph, source, sink }
+        FlowNetwork {
+            graph,
+            source,
+            sink,
+        }
     }
 
     /// Number of nodes.

@@ -132,7 +132,11 @@ pub fn max_flow(network: &FlowNetwork) -> FlowResult {
     }
 
     let value = excess[sink];
-    FlowResult { value, flows: rg.arc_flows(), iterations: relabels }
+    FlowResult {
+        value,
+        flows: rg.arc_flows(),
+        iterations: relabels,
+    }
 }
 
 /// Heights from a reverse BFS from the sink; unreachable nodes (and the
@@ -201,7 +205,10 @@ mod tests {
         let (net, _) = crate::generators::grid_flow_network(8, 8, 4.0, 0.5, 3);
         let pr = max_flow(&net).value;
         let dinic = crate::dinic::max_flow(&net).value;
-        assert!((pr - dinic).abs() < 1e-6, "push-relabel {pr} vs Dinic {dinic}");
+        assert!(
+            (pr - dinic).abs() < 1e-6,
+            "push-relabel {pr} vs Dinic {dinic}"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct FlowApproxConfig {
 impl FlowApproxConfig {
     /// Budget-based configuration (the paper uses `α = β = 0` for flows).
     pub fn with_max_colors(max_colors: usize) -> Self {
-        FlowApproxConfig { max_colors, target_error: 0.0 }
+        FlowApproxConfig {
+            max_colors,
+            target_error: 0.0,
+        }
     }
 }
 
@@ -88,7 +91,11 @@ pub fn reduced_network_upper(
             sum
         }
     });
-    (FlowNetwork::new(reduced, s_color, t_color), s_color, t_color)
+    (
+        FlowNetwork::new(reduced, s_color, t_color),
+        s_color,
+        t_color,
+    )
 }
 
 /// Build the lower-bound reduced network `Ĝ₁` (uniform-flow capacities).
@@ -281,7 +288,10 @@ mod tests {
         let fine = approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(24));
         let err_coarse = relative_error(exact, coarse.value);
         let err_fine = relative_error(exact, fine.value);
-        assert!(err_fine <= err_coarse + 0.35, "coarse {err_coarse}, fine {err_fine}");
+        assert!(
+            err_fine <= err_coarse + 0.35,
+            "coarse {err_coarse}, fine {err_fine}"
+        );
         assert!(fine.colors <= 24);
         assert!(fine.max_q_error <= coarse.max_q_error + 1e-9);
     }

@@ -44,7 +44,13 @@ impl Bipartite {
         }
         let targets = merged.iter().map(|&(_, y, _)| y).collect();
         let weights = merged.iter().map(|&(_, _, w)| w).collect();
-        Bipartite { nx, ny, offsets, targets, weights }
+        Bipartite {
+            nx,
+            ny,
+            offsets,
+            targets,
+            weights,
+        }
     }
 
     /// Build from a dense `nx x ny` matrix of weights (zero entries are
@@ -87,7 +93,10 @@ impl Bipartite {
     pub fn edges_of(&self, x: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
         let lo = self.offsets[x as usize];
         let hi = self.offsets[x as usize + 1];
-        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Iterate all edges `(x, y, w)`.
@@ -102,7 +111,10 @@ impl Bipartite {
 
     /// Total incoming weight `w(X, y)` of right node `y`. O(#edges).
     pub fn right_weight(&self, y: u32) -> f64 {
-        self.edges().filter(|&(_, t, _)| t == y).map(|(_, _, w)| w).sum()
+        self.edges()
+            .filter(|&(_, t, _)| t == y)
+            .map(|(_, _, w)| w)
+            .sum()
     }
 
     /// All right-weights at once in O(#edges).

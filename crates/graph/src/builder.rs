@@ -17,12 +17,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// New builder for a directed graph on `n` nodes.
     pub fn new_directed(n: usize) -> Self {
-        GraphBuilder { n, directed: true, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            directed: true,
+            edges: Vec::new(),
+        }
     }
 
     /// New builder for an undirected graph on `n` nodes.
     pub fn new_undirected(n: usize) -> Self {
-        GraphBuilder { n, directed: false, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            directed: false,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes currently declared.
@@ -60,9 +68,20 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if `u` or `v` is out of range, or if the weight is not finite.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) {
-        assert!((u as usize) < self.n, "node {u} out of range (n = {})", self.n);
-        assert!((v as usize) < self.n, "node {v} out of range (n = {})", self.n);
-        assert!(weight.is_finite(), "edge weight must be finite, got {weight}");
+        assert!(
+            (u as usize) < self.n,
+            "node {u} out of range (n = {})",
+            self.n
+        );
+        assert!(
+            (v as usize) < self.n,
+            "node {v} out of range (n = {})",
+            self.n
+        );
+        assert!(
+            weight.is_finite(),
+            "edge weight must be finite, got {weight}"
+        );
         self.edges.push((u, v, weight));
     }
 
@@ -70,9 +89,9 @@ impl GraphBuilder {
     /// already been added. O(#edges); intended for generators that need to
     /// avoid duplicates on small graphs.
     pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.edges.iter().any(|&(a, b, _)| {
-            (a == u && b == v) || (!self.directed && a == v && b == u)
-        })
+        self.edges
+            .iter()
+            .any(|&(a, b, _)| (a == u && b == v) || (!self.directed && a == v && b == u))
     }
 
     /// Finalize into a CSR [`Graph`].

@@ -117,6 +117,23 @@ impl Graph {
         (&self.in_sources[lo..hi], &self.in_weights[lo..hi])
     }
 
+    /// The raw out-CSR arrays `(offsets, targets, weights)`: the arcs of `v`
+    /// occupy `offsets[v]..offsets[v+1]` in the parallel `targets`/`weights`
+    /// slices. Used by batch passes (e.g. the incremental refinement
+    /// engine's O(m) initialization) that want to sweep all arcs without
+    /// per-node accessor calls.
+    #[inline]
+    pub fn out_adjacency(&self) -> (&[usize], &[NodeId], &[f64]) {
+        (&self.out_offsets, &self.out_targets, &self.out_weights)
+    }
+
+    /// The raw in-CSR arrays `(offsets, sources, weights)`; see
+    /// [`Self::out_adjacency`].
+    #[inline]
+    pub fn in_adjacency(&self) -> (&[usize], &[NodeId], &[f64]) {
+        (&self.in_offsets, &self.in_sources, &self.in_weights)
+    }
+
     /// Iterate the outgoing arcs `(target, weight)` of `v`.
     #[inline]
     pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
@@ -180,7 +197,8 @@ impl Graph {
 
     /// Iterate all stored arcs as `(source, target, weight)`.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.nodes().flat_map(move |u| self.out_edges(u).map(move |(v, w)| (u, v, w)))
+        self.nodes()
+            .flat_map(move |u| self.out_edges(u).map(move |(v, w)| (u, v, w)))
     }
 
     /// Iterate all logical edges; for undirected graphs each edge `{u,v}` is
@@ -253,10 +271,8 @@ impl Graph {
             for (v, w) in self.out_edges(u) {
                 let nu = new_id[u as usize];
                 let nv = new_id[v as usize];
-                if nv != u32::MAX {
-                    if self.directed || nu <= nv {
-                        b.add_edge(nu, nv, w);
-                    }
+                if nv != u32::MAX && (self.directed || nu <= nv) {
+                    b.add_edge(nu, nv, w);
                 }
             }
         }
@@ -332,6 +348,28 @@ mod tests {
         assert_eq!(g.out_weight(0), 2.0);
         assert!(g.has_edge(0, 1));
         assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn raw_adjacency_matches_iterators() {
+        let g = triangle();
+        let (offs, tgts, wts) = g.out_adjacency();
+        assert_eq!(offs.len(), g.num_nodes() + 1);
+        assert_eq!(tgts.len(), g.num_arcs());
+        for v in g.nodes() {
+            let from_iter: Vec<(NodeId, f64)> = g.out_edges(v).collect();
+            let lo = offs[v as usize];
+            let hi = offs[v as usize + 1];
+            let from_raw: Vec<(NodeId, f64)> = tgts[lo..hi]
+                .iter()
+                .copied()
+                .zip(wts[lo..hi].iter().copied())
+                .collect();
+            assert_eq!(from_iter, from_raw);
+        }
+        let (ioffs, isrcs, iwts) = g.in_adjacency();
+        assert_eq!(ioffs.len(), g.num_nodes() + 1);
+        assert_eq!(isrcs.len(), iwts.len());
     }
 
     #[test]

@@ -73,10 +73,15 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
         }
     }
     for new in (m + 1)..n {
-        let mut picked = std::collections::HashSet::with_capacity(m);
+        // Order-preserving dedup (m is small): iterating a HashSet here
+        // would append to `targets` in per-process hash order and make the
+        // "seeded" graph differ between runs.
+        let mut picked: Vec<NodeId> = Vec::with_capacity(m);
         while picked.len() < m {
             let t = targets[rng.random_range(0..targets.len())];
-            picked.insert(t);
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
         }
         for &t in &picked {
             b.add_edge(new as NodeId, t, 1.0);
@@ -99,10 +104,10 @@ pub fn powerlaw_cluster(n: usize, m: usize, p_triangle: f64, seed: u64) -> Graph
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     let mut targets: Vec<NodeId> = Vec::new();
     let add = |b: &mut GraphBuilder,
-                   adj: &mut Vec<Vec<NodeId>>,
-                   targets: &mut Vec<NodeId>,
-                   u: NodeId,
-                   v: NodeId| {
+               adj: &mut Vec<Vec<NodeId>>,
+               targets: &mut Vec<NodeId>,
+               u: NodeId,
+               v: NodeId| {
         if u == v || adj[u as usize].contains(&v) {
             return false;
         }
@@ -379,15 +384,84 @@ pub fn perturb_add_edges(g: &Graph, extra: usize, seed: u64) -> Graph {
 pub fn karate_club() -> Graph {
     // Standard edge list (0-indexed).
     const EDGES: &[(u32, u32)] = &[
-        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
-        (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2), (1, 3), (1, 7), (1, 13),
-        (1, 17), (1, 19), (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27),
-        (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16),
-        (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
-        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33), (22, 32), (22, 33),
-        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33), (24, 25), (24, 27), (24, 31),
-        (25, 31), (26, 29), (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
-        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
+        (6, 16),
+        (8, 30),
+        (8, 32),
+        (8, 33),
+        (9, 33),
+        (13, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
+        (19, 33),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
+        (25, 31),
+        (26, 29),
+        (26, 33),
+        (27, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
+        (32, 33),
     ];
     let mut b = GraphBuilder::new_undirected(34);
     for &(u, v) in EDGES {
@@ -485,7 +559,10 @@ mod tests {
         assert_eq!(g.num_nodes(), n);
         // Scale-free: max degree should be well above m.
         let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
-        assert!(max_deg > 3 * m, "max degree {max_deg} too small for BA graph");
+        assert!(
+            max_deg > 3 * m,
+            "max degree {max_deg} too small for BA graph"
+        );
     }
 
     #[test]
@@ -531,7 +608,10 @@ mod tests {
         let avg_hub = hub_deg as f64 / 20.0;
         let spoke_deg: usize = (20..500).map(|v| g.out_degree(v as u32)).sum();
         let avg_spoke = spoke_deg as f64 / 480.0;
-        assert!(avg_hub > 5.0 * avg_spoke, "hubs {avg_hub} vs spokes {avg_spoke}");
+        assert!(
+            avg_hub > 5.0 * avg_spoke,
+            "hubs {avg_hub} vs spokes {avg_spoke}"
+        );
     }
 
     #[test]
@@ -545,7 +625,11 @@ mod tests {
         for grp in 0..groups {
             let d0 = g.out_degree((grp * gs) as u32);
             for i in 1..gs {
-                assert_eq!(g.out_degree((grp * gs + i) as u32), d0, "group {grp} irregular");
+                assert_eq!(
+                    g.out_degree((grp * gs + i) as u32),
+                    d0,
+                    "group {grp} irregular"
+                );
             }
         }
     }
@@ -584,7 +668,11 @@ mod tests {
         // The paper's robustness graph: |V| = 1000, |E| ~ 21600.
         let g = colored_regular(100, 10, 9, 5, 42);
         assert_eq!(g.num_nodes(), 1000);
-        assert!(g.num_edges() > 15_000 && g.num_edges() < 30_000, "edges = {}", g.num_edges());
+        assert!(
+            g.num_edges() > 15_000 && g.num_edges() < 30_000,
+            "edges = {}",
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -121,13 +121,19 @@ pub fn read_dimacs_max_flow<R: Read>(reader: R) -> Result<DimacsMaxFlow> {
                 if parts.len() < 4 || parts[1] != "max" {
                     return Err(parse_err(lineno, "expected 'p max <n> <m>'"));
                 }
-                n = Some(parts[2].parse().map_err(|_| parse_err(lineno, "bad node count"))?);
+                n = Some(
+                    parts[2]
+                        .parse()
+                        .map_err(|_| parse_err(lineno, "bad node count"))?,
+                );
             }
             "n" => {
                 if parts.len() < 3 {
                     return Err(parse_err(lineno, "expected 'n <id> s|t'"));
                 }
-                let id: usize = parts[1].parse().map_err(|_| parse_err(lineno, "bad node id"))?;
+                let id: usize = parts[1]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad node id"))?;
                 match parts[2] {
                     "s" => source = Some((id - 1) as NodeId),
                     "t" => sink = Some((id - 1) as NodeId),
@@ -138,9 +144,15 @@ pub fn read_dimacs_max_flow<R: Read>(reader: R) -> Result<DimacsMaxFlow> {
                 if parts.len() < 4 {
                     return Err(parse_err(lineno, "expected 'a <u> <v> <cap>'"));
                 }
-                let u: usize = parts[1].parse().map_err(|_| parse_err(lineno, "bad arc source"))?;
-                let v: usize = parts[2].parse().map_err(|_| parse_err(lineno, "bad arc target"))?;
-                let c: f64 = parts[3].parse().map_err(|_| parse_err(lineno, "bad capacity"))?;
+                let u: usize = parts[1]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad arc source"))?;
+                let v: usize = parts[2]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad arc target"))?;
+                let c: f64 = parts[3]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad capacity"))?;
                 edges.push(((u - 1) as NodeId, (v - 1) as NodeId, c));
             }
             other => return Err(parse_err(lineno, &format!("unknown line type {other}"))),
@@ -153,7 +165,11 @@ pub fn read_dimacs_max_flow<R: Read>(reader: R) -> Result<DimacsMaxFlow> {
     for (u, v, c) in edges {
         b.add_edge(u, v, c);
     }
-    Ok(DimacsMaxFlow { graph: b.build(), source, sink })
+    Ok(DimacsMaxFlow {
+        graph: b.build(),
+        source,
+        sink,
+    })
 }
 
 /// Write a DIMACS max-flow file.
@@ -175,7 +191,10 @@ pub fn write_dimacs_max_flow<W: Write>(
 }
 
 fn parse_err(line: usize, message: &str) -> GraphError {
-    GraphError::Parse { line: line + 1, message: message.to_string() }
+    GraphError::Parse {
+        line: line + 1,
+        message: message.to_string(),
+    }
 }
 
 #[cfg(test)]

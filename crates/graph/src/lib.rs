@@ -53,7 +53,9 @@ impl std::fmt::Display for GraphError {
                 write!(f, "node id {node} out of range for graph with {n} nodes")
             }
             GraphError::InvalidWeight { weight } => write!(f, "invalid edge weight {weight}"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -30,7 +30,11 @@ pub fn graph_stats(g: &Graph) -> GraphStats {
     let degrees: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
     let min_degree = degrees.iter().copied().min().unwrap_or(0);
     let max_degree = degrees.iter().copied().max().unwrap_or(0);
-    let mean_degree = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
+    let mean_degree = if n == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / n as f64
+    };
     let possible = if n < 2 {
         1.0
     } else if g.is_directed() {

@@ -70,7 +70,9 @@ pub fn largest_component(g: &Graph) -> Vec<NodeId> {
         .max_by_key(|&(_, s)| *s)
         .map(|(i, _)| i)
         .unwrap_or(0);
-    (0..g.num_nodes() as NodeId).filter(|&v| comp[v as usize] == best).collect()
+    (0..g.num_nodes() as NodeId)
+        .filter(|&v| comp[v as usize] == best)
+        .collect()
 }
 
 /// Result of a single-source shortest-path (BFS) pass with path counting, as
@@ -113,7 +115,12 @@ pub fn shortest_path_dag(g: &Graph, source: NodeId) -> ShortestPathDag {
             }
         }
     }
-    ShortestPathDag { dist, sigma, preds, order }
+    ShortestPathDag {
+        dist,
+        sigma,
+        preds,
+        order,
+    }
 }
 
 /// Number of shortest paths between `s` and `t` (0 if unreachable).
@@ -136,7 +143,11 @@ pub fn approx_diameter(g: &Graph) -> usize {
         .map(|(i, _)| i as NodeId)
         .unwrap_or(0);
     let d1 = bfs_distances(g, far);
-    d1.iter().filter(|&&d| d != usize::MAX).max().copied().unwrap_or(0)
+    d1.iter()
+        .filter(|&&d| d != usize::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -89,8 +89,8 @@ impl Cholesky {
         let mut y = vec![0.0; self.n];
         for i in 0..self.n {
             let mut s = b[i];
-            for k in 0..i {
-                s -= self.l.get(i, k) * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                s -= self.l.get(i, k) * yk;
             }
             y[i] = s / self.l.get(i, i);
         }
@@ -98,8 +98,8 @@ impl Cholesky {
         let mut x = vec![0.0; self.n];
         for i in (0..self.n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..self.n {
-                s -= self.l.get(k, i) * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l.get(k, i) * xk;
             }
             x[i] = s / self.l.get(i, i);
         }
@@ -164,7 +164,12 @@ mod tests {
         let x = chol.solve(&b);
         let ax = a.matvec(&x);
         for i in 0..4 {
-            assert!((ax[i] - b[i]).abs() < 1e-9, "component {i}: {} vs {}", ax[i], b[i]);
+            assert!(
+                (ax[i] - b[i]).abs() < 1e-9,
+                "component {i}: {} vs {}",
+                ax[i],
+                b[i]
+            );
         }
     }
 }

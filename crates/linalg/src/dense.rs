@@ -11,7 +11,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -32,7 +36,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -92,15 +100,16 @@ impl DenseMatrix {
     /// Matrix-vector product `A x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
-        (0..self.rows).map(|r| crate::vec_ops::dot(self.row(r), x)).collect()
+        (0..self.rows)
+            .map(|r| crate::vec_ops::dot(self.row(r), x))
+            .collect()
     }
 
     /// Transposed matrix-vector product `Aᵀ x`.
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows);
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

@@ -96,8 +96,8 @@ impl Lu {
         let mut x = vec![0.0; self.n];
         for i in (0..self.n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..self.n {
-                s -= self.lu.get(i, k) * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu.get(i, k) * xk;
             }
             x[i] = s / self.lu.get(i, i);
         }

@@ -20,7 +20,10 @@ impl SparseMatrix {
             .iter()
             .copied()
             .filter(|&(r, c, v)| {
-                assert!((r as usize) < rows && (c as usize) < cols, "entry out of range");
+                assert!(
+                    (r as usize) < rows && (c as usize) < cols,
+                    "entry out of range"
+                );
                 v != 0.0
             })
             .collect();
@@ -41,7 +44,13 @@ impl SparseMatrix {
         }
         let indices = merged.iter().map(|&(_, c, _)| c).collect();
         let values = merged.iter().map(|&(_, _, v)| v).collect();
-        SparseMatrix { rows, cols, indptr, indices, values }
+        SparseMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Build from a dense matrix, dropping zeros.
@@ -81,7 +90,10 @@ impl SparseMatrix {
     pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let lo = self.indptr[r];
         let hi = self.indptr[r + 1];
-        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Iterate all non-zero entries `(row, col, value)`.
@@ -111,8 +123,7 @@ impl SparseMatrix {
     pub fn matvec_transpose(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows);
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let yr = y[r];
+        for (r, &yr) in y.iter().enumerate() {
             if yr == 0.0 {
                 continue;
             }
@@ -134,8 +145,7 @@ impl SparseMatrix {
 
     /// Transpose (CSR of the transposed matrix).
     pub fn transpose(&self) -> SparseMatrix {
-        let triplets: Vec<(u32, u32, f64)> =
-            self.triplets().map(|(r, c, v)| (c, r, v)).collect();
+        let triplets: Vec<(u32, u32, f64)> = self.triplets().map(|(r, c, v)| (c, r, v)).collect();
         SparseMatrix::from_triplets(self.cols, self.rows, &triplets)
     }
 }

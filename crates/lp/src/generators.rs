@@ -66,7 +66,9 @@ pub fn block_lp(spec: &BlockLpSpec) -> LpProblem {
     let base_b: Vec<f64> = (0..spec.block_rows)
         .map(|_| (5.0 + 10.0 * rng.random::<f64>()) * spec.cols_per_block as f64)
         .collect();
-    let base_c: Vec<f64> = (0..spec.block_cols).map(|_| 1.0 + 4.0 * rng.random::<f64>()).collect();
+    let base_c: Vec<f64> = (0..spec.block_cols)
+        .map(|_| 1.0 + 4.0 * rng.random::<f64>())
+        .collect();
 
     let mut triplets = Vec::new();
     let perturb = |rng: &mut StdRng, noise: f64| 1.0 + noise * (2.0 * rng.random::<f64>() - 1.0);
@@ -92,7 +94,12 @@ pub fn block_lp(spec: &BlockLpSpec) -> LpProblem {
         .map(|j| base_c[j / spec.cols_per_block] * perturb(&mut rng, spec.noise))
         .collect();
 
-    LpProblem::new(spec.name.clone(), SparseMatrix::from_triplets(m, n, &triplets), b, c)
+    LpProblem::new(
+        spec.name.clone(),
+        SparseMatrix::from_triplets(m, n, &triplets),
+        b,
+        c,
+    )
 }
 
 /// Assignment-polytope style LP (stand-in for the QAP linearizations `qap15`
@@ -119,7 +126,7 @@ pub fn assignment_like(size: usize, noise: f64, seed: u64) -> LpProblem {
         for j in 0..size {
             let dist = (i as f64 - j as f64).abs();
             let value = 10.0 / (1.0 + dist) + noise * rng.random::<f64>();
-            c[(i * size + j) as usize] = value;
+            c[i * size + j] = value;
         }
     }
     LpProblem::new(
@@ -135,7 +142,13 @@ pub fn assignment_like(size: usize, noise: f64, seed: u64) -> LpProblem {
 /// total activity of `cols` columns subject to `rows` shared capacity
 /// constraints. Columns come in a small number of repeated "types" plus
 /// noise.
-pub fn covering_like(rows: usize, cols: usize, col_types: usize, noise: f64, seed: u64) -> LpProblem {
+pub fn covering_like(
+    rows: usize,
+    cols: usize,
+    col_types: usize,
+    noise: f64,
+    seed: u64,
+) -> LpProblem {
     let mut rng = StdRng::seed_from_u64(seed);
     let col_types = col_types.max(1);
     // Each column type touches a random subset of rows with unit-ish weight.
@@ -217,8 +230,8 @@ pub fn transport_like(suppliers: usize, consumers: usize, classes: usize, seed: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simplex;
     use crate::problem::LpStatus;
+    use crate::simplex;
 
     #[test]
     fn block_lp_dimensions_and_feasibility() {
@@ -234,7 +247,7 @@ mod tests {
         });
         assert_eq!(lp.num_rows(), 12);
         assert_eq!(lp.num_cols(), 10);
-        assert!(lp.is_feasible(&vec![0.0; 10], 0.0));
+        assert!(lp.is_feasible(&[0.0; 10], 0.0));
         let sol = simplex::solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(sol.objective > 0.0);

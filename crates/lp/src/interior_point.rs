@@ -65,7 +65,10 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
 }
 
 /// Solve with an explicit configuration, returning the per-iteration trace.
-pub fn solve_with(problem: &LpProblem, config: &InteriorPointConfig) -> (LpSolution, Vec<IpmTrace>) {
+pub fn solve_with(
+    problem: &LpProblem,
+    config: &InteriorPointConfig,
+) -> (LpSolution, Vec<IpmTrace>) {
     let m = problem.num_rows();
     let n = problem.num_cols();
     let total = n + m; // x variables + slacks
@@ -75,10 +78,14 @@ pub fn solve_with(problem: &LpProblem, config: &InteriorPointConfig) -> (LpSolut
         .c
         .iter()
         .map(|&cj| -cj)
-        .chain(std::iter::repeat(0.0).take(m))
+        .chain(std::iter::repeat_n(0.0, m))
         .collect();
     let b = problem.b.clone();
-    let abar = AbarOps { a: &problem.a, m, n };
+    let abar = AbarOps {
+        a: &problem.a,
+        m,
+        n,
+    };
 
     // Starting point (Mehrotra-style): least-squares estimates shifted into
     // the positive orthant.
@@ -114,7 +121,9 @@ pub fn solve_with(problem: &LpProblem, config: &InteriorPointConfig) -> (LpSolut
         let primal_res = vec_ops::norm_inf(&r_b) / (1.0 + vec_ops::norm_inf(&b));
         let dual_res = vec_ops::norm_inf(&r_c) / (1.0 + vec_ops::norm_inf(&f));
 
-        if primal_res < config.tolerance && dual_res < config.tolerance && rel_gap < config.tolerance
+        if primal_res < config.tolerance
+            && dual_res < config.tolerance
+            && rel_gap < config.tolerance
         {
             status = LpStatus::Optimal;
             break;
@@ -157,7 +166,11 @@ pub fn solve_with(problem: &LpProblem, config: &InteriorPointConfig) -> (LpSolut
             }
             acc / total as f64
         };
-        let sigma = if mu > 0.0 { (mu_aff / mu).powi(3).clamp(0.0, 1.0) } else { 0.0 };
+        let sigma = if mu > 0.0 {
+            (mu_aff / mu).powi(3).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
 
         // Corrector step: r_xs = σμ e − z.*s − Δz_aff.*Δs_aff.
         let r_xs: Vec<f64> = (0..total)
@@ -188,7 +201,12 @@ pub fn solve_with(problem: &LpProblem, config: &InteriorPointConfig) -> (LpSolut
     let x = z[..n].to_vec();
     let objective = problem.objective_value(&x);
     (
-        LpSolution { status, objective, x, iterations },
+        LpSolution {
+            status,
+            objective,
+            x,
+            iterations,
+        },
         trace,
     )
 }
@@ -274,7 +292,9 @@ fn newton_step(
     let at_dlam = abar.matvec_transpose(&dlam);
     let ds: Vec<f64> = (0..total).map(|i| -r_c[i] - at_dlam[i]).collect();
     // Δz = S^{-1}(r_xs - Z Δs)
-    let dz: Vec<f64> = (0..total).map(|i| (r_xs[i] - z[i] * ds[i]) / s[i]).collect();
+    let dz: Vec<f64> = (0..total)
+        .map(|i| (r_xs[i] - z[i] * ds[i]) / s[i])
+        .collect();
     (dz, dlam, ds)
 }
 
@@ -402,7 +422,11 @@ mod tests {
     fn solution_is_near_feasible() {
         let lp = LpProblem::from_dense(
             "feas",
-            &[vec![2.0, 1.0, 0.5], vec![1.0, 3.0, 1.0], vec![0.5, 0.5, 2.0]],
+            &[
+                vec![2.0, 1.0, 0.5],
+                vec![1.0, 3.0, 1.0],
+                vec![0.5, 0.5, 2.0],
+            ],
             vec![10.0, 15.0, 8.0],
             vec![1.0, 2.0, 1.5],
         );
@@ -410,6 +434,10 @@ mod tests {
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(lp.max_violation(&sol.x) < 1e-5);
         let exact = simplex::solve(&lp);
-        assert_close(sol.objective, exact.objective, 1e-3 * (1.0 + exact.objective.abs()));
+        assert_close(
+            sol.objective,
+            exact.objective,
+            1e-3 * (1.0 + exact.objective.abs()),
+        );
     }
 }

@@ -32,7 +32,9 @@ pub enum MpsError {
 impl std::fmt::Display for MpsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MpsError::Parse { line, message } => write!(f, "MPS parse error on line {line}: {message}"),
+            MpsError::Parse { line, message } => {
+                write!(f, "MPS parse error on line {line}: {message}")
+            }
             MpsError::Unsupported { line, feature } => {
                 write!(f, "unsupported MPS feature on line {line}: {feature}")
             }
@@ -141,7 +143,10 @@ pub fn read_mps<R: Read>(reader: R) -> Result<MpsProblem, MpsError> {
         match section.as_str() {
             "ROWS" => {
                 if fields.len() < 2 {
-                    return Err(MpsError::Parse { line: lineno + 1, message: "short ROWS record".into() });
+                    return Err(MpsError::Parse {
+                        line: lineno + 1,
+                        message: "short ROWS record".into(),
+                    });
                 }
                 let kind = match fields[0].to_uppercase().as_str() {
                     "N" => RowKind::Objective,
@@ -164,7 +169,10 @@ pub fn read_mps<R: Read>(reader: R) -> Result<MpsProblem, MpsError> {
             }
             "COLUMNS" => {
                 if fields.len() < 3 {
-                    return Err(MpsError::Parse { line: lineno + 1, message: "short COLUMNS record".into() });
+                    return Err(MpsError::Parse {
+                        line: lineno + 1,
+                        message: "short COLUMNS record".into(),
+                    });
                 }
                 if fields[1].to_uppercase() == "'MARKER'" || fields.contains(&"'MARKER'") {
                     return Err(MpsError::Unsupported {
@@ -191,7 +199,10 @@ pub fn read_mps<R: Read>(reader: R) -> Result<MpsProblem, MpsError> {
             }
             "RHS" => {
                 if fields.len() < 3 {
-                    return Err(MpsError::Parse { line: lineno + 1, message: "short RHS record".into() });
+                    return Err(MpsError::Parse {
+                        line: lineno + 1,
+                        message: "short RHS record".into(),
+                    });
                 }
                 let mut i = 1;
                 while i + 1 < fields.len() {
@@ -209,10 +220,16 @@ pub fn read_mps<R: Read>(reader: R) -> Result<MpsProblem, MpsError> {
                 }
             }
             "BOUNDS" => {
-                return Err(MpsError::Unsupported { line: lineno + 1, feature: "BOUNDS".into() });
+                return Err(MpsError::Unsupported {
+                    line: lineno + 1,
+                    feature: "BOUNDS".into(),
+                });
             }
             "RANGES" => {
-                return Err(MpsError::Unsupported { line: lineno + 1, feature: "RANGES".into() });
+                return Err(MpsError::Unsupported {
+                    line: lineno + 1,
+                    feature: "RANGES".into(),
+                });
             }
             "OBJSENSE" => {
                 // handled below via keyword on its own data line
@@ -230,7 +247,10 @@ pub fn read_mps<R: Read>(reader: R) -> Result<MpsProblem, MpsError> {
         }
     }
 
-    let obj_row = objective_row.ok_or(MpsError::Parse { line: 0, message: "no objective (N) row".into() })?;
+    let obj_row = objective_row.ok_or(MpsError::Parse {
+        line: 0,
+        message: "no objective (N) row".into(),
+    })?;
     let n = col_names.len();
 
     // Assemble constraint rows in ≤ form.

@@ -27,8 +27,17 @@ impl LpProblem {
     /// Construct a problem, validating dimensions.
     pub fn new(name: impl Into<String>, a: SparseMatrix, b: Vec<f64>, c: Vec<f64>) -> Self {
         assert_eq!(a.rows(), b.len(), "b length must equal the number of rows");
-        assert_eq!(a.cols(), c.len(), "c length must equal the number of columns");
-        LpProblem { name: name.into(), a, b, c }
+        assert_eq!(
+            a.cols(),
+            c.len(),
+            "c length must equal the number of columns"
+        );
+        LpProblem {
+            name: name.into(),
+            a,
+            b,
+            c,
+        }
     }
 
     /// Construct from dense row data.

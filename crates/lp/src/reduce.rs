@@ -462,7 +462,11 @@ mod tests {
         );
         // The fine reduction should be within ~30% of the optimum on this
         // highly structured instance.
-        assert!(rel(fine) < 1.3, "fine relative error too large: {}", rel(fine));
+        assert!(
+            rel(fine) < 1.3,
+            "fine relative error too large: {}",
+            rel(fine)
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct SimplexConfig {
 
 impl Default for SimplexConfig {
     fn default() -> Self {
-        SimplexConfig { tolerance: 1e-9, max_iterations: 50_000, bland_threshold: 1_000 }
+        SimplexConfig {
+            tolerance: 1e-9,
+            max_iterations: 50_000,
+            bland_threshold: 1_000,
+        }
     }
 }
 
@@ -138,7 +142,7 @@ impl Simplex {
                     if ratio < best_ratio - tol
                         || (use_bland
                             && (ratio - best_ratio).abs() <= tol
-                            && leave.map_or(true, |l| self.basis[i] < self.basis[l]))
+                            && leave.is_none_or(|l| self.basis[i] < self.basis[l]))
                     {
                         best_ratio = ratio;
                         leave = Some(i);
@@ -195,8 +199,8 @@ impl Simplex {
         for i in 0..self.m {
             if self.basis[i] >= art_start {
                 // Find a non-artificial column with a non-zero entry.
-                if let Some(col) = (0..art_start)
-                    .find(|&j| self.rows[i][j].abs() > self.config.tolerance)
+                if let Some(col) =
+                    (0..art_start).find(|&j| self.rows[i][j].abs() > self.config.tolerance)
                 {
                     self.pivot(i, col);
                 } else {
@@ -220,7 +224,12 @@ impl Simplex {
             }
         }
         let objective = objective_override.unwrap_or(-self.obj[total]);
-        LpSolution { status, objective, x, iterations: self.iterations }
+        LpSolution {
+            status,
+            objective,
+            x,
+            iterations: self.iterations,
+        }
     }
 }
 
@@ -245,8 +254,8 @@ impl Simplex {
         for (i, &b) in self.basis.iter().enumerate() {
             let cb = if b < self.n { c[b] } else { 0.0 };
             if cb != 0.0 {
-                for j in 0..=total {
-                    obj[j] -= cb * self.rows[i][j];
+                for (j, slot) in obj.iter_mut().enumerate().take(total + 1) {
+                    *slot -= cb * self.rows[i][j];
                 }
                 // The basic column itself becomes 0 (it is the identity in
                 // this row); adding cb back keeps reduced cost of the basic
@@ -255,8 +264,8 @@ impl Simplex {
             }
         }
         // Artificial variables must never re-enter.
-        for j in (self.n + self.m)..total {
-            obj[j] = f64::NEG_INFINITY;
+        for slot in obj.iter_mut().take(total).skip(self.n + self.m) {
+            *slot = f64::NEG_INFINITY;
         }
         self.obj = obj;
     }
@@ -271,13 +280,13 @@ pub(crate) fn solve_two_phase(problem: &LpProblem, config: &SimplexConfig) -> Lp
         let mut obj = vec![0.0; total + 1];
         for (i, &b) in s.basis.clone().iter().enumerate() {
             if b >= s.n + s.m {
-                for j in 0..=total {
-                    obj[j] += s.rows[i][j];
+                for (j, slot) in obj.iter_mut().enumerate().take(total + 1) {
+                    *slot += s.rows[i][j];
                 }
             }
         }
-        for art in (s.n + s.m)..total {
-            obj[art] -= 1.0;
+        for slot in obj.iter_mut().take(total).skip(s.n + s.m) {
+            *slot -= 1.0;
         }
         s.obj = obj;
         let status = s.pivot_loop(true);
@@ -419,7 +428,10 @@ mod tests {
             vec![4.0, 12.0, 18.0],
             vec![3.0, 5.0],
         );
-        let config = SimplexConfig { max_iterations: 1, ..Default::default() };
+        let config = SimplexConfig {
+            max_iterations: 1,
+            ..Default::default()
+        };
         let sol = solve_with(&lp, &config);
         assert_eq!(sol.status, LpStatus::IterationLimit);
     }

@@ -33,7 +33,12 @@ fn main() {
         let approx = approximate(&g, &CentralityApproxConfig::with_max_colors(budget));
         let secs = start.elapsed().as_secs_f64();
         let rho = spearman(&exact, &approx.scores);
-        println!("{:<8} {:>12} {:>10}", approx.partition.num_colors(), fmt(rho), fmt(secs));
+        println!(
+            "{:<8} {:>12} {:>10}",
+            approx.partition.num_colors(),
+            fmt(rho),
+            fmt(secs)
+        );
     }
 
     section("Riondato–Kornaropoulos sampling baseline");
@@ -42,6 +47,11 @@ fn main() {
         let start = std::time::Instant::now();
         let est = betweenness_sampling(&g, &SamplingConfig::with_epsilon(epsilon));
         let secs = start.elapsed().as_secs_f64();
-        println!("{:<8} {:>12} {:>10}", epsilon, fmt(spearman(&exact, &est)), fmt(secs));
+        println!(
+            "{:<8} {:>12} {:>10}",
+            epsilon,
+            fmt(spearman(&exact, &est)),
+            fmt(secs)
+        );
     }
 }

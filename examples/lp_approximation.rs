@@ -29,7 +29,10 @@ fn main() {
     println!("time: {:.3}s", exact_secs);
 
     section("Quasi-stable coloring approximations (Eq. 6 reduction)");
-    println!("{:<8} {:>6} {:>6} {:>10} {:>10} {:>10}", "colors", "rows", "cols", "value", "rel.err", "time(s)");
+    println!(
+        "{:<8} {:>6} {:>6} {:>10} {:>10} {:>10}",
+        "colors", "rows", "cols", "value", "rel.err", "time(s)"
+    );
     for budget in [6, 10, 20, 40, 80] {
         let start = std::time::Instant::now();
         let reduced = reduce_with_rothko(

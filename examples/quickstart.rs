@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run -p qsc-examples --bin quickstart`
 
-use qsc_core::{coloring_stats, reduced_graph, stable_coloring, ReductionWeighting};
 use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_core::{coloring_stats, reduced_graph, stable_coloring, ReductionWeighting};
 use qsc_examples::section;
 use qsc_graph::generators::karate_club;
 

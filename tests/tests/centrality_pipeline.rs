@@ -61,7 +61,10 @@ fn centrality_datasets_reach_high_correlation_with_few_colors() {
         let exact = brandes::betweenness(&g);
         let approx = approximate(&g, &CentralityApproxConfig::with_max_colors(80));
         let rho = spearman(&exact, &approx.scores);
-        assert!(rho > 0.85, "{name}: correlation {rho} too low with 80 colors");
+        assert!(
+            rho > 0.85,
+            "{name}: correlation {rho} too low with 80 colors"
+        );
         let coarse = approximate(&g, &CentralityApproxConfig::with_max_colors(10));
         let rho_coarse = spearman(&exact, &coarse.scores);
         assert!(
@@ -78,7 +81,11 @@ fn sampling_baseline_and_coloring_both_recover_ranking() {
     let coloring = approximate(&g, &CentralityApproxConfig::with_max_colors(60));
     let sampled = betweenness_sampling(
         &g,
-        &SamplingConfig { epsilon: 0.05, seed: 5, ..Default::default() },
+        &SamplingConfig {
+            epsilon: 0.05,
+            seed: 5,
+            ..Default::default()
+        },
     );
     let rho_coloring = spearman(&exact, &coloring.scores);
     let rho_sampling = spearman(&exact, &sampled);
@@ -90,7 +97,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn estimators_produce_nonnegative_scores(seed in 0u64..100, colors in 4usize..20) {
+    fn estimators_produce_nonnegative_scores(seed in 0u64..100, colors in 4usize..20,) {
         let g = generators::barabasi_albert(120, 2, seed);
         let approx = approximate(&g, &CentralityApproxConfig {
             method: ApproxMethod::Stratified,
@@ -105,12 +112,12 @@ proptest! {
     }
 
     #[test]
-    fn spearman_of_identical_rankings_is_one(values in proptest::collection::vec(0.0f64..100.0, 5..60)) {
+    fn spearman_of_identical_rankings_is_one(values in proptest::collection::vec(0.0f64..100.0, 5..60),) {
         prop_assert!((spearman(&values, &values) - 1.0).abs() < 1e-9);
     }
 
     #[test]
-    fn brandes_total_mass_matches_pair_count_on_trees(n in 3usize..40) {
+    fn brandes_total_mass_matches_pair_count_on_trees(n in 3usize..40,) {
         // On a path graph (a tree), every ordered pair (s, t) with
         // d(s,t) >= 2 contributes exactly d(s,t) - 1 units of betweenness in
         // total (each interior vertex of the unique path gets 1).

@@ -145,7 +145,10 @@ fn fig2_stable_coloring_collapses_but_qstable_does_not() {
     // The Fig. 2 robustness phenomenon, end to end.
     let base = generators::stable_blueprint_graph(50, 8, 0.4, 1, 11);
     let stable_base = stable_coloring(&base).num_colors();
-    assert!(stable_base <= 50 + 5, "base stable coloring too large: {stable_base}");
+    assert!(
+        stable_base <= 50 + 5,
+        "base stable coloring too large: {stable_base}"
+    );
 
     let perturbed = generators::perturb_add_edges(&base, 40, 3);
     let stable_after = stable_coloring(&perturbed).num_colors();
@@ -167,5 +170,9 @@ fn clamped_similarity_maximum_coloring_is_reachable() {
     let g = generators::barabasi_albert(80, 2, 9);
     let stable = stable_coloring(&g);
     assert_eq!(max_q_error(&g, &stable), 0.0);
-    assert!(qsc_core::q_error::is_quasi_stable(&g, &stable, &qsc_core::Exact));
+    assert!(qsc_core::q_error::is_quasi_stable(
+        &g,
+        &stable,
+        &qsc_core::Exact
+    ));
 }

@@ -148,5 +148,8 @@ fn grid_approximation_quality_improves_with_colors() {
         errors.last().unwrap() <= &(errors[0] + 0.3),
         "error should not grow substantially with colors: {errors:?}"
     );
-    assert!(*errors.last().unwrap() < 2.5, "32-color error too large: {errors:?}");
+    assert!(
+        *errors.last().unwrap() < 2.5,
+        "32-color error too large: {errors:?}"
+    );
 }

@@ -195,7 +195,11 @@ fn all_lp_generators_are_feasible_and_bounded() {
         let sol = simplex::solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal, "{} not optimal", lp.name);
         assert!(sol.objective.is_finite());
-        assert!(lp.is_feasible(&sol.x, 1e-6), "{} solution infeasible", lp.name);
+        assert!(
+            lp.is_feasible(&sol.x, 1e-6),
+            "{} solution infeasible",
+            lp.name
+        );
     }
 }
 
@@ -207,8 +211,14 @@ fn early_stopping_is_faster_but_less_accurate() {
     let (exact, _) = interior_point::solve_with(&lp, &InteriorPointConfig::default());
     let (stopped, _) = interior_point::solve_with(
         &lp,
-        &InteriorPointConfig { stop_at_relative_error: Some(2.0), ..Default::default() },
+        &InteriorPointConfig {
+            stop_at_relative_error: Some(2.0),
+            ..Default::default()
+        },
     );
     assert!(stopped.iterations <= exact.iterations);
-    assert!(matches!(stopped.status, LpStatus::EarlyStopped | LpStatus::Optimal));
+    assert!(matches!(
+        stopped.status,
+        LpStatus::EarlyStopped | LpStatus::Optimal
+    ));
 }

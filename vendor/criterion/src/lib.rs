@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small wall-clock benchmarking harness exposing the subset of the criterion
+//! API the benches use: [`Criterion::benchmark_group`], group
+//! `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! [`BenchmarkId::new`], `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark warms up once, then runs `sample_size` timed samples and
+//! prints min/mean/max per iteration. No statistics beyond that — the point
+//! is relative comparison on one machine, which is what the repo's recorded
+//! benchmark JSON files capture.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("\n== bench group: {} ==", name.into());
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier `function/parameter` for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_samples(&format!("{id}"), self.sample_size, &mut f);
+        self
+    }
+
+    /// Run a benchmark closure with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_samples(&id.label, self.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+fn run_samples(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up run (not timed).
+    let mut bencher = Bencher {
+        seconds: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            seconds: 0.0,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        if bencher.iterations > 0 {
+            times.push(bencher.seconds / bencher.iterations as f64);
+        }
+    }
+    if times.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{label}: mean {} (min {}, max {}, {} samples)",
+        format_seconds(mean),
+        format_seconds(min),
+        format_seconds(max),
+        times.len()
+    );
+}
+
+/// Human-readable seconds.
+pub fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Passed to benchmark closures; times the inner loop.
+pub struct Bencher {
+    seconds: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time repeated executions of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().as_secs_f64();
+        // Aim for ~20ms of work per sample, capped to keep suites fast.
+        let reps = if one > 0.02 {
+            1
+        } else {
+            ((0.02 / one.max(1e-9)) as u64).clamp(1, 10_000)
+        };
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        self.seconds += start.elapsed().as_secs_f64() + one;
+        self.iterations += reps + 1;
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert!(format_seconds(2.0).ends_with(" s"));
+        assert!(format_seconds(2e-3).ends_with(" ms"));
+        assert!(format_seconds(2e-6).ends_with(" µs"));
+        assert!(format_seconds(2e-9).ends_with(" ns"));
+    }
+}
