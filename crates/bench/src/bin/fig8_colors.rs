@@ -4,41 +4,39 @@
 //! highlighting the diminishing-returns pattern the paper reports (no task
 //! needs more than ~150 colors to converge).
 //!
-//! Usage: `fig8_colors [--scale small|full]`
+//! Each budget list is swept warm (one coloring refinement per dataset);
+//! see `qsc_bench::experiments`.
+//!
+//! Usage: `fig8_colors [--scale small|full] [--budgets 5,10,20,...]`
+//! (budgets must be non-decreasing; default `DEFAULT_BUDGETS`).
 
-use qsc_bench::experiments::{centrality_tradeoff, lp_tradeoff, maxflow_tradeoff};
-use qsc_bench::render_table;
+use qsc_bench::experiments::{
+    budgets_from_args, centrality_tradeoff, lp_tradeoff, maxflow_tradeoff,
+};
 use qsc_bench::report::TradeoffPoint;
+use qsc_bench::{arg_value, render_table};
 use qsc_datasets::Scale;
-
-const BUDGETS: &[usize] = &[5, 10, 20, 35, 60, 100, 150];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--scale")
-        && args
-            .iter()
-            .position(|a| a == "--scale")
-            .and_then(|i| args.get(i + 1))
-            .map(|s| s.as_str())
-            == Some("small")
-    {
-        Scale::Small
-    } else {
-        Scale::Full
+    let scale = match arg_value(&args, "--scale").as_deref() {
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
     };
+    let budgets = budgets_from_args(&args);
+    let budgets = budgets.as_slice();
 
     println!("Fig. 8(a) — max-flow accuracy vs. number of colors");
     let mut flow_points = Vec::new();
     for spec in qsc_datasets::flow_datasets().iter().take(4) {
-        flow_points.extend(maxflow_tradeoff(spec.name, scale, BUDGETS));
+        flow_points.extend(maxflow_tradeoff(spec.name, scale, budgets));
     }
     print_curves(&flow_points);
 
     println!("Fig. 8(b) — LP accuracy vs. number of colors");
     let mut lp_points = Vec::new();
     for spec in qsc_datasets::lp_datasets() {
-        lp_points.extend(lp_tradeoff(spec.name, scale, BUDGETS));
+        lp_points.extend(lp_tradeoff(spec.name, scale, budgets));
     }
     print_curves(&lp_points);
 
@@ -46,7 +44,7 @@ fn main() {
     let mut c_points = Vec::new();
     for spec in qsc_datasets::graph_datasets() {
         if matches!(spec.task, qsc_datasets::Task::Centrality) {
-            c_points.extend(centrality_tradeoff(spec.name, scale, BUDGETS));
+            c_points.extend(centrality_tradeoff(spec.name, scale, budgets));
         }
     }
     print_curves(&c_points);

@@ -1,9 +1,14 @@
 //! E-TAB6: latency and responsiveness of the anytime Rothko algorithm
 //! (Table 6): time to the first refinement, mean time between refinements,
 //! and time to converge to the task's color budget, per task type.
+//!
+//! Driven through the sweep API ([`RothkoRun::run_to_budget`]): the run is
+//! checkpointed at every intermediate color count — exactly how an
+//! interactive consumer would watch a sweep converge — instead of the bare
+//! step loop.
 
 use qsc_bench::render_table;
-use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_core::rothko::{Rothko, RothkoConfig, RothkoRun};
 use qsc_datasets::Scale;
 use std::time::Instant;
 
@@ -70,11 +75,16 @@ fn main() {
 
 fn measure(task: &str, graph: &qsc_graph::Graph, config: RothkoConfig) -> Vec<String> {
     let rothko = Rothko::new(config);
-    let mut run = rothko.start(graph);
+    let mut run: RothkoRun = rothko.start(graph);
     let start = Instant::now();
     let mut first = None;
     let mut updates = 0usize;
-    while run.step() {
+    // Checkpoint at every color count on the way to the configured budget.
+    loop {
+        let next = run.partition().num_colors() + 1;
+        if !run.run_to_budget(next) {
+            break;
+        }
         updates += 1;
         if first.is_none() {
             first = Some(start.elapsed().as_secs_f64());

@@ -27,6 +27,15 @@ pub fn relative_error(actual: f64, predicted: f64) -> f64 {
     qsc_flow::reduce::relative_error(actual, predicted)
 }
 
+/// Look up the value following a `--flag` argument (shared by the figure
+/// binaries' tiny CLIs). A flag with no following value reads as absent.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 /// Render a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -28,7 +28,12 @@
 //!   or target maximum error.
 //! * [`q_error`] — exact evaluation of how (quasi-)stable a coloring is.
 //! * [`reduced`] — reduced-graph construction with the weightings used by
-//!   the three applications.
+//!   the three applications, plus [`ReducedDelta`]: the quotient matrix
+//!   maintained across splits in `O(touched)` instead of rebuilt per use.
+//! * [`sweep`] — warm-started budget sweeps: one monotone refinement
+//!   checkpointed at every color budget, with split events handed to
+//!   incremental consumers in lockstep (the coloring layer of the sweep
+//!   pipeline; `qsc-flow` and `qsc-lp` add the solver layers).
 //! * [`stats`] — compression statistics (Table 4 / Sec. 6.2).
 //!
 //! ## Quick example
@@ -52,11 +57,13 @@ pub mod rothko;
 pub mod similarity;
 pub mod stable;
 pub mod stats;
+pub mod sweep;
 
 pub use partition::{Partition, SplitEvent};
 pub use q_error::{max_q_error, mean_q_error, IncrementalDegrees, QErrorReport, WitnessCandidate};
-pub use reduced::{reduced_graph, ReductionWeighting};
+pub use reduced::{reduced_graph, ReducedDelta, ReductionWeighting};
 pub use rothko::{Coloring, Rothko, RothkoConfig, RothkoRun};
 pub use similarity::{Absolute, Bisimulation, Clamped, Exact, Relative, Similarity};
 pub use stable::stable_coloring;
 pub use stats::{coloring_stats, ColoringStats};
+pub use sweep::{ColoringSweep, SweepCheckpoint};

@@ -15,8 +15,15 @@
 //! * [`ReductionWeighting::SourceAverage`] — `w(P_i,P_j) / |P_i|`; the
 //!   average out-weight of a node of `P_i` into `P_j`, useful for
 //!   random-walk style applications.
+//!
+//! Two construction paths are provided. [`reduced_graph`] /
+//! [`quotient_matrix`] rebuild from the graph in `O(n + m + k²)` — right for
+//! one-shot use. [`ReducedDelta`] instead *maintains* the quotient matrix
+//! across [`SplitEvent`]s in `O(deg(moved) + k)` per split, so a budget
+//! sweep that refines one coloring through many color counts pays the
+//! `O(m)` scan once instead of once per sweep point.
 
-use crate::partition::Partition;
+use crate::partition::{Partition, SplitEvent};
 use crate::q_error::DegreeMatrices;
 use qsc_graph::{Graph, GraphBuilder};
 
@@ -88,6 +95,208 @@ where
 /// The raw `k × k` inter-color weight matrix `w(P_i, P_j)` (row-major).
 pub fn quotient_matrix(g: &Graph, p: &Partition) -> Vec<f64> {
     DegreeMatrices::compute(g, p).sum
+}
+
+/// Incrementally maintained quotient matrix `w(P_i, P_j)` of a coloring.
+///
+/// Built once in `O(n + m)` and then patched per [`SplitEvent`] in
+/// `O(deg(moved) + k)` — only the entries involving the split parent, the
+/// new child, and the colors of the moved nodes' neighbors change, and each
+/// changed entry is adjusted by the exact weight that moved (no rescan of
+/// unaffected colors). This is the reduction-layer analogue of
+/// [`crate::q_error::IncrementalDegrees`]: where the engine maintains the
+/// *error* state of a refinement, `ReducedDelta` maintains the *reduced
+/// instance* built from it, so a budget sweep can re-derive the reduced
+/// graph at every checkpoint in `O(k²)` (from the maintained matrix)
+/// instead of `O(m + k²)` (from the input graph).
+///
+/// Maintained sums match [`quotient_matrix`] exactly for integer-valued
+/// edge weights; for general floats they agree up to floating-point
+/// associativity (the incremental path adds and subtracts weights in a
+/// different order). Weights cancelled down to an exact zero are treated as
+/// absent, mirroring the from-scratch path's omission of zero-weight edges.
+#[derive(Clone, Debug)]
+pub struct ReducedDelta {
+    k: usize,
+    /// Row stride of `sum`; grows geometrically as colors are added.
+    cap: usize,
+    /// `sum[i * cap + j] = w(P_i, P_j)`.
+    sum: Vec<f64>,
+    /// Color sizes, mirrored from the partition.
+    sizes: Vec<usize>,
+}
+
+impl ReducedDelta {
+    /// Build the quotient matrix of `p` on `g` in `O(n + m)` time.
+    pub fn new(g: &Graph, p: &Partition) -> Self {
+        assert_eq!(
+            p.num_nodes(),
+            g.num_nodes(),
+            "partition does not match graph"
+        );
+        let k = p.num_colors();
+        let cap = k.next_power_of_two().max(4);
+        let mut sum = vec![0.0f64; cap * cap];
+        for (u, v, w) in g.arcs() {
+            sum[p.color_of(u) as usize * cap + p.color_of(v) as usize] += w;
+        }
+        ReducedDelta {
+            k,
+            cap,
+            sum,
+            sizes: p.sizes(),
+        }
+    }
+
+    /// Number of colors currently tracked.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.k
+    }
+
+    /// The maintained inter-color weight `w(P_i, P_j)`.
+    #[inline]
+    pub fn pair_weight(&self, i: usize, j: usize) -> f64 {
+        self.sum[i * self.cap + j]
+    }
+
+    /// Size of color `i` (mirrored from the partition).
+    #[inline]
+    pub fn size(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// Patch the matrix for one split. `p` must be the partition *after*
+    /// the split and events must be applied in order (`event.child` is the
+    /// next color id). Cost: `O(deg(moved) + k)`.
+    ///
+    /// Every arc with a moved endpoint is re-attributed: arcs leaving a
+    /// moved node shift from row `parent` to row `child`, arcs entering one
+    /// shift from column `parent` to column `child`, and arcs between two
+    /// moved nodes shift diagonally — handled once in the outgoing pass and
+    /// skipped in the incoming pass.
+    pub fn apply_split(&mut self, g: &Graph, p: &Partition, event: &SplitEvent) {
+        let c = event.parent as usize;
+        let child = event.child as usize;
+        assert_eq!(child, self.k, "split events must be applied in order");
+        assert_eq!(
+            p.num_colors(),
+            self.k + 1,
+            "partition out of sync with delta"
+        );
+        self.ensure_capacity(self.k + 1);
+        self.k += 1;
+        let cap = self.cap;
+        for &v in &event.moved_nodes {
+            for (t, w) in g.out_edges(v) {
+                let ct = p.color_of(t) as usize;
+                // A target that moved in this same split was still in the
+                // parent before it.
+                let old_ct = if ct == child { c } else { ct };
+                self.sum[c * cap + old_ct] -= w;
+                self.sum[child * cap + ct] += w;
+            }
+            for (s, w) in g.in_edges(v) {
+                let cs = p.color_of(s) as usize;
+                if cs == child {
+                    continue; // moved->moved arcs were handled above
+                }
+                self.sum[cs * cap + c] -= w;
+                self.sum[cs * cap + child] += w;
+            }
+        }
+        self.sizes[c] -= event.moved_nodes.len();
+        self.sizes.push(event.moved_nodes.len());
+    }
+
+    /// The compact `k × k` row-major quotient matrix (same layout as
+    /// [`quotient_matrix`]).
+    pub fn quotient_matrix(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.k * self.k);
+        for i in 0..self.k {
+            out.extend_from_slice(&self.sum[i * self.cap..i * self.cap + self.k]);
+        }
+        out
+    }
+
+    /// Build the reduced graph from the maintained matrix with a custom
+    /// weighting callback (same contract as [`reduced_graph_with`]) in
+    /// `O(k²)` — no traversal of the original graph. Entries whose
+    /// maintained sum is exactly zero are skipped, matching the
+    /// from-scratch constructor's omission of zero-weight edges.
+    pub fn reduced_graph_with<F>(&self, mut weight: F) -> Graph
+    where
+        F: FnMut(usize, usize, f64, usize, usize) -> f64,
+    {
+        let k = self.k;
+        let mut b = GraphBuilder::new_directed(k);
+        for i in 0..k {
+            for j in 0..k {
+                let sum = self.sum[i * self.cap + j];
+                if sum == 0.0 {
+                    continue;
+                }
+                let w = weight(i, j, sum, self.sizes[i], self.sizes[j]);
+                if w != 0.0 {
+                    b.add_edge(i as u32, j as u32, w);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Build the reduced graph from the maintained matrix with a standard
+    /// weighting (see [`reduced_graph`]).
+    pub fn reduced_graph(&self, weighting: ReductionWeighting) -> Graph {
+        self.reduced_graph_with(|_, _, sum, size_i, size_j| weighting.apply(sum, size_i, size_j))
+    }
+
+    /// Cross-check the maintained matrix and sizes against a from-scratch
+    /// recomputation, with a small tolerance for floating-point
+    /// associativity. Intended for tests and debug assertions.
+    pub fn verify_against(&self, g: &Graph, p: &Partition) -> Result<(), String> {
+        if p.num_colors() != self.k {
+            return Err(format!(
+                "color count {} != delta {}",
+                p.num_colors(),
+                self.k
+            ));
+        }
+        let scratch = quotient_matrix(g, p);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+        for i in 0..self.k {
+            if self.sizes[i] != p.size(i as u32) {
+                return Err(format!(
+                    "size[{i}]: delta {} vs partition {}",
+                    self.sizes[i],
+                    p.size(i as u32)
+                ));
+            }
+            for j in 0..self.k {
+                let ours = self.sum[i * self.cap + j];
+                let theirs = scratch[i * self.k + j];
+                if !close(ours, theirs) {
+                    return Err(format!("sum[{i}][{j}]: delta {ours} vs scratch {theirs}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Grow the row stride to hold `needed` colors (amortized, geometric).
+    fn ensure_capacity(&mut self, needed: usize) {
+        if needed <= self.cap {
+            return;
+        }
+        let new_cap = needed.next_power_of_two();
+        let mut grown = vec![0.0f64; new_cap * new_cap];
+        for i in 0..self.k {
+            grown[i * new_cap..i * new_cap + self.cap]
+                .copy_from_slice(&self.sum[i * self.cap..(i + 1) * self.cap]);
+        }
+        self.sum = grown;
+        self.cap = new_cap;
+    }
 }
 
 /// Lift per-color values back to per-node values: node `v` receives the
@@ -189,6 +398,69 @@ mod tests {
         assert_eq!(scaled, vec![5.0, 5.0, 10.0, 10.0, 10.0]);
         let total: f64 = scaled.iter().sum();
         assert!((total - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduced_delta_tracks_rothko_splits_undirected() {
+        let g = generators::barabasi_albert(150, 3, 5);
+        let mut run = Rothko::new(RothkoConfig::with_max_colors(24)).start(&g);
+        let mut delta = ReducedDelta::new(&g, run.partition());
+        while run.step() {
+            let event = run.last_event().expect("step performed a split");
+            delta.apply_split(&g, run.partition(), event);
+        }
+        assert_eq!(delta.verify_against(&g, run.partition()), Ok(()));
+        let p = run.partition();
+        assert_eq!(delta.num_colors(), p.num_colors());
+        // Unit-weight graph: the maintained sums are integers, so the
+        // incremental quotient matrix is bit-identical to the scratch one.
+        assert_eq!(delta.quotient_matrix(), quotient_matrix(&g, p));
+        // And so are the reduced graphs built from it.
+        let scratch = reduced_graph(&g, p, ReductionWeighting::Sum);
+        let incremental = delta.reduced_graph(ReductionWeighting::Sum);
+        assert_eq!(scratch.num_nodes(), incremental.num_nodes());
+        assert_eq!(scratch.num_edges(), incremental.num_edges());
+        for (u, v, w) in scratch.arcs() {
+            assert_eq!(incremental.weight(u, v), w, "arc ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn reduced_delta_tracks_directed_splits() {
+        let g = generators::erdos_renyi_nm(60, 300, 9).to_directed();
+        let mut run = Rothko::new(RothkoConfig::with_max_colors(15)).start(&g);
+        let mut delta = ReducedDelta::new(&g, run.partition());
+        while run.step() {
+            let event = run.last_event().expect("step performed a split");
+            delta.apply_split(&g, run.partition(), event);
+            assert_eq!(delta.verify_against(&g, run.partition()), Ok(()));
+        }
+        assert_eq!(
+            delta.quotient_matrix(),
+            quotient_matrix(&g, run.partition())
+        );
+    }
+
+    #[test]
+    fn reduced_delta_handles_manual_splits_and_growth() {
+        // Exercise capacity growth (past the initial stride of 4) and the
+        // moved->moved arc bookkeeping with a hand-driven split sequence.
+        let g = generators::karate_club();
+        let mut p = Partition::unit(g.num_nodes());
+        let mut delta = ReducedDelta::new(&g, &p);
+        for round in 0..8u32 {
+            let parent = round % p.num_colors() as u32;
+            if p.size(parent) < 2 {
+                continue;
+            }
+            let members = p.members(parent).to_vec();
+            let pivot = members[members.len() / 2];
+            if let Some(event) = p.split_color(parent, |v| v >= pivot) {
+                delta.apply_split(&g, &p, &event);
+            }
+            assert_eq!(delta.verify_against(&g, &p), Ok(()));
+        }
+        assert!(delta.num_colors() > 4, "growth path not exercised");
     }
 
     #[test]

@@ -28,8 +28,23 @@
 //! color budgets, one-color-per-step) are unchanged. The incremental and
 //! reference paths share the selection code operation-for-operation, so
 //! they remain bit-identical to each other.
+//!
+//! # Budget sweeps
+//!
+//! [`RothkoRun::run_to_budget`] advances a run until the coloring has a
+//! given number of colors and *keeps the run resumable*: calling it again
+//! with a larger budget continues the same monotone refinement, so a sweep
+//! over budgets `b_1 < b_2 < … < b_B` costs one run to `b_B` instead of `B`
+//! independent runs. Because the greedy refinement is deterministic and
+//! stopping conditions are only consulted between splits, the partition at
+//! an intermediate budget is identical to the partition a fresh run with
+//! `max_colors = b_i` would produce. [`RothkoRun::last_event`] exposes the
+//! [`SplitEvent`] of the most recent split so downstream incremental
+//! consumers (the reduced-graph delta, the LP reduction delta) can patch
+//! their state in lockstep; [`crate::sweep::ColoringSweep`] packages this
+//! into a checkpointing driver.
 
-use crate::partition::Partition;
+use crate::partition::{Partition, SplitEvent};
 use crate::q_error::{
     pick_witness_scratch, q_error_report, DegreeMatrices, IncrementalDegrees, WitnessCandidate,
 };
@@ -238,6 +253,10 @@ pub struct RothkoRun<'g> {
     deg_scratch: Vec<f64>,
     iterations: usize,
     last_max_error: f64,
+    /// The event of the most recent successful split (the split's
+    /// `moved_nodes` vector is moved here, not cloned, so keeping it costs
+    /// nothing on the hot path).
+    last_event: Option<SplitEvent>,
     done: bool,
 }
 
@@ -265,6 +284,7 @@ impl<'g> RothkoRun<'g> {
             deg_scratch: vec![0.0; n],
             iterations: 0,
             last_max_error: f64::INFINITY,
+            last_event: None,
             done,
         }
     }
@@ -290,17 +310,60 @@ impl<'g> RothkoRun<'g> {
         self.done
     }
 
+    /// The graph this run refines.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The [`SplitEvent`] of the most recent successful [`Self::step`], or
+    /// `None` before the first split. Incremental consumers (e.g.
+    /// [`crate::reduced::ReducedDelta`]) read this after every step to patch
+    /// their own per-color state in lockstep with the partition.
+    pub fn last_event(&self) -> Option<&SplitEvent> {
+        self.last_event.as_ref()
+    }
+
     /// Perform one refinement step. Returns `true` if a split was performed,
     /// `false` if the run is finished (stopping condition reached or no
     /// further split possible).
     pub fn step(&mut self) -> bool {
+        self.step_bounded(self.config.max_colors)
+    }
+
+    /// Advance the run until the coloring has at least `budget` colors (or a
+    /// terminal stopping condition is hit first). Unlike reaching the
+    /// configured `max_colors`, an intermediate budget is a *checkpoint*:
+    /// the run stays resumable and a later call with a larger budget
+    /// continues the same refinement. Returns `true` when the budget was
+    /// reached, `false` when the run stopped short (error target met, no
+    /// splittable color left, or the configured caps were hit).
+    pub fn run_to_budget(&mut self, budget: usize) -> bool {
+        let bounded = budget.min(self.config.max_colors);
+        while self.step_bounded(bounded) {}
+        // Report against the *requested* budget: a request beyond the
+        // configured cap (or past exhaustion) is honestly "not reached", so
+        // `while run.run_to_budget(k + 1)` ladders terminate.
+        self.partition.num_colors() >= budget
+    }
+
+    /// One refinement step bounded by `max_colors` (which is at most the
+    /// configured budget). Reaching an intermediate bound returns `false`
+    /// without marking the run done, so budget sweeps can resume; terminal
+    /// conditions (node count, the run's own configured budget, iteration
+    /// cap, error target, unsplittable coloring) set `done`.
+    fn step_bounded(&mut self, max_colors: usize) -> bool {
         if self.done {
             return false;
         }
-        if self.partition.num_colors() >= self.config.max_colors
-            || self.partition.num_colors() >= self.graph.num_nodes()
-        {
+        let k = self.partition.num_colors();
+        if k >= self.graph.num_nodes() {
             self.done = true;
+            return false;
+        }
+        if k >= max_colors {
+            if k >= self.config.max_colors {
+                self.done = true;
+            }
             return false;
         }
         if let Some(max_iter) = self.config.max_iterations {
@@ -350,6 +413,24 @@ impl<'g> RothkoRun<'g> {
     pub fn run_to_completion(mut self) -> Coloring {
         while self.step() {}
         self.finish()
+    }
+
+    /// The exact maximum q-error of the *current* partition. In incremental
+    /// mode this refreshes the engine's dirty witness rows (`O(dirty · k)`,
+    /// no graph traversal); in reference mode it recomputes
+    /// [`DegreeMatrices`] from the graph. Unlike [`Self::current_error`]
+    /// (the error observed at the start of the last step) this reflects the
+    /// partition after the last split, matching what
+    /// [`crate::q_error::max_q_error`] would report up to floating-point
+    /// associativity (exactly, for integer-valued weights).
+    pub fn exact_max_error(&mut self) -> f64 {
+        match &mut self.engine {
+            Some(engine) => {
+                engine.refresh(&self.partition, self.config.beta);
+                engine.max_error()
+            }
+            None => DegreeMatrices::compute(self.graph, &self.partition).max_error(),
+        }
     }
 
     /// Stop now and package the current coloring with exact quality metrics.
@@ -462,6 +543,7 @@ impl<'g> RothkoRun<'g> {
                 if let Some(engine) = &mut self.engine {
                     engine.apply_split(self.graph, &self.partition, &event);
                 }
+                self.last_event = Some(event);
                 return true;
             }
         }
@@ -610,6 +692,60 @@ mod tests {
             max_geo <= max_arith + 50,
             "geometric {max_geo} vs arithmetic {max_arith}"
         );
+    }
+
+    #[test]
+    fn run_to_budget_checkpoints_are_resumable() {
+        let g = generators::barabasi_albert(200, 3, 3);
+        let rothko = Rothko::new(RothkoConfig::with_max_colors(20));
+        let mut run = rothko.start(&g);
+        // Intermediate budgets are checkpoints, not terminal stops.
+        assert!(run.run_to_budget(7));
+        assert_eq!(run.partition().num_colors(), 7);
+        assert!(!run.is_done());
+        assert!(run.run_to_budget(13));
+        assert_eq!(run.partition().num_colors(), 13);
+        // A checkpointed run equals a fresh run at the same budget.
+        let fresh = Rothko::new(RothkoConfig::with_max_colors(13)).run(&g);
+        assert!(run.partition().same_as(&fresh.partition));
+        // The configured cap is terminal, and requests beyond it report
+        // "not reached" so +1 ladders terminate.
+        assert!(run.run_to_budget(20));
+        assert!(run.is_done());
+        assert!(!run.run_to_budget(21));
+        assert_eq!(run.partition().num_colors(), 20);
+    }
+
+    #[test]
+    fn run_to_budget_ladder_terminates_at_cap() {
+        let g = generators::karate_club();
+        let rothko = Rothko::new(RothkoConfig::with_max_colors(6));
+        let mut run = rothko.start(&g);
+        let mut checkpoints = 0;
+        while run.run_to_budget(run.partition().num_colors() + 1) {
+            checkpoints += 1;
+            assert!(checkpoints <= 34, "ladder failed to terminate");
+        }
+        assert_eq!(run.partition().num_colors(), 6);
+        assert_eq!(checkpoints, 5);
+    }
+
+    #[test]
+    fn last_event_reflects_each_split() {
+        let g = generators::karate_club();
+        let rothko = Rothko::new(RothkoConfig::with_max_colors(8));
+        let mut run = rothko.start(&g);
+        assert!(run.last_event().is_none());
+        let mut expected_child = 1u32;
+        while run.step() {
+            let event = run.last_event().expect("split recorded");
+            assert_eq!(event.child, expected_child);
+            assert_eq!(
+                run.partition().members(event.child),
+                event.moved_nodes.as_slice()
+            );
+            expected_child += 1;
+        }
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Warm-started budget sweeps over one Rothko refinement.
+//!
+//! The paper's headline experiments (Fig. 7/8, Tables 1–6) evaluate every
+//! task at a *list* of color budgets. Re-running the pipeline per budget
+//! costs `Σ_i cost(b_i)`; because Rothko only ever refines, a sweep can
+//! instead thread **one** monotone refinement through every budget —
+//! `cost(b_max) + Σ_i O(delta_i)` — and let downstream consumers patch
+//! their state per split instead of rebuilding it:
+//!
+//! * the coloring layer checkpoints via [`RothkoRun::run_to_budget`]
+//!   (identical partitions to fresh per-budget runs, since the greedy
+//!   refinement is deterministic and only consults stopping conditions
+//!   between splits);
+//! * the reduction layer patches a [`crate::reduced::ReducedDelta`] (or the
+//!   LP reduction's aggregate sums) per [`SplitEvent`];
+//! * the solver layer warm-starts from the previous budget's solution
+//!   (`qsc-flow`'s preflow reuse, `qsc-lp`'s basis reuse).
+//!
+//! [`ColoringSweep`] packages the first layer and the split hand-off: it
+//! owns the run and calls an `on_split` visitor after every split, *in
+//! lockstep*, with the partition exactly one split ahead of the visitor's
+//! state — the contract `ReducedDelta::apply_split` and its siblings
+//! require. Budgets must be visited in non-decreasing order (a smaller
+//! budget than the current color count is a no-op checkpoint).
+//!
+//! ```
+//! use qsc_core::reduced::ReducedDelta;
+//! use qsc_core::rothko::RothkoConfig;
+//! use qsc_core::sweep::ColoringSweep;
+//! use qsc_graph::generators::karate_club;
+//!
+//! let g = karate_club();
+//! let mut sweep = ColoringSweep::new(&g, RothkoConfig::default());
+//! let mut delta = ReducedDelta::new(&g, sweep.partition());
+//! for budget in [4usize, 8, 12] {
+//!     let cp = sweep.advance_to(budget, |p, ev| delta.apply_split(&g, p, ev));
+//!     assert_eq!(cp.colors, budget);
+//!     assert_eq!(delta.num_colors(), budget);
+//! }
+//! ```
+
+use crate::partition::{Partition, SplitEvent};
+use crate::rothko::{Rothko, RothkoConfig, RothkoRun};
+use qsc_graph::Graph;
+
+/// The state of a sweep at one budget checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepCheckpoint {
+    /// The budget that was requested.
+    pub budget: usize,
+    /// Colors actually reached (less than `budget` when the refinement
+    /// exhausted — error target met or no splittable color left).
+    pub colors: usize,
+    /// Exact maximum q-error of the checkpoint's partition (maintained by
+    /// the engine, no graph rescan).
+    pub max_q_error: f64,
+    /// Total splits performed since the sweep started.
+    pub iterations: usize,
+}
+
+/// A budget-checkpointed Rothko run: the coloring layer of the warm-started
+/// sweep pipeline (see the module docs).
+pub struct ColoringSweep<'g> {
+    run: RothkoRun<'g>,
+}
+
+impl<'g> ColoringSweep<'g> {
+    /// Start a sweep on `g`. The configuration's `max_colors` acts as an
+    /// overall cap; individual budgets are passed to [`Self::advance_to`].
+    pub fn new(graph: &'g Graph, config: RothkoConfig) -> Self {
+        ColoringSweep {
+            run: Rothko::new(config).start(graph),
+        }
+    }
+
+    /// The current partition.
+    pub fn partition(&self) -> &Partition {
+        self.run.partition()
+    }
+
+    /// Whether the refinement is exhausted (no further budget can add
+    /// colors).
+    pub fn is_exhausted(&self) -> bool {
+        self.run.is_done()
+    }
+
+    /// Advance to `budget` colors, invoking `on_split(partition, event)`
+    /// after every split — the partition is the state *after* the split, as
+    /// incremental consumers expect. Returns the checkpoint summary.
+    pub fn advance_to<F>(&mut self, budget: usize, mut on_split: F) -> SweepCheckpoint
+    where
+        F: FnMut(&Partition, &SplitEvent),
+    {
+        while self.run.partition().num_colors() < budget {
+            if !self.run.step() {
+                break;
+            }
+            let event = self.run.last_event().expect("a step performed a split");
+            on_split(self.run.partition(), event);
+        }
+        SweepCheckpoint {
+            budget,
+            colors: self.run.partition().num_colors(),
+            max_q_error: self.run.exact_max_error(),
+            iterations: self.run.iterations(),
+        }
+    }
+
+    /// Consume the sweep, returning the underlying run (e.g. to `finish()`
+    /// it into a [`crate::rothko::Coloring`]).
+    pub fn into_run(self) -> RothkoRun<'g> {
+        self.run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduced::ReducedDelta;
+    use qsc_graph::generators;
+
+    #[test]
+    fn checkpoints_match_fresh_runs() {
+        let g = generators::barabasi_albert(200, 3, 13);
+        let mut sweep = ColoringSweep::new(&g, RothkoConfig::default());
+        for budget in [5usize, 9, 17, 30] {
+            let cp = sweep.advance_to(budget, |_, _| {});
+            assert_eq!(cp.colors, budget);
+            let fresh = Rothko::new(RothkoConfig::with_max_colors(budget)).run(&g);
+            assert!(
+                sweep.partition().same_as(&fresh.partition),
+                "checkpoint at {budget} colors differs from a fresh run"
+            );
+            assert_eq!(cp.max_q_error, fresh.max_q_error);
+        }
+    }
+
+    #[test]
+    fn visitor_sees_every_split_in_lockstep() {
+        let g = generators::barabasi_albert(120, 3, 3);
+        let mut sweep = ColoringSweep::new(&g, RothkoConfig::default());
+        let mut delta = ReducedDelta::new(&g, sweep.partition());
+        let mut seen = 0usize;
+        for budget in [4usize, 11, 20] {
+            sweep.advance_to(budget, |p, ev| {
+                assert_eq!(ev.child as usize + 1, p.num_colors());
+                delta.apply_split(&g, p, ev);
+                seen += 1;
+            });
+        }
+        assert_eq!(seen, 19, "one split per added color");
+        assert_eq!(delta.verify_against(&g, sweep.partition()), Ok(()));
+    }
+
+    #[test]
+    fn exhausted_sweep_reports_short_checkpoint() {
+        // A tiny graph runs out of splits before large budgets.
+        let g = generators::karate_club();
+        let mut sweep = ColoringSweep::new(&g, RothkoConfig::default());
+        let cp = sweep.advance_to(10_000, |_, _| {});
+        assert!(cp.colors < 10_000);
+        assert!(sweep.is_exhausted());
+        assert_eq!(cp.max_q_error, 0.0);
+        // Further budgets are no-ops.
+        let cp2 = sweep.advance_to(20_000, |_, _| {});
+        assert_eq!(cp2.colors, cp.colors);
+    }
+
+    #[test]
+    fn overall_cap_bounds_budgets() {
+        let g = generators::barabasi_albert(100, 2, 7);
+        let mut sweep = ColoringSweep::new(&g, RothkoConfig::with_max_colors(8));
+        let cp = sweep.advance_to(50, |_, _| {});
+        assert_eq!(cp.colors, 8);
+    }
+}

@@ -13,6 +13,10 @@
 //!   (Definition 5 / Lemma 8), used for the lower-bound capacities `ĉ₁`.
 //! * [`reduce`] — the coloring-based approximation of Theorem 6 (reduced
 //!   networks `Ĝ₁`, `Ĝ₂`).
+//! * [`sweep`] — warm-started budget sweeps: one refinement threaded
+//!   through every color budget, with the reduced network patched per split
+//!   and the reduced solve resumed from the previous preflow
+//!   ([`push_relabel::WarmFlowSolver`]).
 //! * [`generators`] — vision-style grid instances and layered random
 //!   networks standing in for the paper's benchmark datasets.
 //!
@@ -38,9 +42,12 @@ pub mod mincut;
 pub mod network;
 pub mod push_relabel;
 pub mod reduce;
+pub mod sweep;
 pub mod uniform_flow;
 
 pub use mincut::{min_cut, MinCut};
 pub use network::{FlowNetwork, FlowResult, ResidualGraph};
+pub use push_relabel::WarmFlowSolver;
 pub use reduce::{approximate_max_flow, ApproxFlow, FlowApproxConfig};
+pub use sweep::{sweep_max_flow, FlowSweepPoint};
 pub use uniform_flow::max_uniform_flow;

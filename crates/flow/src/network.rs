@@ -153,6 +153,15 @@ impl ResidualGraph {
         self.cap[e as usize]
     }
 
+    /// Flow currently routed through edge `e` (original capacity minus
+    /// remaining capacity). For a backward (odd-id) edge this is *minus*
+    /// the paired forward arc's flow — callers summing a node's outflow
+    /// must filter to forward (even-id) edges.
+    #[inline]
+    pub fn flow_on(&self, e: u32) -> f64 {
+        self.orig_cap[e as usize] - self.cap[e as usize]
+    }
+
     /// Push `amount` of flow along edge `e` (decreasing its capacity and
     /// increasing the reverse edge's).
     #[inline]

@@ -1,12 +1,29 @@
 //! Push–relabel maximum flow (FIFO active-node selection with the gap
-//! heuristic and periodic global relabeling).
+//! heuristic and periodic global relabeling), cold or warm-started.
 //!
 //! This is the stand-in for the `GraphsFlows` push-relabel baseline used by
 //! the paper's max-flow experiments; the paper notes that push-relabel
 //! cannot be stopped early because its pre-flows are not valid flows, which
 //! is exactly why the coloring-based approximation is attractive.
+//!
+//! # Warm starts
+//!
+//! [`WarmFlowSolver`] resumes from the previous solve when the network is a
+//! small perturbation of the last one (the sweep pipeline's reduced
+//! networks across adjacent color budgets: one node added, a handful of
+//! capacities patched). Instead of discharging the full source capacity
+//! from scratch, it re-seeds the previous flow assignment clamped to the
+//! new capacities, repairs the node imbalances the clamping introduced
+//! (surpluses stay as preflow excess; shortfalls are drained by returning
+//! downstream flow), recomputes exact heights with one global relabel, and
+//! lets the shared FIFO discharge loop route only the *residual* flow. The
+//! result is a maximum preflow into the sink — the same quantity the cold
+//! path computes — so warm and cold solves agree on the max-flow value
+//! (bit-identically when capacities are exactly representable, e.g.
+//! integers or quarter-integers).
 
 use crate::network::{FlowNetwork, FlowResult, ResidualGraph};
+use std::collections::HashMap;
 use std::collections::VecDeque;
 
 const EPS: f64 = 1e-12;
@@ -20,19 +37,50 @@ pub fn max_flow(network: &FlowNetwork) -> FlowResult {
 
     let mut height = vec![0usize; n];
     let mut excess = vec![0.0f64; n];
-    let mut count = vec![0usize; 2 * n + 1]; // nodes per height (gap heuristic)
     let mut active: VecDeque<u32> = VecDeque::new();
     let mut in_queue = vec![false; n];
-    let mut relabels = 0usize;
 
     // Initial global relabel: heights = BFS distance to the sink.
     global_relabel(&rg, sink, source, &mut height, n);
-    for h in &height {
-        count[*h] += 1;
-    }
+    saturate_source(
+        &mut rg,
+        source,
+        sink,
+        &mut excess,
+        &mut active,
+        &mut in_queue,
+    );
+    let relabels = discharge(
+        &mut rg,
+        source,
+        sink,
+        &mut height,
+        &mut excess,
+        &mut active,
+        &mut in_queue,
+    );
 
-    // Saturate all source-adjacent edges.
+    FlowResult {
+        value: excess[sink],
+        flows: rg.arc_flows(),
+        iterations: relabels,
+    }
+}
+
+/// Saturate every forward arc leaving the source, queueing the targets that
+/// become active.
+fn saturate_source(
+    rg: &mut ResidualGraph,
+    source: usize,
+    sink: usize,
+    excess: &mut [f64],
+    active: &mut VecDeque<u32>,
+    in_queue: &mut [bool],
+) {
     for &e in rg.edges_of(source as u32).to_vec().iter() {
+        if e % 2 != 0 {
+            continue; // backward edge of an arc into the source
+        }
         let cap = rg.capacity(e);
         if cap > EPS {
             let v = rg.target(e) as usize;
@@ -45,7 +93,28 @@ pub fn max_flow(network: &FlowNetwork) -> FlowResult {
             }
         }
     }
+}
 
+/// The FIFO discharge loop (gap heuristic + periodic global relabeling),
+/// shared by the cold and warm entry points. `height` must be a valid
+/// labeling for the preflow described by `rg`/`excess`, and `active` must
+/// hold every node (other than source/sink) with positive excess. Returns
+/// the number of relabel operations.
+fn discharge(
+    rg: &mut ResidualGraph,
+    source: usize,
+    sink: usize,
+    height: &mut [usize],
+    excess: &mut [f64],
+    active: &mut VecDeque<u32>,
+    in_queue: &mut [bool],
+) -> usize {
+    let n = rg.num_nodes();
+    let mut count = vec![0usize; 2 * n + 1]; // nodes per height (gap heuristic)
+    for h in height.iter() {
+        count[*h] += 1;
+    }
+    let mut relabels = 0usize;
     let mut work = 0usize;
     let relabel_period = 6 * n + rg.num_arcs();
 
@@ -119,8 +188,8 @@ pub fn max_flow(network: &FlowNetwork) -> FlowResult {
                 for h in count.iter_mut() {
                     *h = 0;
                 }
-                global_relabel(&rg, sink, source, &mut height, n);
-                for h in &height {
+                global_relabel(rg, sink, source, height, n);
+                for h in height.iter() {
                     count[*h] += 1;
                 }
             }
@@ -131,11 +200,156 @@ pub fn max_flow(network: &FlowNetwork) -> FlowResult {
         }
     }
 
-    let value = excess[sink];
-    FlowResult {
-        value,
-        flows: rg.arc_flows(),
-        iterations: relabels,
+    relabels
+}
+
+/// A push-relabel solver that warm-starts from its previous solution.
+///
+/// Intended for solving a *sequence* of related networks — the sweep
+/// pipeline's reduced networks across adjacent color budgets, where node
+/// ids are stable (colors keep their ids; each split appends one), most
+/// capacities are unchanged, and the previous max flow is almost feasible.
+/// See the module docs for the warm-start procedure. The first call is a
+/// cold solve identical to [`max_flow`].
+#[derive(Debug, Default)]
+pub struct WarmFlowSolver {
+    /// Aggregated flow per `(tail, head)` pair of the previous solution.
+    prev_flows: Option<HashMap<(u32, u32), f64>>,
+}
+
+impl WarmFlowSolver {
+    /// A solver with no previous solution (the first solve is cold).
+    pub fn new() -> Self {
+        WarmFlowSolver::default()
+    }
+
+    /// Drop the remembered solution; the next solve is cold.
+    pub fn reset(&mut self) {
+        self.prev_flows = None;
+    }
+
+    /// Solve `network`, warm-starting from the previous call's solution
+    /// when one is remembered.
+    pub fn solve(&mut self, network: &FlowNetwork) -> FlowResult {
+        let mut rg = ResidualGraph::from_graph(&network.graph);
+        let n = rg.num_nodes();
+        let source = network.source as usize;
+        let sink = network.sink as usize;
+        let mut height = vec![0usize; n];
+        let mut excess = vec![0.0f64; n];
+        let mut active: VecDeque<u32> = VecDeque::new();
+        let mut in_queue = vec![false; n];
+
+        if let Some(prev) = self.prev_flows.take() {
+            seed_previous_flows(&mut rg, network, prev, &mut excess);
+        }
+        saturate_source(
+            &mut rg,
+            source,
+            sink,
+            &mut excess,
+            &mut active,
+            &mut in_queue,
+        );
+        drain_deficits(&mut rg, source, &mut excess);
+        global_relabel(&rg, sink, source, &mut height, n);
+        for v in 0..n {
+            if v != source && v != sink && excess[v] > EPS && !in_queue[v] {
+                active.push_back(v as u32);
+                in_queue[v] = true;
+            }
+        }
+        let relabels = discharge(
+            &mut rg,
+            source,
+            sink,
+            &mut height,
+            &mut excess,
+            &mut active,
+            &mut in_queue,
+        );
+
+        let flows = rg.arc_flows();
+        let mut remembered: HashMap<(u32, u32), f64> = HashMap::new();
+        for ((u, v, _), &f) in network.graph.arcs().zip(flows.iter()) {
+            if f > EPS {
+                *remembered.entry((u, v)).or_insert(0.0) += f;
+            }
+        }
+        self.prev_flows = Some(remembered);
+
+        FlowResult {
+            value: excess[sink],
+            flows,
+            iterations: relabels,
+        }
+    }
+}
+
+/// Re-route the previous solution onto a fresh residual graph: each
+/// remembered `(u, v)` flow is replayed onto the new network's arcs,
+/// clamped to their capacities, with node imbalances tracked in `excess`.
+fn seed_previous_flows(
+    rg: &mut ResidualGraph,
+    network: &FlowNetwork,
+    mut remaining: HashMap<(u32, u32), f64>,
+    excess: &mut [f64],
+) {
+    for (a, (u, v, _)) in network.graph.arcs().enumerate() {
+        let Some(f) = remaining.get_mut(&(u, v)) else {
+            continue;
+        };
+        let e = (2 * a) as u32;
+        let amount = f.min(rg.capacity(e));
+        if amount > EPS {
+            rg.push(e, amount);
+            excess[v as usize] += amount;
+            excess[u as usize] -= amount;
+            *f -= amount;
+        }
+    }
+}
+
+/// Repair the deficits (negative excess) the capacity clamping introduced:
+/// a deficit node receives less than it sends, so its outgoing flow is
+/// reduced — arc by arc — until it balances, propagating the shortfall
+/// downstream until it is absorbed by the source, the sink, or a node with
+/// surplus. Each step strictly reduces some arc's flow, so the drain
+/// terminates; afterwards every node except the source and sink has
+/// non-negative excess, i.e. the seeded assignment is a valid preflow.
+fn drain_deficits(rg: &mut ResidualGraph, source: usize, excess: &mut [f64]) {
+    let n = rg.num_nodes();
+    let mut worklist: Vec<usize> = (0..n)
+        .filter(|&v| v != source && excess[v] < -EPS)
+        .collect();
+    while let Some(v) = worklist.pop() {
+        if excess[v] >= -EPS {
+            continue;
+        }
+        for &e in rg.edges_of(v as u32).to_vec().iter() {
+            if excess[v] >= -EPS {
+                break;
+            }
+            if e % 2 != 0 {
+                continue; // only forward arcs leaving v carry its outflow
+            }
+            let flow = rg.flow_on(e);
+            if flow <= EPS {
+                continue;
+            }
+            let w = rg.target(e) as usize;
+            let amount = flow.min(-excess[v]);
+            rg.push(e ^ 1, amount); // return `amount` from w back to v
+            excess[v] += amount;
+            excess[w] -= amount;
+            if w != source && excess[w] < -EPS {
+                worklist.push(w);
+            }
+        }
+        debug_assert!(
+            excess[v] >= -EPS,
+            "deficit at node {v} could not be drained (outflow < shortfall)"
+        );
     }
 }
 
@@ -217,5 +431,85 @@ mod tests {
         b.add_edge(0, 1, 7.5);
         let net = FlowNetwork::new(b.build(), 0, 1);
         assert!((max_flow(&net).value - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_solver_cold_call_matches_max_flow() {
+        let (net, _) = crate::generators::grid_flow_network(8, 8, 4.0, 0.5, 3);
+        let mut solver = WarmFlowSolver::new();
+        let warm = solver.solve(&net).value;
+        let cold = max_flow(&net).value;
+        assert!((warm - cold).abs() < 1e-9, "warm {warm} vs cold {cold}");
+    }
+
+    #[test]
+    fn warm_resolve_of_same_network_is_stable() {
+        let (net, _) = crate::generators::grid_flow_network(8, 8, 4.0, 0.5, 7);
+        let mut solver = WarmFlowSolver::new();
+        let first = solver.solve(&net);
+        let second = solver.solve(&net);
+        assert!((first.value - second.value).abs() < 1e-9);
+        // Re-solving from the previous optimum needs (almost) no work.
+        assert!(
+            second.iterations <= first.iterations / 2,
+            "warm re-solve did {} relabels vs cold {}",
+            second.iterations,
+            first.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_capacity_increases_and_decreases() {
+        // Perturb a network arc-by-arc (scale capacities up and down) and
+        // check the warm-started value always matches Dinic's cold value.
+        for seed in 0..4u64 {
+            let g = generators::erdos_renyi_nm(30, 150, seed).to_directed();
+            let base = FlowNetwork::new(g, 0, 29);
+            let mut solver = WarmFlowSolver::new();
+            solver.solve(&base);
+            for round in 1..4u32 {
+                let mut b = GraphBuilder::new_directed(30);
+                for (i, (u, v, c)) in base.graph.arcs().enumerate() {
+                    let scale = match (i as u32 + round) % 3 {
+                        0 => 0.5,
+                        1 => 2.0,
+                        _ => 1.0,
+                    };
+                    b.add_edge(u, v, c * scale);
+                }
+                let net = FlowNetwork::new(b.build(), 0, 29);
+                let warm = solver.solve(&net).value;
+                let cold = crate::dinic::max_flow(&net).value;
+                assert!(
+                    (warm - cold).abs() < 1e-6,
+                    "seed {seed} round {round}: warm {warm} vs cold {cold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_survives_node_additions() {
+        // Grow the network one node at a time (the sweep's reduced networks
+        // gain one color per split) and keep the source/sink ids fixed.
+        let mut solver = WarmFlowSolver::new();
+        for extra in 0..5usize {
+            let n = 12 + extra;
+            let mut b = GraphBuilder::new_directed(n);
+            for v in 2..n as u32 {
+                b.add_edge(0, v, 2.0 + (v % 3) as f64);
+                b.add_edge(v, 1, 1.0 + (v % 4) as f64);
+            }
+            for v in 2..(n as u32 - 1) {
+                b.add_edge(v, v + 1, 1.5);
+            }
+            let net = FlowNetwork::new(b.build(), 0, 1);
+            let warm = solver.solve(&net).value;
+            let cold = crate::dinic::max_flow(&net).value;
+            assert!(
+                (warm - cold).abs() < 1e-9,
+                "n={n}: warm {warm} vs cold {cold}"
+            );
+        }
     }
 }

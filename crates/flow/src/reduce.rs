@@ -53,14 +53,21 @@ pub struct ApproxFlow {
     pub partition: Partition,
 }
 
-/// A coloring of a flow network with the source and sink pinned to their own
-/// colors.
-pub fn color_network(network: &FlowNetwork, config: &FlowApproxConfig) -> Partition {
+/// The initial partition for coloring a flow network: every node in one
+/// color except the source and sink, which are pinned to singleton colors
+/// (Rothko only ever splits, so they stay singletons).
+pub fn pinned_initial(network: &FlowNetwork) -> Partition {
     let n = network.num_nodes();
     let mut assignment = vec![0u32; n];
     assignment[network.source as usize] = 1;
     assignment[network.sink as usize] = 2;
-    let initial = Partition::from_assignment(&assignment);
+    Partition::from_assignment(&assignment)
+}
+
+/// A coloring of a flow network with the source and sink pinned to their own
+/// colors.
+pub fn color_network(network: &FlowNetwork, config: &FlowApproxConfig) -> Partition {
+    let initial = pinned_initial(network);
     let rothko_config = RothkoConfig {
         max_colors: config.max_colors.max(3),
         target_error: config.target_error,

@@ -1,0 +1,144 @@
+//! Warm-started max-flow budget sweeps: the flow instantiation of the sweep
+//! pipeline (see `qsc_core::sweep`).
+//!
+//! A Fig. 7-style experiment evaluates the coloring approximation at a list
+//! of color budgets. The cold path pays, per budget, a fresh Rothko run, an
+//! `O(m)` reduced-network construction, and a from-scratch max-flow solve.
+//! [`sweep_max_flow`] instead threads one refinement through all budgets:
+//!
+//! * the coloring advances incrementally (`ColoringSweep`),
+//! * the reduced network's capacity matrix is patched per split
+//!   (`ReducedDelta`, `O(deg(moved) + k)`),
+//! * the reduced solve resumes from the previous budget's preflow
+//!   ([`crate::push_relabel::WarmFlowSolver`]).
+//!
+//! The per-budget values equal the cold path's (`approximate_max_flow` at
+//! the same budget): the checkpoint partitions are identical to fresh runs,
+//! the patched capacity matrix matches the rebuilt one (bit-identically for
+//! integer-valued capacities, up to floating-point associativity
+//! otherwise), and warm and cold solves of the same reduced network agree
+//! on the max-flow value. `tests/tests/sweep_equivalence.rs` pins this down
+//! across random networks and budget ladders.
+
+use crate::network::FlowNetwork;
+use crate::push_relabel::WarmFlowSolver;
+use crate::reduce::pinned_initial;
+use qsc_core::reduced::ReducedDelta;
+use qsc_core::rothko::RothkoConfig;
+use qsc_core::sweep::ColoringSweep;
+use std::time::Instant;
+
+/// One budget point of a warm-started max-flow sweep.
+#[derive(Clone, Debug)]
+pub struct FlowSweepPoint {
+    /// The requested color budget.
+    pub budget: usize,
+    /// Colors actually used (may be fewer if the refinement exhausted).
+    pub colors: usize,
+    /// The approximate max-flow value (upper bound `maxFlow(Ĝ₂)`).
+    pub value: f64,
+    /// Exact maximum q-error of the checkpoint coloring.
+    pub max_q_error: f64,
+    /// Wall-clock seconds from the start of the sweep until this budget's
+    /// solution was ready (cumulative: the warm pipeline's end-to-end cost
+    /// of reaching this budget).
+    pub cumulative_seconds: f64,
+    /// Relabel operations of the (warm-started) reduced solve.
+    pub solver_iterations: usize,
+}
+
+/// Sweep the coloring-based max-flow approximation over `budgets`
+/// (non-decreasing; each is clamped to at least 3 for the two reserved
+/// source/sink colors). `target_error` is the optional q-error stopping
+/// rule shared by all budgets (0.0 to disable, as in the paper's sweeps).
+pub fn sweep_max_flow(
+    network: &FlowNetwork,
+    budgets: &[usize],
+    target_error: f64,
+) -> Vec<FlowSweepPoint> {
+    let graph = &network.graph;
+    let initial = pinned_initial(network);
+    let s_color = initial.color_of(network.source);
+    let t_color = initial.color_of(network.sink);
+    let config = RothkoConfig {
+        max_colors: usize::MAX,
+        target_error,
+        alpha: 0.0,
+        beta: 0.0,
+        initial: Some(initial),
+        ..Default::default()
+    };
+    assert!(
+        budgets.windows(2).all(|w| w[1] >= w[0]),
+        "sweep budgets must be non-decreasing (the sweep only refines)"
+    );
+    let mut sweep = ColoringSweep::new(graph, config);
+    let mut delta = ReducedDelta::new(graph, sweep.partition());
+    let mut solver = WarmFlowSolver::new();
+    let start = Instant::now();
+    budgets
+        .iter()
+        .map(|&budget| {
+            let checkpoint =
+                sweep.advance_to(budget.max(3), |p, ev| delta.apply_split(graph, p, ev));
+            // Self-loops carry no s-t flow; tiny negative residues from
+            // incremental cancellation are clamped to the true value, zero.
+            let reduced =
+                delta.reduced_graph_with(|i, j, sum, _, _| if i == j { 0.0 } else { sum.max(0.0) });
+            let result = solver.solve(&FlowNetwork::new(reduced, s_color, t_color));
+            FlowSweepPoint {
+                budget,
+                colors: checkpoint.colors,
+                value: result.value,
+                max_q_error: checkpoint.max_q_error,
+                cumulative_seconds: start.elapsed().as_secs_f64(),
+                solver_iterations: result.iterations,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{approximate_max_flow, FlowApproxConfig};
+    use qsc_graph::generators;
+
+    #[test]
+    fn sweep_matches_cold_path_on_unit_capacities() {
+        // Unit capacities: all arithmetic is exact, so the warm sweep's
+        // values are bit-identical to per-budget cold solves.
+        let g = generators::erdos_renyi_nm(60, 360, 5).to_directed();
+        let net = FlowNetwork::new(g, 0, 59);
+        let budgets = [4usize, 8, 14, 22];
+        let points = sweep_max_flow(&net, &budgets, 0.0);
+        assert_eq!(points.len(), budgets.len());
+        for (point, &budget) in points.iter().zip(budgets.iter()) {
+            let cold = approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(budget));
+            assert_eq!(point.colors, cold.colors, "budget {budget}");
+            assert_eq!(point.value, cold.value, "budget {budget}");
+            assert_eq!(point.max_q_error, cold.max_q_error, "budget {budget}");
+        }
+        // Cumulative timings are non-decreasing.
+        for w in points.windows(2) {
+            assert!(w[1].cumulative_seconds >= w[0].cumulative_seconds);
+        }
+    }
+
+    #[test]
+    fn sweep_on_grid_network_stays_close_to_cold() {
+        // Float capacities: equality up to floating-point associativity.
+        let (net, _) = crate::generators::grid_flow_network(10, 10, 4.0, 0.5, 11);
+        let budgets = [5usize, 9, 16];
+        let points = sweep_max_flow(&net, &budgets, 0.0);
+        for (point, &budget) in points.iter().zip(budgets.iter()) {
+            let cold = approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(budget));
+            assert!(
+                (point.value - cold.value).abs() <= 1e-9 * (1.0 + cold.value.abs()),
+                "budget {budget}: warm {} vs cold {}",
+                point.value,
+                cold.value
+            );
+        }
+    }
+}

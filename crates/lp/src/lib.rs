@@ -12,6 +12,10 @@
 //!   baseline of Table 1).
 //! * [`reduce`] — LP dimensionality reduction via quasi-stable coloring of
 //!   the extended matrix (Eq. 3–6, Theorem 2), including the Fig. 3 example.
+//! * [`sweep`] — warm-started budget sweeps: one coloring refinement
+//!   threaded through every budget, the reduced problem's aggregates
+//!   patched per split, and each reduced solve restarted from the previous
+//!   optimal basis ([`simplex::solve_warm`]).
 //! * [`generators`] — structured, compressible LP generators standing in for
 //!   the Mittelmann benchmark instances of Table 3.
 //! * [`mps`] — minimal MPS reader/writer for loading external LPs.
@@ -46,6 +50,9 @@ pub mod mps;
 pub mod problem;
 pub mod reduce;
 pub mod simplex;
+pub mod sweep;
 
 pub use problem::{LpProblem, LpSolution, LpStatus};
 pub use reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant, ReducedLp};
+pub use simplex::{BasicVar, SimplexBasis, SimplexConfig, WarmSolve};
+pub use sweep::{sweep_lp, LpSweepPoint, ReducedLpDelta};

@@ -136,12 +136,19 @@ pub struct LpColoring {
     pub max_q_error: f64,
 }
 
-/// Color the extended matrix of `problem` with the Rothko algorithm.
-pub fn color_lp(problem: &LpProblem, config: &LpColoringConfig) -> LpColoring {
+/// Build the coloring graph of the LP's extended matrix (Eq. 3) together
+/// with the pinned initial partition.
+///
+/// Node layout: constraint rows `0..m`, the objective row at `m`, columns
+/// `m+1..m+1+n`, the rhs column at `m+1+n`. The initial partition is
+/// `{constraint rows}, {objective row}, {columns}, {rhs column}` — global
+/// colors `0..4` in that order; the objective row and rhs column stay
+/// singletons because Rothko only ever splits colors. Shared by
+/// [`color_lp`] and the budget sweep (`crate::sweep`), which relies on this
+/// exact layout to classify split events as row or column splits.
+pub(crate) fn coloring_graph(problem: &LpProblem) -> (qsc_graph::Graph, Partition) {
     let m = problem.num_rows();
     let n = problem.num_cols();
-    // Node layout: rows 0..m, objective row m, columns m+1 .. m+1+n, rhs
-    // column m+1+n.
     let total_nodes = m + 1 + n + 1;
     let obj_row = m as u32;
     let rhs_col = (m + 1 + n) as u32;
@@ -163,16 +170,21 @@ pub fn color_lp(problem: &LpProblem, config: &LpColoringConfig) -> LpColoring {
     }
     let graph = builder.build();
 
-    // Initial partition: {constraint rows}, {objective row}, {columns},
-    // {rhs column}. The objective row and rhs column stay singletons because
-    // Rothko only ever splits colors.
     let mut assignment = vec![0u32; total_nodes];
     assignment[obj_row as usize] = 1;
     for j in 0..n {
         assignment[col_node(j) as usize] = 2;
     }
     assignment[rhs_col as usize] = 3;
-    let initial = Partition::from_assignment(&assignment);
+    (graph, Partition::from_assignment(&assignment))
+}
+
+/// Color the extended matrix of `problem` with the Rothko algorithm.
+pub fn color_lp(problem: &LpProblem, config: &LpColoringConfig) -> LpColoring {
+    let m = problem.num_rows();
+    let n = problem.num_cols();
+    let col_node = |j: usize| (m + 1 + j) as u32;
+    let (graph, initial) = coloring_graph(problem);
 
     let rothko_config = RothkoConfig {
         max_colors: config.max_colors.max(4),

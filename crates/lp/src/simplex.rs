@@ -1,4 +1,4 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex, cold or warm-started.
 //!
 //! Solves `max cᵀx s.t. Ax ≤ b, x ≥ 0` via the standard tableau method:
 //! slack variables turn the inequalities into equalities, negative
@@ -7,6 +7,20 @@
 //! drives the pivoting. Intended for the small-to-medium LPs of this
 //! reproduction — the reduced LPs produced by quasi-stable coloring have at
 //! most a few hundred rows.
+//!
+//! # Warm starts
+//!
+//! [`solve_warm`] restarts from a [`SimplexBasis`] captured from a previous
+//! solve of a *related* problem — the sweep pipeline's reduced LPs across
+//! adjacent color budgets, which grow by one row or one column per split
+//! while keeping existing row/column indices stable. The warm path builds
+//! the slack-form tableau, realizes the previous optimal basis with one
+//! Gauss–Jordan pass (new rows become basic in their own slack), and — when
+//! that basis is still primal feasible — reoptimizes with phase-2 pivots
+//! only, skipping phase 1 entirely. If the basis has gone singular or
+//! primal infeasible, it falls back to the cold two-phase solve, so the
+//! returned solution always equals the cold one's objective (warm-starting
+//! changes the pivot path, never the optimum).
 
 use crate::problem::{LpProblem, LpSolution, LpStatus};
 
@@ -40,6 +54,180 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
 /// Solve an LP with an explicit configuration.
 pub fn solve_with(problem: &LpProblem, config: &SimplexConfig) -> LpSolution {
     solve_two_phase(problem, config)
+}
+
+/// A non-artificial basic variable of the tableau.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BasicVar {
+    /// Original (structural) variable `x_j`.
+    Structural(usize),
+    /// Slack variable of constraint row `i`.
+    Slack(usize),
+}
+
+/// The basis of an optimal tableau: one basic variable per constraint row,
+/// captured by [`solve_warm`] so the next, related problem can restart from
+/// it instead of from scratch.
+#[derive(Clone, Debug)]
+pub struct SimplexBasis {
+    /// Basic variable of each row, in row order.
+    pub basic: Vec<BasicVar>,
+}
+
+/// Result of a [`solve_warm`] call.
+#[derive(Clone, Debug)]
+pub struct WarmSolve {
+    /// The solution (always equal, in objective, to a cold solve).
+    pub solution: LpSolution,
+    /// The final basis, for warm-starting the next solve (`None` when the
+    /// solve did not end at an optimum or the basis was not representable
+    /// without artificials).
+    pub basis: Option<SimplexBasis>,
+    /// Whether the warm basis was actually used (`false`: cold fallback —
+    /// no basis supplied, basis singular, or basis primal infeasible).
+    pub warm_used: bool,
+}
+
+/// Solve an LP, restarting from `warm` when possible (see the module docs).
+/// The warm basis may come from a problem with fewer rows and/or columns;
+/// surviving indices must refer to the same rows/columns. Falls back to the
+/// cold two-phase method whenever the warm basis cannot be realized or is
+/// primal infeasible, so the result matches [`solve_with`] in objective
+/// either way.
+pub fn solve_warm(
+    problem: &LpProblem,
+    config: &SimplexConfig,
+    warm: Option<&SimplexBasis>,
+) -> WarmSolve {
+    if let Some(basis) = warm {
+        if let Some(mut result) = try_warm(problem, config, basis) {
+            result.warm_used = true;
+            return result;
+        }
+    }
+    let (solution, basis) = solve_two_phase_extracting(problem, config);
+    WarmSolve {
+        solution,
+        basis,
+        warm_used: false,
+    }
+}
+
+/// Attempt the warm path: realize `basis` on a fresh slack-form tableau and
+/// reoptimize with phase-2 pivots. Returns `None` when the basis is
+/// singular or primal infeasible for this problem (caller falls back).
+fn try_warm(
+    problem: &LpProblem,
+    config: &SimplexConfig,
+    basis: &SimplexBasis,
+) -> Option<WarmSolve> {
+    let m = problem.num_rows();
+    let n = problem.num_cols();
+    // Assign a basic variable to every row: rows that existed in the warm
+    // basis keep theirs (when still valid and unclaimed), new rows get
+    // their own slack.
+    let mut used = vec![false; n + m];
+    let mut target = Vec::with_capacity(m);
+    for i in 0..m {
+        let col = match basis.basic.get(i) {
+            Some(&BasicVar::Structural(j)) if j < n && !used[j] => j,
+            Some(&BasicVar::Slack(r)) if r < m && !used[n + r] => n + r,
+            _ => {
+                if used[n + i] {
+                    return None; // row's own slack already claimed elsewhere
+                }
+                n + i
+            }
+        };
+        used[col] = true;
+        target.push(col);
+    }
+
+    // Slack-form tableau: no sign flips, no artificials. (Negative rhs
+    // entries are fine as long as the *realized basis* turns them
+    // non-negative.)
+    let total = n + m;
+    let mut s = Simplex {
+        rows: vec![vec![0.0; total + 1]; m],
+        obj: vec![0.0; total + 1],
+        basis: (0..m).map(|i| n + i).collect(),
+        n,
+        m,
+        num_artificial: 0,
+        config: config.clone(),
+        iterations: 0,
+    };
+    for i in 0..m {
+        for (j, v) in problem.a.row(i) {
+            s.rows[i][j as usize] = v;
+        }
+        s.rows[i][n + i] = 1.0;
+        s.rows[i][total] = problem.b[i];
+    }
+
+    // Realize the warm basis with one Gauss–Jordan pass. Target columns are
+    // distinct, and each pivot leaves previously pivoted unit columns
+    // untouched, so one pass suffices; a (near-)zero pivot means the basis
+    // is singular for this problem.
+    for (i, &col) in target.iter().enumerate() {
+        if s.rows[i][col].abs() <= 1e-8 {
+            return None;
+        }
+        s.pivot(i, col);
+    }
+
+    // The warm basis must still be primal feasible to seed phase 2.
+    let feas_tol = config.tolerance.max(1e-7);
+    if (0..m).any(|i| s.rows[i][total] < -feas_tol) {
+        return None;
+    }
+
+    s.set_phase2_objective(&problem.c);
+    let status = s.pivot_loop(false);
+    let solution = match status {
+        LoopStatus::Optimal => s.report(LpStatus::Optimal, None),
+        LoopStatus::Unbounded => s.report(LpStatus::Unbounded, Some(f64::INFINITY)),
+        LoopStatus::IterationLimit => s.report(LpStatus::IterationLimit, None),
+    };
+    let basis = (solution.status == LpStatus::Optimal)
+        .then(|| extract_basis(&s))
+        .flatten();
+    Some(WarmSolve {
+        solution,
+        basis,
+        warm_used: false, // set by the caller
+    })
+}
+
+/// Capture the final basis of a tableau as [`BasicVar`]s. Rows left with a
+/// basic artificial (possible after a degenerate phase 1) are recorded as
+/// their own slack when that slack is free; if it is not, the basis is not
+/// representable and `None` is returned.
+fn extract_basis(s: &Simplex) -> Option<SimplexBasis> {
+    let mut slack_used = vec![false; s.m];
+    let mut basic: Vec<Option<BasicVar>> = Vec::with_capacity(s.m);
+    for &b in &s.basis {
+        if b < s.n {
+            basic.push(Some(BasicVar::Structural(b)));
+        } else if b < s.n + s.m {
+            slack_used[b - s.n] = true;
+            basic.push(Some(BasicVar::Slack(b - s.n)));
+        } else {
+            basic.push(None); // artificial, resolved below
+        }
+    }
+    for (i, slot) in basic.iter_mut().enumerate() {
+        if slot.is_none() {
+            if slack_used[i] {
+                return None;
+            }
+            slack_used[i] = true;
+            *slot = Some(BasicVar::Slack(i));
+        }
+    }
+    Some(SimplexBasis {
+        basic: basic.into_iter().map(Option::unwrap).collect(),
+    })
 }
 
 struct Simplex {
@@ -273,6 +461,15 @@ impl Simplex {
 
 /// Internal re-implementation of [`solve_with`] wiring phase 2 correctly.
 pub(crate) fn solve_two_phase(problem: &LpProblem, config: &SimplexConfig) -> LpSolution {
+    solve_two_phase_extracting(problem, config).0
+}
+
+/// The cold two-phase solve, additionally capturing the optimal basis for
+/// warm-starting a subsequent related solve.
+fn solve_two_phase_extracting(
+    problem: &LpProblem,
+    config: &SimplexConfig,
+) -> (LpSolution, Option<SimplexBasis>) {
     let mut s = Simplex::new(problem, config.clone());
     let tol = config.tolerance;
     if s.num_artificial > 0 {
@@ -291,28 +488,35 @@ pub(crate) fn solve_two_phase(problem: &LpProblem, config: &SimplexConfig) -> Lp
         s.obj = obj;
         let status = s.pivot_loop(true);
         if status == LoopStatus::IterationLimit {
-            return s.report(LpStatus::IterationLimit, None);
+            return (s.report(LpStatus::IterationLimit, None), None);
         }
         // `obj[total]` holds the negated phase-1 objective, i.e. the total
         // residual infeasibility (sum of artificial values).
         let infeasibility = s.obj[s.total_vars()];
         if infeasibility > tol.max(1e-7) {
-            return LpSolution {
-                status: LpStatus::Infeasible,
-                objective: f64::NEG_INFINITY,
-                x: vec![0.0; s.n],
-                iterations: s.iterations,
-            };
+            return (
+                LpSolution {
+                    status: LpStatus::Infeasible,
+                    objective: f64::NEG_INFINITY,
+                    x: vec![0.0; s.n],
+                    iterations: s.iterations,
+                },
+                None,
+            );
         }
         s.evict_artificials();
     }
     s.set_phase2_objective(&problem.c);
     let status = s.pivot_loop(false);
-    match status {
+    let solution = match status {
         LoopStatus::Optimal => s.report(LpStatus::Optimal, None),
         LoopStatus::Unbounded => s.report(LpStatus::Unbounded, Some(f64::INFINITY)),
         LoopStatus::IterationLimit => s.report(LpStatus::IterationLimit, None),
-    }
+    };
+    let basis = (solution.status == LpStatus::Optimal)
+        .then(|| extract_basis(&s))
+        .flatten();
+    (solution, basis)
 }
 
 #[cfg(test)]
@@ -418,6 +622,120 @@ mod tests {
         let sol = solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 0.0, 1e-9);
+    }
+
+    #[test]
+    fn warm_restart_from_own_basis_is_free() {
+        let lp = LpProblem::from_dense(
+            "textbook",
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            vec![4.0, 12.0, 18.0],
+            vec![3.0, 5.0],
+        );
+        let config = SimplexConfig::default();
+        let cold = solve_warm(&lp, &config, None);
+        assert!(!cold.warm_used);
+        assert_eq!(cold.solution.status, LpStatus::Optimal);
+        let basis = cold.basis.expect("optimal solve yields a basis");
+        let warm = solve_warm(&lp, &config, Some(&basis));
+        assert!(warm.warm_used);
+        assert_eq!(warm.solution.status, LpStatus::Optimal);
+        assert_close(warm.solution.objective, cold.solution.objective, 1e-9);
+        assert_eq!(warm.solution.iterations, 0, "optimal basis needs no pivots");
+    }
+
+    #[test]
+    fn warm_start_after_adding_row_and_column_matches_cold() {
+        let lp = LpProblem::from_dense(
+            "base",
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            vec![4.0, 12.0, 18.0],
+            vec![3.0, 5.0],
+        );
+        let config = SimplexConfig::default();
+        let basis = solve_warm(&lp, &config, None).basis.unwrap();
+        // Grow: one extra column (new variable) and one extra row.
+        let grown = LpProblem::from_dense(
+            "grown",
+            &[
+                vec![1.0, 0.0, 1.0],
+                vec![0.0, 2.0, 0.5],
+                vec![3.0, 2.0, 2.0],
+                vec![1.0, 1.0, 1.0],
+            ],
+            vec![4.0, 12.0, 18.0, 9.0],
+            vec![3.0, 5.0, 4.0],
+        );
+        let warm = solve_warm(&grown, &config, Some(&basis));
+        let cold = solve(&grown);
+        assert_eq!(warm.solution.status, cold.status);
+        assert_close(warm.solution.objective, cold.objective, 1e-9);
+        assert!(grown.is_feasible(&warm.solution.x, 1e-7));
+    }
+
+    #[test]
+    fn warm_start_falls_back_when_basis_goes_infeasible() {
+        let lp = LpProblem::from_dense(
+            "base",
+            &[vec![1.0, 1.0], vec![1.0, 0.0]],
+            vec![5.0, 3.0],
+            vec![2.0, 1.0],
+        );
+        let config = SimplexConfig::default();
+        let basis = solve_warm(&lp, &config, None).basis.unwrap();
+        // Flip a rhs negative: the old basis is primal infeasible, forcing
+        // the phase-1 fallback; the answer must still match the cold solve.
+        let changed = LpProblem::from_dense(
+            "changed",
+            &[vec![1.0, 1.0], vec![-1.0, 0.0]],
+            vec![5.0, -1.0],
+            vec![2.0, 1.0],
+        );
+        let warm = solve_warm(&changed, &config, Some(&basis));
+        let cold = solve(&changed);
+        assert_eq!(warm.solution.status, cold.status);
+        assert_close(warm.solution.objective, cold.objective, 1e-9);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_on_random_growing_lps() {
+        // Seeded pseudo-random growth chains: start from a feasible random
+        // LP, repeatedly append a row or column, and check warm == cold at
+        // every step.
+        for seed in 0..5u64 {
+            let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0
+            };
+            let mut rows: Vec<Vec<f64>> =
+                (0..3).map(|_| (0..3).map(|_| next()).collect()).collect();
+            let mut b: Vec<f64> = (0..3).map(|_| 5.0 + next()).collect();
+            let mut c: Vec<f64> = (0..3).map(|_| next()).collect();
+            let mut basis: Option<SimplexBasis> = None;
+            let config = SimplexConfig::default();
+            for step in 0..6usize {
+                if step % 2 == 0 {
+                    // New row.
+                    rows.push((0..c.len()).map(|_| next()).collect());
+                    b.push(5.0 + next());
+                } else {
+                    // New column.
+                    for row in rows.iter_mut() {
+                        row.push(next());
+                    }
+                    c.push(next());
+                }
+                let lp = LpProblem::from_dense("chain", &rows, b.clone(), c.clone());
+                let warm = solve_warm(&lp, &config, basis.as_ref());
+                let cold = solve(&lp);
+                assert_eq!(warm.solution.status, cold.status, "seed {seed} step {step}");
+                assert_close(warm.solution.objective, cold.objective, 1e-7);
+                basis = warm.basis;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! Warm-started LP budget sweeps: the LP instantiation of the sweep
+//! pipeline (see `qsc_core::sweep`).
+//!
+//! The cold path pays, per color budget, a fresh Rothko run over the
+//! extended-matrix graph, an `O(nnz)` re-aggregation of `A`/`b`/`c` into
+//! the reduced problem, and a from-scratch two-phase simplex solve.
+//! [`sweep_lp`] instead threads one refinement through all budgets:
+//!
+//! * the coloring advances incrementally (`ColoringSweep`);
+//! * the reduced problem's aggregate sums are patched per split in
+//!   `O(nnz(moved rows/columns))` — each split moves a set of original rows
+//!   (or columns) from their color's aggregate into a fresh one, so only
+//!   the moved entries are touched ([`ReducedLpDelta`]);
+//! * the simplex solve restarts from the previous budget's optimal basis
+//!   (`solve_warm`), which stays meaningful because a split *appends* one
+//!   reduced row or column while keeping all existing indices stable.
+//!
+//! Reduced row/column colors are numbered by first appearance at sweep
+//! start plus appearance order of splits, which can differ from the cold
+//! [`reduce_lp`] numbering — the reduced problems are equal up to that
+//! permutation, so their optima coincide (within floating-point tolerance;
+//! `tests/tests/sweep_equivalence.rs` pins this down).
+
+use crate::problem::{LpProblem, LpStatus};
+use crate::reduce::{coloring_graph, LpColoringConfig, LpReductionVariant};
+use crate::simplex::{self, SimplexBasis, SimplexConfig};
+use qsc_core::partition::SplitEvent;
+use qsc_core::rothko::RothkoConfig;
+use qsc_core::sweep::ColoringSweep;
+use qsc_linalg::SparseMatrix;
+use std::time::Instant;
+
+/// One budget point of a warm-started LP sweep.
+#[derive(Clone, Debug)]
+pub struct LpSweepPoint {
+    /// The requested color budget (extended-matrix colors, incl. the two
+    /// reserved ones).
+    pub budget: usize,
+    /// Rows of the reduced LP at this checkpoint.
+    pub rows: usize,
+    /// Columns of the reduced LP at this checkpoint.
+    pub cols: usize,
+    /// Objective value of the reduced LP.
+    pub objective: f64,
+    /// Solver status of the reduced solve.
+    pub status: LpStatus,
+    /// Exact maximum q-error of the checkpoint coloring.
+    pub max_q_error: f64,
+    /// Wall-clock seconds from the start of the sweep until this budget's
+    /// solution was ready (cumulative).
+    pub cumulative_seconds: f64,
+    /// Simplex pivots of the reduced solve.
+    pub simplex_iterations: usize,
+    /// Whether the reduced solve reused the previous budget's basis.
+    pub warm_used: bool,
+}
+
+/// Which side of the bipartite extended matrix a global color aggregates.
+#[derive(Clone, Copy, Debug)]
+enum ColorKind {
+    /// Reduced row with this local index.
+    Row(u32),
+    /// Reduced column with this local index.
+    Col(u32),
+    /// The pinned objective row / rhs column (never split).
+    Pinned,
+}
+
+/// Incrementally maintained reduced-LP aggregates: `A`, `b`, `c` summed by
+/// (row color × column color), patched per [`SplitEvent`] of the
+/// extended-matrix coloring in `O(nnz(moved))`.
+pub struct ReducedLpDelta<'p> {
+    problem: &'p LpProblem,
+    /// Per original row/column: its reduced (local) color.
+    row_local: Vec<u32>,
+    col_local: Vec<u32>,
+    /// Per *global* partition color: what it aggregates.
+    kind_of_global: Vec<ColorKind>,
+    /// `a_sum[r][s] = Σ A(i,j)` over rows `i` of color `r`, columns `j` of
+    /// color `s`.
+    a_sum: Vec<Vec<f64>>,
+    b_sum: Vec<f64>,
+    c_sum: Vec<f64>,
+    row_sizes: Vec<usize>,
+    col_sizes: Vec<usize>,
+    /// Column-major copy of `A` for column splits.
+    csc: Vec<Vec<(u32, f64)>>,
+}
+
+impl<'p> ReducedLpDelta<'p> {
+    /// Build the single-color aggregates (every row in reduced row 0, every
+    /// column in reduced column 0), matching the sweep's pinned initial
+    /// partition.
+    pub fn new(problem: &'p LpProblem) -> Self {
+        let m = problem.num_rows();
+        let n = problem.num_cols();
+        let mut csc: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let mut a_total = 0.0f64;
+        for (i, j, v) in problem.a.triplets() {
+            csc[j as usize].push((i, v));
+            a_total += v;
+        }
+        ReducedLpDelta {
+            problem,
+            row_local: vec![0; m],
+            col_local: vec![0; n],
+            // Global colors of the initial partition: 0 = constraint rows,
+            // 1 = objective row, 2 = columns, 3 = rhs column.
+            kind_of_global: vec![
+                ColorKind::Row(0),
+                ColorKind::Pinned,
+                ColorKind::Col(0),
+                ColorKind::Pinned,
+            ],
+            a_sum: vec![vec![a_total]],
+            b_sum: vec![problem.b.iter().sum()],
+            c_sum: vec![problem.c.iter().sum()],
+            row_sizes: vec![m],
+            col_sizes: vec![n],
+            csc,
+        }
+    }
+
+    /// Rows of the reduced LP.
+    pub fn num_rows(&self) -> usize {
+        self.row_sizes.len()
+    }
+
+    /// Columns of the reduced LP.
+    pub fn num_cols(&self) -> usize {
+        self.col_sizes.len()
+    }
+
+    /// Patch the aggregates for one split of the extended-matrix coloring.
+    /// Events must be applied in order. Cost: `O(nnz(moved rows/columns))`.
+    pub fn apply_split(&mut self, event: &SplitEvent) {
+        let m = self.problem.num_rows();
+        let kind = self.kind_of_global[event.parent as usize];
+        debug_assert_eq!(event.child as usize, self.kind_of_global.len());
+        match kind {
+            ColorKind::Row(parent) => {
+                let child = self.row_sizes.len() as u32;
+                self.kind_of_global.push(ColorKind::Row(child));
+                let cols = self.col_sizes.len();
+                self.a_sum.push(vec![0.0; cols]);
+                self.b_sum.push(0.0);
+                self.row_sizes.push(0);
+                let p = parent as usize;
+                let c = child as usize;
+                for &node in &event.moved_nodes {
+                    let i = node as usize; // row nodes are ids 0..m
+                    debug_assert!(i < m, "row split moved a non-row node");
+                    for (j, v) in self.problem.a.row(i) {
+                        let s = self.col_local[j as usize] as usize;
+                        self.a_sum[p][s] -= v;
+                        self.a_sum[c][s] += v;
+                    }
+                    self.b_sum[p] -= self.problem.b[i];
+                    self.b_sum[c] += self.problem.b[i];
+                    self.row_local[i] = child;
+                }
+                self.row_sizes[p] -= event.moved_nodes.len();
+                self.row_sizes[c] = event.moved_nodes.len();
+            }
+            ColorKind::Col(parent) => {
+                let child = self.col_sizes.len() as u32;
+                self.kind_of_global.push(ColorKind::Col(child));
+                for row in self.a_sum.iter_mut() {
+                    row.push(0.0);
+                }
+                self.c_sum.push(0.0);
+                self.col_sizes.push(0);
+                let p = parent as usize;
+                let c = child as usize;
+                for &node in &event.moved_nodes {
+                    // Column nodes are ids m+1 .. m+1+n.
+                    let j = node as usize - (m + 1);
+                    for &(i, v) in &self.csc[j] {
+                        let r = self.row_local[i as usize] as usize;
+                        self.a_sum[r][p] -= v;
+                        self.a_sum[r][c] += v;
+                    }
+                    self.c_sum[p] -= self.problem.c[j];
+                    self.c_sum[c] += self.problem.c[j];
+                    self.col_local[j] = child;
+                }
+                self.col_sizes[p] -= event.moved_nodes.len();
+                self.col_sizes[c] = event.moved_nodes.len();
+            }
+            ColorKind::Pinned => unreachable!("pinned singleton colors are never split"),
+        }
+    }
+
+    /// Build the reduced problem from the maintained aggregates with the
+    /// given weighting variant — `O(k·l)`, no rescan of the original LP.
+    /// Same construction as [`crate::reduce::reduce_lp`], modulo the
+    /// sweep's color numbering.
+    pub fn reduced_problem(&self, variant: LpReductionVariant) -> LpProblem {
+        let k = self.num_rows();
+        let l = self.num_cols();
+        let mut triplets = Vec::new();
+        for r in 0..k {
+            for s in 0..l {
+                let v = self.a_sum[r][s];
+                if v != 0.0 {
+                    let scaled = match variant {
+                        LpReductionVariant::SqrtNormalized => {
+                            v / ((self.row_sizes[r] * self.col_sizes[s]) as f64).sqrt()
+                        }
+                        LpReductionVariant::GroheAverage => v / self.col_sizes[s] as f64,
+                    };
+                    triplets.push((r as u32, s as u32, scaled));
+                }
+            }
+        }
+        let b_hat: Vec<f64> = (0..k)
+            .map(|r| match variant {
+                LpReductionVariant::SqrtNormalized => {
+                    self.b_sum[r] / (self.row_sizes[r] as f64).sqrt()
+                }
+                LpReductionVariant::GroheAverage => self.b_sum[r],
+            })
+            .collect();
+        let c_hat: Vec<f64> = (0..l)
+            .map(|s| match variant {
+                LpReductionVariant::SqrtNormalized => {
+                    self.c_sum[s] / (self.col_sizes[s] as f64).sqrt()
+                }
+                LpReductionVariant::GroheAverage => self.c_sum[s] / self.col_sizes[s] as f64,
+            })
+            .collect();
+        LpProblem::new(
+            format!("{}-sweep-{}x{}", self.problem.name, k, l),
+            SparseMatrix::from_triplets(k, l, &triplets),
+            b_hat,
+            c_hat,
+        )
+    }
+
+    /// Cross-check the maintained aggregates against a from-scratch
+    /// re-aggregation under the current row/column coloring.
+    pub fn verify(&self) -> Result<(), String> {
+        let k = self.num_rows();
+        let l = self.num_cols();
+        let mut a_fresh = vec![0.0f64; k * l];
+        for (i, j, v) in self.problem.a.triplets() {
+            a_fresh
+                [self.row_local[i as usize] as usize * l + self.col_local[j as usize] as usize] +=
+                v;
+        }
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+        for r in 0..k {
+            for s in 0..l {
+                if !close(self.a_sum[r][s], a_fresh[r * l + s]) {
+                    return Err(format!(
+                        "a_sum[{r}][{s}]: delta {} vs scratch {}",
+                        self.a_sum[r][s],
+                        a_fresh[r * l + s]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sweep the coloring-based LP reduction over `budgets` (non-decreasing;
+/// each is clamped to at least 4 for the two reserved colors plus one row
+/// and one column color), solving each reduced problem with a warm-started
+/// simplex.
+pub fn sweep_lp(
+    problem: &LpProblem,
+    budgets: &[usize],
+    config: &LpColoringConfig,
+    variant: LpReductionVariant,
+) -> Vec<LpSweepPoint> {
+    assert!(
+        budgets.windows(2).all(|w| w[1] >= w[0]),
+        "sweep budgets must be non-decreasing (the sweep only refines)"
+    );
+    let (graph, initial) = coloring_graph(problem);
+    let rothko_config = RothkoConfig {
+        max_colors: config.max_colors.max(4),
+        target_error: config.target_error,
+        alpha: config.alpha,
+        beta: config.beta,
+        split_mean: config.split_mean,
+        initial: Some(initial),
+        max_iterations: None,
+    };
+    let mut sweep = ColoringSweep::new(&graph, rothko_config);
+    let mut delta = ReducedLpDelta::new(problem);
+    let simplex_config = SimplexConfig::default();
+    let mut basis: Option<SimplexBasis> = None;
+    let start = Instant::now();
+    budgets
+        .iter()
+        .map(|&budget| {
+            let checkpoint = sweep.advance_to(budget.max(4), |_, ev| delta.apply_split(ev));
+            let reduced = delta.reduced_problem(variant);
+            let warm = simplex::solve_warm(&reduced, &simplex_config, basis.as_ref());
+            basis = warm.basis;
+            LpSweepPoint {
+                budget,
+                rows: delta.num_rows(),
+                cols: delta.num_cols(),
+                objective: warm.solution.objective,
+                status: warm.solution.status,
+                max_q_error: checkpoint.max_q_error,
+                cumulative_seconds: start.elapsed().as_secs_f64(),
+                simplex_iterations: warm.solution.iterations,
+                warm_used: warm.warm_used,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::reduce_with_rothko;
+
+    fn block_problem(seed: u64) -> LpProblem {
+        crate::generators::block_lp(&crate::generators::BlockLpSpec {
+            name: format!("sweep-block-{seed}"),
+            block_rows: 3,
+            block_cols: 3,
+            rows_per_block: 5,
+            cols_per_block: 4,
+            density: 0.8,
+            noise: 0.05,
+            seed,
+        })
+    }
+
+    #[test]
+    fn sweep_objectives_match_cold_reductions() {
+        let lp = block_problem(3);
+        let budgets = [6usize, 10, 16, 24];
+        let config = LpColoringConfig::with_max_colors(usize::MAX);
+        let points = sweep_lp(&lp, &budgets, &config, LpReductionVariant::SqrtNormalized);
+        assert_eq!(points.len(), budgets.len());
+        for (point, &budget) in points.iter().zip(budgets.iter()) {
+            let cold_reduced = reduce_with_rothko(
+                &lp,
+                &LpColoringConfig::with_max_colors(budget),
+                LpReductionVariant::SqrtNormalized,
+            );
+            let cold = simplex::solve(&cold_reduced.problem);
+            assert_eq!(point.rows, cold_reduced.num_rows(), "budget {budget}");
+            assert_eq!(point.cols, cold_reduced.num_cols(), "budget {budget}");
+            assert_eq!(point.status, cold.status, "budget {budget}");
+            assert!(
+                (point.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+                "budget {budget}: warm {} vs cold {}",
+                point.objective,
+                cold.objective
+            );
+        }
+        // Later budgets reuse the earlier basis at least once.
+        assert!(points.iter().skip(1).any(|p| p.warm_used));
+    }
+
+    #[test]
+    fn delta_tracks_splits_exactly() {
+        let lp = block_problem(9);
+        let budgets = [5usize, 9, 15];
+        let config = LpColoringConfig::with_max_colors(usize::MAX);
+        let (graph, initial) = coloring_graph(&lp);
+        let rothko_config = RothkoConfig {
+            max_colors: usize::MAX,
+            alpha: config.alpha,
+            beta: config.beta,
+            initial: Some(initial),
+            ..Default::default()
+        };
+        let mut sweep = ColoringSweep::new(&graph, rothko_config);
+        let mut delta = ReducedLpDelta::new(&lp);
+        for &b in &budgets {
+            sweep.advance_to(b, |_, ev| delta.apply_split(ev));
+            assert_eq!(delta.verify(), Ok(()));
+            let sizes: usize = delta.row_sizes.iter().sum();
+            assert_eq!(sizes, lp.num_rows());
+            let sizes: usize = delta.col_sizes.iter().sum();
+            assert_eq!(sizes, lp.num_cols());
+        }
+    }
+
+    #[test]
+    fn grohe_variant_sweep_is_consistent() {
+        let lp = block_problem(5);
+        let points = sweep_lp(
+            &lp,
+            &[6, 12],
+            &LpColoringConfig::with_max_colors(usize::MAX),
+            LpReductionVariant::GroheAverage,
+        );
+        for p in &points {
+            assert_eq!(p.status, LpStatus::Optimal);
+            assert!(p.objective.is_finite());
+        }
+    }
+}

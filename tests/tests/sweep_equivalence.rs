@@ -1,0 +1,243 @@
+//! Warm-start equivalence suite for the sweep pipeline.
+//!
+//! The warm-started sweep (one coloring refinement, patched reductions,
+//! warm-started solvers) must produce the *same results* as the per-budget
+//! cold path at every budget:
+//!
+//! * **colorings** — a checkpoint at budget `b` equals a fresh run with
+//!   `max_colors = b` (the refinement is deterministic and monotone);
+//! * **flow** — warm-started push-relabel on the patched reduced network
+//!   equals the cold solve of the rebuilt reduced network; with integer (or
+//!   quarter-integer) capacities all arithmetic is exact, so the values are
+//!   required to be **bit-identical**;
+//! * **LP** — the warm-started simplex objective equals the cold two-phase
+//!   objective within 1e-9 relative (the reduced problems agree up to color
+//!   numbering and float associativity).
+
+use qsc_core::reduced::{quotient_matrix, ReducedDelta};
+use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_core::sweep::ColoringSweep;
+use qsc_flow::reduce::{approximate_max_flow, FlowApproxConfig};
+use qsc_flow::sweep::sweep_max_flow;
+use qsc_flow::{FlowNetwork, WarmFlowSolver};
+use qsc_graph::{generators, GraphBuilder};
+use qsc_lp::reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant};
+use qsc_lp::sweep::sweep_lp;
+use qsc_lp::{simplex, LpProblem};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A random directed network with small-integer capacities: every flow
+/// quantity stays an exact integer, so warm and cold solves must agree
+/// bit-for-bit.
+fn integer_network(n: usize, m: usize, seed: u64) -> FlowNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_directed(n);
+    for _ in 0..m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v, rng.random_range(1..9) as f64);
+        }
+    }
+    // Guarantee source/sink attachment.
+    b.add_edge(0, 1 % n as u32 + 1, 4.0);
+    b.add_edge((n - 2) as u32, (n - 1) as u32, 4.0);
+    FlowNetwork::new(b.build(), 0, (n - 1) as u32)
+}
+
+#[test]
+fn coloring_checkpoints_equal_fresh_runs_across_seeds() {
+    for seed in [1u64, 7, 23] {
+        let g = generators::barabasi_albert(250, 3, seed);
+        let mut sweep = ColoringSweep::new(&g, RothkoConfig::default());
+        for budget in [4usize, 9, 18, 33, 60] {
+            let cp = sweep.advance_to(budget, |_, _| {});
+            let fresh = Rothko::new(RothkoConfig::with_max_colors(budget)).run(&g);
+            assert!(
+                sweep.partition().same_as(&fresh.partition),
+                "seed {seed}: checkpoint at {budget} differs from a fresh run"
+            );
+            assert_eq!(cp.max_q_error, fresh.max_q_error, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn reduced_delta_equals_scratch_quotient_across_random_sweeps() {
+    for seed in [3u64, 11, 31] {
+        let g = generators::erdos_renyi_nm(80, 400, seed).to_directed();
+        let mut sweep = ColoringSweep::new(&g, RothkoConfig::default());
+        let mut delta = ReducedDelta::new(&g, sweep.partition());
+        for budget in [5usize, 12, 25] {
+            sweep.advance_to(budget, |p, ev| delta.apply_split(&g, p, ev));
+            // Unit weights: the patched quotient matrix is bit-identical to
+            // the from-scratch one.
+            assert_eq!(
+                delta.quotient_matrix(),
+                quotient_matrix(&g, sweep.partition()),
+                "seed {seed} budget {budget}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_flow_sweep_is_bit_identical_to_cold_path_on_integer_networks() {
+    for seed in [2u64, 13, 29] {
+        let net = integer_network(70, 420, seed);
+        let budgets = [4usize, 7, 12, 20, 32];
+        let points = sweep_max_flow(&net, &budgets, 0.0);
+        for (point, &budget) in points.iter().zip(budgets.iter()) {
+            let cold = approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(budget));
+            assert_eq!(
+                point.value.to_bits(),
+                cold.value.to_bits(),
+                "seed {seed} budget {budget}: warm {} vs cold {}",
+                point.value,
+                cold.value
+            );
+            assert_eq!(point.colors, cold.colors, "seed {seed} budget {budget}");
+        }
+    }
+}
+
+#[test]
+fn warm_push_relabel_matches_cold_solvers_across_perturbations() {
+    // Drive one WarmFlowSolver through a chain of perturbed integer
+    // networks; at every step the warm value must equal both cold
+    // push-relabel and Dinic exactly.
+    for seed in [5u64, 17] {
+        let base = integer_network(40, 220, seed);
+        let mut solver = WarmFlowSolver::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut arcs: Vec<(u32, u32, f64)> = base.graph.arcs().collect();
+        for round in 0..5 {
+            let net = FlowNetwork::new(
+                {
+                    let mut b = GraphBuilder::new_directed(40);
+                    for &(u, v, c) in &arcs {
+                        b.add_edge(u, v, c);
+                    }
+                    b.build()
+                },
+                base.source,
+                base.sink,
+            );
+            let warm = solver.solve(&net).value;
+            let cold_pr = qsc_flow::push_relabel::max_flow(&net).value;
+            let cold_dinic = qsc_flow::dinic::max_flow(&net).value;
+            assert_eq!(
+                warm.to_bits(),
+                cold_pr.to_bits(),
+                "seed {seed} round {round}: warm {warm} vs push-relabel {cold_pr}"
+            );
+            assert_eq!(
+                warm.to_bits(),
+                cold_dinic.to_bits(),
+                "seed {seed} round {round}: warm {warm} vs dinic {cold_dinic}"
+            );
+            // Perturb ~a third of the capacities by an integer amount.
+            for arc in arcs.iter_mut() {
+                if rng.random_range(0..3u32) == 0 {
+                    let delta = rng.random_range(0..5) as f64 - 2.0;
+                    arc.2 = (arc.2 + delta).max(1.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_lp_sweep_objectives_equal_cold_path() {
+    let datasets = ["qap15", "supportcase10", "ex10"];
+    for name in datasets {
+        let lp = qsc_datasets::load_lp(name, qsc_datasets::Scale::Small).unwrap();
+        let budgets = [5usize, 8, 13, 21];
+        let points = sweep_lp(
+            &lp,
+            &budgets,
+            &LpColoringConfig::with_max_colors(usize::MAX),
+            LpReductionVariant::SqrtNormalized,
+        );
+        for (point, &budget) in points.iter().zip(budgets.iter()) {
+            let reduced = reduce_with_rothko(
+                &lp,
+                &LpColoringConfig::with_max_colors(budget),
+                LpReductionVariant::SqrtNormalized,
+            );
+            let cold = simplex::solve(&reduced.problem);
+            assert_eq!(point.status, cold.status, "{name} budget {budget}");
+            assert!(
+                (point.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+                "{name} budget {budget}: warm {} vs cold {}",
+                point.objective,
+                cold.objective
+            );
+            assert_eq!(
+                point.rows + point.cols,
+                reduced.num_rows() + reduced.num_cols(),
+                "{name} budget {budget}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_simplex_equals_cold_on_random_reduction_chains() {
+    // Property-style check of the solver layer alone: chains of growing
+    // random LPs (as the sweep produces) solved warm vs cold.
+    for seed in [1u64, 9, 27, 77] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..4).map(|_| rng.random::<f64>() * 3.0).collect())
+            .collect();
+        let mut b: Vec<f64> = (0..4).map(|_| 4.0 + rng.random::<f64>() * 6.0).collect();
+        let mut c: Vec<f64> = (0..4).map(|_| rng.random::<f64>() * 2.0).collect();
+        let mut basis = None;
+        let config = simplex::SimplexConfig::default();
+        for step in 0..8usize {
+            if rng.random::<f64>() < 0.5 {
+                rows.push((0..c.len()).map(|_| rng.random::<f64>() * 3.0).collect());
+                b.push(4.0 + rng.random::<f64>() * 6.0);
+            } else {
+                for row in rows.iter_mut() {
+                    row.push(rng.random::<f64>() * 3.0);
+                }
+                c.push(rng.random::<f64>() * 2.0);
+            }
+            let lp =
+                LpProblem::from_dense(format!("chain-{seed}-{step}"), &rows, b.clone(), c.clone());
+            let warm = simplex::solve_warm(&lp, &config, basis.as_ref());
+            let cold = simplex::solve(&lp);
+            assert_eq!(warm.solution.status, cold.status, "seed {seed} step {step}");
+            assert!(
+                (warm.solution.objective - cold.objective).abs()
+                    <= 1e-7 * (1.0 + cold.objective.abs()),
+                "seed {seed} step {step}: warm {} vs cold {}",
+                warm.solution.objective,
+                cold.objective
+            );
+            basis = warm.basis;
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_sweep_on_grid_matches_cold_within_tolerance() {
+    // Float capacities end-to-end (the realistic case): equality within
+    // floating-point tolerance rather than bit-for-bit.
+    let (net, _) = qsc_flow::generators::grid_flow_network(16, 16, 3.0, 0.3, 9);
+    let budgets = [5usize, 10, 18, 30];
+    let points = sweep_max_flow(&net, &budgets, 0.0);
+    for (point, &budget) in points.iter().zip(budgets.iter()) {
+        let cold = approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(budget));
+        assert!(
+            (point.value - cold.value).abs() <= 1e-9 * (1.0 + cold.value.abs()),
+            "budget {budget}: warm {} vs cold {}",
+            point.value,
+            cold.value
+        );
+        assert_eq!(point.max_q_error, cold.max_q_error, "budget {budget}");
+    }
+}
