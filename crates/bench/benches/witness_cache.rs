@@ -1,0 +1,117 @@
+//! Witness-cache selection strategies: linear scan vs. binary heap.
+//!
+//! [`IncrementalDegrees::pick_witness`] selects the best split candidate by
+//! scanning the `k` cached per-row bests and applying the α size weighting
+//! on the fly (the row's own size can change without invalidating the
+//! row-internal ordering, so the weight cannot be pre-baked into a
+//! persistent order). The ROADMAP asked whether a binary heap over
+//! `row_best` wins at large `k`; this micro-benchmark answers it.
+//!
+//! Two harnesses:
+//!
+//! * **synthetic** — the selection kernels run over a seeded array shaped
+//!   exactly like the engine's row cache (`weighted`, `error`, `other`,
+//!   `outgoing` per row, plus a per-row size for the α weighting), at
+//!   `k ∈ {10², 10³, 10⁴}`. The heap variant pays one `O(k)` heapify plus a
+//!   pop — it cannot beat a single `O(k)` scan for a one-shot pick, and a
+//!   *persistent* heap would have to be rebuilt anyway whenever α-weights
+//!   change with color sizes (every split).
+//! * **engine** — `pick_witness` on a real engine refined to `k ∈ {10²,
+//!   10³}` colors on a Barabási–Albert graph (a dense `k = 10⁴` engine
+//!   needs gigabytes of pair summaries, hence the synthetic harness for
+//!   the largest point).
+//!
+//! Measured on the repo's reference container (1 × 2.7 GHz core); numbers
+//! recorded in the `qsc_core::q_error` module docs. The scan won at every
+//! `k`, so it stays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_graph::generators;
+use rand::prelude::*;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+/// Mirror of the engine's cached per-row best candidate.
+#[derive(Clone, Copy)]
+struct Row {
+    weighted: f64,
+    size: usize,
+}
+
+fn synthetic_rows(k: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| Row {
+            weighted: (rng.random_range(1u32..1_000_000) as f64) / 1e3,
+            size: rng.random_range(2usize..5_000),
+        })
+        .collect()
+}
+
+/// The engine's strategy: one linear scan, α weighting applied on the fly,
+/// first-strictly-greater tie-breaking (mirrors `pick_witness`).
+fn pick_scan(rows: &[Row], alpha: f64) -> usize {
+    let mut best = 0usize;
+    let mut best_w = f64::NEG_INFINITY;
+    for (s, row) in rows.iter().enumerate() {
+        let weighted = row.weighted * (row.size as f64).powf(alpha);
+        if weighted > best_w {
+            best_w = weighted;
+            best = s;
+        }
+    }
+    best
+}
+
+/// The heap alternative: heapify the α-weighted candidates, pop the top.
+/// The heap must be rebuilt per pick because the α weights depend on color
+/// sizes, which change on every split.
+fn pick_heap(rows: &[Row], alpha: f64) -> usize {
+    let heap: BinaryHeap<(u64, usize)> = rows
+        .iter()
+        .enumerate()
+        .map(|(s, row)| {
+            let weighted = row.weighted * (row.size as f64).powf(alpha);
+            // Finite non-negative weights order correctly by their bits.
+            (weighted.to_bits(), usize::MAX - s)
+        })
+        .collect();
+    heap.peek().map(|&(_, s)| usize::MAX - s).unwrap_or(0)
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("witness_pick_synthetic");
+    group.sample_size(20);
+    for &k in &[100usize, 1_000, 10_000] {
+        let rows = synthetic_rows(k, 0xC0FFEE + k as u64);
+        group.bench_with_input(BenchmarkId::new("scan", k), &rows, |b, rows| {
+            b.iter(|| black_box(pick_scan(rows, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("heap", k), &rows, |b, rows| {
+            b.iter(|| black_box(pick_heap(rows, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("witness_pick_engine");
+    group.sample_size(20);
+    for &k in &[100usize, 1_000] {
+        let g = generators::barabasi_albert(4 * k, 4, 11);
+        let rothko = Rothko::new(RothkoConfig::with_max_colors(k));
+        let mut run = rothko.start(&g);
+        while run.step() {}
+        let engine = qsc_core::IncrementalDegrees::new(run.graph(), run.partition());
+        let mut fresh = engine.clone();
+        fresh.refresh(run.partition(), 0.0);
+        group.bench_with_input(BenchmarkId::new("pick_witness", k), &k, |b, _| {
+            b.iter(|| black_box(fresh.pick_witness(run.partition(), 1.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic, bench_engine);
+criterion_main!(benches);

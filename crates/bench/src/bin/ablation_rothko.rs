@@ -8,8 +8,14 @@
 //! For each configuration and dataset the binary reports the maximum and
 //! mean q-error reached at a fixed color budget, and the size of the largest
 //! color (a proxy for split balance).
+//!
+//! Run with: `cargo run --release -p qsc-bench --bin ablation_rothko
+//! [-- --threads T] [--batch B]` — `--threads` shards each run's engine
+//! across workers (identical results), `--batch` applies batched witness
+//! rounds (B splits per synchronization point; this *changes* the greedy
+//! order, so it is itself an ablation axis).
 
-use qsc_bench::{render_table, timed};
+use qsc_bench::{arg_value, render_table, timed};
 use qsc_core::q_error::q_error_report;
 use qsc_core::rothko::{Rothko, RothkoConfig, SplitMean};
 use qsc_datasets::Scale;
@@ -17,23 +23,45 @@ use qsc_datasets::Scale;
 const BUDGET: usize = 64;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help") {
+        println!("ablation_rothko: Rothko split-rule and witness-weight ablation");
+        println!("  --threads T  engine worker threads (default 1; results bit-identical)");
+        println!("  --batch B    witness splits per synchronization round (default 1)");
+        return;
+    }
+    let threads: usize = arg_value(&args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let batch: usize = arg_value(&args, "--batch")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     println!("Ablation — Rothko split rule and witness weights (color budget {BUDGET})");
+    if threads != 1 || batch != 1 {
+        println!("(threads = {threads}, batch = {batch})");
+    }
     println!();
+    let tuned = |config: RothkoConfig| config.threads(threads).batch(batch);
     let configs: Vec<(&str, RothkoConfig)> = vec![
-        ("arithmetic, α=0 β=0", RothkoConfig::with_max_colors(BUDGET)),
+        (
+            "arithmetic, α=0 β=0",
+            tuned(RothkoConfig::with_max_colors(BUDGET)),
+        ),
         (
             "geometric,  α=0 β=0",
-            RothkoConfig::with_max_colors(BUDGET).split_mean(SplitMean::Geometric),
+            tuned(RothkoConfig::with_max_colors(BUDGET).split_mean(SplitMean::Geometric)),
         ),
         (
             "arithmetic, α=1 β=0",
-            RothkoConfig::with_max_colors(BUDGET).weights(1.0, 0.0),
+            tuned(RothkoConfig::with_max_colors(BUDGET).weights(1.0, 0.0)),
         ),
         (
             "geometric,  α=1 β=1",
-            RothkoConfig::with_max_colors(BUDGET)
-                .split_mean(SplitMean::Geometric)
-                .weights(1.0, 1.0),
+            tuned(
+                RothkoConfig::with_max_colors(BUDGET)
+                    .split_mean(SplitMean::Geometric)
+                    .weights(1.0, 1.0),
+            ),
         ),
     ];
 

@@ -19,13 +19,18 @@
 //! * [`IncrementalDegrees`] — the incremental refinement engine: degree
 //!   matrices and witness candidates maintained in `O(touched)` per split
 //!   instead of recomputed from the graph; both Rothko and the stable
-//!   coloring drive their refinement through it.
+//!   coloring drive their refinement through it. Multi-threaded engines
+//!   shard the update phases across a fork-join pool with bit-identical
+//!   results (see [`q_error`]'s "Parallel sharded refinement").
+//! * [`parallel`] — the minimal persistent fork-join pool behind the
+//!   sharded engine (`QSC_THREADS` sets the default worker count).
 //! * [`similarity`] — the `∼` relations of Definition 1 (exact, absolute `q`,
 //!   relative `ε`, bisimulation, clamped congruence).
 //! * [`stable::stable_coloring`] — classical color refinement (1-WL).
 //! * [`rothko`] — the paper's heuristic Algorithm 1 (anytime, witness-driven
 //!   splitting), producing q-stable colorings with a target number of colors
-//!   or target maximum error.
+//!   or target maximum error; supports batched witness rounds (`B` splits
+//!   per synchronization point) on top of the strict greedy order.
 //! * [`q_error`] — exact evaluation of how (quasi-)stable a coloring is.
 //! * [`reduced`] — reduced-graph construction with the weightings used by
 //!   the three applications, plus [`ReducedDelta`]: the quotient matrix
@@ -50,6 +55,7 @@
 //! assert!(coloring.max_q_error <= 6.0);
 //! ```
 
+pub mod parallel;
 pub mod partition;
 pub mod q_error;
 pub mod reduced;

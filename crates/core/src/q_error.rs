@@ -40,12 +40,27 @@
 //! 3. **Witness rows.** Per *split-candidate* color `s`, a lazily refreshed
 //!    cache row over all entries whose split color is `s` (the out-entries
 //!    `(s, ·)` and in-entries `(·, s)`): the row's maximum unweighted error
-//!    and its best β-weighted witness candidate. A split marks dirty only
-//!    the rows whose entries could have changed — the parent, the child,
-//!    every color containing a neighbor of a moved node, and rows whose
-//!    cached best pointed at the parent — so a
-//!    [`IncrementalDegrees::refresh`] + witness pick costs
-//!    `O(changed rows · k)`, not `O(k²)`.
+//!    and its best β-weighted witness candidate. The two caches have
+//!    *separate* staleness flags: a split marks error-dirty only the rows
+//!    whose entries actually changed — the parent, the child, every color
+//!    containing a neighbor of a moved node — while rows whose cached best
+//!    merely pointed at the parent (its *size* changed, its errors did
+//!    not) go best-dirty only, and a β change alone (β-weighted bests
+//!    stale, row maxima β-independent) dirties no error state at all. A
+//!    [`IncrementalDegrees::refresh`] + witness pick therefore costs
+//!    `O(stale rows · k)`, not `O(k²)`, and
+//!    [`IncrementalDegrees::max_error`] stays valid across β changes
+//!    without any rescan.
+//! 4. **Extremum witnesses and nonzero counts.** Every pair summary entry
+//!    also tracks *which* member attains its min/max (or an explicit
+//!    "unknown" sentinel) and how many members have a non-zero value.
+//!    These never influence entry values — they only decide whether a
+//!    one-column member rescan is needed when members change: an entry
+//!    whose tracked attainer neither moved nor departed provably keeps its
+//!    extremum, and a `min == 0` entry keeps its minimum while any member
+//!    value stays exactly zero (the dominant case on sparse graphs, where
+//!    ties at zero used to force a rescan storm). Unknown attainers fall
+//!    back to the conservative value-equality heuristic.
 //!
 //! A split `P_c → (P_c, P_child)` updates state as follows. Accumulator
 //! columns `c`/`child` change only for in/out-neighbors of the moved nodes
@@ -69,14 +84,74 @@
 //!   engine skips it entirely — half the memory and per-split work with
 //!   identical results.
 //! * **Degrees-only mode** ([`IncrementalDegrees::new_degrees_only`]).
-//!   Signature-based refiners (the stable coloring) read accumulator rows
-//!   and never ask for pair errors; this mode maintains only invariant 1,
-//!   making `apply_split` pure `O(deg(moved))` and skipping the `O(k²)`
-//!   matrices, which keeps near-discrete colorings (`k → n`) affordable.
+//!   Signature-based refiners (the stable coloring) read accumulator
+//!   values and never ask for pair errors; this mode maintains only
+//!   invariant 1 — and it does so with *sparse* per-node rows (sorted
+//!   non-zero `(color, weight)` pairs) instead of dense `n × k` storage,
+//!   making `apply_split` pure `O(deg(moved) · log deg)` and the whole
+//!   engine `O(m)` memory, which keeps near-discrete colorings (`k → n`)
+//!   affordable in both time and space.
+//!
+//! # Parallel sharded refinement
+//!
+//! Engines built with more than one thread
+//! ([`IncrementalDegrees::new_with_threads`]) shard the four data-parallel
+//! phases of a split across a persistent fork-join pool
+//! ([`crate::parallel::ThreadPool`]):
+//!
+//! * **Accumulator deltas** — the touched-node list is chunked
+//!   contiguously; each worker applies its nodes' parent→child mass shifts
+//!   (each node appears in exactly one chunk, so the row writes are
+//!   disjoint) and folds per-color partial aggregates (counts, zero
+//!   crossings, extension min/max with attainers, child-column min/max,
+//!   lost-extremum flags) into shard-local records.
+//! * **Member-axis scans** — the child color's axis rebuild chunks the
+//!   member list, each worker folding a full `k`-column min/max row.
+//! * **Entry rescans** — queued lost-extremum columns are distributed
+//!   whole-entry-per-worker.
+//! * **Witness refresh** — stale rows are independent `O(k)` scans writing
+//!   disjoint cache slots.
+//!
+//! At every join the caller merges shard results *in shard order* using
+//! only exact reductions — min/max (selections, no arithmetic), sums of
+//! disjoint counts, logical or — and strict comparisons keep the
+//! first-shard attainer on ties, which equals the serial first-member
+//! attainer. Results are therefore **bit-identical for every thread
+//! count**, witness sequence included; `tests/tests/parallel_engine.rs`
+//! pins this across thread counts {1, 2, 8} and batch sizes {1, 4}, and
+//! the per-split debug cross-check ([`IncrementalDegrees::verify_against`])
+//! covers the sharded paths too. Small regions run inline — the dispatch
+//! thresholds ([`IncrementalDegrees::set_parallel_thresholds`]) only trade
+//! scheduling, never semantics.
+//!
+//! # Witness-cache profiling
+//!
+//! The ROADMAP asked whether a binary heap over the cached row bests beats
+//! [`IncrementalDegrees::pick_witness`]'s `O(k)` scan at large `k`. The
+//! `witness_cache` micro-benchmark (in `qsc-bench`) measured both on the
+//! reference container (1 × 2.7 GHz core), mean per pick:
+//!
+//! | k      | linear scan | heapify + pop |
+//! |--------|-------------|---------------|
+//! | 10²    | 0.15 µs     | 2.4 µs        |
+//! | 10³    | 1.5 µs      | 21 µs         |
+//! | 10⁴    | 15 µs       | 200 µs        |
+//!
+//! The scan wins by ~13–16× at every size (and the real-engine pick at
+//! `k ∈ {10², 10³}` matches the synthetic scan numbers): the α size
+//! weighting depends on current color sizes, so a heap would have to be
+//! rebuilt per pick, and one `O(k)` heapify plus allocation can never beat
+//! one cache-friendly `O(k)` scan. The scan stays.
 
+use crate::parallel::{chunk_range, default_threads, SyncSliceMut, ThreadPool};
 use crate::partition::{Partition, SplitEvent};
 use crate::similarity::Similarity;
 use qsc_graph::{Graph, NodeId};
+use std::sync::Arc;
+
+/// Sentinel for "extremum attainer unknown" in the pair-summary witness
+/// arrays (forces the conservative rescan heuristic for that entry).
+const NO_ARG: u32 = u32::MAX;
 
 /// Direction of a degree/error matrix entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -457,15 +532,44 @@ struct TouchedColor {
     /// Entry extrema at batch start (for detecting a lost extremum).
     orig_min: f64,
     orig_max: f64,
-    /// Whether a touched node held the entry's unique extremum and moved
-    /// inward, requiring a one-column rescan.
-    rescan: bool,
+    /// Whether the entry's tracked min/max attainer moved inward (or an
+    /// attainer is unknown and a touched node left the batch-start
+    /// extremum). The finalize step downgrades a flagged side to "no
+    /// rescan" when the zero-count rule proves the extremum stands.
+    rescan_min: bool,
+    rescan_max: bool,
     /// Distinct touched members of this color.
     count: usize,
+    /// Net change to the entry's nonzero-member count (values crossing
+    /// zero).
+    nz_delta: i64,
+    /// Touched members with a non-zero child-column value.
+    child_nonzero: u32,
     /// Min/max of the touched members' accumulator values in the child
-    /// column.
+    /// column, with their attainers.
     child_min: f64,
     child_max: f64,
+    child_min_arg: u32,
+    child_max_arg: u32,
+}
+
+impl TouchedColor {
+    fn fresh(color: u32, orig_min: f64, orig_max: f64) -> Self {
+        TouchedColor {
+            color,
+            orig_min,
+            orig_max,
+            rescan_min: false,
+            rescan_max: false,
+            count: 0,
+            nz_delta: 0,
+            child_nonzero: 0,
+            child_min: f64::INFINITY,
+            child_max: f64::NEG_INFINITY,
+            child_min_arg: NO_ARG,
+            child_max_arg: NO_ARG,
+        }
+    }
 }
 
 /// The incremental refinement engine: degree matrices plus per-node degree
@@ -488,23 +592,49 @@ struct TouchedColor {
 /// let scratch = DegreeMatrices::compute(&g, &p);
 /// assert_eq!(engine.out_error(0, 1), scratch.out_error(0, 1));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct IncrementalDegrees {
     n: usize,
     k: usize,
     /// Column capacity (stride) of the accumulators and matrices; grows
     /// geometrically as colors are added.
     cap: usize,
-    /// `dout[v * cap + j] = w(v, P_j)`.
+    /// `dout[v * cap + j] = w(v, P_j)` (dense rows; summary mode only).
     dout: Vec<f64>,
-    /// `din[v * cap + j] = w(P_j, v)`.
+    /// `din[v * cap + j] = w(P_j, v)` (dense rows; summary mode only).
     din: Vec<f64>,
+    /// Sparse accumulator rows for the degrees-only mode: per node, the
+    /// non-zero `(color, weight)` pairs sorted by color. `O(deg(v))` per
+    /// node instead of a dense `k`-column row, which keeps near-discrete
+    /// colorings (`k → n`) at `O(m)` memory instead of `O(n·k)`.
+    sparse_out: Vec<Vec<(u32, f64)>>,
+    sparse_in: Vec<Vec<(u32, f64)>>,
     /// `out_min/out_max[i * cap + j]` over `u ∈ P_i` of `dout[u][j]`.
     out_min: Vec<f64>,
     out_max: Vec<f64>,
     /// `in_min/in_max[i * cap + j]` over `v ∈ P_j` of `din[v][i]`.
     in_min: Vec<f64>,
     in_max: Vec<f64>,
+    /// Extremum witnesses: `out_min_arg[i * cap + j]` is a member of `P_i`
+    /// attaining `out_min[i * cap + j]` (and so on), or [`NO_ARG`] when the
+    /// attainer is unknown. Splits consult these to decide whether a pair
+    /// summary actually lost its extremum — an exact `O(1)` test that
+    /// replaces the tie-prone "value equals extremum" heuristic and its
+    /// rescan storm on integer-weighted graphs. Witness choice never
+    /// affects entry *values* (a rescan recomputes the same exact min/max a
+    /// skipped rescan preserves), so results stay bit-identical.
+    out_min_arg: Vec<u32>,
+    out_max_arg: Vec<u32>,
+    in_min_arg: Vec<u32>,
+    in_max_arg: Vec<u32>,
+    /// Per-entry nonzero-member counts: `out_nz[i * cap + j]` is the number
+    /// of members of `P_i` with `dout[u][j] != 0.0` (and `in_nz[i * cap +
+    /// j]` the members of `P_j` with `din[v][i] != 0.0`). A `min == 0.0`
+    /// entry whose count stays below the color size provably keeps its
+    /// minimum when members depart — the dominant skip rule on sparse
+    /// graphs, where almost every pair summary has zero-valued members.
+    out_nz: Vec<u32>,
+    in_nz: Vec<u32>,
     /// Whether the graph is undirected (stored as symmetric arcs). The
     /// in-direction state is then an exact mirror of the out-direction
     /// (`din[v] == dout[v]` and `in_min/max[i][j] == out_min/max[j][i]`,
@@ -521,12 +651,20 @@ pub struct IncrementalDegrees {
     track_summaries: bool,
     /// β exponent used by the last [`Self::refresh`]; negative values void
     /// the best-pointed-at-parent invalidation shortcut (shrinking a target
-    /// color then *grows* candidate weights), so splits dirty every row.
+    /// color then *grows* candidate weights), so splits dirty every row's
+    /// cached best.
     last_beta: f64,
-    /// Witness-row cache (see module docs, invariant 3).
+    /// Witness-row cache (see module docs, invariant 3). The two staleness
+    /// flags are split because they have different triggers: `row_err_dirty`
+    /// means the row's *entries* changed (max error and best both stale),
+    /// while `row_best_dirty` alone means only the cached β-weighted best is
+    /// stale (a color size or β itself changed) — `row_max_err` is
+    /// β-independent, so a β-only rebuild skips the error bookkeeping
+    /// entirely and [`Self::max_error`] stays valid across β changes.
     row_max_err: Vec<f64>,
     row_best: Vec<Option<RowBest>>,
-    row_dirty: Vec<bool>,
+    row_err_dirty: Vec<bool>,
+    row_best_dirty: Vec<bool>,
     /// Node-stamp scratch for deduplicating touched neighbors.
     node_stamp: Vec<u32>,
     node_delta: Vec<f64>,
@@ -536,51 +674,355 @@ pub struct IncrementalDegrees {
     /// indices into `touched_colors`).
     color_slot: Vec<u32>,
     touched_colors: Vec<TouchedColor>,
-    /// Row-recompute scratch (4 × cap).
+    /// Row-recompute scratch (4 × cap values + 4 × cap witnesses + 2 × cap
+    /// nonzero counts).
     row_scratch: Vec<f64>,
+    row_arg_scratch: Vec<u32>,
+    row_nz_scratch: Vec<u32>,
+    /// Fork-join pool for the sharded split/refresh phases (`None` in serial
+    /// engines). Shared scheduling only — every parallel region reduces
+    /// per-shard summaries with exact operations, so results are
+    /// bit-identical across thread counts (see the module docs).
+    pool: Option<Arc<ThreadPool>>,
+    /// Per-worker shard scratch for the parallel phases (empty in serial
+    /// engines).
+    shard_scratch: Vec<ShardScratch>,
+    /// Parallel-dispatch thresholds (see [`Self::set_parallel_thresholds`]).
+    par_min_touched: usize,
+    par_min_scan_work: usize,
+    /// Reusable per-split scratch lists (queued rescans per direction, and
+    /// the refresh's stale-row list) — kept on the engine so the split
+    /// path stays allocation-free.
+    entry_scratch_out: Vec<(u32, u32)>,
+    entry_scratch_in: Vec<(u32, u32)>,
+    dirty_scratch: Vec<u32>,
+}
+
+/// Per-worker scratch used by the parallel split/refresh phases.
+#[derive(Clone, Debug, Default)]
+struct ShardScratch {
+    /// Self-validating `color -> record index` slots (mirrors `color_slot`).
+    slot: Vec<u32>,
+    /// Per-touched-color partial aggregates produced by this shard.
+    records: Vec<ShardRecord>,
+    /// Member-axis min/max merge rows (4 × cap), their witnesses, and the
+    /// per-column nonzero counts (2 × cap).
+    axis: Vec<f64>,
+    axis_arg: Vec<u32>,
+    axis_nz: Vec<u32>,
+}
+
+/// One shard's partial aggregate for a touched color during the parallel
+/// accumulator phase. Merged at the join with exact min/max/or/sum
+/// reductions, so the merged result is independent of the shard count.
+#[derive(Clone, Copy, Debug)]
+struct ShardRecord {
+    color: u32,
+    /// Distinct touched members of this color seen by this shard.
+    count: usize,
+    /// Min/max over the shard's *new* parent-column values, with attainers
+    /// (extension candidates for the entry extrema).
+    ext_min: f64,
+    ext_max: f64,
+    ext_min_arg: u32,
+    ext_max_arg: u32,
+    /// Min/max over the shard's child-column values, with attainers.
+    child_min: f64,
+    child_max: f64,
+    child_min_arg: u32,
+    child_max_arg: u32,
+    /// Net zero-crossing count change and non-zero child values seen.
+    nz_delta: i64,
+    child_nonzero: u32,
+    /// Whether this shard observed a lost-extremum condition on either
+    /// side (see [`TouchedColor::rescan_min`]), evaluated against the
+    /// batch-start entry state.
+    rescan_min: bool,
+    rescan_max: bool,
+}
+
+/// Minimum number of touched nodes before a split's accumulator phase is
+/// sharded across the pool (smaller batches run serially — the fork-join
+/// handshake would cost more than the work).
+const PAR_MIN_TOUCHED: usize = 2048;
+
+/// Minimum total scan work (entries × members, or rows × colors) before a
+/// member-scan or witness-refresh batch is sharded.
+const PAR_MIN_SCAN_WORK: usize = 16384;
+
+/// A read-only view of the pair-summary matrices, so the witness-refresh
+/// scans can run from worker threads while the caller holds the row caches
+/// mutably.
+struct SummaryView<'a> {
+    k: usize,
+    cap: usize,
+    symmetric: bool,
+    out_min: &'a [f64],
+    out_max: &'a [f64],
+    in_min: &'a [f64],
+    in_max: &'a [f64],
+}
+
+impl SummaryView<'_> {
+    #[inline]
+    fn out_error(&self, i: usize, j: usize) -> f64 {
+        self.out_max[i * self.cap + j] - self.out_min[i * self.cap + j]
+    }
+
+    #[inline]
+    fn in_error(&self, i: usize, j: usize) -> f64 {
+        if self.symmetric {
+            return self.out_error(j, i);
+        }
+        self.in_max[i * self.cap + j] - self.in_min[i * self.cap + j]
+    }
+
+    /// One witness row scan: the row's maximum unweighted error and its
+    /// best β-weighted candidate. This is *the* row scan — serial refresh,
+    /// sharded refresh and the reference stepper all route through the same
+    /// operation order, which is what keeps their picks bit-identical.
+    fn scan_row(&self, p: &Partition, s: usize, beta: f64) -> (f64, Option<RowBest>) {
+        let mut max_err = 0.0f64;
+        let mut best: Option<RowBest> = None;
+        let splittable = p.size(s as u32) >= 2;
+        let mut consider = |weighted: f64, error: f64, other: u32, outgoing: bool| match &best {
+            Some(b) if b.weighted >= weighted => {}
+            _ => {
+                best = Some(RowBest {
+                    weighted,
+                    other,
+                    outgoing,
+                    error,
+                })
+            }
+        };
+        for j in 0..self.k {
+            let e = self.out_error(s, j);
+            if e > max_err {
+                max_err = e;
+            }
+            if splittable && e > 0.0 {
+                consider(e * size_pow(p.size(j as u32), beta), e, j as u32, true);
+            }
+        }
+        if !self.symmetric {
+            // For undirected graphs the in-entries (i, s) mirror the
+            // out-entries (s, i) already scanned above (equal error and
+            // weight, and the out candidate wins the tie), so this loop
+            // only runs for directed graphs.
+            for i in 0..self.k {
+                let e = self.in_error(i, s);
+                if e > max_err {
+                    max_err = e;
+                }
+                if splittable && e > 0.0 {
+                    consider(e * size_pow(p.size(i as u32), beta), e, i as u32, false);
+                }
+            }
+        }
+        (max_err, best)
+    }
+}
+
+impl ShardScratch {
+    /// Fold one touched node into this shard's per-color aggregates during
+    /// the sharded accumulator phase. `orig_*`/`arg_*` are the entry's
+    /// batch-start extrema and tracked attainers (entries are only mutated
+    /// at the join, so workers read a consistent snapshot).
+    #[allow(clippy::too_many_arguments)]
+    fn fold(
+        &mut self,
+        color: u32,
+        u: NodeId,
+        old: f64,
+        new: f64,
+        child_val: f64,
+        orig_min: f64,
+        orig_max: f64,
+        arg_min: u32,
+        arg_max: u32,
+    ) {
+        let slot = self.slot[color as usize] as usize;
+        let slot = if slot < self.records.len() && self.records[slot].color == color {
+            slot
+        } else {
+            let fresh = self.records.len();
+            self.slot[color as usize] = fresh as u32;
+            self.records.push(ShardRecord::fresh(color));
+            fresh
+        };
+        let r = &mut self.records[slot];
+        r.count += 1;
+        if (old == 0.0) != (new == 0.0) {
+            r.nz_delta += if new != 0.0 { 1 } else { -1 };
+        }
+        if child_val != 0.0 {
+            r.child_nonzero += 1;
+        }
+        if new < r.ext_min {
+            r.ext_min = new;
+            r.ext_min_arg = u;
+        }
+        if new > r.ext_max {
+            r.ext_max = new;
+            r.ext_max_arg = u;
+        }
+        if child_val < r.child_min {
+            r.child_min = child_val;
+            r.child_min_arg = u;
+        }
+        if child_val > r.child_max {
+            r.child_max = child_val;
+            r.child_max_arg = u;
+        }
+        if new < old {
+            if old == orig_max && (arg_max == NO_ARG || arg_max == u) {
+                r.rescan_max = true;
+            }
+        } else if new > old && old == orig_min && (arg_min == NO_ARG || arg_min == u) {
+            r.rescan_min = true;
+        }
+    }
+}
+
+impl ShardRecord {
+    fn fresh(color: u32) -> Self {
+        ShardRecord {
+            color,
+            count: 0,
+            ext_min: f64::INFINITY,
+            ext_max: f64::NEG_INFINITY,
+            ext_min_arg: NO_ARG,
+            ext_max_arg: NO_ARG,
+            child_min: f64::INFINITY,
+            child_max: f64::NEG_INFINITY,
+            child_min_arg: NO_ARG,
+            child_max_arg: NO_ARG,
+            nz_delta: 0,
+            child_nonzero: 0,
+            rescan_min: false,
+            rescan_max: false,
+        }
+    }
+}
+
+impl Clone for IncrementalDegrees {
+    /// Clones share no thread pool: each clone gets its own (same slot
+    /// count), since a pool's fork-join handshake serves one engine at a
+    /// time.
+    fn clone(&self) -> Self {
+        IncrementalDegrees {
+            n: self.n,
+            k: self.k,
+            cap: self.cap,
+            dout: self.dout.clone(),
+            din: self.din.clone(),
+            sparse_out: self.sparse_out.clone(),
+            sparse_in: self.sparse_in.clone(),
+            out_min: self.out_min.clone(),
+            out_max: self.out_max.clone(),
+            in_min: self.in_min.clone(),
+            in_max: self.in_max.clone(),
+            out_min_arg: self.out_min_arg.clone(),
+            out_max_arg: self.out_max_arg.clone(),
+            in_min_arg: self.in_min_arg.clone(),
+            in_max_arg: self.in_max_arg.clone(),
+            out_nz: self.out_nz.clone(),
+            in_nz: self.in_nz.clone(),
+            symmetric: self.symmetric,
+            track_summaries: self.track_summaries,
+            last_beta: self.last_beta,
+            row_max_err: self.row_max_err.clone(),
+            row_best: self.row_best.clone(),
+            row_err_dirty: self.row_err_dirty.clone(),
+            row_best_dirty: self.row_best_dirty.clone(),
+            node_stamp: self.node_stamp.clone(),
+            node_delta: self.node_delta.clone(),
+            stamp_gen: self.stamp_gen,
+            touched_nodes: self.touched_nodes.clone(),
+            color_slot: self.color_slot.clone(),
+            touched_colors: self.touched_colors.clone(),
+            row_scratch: self.row_scratch.clone(),
+            row_arg_scratch: self.row_arg_scratch.clone(),
+            row_nz_scratch: self.row_nz_scratch.clone(),
+            pool: self
+                .pool
+                .as_ref()
+                .map(|p| Arc::new(ThreadPool::new(p.slots()))),
+            shard_scratch: self.shard_scratch.clone(),
+            par_min_touched: self.par_min_touched,
+            par_min_scan_work: self.par_min_scan_work,
+            entry_scratch_out: self.entry_scratch_out.clone(),
+            entry_scratch_in: self.entry_scratch_in.clone(),
+            dirty_scratch: self.dirty_scratch.clone(),
+        }
+    }
 }
 
 impl IncrementalDegrees {
     /// Build the full engine (accumulators + pair summaries + witness
-    /// cache) for partition `p` on `g` in `O(n·k + m)` time.
+    /// cache) for partition `p` on `g` in `O(n·k + m)` time. The number of
+    /// worker threads for the sharded split/refresh phases defaults to the
+    /// `QSC_THREADS` environment variable (1 when unset); see
+    /// [`Self::new_with_threads`] for explicit control.
     pub fn new(g: &Graph, p: &Partition) -> Self {
-        Self::with_mode(g, p, true)
+        Self::with_mode(g, p, true, default_threads())
     }
 
-    /// Build a degrees-only engine: per-node accumulators maintained in
-    /// `O(deg(moved))` per split, no `O(k²)` pair summaries or witness
-    /// cache. This is what signature-based refiners (the stable coloring)
-    /// use — they read accumulator rows and never ask for errors, so
-    /// near-discrete colorings (`k → n`) stay affordable.
+    /// Build the full engine with an explicit worker count for the sharded
+    /// split/refresh phases. `threads <= 1` builds a serial engine. Results
+    /// are bit-identical for every thread count — the shards reduce with
+    /// exact min/max/or merges (see the module docs).
+    pub fn new_with_threads(g: &Graph, p: &Partition, threads: usize) -> Self {
+        Self::with_mode(g, p, true, threads)
+    }
+
+    /// Build a degrees-only engine: per-node *sparse* accumulator rows
+    /// maintained in `O(deg(moved))` per split, no `O(k²)` pair summaries
+    /// or witness cache, and `O(m)` memory instead of `O(n·k)`. This is
+    /// what signature-based refiners (the stable coloring) use — they read
+    /// accumulator values and never ask for errors, so near-discrete
+    /// colorings (`k → n`) stay affordable in both time and memory.
     pub fn new_degrees_only(g: &Graph, p: &Partition) -> Self {
-        Self::with_mode(g, p, false)
+        Self::with_mode(g, p, false, 1)
     }
 
-    fn with_mode(g: &Graph, p: &Partition, track_summaries: bool) -> Self {
+    fn with_mode(g: &Graph, p: &Partition, track_summaries: bool, threads: usize) -> Self {
         let n = g.num_nodes();
         assert_eq!(p.num_nodes(), n, "partition does not match graph");
         let symmetric = !g.is_directed();
         let k = p.num_colors();
         let cap = k.next_power_of_two().max(4);
         let mat_cap = if track_summaries { cap } else { 0 };
-        let in_cap = if symmetric { 0 } else { cap };
+        let dense_cap = if track_summaries { cap } else { 0 };
+        let in_cap = if symmetric { 0 } else { dense_cap };
         let in_mat_cap = if symmetric { 0 } else { mat_cap };
+        let threads = threads.max(1);
         let mut engine = IncrementalDegrees {
             n,
             k,
             cap,
-            dout: vec![0.0; n * cap],
+            dout: vec![0.0; n * dense_cap],
             din: vec![0.0; n * in_cap],
+            sparse_out: Vec::new(),
+            sparse_in: Vec::new(),
             out_min: vec![0.0; mat_cap * mat_cap],
             out_max: vec![0.0; mat_cap * mat_cap],
             in_min: vec![0.0; in_mat_cap * in_mat_cap],
             in_max: vec![0.0; in_mat_cap * in_mat_cap],
+            out_min_arg: vec![NO_ARG; mat_cap * mat_cap],
+            out_max_arg: vec![NO_ARG; mat_cap * mat_cap],
+            in_min_arg: vec![NO_ARG; in_mat_cap * in_mat_cap],
+            in_max_arg: vec![NO_ARG; in_mat_cap * in_mat_cap],
+            out_nz: vec![0; mat_cap * mat_cap],
+            in_nz: vec![0; in_mat_cap * in_mat_cap],
             symmetric,
             track_summaries,
             last_beta: 0.0,
             row_max_err: vec![0.0; mat_cap],
             row_best: vec![None; mat_cap],
-            row_dirty: vec![true; mat_cap],
+            row_err_dirty: vec![true; mat_cap],
+            row_best_dirty: vec![true; mat_cap],
             node_stamp: vec![0; n],
             node_delta: vec![0.0; n],
             stamp_gen: 0,
@@ -588,30 +1030,55 @@ impl IncrementalDegrees {
             color_slot: vec![0; mat_cap],
             touched_colors: Vec::new(),
             row_scratch: vec![0.0; 4 * mat_cap],
+            row_arg_scratch: vec![NO_ARG; 4 * mat_cap],
+            row_nz_scratch: vec![0; 2 * mat_cap],
+            pool: (track_summaries && threads > 1).then(|| Arc::new(ThreadPool::new(threads))),
+            shard_scratch: if track_summaries && threads > 1 {
+                vec![ShardScratch::default(); threads]
+            } else {
+                Vec::new()
+            },
+            par_min_touched: PAR_MIN_TOUCHED,
+            par_min_scan_work: PAR_MIN_SCAN_WORK,
+            entry_scratch_out: Vec::new(),
+            entry_scratch_in: Vec::new(),
+            dirty_scratch: Vec::new(),
         };
 
-        // Accumulators: one sweep over each adjacency direction.
-        let (offs, tgts, wts) = g.out_adjacency();
-        for v in 0..n {
-            let base = v * cap;
-            for e in offs[v]..offs[v + 1] {
-                engine.dout[base + p.color_of(tgts[e]) as usize] += wts[e];
-            }
-        }
-        if !symmetric {
-            let (offs, srcs, wts) = g.in_adjacency();
+        if track_summaries {
+            // Dense accumulators: one sweep over each adjacency direction.
+            let (offs, tgts, wts) = g.out_adjacency();
             for v in 0..n {
                 let base = v * cap;
                 for e in offs[v]..offs[v + 1] {
-                    engine.din[base + p.color_of(srcs[e]) as usize] += wts[e];
+                    engine.dout[base + p.color_of(tgts[e]) as usize] += wts[e];
                 }
             }
-        }
-
-        if track_summaries {
+            if !symmetric {
+                let (offs, srcs, wts) = g.in_adjacency();
+                for v in 0..n {
+                    let base = v * cap;
+                    for e in offs[v]..offs[v + 1] {
+                        engine.din[base + p.color_of(srcs[e]) as usize] += wts[e];
+                    }
+                }
+            }
             // Pair summaries: scan each color's members once.
             for s in 0..k {
                 engine.recompute_color_axis(p, s);
+            }
+        } else {
+            // Sparse accumulator rows: per node, sum the arc weights by
+            // color in arc order (a stable sort preserves that order within
+            // a color, so the sums are bit-identical to the dense
+            // accumulation) and keep the non-zero pairs.
+            engine.sparse_out = (0..n as NodeId)
+                .map(|v| sparse_row_from_arcs(g.out_arcs(v), p))
+                .collect();
+            if !symmetric {
+                engine.sparse_in = (0..n as NodeId)
+                    .map(|v| sparse_row_from_arcs(g.in_arcs(v), p))
+                    .collect();
             }
         }
         engine
@@ -621,6 +1088,26 @@ impl IncrementalDegrees {
     #[inline]
     pub fn num_colors(&self) -> usize {
         self.k
+    }
+
+    /// Override the parallel-dispatch thresholds: the minimum touched-node
+    /// count before a split's accumulator phase shards, and the minimum
+    /// total scan work (members × colors, entries × members, or rows ×
+    /// colors) before member-scan and witness-refresh batches shard.
+    /// Results are bit-identical either way (the defaults just avoid
+    /// paying the fork-join handshake for tiny regions); tests and
+    /// benchmarks use this to force the sharded paths on small inputs.
+    pub fn set_parallel_thresholds(&mut self, min_touched: usize, min_scan_work: usize) {
+        self.par_min_touched = min_touched.max(1);
+        self.par_min_scan_work = min_scan_work.max(1);
+    }
+
+    /// Pre-reserve internal capacity for a refinement expected to reach
+    /// `colors` colors, so the accumulator rows and summary matrices are
+    /// (re)allocated once up front instead of doubling several times during
+    /// the run. Purely an allocation hint — values are unaffected.
+    pub fn reserve_colors(&mut self, colors: usize) {
+        self.ensure_capacity(colors.min(self.n.max(1)));
     }
 
     /// Whether the graph is undirected, i.e. the in-direction state mirrors
@@ -634,6 +1121,9 @@ impl IncrementalDegrees {
     /// The maintained `w(v, P_j)` accumulator.
     #[inline]
     pub fn out_degree_of(&self, v: NodeId, color: u32) -> f64 {
+        if !self.track_summaries {
+            return sparse_get(&self.sparse_out[v as usize], color);
+        }
         self.dout[v as usize * self.cap + color as usize]
     }
 
@@ -643,22 +1133,37 @@ impl IncrementalDegrees {
         if self.symmetric {
             return self.out_degree_of(v, color);
         }
+        if !self.track_summaries {
+            return sparse_get(&self.sparse_in[v as usize], color);
+        }
         self.din[v as usize * self.cap + color as usize]
     }
 
-    /// The full out-degree accumulator row of `v` (length `k`).
+    /// The full out-degree accumulator row of `v` (length `k`). Dense rows
+    /// exist only in summary-tracking engines; degrees-only engines keep
+    /// sparse rows and panic here — read per-color values through
+    /// [`Self::out_degree_of`] instead.
     #[inline]
     pub fn out_row(&self, v: NodeId) -> &[f64] {
+        assert!(
+            self.track_summaries,
+            "degrees-only engines keep sparse rows; use out_degree_of"
+        );
         let base = v as usize * self.cap;
         &self.dout[base..base + self.k]
     }
 
-    /// The full in-degree accumulator row of `v` (length `k`).
+    /// The full in-degree accumulator row of `v` (length `k`); see
+    /// [`Self::out_row`] for the degrees-only caveat.
     #[inline]
     pub fn in_row(&self, v: NodeId) -> &[f64] {
         if self.symmetric {
             return self.out_row(v);
         }
+        assert!(
+            self.track_summaries,
+            "degrees-only engines keep sparse rows; use in_degree_of"
+        );
         let base = v as usize * self.cap;
         &self.din[base..base + self.k]
     }
@@ -693,7 +1198,11 @@ impl IncrementalDegrees {
     /// are applied in order).
     ///
     /// Cost: `O(deg(moved) + (|parent| + |child|)·k)` plus a one-column
-    /// member rescan for each pair summary whose unique extremum moved.
+    /// member rescan for each pair summary that actually lost its tracked
+    /// extremum attainer. Engines built with more than one thread shard the
+    /// accumulator updates, member-axis scans and rescans across the pool
+    /// (see the module docs for the merge design); the result is
+    /// bit-identical to the serial engine.
     pub fn apply_split(&mut self, g: &Graph, p: &Partition, event: &SplitEvent) {
         let c = event.parent as usize;
         let child = event.child as usize;
@@ -705,99 +1214,87 @@ impl IncrementalDegrees {
         );
         self.ensure_capacity(self.k + 1);
         self.k += 1;
+
+        if !self.track_summaries {
+            self.apply_split_degrees_only(g, event);
+            #[cfg(debug_assertions)]
+            {
+                debug_assert_eq!(
+                    self.verify_against(g, p),
+                    Ok(()),
+                    "incremental state diverged from scratch recomputation"
+                );
+            }
+            return;
+        }
         let cap = self.cap;
-        let track = self.track_summaries;
 
-        if track {
-            // Fresh row/column for the child: "no edges" until proven
-            // otherwise.
-            for i in 0..self.k {
-                self.out_min[i * cap + child] = 0.0;
-                self.out_max[i * cap + child] = 0.0;
-                self.out_min[child * cap + i] = 0.0;
-                self.out_max[child * cap + i] = 0.0;
-                if !self.symmetric {
-                    self.in_min[i * cap + child] = 0.0;
-                    self.in_max[i * cap + child] = 0.0;
-                    self.in_min[child * cap + i] = 0.0;
-                    self.in_max[child * cap + i] = 0.0;
-                }
+        // Fresh row/column for the child: "no edges" until proven
+        // otherwise.
+        for i in 0..self.k {
+            self.out_min[i * cap + child] = 0.0;
+            self.out_max[i * cap + child] = 0.0;
+            self.out_min[child * cap + i] = 0.0;
+            self.out_max[child * cap + i] = 0.0;
+            self.out_min_arg[i * cap + child] = NO_ARG;
+            self.out_max_arg[i * cap + child] = NO_ARG;
+            self.out_min_arg[child * cap + i] = NO_ARG;
+            self.out_max_arg[child * cap + i] = NO_ARG;
+            self.out_nz[i * cap + child] = 0;
+            self.out_nz[child * cap + i] = 0;
+            if !self.symmetric {
+                self.in_min[i * cap + child] = 0.0;
+                self.in_max[i * cap + child] = 0.0;
+                self.in_min[child * cap + i] = 0.0;
+                self.in_max[child * cap + i] = 0.0;
+                self.in_min_arg[i * cap + child] = NO_ARG;
+                self.in_max_arg[i * cap + child] = NO_ARG;
+                self.in_min_arg[child * cap + i] = NO_ARG;
+                self.in_max_arg[child * cap + i] = NO_ARG;
+                self.in_nz[i * cap + child] = 0;
+                self.in_nz[child * cap + i] = 0;
             }
-            self.row_max_err[child] = 0.0;
-            self.row_best[child] = None;
         }
+        self.row_max_err[child] = 0.0;
+        self.row_best[child] = None;
 
-        // ---- Out side: sources with edges into the moved nodes. Their
-        // dout mass shifts from column `parent` to column `child`.
+        // ---- Out side: sources with edges into the moved nodes (their
+        // dout mass shifts from column `parent` to column `child`), then
+        // for directed graphs the mirrored in side (targets of the moved
+        // nodes' out-edges).
         self.collect_touched(g, &event.moved_nodes, true);
-        let touched = std::mem::take(&mut self.touched_nodes);
-        self.begin_color_batch();
-        for &u in &touched {
-            let d = self.node_delta[u as usize];
-            let base = u as usize * cap;
-            let old = self.dout[base + c];
-            let new = old - d;
-            self.dout[base + c] = new;
-            self.dout[base + child] += d;
-            if !track {
-                continue;
-            }
-            let i = p.color_of(u) as usize;
-            if i == c || i == child {
-                continue; // both color axes are rebuilt below
-            }
-            let child_val = self.dout[base + child];
-            self.patch_entry(EntryKind::OutCol, i, c, old, new, child_val);
-        }
-        let batch = std::mem::take(&mut self.touched_colors);
-        for t in &batch {
-            let i = t.color as usize;
-            if t.rescan {
-                self.rescan_out_entry(p, i, c);
-            }
-            let (mut mn, mut mx) = (t.child_min, t.child_max);
-            if t.count < p.size(t.color) {
-                mn = mn.min(0.0);
-                mx = mx.max(0.0);
-            }
-            self.out_min[i * cap + child] = mn;
-            self.out_max[i * cap + child] = mx;
-            self.row_dirty[i] = true;
-        }
-        self.touched_colors = batch;
-        self.touched_nodes = touched;
-
-        // ---- In side: targets of the moved nodes' out-edges. Their din
-        // mass shifts from column `parent` to column `child`. (Skipped for
-        // undirected graphs, where the in-state mirrors the out-state.)
+        self.apply_side(p, c, child, true);
         if !self.symmetric {
-            self.in_side_split_update(g, p, event, c, child);
+            self.collect_touched(g, &event.moved_nodes, false);
+            self.apply_side(p, c, child, false);
         }
-        if track {
-            // ---- Member axes of child and parent. The child is rebuilt
-            // from its members' (now final) accumulator rows; the parent's
-            // entries over unchanged columns only shrank in membership, so
-            // they keep their value unless the departed child attained the
-            // old extremum (then a one-column member rescan re-derives it).
-            self.recompute_color_axis(p, child);
-            self.recompute_parent_axis(p, c, child);
 
-            // ---- Witness-row invalidation: rows recomputed above are
-            // dirty, and any cached best that pointed at the parent saw its
-            // target size or error change. A negative β voids that
-            // shortcut: shrinking a target color *raises* candidate
-            // weights, so stale non-best candidates can overtake silently —
-            // dirty everything.
-            self.row_dirty[c] = true;
-            self.row_dirty[child] = true;
-            if self.last_beta < 0.0 {
-                self.row_dirty[..self.k].fill(true);
-            } else {
-                for s in 0..self.k {
-                    if let Some(best) = &self.row_best[s] {
-                        if best.other as usize == c {
-                            self.row_dirty[s] = true;
-                        }
+        // ---- Member axes of child and parent. The child is rebuilt from
+        // its members' (now final) accumulator rows; the parent's entries
+        // over unchanged columns only shrank in membership, so they keep
+        // their value unless their tracked extremum attainer departed to
+        // the child (then a one-column member rescan re-derives it).
+        self.recompute_color_axis(p, child);
+        self.recompute_parent_axis(p, c, child);
+
+        // ---- Witness-row invalidation: rows recomputed above changed
+        // entries (error and best both stale), and any cached best that
+        // pointed at the parent saw its target *size* change — its error is
+        // untouched, so only the β-weighted best goes stale. A negative β
+        // voids that shortcut: shrinking a target color *raises* candidate
+        // weights, so stale non-best candidates can overtake silently —
+        // dirty every row's best.
+        self.row_err_dirty[c] = true;
+        self.row_best_dirty[c] = true;
+        self.row_err_dirty[child] = true;
+        self.row_best_dirty[child] = true;
+        if self.last_beta < 0.0 {
+            self.row_best_dirty[..self.k].fill(true);
+        } else {
+            for s in 0..self.k {
+                if let Some(best) = &self.row_best[s] {
+                    if best.other as usize == c {
+                        self.row_best_dirty[s] = true;
                     }
                 }
             }
@@ -813,166 +1310,529 @@ impl IncrementalDegrees {
         }
     }
 
-    /// The in-direction half of [`Self::apply_split`]: shift din mass of
-    /// the moved nodes' out-neighbors from the parent column to the child
-    /// column, patching the affected in-entries. Not called for undirected
-    /// graphs (the in-state mirrors the out-state there).
-    fn in_side_split_update(
-        &mut self,
-        g: &Graph,
-        p: &Partition,
-        event: &SplitEvent,
-        c: usize,
-        child: usize,
-    ) {
-        let cap = self.cap;
-        let track = self.track_summaries;
-        self.collect_touched(g, &event.moved_nodes, false);
+    /// The degrees-only split path: shift each touched node's sparse
+    /// accumulator mass from the parent to the child column. Pure
+    /// `O(deg(moved) · log deg)` — no summaries, no matrices.
+    fn apply_split_degrees_only(&mut self, g: &Graph, event: &SplitEvent) {
+        let c = event.parent;
+        let child = event.child;
+        // Incoming arcs identify the nodes whose *out*-rows change, and
+        // vice versa; undirected graphs mirror, so one pass suffices.
+        let directions: &[bool] = if self.symmetric {
+            &[true]
+        } else {
+            &[true, false]
+        };
+        for &incoming in directions {
+            self.collect_touched(g, &event.moved_nodes, incoming);
+            let touched = std::mem::take(&mut self.touched_nodes);
+            for &u in &touched {
+                let d = self.node_delta[u as usize];
+                let row = if incoming {
+                    &mut self.sparse_out[u as usize]
+                } else {
+                    &mut self.sparse_in[u as usize]
+                };
+                sparse_add(row, c, -d);
+                sparse_add(row, child, d);
+            }
+            self.touched_nodes = touched;
+        }
+    }
+
+    /// Apply one direction of a split to the accumulators and pair
+    /// summaries: shift every touched node's mass from the parent to the
+    /// child column, patch the entries over *other* colors' member axes,
+    /// then finalize the batch (child-column entries, lost-extremum
+    /// rescans, witness-row invalidation). `collect_touched` must have run
+    /// for the matching direction.
+    ///
+    /// Engines with a pool shard the per-node phase across workers when the
+    /// touched set is large; the per-shard partial aggregates reduce with
+    /// exact min/max/or/sum merges at the join, so the batch — and
+    /// everything derived from it — is independent of the shard count.
+    fn apply_side(&mut self, p: &Partition, c: usize, child: usize, outgoing: bool) {
         let touched = std::mem::take(&mut self.touched_nodes);
         self.begin_color_batch();
-        for &t in &touched {
-            let d = self.node_delta[t as usize];
-            let base = t as usize * cap;
-            let old = self.din[base + c];
-            let new = old - d;
-            self.din[base + c] = new;
-            self.din[base + child] += d;
-            if !track {
-                continue;
+        let sharded = self.pool.is_some() && touched.len() >= self.par_min_touched;
+        if sharded {
+            self.apply_side_sharded(p, c, child, outgoing, &touched);
+        } else {
+            let cap = self.cap;
+            for &u in &touched {
+                let d = self.node_delta[u as usize];
+                let base = u as usize * cap;
+                let (old, new, child_val) = {
+                    let acc = if outgoing {
+                        &mut self.dout
+                    } else {
+                        &mut self.din
+                    };
+                    let old = acc[base + c];
+                    let new = old - d;
+                    acc[base + c] = new;
+                    acc[base + child] += d;
+                    (old, new, acc[base + child])
+                };
+                let i = p.color_of(u) as usize;
+                if i == c || i == child {
+                    continue; // both color axes are rebuilt afterwards
+                }
+                let (kind, row, col) = if outgoing {
+                    (EntryKind::OutCol, i, c)
+                } else {
+                    (EntryKind::InRow, c, i)
+                };
+                self.patch_entry(kind, row, col, u, old, new, child_val);
             }
-            let j = p.color_of(t) as usize;
-            if j == c || j == child {
-                continue;
-            }
-            let child_val = self.din[base + child];
-            self.patch_entry(EntryKind::InRow, c, j, old, new, child_val);
         }
+
+        // ---- Finalize the batch: per touched color, install the child
+        // column entry, queue a rescan if the parent-column entry lost its
+        // extremum, and invalidate the witness row.
         let batch = std::mem::take(&mut self.touched_colors);
+        let cap = self.cap;
+        let mut rescans = if outgoing {
+            std::mem::take(&mut self.entry_scratch_out)
+        } else {
+            std::mem::take(&mut self.entry_scratch_in)
+        };
+        rescans.clear();
         for t in &batch {
-            let j = t.color as usize;
-            if t.rescan {
-                self.rescan_in_entry(p, c, j);
+            let i = t.color as usize;
+            let size = p.size(t.color);
+            // Parent-column entry: apply the zero-crossing count delta,
+            // then decide whether a flagged extremum actually needs a
+            // rescan — a zero extremum provably stands while the entry
+            // keeps a zero-valued member.
+            let parent_idx = if outgoing { i * cap + c } else { c * cap + i };
+            let nz = {
+                let slot = if outgoing {
+                    &mut self.out_nz[parent_idx]
+                } else {
+                    &mut self.in_nz[parent_idx]
+                };
+                *slot = (*slot as i64 + t.nz_delta) as u32;
+                *slot
+            };
+            let (pmin, pmax) = if outgoing {
+                (self.out_min[parent_idx], self.out_max[parent_idx])
+            } else {
+                (self.in_min[parent_idx], self.in_max[parent_idx])
+            };
+            let zero_member = (nz as usize) < size;
+            let need_rescan = (t.rescan_min && !(pmin == 0.0 && zero_member))
+                || (t.rescan_max && !(pmax == 0.0 && zero_member));
+            if need_rescan {
+                if outgoing {
+                    rescans.push((t.color, c as u32));
+                } else {
+                    rescans.push((c as u32, t.color));
+                }
+            } else {
+                // A flagged side whose zero extremum provably stands keeps
+                // its value but no longer knows a specific attainer.
+                if t.rescan_min {
+                    if outgoing {
+                        self.out_min_arg[parent_idx] = NO_ARG;
+                    } else {
+                        self.in_min_arg[parent_idx] = NO_ARG;
+                    }
+                }
+                if t.rescan_max {
+                    if outgoing {
+                        self.out_max_arg[parent_idx] = NO_ARG;
+                    } else {
+                        self.in_max_arg[parent_idx] = NO_ARG;
+                    }
+                }
             }
             let (mut mn, mut mx) = (t.child_min, t.child_max);
-            if t.count < p.size(t.color) {
-                mn = mn.min(0.0);
-                mx = mx.max(0.0);
+            let (mut amn, mut amx) = (t.child_min_arg, t.child_max_arg);
+            if t.count < size {
+                // Some member of the color has no edges towards the child:
+                // an (unknown) attainer of weight zero.
+                if mn > 0.0 {
+                    mn = 0.0;
+                    amn = NO_ARG;
+                }
+                if mx < 0.0 {
+                    mx = 0.0;
+                    amx = NO_ARG;
+                }
             }
-            self.in_min[child * cap + j] = mn;
-            self.in_max[child * cap + j] = mx;
-            self.row_dirty[j] = true;
+            if outgoing {
+                let idx = i * cap + child;
+                self.out_min[idx] = mn;
+                self.out_max[idx] = mx;
+                self.out_min_arg[idx] = amn;
+                self.out_max_arg[idx] = amx;
+                self.out_nz[idx] = t.child_nonzero;
+            } else {
+                let idx = child * cap + i;
+                self.in_min[idx] = mn;
+                self.in_max[idx] = mx;
+                self.in_min_arg[idx] = amn;
+                self.in_max_arg[idx] = amx;
+                self.in_nz[idx] = t.child_nonzero;
+            }
+            self.row_err_dirty[i] = true;
+            self.row_best_dirty[i] = true;
+        }
+        if outgoing {
+            self.rescan_out_entries(p, &rescans);
+            self.entry_scratch_out = rescans;
+        } else {
+            self.rescan_in_entries(p, &rescans);
+            self.entry_scratch_in = rescans;
         }
         self.touched_colors = batch;
         self.touched_nodes = touched;
+    }
+
+    /// The sharded accumulator phase of [`Self::apply_side`]: workers take
+    /// disjoint contiguous chunks of the touched list, apply the
+    /// parent→child mass shifts to their nodes' accumulator rows (each node
+    /// appears in exactly one chunk, so the row writes are disjoint), and
+    /// fold per-color partial aggregates into their shard scratch. The
+    /// caller then merges the shard records — in shard order, with exact
+    /// min/max/or/sum reductions — into the touched-color batch and the
+    /// entry extrema, which makes the merged state identical to what the
+    /// serial loop produces.
+    fn apply_side_sharded(
+        &mut self,
+        p: &Partition,
+        c: usize,
+        child: usize,
+        outgoing: bool,
+        touched: &[NodeId],
+    ) {
+        let cap = self.cap;
+        let pool = self.pool.clone().expect("sharded path requires a pool");
+        let shards = pool.slots();
+        for s in &mut self.shard_scratch {
+            if s.slot.len() < cap {
+                s.slot.resize(cap, u32::MAX);
+            }
+            s.records.clear();
+        }
+        {
+            let node_delta = &self.node_delta;
+            let (acc, emin, emax, amin, amax) = if outgoing {
+                (
+                    &mut self.dout,
+                    &self.out_min,
+                    &self.out_max,
+                    &self.out_min_arg,
+                    &self.out_max_arg,
+                )
+            } else {
+                (
+                    &mut self.din,
+                    &self.in_min,
+                    &self.in_max,
+                    &self.in_min_arg,
+                    &self.in_max_arg,
+                )
+            };
+            let acc = SyncSliceMut::new(acc);
+            let scratch = SyncSliceMut::new(&mut self.shard_scratch);
+            pool.run(|slot| {
+                let (lo, hi) = chunk_range(touched.len(), shards, slot);
+                // SAFETY: each slot touches only its own scratch entry.
+                let shard = unsafe { scratch.get_mut(slot) };
+                for &u in &touched[lo..hi] {
+                    let d = node_delta[u as usize];
+                    let base = u as usize * cap;
+                    // SAFETY: every touched node appears exactly once
+                    // across all chunks, so each accumulator row is written
+                    // by exactly one worker.
+                    let row = unsafe { acc.slice_mut(base, base + cap) };
+                    let old = row[c];
+                    let new = old - d;
+                    row[c] = new;
+                    row[child] += d;
+                    let i = p.color_of(u) as usize;
+                    if i == c || i == child {
+                        continue;
+                    }
+                    let child_val = row[child];
+                    let idx = if outgoing { i * cap + c } else { c * cap + i };
+                    shard.fold(
+                        i as u32, u, old, new, child_val, emin[idx], emax[idx], amin[idx],
+                        amax[idx],
+                    );
+                }
+            });
+        }
+        // Deterministic merge: shards in slot order, records in insertion
+        // order; all reductions are exact, so the result equals the serial
+        // loop's batch regardless of the chunk boundaries.
+        for shard_idx in 0..shards {
+            let records = std::mem::take(&mut self.shard_scratch[shard_idx].records);
+            for r in &records {
+                self.merge_shard_record(r, c, outgoing);
+            }
+            self.shard_scratch[shard_idx].records = records;
+        }
+    }
+
+    /// Merge one shard's per-color aggregate into the touched-color batch
+    /// and the parent-column entry extrema (the join-side half of
+    /// [`Self::apply_side_sharded`]).
+    fn merge_shard_record(&mut self, r: &ShardRecord, c: usize, outgoing: bool) {
+        let cap = self.cap;
+        let idx = if outgoing {
+            r.color as usize * cap + c
+        } else {
+            c * cap + r.color as usize
+        };
+        let (cur_min, cur_max) = if outgoing {
+            (self.out_min[idx], self.out_max[idx])
+        } else {
+            (self.in_min[idx], self.in_max[idx])
+        };
+        let slot = self.color_slot[r.color as usize] as usize;
+        let slot = if slot < self.touched_colors.len() && self.touched_colors[slot].color == r.color
+        {
+            slot
+        } else {
+            let fresh = self.touched_colors.len();
+            self.color_slot[r.color as usize] = fresh as u32;
+            self.touched_colors
+                .push(TouchedColor::fresh(r.color, cur_min, cur_max));
+            fresh
+        };
+        let record = &mut self.touched_colors[slot];
+        record.count += r.count;
+        record.nz_delta += r.nz_delta;
+        record.child_nonzero += r.child_nonzero;
+        record.rescan_min |= r.rescan_min;
+        record.rescan_max |= r.rescan_max;
+        if r.child_min < record.child_min {
+            record.child_min = r.child_min;
+            record.child_min_arg = r.child_min_arg;
+        }
+        if r.child_max > record.child_max {
+            record.child_max = r.child_max;
+            record.child_max_arg = r.child_max_arg;
+        }
+        let (emn, emx, amn, amx) = if outgoing {
+            (
+                &mut self.out_min[idx],
+                &mut self.out_max[idx],
+                &mut self.out_min_arg[idx],
+                &mut self.out_max_arg[idx],
+            )
+        } else {
+            (
+                &mut self.in_min[idx],
+                &mut self.in_max[idx],
+                &mut self.in_min_arg[idx],
+                &mut self.in_max_arg[idx],
+            )
+        };
+        if r.ext_min < *emn {
+            *emn = r.ext_min;
+            *amn = r.ext_min_arg;
+        }
+        if r.ext_max > *emx {
+            *emx = r.ext_max;
+            *amx = r.ext_max_arg;
+        }
     }
 
     /// Rebuild the parent's member-axis entries after a split: out-entries
     /// `(c, j)` and in-entries `(j, c)`. Columns `c`/`child` saw their
     /// accumulator values change and are always rescanned; for every other
     /// column the values are untouched and membership only shrank, so the
-    /// old extremum stands unless the child color attained it.
-    /// Cost: `O(k)` comparisons plus `O(|parent|)` per rescanned column.
+    /// old extremum stands unless its tracked attainer departed to the
+    /// child (with unknown attainers falling back to the conservative
+    /// "child attained the parent's extremum" heuristic). Cost: `O(k)`
+    /// exact checks plus `O(|parent|)` per column that actually lost an
+    /// extremum.
     fn recompute_parent_axis(&mut self, p: &Partition, c: usize, child: usize) {
         let cap = self.cap;
+        let parent_size = p.size(c as u32);
+        let mut out_rescans = std::mem::take(&mut self.entry_scratch_out);
+        let mut in_rescans = std::mem::take(&mut self.entry_scratch_in);
+        out_rescans.clear();
+        in_rescans.clear();
+        // Whether one side of an entry lost its extremum: a zero extremum
+        // stands while the entry keeps a zero-valued member (count rule,
+        // checked first — the attainer may then be forgotten); otherwise
+        // the tracked attainer must not have departed to the child, with
+        // unknown attainers falling back to the conservative "child
+        // attained it" heuristic. Returns (lost, forget_arg).
+        let side_lost = |value: f64, zero_member: bool, arg: u32, fallback: bool| -> (bool, bool) {
+            if value == 0.0 && zero_member {
+                (false, arg != NO_ARG && p.color_of(arg) != c as u32)
+            } else if arg == NO_ARG {
+                (fallback, false)
+            } else {
+                (p.color_of(arg) != c as u32, false)
+            }
+        };
         for j in 0..self.k {
             if j == c || j == child {
-                self.rescan_out_entry(p, c, j);
+                out_rescans.push((c as u32, j as u32));
                 if !self.symmetric {
                     // In-entry over the parent's member axis with the
                     // changed column as first index: (c, c) for j == c,
                     // (child, c) for j == child.
-                    self.rescan_in_entry(p, j, c);
+                    in_rescans.push((j as u32, c as u32));
                 }
                 continue;
             }
+            // The parent's nonzero count over an unchanged column is the
+            // old count minus what the child took (the child axis was
+            // rebuilt just before this).
             let out_idx = c * cap + j;
             let out_child = child * cap + j;
-            if self.out_min[out_child] == self.out_min[out_idx]
-                || self.out_max[out_child] == self.out_max[out_idx]
-            {
-                self.rescan_out_entry(p, c, j);
+            self.out_nz[out_idx] -= self.out_nz[out_child];
+            let zero_member = (self.out_nz[out_idx] as usize) < parent_size;
+            let (min_lost, min_forget) = side_lost(
+                self.out_min[out_idx],
+                zero_member,
+                self.out_min_arg[out_idx],
+                self.out_min[out_child] == self.out_min[out_idx],
+            );
+            let (max_lost, max_forget) = side_lost(
+                self.out_max[out_idx],
+                zero_member,
+                self.out_max_arg[out_idx],
+                self.out_max[out_child] == self.out_max[out_idx],
+            );
+            if min_lost || max_lost {
+                out_rescans.push((c as u32, j as u32));
+            } else {
+                if min_forget {
+                    self.out_min_arg[out_idx] = NO_ARG;
+                }
+                if max_forget {
+                    self.out_max_arg[out_idx] = NO_ARG;
+                }
             }
             if self.symmetric {
                 continue;
             }
             let in_idx = j * cap + c;
             let in_child = j * cap + child;
-            if self.in_min[in_child] == self.in_min[in_idx]
-                || self.in_max[in_child] == self.in_max[in_idx]
-            {
-                self.rescan_in_entry(p, j, c);
+            self.in_nz[in_idx] -= self.in_nz[in_child];
+            let zero_member = (self.in_nz[in_idx] as usize) < parent_size;
+            let (min_lost, min_forget) = side_lost(
+                self.in_min[in_idx],
+                zero_member,
+                self.in_min_arg[in_idx],
+                self.in_min[in_child] == self.in_min[in_idx],
+            );
+            let (max_lost, max_forget) = side_lost(
+                self.in_max[in_idx],
+                zero_member,
+                self.in_max_arg[in_idx],
+                self.in_max[in_child] == self.in_max[in_idx],
+            );
+            if min_lost || max_lost {
+                in_rescans.push((j as u32, c as u32));
+            } else {
+                if min_forget {
+                    self.in_min_arg[in_idx] = NO_ARG;
+                }
+                if max_forget {
+                    self.in_max_arg[in_idx] = NO_ARG;
+                }
             }
         }
+        self.rescan_out_entries(p, &out_rescans);
+        self.rescan_in_entries(p, &in_rescans);
+        self.entry_scratch_out = out_rescans;
+        self.entry_scratch_in = in_rescans;
     }
 
-    /// Recompute the dirty witness rows. `beta` is the target-size exponent
-    /// of the witness weighting (the paper's β); it must be the same value
-    /// across calls for a given run, since clean rows keep their cached
-    /// β-weighted bests.
+    /// Recompute the stale witness rows. `beta` is the target-size exponent
+    /// of the witness weighting (the paper's β). Rows whose *entries*
+    /// changed since the last refresh rescan both their maximum error and
+    /// their cached best; a β change alone only stales the cached
+    /// β-weighted bests (`row_max_err` is β-independent), so a β-only
+    /// rebuild skips the error bookkeeping entirely. Large batches of
+    /// stale rows are sharded across the pool — each row is an independent
+    /// `O(k)` scan writing only its own cache slots, so results are
+    /// bit-identical to the serial order.
     pub fn refresh(&mut self, p: &Partition, beta: f64) {
         assert!(
             self.track_summaries,
             "refresh requires a summary-tracking engine"
         );
         if beta != self.last_beta {
-            // Clean rows cached their bests under the old weighting; a
-            // changed β makes those stale, so rebuild everything.
-            self.row_dirty[..self.k].fill(true);
+            self.row_best_dirty[..self.k].fill(true);
             self.last_beta = beta;
         }
-        for s in 0..self.k {
-            if !self.row_dirty[s] {
-                continue;
-            }
-            self.row_dirty[s] = false;
-            let mut max_err = 0.0f64;
-            let mut best: Option<RowBest> = None;
-            let splittable = p.size(s as u32) >= 2;
-            let mut consider = |weighted: f64, error: f64, other: u32, outgoing: bool| match &best {
-                Some(b) if b.weighted >= weighted => {}
-                _ => {
-                    best = Some(RowBest {
-                        weighted,
-                        other,
-                        outgoing,
-                        error,
-                    })
-                }
-            };
-            for j in 0..self.k {
-                let e = self.out_error(s, j);
-                if e > max_err {
-                    max_err = e;
-                }
-                if splittable && e > 0.0 {
-                    consider(e * size_pow(p.size(j as u32), beta), e, j as u32, true);
-                }
-            }
-            if !self.symmetric {
-                // For undirected graphs the in-entries (i, s) mirror the
-                // out-entries (s, i) already scanned above (equal error and
-                // weight, and the out candidate wins the tie), so this loop
-                // only runs for directed graphs.
-                for i in 0..self.k {
-                    let e = self.in_error(i, s);
-                    if e > max_err {
-                        max_err = e;
-                    }
-                    if splittable && e > 0.0 {
-                        consider(e * size_pow(p.size(i as u32), beta), e, i as u32, false);
-                    }
-                }
-            }
-            self.row_max_err[s] = max_err;
-            self.row_best[s] = best;
+        let k = self.k;
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        dirty.clear();
+        dirty.extend(
+            (0..k as u32)
+                .filter(|&s| self.row_err_dirty[s as usize] || self.row_best_dirty[s as usize]),
+        );
+        if dirty.is_empty() {
+            self.dirty_scratch = dirty;
+            return;
         }
+        let view = SummaryView {
+            k,
+            cap: self.cap,
+            symmetric: self.symmetric,
+            out_min: &self.out_min,
+            out_max: &self.out_max,
+            in_min: &self.in_min,
+            in_max: &self.in_max,
+        };
+        if self.pool.is_some() && dirty.len() >= 2 && dirty.len() * k >= self.par_min_scan_work {
+            let pool = self.pool.clone().expect("checked above");
+            let shards = pool.slots();
+            let row_max_err = SyncSliceMut::new(&mut self.row_max_err);
+            let row_best = SyncSliceMut::new(&mut self.row_best);
+            let err_dirty = SyncSliceMut::new(&mut self.row_err_dirty);
+            let best_dirty = SyncSliceMut::new(&mut self.row_best_dirty);
+            pool.run(|slot| {
+                let (lo, hi) = chunk_range(dirty.len(), shards, slot);
+                for &s in &dirty[lo..hi] {
+                    let s = s as usize;
+                    let (max_err, best) = view.scan_row(p, s, beta);
+                    // SAFETY: the dirty list is duplicate-free and chunks
+                    // are disjoint, so each row's slots are written by one
+                    // worker.
+                    unsafe {
+                        if *err_dirty.get_mut(s) {
+                            *row_max_err.get_mut(s) = max_err;
+                            *err_dirty.get_mut(s) = false;
+                        }
+                        *row_best.get_mut(s) = best;
+                        *best_dirty.get_mut(s) = false;
+                    }
+                }
+            });
+        } else {
+            for &s in &dirty {
+                let s = s as usize;
+                let (max_err, best) = view.scan_row(p, s, beta);
+                if self.row_err_dirty[s] {
+                    self.row_max_err[s] = max_err;
+                    self.row_err_dirty[s] = false;
+                }
+                self.row_best[s] = best;
+                self.row_best_dirty[s] = false;
+            }
+        }
+        self.dirty_scratch = dirty;
     }
 
     /// Maximum q-error over all pairs and directions. Requires
-    /// [`Self::refresh`] since the last split.
+    /// [`Self::refresh`] since the last split (β-only staleness is fine:
+    /// the row maxima are β-independent).
     pub fn max_error(&self) -> f64 {
         debug_assert!(
-            self.row_dirty[..self.k].iter().all(|d| !d),
+            self.row_err_dirty[..self.k].iter().all(|d| !d),
             "max_error called with dirty witness rows; call refresh() first"
         );
         self.row_max_err[..self.k]
@@ -987,10 +1847,7 @@ impl IncrementalDegrees {
     /// stable. Requires [`Self::refresh`] since the last split (with the
     /// same `beta`).
     pub fn pick_witness(&self, p: &Partition, alpha: f64) -> Option<WitnessCandidate> {
-        debug_assert!(
-            self.row_dirty[..self.k].iter().all(|d| !d),
-            "pick_witness called with dirty witness rows; call refresh() first"
-        );
+        self.debug_assert_fresh();
         let mut best: Option<(f64, WitnessCandidate)> = None;
         for s in 0..self.k {
             let Some(row) = &self.row_best[s] else {
@@ -1013,6 +1870,56 @@ impl IncrementalDegrees {
             }
         }
         best.map(|(_, w)| w)
+    }
+
+    /// The top `max_count` witnesses by `error · |P_split|^α · |P_other|^β`
+    /// weight, at most one per split color (the engine caches one best
+    /// candidate per row, which is exactly what makes a batch of these
+    /// splits non-conflicting: distinct parents, so no split invalidates
+    /// another's membership). Ordered by descending weight with ties broken
+    /// towards the smaller color id; the first element equals
+    /// [`Self::pick_witness`]. Requires [`Self::refresh`] since the last
+    /// split (with the same `beta`).
+    pub fn pick_witnesses(
+        &self,
+        p: &Partition,
+        alpha: f64,
+        max_count: usize,
+    ) -> Vec<WitnessCandidate> {
+        self.debug_assert_fresh();
+        let mut scored: Vec<(f64, u32)> = Vec::new();
+        for s in 0..self.k {
+            if let Some(row) = &self.row_best[s] {
+                scored.push((row.weighted * size_pow(p.size(s as u32), alpha), s as u32));
+            }
+        }
+        // Witness weights are finite (errors are differences of finite
+        // sums), so the comparison is total.
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        scored.truncate(max_count);
+        scored
+            .into_iter()
+            .map(|(_, s)| {
+                let row = self.row_best[s as usize].as_ref().expect("scored row");
+                WitnessCandidate {
+                    split_color: s,
+                    other_color: row.other,
+                    outgoing: row.outgoing,
+                    error: row.error,
+                }
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn debug_assert_fresh(&self) {
+        debug_assert!(
+            self.row_err_dirty[..self.k]
+                .iter()
+                .chain(self.row_best_dirty[..self.k].iter())
+                .all(|d| !d),
+            "witness pick with dirty rows; call refresh() first"
+        );
     }
 
     /// Cross-check the full maintained state against a from-scratch
@@ -1055,6 +1962,96 @@ impl IncrementalDegrees {
                             ));
                         }
                     }
+                    // Tracked extremum witnesses, when known, must attain
+                    // their entry's value and belong to the member axis.
+                    for (name, arg, val, member_color, acc) in [
+                        (
+                            "out_min_arg",
+                            self.out_min_arg[idx],
+                            self.out_min[idx],
+                            i,
+                            &self.dout,
+                        ),
+                        (
+                            "out_max_arg",
+                            self.out_max_arg[idx],
+                            self.out_max[idx],
+                            i,
+                            &self.dout,
+                        ),
+                    ] {
+                        if arg != NO_ARG {
+                            let attained = acc[arg as usize * self.cap + j];
+                            if p.color_of(arg) as usize != member_color || attained != val {
+                                return Err(format!(
+                                    "{name}[{i}][{j}]: witness {arg} (color {}, value {attained}) does not attain {val}",
+                                    p.color_of(arg)
+                                ));
+                            }
+                        }
+                    }
+                    if !self.symmetric {
+                        for (name, arg, val) in [
+                            ("in_min_arg", self.in_min_arg[idx], self.in_min[idx]),
+                            ("in_max_arg", self.in_max_arg[idx], self.in_max[idx]),
+                        ] {
+                            if arg != NO_ARG {
+                                let attained = self.din[arg as usize * self.cap + i];
+                                if p.color_of(arg) as usize != j || attained != val {
+                                    return Err(format!(
+                                        "{name}[{i}][{j}]: witness {arg} (color {}, value {attained}) does not attain {val}",
+                                        p.color_of(arg)
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.track_summaries {
+            // Nonzero-member counts, recounted from the maintained
+            // accumulators (which are themselves verified below). Note
+            // these deliberately count maintained *values*: with inexact
+            // weights an incremental subtraction can leave a tiny residue
+            // where a fresh sum gives an exact zero, and the zero-skip
+            // rule is sound for exactly this value-based count.
+            for i in 0..self.k {
+                let mut counts = vec![0u32; self.k];
+                for &u in p.members(i as u32) {
+                    let base = u as usize * self.cap;
+                    for (j, count) in counts.iter_mut().enumerate() {
+                        *count += u32::from(self.dout[base + j] != 0.0);
+                    }
+                }
+                for (j, &count) in counts.iter().enumerate() {
+                    if self.out_nz[i * self.cap + j] != count {
+                        return Err(format!(
+                            "out_nz[{i}][{j}]: incremental {} vs recounted {}",
+                            self.out_nz[i * self.cap + j],
+                            count
+                        ));
+                    }
+                }
+            }
+            if !self.symmetric {
+                for j in 0..self.k {
+                    let mut counts = vec![0u32; self.k];
+                    for &v in p.members(j as u32) {
+                        let base = v as usize * self.cap;
+                        for (i, count) in counts.iter_mut().enumerate() {
+                            *count += u32::from(self.din[base + i] != 0.0);
+                        }
+                    }
+                    for (i, &count) in counts.iter().enumerate() {
+                        if self.in_nz[i * self.cap + j] != count {
+                            return Err(format!(
+                                "in_nz[{i}][{j}]: incremental {} vs recounted {}",
+                                self.in_nz[i * self.cap + j],
+                                count
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -1094,62 +2091,232 @@ impl IncrementalDegrees {
 
     /// Rebuild every pair summary indexed along color `s`'s member axis:
     /// out-entries `(s, j)` and in-entries `(j, s)` for all `j`, by scanning
-    /// the accumulator rows of `P_s`'s members. `O(|P_s| · k)`.
+    /// the accumulator rows of `P_s`'s members. `O(|P_s| · k)`, sharded
+    /// across the pool for large colors (per-shard min/max rows merged in
+    /// shard order with exact comparisons — same values and extremum
+    /// witnesses as the serial member-order scan).
     fn recompute_color_axis(&mut self, p: &Partition, s: usize) {
+        let k = self.k;
+        let members = p.members(s as u32);
+        if self.pool.is_some() && members.len() >= 2 && members.len() * k >= self.par_min_scan_work
+        {
+            self.recompute_color_axis_sharded(p, s);
+        } else {
+            self.recompute_color_axis_serial(p, s);
+        }
+        self.row_err_dirty[s] = true;
+        self.row_best_dirty[s] = true;
+    }
+
+    fn recompute_color_axis_serial(&mut self, p: &Partition, s: usize) {
         let k = self.k;
         let cap = self.cap;
         let (omin, rest) = self.row_scratch.split_at_mut(cap);
         let (omax, rest) = rest.split_at_mut(cap);
         let (imin, imax) = rest.split_at_mut(cap);
+        let (aomin, arest) = self.row_arg_scratch.split_at_mut(cap);
+        let (aomax, arest) = arest.split_at_mut(cap);
+        let (aimin, aimax) = arest.split_at_mut(cap);
+        let (onz, inz) = self.row_nz_scratch.split_at_mut(cap);
         omin[..k].fill(f64::INFINITY);
         omax[..k].fill(f64::NEG_INFINITY);
         imin[..k].fill(f64::INFINITY);
         imax[..k].fill(f64::NEG_INFINITY);
+        aomin[..k].fill(NO_ARG);
+        aomax[..k].fill(NO_ARG);
+        aimin[..k].fill(NO_ARG);
+        aimax[..k].fill(NO_ARG);
+        onz[..k].fill(0);
+        inz[..k].fill(0);
         if self.symmetric {
             for &u in p.members(s as u32) {
                 let base = u as usize * cap;
                 for j in 0..k {
                     let o = self.dout[base + j];
+                    onz[j] += u32::from(o != 0.0);
                     if o < omin[j] {
                         omin[j] = o;
+                        aomin[j] = u;
                     }
                     if o > omax[j] {
                         omax[j] = o;
+                        aomax[j] = u;
                     }
                 }
             }
             for j in 0..k {
                 self.out_min[s * cap + j] = omin[j];
                 self.out_max[s * cap + j] = omax[j];
+                self.out_min_arg[s * cap + j] = aomin[j];
+                self.out_max_arg[s * cap + j] = aomax[j];
+                self.out_nz[s * cap + j] = onz[j];
             }
         } else {
             for &u in p.members(s as u32) {
                 let base = u as usize * cap;
                 for j in 0..k {
                     let o = self.dout[base + j];
+                    onz[j] += u32::from(o != 0.0);
                     if o < omin[j] {
                         omin[j] = o;
+                        aomin[j] = u;
                     }
                     if o > omax[j] {
                         omax[j] = o;
+                        aomax[j] = u;
                     }
                     let i = self.din[base + j];
+                    inz[j] += u32::from(i != 0.0);
                     if i < imin[j] {
                         imin[j] = i;
+                        aimin[j] = u;
                     }
                     if i > imax[j] {
                         imax[j] = i;
+                        aimax[j] = u;
                     }
                 }
             }
             for j in 0..k {
                 self.out_min[s * cap + j] = omin[j];
                 self.out_max[s * cap + j] = omax[j];
+                self.out_min_arg[s * cap + j] = aomin[j];
+                self.out_max_arg[s * cap + j] = aomax[j];
+                self.out_nz[s * cap + j] = onz[j];
                 self.in_min[j * cap + s] = imin[j];
                 self.in_max[j * cap + s] = imax[j];
+                self.in_min_arg[j * cap + s] = aimin[j];
+                self.in_max_arg[j * cap + s] = aimax[j];
+                self.in_nz[j * cap + s] = inz[j];
             }
         }
-        self.row_dirty[s] = true;
+    }
+
+    /// The sharded variant of the member-axis rebuild: each worker scans a
+    /// contiguous chunk of `P_s`'s members into its own 4-row min/max
+    /// scratch, and the caller merges the shard rows in shard order (strict
+    /// comparisons keep the first attainer, so the merge equals the serial
+    /// member-order scan bit-for-bit, extremum witnesses included).
+    fn recompute_color_axis_sharded(&mut self, p: &Partition, s: usize) {
+        let k = self.k;
+        let cap = self.cap;
+        let pool = self.pool.clone().expect("sharded path requires a pool");
+        let shards = pool.slots();
+        let members = p.members(s as u32);
+        let symmetric = self.symmetric;
+        for sc in &mut self.shard_scratch {
+            if sc.axis.len() < 4 * cap {
+                sc.axis.resize(4 * cap, 0.0);
+                sc.axis_arg.resize(4 * cap, NO_ARG);
+                sc.axis_nz.resize(2 * cap, 0);
+            }
+        }
+        {
+            let dout = &self.dout;
+            let din = &self.din;
+            let scratch = SyncSliceMut::new(&mut self.shard_scratch);
+            pool.run(|slot| {
+                let (lo, hi) = chunk_range(members.len(), shards, slot);
+                // SAFETY: each slot touches only its own scratch entry.
+                let shard = unsafe { scratch.get_mut(slot) };
+                let (omin, rest) = shard.axis.split_at_mut(cap);
+                let (omax, rest) = rest.split_at_mut(cap);
+                let (imin, imax) = rest.split_at_mut(cap);
+                let (aomin, arest) = shard.axis_arg.split_at_mut(cap);
+                let (aomax, arest) = arest.split_at_mut(cap);
+                let (aimin, aimax) = arest.split_at_mut(cap);
+                let (onz, inz) = shard.axis_nz.split_at_mut(cap);
+                omin[..k].fill(f64::INFINITY);
+                omax[..k].fill(f64::NEG_INFINITY);
+                aomin[..k].fill(NO_ARG);
+                aomax[..k].fill(NO_ARG);
+                onz[..k].fill(0);
+                if !symmetric {
+                    imin[..k].fill(f64::INFINITY);
+                    imax[..k].fill(f64::NEG_INFINITY);
+                    aimin[..k].fill(NO_ARG);
+                    aimax[..k].fill(NO_ARG);
+                    inz[..k].fill(0);
+                }
+                for &u in &members[lo..hi] {
+                    let base = u as usize * cap;
+                    for j in 0..k {
+                        let o = dout[base + j];
+                        onz[j] += u32::from(o != 0.0);
+                        if o < omin[j] {
+                            omin[j] = o;
+                            aomin[j] = u;
+                        }
+                        if o > omax[j] {
+                            omax[j] = o;
+                            aomax[j] = u;
+                        }
+                    }
+                    if !symmetric {
+                        for j in 0..k {
+                            let i = din[base + j];
+                            inz[j] += u32::from(i != 0.0);
+                            if i < imin[j] {
+                                imin[j] = i;
+                                aimin[j] = u;
+                            }
+                            if i > imax[j] {
+                                imax[j] = i;
+                                aimax[j] = u;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for j in 0..k {
+            let mut omn = f64::INFINITY;
+            let mut omx = f64::NEG_INFINITY;
+            let (mut aomn, mut aomx) = (NO_ARG, NO_ARG);
+            let mut onz = 0u32;
+            let mut imn = f64::INFINITY;
+            let mut imx = f64::NEG_INFINITY;
+            let (mut aimn, mut aimx) = (NO_ARG, NO_ARG);
+            let mut inz = 0u32;
+            for sc in &self.shard_scratch[..shards] {
+                let v = sc.axis[j];
+                if v < omn {
+                    omn = v;
+                    aomn = sc.axis_arg[j];
+                }
+                let v = sc.axis[cap + j];
+                if v > omx {
+                    omx = v;
+                    aomx = sc.axis_arg[cap + j];
+                }
+                onz += sc.axis_nz[j];
+                if !symmetric {
+                    let v = sc.axis[2 * cap + j];
+                    if v < imn {
+                        imn = v;
+                        aimn = sc.axis_arg[2 * cap + j];
+                    }
+                    let v = sc.axis[3 * cap + j];
+                    if v > imx {
+                        imx = v;
+                        aimx = sc.axis_arg[3 * cap + j];
+                    }
+                    inz += sc.axis_nz[cap + j];
+                }
+            }
+            self.out_min[s * cap + j] = omn;
+            self.out_max[s * cap + j] = omx;
+            self.out_min_arg[s * cap + j] = aomn;
+            self.out_max_arg[s * cap + j] = aomx;
+            self.out_nz[s * cap + j] = onz;
+            if !symmetric {
+                self.in_min[j * cap + s] = imn;
+                self.in_max[j * cap + s] = imx;
+                self.in_min_arg[j * cap + s] = aimn;
+                self.in_max_arg[j * cap + s] = aimx;
+                self.in_nz[j * cap + s] = inz;
+            }
+        }
     }
 
     /// Collect the distinct neighbors of `moved` (sources of their in-edges
@@ -1187,24 +2354,36 @@ impl IncrementalDegrees {
         self.touched_colors.clear();
     }
 
-    /// Patch one pair summary entry for a touched node whose accumulator
-    /// moved from `old` to `new`, and record the node's `child`-column value
-    /// for the batch finalization. `row`/`col` index the entry in the
-    /// affected matrix (`EntryKind` chooses which); the *batched* color is
-    /// the one whose member axis the entry ranges over.
+    /// Patch one pair summary entry for a touched node `u` whose
+    /// accumulator moved from `old` to `new`, and record the node's
+    /// `child`-column value for the batch finalization. `row`/`col` index
+    /// the entry in the affected matrix (`EntryKind` chooses which); the
+    /// *batched* color is the one whose member axis the entry ranges over.
+    #[allow(clippy::too_many_arguments)]
     fn patch_entry(
         &mut self,
         kind: EntryKind,
         row: usize,
         col: usize,
+        u: NodeId,
         old: f64,
         new: f64,
         child_val: f64,
     ) {
         let idx = row * self.cap + col;
-        let (cur_min, cur_max) = match kind {
-            EntryKind::OutCol => (self.out_min[idx], self.out_max[idx]),
-            EntryKind::InRow => (self.in_min[idx], self.in_max[idx]),
+        let (cur_min, cur_max, arg_min, arg_max) = match kind {
+            EntryKind::OutCol => (
+                self.out_min[idx],
+                self.out_max[idx],
+                self.out_min_arg[idx],
+                self.out_max_arg[idx],
+            ),
+            EntryKind::InRow => (
+                self.in_min[idx],
+                self.in_max[idx],
+                self.in_min_arg[idx],
+                self.in_max_arg[idx],
+            ),
         };
         let batched_color = match kind {
             EntryKind::OutCol => row as u32,
@@ -1218,113 +2397,205 @@ impl IncrementalDegrees {
         } else {
             let fresh = self.touched_colors.len();
             self.color_slot[batched_color as usize] = fresh as u32;
-            self.touched_colors.push(TouchedColor {
-                color: batched_color,
-                orig_min: cur_min,
-                orig_max: cur_max,
-                rescan: false,
-                count: 0,
-                child_min: f64::INFINITY,
-                child_max: f64::NEG_INFINITY,
-            });
+            self.touched_colors
+                .push(TouchedColor::fresh(batched_color, cur_min, cur_max));
             fresh
         };
         let record = &mut self.touched_colors[slot];
-        // A touched node that held the batch-start extremum and moved
-        // strictly inward may leave the entry without its extremum.
-        if (old == record.orig_max && new < old) || (old == record.orig_min && new > old) {
-            record.rescan = true;
+        // The entry loses its extremum only when its *tracked attainer*
+        // moves strictly inward (an exact test — ties at the extremum no
+        // longer force a rescan); an unknown attainer falls back to the
+        // conservative batch-start-extremum heuristic. The finalize step
+        // may still cancel a flagged side via the zero-count rule.
+        if new < old {
+            if old == record.orig_max && (arg_max == NO_ARG || arg_max == u) {
+                record.rescan_max = true;
+            }
+        } else if new > old && old == record.orig_min && (arg_min == NO_ARG || arg_min == u) {
+            record.rescan_min = true;
         }
         record.count += 1;
+        if (old == 0.0) != (new == 0.0) {
+            record.nz_delta += if new != 0.0 { 1 } else { -1 };
+        }
+        if child_val != 0.0 {
+            record.child_nonzero += 1;
+        }
         if child_val < record.child_min {
             record.child_min = child_val;
+            record.child_min_arg = u;
         }
         if child_val > record.child_max {
             record.child_max = child_val;
+            record.child_max_arg = u;
         }
-        let (emn, emx) = match kind {
-            EntryKind::OutCol => (&mut self.out_min[idx], &mut self.out_max[idx]),
-            EntryKind::InRow => (&mut self.in_min[idx], &mut self.in_max[idx]),
+        let (emn, emx, amn, amx) = match kind {
+            EntryKind::OutCol => (
+                &mut self.out_min[idx],
+                &mut self.out_max[idx],
+                &mut self.out_min_arg[idx],
+                &mut self.out_max_arg[idx],
+            ),
+            EntryKind::InRow => (
+                &mut self.in_min[idx],
+                &mut self.in_max[idx],
+                &mut self.in_min_arg[idx],
+                &mut self.in_max_arg[idx],
+            ),
         };
         if new < *emn {
             *emn = new;
+            *amn = u;
         }
         if new > *emx {
             *emx = new;
+            *amx = u;
         }
     }
 
-    /// Recompute out-entry `(i, j)` from `P_i`'s members.
+    /// Recompute out-entry `(i, j)` from `P_i`'s members (values and
+    /// extremum witnesses; first attainer in member order wins ties).
     fn rescan_out_entry(&mut self, p: &Partition, i: usize, j: usize) {
         let cap = self.cap;
-        let mut mn = f64::INFINITY;
-        let mut mx = f64::NEG_INFINITY;
-        for &u in p.members(i as u32) {
-            let x = self.dout[u as usize * cap + j];
-            if x < mn {
-                mn = x;
-            }
-            if x > mx {
-                mx = x;
-            }
-        }
+        let (mn, mx, amn, amx, nz) = scan_entry_column(p.members(i as u32), &self.dout, cap, j);
         self.out_min[i * cap + j] = mn;
         self.out_max[i * cap + j] = mx;
+        self.out_min_arg[i * cap + j] = amn;
+        self.out_max_arg[i * cap + j] = amx;
+        self.out_nz[i * cap + j] = nz;
     }
 
     /// Recompute in-entry `(i, j)` from `P_j`'s members.
     fn rescan_in_entry(&mut self, p: &Partition, i: usize, j: usize) {
         let cap = self.cap;
-        let mut mn = f64::INFINITY;
-        let mut mx = f64::NEG_INFINITY;
-        for &v in p.members(j as u32) {
-            let x = self.din[v as usize * cap + i];
-            if x < mn {
-                mn = x;
-            }
-            if x > mx {
-                mx = x;
-            }
-        }
+        let (mn, mx, amn, amx, nz) = scan_entry_column(p.members(j as u32), &self.din, cap, i);
         self.in_min[i * cap + j] = mn;
         self.in_max[i * cap + j] = mx;
+        self.in_min_arg[i * cap + j] = amn;
+        self.in_max_arg[i * cap + j] = amx;
+        self.in_nz[i * cap + j] = nz;
+    }
+
+    /// Recompute a batch of out-entries `(i, j)` (each scanning `P_i`),
+    /// sharding across the pool when the total member-scan work is large.
+    /// Each entry is written by exactly one worker, so the results are the
+    /// same as the serial loop.
+    fn rescan_out_entries(&mut self, p: &Partition, entries: &[(u32, u32)]) {
+        let work: usize = entries.iter().map(|&(i, _)| p.size(i)).sum();
+        if self.pool.is_none() || entries.len() < 2 || work < self.par_min_scan_work {
+            for &(i, j) in entries {
+                self.rescan_out_entry(p, i as usize, j as usize);
+            }
+            return;
+        }
+        let cap = self.cap;
+        let pool = self.pool.clone().expect("checked above");
+        let shards = pool.slots();
+        let dout = &self.dout;
+        let emin = SyncSliceMut::new(&mut self.out_min);
+        let emax = SyncSliceMut::new(&mut self.out_max);
+        let amin = SyncSliceMut::new(&mut self.out_min_arg);
+        let amax = SyncSliceMut::new(&mut self.out_max_arg);
+        let enz = SyncSliceMut::new(&mut self.out_nz);
+        pool.run(|slot| {
+            let (lo, hi) = chunk_range(entries.len(), shards, slot);
+            for &(i, j) in &entries[lo..hi] {
+                let (mn, mx, an, ax, nz) = scan_entry_column(p.members(i), dout, cap, j as usize);
+                let idx = i as usize * cap + j as usize;
+                // SAFETY: the entry list is duplicate-free and chunks are
+                // disjoint, so each index is written by one worker.
+                unsafe {
+                    *emin.get_mut(idx) = mn;
+                    *emax.get_mut(idx) = mx;
+                    *amin.get_mut(idx) = an;
+                    *amax.get_mut(idx) = ax;
+                    *enz.get_mut(idx) = nz;
+                }
+            }
+        });
+    }
+
+    /// Recompute a batch of in-entries `(i, j)` (each scanning `P_j`); the
+    /// in-direction mirror of [`Self::rescan_out_entries`].
+    fn rescan_in_entries(&mut self, p: &Partition, entries: &[(u32, u32)]) {
+        let work: usize = entries.iter().map(|&(_, j)| p.size(j)).sum();
+        if self.pool.is_none() || entries.len() < 2 || work < self.par_min_scan_work {
+            for &(i, j) in entries {
+                self.rescan_in_entry(p, i as usize, j as usize);
+            }
+            return;
+        }
+        let cap = self.cap;
+        let pool = self.pool.clone().expect("checked above");
+        let shards = pool.slots();
+        let din = &self.din;
+        let emin = SyncSliceMut::new(&mut self.in_min);
+        let emax = SyncSliceMut::new(&mut self.in_max);
+        let amin = SyncSliceMut::new(&mut self.in_min_arg);
+        let amax = SyncSliceMut::new(&mut self.in_max_arg);
+        let enz = SyncSliceMut::new(&mut self.in_nz);
+        pool.run(|slot| {
+            let (lo, hi) = chunk_range(entries.len(), shards, slot);
+            for &(i, j) in &entries[lo..hi] {
+                let (mn, mx, an, ax, nz) = scan_entry_column(p.members(j), din, cap, i as usize);
+                let idx = i as usize * cap + j as usize;
+                // SAFETY: disjoint duplicate-free chunks (see
+                // rescan_out_entries).
+                unsafe {
+                    *emin.get_mut(idx) = mn;
+                    *emax.get_mut(idx) = mx;
+                    *amin.get_mut(idx) = an;
+                    *amax.get_mut(idx) = ax;
+                    *enz.get_mut(idx) = nz;
+                }
+            }
+        });
     }
 
     /// Grow the column capacity to hold `needed` colors (amortized).
+    /// Degrees-only engines keep sparse rows, so only the capacity itself
+    /// changes there.
     fn ensure_capacity(&mut self, needed: usize) {
         if needed <= self.cap {
             return;
         }
         let new_cap = needed.next_power_of_two();
         let old_cap = self.cap;
-        let regrow = |data: &mut Vec<f64>, rows: usize| {
-            let mut grown = vec![0.0; rows * new_cap];
-            for r in 0..rows {
-                grown[r * new_cap..r * new_cap + old_cap]
-                    .copy_from_slice(&data[r * old_cap..(r + 1) * old_cap]);
-            }
-            *data = grown;
-        };
-        regrow(&mut self.dout, self.n);
-        if !self.symmetric {
-            regrow(&mut self.din, self.n);
-        }
         if self.track_summaries {
-            regrow(&mut self.out_min, old_cap);
-            regrow(&mut self.out_max, old_cap);
+            regrow(&mut self.dout, self.n, old_cap, new_cap, 0.0);
+            if !self.symmetric {
+                regrow(&mut self.din, self.n, old_cap, new_cap, 0.0);
+            }
+            regrow(&mut self.out_min, old_cap, old_cap, new_cap, 0.0);
+            regrow(&mut self.out_max, old_cap, old_cap, new_cap, 0.0);
+            regrow(&mut self.out_min_arg, old_cap, old_cap, new_cap, NO_ARG);
+            regrow(&mut self.out_max_arg, old_cap, old_cap, new_cap, NO_ARG);
+            regrow(&mut self.out_nz, old_cap, old_cap, new_cap, 0);
             self.out_min.resize(new_cap * new_cap, 0.0);
             self.out_max.resize(new_cap * new_cap, 0.0);
+            self.out_min_arg.resize(new_cap * new_cap, NO_ARG);
+            self.out_max_arg.resize(new_cap * new_cap, NO_ARG);
+            self.out_nz.resize(new_cap * new_cap, 0);
             if !self.symmetric {
-                regrow(&mut self.in_min, old_cap);
-                regrow(&mut self.in_max, old_cap);
+                regrow(&mut self.in_min, old_cap, old_cap, new_cap, 0.0);
+                regrow(&mut self.in_max, old_cap, old_cap, new_cap, 0.0);
+                regrow(&mut self.in_min_arg, old_cap, old_cap, new_cap, NO_ARG);
+                regrow(&mut self.in_max_arg, old_cap, old_cap, new_cap, NO_ARG);
+                regrow(&mut self.in_nz, old_cap, old_cap, new_cap, 0);
                 self.in_min.resize(new_cap * new_cap, 0.0);
                 self.in_max.resize(new_cap * new_cap, 0.0);
+                self.in_min_arg.resize(new_cap * new_cap, NO_ARG);
+                self.in_max_arg.resize(new_cap * new_cap, NO_ARG);
+                self.in_nz.resize(new_cap * new_cap, 0);
             }
             self.row_max_err.resize(new_cap, 0.0);
             self.row_best.resize(new_cap, None);
-            self.row_dirty.resize(new_cap, true);
+            self.row_err_dirty.resize(new_cap, true);
+            self.row_best_dirty.resize(new_cap, true);
             self.color_slot.resize(new_cap, u32::MAX);
             self.row_scratch.resize(4 * new_cap, 0.0);
+            self.row_arg_scratch.resize(4 * new_cap, NO_ARG);
+            self.row_nz_scratch.resize(2 * new_cap, 0);
         }
         self.cap = new_cap;
     }
@@ -1342,8 +2613,27 @@ pub fn pick_witness_scratch(
     alpha: f64,
     beta: f64,
 ) -> Option<WitnessCandidate> {
+    pick_witnesses_scratch(m, p, alpha, beta, 1)
+        .into_iter()
+        .next()
+}
+
+/// The top-`max_count` witnesses over from-scratch [`DegreeMatrices`], at
+/// most one per split color, ordered by descending weight with ties broken
+/// towards the smaller color id — the reference-mode counterpart of
+/// [`IncrementalDegrees::pick_witnesses`]. Because the per-row scan and the
+/// cross-row ordering mirror the engine's exactly, batched reference
+/// rounds pick the same candidates as batched incremental rounds whenever
+/// the underlying matrices are numerically identical.
+pub fn pick_witnesses_scratch(
+    m: &DegreeMatrices,
+    p: &Partition,
+    alpha: f64,
+    beta: f64,
+    max_count: usize,
+) -> Vec<WitnessCandidate> {
     let k = m.k;
-    let mut best: Option<(f64, WitnessCandidate)> = None;
+    let mut scored: Vec<(f64, u32, RowBest)> = Vec::new();
     for s in 0..k {
         if p.size(s as u32) < 2 {
             continue;
@@ -1373,24 +2663,118 @@ pub fn pick_witness_scratch(
             }
         }
         if let Some(row) = row_best {
-            let weighted = row.weighted * size_pow(p.size(s as u32), alpha);
-            match &best {
-                Some((bw, _)) if *bw >= weighted => {}
-                _ => {
-                    best = Some((
-                        weighted,
-                        WitnessCandidate {
-                            split_color: s as u32,
-                            other_color: row.other,
-                            outgoing: row.outgoing,
-                            error: row.error,
-                        },
-                    ))
-                }
+            scored.push((
+                row.weighted * size_pow(p.size(s as u32), alpha),
+                s as u32,
+                row,
+            ));
+        }
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    scored.truncate(max_count);
+    scored
+        .into_iter()
+        .map(|(_, s, row)| WitnessCandidate {
+            split_color: s,
+            other_color: row.other,
+            outgoing: row.outgoing,
+            error: row.error,
+        })
+        .collect()
+}
+
+/// Regrow a row-major matrix from `old_cap` to `new_cap` columns, filling
+/// fresh cells with `fill`.
+fn regrow<T: Copy>(data: &mut Vec<T>, rows: usize, old_cap: usize, new_cap: usize, fill: T) {
+    let mut grown = vec![fill; rows * new_cap];
+    for r in 0..rows {
+        grown[r * new_cap..r * new_cap + old_cap]
+            .copy_from_slice(&data[r * old_cap..(r + 1) * old_cap]);
+    }
+    *data = grown;
+}
+
+/// Min/max (with first-attainer witnesses) of `acc[u * cap + col]` over the
+/// given members, in member order — the shared kernel of every entry
+/// rescan.
+#[inline]
+#[allow(clippy::type_complexity)]
+fn scan_entry_column(
+    members: &[NodeId],
+    acc: &[f64],
+    cap: usize,
+    col: usize,
+) -> (f64, f64, u32, u32, u32) {
+    let mut mn = f64::INFINITY;
+    let mut mx = f64::NEG_INFINITY;
+    let mut amn = NO_ARG;
+    let mut amx = NO_ARG;
+    let mut nz = 0u32;
+    for &u in members {
+        let x = acc[u as usize * cap + col];
+        nz += u32::from(x != 0.0);
+        if x < mn {
+            mn = x;
+            amn = u;
+        }
+        if x > mx {
+            mx = x;
+            amx = u;
+        }
+    }
+    (mn, mx, amn, amx, nz)
+}
+
+/// Build one sparse accumulator row from a node's arc slices: per-color
+/// weight sums in arc order (stable sort keeps same-color weights in arc
+/// order, so each sum matches the dense accumulation bit-for-bit), zeros
+/// dropped, sorted by color.
+fn sparse_row_from_arcs((nbrs, wts): (&[NodeId], &[f64]), p: &Partition) -> Vec<(u32, f64)> {
+    let mut pairs: Vec<(u32, f64)> = nbrs
+        .iter()
+        .zip(wts.iter())
+        .map(|(&u, &w)| (p.color_of(u), w))
+        .collect();
+    pairs.sort_by_key(|&(c, _)| c);
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    for (c, w) in pairs {
+        match row.last_mut() {
+            Some((lc, lw)) if *lc == c => *lw += w,
+            _ => row.push((c, w)),
+        }
+    }
+    row.retain(|&(_, w)| w != 0.0);
+    row
+}
+
+/// Read a sparse accumulator row entry (0.0 when absent).
+#[inline]
+fn sparse_get(row: &[(u32, f64)], color: u32) -> f64 {
+    match row.binary_search_by_key(&color, |&(c, _)| c) {
+        Ok(i) => row[i].1,
+        Err(_) => 0.0,
+    }
+}
+
+/// Add `delta` to a sparse row's `color` entry (inserting or removing as
+/// needed; an exact zero is dropped, matching the "no entry reads as 0.0"
+/// convention).
+fn sparse_add(row: &mut Vec<(u32, f64)>, color: u32, delta: f64) {
+    match row.binary_search_by_key(&color, |&(c, _)| c) {
+        Ok(i) => {
+            let w = row[i].1 + delta;
+            if w == 0.0 {
+                row.remove(i);
+            } else {
+                row[i].1 = w;
+            }
+        }
+        Err(i) => {
+            if delta != 0.0 {
+                row.insert(i, (color, delta));
             }
         }
     }
-    best.map(|(_, w)| w)
 }
 
 /// Which matrix a [`IncrementalDegrees::patch_entry`] call updates.

@@ -29,6 +29,36 @@
 //! reference paths share the selection code operation-for-operation, so
 //! they remain bit-identical to each other.
 //!
+//! # Batched witness rounds
+//!
+//! [`RothkoConfig::batch`] sets the number of witness splits per
+//! *synchronization round* (`B`). Each round refreshes the witness cache
+//! once, picks the top `B` candidates — at most one per split color, which
+//! is what makes the batch non-conflicting: distinct parents, so no split
+//! in the round invalidates another's membership — applies them in rank
+//! order, and only then synchronizes again, cutting synchronization points
+//! (and witness refreshes) from `O(steps)` to `O(steps / B)`.
+//!
+//! Semantics versus the paper's greedy order: with `B = 1` the refinement
+//! is *exactly* the greedy algorithm (pinned bit-identical to the serial
+//! engine, witness sequence included). With `B > 1`, candidates ranked 2
+//! to B were scored before the round's earlier splits landed, so they may
+//! differ from what a strict re-ranking would have chosen; split
+//! thresholds still read the *live* accumulator state (a candidate made
+//! degenerate mid-round is skipped, not applied blindly), the error target
+//! is only consulted between rounds (a round may overshoot it by up to
+//! `B − 1` splits), and color budgets and iteration caps always truncate
+//! the round (checkpoints land exactly). Batched checkpoint ladders are
+//! budget-schedule-dependent; see [`RothkoRun::run_to_budget`].
+//!
+//! Consumers that mirror each split incrementally use
+//! [`RothkoRun::step_with`] (or [`crate::sweep::ColoringSweep`]): the
+//! callback fires *inside* the round after every split, with the partition
+//! exactly one split ahead — the same lockstep contract as before, so
+//! multi-split rounds need no consumer changes. [`RothkoConfig::threads`]
+//! has no semantic effect at all; it only shards the engine's update
+//! phases (see [`crate::q_error`]).
+//!
 //! # Budget sweeps
 //!
 //! [`RothkoRun::run_to_budget`] advances a run until the coloring has a
@@ -44,9 +74,10 @@
 //! their state in lockstep; [`crate::sweep::ColoringSweep`] packages this
 //! into a checkpointing driver.
 
+use crate::parallel::default_threads;
 use crate::partition::{Partition, SplitEvent};
 use crate::q_error::{
-    pick_witness_scratch, q_error_report, DegreeMatrices, IncrementalDegrees, WitnessCandidate,
+    pick_witnesses_scratch, q_error_report, DegreeMatrices, IncrementalDegrees, WitnessCandidate,
 };
 use qsc_graph::Graph;
 
@@ -83,6 +114,18 @@ pub struct RothkoConfig {
     /// Hard cap on the number of refinement steps (safety valve; `None`
     /// means "until one of the stopping conditions is met").
     pub max_iterations: Option<usize>,
+    /// Worker threads for the incremental engine's sharded split/refresh
+    /// phases. `None` reads the `QSC_THREADS` environment variable
+    /// (defaulting to 1); results are bit-identical for every value.
+    pub threads: Option<usize>,
+    /// Witness splits per synchronization round (the batch size `B`). Each
+    /// round refreshes the witness cache once, picks the top `B` candidates
+    /// with *distinct* split colors, applies all of them, and only then
+    /// synchronizes again — cutting synchronization points from `O(steps)`
+    /// to `O(steps / B)`. `B = 1` is exactly the paper's greedy order;
+    /// larger batches may pick splits the strict greedy order would have
+    /// re-ranked mid-round (see the module docs). Must be at least 1.
+    pub batch: usize,
 }
 
 impl Default for RothkoConfig {
@@ -95,6 +138,8 @@ impl Default for RothkoConfig {
             split_mean: SplitMean::Arithmetic,
             initial: None,
             max_iterations: None,
+            threads: None,
+            batch: 1,
         }
     }
 }
@@ -174,6 +219,19 @@ impl RothkoConfig {
         self.initial = Some(p);
         self
     }
+
+    /// Builder-style setter for the engine worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Builder-style setter for the witness batch size `B` (clamped to at
+    /// least 1).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
 }
 
 /// The result of a Rothko run: a coloring plus its quality metrics.
@@ -245,7 +303,7 @@ pub struct RothkoRun<'g> {
     config: RothkoConfig,
     partition: Partition,
     /// The incremental engine (`None` in from-scratch reference mode,
-    /// which recomputes [`DegreeMatrices`] from the graph each step — the
+    /// which recomputes [`DegreeMatrices`] from the graph each round — the
     /// seed's original per-step cost model).
     engine: Option<IncrementalDegrees>,
     /// Dense per-node degree scratch reused across steps by
@@ -253,16 +311,19 @@ pub struct RothkoRun<'g> {
     deg_scratch: Vec<f64>,
     iterations: usize,
     last_max_error: f64,
-    /// The event of the most recent successful split (the split's
-    /// `moved_nodes` vector is moved here, not cloned, so keeping it costs
-    /// nothing on the hot path).
-    last_event: Option<SplitEvent>,
+    /// The splits of the most recent synchronization round, in application
+    /// order (each event's `moved_nodes` vector is moved here, not cloned,
+    /// so keeping them costs nothing on the hot path), plus the witnesses
+    /// that caused them.
+    round_events: Vec<SplitEvent>,
+    round_witnesses: Vec<WitnessCandidate>,
     done: bool,
 }
 
 impl<'g> RothkoRun<'g> {
     fn new(graph: &'g Graph, config: RothkoConfig, from_scratch: bool) -> Self {
         let n = graph.num_nodes();
+        assert!(config.batch >= 1, "batch size must be at least 1");
         let partition = match &config.initial {
             Some(p) => {
                 assert_eq!(p.num_nodes(), n, "initial partition size mismatch");
@@ -273,7 +334,20 @@ impl<'g> RothkoRun<'g> {
         let engine = if from_scratch {
             None
         } else {
-            Some(IncrementalDegrees::new(graph, &partition))
+            let threads = config.threads.unwrap_or_else(default_threads);
+            let mut engine = IncrementalDegrees::new_with_threads(graph, &partition, threads);
+            // A modest finite color budget is a capacity hint: allocate
+            // the accumulator rows and summary matrices once instead of
+            // regrowing them several times mid-run. Large or unbounded
+            // budgets keep the default geometric growth — the run may
+            // stop far short of them (error target met, refinement
+            // exhausted), and pre-reserving n × budget accumulators up
+            // front would turn that early stop into a memory cliff.
+            const RESERVE_BUDGET_LIMIT: usize = 4096;
+            if config.max_colors <= RESERVE_BUDGET_LIMIT {
+                engine.reserve_colors(config.max_colors);
+            }
+            Some(engine)
         };
         let done = n == 0;
         RothkoRun {
@@ -284,7 +358,8 @@ impl<'g> RothkoRun<'g> {
             deg_scratch: vec![0.0; n],
             iterations: 0,
             last_max_error: f64::INFINITY,
-            last_event: None,
+            round_events: Vec::new(),
+            round_witnesses: Vec::new(),
             done,
         }
     }
@@ -315,19 +390,59 @@ impl<'g> RothkoRun<'g> {
         self.graph
     }
 
-    /// The [`SplitEvent`] of the most recent successful [`Self::step`], or
-    /// `None` before the first split. Incremental consumers (e.g.
-    /// [`crate::reduced::ReducedDelta`]) read this after every step to patch
-    /// their own per-color state in lockstep with the partition.
+    /// The [`SplitEvent`] of the most recent successful split, or `None`
+    /// before the first split. Incremental consumers that only ever run
+    /// with `batch = 1` read this after every step; batched consumers use
+    /// [`Self::last_round_events`] or the lockstep callback of
+    /// [`Self::step_with`] instead.
     pub fn last_event(&self) -> Option<&SplitEvent> {
-        self.last_event.as_ref()
+        self.round_events.last()
     }
 
-    /// Perform one refinement step. Returns `true` if a split was performed,
-    /// `false` if the run is finished (stopping condition reached or no
-    /// further split possible).
+    /// All splits of the most recent synchronization round that performed
+    /// any, in application order (at most `batch` of them).
+    pub fn last_round_events(&self) -> &[SplitEvent] {
+        &self.round_events
+    }
+
+    /// The witnesses that caused the most recent round's splits, parallel
+    /// to [`Self::last_round_events`].
+    pub fn last_round_witnesses(&self) -> &[WitnessCandidate] {
+        &self.round_witnesses
+    }
+
+    /// Perform one synchronization round: up to `batch` witness splits
+    /// against one shared witness refresh. Returns `true` if at least one
+    /// split was performed, `false` if the run is finished (stopping
+    /// condition reached or no further split possible). With the default
+    /// `batch = 1` this is exactly one greedy refinement step.
     pub fn step(&mut self) -> bool {
-        self.step_bounded(self.config.max_colors)
+        self.round_bounded(self.config.max_colors, |_, _| {})
+    }
+
+    /// Like [`Self::step`], but invokes `on_split(partition, event)` after
+    /// every split inside the round — the partition is the state
+    /// immediately *after* that split, exactly one split ahead of the
+    /// visitor's state, which is the lockstep contract incremental
+    /// consumers ([`crate::reduced::ReducedDelta`] and its siblings)
+    /// require even when a round performs several splits.
+    pub fn step_with<F>(&mut self, on_split: F) -> bool
+    where
+        F: FnMut(&Partition, &SplitEvent),
+    {
+        self.round_bounded(self.config.max_colors, on_split)
+    }
+
+    /// One synchronization round bounded by `budget` colors (for sweeps):
+    /// like [`Self::step_with`], but the round never takes the coloring
+    /// past `budget`, so intermediate checkpoints land exactly. Reaching
+    /// an intermediate budget returns `false` without marking the run
+    /// done.
+    pub fn step_toward<F>(&mut self, budget: usize, on_split: F) -> bool
+    where
+        F: FnMut(&Partition, &SplitEvent),
+    {
+        self.round_bounded(budget.min(self.config.max_colors), on_split)
     }
 
     /// Advance the run until the coloring has at least `budget` colors (or a
@@ -337,26 +452,39 @@ impl<'g> RothkoRun<'g> {
     /// continues the same refinement. Returns `true` when the budget was
     /// reached, `false` when the run stopped short (error target met, no
     /// splittable color left, or the configured caps were hit).
+    ///
+    /// With `batch > 1` the rounds are truncated at every requested budget,
+    /// so the refinement depends on the budget schedule (a batched run
+    /// checkpointed at `b` then resumed need not equal a batched run driven
+    /// straight past `b`); `batch = 1` checkpoints are schedule-independent
+    /// exactly as before.
     pub fn run_to_budget(&mut self, budget: usize) -> bool {
         let bounded = budget.min(self.config.max_colors);
-        while self.step_bounded(bounded) {}
+        while self.round_bounded(bounded, |_, _| {}) {}
         // Report against the *requested* budget: a request beyond the
         // configured cap (or past exhaustion) is honestly "not reached", so
         // `while run.run_to_budget(k + 1)` ladders terminate.
         self.partition.num_colors() >= budget
     }
 
-    /// One refinement step bounded by `max_colors` (which is at most the
-    /// configured budget). Reaching an intermediate bound returns `false`
-    /// without marking the run done, so budget sweeps can resume; terminal
-    /// conditions (node count, the run's own configured budget, iteration
-    /// cap, error target, unsplittable coloring) set `done`.
-    fn step_bounded(&mut self, max_colors: usize) -> bool {
+    /// One synchronization round bounded by `max_colors` (which is at most
+    /// the configured budget): refresh the witness state once, take the top
+    /// candidates (at most `batch`, clamped by every remaining cap), apply
+    /// them in order, notify `on_split` after each. Reaching an
+    /// intermediate bound returns `false` without marking the run done, so
+    /// budget sweeps can resume; terminal conditions (node count, the
+    /// run's own configured budget, iteration cap, error target,
+    /// unsplittable coloring) set `done`.
+    fn round_bounded<F>(&mut self, max_colors: usize, mut on_split: F) -> bool
+    where
+        F: FnMut(&Partition, &SplitEvent),
+    {
         if self.done {
             return false;
         }
         let k = self.partition.num_colors();
-        if k >= self.graph.num_nodes() {
+        let n = self.graph.num_nodes();
+        if k >= n {
             self.done = true;
             return false;
         }
@@ -366,46 +494,93 @@ impl<'g> RothkoRun<'g> {
             }
             return false;
         }
+        let mut room = self.config.batch.min(max_colors - k).min(n - k);
         if let Some(max_iter) = self.config.max_iterations {
             if self.iterations >= max_iter {
                 self.done = true;
                 return false;
             }
+            room = room.min(max_iter - self.iterations);
         }
 
-        let witness = match &mut self.engine {
+        let witnesses = match &mut self.engine {
             Some(engine) => {
                 engine.refresh(&self.partition, self.config.beta);
                 self.last_max_error = engine.max_error();
-                engine.pick_witness(&self.partition, self.config.alpha)
+                if self.last_max_error <= self.config.target_error {
+                    Vec::new()
+                } else if room == 1 {
+                    // The batch = 1 hot path keeps the allocation-free
+                    // O(k) top-1 scan (identical selection and
+                    // tie-breaking to the sorted top-B path).
+                    engine
+                        .pick_witness(&self.partition, self.config.alpha)
+                        .into_iter()
+                        .collect()
+                } else {
+                    engine.pick_witnesses(&self.partition, self.config.alpha, room)
+                }
             }
             None => {
-                // Reference mode: the seed's original per-step behaviour —
+                // Reference mode: the seed's original per-round behaviour —
                 // recompute the degree matrices from the graph, then run
                 // the same row-ordered witness selection over them.
                 let m = DegreeMatrices::compute(self.graph, &self.partition);
                 self.last_max_error = m.max_error();
-                pick_witness_scratch(&m, &self.partition, self.config.alpha, self.config.beta)
+                if self.last_max_error <= self.config.target_error {
+                    Vec::new()
+                } else {
+                    pick_witnesses_scratch(
+                        &m,
+                        &self.partition,
+                        self.config.alpha,
+                        self.config.beta,
+                        room,
+                    )
+                }
             }
         };
         if self.last_max_error <= self.config.target_error {
             self.done = true;
             return false;
         }
-        let Some(witness) = witness else {
+        if witnesses.is_empty() {
             // No splittable pair (all remaining error is inside singleton
             // colors, which cannot happen, or the graph is already stable).
             self.done = true;
             return false;
-        };
+        }
 
-        self.fill_witness_degrees(&witness);
-        if !self.split_at_mean(&witness) {
-            // Could not split (degenerate); stop rather than loop forever.
+        let mut any = false;
+        for witness in witnesses {
+            // Candidates beyond the first were ranked before this round's
+            // earlier splits; their degrees are re-read from the live
+            // engine state, so a candidate made degenerate mid-round is
+            // skipped rather than applied blindly.
+            self.fill_witness_degrees(&witness);
+            if let Some(event) = self.split_at_mean(&witness) {
+                if !any {
+                    // Only a round that actually splits replaces the
+                    // recorded round — `last_event` keeps pointing at the
+                    // most recent successful split even if a later,
+                    // fully-degenerate round ends the run.
+                    self.round_events.clear();
+                    self.round_witnesses.clear();
+                }
+                any = true;
+                self.iterations += 1;
+                self.round_witnesses.push(witness);
+                self.round_events.push(event);
+                let event = self.round_events.last().expect("just pushed");
+                on_split(&self.partition, event);
+            }
+        }
+        if !any {
+            // Could not split any candidate (degenerate); stop rather than
+            // loop forever.
             self.done = true;
             return false;
         }
-        self.iterations += 1;
         true
     }
 
@@ -495,9 +670,10 @@ impl<'g> RothkoRun<'g> {
     /// Split the witness color at the configured mean of the degrees
     /// prepared by [`Self::fill_witness_degrees`]. Falls back to the other
     /// mean and then the mid-range if the preferred threshold would produce
-    /// an empty side. On success the split event is pushed into the
-    /// incremental engine (when one is attached).
-    fn split_at_mean(&mut self, w: &WitnessCandidate) -> bool {
+    /// an empty side. On success the split event has been pushed into the
+    /// incremental engine (when one is attached) and is returned to the
+    /// caller; `None` means the color was degenerate.
+    fn split_at_mean(&mut self, w: &WitnessCandidate) -> Option<SplitEvent> {
         let members = self.partition.members(w.split_color);
         let len = members.len();
         debug_assert!(len >= 2, "witness picked a singleton color");
@@ -521,7 +697,7 @@ impl<'g> RothkoRun<'g> {
             // witness target, so no threshold can separate them. Report the
             // color as unsplittable without trying (and allocating for)
             // the three fallback thresholds.
-            return false;
+            return None;
         }
         let arithmetic = sum / len as f64;
         let geometric = if positive == 0 {
@@ -543,11 +719,10 @@ impl<'g> RothkoRun<'g> {
                 if let Some(engine) = &mut self.engine {
                     engine.apply_split(self.graph, &self.partition, &event);
                 }
-                self.last_event = Some(event);
-                return true;
+                return Some(event);
             }
         }
-        false
+        None
     }
 }
 

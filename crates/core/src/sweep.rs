@@ -20,7 +20,10 @@
 //! owns the run and calls an `on_split` visitor after every split, *in
 //! lockstep*, with the partition exactly one split ahead of the visitor's
 //! state — the contract `ReducedDelta::apply_split` and its siblings
-//! require. Budgets must be visited in non-decreasing order (a smaller
+//! require. The visitor is threaded into the run itself
+//! ([`RothkoRun::step_toward`]), so batched runs (`RothkoConfig::batch >
+//! 1`) deliver every split of a multi-split round mid-round under the same
+//! contract. Budgets must be visited in non-decreasing order (a smaller
 //! budget than the current color count is a no-op checkpoint).
 //!
 //! ```
@@ -85,18 +88,24 @@ impl<'g> ColoringSweep<'g> {
     }
 
     /// Advance to `budget` colors, invoking `on_split(partition, event)`
-    /// after every split — the partition is the state *after* the split, as
-    /// incremental consumers expect. Returns the checkpoint summary.
+    /// after every split — the partition is the state *after* that split,
+    /// exactly one split ahead of the visitor, as incremental consumers
+    /// expect. Returns the checkpoint summary.
+    ///
+    /// The callback is threaded *into* the run
+    /// ([`RothkoRun::step_toward`]), so a batched run (`batch > 1`)
+    /// delivers every split of a multi-split round mid-round, in true
+    /// lockstep — the visitor never observes a partition more than one
+    /// split ahead of its own state. Rounds are truncated at the budget,
+    /// so checkpoints land exactly.
     pub fn advance_to<F>(&mut self, budget: usize, mut on_split: F) -> SweepCheckpoint
     where
         F: FnMut(&Partition, &SplitEvent),
     {
         while self.run.partition().num_colors() < budget {
-            if !self.run.step() {
+            if !self.run.step_toward(budget, &mut on_split) {
                 break;
             }
-            let event = self.run.last_event().expect("a step performed a split");
-            on_split(self.run.partition(), event);
         }
         SweepCheckpoint {
             budget,

@@ -193,7 +193,7 @@ pub fn color_lp(problem: &LpProblem, config: &LpColoringConfig) -> LpColoring {
         beta: config.beta,
         split_mean: config.split_mean,
         initial: Some(initial),
-        max_iterations: None,
+        ..Default::default()
     };
     let coloring = Rothko::new(rothko_config).run(&graph);
     let p = &coloring.partition;

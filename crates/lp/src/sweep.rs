@@ -286,7 +286,7 @@ pub fn sweep_lp(
         beta: config.beta,
         split_mean: config.split_mean,
         initial: Some(initial),
-        max_iterations: None,
+        ..Default::default()
     };
     let mut sweep = ColoringSweep::new(&graph, rothko_config);
     let mut delta = ReducedLpDelta::new(problem);
