@@ -21,7 +21,11 @@
 //!   instead of recomputed from the graph; both Rothko and the stable
 //!   coloring drive their refinement through it. Multi-threaded engines
 //!   shard the update phases across a fork-join pool with bit-identical
-//!   results (see [`q_error`]'s "Parallel sharded refinement").
+//!   results (see [`q_error`]'s "Parallel sharded refinement"). The same
+//!   engine absorbs *graph* deltas: `apply_edge_batch` patches its state
+//!   for batched edge insert/delete/reweight events without touching the
+//!   graph, and [`RothkoRun::apply_edge_batch`] + `maintain` keep a
+//!   running (q, k) coloring valid under churn instead of recomputing.
 //! * [`parallel`] — the minimal persistent fork-join pool behind the
 //!   sharded engine (`QSC_THREADS` sets the default worker count).
 //! * [`similarity`] — the `∼` relations of Definition 1 (exact, absolute `q`,
@@ -34,7 +38,9 @@
 //! * [`q_error`] — exact evaluation of how (quasi-)stable a coloring is.
 //! * [`reduced`] — reduced-graph construction with the weightings used by
 //!   the three applications, plus [`ReducedDelta`]: the quotient matrix
-//!   maintained across splits in `O(touched)` instead of rebuilt per use.
+//!   maintained across splits and edge batches in `O(touched)` instead of
+//!   rebuilt per use, and [`reduced::PatchedReducedGraph`]: the emitted
+//!   reduced instance patched in place from the delta's dirty colors.
 //! * [`sweep`] — warm-started budget sweeps: one monotone refinement
 //!   checkpointed at every color budget, with split events handed to
 //!   incremental consumers in lockstep (the coloring layer of the sweep
@@ -67,7 +73,7 @@ pub mod sweep;
 
 pub use partition::{Partition, SplitEvent};
 pub use q_error::{max_q_error, mean_q_error, IncrementalDegrees, QErrorReport, WitnessCandidate};
-pub use reduced::{reduced_graph, ReducedDelta, ReductionWeighting};
+pub use reduced::{reduced_graph, PatchedReducedGraph, ReducedDelta, ReductionWeighting};
 pub use rothko::{Coloring, Rothko, RothkoConfig, RothkoRun};
 pub use similarity::{Absolute, Bisimulation, Clamped, Exact, Relative, Similarity};
 pub use stable::stable_coloring;

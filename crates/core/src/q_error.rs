@@ -75,6 +75,30 @@
 //! against `DegreeMatrices::compute` after every split
 //! ([`IncrementalDegrees::verify_against`]).
 //!
+//! # Edge-event maintenance (dynamic graphs)
+//!
+//! Splits are one half of the delta vocabulary; the other is *edge churn*.
+//! [`IncrementalDegrees::apply_edge_batch`] patches the same state for a
+//! batch of [`EdgeEvent`]s (signed weight changes of logical edges, the
+//! currency of `qsc_graph::delta::GraphDelta`) without touching the graph
+//! at all: an event `(u, v, Δ)` adds `Δ` to `dout[u][color(v)]` (and to
+//! `din[v][color(u)]`, or the mirrored out-entry on undirected graphs),
+//! then folds the change into the affected pair-summary entry with exactly
+//! the split path's machinery — inline outward extension with attainers,
+//! exact lost-extremum detection via the tracked attainer, the `min == 0`
+//! zero-member skip rule, and a one-column member rescan only when an
+//! extremum was provably lost. Cost per batch:
+//! `O(events + touched entries)` plus those rescans — the "O(endpoints'
+//! colors + touched entries)" the dynamic-graph maintenance path needs.
+//! Witness rows of touched entries go error-dirty, so the next
+//! [`IncrementalDegrees::refresh`] re-derives `max_error` and the cached
+//! bests; color sizes are untouched, so no β bookkeeping is disturbed.
+//! The partition must be unchanged by the batch (`p.num_colors()` equals
+//! the engine's color count): graph updates and coloring updates are
+//! separate deltas, sequenced by the caller
+//! (`crate::rothko::RothkoRun::apply_edge_batch` patches the engine, swaps
+//! the graph, and then re-establishes the (q, k) invariant by splitting).
+//!
 //! Two structural specializations keep the engine lean:
 //!
 //! * **Symmetric graphs.** For undirected graphs the in-direction state is
@@ -99,6 +123,14 @@
 //! phases of a split across a persistent fork-join pool
 //! ([`crate::parallel::ThreadPool`]):
 //!
+//! * **Touched collection** — the moved-node list is cut into fixed-size
+//!   chunks (chunk size = the touched threshold, *never* the thread
+//!   count); each chunk is deduped with a generation-stamped seen-bitmap
+//!   into a `(neighbor, chunk-local delta)` list, the chunks fan out
+//!   across the pool round-robin, and the lists merge in chunk order.
+//!   Chunk boundaries and merge order are pure functions of the input, so
+//!   both the touched ordering and the accumulated weight deltas are
+//!   bit-identical for every thread count — on arbitrary float weights.
 //! * **Accumulator deltas** — the touched-node list is chunked
 //!   contiguously; each worker applies its nodes' parent→child mass shifts
 //!   (each node appears in exactly one chunk, so the row writes are
@@ -146,7 +178,9 @@
 use crate::parallel::{chunk_range, default_threads, SyncSliceMut, ThreadPool};
 use crate::partition::{Partition, SplitEvent};
 use crate::similarity::Similarity;
+use qsc_graph::delta::EdgeEvent;
 use qsc_graph::{Graph, NodeId};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Sentinel for "extremum attainer unknown" in the pair-summary witness
@@ -572,6 +606,21 @@ impl TouchedColor {
     }
 }
 
+/// Per-entry scratch record of an edge batch: one per pair-summary entry
+/// whose member values changed, tracking the batch-start extrema (for
+/// lost-extremum detection), the queued rescan flags, and the net
+/// zero-crossing count — the edge-path analogue of [`TouchedColor`].
+#[derive(Clone, Copy, Debug)]
+struct EdgeEntryPatch {
+    row: u32,
+    col: u32,
+    orig_min: f64,
+    orig_max: f64,
+    rescan_min: bool,
+    rescan_max: bool,
+    nz_delta: i64,
+}
+
 /// The incremental refinement engine: degree matrices plus per-node degree
 /// accumulators, kept in sync with a partition across [`SplitEvent`]s.
 ///
@@ -696,6 +745,20 @@ pub struct IncrementalDegrees {
     entry_scratch_out: Vec<(u32, u32)>,
     entry_scratch_in: Vec<(u32, u32)>,
     dirty_scratch: Vec<u32>,
+    /// Edge-batch scratch: per-direction patched-entry records and their
+    /// entry-index → record-slot maps, plus the per-(node, column)
+    /// combined-delta lists (capacity reused across batches).
+    edge_patches_out: Vec<EdgeEntryPatch>,
+    edge_patches_in: Vec<EdgeEntryPatch>,
+    edge_slot_out: HashMap<usize, usize>,
+    edge_slot_in: HashMap<usize, usize>,
+    edge_acc_out: Vec<(NodeId, u32, f64)>,
+    edge_acc_in: Vec<(NodeId, u32, f64)>,
+    edge_acc_slot_out: HashMap<(NodeId, u32), usize>,
+    edge_acc_slot_in: HashMap<(NodeId, u32), usize>,
+    /// Per-chunk `(node, chunk-local delta)` lists of the canonical
+    /// chunked touched-collection (capacity reused across splits).
+    chunk_out: Vec<Vec<(NodeId, f64)>>,
 }
 
 /// Per-worker scratch used by the parallel split/refresh phases.
@@ -710,6 +773,12 @@ struct ShardScratch {
     axis: Vec<f64>,
     axis_arg: Vec<u32>,
     axis_nz: Vec<u32>,
+    /// Chunked touched-collection worker state: a generation-stamped
+    /// seen-bitmap (lazily sized to `n`) and per-node partial weight
+    /// deltas, reused across the chunks this worker processes.
+    seen_stamp: Vec<u32>,
+    seen_gen: u32,
+    delta: Vec<f64>,
 }
 
 /// One shard's partial aggregate for a touched color during the parallel
@@ -955,6 +1024,15 @@ impl Clone for IncrementalDegrees {
             entry_scratch_out: self.entry_scratch_out.clone(),
             entry_scratch_in: self.entry_scratch_in.clone(),
             dirty_scratch: self.dirty_scratch.clone(),
+            edge_patches_out: self.edge_patches_out.clone(),
+            edge_patches_in: self.edge_patches_in.clone(),
+            edge_slot_out: self.edge_slot_out.clone(),
+            edge_slot_in: self.edge_slot_in.clone(),
+            edge_acc_out: self.edge_acc_out.clone(),
+            edge_acc_in: self.edge_acc_in.clone(),
+            edge_acc_slot_out: self.edge_acc_slot_out.clone(),
+            edge_acc_slot_in: self.edge_acc_slot_in.clone(),
+            chunk_out: self.chunk_out.clone(),
         }
     }
 }
@@ -1043,6 +1121,15 @@ impl IncrementalDegrees {
             entry_scratch_out: Vec::new(),
             entry_scratch_in: Vec::new(),
             dirty_scratch: Vec::new(),
+            edge_patches_out: Vec::new(),
+            edge_patches_in: Vec::new(),
+            edge_slot_out: HashMap::new(),
+            edge_slot_in: HashMap::new(),
+            edge_acc_out: Vec::new(),
+            edge_acc_in: Vec::new(),
+            edge_acc_slot_out: HashMap::new(),
+            edge_acc_slot_in: HashMap::new(),
+            chunk_out: Vec::new(),
         };
 
         if track_summaries {
@@ -1091,12 +1178,18 @@ impl IncrementalDegrees {
     }
 
     /// Override the parallel-dispatch thresholds: the minimum touched-node
-    /// count before a split's accumulator phase shards, and the minimum
-    /// total scan work (members × colors, entries × members, or rows ×
-    /// colors) before member-scan and witness-refresh batches shard.
-    /// Results are bit-identical either way (the defaults just avoid
-    /// paying the fork-join handshake for tiny regions); tests and
-    /// benchmarks use this to force the sharded paths on small inputs.
+    /// count before a split's accumulator phase shards (which doubles as
+    /// the canonical chunk size of the touched-collection accumulation),
+    /// and the minimum total scan work (members × colors, entries ×
+    /// members, or rows × colors) before member-scan and witness-refresh
+    /// batches shard. For any fixed thresholds, results are bit-identical
+    /// across every thread count (the defaults just avoid paying the
+    /// fork-join handshake for tiny regions); tests and benchmarks use
+    /// this to force the sharded paths on small inputs. Because the
+    /// touched chunk size follows `min_touched`, two engines compared on
+    /// non-representable float weights should share thresholds — a
+    /// different chunking regroups the per-neighbor weight sums (exact
+    /// weights agree under any grouping).
     pub fn set_parallel_thresholds(&mut self, min_touched: usize, min_scan_work: usize) {
         self.par_min_touched = min_touched.max(1);
         self.par_min_scan_work = min_scan_work.max(1);
@@ -1337,6 +1430,280 @@ impl IncrementalDegrees {
                 sparse_add(row, child, d);
             }
             self.touched_nodes = touched;
+        }
+    }
+
+    /// Patch the engine for a batch of edge events — graph-free dynamic
+    /// maintenance (see the module docs, "Edge-event maintenance"). `p` is
+    /// the *unchanged* partition the engine is synchronized with; each
+    /// event carries the signed weight delta of one logical edge
+    /// (undirected events are applied to both stored arc directions,
+    /// self-loops once), exactly as
+    /// `qsc_graph::delta::GraphDelta::drain_events` produces them.
+    ///
+    /// Cost: `O(events + touched entries)` plus a one-column member rescan
+    /// for each pair summary that provably lost a tracked extremum.
+    /// Touched witness rows go error-dirty; call [`Self::refresh`] before
+    /// the next [`Self::max_error`] / witness pick as after a split.
+    pub fn apply_edge_batch(&mut self, p: &Partition, events: &[EdgeEvent]) {
+        assert_eq!(p.num_nodes(), self.n, "partition does not match engine");
+        assert_eq!(p.num_colors(), self.k, "partition out of sync with engine");
+        if events.is_empty() {
+            return;
+        }
+        if !self.track_summaries {
+            // Degrees-only mode: pure sparse-row updates, O(log deg) each.
+            for ev in events {
+                let cu = p.color_of(ev.source);
+                let cv = p.color_of(ev.target);
+                sparse_add(&mut self.sparse_out[ev.source as usize], cv, ev.delta);
+                if self.symmetric {
+                    if ev.source != ev.target {
+                        sparse_add(&mut self.sparse_out[ev.target as usize], cu, ev.delta);
+                    }
+                } else {
+                    sparse_add(&mut self.sparse_in[ev.target as usize], cu, ev.delta);
+                }
+            }
+            return;
+        }
+        self.edge_patches_out.clear();
+        self.edge_patches_in.clear();
+        self.edge_slot_out.clear();
+        self.edge_slot_in.clear();
+        // Combine the events into one delta per (node, column) first: the
+        // entry-patch rules below (inline extension + exact lost-extremum
+        // detection) are sound only when each accumulator cell changes
+        // exactly once per batch, as on the split path.
+        let mut acc_out = std::mem::take(&mut self.edge_acc_out);
+        let mut acc_in = std::mem::take(&mut self.edge_acc_in);
+        acc_out.clear();
+        acc_in.clear();
+        self.edge_acc_slot_out.clear();
+        self.edge_acc_slot_in.clear();
+        for ev in events {
+            let cu = p.color_of(ev.source);
+            let cv = p.color_of(ev.target);
+            accumulate_edge(
+                &mut acc_out,
+                &mut self.edge_acc_slot_out,
+                ev.source,
+                cv,
+                ev.delta,
+            );
+            if self.symmetric {
+                // The mirrored arc's out-accumulator (the in-state is not
+                // stored); a self-loop is a single stored arc.
+                if ev.source != ev.target {
+                    accumulate_edge(
+                        &mut acc_out,
+                        &mut self.edge_acc_slot_out,
+                        ev.target,
+                        cu,
+                        ev.delta,
+                    );
+                }
+            } else {
+                accumulate_edge(
+                    &mut acc_in,
+                    &mut self.edge_acc_slot_in,
+                    ev.target,
+                    cu,
+                    ev.delta,
+                );
+            }
+        }
+        for &(u, col, d) in &acc_out {
+            if d != 0.0 {
+                self.patch_edge_value(true, u, p.color_of(u), col, d);
+            }
+        }
+        self.finalize_edge_batch(p, true);
+        if !self.symmetric {
+            for &(u, col, d) in &acc_in {
+                if d != 0.0 {
+                    self.patch_edge_value(false, u, p.color_of(u), col, d);
+                }
+            }
+            self.finalize_edge_batch(p, false);
+        }
+        self.edge_acc_out = acc_out;
+        self.edge_acc_in = acc_in;
+    }
+
+    /// Apply one arc-accumulator change of an edge batch and fold it into
+    /// the affected pair-summary entry's patch record. `member_color` is
+    /// the color of `u` (the node whose accumulator row changes); the
+    /// entry is `(member_color, other_color)` in the out matrix or
+    /// `(other_color, member_color)` in the in matrix.
+    fn patch_edge_value(
+        &mut self,
+        outgoing: bool,
+        u: NodeId,
+        member_color: u32,
+        other_color: u32,
+        delta: f64,
+    ) {
+        let cap = self.cap;
+        let acc_idx = u as usize * cap + other_color as usize;
+        let (old, new) = {
+            let acc = if outgoing {
+                &mut self.dout
+            } else {
+                &mut self.din
+            };
+            let old = acc[acc_idx];
+            let new = old + delta;
+            acc[acc_idx] = new;
+            (old, new)
+        };
+        let (entry_row, entry_col) = if outgoing {
+            (member_color, other_color)
+        } else {
+            (other_color, member_color)
+        };
+        let idx = entry_row as usize * cap + entry_col as usize;
+        let (cur_min, cur_max, arg_min, arg_max) = if outgoing {
+            (
+                self.out_min[idx],
+                self.out_max[idx],
+                self.out_min_arg[idx],
+                self.out_max_arg[idx],
+            )
+        } else {
+            (
+                self.in_min[idx],
+                self.in_max[idx],
+                self.in_min_arg[idx],
+                self.in_max_arg[idx],
+            )
+        };
+        let (patches, slots) = if outgoing {
+            (&mut self.edge_patches_out, &mut self.edge_slot_out)
+        } else {
+            (&mut self.edge_patches_in, &mut self.edge_slot_in)
+        };
+        let slot = *slots.entry(idx).or_insert_with(|| {
+            patches.push(EdgeEntryPatch {
+                row: entry_row,
+                col: entry_col,
+                orig_min: cur_min,
+                orig_max: cur_max,
+                rescan_min: false,
+                rescan_max: false,
+                nz_delta: 0,
+            });
+            patches.len() - 1
+        });
+        let rec = &mut patches[slot];
+        // Exact lost-extremum test against the batch-start snapshot, with
+        // unknown attainers falling back to the conservative heuristic —
+        // the same rule as [`Self::patch_entry`] on the split path.
+        if new < old {
+            if old == rec.orig_max && (arg_max == NO_ARG || arg_max == u) {
+                rec.rescan_max = true;
+            }
+        } else if new > old && old == rec.orig_min && (arg_min == NO_ARG || arg_min == u) {
+            rec.rescan_min = true;
+        }
+        if (old == 0.0) != (new == 0.0) {
+            rec.nz_delta += if new != 0.0 { 1 } else { -1 };
+        }
+        let (emn, emx, amn, amx) = if outgoing {
+            (
+                &mut self.out_min[idx],
+                &mut self.out_max[idx],
+                &mut self.out_min_arg[idx],
+                &mut self.out_max_arg[idx],
+            )
+        } else {
+            (
+                &mut self.in_min[idx],
+                &mut self.in_max[idx],
+                &mut self.in_min_arg[idx],
+                &mut self.in_max_arg[idx],
+            )
+        };
+        if new < *emn {
+            *emn = new;
+            *amn = u;
+        }
+        if new > *emx {
+            *emx = new;
+            *amx = u;
+        }
+    }
+
+    /// Finalize one direction of an edge batch: apply the queued
+    /// zero-crossing count deltas, decide which flagged extrema actually
+    /// need a member rescan (the `min == 0` zero-member rule cancels the
+    /// rest, exactly as on the split path), run the rescans, and dirty the
+    /// touched witness rows.
+    fn finalize_edge_batch(&mut self, p: &Partition, outgoing: bool) {
+        let cap = self.cap;
+        let patches = std::mem::take(if outgoing {
+            &mut self.edge_patches_out
+        } else {
+            &mut self.edge_patches_in
+        });
+        let mut rescans = std::mem::take(if outgoing {
+            &mut self.entry_scratch_out
+        } else {
+            &mut self.entry_scratch_in
+        });
+        rescans.clear();
+        for rec in &patches {
+            let idx = rec.row as usize * cap + rec.col as usize;
+            let member_color = if outgoing { rec.row } else { rec.col };
+            let size = p.size(member_color);
+            let nz = {
+                let slot = if outgoing {
+                    &mut self.out_nz[idx]
+                } else {
+                    &mut self.in_nz[idx]
+                };
+                *slot = (*slot as i64 + rec.nz_delta) as u32;
+                *slot
+            };
+            let (mn, mx) = if outgoing {
+                (self.out_min[idx], self.out_max[idx])
+            } else {
+                (self.in_min[idx], self.in_max[idx])
+            };
+            let zero_member = (nz as usize) < size;
+            let need = (rec.rescan_min && !(mn == 0.0 && zero_member))
+                || (rec.rescan_max && !(mx == 0.0 && zero_member));
+            if need {
+                rescans.push((rec.row, rec.col));
+            } else {
+                // A flagged side whose zero extremum provably stands keeps
+                // its value but no longer knows a specific attainer.
+                if rec.rescan_min {
+                    if outgoing {
+                        self.out_min_arg[idx] = NO_ARG;
+                    } else {
+                        self.in_min_arg[idx] = NO_ARG;
+                    }
+                }
+                if rec.rescan_max {
+                    if outgoing {
+                        self.out_max_arg[idx] = NO_ARG;
+                    } else {
+                        self.in_max_arg[idx] = NO_ARG;
+                    }
+                }
+            }
+            self.row_err_dirty[member_color as usize] = true;
+            self.row_best_dirty[member_color as usize] = true;
+        }
+        if outgoing {
+            self.rescan_out_entries(p, &rescans);
+            self.entry_scratch_out = rescans;
+            self.edge_patches_out = patches;
+        } else {
+            self.rescan_in_entries(p, &rescans);
+            self.entry_scratch_in = rescans;
+            self.edge_patches_in = patches;
         }
     }
 
@@ -2323,28 +2690,139 @@ impl IncrementalDegrees {
     /// when `incoming`, targets of their out-edges otherwise) into
     /// `touched_nodes`, accumulating per-neighbor weight deltas in
     /// `node_delta`.
+    ///
+    /// Moved lists of at least `par_min_touched` nodes use the *canonical
+    /// chunked accumulation*: the list is cut into fixed-size chunks
+    /// (chunk size = `par_min_touched`, a pure function of the engine's
+    /// thresholds — **never** of the thread count), each chunk is deduped
+    /// with a generation-stamped seen-bitmap into a `(node, chunk-local
+    /// delta)` list, and the lists are merged in chunk order. A neighbor's
+    /// global first appearance is in the earliest chunk that touches it,
+    /// at that chunk's local first-touch position, so the merged touched
+    /// ordering equals the serial first-appearance scan exactly; and
+    /// because the chunk boundaries and the merge order are
+    /// thread-independent, the accumulated deltas are **bit-identical for
+    /// every thread count** — on arbitrary float weights, not just
+    /// representable ones — preserving the engine-wide determinism
+    /// contract. Pooled engines fan the chunks out across workers
+    /// (round-robin; scheduling only), serial engines process them inline.
+    /// Below the threshold a single sequential scan runs, which is the
+    /// one-chunk case of the same grouping.
     fn collect_touched(&mut self, g: &Graph, moved: &[NodeId], incoming: bool) {
+        let chunk_size = self.par_min_touched;
+        if moved.len() < chunk_size.max(2) {
+            self.stamp_gen = self.stamp_gen.wrapping_add(1);
+            if self.stamp_gen == 0 {
+                self.node_stamp.fill(0);
+                self.stamp_gen = 1;
+            }
+            self.touched_nodes.clear();
+            for &v in moved {
+                let (nbrs, wts) = if incoming {
+                    g.in_arcs(v)
+                } else {
+                    g.out_arcs(v)
+                };
+                for (idx, &u) in nbrs.iter().enumerate() {
+                    if self.node_stamp[u as usize] != self.stamp_gen {
+                        self.node_stamp[u as usize] = self.stamp_gen;
+                        self.node_delta[u as usize] = 0.0;
+                        self.touched_nodes.push(u);
+                    }
+                    self.node_delta[u as usize] += wts[idx];
+                }
+            }
+            return;
+        }
+        self.collect_touched_chunked(g, moved, incoming, chunk_size);
+    }
+
+    /// The chunked half of [`Self::collect_touched`]: scan each chunk into
+    /// its own `(node, delta)` list — across the pool when one is attached
+    /// — then merge the lists in chunk order (see the entry point for the
+    /// determinism argument).
+    fn collect_touched_chunked(
+        &mut self,
+        g: &Graph,
+        moved: &[NodeId],
+        incoming: bool,
+        chunk_size: usize,
+    ) {
+        let chunks = moved.len().div_ceil(chunk_size);
+        let mut outputs = std::mem::take(&mut self.chunk_out);
+        if outputs.len() < chunks {
+            outputs.resize_with(chunks, Vec::new);
+        }
+        if let Some(pool) = self.pool.clone() {
+            let n = self.n;
+            let slots = pool.slots();
+            for s in &mut self.shard_scratch {
+                if s.seen_stamp.len() < n {
+                    s.seen_stamp.resize(n, 0);
+                    s.delta.resize(n, 0.0);
+                }
+            }
+            let scratch = SyncSliceMut::new(&mut self.shard_scratch);
+            let out = SyncSliceMut::new(&mut outputs);
+            pool.run(|slot| {
+                // SAFETY: each slot touches only its own scratch entry.
+                let shard = unsafe { scratch.get_mut(slot) };
+                let mut c = slot;
+                while c < chunks {
+                    let lo = c * chunk_size;
+                    let hi = (lo + chunk_size).min(moved.len());
+                    // SAFETY: chunks are assigned round-robin by slot, so
+                    // each output list is written by exactly one worker.
+                    let list = unsafe { out.get_mut(c) };
+                    scan_chunk(
+                        g,
+                        &moved[lo..hi],
+                        incoming,
+                        &mut shard.seen_stamp,
+                        &mut shard.seen_gen,
+                        &mut shard.delta,
+                        list,
+                    );
+                    c += slots;
+                }
+            });
+        } else {
+            for (c, list) in outputs.iter_mut().enumerate().take(chunks) {
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(moved.len());
+                scan_chunk(
+                    g,
+                    &moved[lo..hi],
+                    incoming,
+                    &mut self.node_stamp,
+                    &mut self.stamp_gen,
+                    &mut self.node_delta,
+                    list,
+                );
+            }
+        }
+        // Merge in chunk order: global first-appearance dedupe over the
+        // chunk lists, chunk-local partials added in chunk order. (The
+        // serial path above may have used node_stamp/node_delta as chunk
+        // scratch; advancing the generation invalidates those marks.)
         self.stamp_gen = self.stamp_gen.wrapping_add(1);
         if self.stamp_gen == 0 {
             self.node_stamp.fill(0);
             self.stamp_gen = 1;
         }
         self.touched_nodes.clear();
-        for &v in moved {
-            let (nbrs, wts) = if incoming {
-                g.in_arcs(v)
-            } else {
-                g.out_arcs(v)
-            };
-            for (idx, &u) in nbrs.iter().enumerate() {
+        for list in &outputs[..chunks] {
+            for &(u, d) in list {
                 if self.node_stamp[u as usize] != self.stamp_gen {
                     self.node_stamp[u as usize] = self.stamp_gen;
-                    self.node_delta[u as usize] = 0.0;
+                    self.node_delta[u as usize] = d;
                     self.touched_nodes.push(u);
+                } else {
+                    self.node_delta[u as usize] += d;
                 }
-                self.node_delta[u as usize] += wts[idx];
             }
         }
+        self.chunk_out = outputs;
     }
 
     fn begin_color_batch(&mut self) {
@@ -2747,6 +3225,65 @@ fn sparse_row_from_arcs((nbrs, wts): (&[NodeId], &[f64]), p: &Partition) -> Vec<
     row
 }
 
+/// Dedupe one chunk of movers' neighbors into `out` as `(node, chunk-local
+/// delta)` pairs in first-touch order, using the caller's
+/// generation-stamped scratch arrays — the per-chunk kernel of the
+/// canonical chunked touched-collection.
+fn scan_chunk(
+    g: &Graph,
+    movers: &[NodeId],
+    incoming: bool,
+    stamp: &mut [u32],
+    gen: &mut u32,
+    delta: &mut [f64],
+    out: &mut Vec<(NodeId, f64)>,
+) {
+    out.clear();
+    *gen = gen.wrapping_add(1);
+    if *gen == 0 {
+        stamp.fill(0);
+        *gen = 1;
+    }
+    let gen = *gen;
+    for &v in movers {
+        let (nbrs, wts) = if incoming {
+            g.in_arcs(v)
+        } else {
+            g.out_arcs(v)
+        };
+        for (idx, &u) in nbrs.iter().enumerate() {
+            if stamp[u as usize] != gen {
+                stamp[u as usize] = gen;
+                delta[u as usize] = 0.0;
+                out.push((u, 0.0));
+            }
+            delta[u as usize] += wts[idx];
+        }
+    }
+    for entry in out.iter_mut() {
+        entry.1 = delta[entry.0 as usize];
+    }
+}
+
+/// Fold one arc-accumulator delta of an edge batch into the per-(node,
+/// column) combined list (first-touch order, so batch processing is
+/// deterministic).
+fn accumulate_edge(
+    list: &mut Vec<(NodeId, u32, f64)>,
+    slots: &mut HashMap<(NodeId, u32), usize>,
+    u: NodeId,
+    col: u32,
+    delta: f64,
+) {
+    match slots.entry((u, col)) {
+        std::collections::hash_map::Entry::Occupied(e) => list[*e.get()].2 += delta,
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(list.len());
+            list.push((u, col, delta));
+        }
+    }
+}
+
 /// Read a sparse accumulator row entry (0.0 when absent).
 #[inline]
 fn sparse_get(row: &[(u32, f64)], color: u32) -> f64 {
@@ -2938,5 +3475,64 @@ mod tests {
         let p = crate::stable::stable_coloring(&g);
         assert_eq!(max_q_error(&g, &p), 0.0);
         assert_eq!(mean_q_error(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn edge_batch_patches_match_compacted_recomputation() {
+        use qsc_graph::GraphDelta;
+        // Directed and undirected bases, a few splits, then edge batches.
+        for directed in [false, true] {
+            let g = {
+                let mut b = if directed {
+                    GraphBuilder::new_directed(8)
+                } else {
+                    GraphBuilder::new_undirected(8)
+                };
+                for (u, v, w) in [
+                    (0u32, 1u32, 2.0),
+                    (1, 2, 1.0),
+                    (2, 3, 3.0),
+                    (3, 4, 1.0),
+                    (4, 5, 2.0),
+                    (5, 6, 1.0),
+                    (6, 7, 4.0),
+                    (0, 7, 1.0),
+                    (2, 5, 2.0),
+                ] {
+                    b.add_edge(u, v, w);
+                }
+                b.build()
+            };
+            let mut p = Partition::unit(8);
+            let mut engine = IncrementalDegrees::new(&g, &p);
+            let ev = p.split_color(0, |v| v >= 4).unwrap();
+            engine.apply_split(&g, &p, &ev);
+
+            let mut delta = GraphDelta::new(g);
+            delta.insert_edge(0, 3, 2.5).unwrap();
+            delta.delete_edge(4, 5).unwrap();
+            delta.reweight_edge(6, 7, 1.5).unwrap();
+            delta.insert_edge(1, 1, 2.0).unwrap(); // self-loop
+            let events = delta.drain_events();
+            engine.apply_edge_batch(&p, &events);
+            let compacted = delta.compact();
+            assert_eq!(engine.verify_against(&compacted, &p), Ok(()));
+            // Witness state must agree with a freshly built engine.
+            engine.refresh(&p, 0.0);
+            let mut fresh = IncrementalDegrees::new(&compacted, &p);
+            fresh.refresh(&p, 0.0);
+            assert_eq!(engine.max_error().to_bits(), fresh.max_error().to_bits());
+            assert_eq!(engine.pick_witness(&p, 0.0), fresh.pick_witness(&p, 0.0));
+
+            // Degrees-only engines take the same events through sparse rows.
+            let mut sparse = IncrementalDegrees::new_degrees_only(&compacted, &p);
+            let mut delta2 = GraphDelta::new(compacted);
+            delta2.delete_edge(0, 3).unwrap();
+            delta2.insert_edge(3, 6, 1.0).unwrap();
+            let events = delta2.drain_events();
+            sparse.apply_edge_batch(&p, &events);
+            let compacted2 = delta2.compact();
+            assert_eq!(sparse.verify_against(&compacted2, &p), Ok(()));
+        }
     }
 }

@@ -19,12 +19,19 @@
 //! Two construction paths are provided. [`reduced_graph`] /
 //! [`quotient_matrix`] rebuild from the graph in `O(n + m + k²)` — right for
 //! one-shot use. [`ReducedDelta`] instead *maintains* the quotient matrix
-//! across [`SplitEvent`]s in `O(deg(moved) + k)` per split, so a budget
-//! sweep that refines one coloring through many color counts pays the
-//! `O(m)` scan once instead of once per sweep point.
+//! across [`SplitEvent`]s in `O(deg(moved) + k)` per split — and across
+//! edge insert/delete/reweight batches in `O(events)`
+//! ([`ReducedDelta::apply_edge_batch`]) — so a budget sweep that refines
+//! one coloring through many color counts pays the `O(m)` scan once
+//! instead of once per sweep point, and survives graph updates without a
+//! rebuild. [`PatchedReducedGraph`] completes the chain: the *emitted*
+//! reduced instance is itself patched in place from the delta's dirty
+//! colors (`O(dirty · k)` per checkpoint) instead of re-derived with a
+//! dense `O(k²)` sweep.
 
 use crate::partition::{Partition, SplitEvent};
 use crate::q_error::DegreeMatrices;
+use qsc_graph::delta::EdgeEvent;
 use qsc_graph::{Graph, GraphBuilder};
 
 /// Weighting scheme for the reduced graph's edges.
@@ -124,6 +131,16 @@ pub struct ReducedDelta {
     sum: Vec<f64>,
     /// Color sizes, mirrored from the partition.
     sizes: Vec<usize>,
+    /// Whether the source graph was undirected (edge events then apply to
+    /// both stored arc directions, mirroring the CSR's symmetric storage).
+    symmetric: bool,
+    /// Colors whose row or column entries (or size) changed since the last
+    /// [`Self::take_dirty_colors`] — every entry a split or edge batch
+    /// touches has one of these as an index, which is what lets
+    /// [`PatchedReducedGraph`] re-emit in `O(dirty · k)` instead of
+    /// `O(k²)`.
+    dirty: Vec<u32>,
+    dirty_flag: Vec<bool>,
 }
 
 impl ReducedDelta {
@@ -145,6 +162,13 @@ impl ReducedDelta {
             cap,
             sum,
             sizes: p.sizes(),
+            symmetric: !g.is_directed(),
+            dirty: (0..k as u32).collect(),
+            dirty_flag: {
+                let mut flags = vec![false; cap];
+                flags[..k].fill(true);
+                flags
+            },
         }
     }
 
@@ -207,6 +231,48 @@ impl ReducedDelta {
         }
         self.sizes[c] -= event.moved_nodes.len();
         self.sizes.push(event.moved_nodes.len());
+        // Every entry this split touched has the parent or the child as an
+        // index (rows/columns c and child), and only their sizes changed.
+        self.mark_dirty(event.parent);
+        self.mark_dirty(event.child);
+    }
+
+    /// Patch the matrix for a batch of edge events (the dynamic-graph
+    /// counterpart of [`Self::apply_split`]): each event's signed weight
+    /// delta lands on `sum[color(u)][color(v)]` — and the mirrored entry
+    /// for undirected graphs, matching how [`Self::new`] counts both
+    /// stored arc directions. `p` is the unchanged partition. `O(events)`.
+    pub fn apply_edge_batch(&mut self, p: &Partition, events: &[EdgeEvent]) {
+        assert_eq!(p.num_colors(), self.k, "partition out of sync with delta");
+        let cap = self.cap;
+        for ev in events {
+            let cu = p.color_of(ev.source) as usize;
+            let cv = p.color_of(ev.target) as usize;
+            self.sum[cu * cap + cv] += ev.delta;
+            if self.symmetric && ev.source != ev.target {
+                self.sum[cv * cap + cu] += ev.delta;
+            }
+            self.mark_dirty(cu as u32);
+            self.mark_dirty(cv as u32);
+        }
+    }
+
+    /// Take the colors whose row/column entries or size changed since the
+    /// last call (every changed entry has one of them as an index), in
+    /// first-dirtied order, clearing the dirty state. A fresh delta
+    /// reports all colors dirty.
+    pub fn take_dirty_colors(&mut self) -> Vec<u32> {
+        for &c in &self.dirty {
+            self.dirty_flag[c as usize] = false;
+        }
+        std::mem::take(&mut self.dirty)
+    }
+
+    fn mark_dirty(&mut self, c: u32) {
+        if !self.dirty_flag[c as usize] {
+            self.dirty_flag[c as usize] = true;
+            self.dirty.push(c);
+        }
     }
 
     /// The compact `k × k` row-major quotient matrix (same layout as
@@ -296,6 +362,140 @@ impl ReducedDelta {
         }
         self.sum = grown;
         self.cap = new_cap;
+        self.dirty_flag.resize(new_cap, false);
+    }
+}
+
+/// An incrementally *emitted* reduced graph: the weighted adjacency rows a
+/// [`ReducedDelta`] would emit, patched in place per checkpoint instead of
+/// re-derived with a dense `O(k²)` sweep.
+///
+/// [`ReducedDelta::reduced_graph_with`] loops over all `k²` entries every
+/// time it is called, which the warm sweep pipeline pays at *every* budget
+/// checkpoint. Between two checkpoints, though, only entries indexed by a
+/// *dirty* color (a split's parent/child, an edge event's endpoint colors —
+/// values or sizes) can have changed, so this emitter keeps the weighted
+/// rows and, on [`PatchedReducedGraph::sync`], rebuilds just the dirty
+/// rows and patches the dirty columns of the rest: `O(dirty · k)` work.
+/// [`PatchedReducedGraph::to_graph`] then builds the CSR straight from the
+/// sorted rows in `O(k + arcs)` — no dense sweep, no sort, and
+/// bit-identical to what `reduced_graph_with` with the same weighting
+/// produces (same entry predicate `sum != 0 && weight != 0`, same
+/// row-major order).
+pub struct PatchedReducedGraph<F> {
+    weight: F,
+    rows: Vec<Vec<(u32, f64)>>,
+}
+
+impl<F: Fn(usize, usize, f64, usize, usize) -> f64> PatchedReducedGraph<F> {
+    /// Build the emitted rows from the delta's current state (full
+    /// `O(k²)` sweep, once) and clear its dirty set. `weight` has the
+    /// [`reduced_graph_with`] contract: `f(i, j, sum, |P_i|, |P_j|)`,
+    /// returning `0.0` to omit the edge.
+    pub fn new(delta: &mut ReducedDelta, weight: F) -> Self {
+        let mut emitter = PatchedReducedGraph {
+            weight,
+            rows: Vec::new(),
+        };
+        delta.take_dirty_colors();
+        let k = delta.num_colors();
+        emitter.rows.reserve(k);
+        for i in 0..k {
+            let row = emitter.build_row(delta, i);
+            emitter.rows.push(row);
+        }
+        emitter
+    }
+
+    /// Number of colors currently emitted.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The emitted weighted adjacency rows (sorted by target color).
+    #[inline]
+    pub fn rows(&self) -> &[Vec<(u32, f64)>] {
+        &self.rows
+    }
+
+    /// Re-synchronize with the delta: rebuild the rows of colors dirtied
+    /// since the last sync (including rows of freshly created colors) and
+    /// patch their columns in every clean row. `O(dirty · k)` — the dense
+    /// `O(k²)` sweep only ever happens in [`Self::new`].
+    pub fn sync(&mut self, delta: &mut ReducedDelta) {
+        let k = delta.num_colors();
+        let dirty = delta.take_dirty_colors();
+        if dirty.is_empty() && self.rows.len() == k {
+            return;
+        }
+        self.rows.resize_with(k, Vec::new);
+        let mut is_dirty = vec![false; k];
+        for &d in &dirty {
+            is_dirty[d as usize] = true;
+        }
+        for &d in &dirty {
+            let row = self.build_row(delta, d as usize);
+            self.rows[d as usize] = row;
+        }
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if is_dirty[i] {
+                continue;
+            }
+            for &d in &dirty {
+                let j = d as usize;
+                let sum = delta.pair_weight(i, j);
+                let w = if sum == 0.0 {
+                    0.0
+                } else {
+                    (self.weight)(i, j, sum, delta.size(i), delta.size(j))
+                };
+                patch_sorted_row(row, d, w);
+            }
+        }
+    }
+
+    /// Emit the reduced graph as a CSR [`Graph`] in `O(k + arcs)`.
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_row_adjacency(self.rows.len(), true, &self.rows)
+    }
+
+    fn build_row(&self, delta: &ReducedDelta, i: usize) -> Vec<(u32, f64)> {
+        let k = delta.num_colors();
+        let mut row = Vec::new();
+        for j in 0..k {
+            let sum = delta.pair_weight(i, j);
+            if sum == 0.0 {
+                continue;
+            }
+            let w = (self.weight)(i, j, sum, delta.size(i), delta.size(j));
+            if w != 0.0 {
+                row.push((j as u32, w));
+            }
+        }
+        row
+    }
+}
+
+/// Set entry `col` of a sorted sparse row to `w` — updating, removing
+/// (`w == 0.0`) or inserting as needed. The shared kernel of the patched
+/// emitters' column-patch passes ([`PatchedReducedGraph::sync`] here and
+/// `qsc-lp`'s `PatchedReducedLp::sync`), so the zero-entry predicate and
+/// ordering behaviour cannot drift between the pipelines.
+pub fn patch_sorted_row(row: &mut Vec<(u32, f64)>, col: u32, w: f64) {
+    match row.binary_search_by_key(&col, |&(c, _)| c) {
+        Ok(pos) => {
+            if w != 0.0 {
+                row[pos].1 = w;
+            } else {
+                row.remove(pos);
+            }
+        }
+        Err(pos) => {
+            if w != 0.0 {
+                row.insert(pos, (col, w));
+            }
+        }
     }
 }
 

@@ -73,13 +73,47 @@
 //! consumers (the reduced-graph delta, the LP reduction delta) can patch
 //! their state in lockstep; [`crate::sweep::ColoringSweep`] packages this
 //! into a checkpointing driver.
+//!
+//! # Dynamic graphs
+//!
+//! A run also survives *graph* updates: [`RothkoRun::apply_edge_batch`]
+//! takes a batch of edge insert/delete/reweight events (from
+//! `qsc_graph::delta::GraphDelta`) together with the compacted post-batch
+//! graph, patches the engine in `O(touched)`, and re-opens the run so
+//! [`RothkoRun::maintain`] can re-establish the configured (q, k)
+//! invariant by splitting only where the batch pushed the error above the
+//! target — instead of recomputing the coloring from scratch. Because the
+//! patched engine state equals a freshly built engine on the compacted
+//! graph (exactly so for exactly-representable weights), the maintenance
+//! splits are bit-identical to what a fresh run *started from the same
+//! coloring* would do; `bench_dynamic` records the resulting
+//! maintain-vs-recompute speedup under sustained churn.
 
 use crate::parallel::default_threads;
 use crate::partition::{Partition, SplitEvent};
 use crate::q_error::{
     pick_witnesses_scratch, q_error_report, DegreeMatrices, IncrementalDegrees, WitnessCandidate,
 };
+use qsc_graph::delta::EdgeEvent;
 use qsc_graph::Graph;
+
+/// The graph a [`RothkoRun`] refines: borrowed at start, owned after the
+/// first [`RothkoRun::apply_edge_batch`] swapped in a compacted successor
+/// (the caller's original graph no longer describes the refined state).
+enum GraphStore<'g> {
+    Borrowed(&'g Graph),
+    Owned(Box<Graph>),
+}
+
+impl GraphStore<'_> {
+    #[inline]
+    fn get(&self) -> &Graph {
+        match self {
+            GraphStore::Borrowed(g) => g,
+            GraphStore::Owned(g) => g,
+        }
+    }
+}
 
 /// How to pick the split threshold inside the witness color.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -299,7 +333,7 @@ impl Rothko {
 
 /// An in-progress, resumable Rothko run.
 pub struct RothkoRun<'g> {
-    graph: &'g Graph,
+    graph: GraphStore<'g>,
     config: RothkoConfig,
     partition: Partition,
     /// The incremental engine (`None` in from-scratch reference mode,
@@ -351,7 +385,7 @@ impl<'g> RothkoRun<'g> {
         };
         let done = n == 0;
         RothkoRun {
-            graph,
+            graph: GraphStore::Borrowed(graph),
             config,
             partition,
             engine,
@@ -385,9 +419,10 @@ impl<'g> RothkoRun<'g> {
         self.done
     }
 
-    /// The graph this run refines.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    /// The graph this run refines (the compacted post-batch graph after
+    /// an [`Self::apply_edge_batch`]).
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
     }
 
     /// The [`SplitEvent`] of the most recent successful split, or `None`
@@ -467,6 +502,63 @@ impl<'g> RothkoRun<'g> {
         self.partition.num_colors() >= budget
     }
 
+    /// Apply a batch of edge events to the running refinement — the
+    /// dynamic-graph maintenance entry point. The engine's accumulators,
+    /// pair summaries and witness rows are patched in
+    /// `O(events + touched entries)` (no graph traversal; see
+    /// [`IncrementalDegrees::apply_edge_batch`]), the run's graph is
+    /// swapped for `compacted` — the post-batch graph, e.g. from
+    /// `qsc_graph::delta::GraphDelta::compact` — which the run owns from
+    /// now on, and the run is re-opened: the batch may have pushed the
+    /// maximum error back above the configured target.
+    ///
+    /// Call [`Self::maintain`] (or drive [`Self::step`] /
+    /// [`Self::run_to_budget`] yourself) afterwards to re-establish the
+    /// configured (q, k) invariant; only colors whose error the batch
+    /// actually disturbed are re-split, because witness selection reads
+    /// the patched error state. The node set and directedness must not
+    /// change. Debug builds cross-check the patched engine against
+    /// [`DegreeMatrices`] rebuilt from `compacted`.
+    pub fn apply_edge_batch(&mut self, compacted: Graph, events: &[EdgeEvent]) {
+        assert_eq!(
+            compacted.num_nodes(),
+            self.partition.num_nodes(),
+            "maintenance cannot change the node set"
+        );
+        assert_eq!(
+            compacted.is_directed(),
+            self.graph.get().is_directed(),
+            "maintenance cannot change directedness"
+        );
+        if let Some(engine) = &mut self.engine {
+            engine.apply_edge_batch(&self.partition, events);
+        }
+        // Reference mode recomputes its matrices from the graph each
+        // round, so swapping the graph is all it needs.
+        self.graph = GraphStore::Owned(Box::new(compacted));
+        self.done = self.partition.num_nodes() == 0;
+        #[cfg(debug_assertions)]
+        if let Some(engine) = &self.engine {
+            debug_assert_eq!(
+                engine.verify_against(self.graph.get(), &self.partition),
+                Ok(()),
+                "edge batch diverged from the compacted graph"
+            );
+        }
+    }
+
+    /// Re-establish the configured (q, k) invariant after
+    /// [`Self::apply_edge_batch`]: run synchronization rounds until the
+    /// error target is met, the color budget or iteration cap is
+    /// exhausted, or no further split is possible. Returns the number of
+    /// splits performed (zero when the batch left every error within
+    /// target).
+    pub fn maintain(&mut self) -> usize {
+        let before = self.iterations;
+        while self.step() {}
+        self.iterations - before
+    }
+
     /// One synchronization round bounded by `max_colors` (which is at most
     /// the configured budget): refresh the witness state once, take the top
     /// candidates (at most `batch`, clamped by every remaining cap), apply
@@ -483,7 +575,7 @@ impl<'g> RothkoRun<'g> {
             return false;
         }
         let k = self.partition.num_colors();
-        let n = self.graph.num_nodes();
+        let n = self.graph.get().num_nodes();
         if k >= n {
             self.done = true;
             return false;
@@ -525,7 +617,7 @@ impl<'g> RothkoRun<'g> {
                 // Reference mode: the seed's original per-round behaviour —
                 // recompute the degree matrices from the graph, then run
                 // the same row-ordered witness selection over them.
-                let m = DegreeMatrices::compute(self.graph, &self.partition);
+                let m = DegreeMatrices::compute(self.graph.get(), &self.partition);
                 self.last_max_error = m.max_error();
                 if self.last_max_error <= self.config.target_error {
                     Vec::new()
@@ -604,13 +696,13 @@ impl<'g> RothkoRun<'g> {
                 engine.refresh(&self.partition, self.config.beta);
                 engine.max_error()
             }
-            None => DegreeMatrices::compute(self.graph, &self.partition).max_error(),
+            None => DegreeMatrices::compute(self.graph.get(), &self.partition).max_error(),
         }
     }
 
     /// Stop now and package the current coloring with exact quality metrics.
     pub fn finish(self) -> Coloring {
-        let report = q_error_report(self.graph, &self.partition);
+        let report = q_error_report(self.graph.get(), &self.partition);
         Coloring {
             partition: self.partition,
             max_q_error: report.max_q,
@@ -649,13 +741,13 @@ impl<'g> RothkoRun<'g> {
                 for &v in members {
                     let mut d = 0.0;
                     if w.outgoing {
-                        for (t, weight) in self.graph.out_edges(v) {
+                        for (t, weight) in self.graph.get().out_edges(v) {
                             if self.partition.color_of(t) == w.other_color {
                                 d += weight;
                             }
                         }
                     } else {
-                        for (s, weight) in self.graph.in_edges(v) {
+                        for (s, weight) in self.graph.get().in_edges(v) {
                             if self.partition.color_of(s) == w.other_color {
                                 d += weight;
                             }
@@ -717,7 +809,7 @@ impl<'g> RothkoRun<'g> {
                 .split_color(w.split_color, |v| scratch[v as usize] > threshold)
             {
                 if let Some(engine) = &mut self.engine {
-                    engine.apply_split(self.graph, &self.partition, &event);
+                    engine.apply_split(self.graph.get(), &self.partition, &event);
                 }
                 return Some(event);
             }

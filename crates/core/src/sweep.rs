@@ -44,6 +44,7 @@
 
 use crate::partition::{Partition, SplitEvent};
 use crate::rothko::{Rothko, RothkoConfig, RothkoRun};
+use qsc_graph::delta::EdgeEvent;
 use qsc_graph::Graph;
 
 /// The state of a sweep at one budget checkpoint.
@@ -113,6 +114,22 @@ impl<'g> ColoringSweep<'g> {
             max_q_error: self.run.exact_max_error(),
             iterations: self.run.iterations(),
         }
+    }
+
+    /// Thread a batch of edge events through the sweep — the dynamic-graph
+    /// half of the delta vocabulary. The run's engine is patched in
+    /// `O(touched)`, the compacted post-batch graph is swapped in, and the
+    /// refinement re-opens (see [`RothkoRun::apply_edge_batch`]).
+    ///
+    /// Consumers that mirror the refinement ([`crate::reduced::ReducedDelta`],
+    /// `qsc-lp`'s aggregates) take the *same* events through their own
+    /// `apply_edge_batch` — the caller hands the batch to both sides, just
+    /// as [`Self::advance_to`] hands them each [`SplitEvent`]. The next
+    /// `advance_to` (a re-visit of the current budget is a no-op; sweeps
+    /// only refine) then delivers any invariant-restoring splits in the
+    /// usual lockstep.
+    pub fn apply_edge_batch(&mut self, compacted: Graph, events: &[EdgeEvent]) {
+        self.run.apply_edge_batch(compacted, events);
     }
 
     /// Consume the sweep, returning the underlying run (e.g. to `finish()`

@@ -9,6 +9,10 @@
 //! * the coloring advances incrementally (`ColoringSweep`),
 //! * the reduced network's capacity matrix is patched per split
 //!   (`ReducedDelta`, `O(deg(moved) + k)`),
+//! * the reduced *instance itself* is patched in place per checkpoint
+//!   (`PatchedReducedGraph`: only rows/columns of colors dirtied since the
+//!   last checkpoint are re-emitted — `O(dirty · k)` instead of the dense
+//!   `O(k²)` re-emission, with a `O(k + arcs)` CSR build),
 //! * the reduced solve resumes from the previous budget's preflow
 //!   ([`crate::push_relabel::WarmFlowSolver`]).
 //!
@@ -23,10 +27,21 @@
 use crate::network::FlowNetwork;
 use crate::push_relabel::WarmFlowSolver;
 use crate::reduce::pinned_initial;
-use qsc_core::reduced::ReducedDelta;
+use qsc_core::reduced::{PatchedReducedGraph, ReducedDelta};
 use qsc_core::rothko::RothkoConfig;
 use qsc_core::sweep::ColoringSweep;
 use std::time::Instant;
+
+/// The reduced-capacity weighting shared by the sweep's emission paths:
+/// self-loops carry no s-t flow, and tiny negative residues from
+/// incremental cancellation are clamped to the true value, zero.
+pub(crate) fn reduced_capacity(i: usize, j: usize, sum: f64) -> f64 {
+    if i == j {
+        0.0
+    } else {
+        sum.max(0.0)
+    }
+}
 
 /// One budget point of a warm-started max-flow sweep.
 #[derive(Clone, Debug)]
@@ -74,6 +89,8 @@ pub fn sweep_max_flow(
     );
     let mut sweep = ColoringSweep::new(graph, config);
     let mut delta = ReducedDelta::new(graph, sweep.partition());
+    let mut emitter =
+        PatchedReducedGraph::new(&mut delta, |i, j, sum, _, _| reduced_capacity(i, j, sum));
     let mut solver = WarmFlowSolver::new();
     let start = Instant::now();
     budgets
@@ -81,10 +98,10 @@ pub fn sweep_max_flow(
         .map(|&budget| {
             let checkpoint =
                 sweep.advance_to(budget.max(3), |p, ev| delta.apply_split(graph, p, ev));
-            // Self-loops carry no s-t flow; tiny negative residues from
-            // incremental cancellation are clamped to the true value, zero.
-            let reduced =
-                delta.reduced_graph_with(|i, j, sum, _, _| if i == j { 0.0 } else { sum.max(0.0) });
+            // Patch the emitted reduced network in place: only rows/columns
+            // the splits since the last checkpoint dirtied are re-derived.
+            emitter.sync(&mut delta);
+            let reduced = emitter.to_graph();
             let result = solver.solve(&FlowNetwork::new(reduced, s_color, t_color));
             FlowSweepPoint {
                 budget,

@@ -61,6 +61,66 @@ impl Graph {
         }
     }
 
+    /// Build a graph directly from per-node out-adjacency rows, each sorted
+    /// by target with at most one entry per target (i.e. already merged).
+    /// For undirected graphs every edge `{u, v}` must appear in both rows
+    /// (self-loops once), exactly as the CSR stores it.
+    ///
+    /// `O(n + arcs)` with no sorting — this is the fast path for callers
+    /// that maintain merged adjacency themselves ([`crate::delta::GraphDelta`]
+    /// compaction, the patched reduced-graph emission) and it produces
+    /// bit-identical CSR arrays to a [`GraphBuilder`] fed the same arcs.
+    pub fn from_row_adjacency(n: usize, directed: bool, rows: &[Vec<(NodeId, f64)>]) -> Self {
+        assert_eq!(rows.len(), n, "one adjacency row per node");
+        let arcs: usize = rows.iter().map(|r| r.len()).sum();
+        let mut out_offsets = vec![0usize; n + 1];
+        let mut out_targets = Vec::with_capacity(arcs);
+        let mut out_weights = Vec::with_capacity(arcs);
+        let mut in_offsets = vec![0usize; n + 1];
+        let mut m = 0usize;
+        for (u, row) in rows.iter().enumerate() {
+            out_offsets[u + 1] = out_offsets[u] + row.len();
+            for (idx, &(v, w)) in row.iter().enumerate() {
+                debug_assert!((v as usize) < n, "target {v} out of range");
+                debug_assert!(
+                    idx == 0 || row[idx - 1].0 < v,
+                    "row {u} not strictly sorted by target"
+                );
+                out_targets.push(v);
+                out_weights.push(w);
+                in_offsets[v as usize + 1] += 1;
+                if directed || u as NodeId <= v {
+                    m += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; arcs];
+        let mut in_weights = vec![0f64; arcs];
+        for (u, row) in rows.iter().enumerate() {
+            for &(v, w) in row {
+                let pos = cursor[v as usize];
+                in_sources[pos] = u as NodeId;
+                in_weights[pos] = w;
+                cursor[v as usize] += 1;
+            }
+        }
+        Graph {
+            n,
+            m,
+            directed,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
     /// Create an empty graph with `n` isolated nodes.
     pub fn empty(n: usize, directed: bool) -> Self {
         Graph {

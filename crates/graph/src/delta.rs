@@ -1,0 +1,568 @@
+//! A mutable delta layer over the immutable CSR [`Graph`].
+//!
+//! The coloring pipeline's graphs are CSR-immutable by design (every hot
+//! loop reads raw adjacency arrays), but the dynamic-graph maintenance path
+//! needs edge churn: live traffic inserts, deletes and reweights edges while
+//! downstream consumers ([`qsc_core`]'s incremental engine, the reduced
+//! quotient matrix, a running `RothkoRun`) patch their state per batch
+//! instead of rebuilding. [`GraphDelta`] provides that layer:
+//!
+//! * **Batched mutations.** [`GraphDelta::insert_edge`],
+//!   [`GraphDelta::delete_edge`] and [`GraphDelta::reweight_edge`] record a
+//!   per-node sorted *overlay* over the base CSR (current-weight overrides,
+//!   `O(log deg)` per lookup) and append one [`EdgeEvent`] per logical edge
+//!   change to the pending batch. Point queries ([`GraphDelta::weight`],
+//!   [`GraphDelta::has_edge`], [`GraphDelta::num_edges`]) see the merged
+//!   view immediately.
+//! * **Event hand-off.** [`GraphDelta::drain_events`] takes the pending
+//!   batch. An [`EdgeEvent`] is a *signed weight change* of one logical
+//!   edge — `+w` for an insert, `-w_old` for a delete, `new − old` for a
+//!   reweight — which is exactly the currency the incremental consumers
+//!   patch their accumulators with (`IncrementalDegrees::apply_edge_batch`,
+//!   `ReducedDelta::apply_edge_batch`).
+//! * **Periodic compaction.** [`GraphDelta::compact`] folds the overlay
+//!   back into a fresh CSR [`Graph`] in `O(n + m + overlay)` (no sort — the
+//!   overlay is kept in neighbor order) and resets the overlay. Callers
+//!   compact when they need raw adjacency again (the refinement engine's
+//!   split path scans CSR arrays) or when the overlay grows past a
+//!   fraction of the arc count ([`GraphDelta::overlay_arcs`]).
+//!
+//! # Edge policy
+//!
+//! The delta layer is stricter than [`crate::GraphBuilder`] (which merges
+//! duplicates by summing): inserting an edge that already exists is an
+//! error ([`DeltaError::EdgeExists`]) — use
+//! [`GraphDelta::reweight_edge`] — and deleting or reweighting an absent
+//! edge is an error ([`DeltaError::NoSuchEdge`]). Self-loops are legal and
+//! count as one logical edge (stored as a single arc, exactly like the CSR
+//! convention). On undirected graphs an edge `{u, v}` is one logical edge;
+//! its event carries the endpoints once and consumers apply it to both arc
+//! directions. Weights must be finite ([`DeltaError::InvalidWeight`]);
+//! inserting with weight `0.0` is rejected (a zero-weight edge is
+//! indistinguishable from an absent one for every consumer), while
+//! reweighting *to* `0.0` is expressed as a delete.
+
+use crate::csr::{Graph, NodeId};
+
+/// One logical-edge weight change: the currency of the dynamic-graph
+/// maintenance path. `delta` is the signed change (`new − old`), so
+/// inserts carry `+w`, deletes `-w_old`, and reweights the difference.
+///
+/// For undirected graphs the event names the endpoints once (in the order
+/// the mutation was issued); consumers apply it to both stored arc
+/// directions themselves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeEvent {
+    /// Arc source (one endpoint for undirected graphs).
+    pub source: NodeId,
+    /// Arc target (the other endpoint for undirected graphs).
+    pub target: NodeId,
+    /// Signed weight change of the logical edge.
+    pub delta: f64,
+}
+
+/// Errors from delta-layer mutations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaError {
+    /// An endpoint was `>= num_nodes()`.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// `insert_edge` on an edge that already exists (use `reweight_edge`).
+    EdgeExists { source: NodeId, target: NodeId },
+    /// `delete_edge`/`reweight_edge` on an edge that does not exist.
+    NoSuchEdge { source: NodeId, target: NodeId },
+    /// A non-finite weight, or an insert/reweight to exactly `0.0`.
+    InvalidWeight { weight: f64 },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            DeltaError::EdgeExists { source, target } => {
+                write!(f, "edge ({source}, {target}) already exists")
+            }
+            DeltaError::NoSuchEdge { source, target } => {
+                write!(f, "edge ({source}, {target}) does not exist")
+            }
+            DeltaError::InvalidWeight { weight } => {
+                write!(f, "invalid edge weight {weight}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Current state of one overlaid arc: a weight override or an explicit
+/// deletion of a base arc.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ArcState {
+    Present(f64),
+    Absent,
+}
+
+/// A mutable batched delta over an immutable CSR base graph. See the
+/// module docs for the design and the edge policy.
+#[derive(Clone, Debug)]
+pub struct GraphDelta {
+    base: Graph,
+    /// Per-node overlay of `(neighbor, state)` overrides of the base
+    /// out-adjacency, sorted by neighbor. Undirected edges keep an entry in
+    /// both endpoints' rows (one for self-loops), mirroring the CSR's
+    /// symmetric-arc storage.
+    overlay: Vec<Vec<(NodeId, ArcState)>>,
+    /// Pending logical-edge events since the last [`Self::drain_events`].
+    events: Vec<EdgeEvent>,
+    /// Current logical edge count (arcs for directed, edges for
+    /// undirected).
+    num_edges: usize,
+    /// Number of overlay entries (compaction-policy signal).
+    overlay_arcs: usize,
+}
+
+impl GraphDelta {
+    /// Wrap a base graph with an empty overlay.
+    pub fn new(base: Graph) -> Self {
+        let n = base.num_nodes();
+        let num_edges = base.num_edges();
+        GraphDelta {
+            base,
+            overlay: vec![Vec::new(); n],
+            events: Vec::new(),
+            num_edges,
+            overlay_arcs: 0,
+        }
+    }
+
+    /// Number of nodes (fixed; the delta layer does not add nodes).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    /// Current number of logical edges (insertions minus deletions applied
+    /// to the base count).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Whether the base graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.base.is_directed()
+    }
+
+    /// The base graph the overlay applies to (the state as of the last
+    /// compaction).
+    #[inline]
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// Number of overlay entries not yet folded into the CSR. Callers use
+    /// this to decide when a [`Self::compact`] pays for itself.
+    #[inline]
+    pub fn overlay_arcs(&self) -> usize {
+        self.overlay_arcs
+    }
+
+    /// Number of pending (undrained) events.
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Current weight of the arc `(u, v)` (`0.0` when absent), overlay
+    /// included. `O(log deg)`.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> f64 {
+        match self.overlay_state(u, v) {
+            Some(ArcState::Present(w)) => w,
+            Some(ArcState::Absent) => 0.0,
+            None => self.base.weight(u, v),
+        }
+    }
+
+    /// Whether the arc `(u, v)` currently exists, overlay included.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        match self.overlay_state(u, v) {
+            Some(ArcState::Present(_)) => true,
+            Some(ArcState::Absent) => false,
+            None => self.base.has_edge(u, v),
+        }
+    }
+
+    /// Insert the edge `(u, v)` with the given weight. Errors if the edge
+    /// already exists, an endpoint is out of range, or the weight is
+    /// non-finite or exactly zero. Records one [`EdgeEvent`] with
+    /// `delta = weight`.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<(), DeltaError> {
+        self.check_nodes(u, v)?;
+        if !weight.is_finite() || weight == 0.0 {
+            return Err(DeltaError::InvalidWeight { weight });
+        }
+        if self.has_edge(u, v) {
+            return Err(DeltaError::EdgeExists {
+                source: u,
+                target: v,
+            });
+        }
+        self.set_state(u, v, ArcState::Present(weight));
+        if !self.is_directed() && u != v {
+            self.set_state(v, u, ArcState::Present(weight));
+        }
+        self.num_edges += 1;
+        self.events.push(EdgeEvent {
+            source: u,
+            target: v,
+            delta: weight,
+        });
+        Ok(())
+    }
+
+    /// Delete the edge `(u, v)`. Errors if it does not exist. Records one
+    /// [`EdgeEvent`] with `delta = -old_weight`.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), DeltaError> {
+        self.check_nodes(u, v)?;
+        if !self.has_edge(u, v) {
+            return Err(DeltaError::NoSuchEdge {
+                source: u,
+                target: v,
+            });
+        }
+        let old = self.weight(u, v);
+        self.set_state(u, v, ArcState::Absent);
+        if !self.is_directed() && u != v {
+            self.set_state(v, u, ArcState::Absent);
+        }
+        self.num_edges -= 1;
+        self.events.push(EdgeEvent {
+            source: u,
+            target: v,
+            delta: -old,
+        });
+        Ok(())
+    }
+
+    /// Change the weight of the existing edge `(u, v)` to `weight`. Errors
+    /// if the edge does not exist or the weight is non-finite or exactly
+    /// zero (delete instead). Records one [`EdgeEvent`] with
+    /// `delta = weight - old` (skipped entirely when the weight is
+    /// unchanged).
+    pub fn reweight_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<(), DeltaError> {
+        self.check_nodes(u, v)?;
+        if !weight.is_finite() || weight == 0.0 {
+            return Err(DeltaError::InvalidWeight { weight });
+        }
+        if !self.has_edge(u, v) {
+            return Err(DeltaError::NoSuchEdge {
+                source: u,
+                target: v,
+            });
+        }
+        let old = self.weight(u, v);
+        if old == weight {
+            return Ok(());
+        }
+        self.set_state(u, v, ArcState::Present(weight));
+        if !self.is_directed() && u != v {
+            self.set_state(v, u, ArcState::Present(weight));
+        }
+        self.events.push(EdgeEvent {
+            source: u,
+            target: v,
+            delta: weight - old,
+        });
+        Ok(())
+    }
+
+    /// Take the pending event batch (in mutation order), leaving the delta
+    /// ready to accumulate the next one.
+    pub fn drain_events(&mut self) -> Vec<EdgeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Fold the overlay into a fresh CSR graph, reset the overlay, and
+    /// return a clone of the new base (the delta keeps the other copy and
+    /// stays usable for further batches). `O(n + m + overlay)`; no sorting
+    /// — both the base arcs and the overlay rows are in neighbor order.
+    ///
+    /// Pending events are *not* drained: compaction changes the
+    /// representation, not the mutation history.
+    pub fn compact(&mut self) -> Graph {
+        if self.overlay_arcs > 0 {
+            let n = self.num_nodes();
+            let mut rows: Vec<Vec<(NodeId, f64)>> = Vec::with_capacity(n);
+            for u in 0..n as NodeId {
+                let (targets, weights) = self.base.out_arcs(u);
+                let over = &self.overlay[u as usize];
+                let mut row = Vec::with_capacity(targets.len() + over.len());
+                let mut oi = 0usize;
+                for (idx, &t) in targets.iter().enumerate() {
+                    while oi < over.len() && over[oi].0 < t {
+                        if let (v, ArcState::Present(w)) = over[oi] {
+                            row.push((v, w));
+                        }
+                        oi += 1;
+                    }
+                    if oi < over.len() && over[oi].0 == t {
+                        if let (v, ArcState::Present(w)) = over[oi] {
+                            row.push((v, w));
+                        }
+                        oi += 1;
+                    } else {
+                        row.push((t, weights[idx]));
+                    }
+                }
+                while oi < over.len() {
+                    if let (v, ArcState::Present(w)) = over[oi] {
+                        row.push((v, w));
+                    }
+                    oi += 1;
+                }
+                rows.push(row);
+            }
+            self.base = Graph::from_row_adjacency(n, self.is_directed(), &rows);
+            for row in &mut self.overlay {
+                row.clear();
+            }
+            self.overlay_arcs = 0;
+        }
+        debug_assert_eq!(self.base.num_edges(), self.num_edges);
+        self.base.clone()
+    }
+
+    // ---- internals ----
+
+    fn check_nodes(&self, u: NodeId, v: NodeId) -> Result<(), DeltaError> {
+        let n = self.num_nodes();
+        for node in [u, v] {
+            if node as usize >= n {
+                return Err(DeltaError::NodeOutOfRange { node, n });
+            }
+        }
+        Ok(())
+    }
+
+    fn overlay_state(&self, u: NodeId, v: NodeId) -> Option<ArcState> {
+        let row = &self.overlay[u as usize];
+        row.binary_search_by_key(&v, |&(t, _)| t)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    fn set_state(&mut self, u: NodeId, v: NodeId, state: ArcState) {
+        let base_has = self.base.has_edge(u, v);
+        let row = &mut self.overlay[u as usize];
+        match row.binary_search_by_key(&v, |&(t, _)| t) {
+            Ok(i) => {
+                // A no-op override (deleting an arc the base lacks, or
+                // restoring a base arc's own weight) could be dropped, but
+                // keeping it is simpler and compaction handles both.
+                if !base_has && state == ArcState::Absent {
+                    row.remove(i);
+                    self.overlay_arcs -= 1;
+                } else {
+                    row[i].1 = state;
+                }
+            }
+            Err(i) => {
+                if state != ArcState::Absent || base_has {
+                    row.insert(i, (v, state));
+                    self.overlay_arcs += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Rebuild a graph equal to `delta`'s current state from scratch via
+    /// [`GraphBuilder`] — the slow O(n²) reference path pinning
+    /// [`GraphDelta::compact`].
+    fn rebuild_reference(delta: &GraphDelta) -> Graph {
+        let n = delta.num_nodes();
+        let mut b = if delta.is_directed() {
+            GraphBuilder::new_directed(n)
+        } else {
+            GraphBuilder::new_undirected(n)
+        };
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if delta.is_directed() || u <= v {
+                    let w = delta.weight(u, v);
+                    if delta.has_edge(u, v) {
+                        b.add_edge(u, v, w);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new_undirected(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 0, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn insert_delete_reweight_round_trip() {
+        let mut d = GraphDelta::new(triangle());
+        assert_eq!(d.num_edges(), 3);
+        d.insert_edge(0, 3, 4.0).unwrap();
+        assert!(d.has_edge(0, 3));
+        assert!(d.has_edge(3, 0), "undirected insert mirrors");
+        assert_eq!(d.weight(3, 0), 4.0);
+        assert_eq!(d.num_edges(), 4);
+        d.reweight_edge(1, 2, 5.0).unwrap();
+        assert_eq!(d.weight(2, 1), 5.0);
+        d.delete_edge(0, 1).unwrap();
+        assert!(!d.has_edge(1, 0));
+        assert_eq!(d.num_edges(), 3);
+        let events = d.drain_events();
+        assert_eq!(
+            events,
+            vec![
+                EdgeEvent {
+                    source: 0,
+                    target: 3,
+                    delta: 4.0
+                },
+                EdgeEvent {
+                    source: 1,
+                    target: 2,
+                    delta: 3.0
+                },
+                EdgeEvent {
+                    source: 0,
+                    target: 1,
+                    delta: -1.0
+                },
+            ]
+        );
+        assert_eq!(d.pending_events(), 0);
+    }
+
+    #[test]
+    fn policy_errors() {
+        let mut d = GraphDelta::new(triangle());
+        assert_eq!(
+            d.insert_edge(0, 1, 1.0),
+            Err(DeltaError::EdgeExists {
+                source: 0,
+                target: 1
+            })
+        );
+        assert_eq!(
+            d.delete_edge(0, 3),
+            Err(DeltaError::NoSuchEdge {
+                source: 0,
+                target: 3
+            })
+        );
+        assert_eq!(
+            d.reweight_edge(0, 3, 2.0),
+            Err(DeltaError::NoSuchEdge {
+                source: 0,
+                target: 3
+            })
+        );
+        assert_eq!(
+            d.insert_edge(0, 3, 0.0),
+            Err(DeltaError::InvalidWeight { weight: 0.0 })
+        );
+        assert!(matches!(
+            d.insert_edge(0, 3, f64::NAN),
+            Err(DeltaError::InvalidWeight { .. })
+        ));
+        assert_eq!(
+            d.insert_edge(0, 9, 1.0),
+            Err(DeltaError::NodeOutOfRange { node: 9, n: 4 })
+        );
+        assert!(
+            d.drain_events().is_empty(),
+            "failed mutations record nothing"
+        );
+    }
+
+    #[test]
+    fn reweight_to_same_value_records_no_event() {
+        let mut d = GraphDelta::new(triangle());
+        d.reweight_edge(0, 1, 1.0).unwrap();
+        assert!(d.drain_events().is_empty());
+    }
+
+    #[test]
+    fn compact_matches_reference_rebuild() {
+        let mut d = GraphDelta::new(triangle());
+        d.insert_edge(3, 1, 2.5).unwrap();
+        d.delete_edge(2, 0).unwrap();
+        d.reweight_edge(0, 1, 7.0).unwrap();
+        d.insert_edge(3, 3, 1.5).unwrap(); // self-loop
+        let reference = rebuild_reference(&d);
+        let compacted = d.compact();
+        assert_eq!(d.overlay_arcs(), 0);
+        assert_eq!(compacted.num_nodes(), reference.num_nodes());
+        assert_eq!(compacted.num_edges(), reference.num_edges());
+        assert_eq!(compacted.num_arcs(), reference.num_arcs());
+        let a: Vec<_> = compacted.arcs().collect();
+        let b: Vec<_> = reference.arcs().collect();
+        assert_eq!(a, b);
+        // In-adjacency too (from_row_adjacency builds it independently).
+        for v in compacted.nodes() {
+            let ca: Vec<_> = compacted.in_edges(v).collect();
+            let ra: Vec<_> = reference.in_edges(v).collect();
+            assert_eq!(ca, ra, "in-arcs of {v}");
+        }
+        // The delta stays usable after compaction.
+        d.insert_edge(2, 0, 1.0).unwrap();
+        assert!(d.has_edge(0, 2));
+    }
+
+    #[test]
+    fn insert_after_delete_of_base_arc() {
+        let mut d = GraphDelta::new(triangle());
+        d.delete_edge(0, 1).unwrap();
+        d.insert_edge(0, 1, 9.0).unwrap();
+        assert_eq!(d.weight(0, 1), 9.0);
+        assert_eq!(d.num_edges(), 3);
+        let g = d.compact();
+        assert_eq!(g.weight(1, 0), 9.0);
+    }
+
+    #[test]
+    fn directed_delta_does_not_mirror() {
+        let mut b = GraphBuilder::new_directed(3);
+        b.add_edge(0, 1, 1.0);
+        let mut d = GraphDelta::new(b.build());
+        d.insert_edge(1, 2, 2.0).unwrap();
+        assert!(d.has_edge(1, 2));
+        assert!(!d.has_edge(2, 1));
+        d.delete_edge(0, 1).unwrap();
+        assert_eq!(d.num_edges(), 1);
+        let g = d.compact();
+        assert!(g.is_directed());
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weight(1, 2), 2.0);
+    }
+
+    #[test]
+    fn compact_without_changes_is_identity() {
+        let g = triangle();
+        let mut d = GraphDelta::new(g.clone());
+        let c = d.compact();
+        assert_eq!(c.num_edges(), g.num_edges());
+        let a: Vec<_> = c.arcs().collect();
+        let b: Vec<_> = g.arcs().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -6,13 +6,27 @@ use crate::{GraphError, Result};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-/// Read an edge list: one `u v [weight]` triple per line, `#`-prefixed lines
-/// are comments. Node ids may be arbitrary non-negative integers; they are
-/// compacted to `0..n`. Returns the graph (undirected if `directed == false`).
+/// Read an edge list: one `u v [weight]` triple per line, `#`- or
+/// `%`-prefixed lines are comments. Node ids may be arbitrary non-negative
+/// integers (up to `u64::MAX`); they are compacted to `0..n` preserving
+/// numeric order — no allocation proportional to the largest raw id, so
+/// sparse id spaces (SNAP exports) are safe. Returns the graph (undirected
+/// if `directed == false`).
+///
+/// Malformed input is an error, never a panic or a silently empty graph:
+/// missing fields, non-integer or negative ids, ids that overflow `u64`,
+/// non-finite weights, trailing tokens after the weight, and input with no
+/// edges at all (including comment-only input) all return
+/// [`GraphError::Parse`] / [`GraphError::InvalidWeight`].
+///
+/// Policy for degenerate edges (documented and tested): self-loops are
+/// kept (one arc, as the CSR stores them), and duplicate edges — repeated
+/// `(u, v)` lines, or both orientations of an undirected edge — are merged
+/// by *summing* their weights, matching [`GraphBuilder`]'s multigraph
+/// collapse.
 pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph> {
     let reader = BufReader::new(reader);
     let mut raw_edges: Vec<(u64, u64, f64)> = Vec::new();
-    let mut max_id: u64 = 0;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -24,44 +38,48 @@ pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph> {
             .next()
             .ok_or_else(|| parse_err(lineno, "missing source"))?
             .parse()
-            .map_err(|_| parse_err(lineno, "bad source id"))?;
+            .map_err(|_| parse_err(lineno, "bad source id (expected a non-negative integer)"))?;
         let v: u64 = parts
             .next()
             .ok_or_else(|| parse_err(lineno, "missing target"))?
             .parse()
-            .map_err(|_| parse_err(lineno, "bad target id"))?;
+            .map_err(|_| parse_err(lineno, "bad target id (expected a non-negative integer)"))?;
         let w: f64 = match parts.next() {
             Some(s) => s.parse().map_err(|_| parse_err(lineno, "bad weight"))?,
             None => 1.0,
         };
+        if parts.next().is_some() {
+            return Err(parse_err(lineno, "trailing tokens after 'u v [weight]'"));
+        }
         if !w.is_finite() {
             return Err(GraphError::InvalidWeight { weight: w });
         }
-        max_id = max_id.max(u).max(v);
         raw_edges.push((u, v, w));
     }
-    // Compact ids.
-    let mut present = vec![false; (max_id + 1) as usize];
+    if raw_edges.is_empty() {
+        return Err(parse_err(0, "no edges in input"));
+    }
+    // Compact ids via sort + dedup (memory proportional to the edge count,
+    // not to the largest raw id).
+    let mut ids: Vec<u64> = Vec::with_capacity(raw_edges.len() * 2);
     for &(u, v, _) in &raw_edges {
-        present[u as usize] = true;
-        present[v as usize] = true;
+        ids.push(u);
+        ids.push(v);
     }
-    let mut remap = vec![u32::MAX; (max_id + 1) as usize];
-    let mut next = 0u32;
-    for (id, &p) in present.iter().enumerate() {
-        if p {
-            remap[id] = next;
-            next += 1;
-        }
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() > u32::MAX as usize {
+        return Err(parse_err(0, "more than u32::MAX distinct node ids"));
     }
-    let n = next as usize;
+    let remap = |raw: u64| ids.binary_search(&raw).expect("id collected above") as u32;
+    let n = ids.len();
     let mut b = if directed {
         GraphBuilder::new_directed(n)
     } else {
         GraphBuilder::new_undirected(n)
     };
     for (u, v, w) in raw_edges {
-        b.add_edge(remap[u as usize], remap[v as usize], w);
+        b.add_edge(remap(u), remap(v), w);
     }
     Ok(b.build())
 }
@@ -102,7 +120,12 @@ pub struct DimacsMaxFlow {
 /// a <from> <to> <capacity>
 /// ```
 ///
-/// Node ids in the file are 1-based.
+/// Node ids in the file are 1-based; a `0` id, an id past the declared node
+/// count, descriptor lines before the `p` line, a duplicate `p` line, a
+/// negative / non-finite capacity, `source == sink`, or empty input all
+/// return `Err` (never panic). Duplicate arcs are merged by summing their
+/// capacities and self-loops are kept (they carry no s-t flow), matching
+/// the edge-list reader's policy.
 pub fn read_dimacs_max_flow<R: Read>(reader: R) -> Result<DimacsMaxFlow> {
     let reader = BufReader::new(reader);
     let mut n: Option<usize> = None;
@@ -116,44 +139,65 @@ pub fn read_dimacs_max_flow<R: Read>(reader: R) -> Result<DimacsMaxFlow> {
             continue;
         }
         let parts: Vec<&str> = t.split_whitespace().collect();
+        // 1-based node id bounded by the problem line's node count.
+        let node_id = |field: &str, what: &str, bound: usize| -> Result<NodeId> {
+            let id: usize = field
+                .parse()
+                .map_err(|_| parse_err(lineno, &format!("bad {what}")))?;
+            if id == 0 {
+                return Err(parse_err(lineno, &format!("{what} is 0 (ids are 1-based)")));
+            }
+            if id > bound {
+                return Err(parse_err(
+                    lineno,
+                    &format!("{what} {id} exceeds the declared node count {bound}"),
+                ));
+            }
+            Ok((id - 1) as NodeId)
+        };
         match parts[0] {
             "p" => {
-                if parts.len() < 4 || parts[1] != "max" {
+                if n.is_some() {
+                    return Err(parse_err(lineno, "duplicate problem line"));
+                }
+                if parts.len() != 4 || parts[1] != "max" {
                     return Err(parse_err(lineno, "expected 'p max <n> <m>'"));
                 }
-                n = Some(
-                    parts[2]
-                        .parse()
-                        .map_err(|_| parse_err(lineno, "bad node count"))?,
-                );
+                let count: usize = parts[2]
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad node count"))?;
+                parts[3]
+                    .parse::<usize>()
+                    .map_err(|_| parse_err(lineno, "bad arc count"))?;
+                n = Some(count);
             }
             "n" => {
-                if parts.len() < 3 {
+                let bound =
+                    n.ok_or_else(|| parse_err(lineno, "node descriptor before problem line"))?;
+                if parts.len() != 3 {
                     return Err(parse_err(lineno, "expected 'n <id> s|t'"));
                 }
-                let id: usize = parts[1]
-                    .parse()
-                    .map_err(|_| parse_err(lineno, "bad node id"))?;
+                let id = node_id(parts[1], "node id", bound)?;
                 match parts[2] {
-                    "s" => source = Some((id - 1) as NodeId),
-                    "t" => sink = Some((id - 1) as NodeId),
+                    "s" => source = Some(id),
+                    "t" => sink = Some(id),
                     other => return Err(parse_err(lineno, &format!("bad node role {other}"))),
                 }
             }
             "a" => {
-                if parts.len() < 4 {
+                let bound = n.ok_or_else(|| parse_err(lineno, "arc before problem line"))?;
+                if parts.len() != 4 {
                     return Err(parse_err(lineno, "expected 'a <u> <v> <cap>'"));
                 }
-                let u: usize = parts[1]
-                    .parse()
-                    .map_err(|_| parse_err(lineno, "bad arc source"))?;
-                let v: usize = parts[2]
-                    .parse()
-                    .map_err(|_| parse_err(lineno, "bad arc target"))?;
+                let u = node_id(parts[1], "arc source", bound)?;
+                let v = node_id(parts[2], "arc target", bound)?;
                 let c: f64 = parts[3]
                     .parse()
                     .map_err(|_| parse_err(lineno, "bad capacity"))?;
-                edges.push(((u - 1) as NodeId, (v - 1) as NodeId, c));
+                if !c.is_finite() || c < 0.0 {
+                    return Err(GraphError::InvalidWeight { weight: c });
+                }
+                edges.push((u, v, c));
             }
             other => return Err(parse_err(lineno, &format!("unknown line type {other}"))),
         }
@@ -161,6 +205,9 @@ pub fn read_dimacs_max_flow<R: Read>(reader: R) -> Result<DimacsMaxFlow> {
     let n = n.ok_or_else(|| parse_err(0, "missing problem line"))?;
     let source = source.ok_or_else(|| parse_err(0, "missing source"))?;
     let sink = sink.ok_or_else(|| parse_err(0, "missing sink"))?;
+    if source == sink {
+        return Err(parse_err(0, "source and sink are the same node"));
+    }
     let mut b = GraphBuilder::new_directed(n);
     for (u, v, c) in edges {
         b.add_edge(u, v, c);
@@ -251,7 +298,87 @@ mod tests {
 
     #[test]
     fn dimacs_missing_source_errors() {
-        let text = "p max 2 1\na 1 2 1\n";
+        let text = "p max 2 1\na 1 2 1\nn 1 s\n";
         assert!(read_dimacs_max_flow(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_empty_input_errors() {
+        assert!(read_edge_list("".as_bytes(), true).is_err());
+        assert!(read_edge_list("# only comments\n% here too\n".as_bytes(), true).is_err());
+    }
+
+    #[test]
+    fn edge_list_malformed_lines_error() {
+        for text in [
+            "0\n",                      // missing target
+            "0 -1\n",                   // negative id
+            "0 1 2.0 junk\n",           // trailing tokens
+            "0 1 inf\n",                // non-finite weight
+            "0 1 nan\n",                // non-finite weight
+            "a b\n",                    // non-integer ids
+            "0.5 1\n",                  // fractional id
+            "99999999999999999999 1\n", // id overflows u64
+        ] {
+            assert!(
+                read_edge_list(text.as_bytes(), true).is_err(),
+                "accepted malformed input {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_list_huge_sparse_ids_compact_without_blowup() {
+        // Ids near u64::MAX must not allocate id-proportional memory.
+        let text = format!("{} {}\n{} 7\n", u64::MAX - 1, u64::MAX - 5, u64::MAX - 5);
+        let g = read_edge_list(text.as_bytes(), true).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_self_loops_kept_and_duplicates_merged() {
+        let text = "0 0 2.0\n0 1 1.0\n0 1 3.0\n1 0 4.0\n";
+        let g = read_edge_list(text.as_bytes(), false).unwrap();
+        // Self-loop kept as one edge; the three {0,1} lines merge by sum.
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.weight(0, 0), 2.0);
+        assert_eq!(g.weight(0, 1), 8.0);
+        assert_eq!(g.weight(1, 0), 8.0);
+        // Directed: orientations stay distinct, same-orientation merges.
+        let g = read_edge_list(text.as_bytes(), true).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight(0, 1), 4.0);
+        assert_eq!(g.weight(1, 0), 4.0);
+    }
+
+    #[test]
+    fn dimacs_zero_and_out_of_range_ids_error() {
+        for text in [
+            "p max 4 1\nn 0 s\nn 4 t\na 1 2 1\n",   // 0 id (1-based)
+            "p max 4 1\nn 1 s\nn 5 t\na 1 2 1\n",   // id past node count
+            "p max 4 1\nn 1 s\nn 4 t\na 0 2 1\n",   // arc source 0
+            "p max 4 1\nn 1 s\nn 4 t\na 1 9 1\n",   // arc target past count
+            "n 1 s\np max 4 1\nn 4 t\na 1 2 1\n",   // descriptor before p
+            "p max 4 1\np max 4 1\nn 1 s\nn 4 t\n", // duplicate p
+            "p max 4 1\nn 1 s\nn 1 t\na 1 2 1\n",   // source == sink
+            "p max 4 1\nn 1 s\nn 4 t\na 1 2 -3\n",  // negative capacity
+            "p max 4 1\nn 1 s\nn 4 t\na 1 2 inf\n", // non-finite capacity
+            "",                                     // empty input
+        ] {
+            assert!(
+                read_dimacs_max_flow(text.as_bytes()).is_err(),
+                "accepted malformed input {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dimacs_duplicate_arcs_merge_and_self_loops_kept() {
+        let text = "p max 3 4\nn 1 s\nn 3 t\na 1 2 2\na 1 2 3\na 2 2 1\na 2 3 4\n";
+        let p = read_dimacs_max_flow(text.as_bytes()).unwrap();
+        assert_eq!(p.graph.weight(0, 1), 5.0);
+        assert_eq!(p.graph.weight(1, 1), 1.0);
+        assert_eq!(p.graph.num_edges(), 3);
     }
 }

@@ -9,6 +9,10 @@
 //!   directed graphs).
 //! * [`GraphBuilder`]: incremental construction from edge lists, with
 //!   duplicate-edge merging.
+//! * [`delta::GraphDelta`]: a mutable batched delta layer over the CSR for
+//!   dynamic graphs — edge insert/delete/reweight with [`delta::EdgeEvent`]
+//!   batches for incremental consumers, and periodic compaction back into
+//!   CSR.
 //! * [`bipartite::Bipartite`]: explicit weighted bipartite graphs, used by
 //!   the maximum-uniform-flow computation and by LP constraint matrices.
 //! * [`generators`]: seeded synthetic graph generators (Erdős–Rényi,
@@ -23,6 +27,7 @@
 pub mod bipartite;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod stats;
@@ -31,6 +36,7 @@ pub mod traversal;
 pub use bipartite::Bipartite;
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
+pub use delta::{DeltaError, EdgeEvent, GraphDelta};
 
 /// Errors produced by graph construction and IO.
 #[derive(Debug)]

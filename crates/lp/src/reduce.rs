@@ -146,7 +146,7 @@ pub struct LpColoring {
 /// singletons because Rothko only ever splits colors. Shared by
 /// [`color_lp`] and the budget sweep (`crate::sweep`), which relies on this
 /// exact layout to classify split events as row or column splits.
-pub(crate) fn coloring_graph(problem: &LpProblem) -> (qsc_graph::Graph, Partition) {
+pub fn coloring_graph(problem: &LpProblem) -> (qsc_graph::Graph, Partition) {
     let m = problem.num_rows();
     let n = problem.num_cols();
     let total_nodes = m + 1 + n + 1;

@@ -11,6 +11,10 @@
 //!   `O(nnz(moved rows/columns))` — each split moves a set of original rows
 //!   (or columns) from their color's aggregate into a fresh one, so only
 //!   the moved entries are touched ([`ReducedLpDelta`]);
+//! * the emitted reduced problem is patched in place per checkpoint
+//!   ([`PatchedReducedLp`]: only rows/columns dirtied since the last
+//!   checkpoint are re-derived, `O(dirty · k)` instead of the dense
+//!   `O(k·l)` re-emission);
 //! * the simplex solve restarts from the previous budget's optimal basis
 //!   (`solve_warm`), which stays meaningful because a split *appends* one
 //!   reduced row or column while keeping all existing indices stable.
@@ -85,6 +89,15 @@ pub struct ReducedLpDelta<'p> {
     col_sizes: Vec<usize>,
     /// Column-major copy of `A` for column splits.
     csc: Vec<Vec<(u32, f64)>>,
+    /// Reduced rows / columns whose aggregates or sizes changed since the
+    /// last [`Self::take_dirty`] — a row split touches only the parent and
+    /// child reduced rows, a column split only the parent and child
+    /// reduced columns, so [`PatchedReducedLp`] can re-emit in
+    /// `O(dirty · k)` instead of the dense `O(k·l)` sweep.
+    dirty_rows: Vec<u32>,
+    dirty_row_flag: Vec<bool>,
+    dirty_cols: Vec<u32>,
+    dirty_col_flag: Vec<bool>,
 }
 
 impl<'p> ReducedLpDelta<'p> {
@@ -118,6 +131,45 @@ impl<'p> ReducedLpDelta<'p> {
             row_sizes: vec![m],
             col_sizes: vec![n],
             csc,
+            dirty_rows: vec![0],
+            dirty_row_flag: vec![true],
+            dirty_cols: vec![0],
+            dirty_col_flag: vec![true],
+        }
+    }
+
+    /// Take the reduced rows and columns dirtied since the last call (in
+    /// first-dirtied order), clearing the dirty state.
+    pub fn take_dirty(&mut self) -> (Vec<u32>, Vec<u32>) {
+        for &r in &self.dirty_rows {
+            self.dirty_row_flag[r as usize] = false;
+        }
+        for &s in &self.dirty_cols {
+            self.dirty_col_flag[s as usize] = false;
+        }
+        (
+            std::mem::take(&mut self.dirty_rows),
+            std::mem::take(&mut self.dirty_cols),
+        )
+    }
+
+    fn mark_dirty_row(&mut self, r: u32) {
+        if self.dirty_row_flag.len() <= r as usize {
+            self.dirty_row_flag.resize(r as usize + 1, false);
+        }
+        if !self.dirty_row_flag[r as usize] {
+            self.dirty_row_flag[r as usize] = true;
+            self.dirty_rows.push(r);
+        }
+    }
+
+    fn mark_dirty_col(&mut self, s: u32) {
+        if self.dirty_col_flag.len() <= s as usize {
+            self.dirty_col_flag.resize(s as usize + 1, false);
+        }
+        if !self.dirty_col_flag[s as usize] {
+            self.dirty_col_flag[s as usize] = true;
+            self.dirty_cols.push(s);
         }
     }
 
@@ -161,6 +213,8 @@ impl<'p> ReducedLpDelta<'p> {
                 }
                 self.row_sizes[p] -= event.moved_nodes.len();
                 self.row_sizes[c] = event.moved_nodes.len();
+                self.mark_dirty_row(parent);
+                self.mark_dirty_row(child);
             }
             ColorKind::Col(parent) => {
                 let child = self.col_sizes.len() as u32;
@@ -186,6 +240,8 @@ impl<'p> ReducedLpDelta<'p> {
                 }
                 self.col_sizes[p] -= event.moved_nodes.len();
                 self.col_sizes[c] = event.moved_nodes.len();
+                self.mark_dirty_col(parent);
+                self.mark_dirty_col(child);
             }
             ColorKind::Pinned => unreachable!("pinned singleton colors are never split"),
         }
@@ -201,40 +257,51 @@ impl<'p> ReducedLpDelta<'p> {
         let mut triplets = Vec::new();
         for r in 0..k {
             for s in 0..l {
-                let v = self.a_sum[r][s];
-                if v != 0.0 {
-                    let scaled = match variant {
-                        LpReductionVariant::SqrtNormalized => {
-                            v / ((self.row_sizes[r] * self.col_sizes[s]) as f64).sqrt()
-                        }
-                        LpReductionVariant::GroheAverage => v / self.col_sizes[s] as f64,
-                    };
+                let scaled = self.scaled_entry(variant, r, s);
+                if scaled != 0.0 {
                     triplets.push((r as u32, s as u32, scaled));
                 }
             }
         }
-        let b_hat: Vec<f64> = (0..k)
-            .map(|r| match variant {
-                LpReductionVariant::SqrtNormalized => {
-                    self.b_sum[r] / (self.row_sizes[r] as f64).sqrt()
-                }
-                LpReductionVariant::GroheAverage => self.b_sum[r],
-            })
-            .collect();
-        let c_hat: Vec<f64> = (0..l)
-            .map(|s| match variant {
-                LpReductionVariant::SqrtNormalized => {
-                    self.c_sum[s] / (self.col_sizes[s] as f64).sqrt()
-                }
-                LpReductionVariant::GroheAverage => self.c_sum[s] / self.col_sizes[s] as f64,
-            })
-            .collect();
+        let b_hat: Vec<f64> = (0..k).map(|r| self.scaled_b(variant, r)).collect();
+        let c_hat: Vec<f64> = (0..l).map(|s| self.scaled_c(variant, s)).collect();
         LpProblem::new(
             format!("{}-sweep-{}x{}", self.problem.name, k, l),
             SparseMatrix::from_triplets(k, l, &triplets),
             b_hat,
             c_hat,
         )
+    }
+
+    /// Scaled reduced-matrix entry `(r, s)` under `variant` (the
+    /// [`Self::reduced_problem`] formula).
+    fn scaled_entry(&self, variant: LpReductionVariant, r: usize, s: usize) -> f64 {
+        let v = self.a_sum[r][s];
+        if v == 0.0 {
+            return 0.0;
+        }
+        match variant {
+            LpReductionVariant::SqrtNormalized => {
+                v / ((self.row_sizes[r] * self.col_sizes[s]) as f64).sqrt()
+            }
+            LpReductionVariant::GroheAverage => v / self.col_sizes[s] as f64,
+        }
+    }
+
+    /// Scaled reduced rhs entry `r` under `variant`.
+    fn scaled_b(&self, variant: LpReductionVariant, r: usize) -> f64 {
+        match variant {
+            LpReductionVariant::SqrtNormalized => self.b_sum[r] / (self.row_sizes[r] as f64).sqrt(),
+            LpReductionVariant::GroheAverage => self.b_sum[r],
+        }
+    }
+
+    /// Scaled reduced objective entry `s` under `variant`.
+    fn scaled_c(&self, variant: LpReductionVariant, s: usize) -> f64 {
+        match variant {
+            LpReductionVariant::SqrtNormalized => self.c_sum[s] / (self.col_sizes[s] as f64).sqrt(),
+            LpReductionVariant::GroheAverage => self.c_sum[s] / self.col_sizes[s] as f64,
+        }
     }
 
     /// Cross-check the maintained aggregates against a from-scratch
@@ -264,6 +331,104 @@ impl<'p> ReducedLpDelta<'p> {
     }
 }
 
+/// The incrementally *emitted* reduced LP: the scaled sparse rows, rhs and
+/// objective a [`ReducedLpDelta::reduced_problem`] call would produce,
+/// patched in place per checkpoint from the delta's dirty rows/columns
+/// (`O(dirty · k)`) instead of re-derived with the dense `O(k·l)` sweep —
+/// the LP twin of `qsc_core::reduced::PatchedReducedGraph`. Values are
+/// computed by the same formulas on the same aggregates, so the emitted
+/// problem is identical to the re-derived one (entry predicate
+/// `a_sum != 0`, row-major order included).
+pub struct PatchedReducedLp {
+    variant: LpReductionVariant,
+    /// Scaled entries per reduced row, sorted by reduced column.
+    rows: Vec<Vec<(u32, f64)>>,
+    b_hat: Vec<f64>,
+    c_hat: Vec<f64>,
+}
+
+impl PatchedReducedLp {
+    /// Build the emitted instance from the delta's current aggregates
+    /// (full sweep, once) and clear its dirty state.
+    pub fn new(delta: &mut ReducedLpDelta<'_>, variant: LpReductionVariant) -> Self {
+        delta.take_dirty();
+        let k = delta.num_rows();
+        let l = delta.num_cols();
+        let mut emitter = PatchedReducedLp {
+            variant,
+            rows: Vec::with_capacity(k),
+            b_hat: (0..k).map(|r| delta.scaled_b(variant, r)).collect(),
+            c_hat: (0..l).map(|s| delta.scaled_c(variant, s)).collect(),
+        };
+        for r in 0..k {
+            let row = emitter.build_row(delta, r);
+            emitter.rows.push(row);
+        }
+        emitter
+    }
+
+    /// Re-synchronize with the delta: rebuild dirty rows (including rows
+    /// of freshly split colors) and patch dirty columns in the clean rows.
+    pub fn sync(&mut self, delta: &mut ReducedLpDelta<'_>) {
+        let k = delta.num_rows();
+        let l = delta.num_cols();
+        let (dirty_rows, dirty_cols) = delta.take_dirty();
+        self.rows.resize_with(k, Vec::new);
+        self.b_hat.resize(k, 0.0);
+        self.c_hat.resize(l, 0.0);
+        let mut row_is_dirty = vec![false; k];
+        for &r in &dirty_rows {
+            row_is_dirty[r as usize] = true;
+            let row = self.build_row(delta, r as usize);
+            self.rows[r as usize] = row;
+            self.b_hat[r as usize] = delta.scaled_b(self.variant, r as usize);
+        }
+        for &s in &dirty_cols {
+            self.c_hat[s as usize] = delta.scaled_c(self.variant, s as usize);
+        }
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            if row_is_dirty[r] {
+                continue;
+            }
+            for &s in &dirty_cols {
+                let w = delta.scaled_entry(self.variant, r, s as usize);
+                qsc_core::reduced::patch_sorted_row(row, s, w);
+            }
+        }
+    }
+
+    /// Emit the reduced problem (`O(nnz)`; same name, values and triplet
+    /// order as [`ReducedLpDelta::reduced_problem`]).
+    pub fn to_problem(&self, name: &str) -> LpProblem {
+        let k = self.rows.len();
+        let l = self.c_hat.len();
+        let mut triplets = Vec::new();
+        for (r, row) in self.rows.iter().enumerate() {
+            for &(s, w) in row {
+                triplets.push((r as u32, s, w));
+            }
+        }
+        LpProblem::new(
+            format!("{}-sweep-{}x{}", name, k, l),
+            SparseMatrix::from_triplets(k, l, &triplets),
+            self.b_hat.clone(),
+            self.c_hat.clone(),
+        )
+    }
+
+    fn build_row(&self, delta: &ReducedLpDelta<'_>, r: usize) -> Vec<(u32, f64)> {
+        let l = delta.num_cols();
+        let mut row = Vec::new();
+        for s in 0..l {
+            let w = delta.scaled_entry(self.variant, r, s);
+            if w != 0.0 {
+                row.push((s as u32, w));
+            }
+        }
+        row
+    }
+}
+
 /// Sweep the coloring-based LP reduction over `budgets` (non-decreasing;
 /// each is clamped to at least 4 for the two reserved colors plus one row
 /// and one column color), solving each reduced problem with a warm-started
@@ -290,6 +455,7 @@ pub fn sweep_lp(
     };
     let mut sweep = ColoringSweep::new(&graph, rothko_config);
     let mut delta = ReducedLpDelta::new(problem);
+    let mut emitter = PatchedReducedLp::new(&mut delta, variant);
     let simplex_config = SimplexConfig::default();
     let mut basis: Option<SimplexBasis> = None;
     let start = Instant::now();
@@ -297,7 +463,10 @@ pub fn sweep_lp(
         .iter()
         .map(|&budget| {
             let checkpoint = sweep.advance_to(budget.max(4), |_, ev| delta.apply_split(ev));
-            let reduced = delta.reduced_problem(variant);
+            // Patch the emitted reduced LP in place: only rows/columns the
+            // splits since the last checkpoint dirtied are re-derived.
+            emitter.sync(&mut delta);
+            let reduced = emitter.to_problem(&problem.name);
             let warm = simplex::solve_warm(&reduced, &simplex_config, basis.as_ref());
             basis = warm.basis;
             LpSweepPoint {

@@ -129,6 +129,58 @@ fn forced_sharding_is_bit_identical_to_serial_engine() {
     }
 }
 
+/// Pin the sharded touched-collection phase: a giant split (half the
+/// graph moves, so nearly every node is a touched neighbor of several
+/// movers across chunk boundaries) must leave engines at thread counts
+/// {1, 4, 8} in bit-identical states — touched ordering included, since
+/// the ordering decides the attainer choices and witness tie-breaks the
+/// later assertions observe.
+#[test]
+fn sharded_touched_collection_is_bit_identical() {
+    for (directed, seed) in [(false, 19u64), (true, 37)] {
+        let g = random_graph(300, 2600, directed, seed);
+        let mut p1 = Partition::unit(300);
+        let mut engines: Vec<IncrementalDegrees> = [1usize, 4, 8]
+            .iter()
+            .map(|&t| {
+                let mut e = IncrementalDegrees::new_with_threads(&g, &p1, t);
+                if t > 1 {
+                    e.set_parallel_thresholds(1, 1);
+                }
+                e
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        for _ in 0..12 {
+            let k = p1.num_colors();
+            let candidates: Vec<u32> = (0..k as u32).filter(|&c| p1.size(c) >= 2).collect();
+            let Some(&c) = candidates.as_slice().choose(&mut rng) else {
+                break;
+            };
+            let mut members: Vec<u32> = p1.members(c).to_vec();
+            members.sort_unstable();
+            // Move roughly half the color: large touched sets with heavy
+            // cross-chunk neighbor overlap.
+            let pivot = members[members.len() / 2];
+            let Some(ev) = p1.split_color(c, |v| v >= pivot && v != members[0]) else {
+                continue;
+            };
+            for e in &mut engines {
+                e.apply_split(&g, &p1, &ev);
+            }
+            let mut picks = Vec::new();
+            for e in &mut engines {
+                e.refresh(&p1, 1.0);
+                picks.push((e.max_error().to_bits(), e.pick_witness(&p1, 1.0)));
+            }
+            assert_eq!(picks[0], picks[1], "threads 1 vs 4 (seed {seed})");
+            assert_eq!(picks[0], picks[2], "threads 1 vs 8 (seed {seed})");
+            assert_eq!(engines[1].verify_against(&g, &p1), Ok(()));
+        }
+        assert!(p1.num_colors() >= 8, "splits actually happened");
+    }
+}
+
 #[test]
 fn batched_rounds_respect_budgets_and_caps() {
     let g = random_graph(100, 450, false, 77);

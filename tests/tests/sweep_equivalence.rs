@@ -224,6 +224,97 @@ fn warm_simplex_equals_cold_on_random_reduction_chains() {
 }
 
 #[test]
+fn patched_lp_emission_equals_dense_reemission() {
+    // The in-place-patched reduced LP must equal the dense O(k·l)
+    // re-emission bit-for-bit at every checkpoint (same aggregates, same
+    // formulas, same triplet order).
+    use qsc_lp::reduce::coloring_graph;
+    use qsc_lp::sweep::{PatchedReducedLp, ReducedLpDelta};
+    let lp = qsc_datasets::load_lp("qap15", qsc_datasets::Scale::Small).unwrap();
+    let (graph, initial) = coloring_graph(&lp);
+    let rothko_config = RothkoConfig {
+        max_colors: usize::MAX,
+        initial: Some(initial),
+        ..Default::default()
+    };
+    for variant in [
+        LpReductionVariant::SqrtNormalized,
+        LpReductionVariant::GroheAverage,
+    ] {
+        let mut sweep = ColoringSweep::new(&graph, rothko_config.clone());
+        let mut delta = ReducedLpDelta::new(&lp);
+        let mut emitter = PatchedReducedLp::new(&mut delta, variant);
+        for budget in [5usize, 9, 14, 22] {
+            sweep.advance_to(budget, |_, ev| delta.apply_split(ev));
+            emitter.sync(&mut delta);
+            let patched = emitter.to_problem(&lp.name);
+            let dense = delta.reduced_problem(variant);
+            assert_eq!(patched.name, dense.name, "budget {budget}");
+            let pt: Vec<(u32, u32, u64)> = patched
+                .a
+                .triplets()
+                .map(|(i, j, v)| (i, j, v.to_bits()))
+                .collect();
+            let dt: Vec<(u32, u32, u64)> = dense
+                .a
+                .triplets()
+                .map(|(i, j, v)| (i, j, v.to_bits()))
+                .collect();
+            assert_eq!(pt, dt, "budget {budget} ({variant:?})");
+            let pb: Vec<u64> = patched.b.iter().map(|v| v.to_bits()).collect();
+            let db: Vec<u64> = dense.b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, db, "budget {budget} ({variant:?})");
+            let pc: Vec<u64> = patched.c.iter().map(|v| v.to_bits()).collect();
+            let dc: Vec<u64> = dense.c.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pc, dc, "budget {budget} ({variant:?})");
+        }
+    }
+}
+
+#[test]
+fn patched_flow_emission_equals_dense_reemission_after_churn() {
+    // The flow sweep's patched reduced network, including after edge
+    // churn threaded through the sweep, equals the dense re-emission.
+    use qsc_core::reduced::PatchedReducedGraph;
+    use qsc_graph::GraphDelta;
+    let net = integer_network(60, 360, 19);
+    let g = net.graph.clone();
+    let mut sweep = ColoringSweep::new(&g, RothkoConfig::default());
+    let mut delta = ReducedDelta::new(&g, sweep.partition());
+    let weighting =
+        |i: usize, j: usize, sum: f64, _: usize, _: usize| if i == j { 0.0 } else { sum.max(0.0) };
+    let mut emitter = PatchedReducedGraph::new(&mut delta, weighting);
+    let mut churn = GraphDelta::new(g.clone());
+    let mut current = g.clone();
+    for budget in [5usize, 9, 15] {
+        let closure_graph = current.clone();
+        sweep.advance_to(budget, |p, ev| delta.apply_split(&closure_graph, p, ev));
+        // Drop one existing edge, add one new one.
+        let (u, v, _) = current.edges()[budget];
+        churn.delete_edge(u, v).unwrap();
+        let mut added = false;
+        'outer: for a in 0..current.num_nodes() as u32 {
+            for b in 0..current.num_nodes() as u32 {
+                if a != b && !churn.has_edge(a, b) {
+                    churn.insert_edge(a, b, 2.0).unwrap();
+                    added = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(added);
+        let events = churn.drain_events();
+        current = churn.compact();
+        delta.apply_edge_batch(sweep.partition(), &events);
+        sweep.apply_edge_batch(current.clone(), &events);
+        emitter.sync(&mut delta);
+        let patched: Vec<_> = emitter.to_graph().arcs().collect();
+        let dense: Vec<_> = delta.reduced_graph_with(weighting).arcs().collect();
+        assert_eq!(patched, dense, "budget {budget}");
+    }
+}
+
+#[test]
 fn full_pipeline_sweep_on_grid_matches_cold_within_tolerance() {
     // Float capacities end-to-end (the realistic case): equality within
     // floating-point tolerance rather than bit-for-bit.
