@@ -24,9 +24,11 @@
 //! (re)validate the scaling bar.
 //!
 //! Run with: `cargo run --release -p qsc-bench --bin bench_parallel
-//! [-- --smoke] [--batch B]`. `--smoke` uses a small instance and checks
-//! determinism only (no file, no bar); `--batch` overrides the batched
-//! rounds' size (default 8). `--help` prints the flags.
+//! [-- --smoke] [--batch B] [--seed S]`. `--smoke` uses a small instance
+//! and checks determinism only (no file, no bar); `--batch` overrides the
+//! batched rounds' size (default 8); `--seed` feeds the graph generator
+//! and is recorded in the JSON so curves are reproducible. `--help`
+//! prints the flags.
 
 use qsc_bench::arg_value;
 use qsc_core::rothko::{Rothko, RothkoConfig, RothkoRun};
@@ -84,6 +86,7 @@ fn main() {
         println!("  --smoke      small instance, determinism checks only (CI)");
         println!("  --batch B    witness splits per synchronization round (default 8)");
         println!("  --threads T  extra thread count to measure besides 1/2/4/8");
+        println!("  --seed S     graph generator seed (default 7; recorded in the JSON)");
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -91,13 +94,16 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
     let extra_threads: Option<usize> = arg_value(&args, "--threads").and_then(|v| v.parse().ok());
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
 
     let (n, colors, reps) = if smoke {
         (2_000usize, 64usize, 1usize)
     } else {
         (10_000, 200, 5)
     };
-    let g = generators::barabasi_albert(n, 4, 7);
+    let g = generators::barabasi_albert(n, 4, seed);
     let base = RothkoConfig::with_max_colors(colors);
 
     // Pinned serial baseline: threads = 1, batch = 1 must equal the default
@@ -181,7 +187,7 @@ fn main() {
         .iter()
         .map(|o| {
             format!(
-                "{{\"graph\":\"barabasi_albert\",\"nodes\":{n},\"colors\":{colors},\"threads\":{},\"batch\":{},\"seconds\":{:.6},\"speedup_vs_serial\":{:.3}}}",
+                "{{\"graph\":\"barabasi_albert\",\"nodes\":{n},\"seed\":{seed},\"colors\":{colors},\"threads\":{},\"batch\":{},\"seconds\":{:.6},\"speedup_vs_serial\":{:.3}}}",
                 o.threads,
                 o.batch,
                 o.seconds,
@@ -190,7 +196,7 @@ fn main() {
         })
         .collect();
     json.push(format!(
-        "{{\"summary\":\"threads4_vs_threads1\",\"batch\":{batch},\"host_cpus\":{host_cpus},\"headline_speedup\":{headline:.3},\"bar_enforced\":{bar_enforced},\"bit_identical_across_threads\":true,\"serial_pin_bit_identical\":true}}"
+        "{{\"summary\":\"threads4_vs_threads1\",\"batch\":{batch},\"seed\":{seed},\"host_cpus\":{host_cpus},\"headline_speedup\":{headline:.3},\"bar_enforced\":{bar_enforced},\"bit_identical_across_threads\":true,\"serial_pin_bit_identical\":true}}"
     ));
     std::fs::write("BENCH_parallel.json", json.join("\n") + "\n")
         .expect("failed to write BENCH_parallel.json");

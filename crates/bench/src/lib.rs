@@ -36,6 +36,73 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// One round of random node churn against a [`qsc_graph::GraphDelta`] —
+/// the shared driver of the dynamic-maintenance bench and the node-churn
+/// integration tests (one copy, so the batch-assembly ordering they both
+/// exercise cannot drift). Inserts `inserts` nodes, each wired to `wire`
+/// random live nodes with `weight(rng)`-weighted edges and colored like
+/// its first neighbor; removes `removes` victims whose colors keep at
+/// least two members; returns the assembled
+/// [`qsc_core::rothko::NodeChurnBatch`] plus the renumbered compacted
+/// graph.
+pub fn random_node_churn(
+    delta: &mut qsc_graph::GraphDelta,
+    p: &qsc_core::Partition,
+    rng: &mut rand::rngs::StdRng,
+    inserts: usize,
+    removes: usize,
+    wire: usize,
+    mut weight: impl FnMut(&mut rand::rngs::StdRng) -> f64,
+) -> (qsc_core::rothko::NodeChurnBatch, qsc_graph::Graph) {
+    use rand::Rng;
+    let n0 = delta.num_nodes();
+    let mut sizes: Vec<usize> = p.sizes();
+    let mut inserted_colors = Vec::new();
+    for _ in 0..inserts {
+        let v = delta.insert_node();
+        let mut color = None;
+        for _ in 0..wire {
+            for _ in 0..50 {
+                let t = rng.random_range(0..n0) as qsc_graph::NodeId;
+                if delta.is_live(t) && !delta.has_edge(v, t) {
+                    let w = weight(rng);
+                    delta.insert_edge(v, t, w).expect("fresh edge");
+                    color.get_or_insert(p.color_of(t));
+                    break;
+                }
+            }
+        }
+        let c = color.unwrap_or(0);
+        inserted_colors.push(c);
+        sizes[c as usize] += 1;
+    }
+    let mut removed = Vec::new();
+    for _ in 0..removes {
+        for _ in 0..100 {
+            let v = rng.random_range(0..n0) as qsc_graph::NodeId;
+            let c = p.color_of(v) as usize;
+            if delta.is_live(v) && sizes[c] >= 2 {
+                delta.remove_node(v).expect("live node");
+                sizes[c] -= 1;
+                removed.push(v);
+                break;
+            }
+        }
+    }
+    let edge_events = delta.drain_events();
+    delta.drain_node_events();
+    let (compacted, remap) = delta.compact_renumber();
+    (
+        qsc_core::rothko::NodeChurnBatch {
+            inserted_colors,
+            edge_events,
+            removed,
+            remap,
+        },
+        compacted,
+    )
+}
+
 /// Render a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

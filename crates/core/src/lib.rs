@@ -47,6 +47,61 @@
 //!   pipeline; `qsc-flow` and `qsc-lp` add the solver layers).
 //! * [`stats`] — compression statistics (Table 4 / Sec. 6.2).
 //!
+//! ## Architecture: the layered event pipeline
+//!
+//! Every maintained structure in the workspace sits on one event pipeline.
+//! Graph mutations and partition changes are expressed as *events*, and
+//! each layer patches its own state from them in `O(touched)` instead of
+//! rebuilding — from the CSR overlay at the bottom to the warm solvers at
+//! the top:
+//!
+//! ```text
+//!   qsc_graph::GraphDelta                      (mutable overlay over the CSR)
+//!     │  EdgeEvent batches        insert/delete/reweight, signed weight deltas
+//!     │  NodeEvent + NodeRemap    node insert/remove, renumbering compaction
+//!     ▼
+//!   IncrementalDegrees                         (accumulators + pair summaries
+//!     │                                         + witness/merge selection)
+//!     │  PartitionEvent           Split · Merge · NodeInsert · NodeRemove
+//!     │                           (emitted by RothkoRun / Partition ops)
+//!     ▼
+//!   ReducedDelta / qsc_lp::ReducedLpDelta      (quotient matrix, LP aggregates)
+//!     │  dirty colors             every changed entry is indexed by one;
+//!     │                           ids ≥ k mark colors removed by merges
+//!     ▼
+//!   PatchedReducedGraph / PatchedReducedLp     (the *emitted* reduced instance,
+//!     │                                         patched rows in place)
+//!     ▼
+//!   qsc_flow::WarmFlowSolver / qsc_lp::solve_warm   (preflow / basis reuse)
+//! ```
+//!
+//! The event vocabulary is **bidirectional**: [`SplitEvent`] refines,
+//! [`MergeEvent`] coarsens (the dual — the loser's members join the
+//! winner, the ex-last color relabels into the freed slot so color ids
+//! stay dense), and node insert/remove events grow and compact the node
+//! axis (removals are always preceded by deletes of the node's incident
+//! edges, so only isolated nodes are ever removed; renumbering travels as
+//! a `NodeRemap` alongside the events). [`RothkoRun::maintain`] drives
+//! the algebra from both sides: splits where churn pushed the error above
+//! the target, merges (with [`RothkoConfig::coarsen`]) where it dropped
+//! the error enough that the merged pair's provable post-merge bound fits
+//! back inside the target.
+//!
+//! **Determinism contract.** Every event consumer must uphold what the
+//! engine guarantees: applying an event sequence leaves state *bit
+//! identical* (for exactly representable weights; up to float
+//! associativity otherwise) to a fresh rebuild on the resulting
+//! graph/partition, for every thread count. Concretely: shard merges use
+//! exact min/max/or/sum reductions in shard order; witness and merge-pair
+//! selection break ties lexicographically; member and touched orderings
+//! are pure functions of the input (never of the thread count); and
+//! color/node renumbering is the fixed relabel-last/order-preserving rule
+//! above. This is what lets maintained runs be cross-checked against
+//! fresh-from-checkpoint runs at every churn round
+//! (`tests/tests/dynamic_graph.rs`, `tests/tests/merge_refine.rs`) and
+//! lets warm sweeps stay bit-identical to cold re-emission
+//! (`tests/tests/sweep_equivalence.rs`).
+//!
 //! ## Quick example
 //!
 //! ```
@@ -71,10 +126,12 @@ pub mod stable;
 pub mod stats;
 pub mod sweep;
 
-pub use partition::{Partition, SplitEvent};
-pub use q_error::{max_q_error, mean_q_error, IncrementalDegrees, QErrorReport, WitnessCandidate};
+pub use partition::{MergeEvent, Partition, PartitionEvent, SplitEvent};
+pub use q_error::{
+    max_q_error, mean_q_error, IncrementalDegrees, MergeCandidate, QErrorReport, WitnessCandidate,
+};
 pub use reduced::{reduced_graph, PatchedReducedGraph, ReducedDelta, ReductionWeighting};
-pub use rothko::{Coloring, Rothko, RothkoConfig, RothkoRun};
+pub use rothko::{Coloring, NodeChurnBatch, Rothko, RothkoConfig, RothkoRun};
 pub use similarity::{Absolute, Bisimulation, Clamped, Exact, Relative, Similarity};
 pub use stable::stable_coloring;
 pub use stats::{coloring_stats, ColoringStats};

@@ -1,5 +1,17 @@
-//! Colorings (node partitions) and their lattice operations.
+//! Colorings (node partitions), their lattice operations, and the
+//! bidirectional **partition event algebra**.
+//!
+//! Refinement emits [`SplitEvent`]s; coarsening emits [`MergeEvent`]s (the
+//! exact dual: the loser's members join the winner, and the last color is
+//! renumbered into the freed slot so ids stay dense); node churn emits
+//! per-node insert/remove records. [`PartitionEvent`] packages all of them
+//! for consumers that mirror a maintained partition
+//! ([`crate::q_error::IncrementalDegrees`], [`crate::reduced::ReducedDelta`],
+//! the patched reduced emitters) — each event carries exactly the
+//! information needed to patch per-color state in `O(touched)` instead of
+//! rebuilding it.
 
+use qsc_graph::delta::NodeRemap;
 use qsc_graph::NodeId;
 
 /// Identifier of a color (a class of the partition).
@@ -21,6 +33,56 @@ pub struct SplitEvent {
     pub child: ColorId,
     /// The nodes that moved from `parent` to `child`.
     pub moved_nodes: Vec<NodeId>,
+}
+
+/// The record of one merge — the dual of [`SplitEvent`]: color `loser`'s
+/// members (`moved_nodes`) joined color `winner` (appended after the
+/// winner's retained members, so member order stays deterministic), and the
+/// then-last color was renumbered into the freed `loser` slot to keep color
+/// ids dense (`relabeled` names it; `None` when the loser *was* the last
+/// color). `winner < loser` always holds, so the winner is never the
+/// relabeled color.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeEvent {
+    /// The surviving color (absorbs the loser's members, keeps its id).
+    pub winner: ColorId,
+    /// The removed color's old id — after the merge this slot holds the
+    /// relabeled ex-last color (or nothing, if the loser was last).
+    pub loser: ColorId,
+    /// The loser's former members, in their member order.
+    pub moved_nodes: Vec<NodeId>,
+    /// The old id (`k - 1` before the merge) of the color renumbered into
+    /// the `loser` slot, or `None` when `loser == k - 1`.
+    pub relabeled: Option<ColorId>,
+}
+
+/// One event of the bidirectional partition algebra: the full vocabulary a
+/// maintained coloring can change by. Split/merge change the color
+/// structure over a fixed node set; the node events change the node set
+/// over a fixed color structure (node *renumbering* after removals is a
+/// representation change communicated separately, via
+/// [`qsc_graph::delta::NodeRemap`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionEvent {
+    /// A refinement step: see [`SplitEvent`].
+    Split(SplitEvent),
+    /// A coarsening step: see [`MergeEvent`].
+    Merge(MergeEvent),
+    /// A fresh isolated node joined color `color`.
+    NodeInsert {
+        /// The inserted node's id (always the next free id).
+        node: NodeId,
+        /// The color the node was assigned to.
+        color: ColorId,
+    },
+    /// An isolated node left the partition (its incident edges were already
+    /// deleted by the preceding edge events).
+    NodeRemove {
+        /// The removed node's (pre-renumbering) id.
+        node: NodeId,
+        /// The color the node belonged to.
+        color: ColorId,
+    },
 }
 
 /// A coloring `P = {P_1, ..., P_k}` of nodes `0..n`.
@@ -183,6 +245,79 @@ impl Partition {
         Some(event)
     }
 
+    /// Merge color `loser` into color `winner` (`winner < loser` required):
+    /// the loser's members are appended to the winner's member list in
+    /// their member order, and the last color is renumbered into the freed
+    /// `loser` slot so color ids stay dense. Returns the [`MergeEvent`]
+    /// describing the merge — the exact dual of [`Self::split_color`].
+    pub fn merge_colors(&mut self, winner: ColorId, loser: ColorId) -> MergeEvent {
+        assert!(
+            winner < loser,
+            "merge_colors requires winner < loser (got {winner} >= {loser})"
+        );
+        assert!((loser as usize) < self.members.len(), "loser out of range");
+        let moved = std::mem::take(&mut self.members[loser as usize]);
+        for &v in &moved {
+            self.color_of[v as usize] = winner;
+        }
+        self.members[winner as usize].extend_from_slice(&moved);
+        let last = (self.members.len() - 1) as ColorId;
+        let relabeled = if loser != last {
+            let moved_class = self.members.pop().expect("non-empty partition");
+            for &v in &moved_class {
+                self.color_of[v as usize] = loser;
+            }
+            self.members[loser as usize] = moved_class;
+            Some(last)
+        } else {
+            self.members.pop();
+            None
+        };
+        MergeEvent {
+            winner,
+            loser,
+            moved_nodes: moved,
+            relabeled,
+        }
+    }
+
+    /// Append a fresh node (id `num_nodes()`) to color `color` and return
+    /// its id. The dual of a removal; the node joins at the end of the
+    /// color's member list, keeping member order deterministic.
+    pub fn insert_node(&mut self, color: ColorId) -> NodeId {
+        assert!((color as usize) < self.members.len(), "color out of range");
+        let v = self.color_of.len() as NodeId;
+        self.color_of.push(color);
+        self.members[color as usize].push(v);
+        v
+    }
+
+    /// Drop the removed nodes and renumber the survivors through `remap`
+    /// (the mapping [`qsc_graph::delta::GraphDelta::compact_renumber`]
+    /// produced), preserving member order. Panics if a removal would empty
+    /// a color — callers must merge colors away (or pick removal victims
+    /// from colors with at least two members) before compacting.
+    pub fn apply_node_remap(&mut self, remap: &NodeRemap) {
+        assert_eq!(remap.old_len(), self.color_of.len(), "remap size mismatch");
+        let mut color_of = Vec::with_capacity(remap.new_len());
+        for (v, &c) in self.color_of.iter().enumerate() {
+            if !remap.is_removed(v as NodeId) {
+                color_of.push(c);
+            }
+        }
+        for (c, class) in self.members.iter_mut().enumerate() {
+            class.retain(|&v| !remap.is_removed(v));
+            for v in class.iter_mut() {
+                *v = remap.map(*v).expect("retained member is live");
+            }
+            assert!(
+                !class.is_empty(),
+                "node removal emptied color {c}; merge it away first"
+            );
+        }
+        self.color_of = color_of;
+    }
+
     /// Greatest lower bound (common refinement) `P ∧ Q`: the partition whose
     /// classes are the non-empty intersections `P_i ∩ Q_j`.
     pub fn meet(&self, other: &Partition) -> Partition {
@@ -327,6 +462,67 @@ mod tests {
         assert!(p.split_color(0, |_| false).is_none());
         assert_eq!(p.num_colors(), 1);
         assert!(p.validate());
+    }
+
+    #[test]
+    fn merge_colors_relabels_last() {
+        let mut p = Partition::from_classes(6, vec![vec![0, 1], vec![2, 3], vec![4], vec![5]]);
+        let ev = p.merge_colors(0, 1);
+        assert_eq!(ev.winner, 0);
+        assert_eq!(ev.loser, 1);
+        assert_eq!(ev.moved_nodes, vec![2, 3]);
+        assert_eq!(ev.relabeled, Some(3));
+        assert_eq!(p.num_colors(), 3);
+        assert_eq!(p.members(0), &[0, 1, 2, 3]);
+        assert_eq!(p.members(1), &[5], "ex-last color relabeled into slot 1");
+        assert_eq!(p.members(2), &[4]);
+        assert!(p.validate());
+        // Merging with the last color needs no relabel.
+        let ev = p.merge_colors(1, 2);
+        assert_eq!(ev.relabeled, None);
+        assert_eq!(p.num_colors(), 2);
+        assert_eq!(p.members(1), &[5, 4]);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn merge_undoes_split() {
+        let mut p = Partition::unit(6);
+        p.split_color(0, |v| v >= 3).unwrap();
+        let ev = p.merge_colors(0, 1);
+        assert_eq!(ev.moved_nodes, vec![3, 4, 5]);
+        assert_eq!(p.num_colors(), 1);
+        assert!(p.same_as(&Partition::unit(6)));
+    }
+
+    #[test]
+    fn insert_and_remove_nodes() {
+        use qsc_graph::GraphBuilder;
+        let mut p = Partition::from_classes(4, vec![vec![0, 1], vec![2, 3]]);
+        let v = p.insert_node(1);
+        assert_eq!(v, 4);
+        assert_eq!(p.members(1), &[2, 3, 4]);
+        assert!(p.validate());
+        // Remove node 1 via a delta remap (nodes shift down).
+        let mut d = qsc_graph::GraphDelta::new(GraphBuilder::new_undirected(5).build());
+        d.remove_node(1).unwrap();
+        let (_, remap) = d.compact_renumber();
+        p.apply_node_remap(&remap);
+        assert_eq!(p.num_nodes(), 4);
+        assert_eq!(p.members(0), &[0]);
+        assert_eq!(p.members(1), &[1, 2, 3]);
+        assert!(p.validate());
+    }
+
+    #[test]
+    #[should_panic]
+    fn remap_rejects_emptied_color() {
+        use qsc_graph::GraphBuilder;
+        let mut p = Partition::from_classes(3, vec![vec![0], vec![1, 2]]);
+        let mut d = qsc_graph::GraphDelta::new(GraphBuilder::new_undirected(3).build());
+        d.remove_node(0).unwrap();
+        let (_, remap) = d.compact_renumber();
+        p.apply_node_remap(&remap);
     }
 
     #[test]

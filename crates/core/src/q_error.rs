@@ -99,6 +99,42 @@
 //! (`crate::rothko::RothkoRun::apply_edge_batch` patches the engine, swaps
 //! the graph, and then re-establishes the (q, k) invariant by splitting).
 //!
+//! # Merge and node-churn maintenance (bidirectional events)
+//!
+//! Splits and edge events only ever *refine* or *perturb*; two more event
+//! kinds complete the bidirectional algebra:
+//!
+//! * **Merges** ([`IncrementalDegrees::apply_merge`]). The dual of a split:
+//!   the loser color's members join the winner, accumulator columns fold
+//!   (`dout[u][winner] += dout[u][loser]` for the in-neighbors of the
+//!   moved members — `O(touched)`, no other node changes), entries over
+//!   other colors' member axes are patched with the split path's exact
+//!   lost-extremum machinery, the winner's member axis is rebuilt from the
+//!   merged member list, and the last color is relabeled into the freed
+//!   slot (`O(touched + k)` row/column copies). Merge *selection*
+//!   ([`IncrementalDegrees::pick_merge`]) is the dual of the witness rule:
+//!   among all color pairs it picks the one minimizing the **post-merge
+//!   q-error bound** — exact for the merged member-axis rows
+//!   (`min`/`max` over a union is the `min`/`max` of the parts) and an
+//!   upper bound for the folded columns (the spread of a sum is at most
+//!   the sum of the spreads) — so a maintained run can coarsen while
+//!   provably staying within its error target.
+//! * **Node churn** ([`IncrementalDegrees::apply_node_inserts`] /
+//!   [`IncrementalDegrees::apply_node_removals`]). The accumulators are
+//!   *growable* (fresh isolated nodes append all-zero rows and extend
+//!   their color's pair summaries inline with explicit zero attainers) and
+//!   *compactable* (after removals — legal only for isolated nodes, whose
+//!   incident edges were already deleted by the preceding edge batch — the
+//!   node axis is renumbered through the `GraphDelta` remap, extremum
+//!   witnesses are remapped, and only the colors that lost members rebuild
+//!   their member axes).
+//!
+//! Both paths preserve the engine-wide determinism contract: the patched
+//! state equals a freshly built engine on the resulting graph/partition
+//! (bit-for-bit for exactly representable weights), so maintained and
+//! fresh-from-checkpoint runs pick identical witnesses *and* identical
+//! merge pairs.
+//!
 //! Two structural specializations keep the engine lean:
 //!
 //! * **Symmetric graphs.** For undirected graphs the in-direction state is
@@ -176,9 +212,9 @@
 //! one cache-friendly `O(k)` scan. The scan stays.
 
 use crate::parallel::{chunk_range, default_threads, SyncSliceMut, ThreadPool};
-use crate::partition::{Partition, SplitEvent};
+use crate::partition::{MergeEvent, Partition, SplitEvent};
 use crate::similarity::Similarity;
-use qsc_graph::delta::EdgeEvent;
+use qsc_graph::delta::{EdgeEvent, NodeRemap};
 use qsc_graph::{Graph, NodeId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -546,6 +582,116 @@ pub struct WitnessCandidate {
     pub error: f64,
 }
 
+/// A coarsening candidate produced by [`IncrementalDegrees::pick_merge`]:
+/// the color pair whose merge has the smallest provable post-merge q-error
+/// bound (the dual of the split-witness rule).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergeCandidate {
+    /// The surviving color (always the smaller id).
+    pub winner: u32,
+    /// The color to merge away.
+    pub loser: u32,
+    /// Upper bound on the maximum q-error of the partition after the merge
+    /// (exact on the merged member-axis rows, a sum-of-spreads bound on the
+    /// folded columns).
+    pub bound: f64,
+}
+
+/// Read-only min/max access shared by the incremental and from-scratch
+/// merge-bound computations, so both evaluate the identical operation
+/// sequence (the engine/scratch pick-equivalence contract, as with witness
+/// selection).
+trait PairMinMax {
+    /// `(min, max)` of out-entry `(i, j)`.
+    fn out_mm(&self, i: usize, j: usize) -> (f64, f64);
+    /// `(min, max)` of in-entry `(i, j)`.
+    fn in_mm(&self, i: usize, j: usize) -> (f64, f64);
+}
+
+/// Upper bound on the maximum q-error after merging colors `a` and `b`
+/// (`a < b`), from the pair summaries alone:
+///
+/// * merged member-axis rows are exact (`min`/`max` over the union of two
+///   member sets is the `min`/`max` of the per-set extrema);
+/// * folded columns (`dout[v][a] + dout[v][b]`) use the sum-of-spreads
+///   bound `spread(x + y) <= spread(x) + spread(y)`;
+/// * the merged self entry combines both rules.
+///
+/// Returns `f64::INFINITY` as soon as the running bound exceeds `cap`
+/// (the early exit never changes which pairs pass a `<= cap` test or the
+/// bound reported for passing pairs, so selections stay deterministic) —
+/// this is what keeps the coarsening scans cheap: for most pairs the very
+/// first columns already blow the budget.
+fn merge_bound<V: PairMinMax>(view: &V, k: usize, a: usize, b: usize, cap: f64) -> f64 {
+    let mut bound = 0.0f64;
+    // Merged self entry (ab, ab), out: `dout[v][a] + dout[v][b]` over the
+    // union — per-column union extrema, then the interval sum.
+    let (aam, aax) = view.out_mm(a, a);
+    let (bam, bax) = view.out_mm(b, a);
+    let (abm, abx) = view.out_mm(a, b);
+    let (bbm, bbx) = view.out_mm(b, b);
+    bound = bound.max((aax.max(bax) + abx.max(bbx)) - (aam.min(bam) + abm.min(bbm)));
+    // And the in-direction self entry.
+    let (iaam, iaax) = view.in_mm(a, a);
+    let (iabm, iabx) = view.in_mm(a, b);
+    let (ibam, ibax) = view.in_mm(b, a);
+    let (ibbm, ibbx) = view.in_mm(b, b);
+    bound = bound.max((iaax.max(iabx) + ibax.max(ibbx)) - (iaam.min(iabm) + ibam.min(ibbm)));
+    if bound > cap {
+        return f64::INFINITY;
+    }
+    for j in 0..k {
+        if j == a || j == b {
+            continue;
+        }
+        // Merged row (ab, j): union member axis — exact.
+        let (amn, amx) = view.out_mm(a, j);
+        let (bmn, bmx) = view.out_mm(b, j);
+        bound = bound.max(amx.max(bmx) - amn.min(bmn));
+        // Folded column (j, ab): per-member sums — sum of spreads.
+        let (jam, jax) = view.out_mm(j, a);
+        let (jbm, jbx) = view.out_mm(j, b);
+        bound = bound.max((jax - jam) + (jbx - jbm));
+        // In-direction: (j, ab) ranges over the union member axis — exact.
+        let (iam, iax) = view.in_mm(j, a);
+        let (ibm, ibx) = view.in_mm(j, b);
+        bound = bound.max(iax.max(ibx) - iam.min(ibm));
+        // In-direction folded source (ab, j): sums over P_j's members.
+        let (ajm, ajx) = view.in_mm(a, j);
+        let (bjm, bjx) = view.in_mm(b, j);
+        bound = bound.max((ajx - ajm) + (bjx - bjm));
+        if bound > cap {
+            return f64::INFINITY;
+        }
+    }
+    bound
+}
+
+/// Scan all color pairs for the merge with the smallest post-merge bound
+/// that stays at or below `max_bound`. Ascending `(a, b)` iteration with a
+/// strict improvement test keeps the lexicographically smallest pair on
+/// ties — the deterministic dual of the witness tie-break. The running
+/// best tightens the per-pair evaluation cap (branch-and-bound; ties at
+/// the cap still evaluate fully, so the selection equals the exhaustive
+/// scan's).
+fn pick_merge_view<V: PairMinMax>(view: &V, k: usize, max_bound: f64) -> Option<MergeCandidate> {
+    let mut best: Option<MergeCandidate> = None;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let cap = best.as_ref().map_or(max_bound, |c| c.bound.min(max_bound));
+            let bound = merge_bound(view, k, a, b, cap);
+            if bound <= max_bound && best.as_ref().is_none_or(|c| bound < c.bound) {
+                best = Some(MergeCandidate {
+                    winner: a as u32,
+                    loser: b as u32,
+                    bound,
+                });
+            }
+        }
+    }
+    best
+}
+
 /// Per-row best witness candidate cached by the engine (weighted by the
 /// target-size exponent β only; the source-size exponent α is applied at
 /// pick time because the row's own size can change without invalidating the
@@ -759,6 +905,12 @@ pub struct IncrementalDegrees {
     /// Per-chunk `(node, chunk-local delta)` lists of the canonical
     /// chunked touched-collection (capacity reused across splits).
     chunk_out: Vec<Vec<(NodeId, f64)>>,
+    /// Merge-fold capture lists (out and in direction): `(node, old, new)`
+    /// winner-column values of the touched nodes, recorded before the
+    /// relabel so entry patches can run in the post-relabel id space
+    /// (capacity reused across merges).
+    merge_scratch: Vec<(NodeId, f64, f64)>,
+    merge_scratch_in: Vec<(NodeId, f64, f64)>,
 }
 
 /// Per-worker scratch used by the parallel split/refresh phases.
@@ -830,6 +982,48 @@ struct SummaryView<'a> {
     out_max: &'a [f64],
     in_min: &'a [f64],
     in_max: &'a [f64],
+}
+
+impl PairMinMax for SummaryView<'_> {
+    #[inline]
+    fn out_mm(&self, i: usize, j: usize) -> (f64, f64) {
+        let idx = i * self.cap + j;
+        (self.out_min[idx], self.out_max[idx])
+    }
+
+    #[inline]
+    fn in_mm(&self, i: usize, j: usize) -> (f64, f64) {
+        if self.symmetric {
+            return self.out_mm(j, i);
+        }
+        let idx = i * self.cap + j;
+        (self.in_min[idx], self.in_max[idx])
+    }
+}
+
+impl PairMinMax for DegreeMatrices {
+    #[inline]
+    fn out_mm(&self, i: usize, j: usize) -> (f64, f64) {
+        let idx = i * self.k + j;
+        (self.out_min[idx], self.out_max[idx])
+    }
+
+    #[inline]
+    fn in_mm(&self, i: usize, j: usize) -> (f64, f64) {
+        let idx = i * self.k + j;
+        (self.in_min[idx], self.in_max[idx])
+    }
+}
+
+/// The merge pick over from-scratch [`DegreeMatrices`] — the reference-mode
+/// counterpart of [`IncrementalDegrees::pick_merge`], sharing the bound
+/// computation operation-for-operation so the two paths select identical
+/// pairs whenever the matrices are numerically identical.
+pub fn pick_merge_scratch(m: &DegreeMatrices, max_bound: f64) -> Option<MergeCandidate> {
+    if m.k < 2 {
+        return None;
+    }
+    pick_merge_view(m, m.k, max_bound)
 }
 
 impl SummaryView<'_> {
@@ -1033,6 +1227,8 @@ impl Clone for IncrementalDegrees {
             edge_acc_slot_out: self.edge_acc_slot_out.clone(),
             edge_acc_slot_in: self.edge_acc_slot_in.clone(),
             chunk_out: self.chunk_out.clone(),
+            merge_scratch: self.merge_scratch.clone(),
+            merge_scratch_in: self.merge_scratch_in.clone(),
         }
     }
 }
@@ -1130,6 +1326,8 @@ impl IncrementalDegrees {
             edge_acc_slot_out: HashMap::new(),
             edge_acc_slot_in: HashMap::new(),
             chunk_out: Vec::new(),
+            merge_scratch: Vec::new(),
+            merge_scratch_in: Vec::new(),
         };
 
         if track_summaries {
@@ -1704,6 +1902,672 @@ impl IncrementalDegrees {
             self.rescan_in_entries(p, &rescans);
             self.entry_scratch_in = rescans;
             self.edge_patches_in = patches;
+        }
+    }
+
+    /// The best coarsening candidate: the color pair whose merge has the
+    /// smallest provable post-merge q-error bound, or `None` when no pair's
+    /// bound stays at or below `max_bound` (or fewer than two colors
+    /// exist). `O(k³)` — intended for the maintenance path, where merges
+    /// are rare; the selection is deterministic (lexicographically smallest
+    /// pair on exact bound ties) and reads only the pair summaries, so
+    /// maintained and freshly built engines pick identical pairs.
+    pub fn pick_merge(&self, max_bound: f64) -> Option<MergeCandidate> {
+        assert!(
+            self.track_summaries,
+            "pick_merge requires a summary-tracking engine"
+        );
+        if self.k < 2 {
+            return None;
+        }
+        let view = SummaryView {
+            k: self.k,
+            cap: self.cap,
+            symmetric: self.symmetric,
+            out_min: &self.out_min,
+            out_max: &self.out_max,
+            in_min: &self.in_min,
+            in_max: &self.in_max,
+        };
+        pick_merge_view(&view, self.k, max_bound)
+    }
+
+    /// The post-merge q-error bound of one specific pair (see
+    /// [`Self::pick_merge`]); `O(k)`. Maintenance uses this to *re-validate*
+    /// stale candidates against the current state before applying them, so
+    /// a coarsening round pays one full `O(k³)` scan plus `O(k)` per
+    /// applied merge instead of `O(k³)` per merge.
+    pub fn merge_bound_pair(&self, a: u32, b: u32) -> f64 {
+        assert!(
+            self.track_summaries,
+            "merge bounds require a summary-tracking engine"
+        );
+        assert!((a as usize) < self.k && (b as usize) < self.k && a < b);
+        let view = SummaryView {
+            k: self.k,
+            cap: self.cap,
+            symmetric: self.symmetric,
+            out_min: &self.out_min,
+            out_max: &self.out_max,
+            in_min: &self.in_min,
+            in_max: &self.in_max,
+        };
+        merge_bound(&view, self.k, a as usize, b as usize, f64::INFINITY)
+    }
+
+    /// Every color pair whose post-merge bound stays at or below
+    /// `max_bound`, sorted ascending by `(bound, winner, loser)` — the
+    /// candidate list of one batched coarsening round.
+    ///
+    /// A merged pair's bound dominates each color's own cached row error
+    /// (every union term contains the color's own spread), so only colors
+    /// with `row_max_err <= max_bound` can participate — the scan
+    /// prefilters to those in `O(k)` and pays `O(|eligible|² · k)` for the
+    /// bounds, which in steady maintenance (most colors split right up to
+    /// the target) is far below the naive `O(k³)`. Requires
+    /// [`Self::refresh`] since the last mutation (the prefilter reads the
+    /// cached row errors).
+    pub fn merge_candidates(&self, max_bound: f64) -> Vec<MergeCandidate> {
+        assert!(
+            self.track_summaries,
+            "merge candidates require a summary-tracking engine"
+        );
+        debug_assert!(
+            self.row_err_dirty[..self.k].iter().all(|d| !d),
+            "merge_candidates with dirty rows; call refresh() first"
+        );
+        let view = SummaryView {
+            k: self.k,
+            cap: self.cap,
+            symmetric: self.symmetric,
+            out_min: &self.out_min,
+            out_max: &self.out_max,
+            in_min: &self.in_min,
+            in_max: &self.in_max,
+        };
+        let eligible: Vec<usize> = (0..self.k)
+            .filter(|&c| self.row_max_err[c] <= max_bound)
+            .collect();
+        let mut out = Vec::new();
+        for (i, &a) in eligible.iter().enumerate() {
+            for &b in &eligible[i + 1..] {
+                let bound = merge_bound(&view, self.k, a, b, max_bound);
+                if bound <= max_bound {
+                    out.push(MergeCandidate {
+                        winner: a as u32,
+                        loser: b as u32,
+                        bound,
+                    });
+                }
+            }
+        }
+        out.sort_by(|x, y| {
+            x.bound
+                .partial_cmp(&y.bound)
+                .expect("finite bounds")
+                .then(x.winner.cmp(&y.winner))
+                .then(x.loser.cmp(&y.loser))
+        });
+        out
+    }
+
+    /// Apply a merge performed on the partition — the dual of
+    /// [`Self::apply_split`]. `p` must be the partition *after* the merge
+    /// ([`Partition::merge_colors`] semantics: the loser's members joined
+    /// the winner, the ex-last color was relabeled into the freed slot).
+    ///
+    /// Cost: `O(touched + |merged| · k + k)` — accumulator columns fold for
+    /// the in/out-neighbors of the moved members, entries over other
+    /// colors' member axes are patched with the split path's exact
+    /// lost-extremum machinery (plus one-column rescans where an extremum
+    /// was provably lost), the winner's member axis is rebuilt, and the
+    /// relabel is `O(touched + k)` row/column copies.
+    pub fn apply_merge(&mut self, g: &Graph, p: &Partition, event: &MergeEvent) {
+        let winner = event.winner as usize;
+        let loser = event.loser as usize;
+        assert!(winner < loser, "merge events require winner < loser");
+        assert_eq!(
+            p.num_colors(),
+            self.k - 1,
+            "partition out of sync with engine"
+        );
+        let last = self.k - 1;
+        debug_assert_eq!(
+            event.relabeled,
+            (loser != last).then_some(last as u32),
+            "merge event relabel does not match the engine's color count"
+        );
+
+        if !self.track_summaries {
+            self.apply_merge_degrees_only(g, p, event);
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(self.verify_against(g, p), Ok(()), "merge diverged");
+            return;
+        }
+
+        let cap = self.cap;
+        // ---- Fold the accumulator columns, capturing (node, old, new)
+        // winner-column values so entry patches can run after the relabel,
+        // in the final id space.
+        let directions: &[bool] = if self.symmetric {
+            &[true]
+        } else {
+            &[true, false]
+        };
+        let mut captures: Vec<Vec<(NodeId, f64, f64)>> = Vec::with_capacity(2);
+        for (dir_idx, &outgoing) in directions.iter().enumerate() {
+            // In-neighbors of the moved members hold the non-zero
+            // out-accumulator entries towards the loser (and vice versa).
+            self.collect_touched(g, &event.moved_nodes, outgoing);
+            let touched = std::mem::take(&mut self.touched_nodes);
+            let mut capture = std::mem::take(if dir_idx == 0 {
+                &mut self.merge_scratch
+            } else {
+                &mut self.merge_scratch_in
+            });
+            capture.clear();
+            {
+                let acc = if outgoing {
+                    &mut self.dout
+                } else {
+                    &mut self.din
+                };
+                for &u in &touched {
+                    let base = u as usize * cap;
+                    let lost = acc[base + loser];
+                    if lost == 0.0 {
+                        continue;
+                    }
+                    let old = acc[base + winner];
+                    let new = old + lost;
+                    acc[base + winner] = new;
+                    acc[base + loser] = 0.0;
+                    capture.push((u, old, new));
+                }
+            }
+            captures.push(capture);
+            self.touched_nodes = touched;
+        }
+
+        // ---- Relabel the ex-last color into the freed loser slot (no-op
+        // when the loser was last), then shrink.
+        if loser != last {
+            self.relabel_last_color(g, p, loser);
+        }
+        self.k -= 1;
+        let k = self.k;
+
+        // ---- Patch entries over other colors' member axes from the
+        // captured folds, now with partition and engine ids aligned.
+        for (dir_idx, &outgoing) in directions.iter().enumerate() {
+            self.begin_color_batch();
+            let capture = std::mem::take(&mut captures[dir_idx]);
+            for &(u, old, new) in &capture {
+                let i = p.color_of(u) as usize;
+                if i == winner {
+                    continue; // the winner's axis is rebuilt below
+                }
+                let (kind, row, col) = if outgoing {
+                    (EntryKind::OutCol, i, winner)
+                } else {
+                    (EntryKind::InRow, winner, i)
+                };
+                self.patch_entry(kind, row, col, u, old, new, 0.0);
+            }
+            if dir_idx == 0 {
+                self.merge_scratch = capture;
+            } else {
+                self.merge_scratch_in = capture;
+            }
+            self.finalize_merge_side(p, winner, outgoing);
+        }
+
+        // ---- The winner's member axis (rows (winner, ·) and in-entries
+        // (·, winner)) is rebuilt from the merged member list.
+        self.recompute_color_axis(p, winner);
+
+        // ---- Witness bookkeeping: cached bests still name pre-merge
+        // colors — the merged-away loser invalidates and the relabeled
+        // ex-last renames. The winner's size *grew*, which is the reverse
+        // of the split path: with any non-zero β a non-best candidate
+        // targeting the winner can silently overtake an untouched row's
+        // cached best (β > 0: its weight rose; β < 0: the best's own
+        // weight fell), so every row's best goes stale. With β = 0 the
+        // weights are size-independent and the targeted invalidation
+        // suffices.
+        if self.last_beta != 0.0 {
+            self.row_best_dirty[..k].fill(true);
+            for s in 0..k {
+                if let Some(best) = &mut self.row_best[s] {
+                    if best.other as usize == last {
+                        best.other = loser as u32;
+                    }
+                }
+            }
+        } else {
+            for s in 0..k {
+                if let Some(best) = &mut self.row_best[s] {
+                    if best.other as usize == loser || best.other as usize == winner {
+                        self.row_best_dirty[s] = true;
+                    } else if best.other as usize == last {
+                        best.other = loser as u32;
+                    }
+                }
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.verify_against(g, p),
+            Ok(()),
+            "incremental merge diverged from scratch recomputation"
+        );
+    }
+
+    /// The degrees-only merge path: fold the loser column of every touched
+    /// sparse row into the winner, then relabel the ex-last color.
+    fn apply_merge_degrees_only(&mut self, g: &Graph, p: &Partition, event: &MergeEvent) {
+        let winner = event.winner;
+        let loser = event.loser;
+        let last = (self.k - 1) as u32;
+        let directions: &[bool] = if self.symmetric {
+            &[true]
+        } else {
+            &[true, false]
+        };
+        for &outgoing in directions {
+            self.collect_touched(g, &event.moved_nodes, outgoing);
+            let touched = std::mem::take(&mut self.touched_nodes);
+            for &u in &touched {
+                let row = if outgoing {
+                    &mut self.sparse_out[u as usize]
+                } else {
+                    &mut self.sparse_in[u as usize]
+                };
+                let lost = sparse_get(row, loser);
+                if lost != 0.0 {
+                    sparse_add(row, loser, -lost);
+                    sparse_add(row, winner, lost);
+                }
+            }
+            self.touched_nodes = touched;
+            if loser != last {
+                // Relabel: move the ex-last column into the freed slot for
+                // the (in/out-)neighbors of the relabeled class.
+                self.collect_touched(g, p.members(loser), outgoing);
+                let touched = std::mem::take(&mut self.touched_nodes);
+                for &u in &touched {
+                    let row = if outgoing {
+                        &mut self.sparse_out[u as usize]
+                    } else {
+                        &mut self.sparse_in[u as usize]
+                    };
+                    let w = sparse_get(row, last);
+                    if w != 0.0 {
+                        sparse_add(row, last, -w);
+                        sparse_add(row, loser, w);
+                    }
+                }
+                self.touched_nodes = touched;
+            }
+        }
+        self.k -= 1;
+    }
+
+    /// Move color `last = k - 1`'s engine state into the freed `loser`
+    /// slot: accumulator columns for the relabeled class's neighbors,
+    /// row/column copies in every pair-summary array, and the witness-row
+    /// caches. Values are copied, never recomputed, so the relabel is
+    /// exact. Runs with the *old* `k` still in place.
+    fn relabel_last_color(&mut self, g: &Graph, p: &Partition, loser: usize) {
+        let cap = self.cap;
+        let last = self.k - 1;
+        // Accumulator columns: only the relabeled class's neighbors hold
+        // non-zero values in column `last` (the merged-away loser's column
+        // was zeroed by the fold).
+        let directions: &[bool] = if self.symmetric {
+            &[true]
+        } else {
+            &[true, false]
+        };
+        for &outgoing in directions {
+            self.collect_touched(g, p.members(loser as u32), outgoing);
+            let touched = std::mem::take(&mut self.touched_nodes);
+            let acc = if outgoing {
+                &mut self.dout
+            } else {
+                &mut self.din
+            };
+            for &u in &touched {
+                let base = u as usize * cap;
+                acc[base + loser] = acc[base + last];
+                acc[base + last] = 0.0;
+            }
+            self.touched_nodes = touched;
+        }
+        // Pair-summary arrays: row and column `last` move to `loser`
+        // (diagonal handled explicitly).
+        let k = self.k;
+        fn relabel<T: Copy>(m: &mut [T], cap: usize, k: usize, from: usize, to: usize) {
+            let diag = m[from * cap + from];
+            for j in 0..k {
+                if j == from || j == to {
+                    continue;
+                }
+                m[to * cap + j] = m[from * cap + j];
+                m[j * cap + to] = m[j * cap + from];
+            }
+            m[to * cap + to] = diag;
+        }
+        relabel(&mut self.out_min, cap, k, last, loser);
+        relabel(&mut self.out_max, cap, k, last, loser);
+        relabel(&mut self.out_min_arg, cap, k, last, loser);
+        relabel(&mut self.out_max_arg, cap, k, last, loser);
+        relabel(&mut self.out_nz, cap, k, last, loser);
+        if !self.symmetric {
+            relabel(&mut self.in_min, cap, k, last, loser);
+            relabel(&mut self.in_max, cap, k, last, loser);
+            relabel(&mut self.in_min_arg, cap, k, last, loser);
+            relabel(&mut self.in_max_arg, cap, k, last, loser);
+            relabel(&mut self.in_nz, cap, k, last, loser);
+        }
+        // Witness-row caches move wholesale (the row's content is the same
+        // set of entries, just renamed).
+        self.row_max_err[loser] = self.row_max_err[last];
+        self.row_best[loser] = self.row_best[last];
+        self.row_err_dirty[loser] = self.row_err_dirty[last];
+        self.row_best_dirty[loser] = self.row_best_dirty[last];
+    }
+
+    /// Finalize one direction of a merge's entry-patch batch: apply the
+    /// queued zero-crossing deltas, decide which flagged extrema need a
+    /// member rescan (same zero-member rule as the split path), run the
+    /// rescans, and dirty the touched witness rows. The merge analogue of
+    /// the split finalize, minus the child-column installation.
+    fn finalize_merge_side(&mut self, p: &Partition, winner: usize, outgoing: bool) {
+        let cap = self.cap;
+        let batch = std::mem::take(&mut self.touched_colors);
+        let mut rescans = if outgoing {
+            std::mem::take(&mut self.entry_scratch_out)
+        } else {
+            std::mem::take(&mut self.entry_scratch_in)
+        };
+        rescans.clear();
+        for t in &batch {
+            let i = t.color as usize;
+            let size = p.size(t.color);
+            let idx = if outgoing {
+                i * cap + winner
+            } else {
+                winner * cap + i
+            };
+            let nz = {
+                let slot = if outgoing {
+                    &mut self.out_nz[idx]
+                } else {
+                    &mut self.in_nz[idx]
+                };
+                *slot = (*slot as i64 + t.nz_delta) as u32;
+                *slot
+            };
+            let (mn, mx) = if outgoing {
+                (self.out_min[idx], self.out_max[idx])
+            } else {
+                (self.in_min[idx], self.in_max[idx])
+            };
+            let zero_member = (nz as usize) < size;
+            let need = (t.rescan_min && !(mn == 0.0 && zero_member))
+                || (t.rescan_max && !(mx == 0.0 && zero_member));
+            if need {
+                if outgoing {
+                    rescans.push((t.color, winner as u32));
+                } else {
+                    rescans.push((winner as u32, t.color));
+                }
+            } else {
+                if t.rescan_min {
+                    if outgoing {
+                        self.out_min_arg[idx] = NO_ARG;
+                    } else {
+                        self.in_min_arg[idx] = NO_ARG;
+                    }
+                }
+                if t.rescan_max {
+                    if outgoing {
+                        self.out_max_arg[idx] = NO_ARG;
+                    } else {
+                        self.in_max_arg[idx] = NO_ARG;
+                    }
+                }
+            }
+            self.row_err_dirty[i] = true;
+            self.row_best_dirty[i] = true;
+        }
+        if outgoing {
+            self.rescan_out_entries(p, &rescans);
+            self.entry_scratch_out = rescans;
+        } else {
+            self.rescan_in_entries(p, &rescans);
+            self.entry_scratch_in = rescans;
+        }
+        self.touched_colors = batch;
+    }
+
+    /// Grow the node axis for freshly inserted isolated nodes. `p` is the
+    /// partition *after* the inserts: nodes `first..first + colors.len()`
+    /// were appended, node `first + i` to `colors[i]`. The new rows are
+    /// all-zero (the nodes have no edges yet — wire them with a following
+    /// edge batch), so each insert extends its color's pair summaries
+    /// inline with an explicit zero attainer — no rescans, `O(k)` per
+    /// inserted node.
+    pub fn apply_node_inserts(&mut self, p: &Partition, first: NodeId, colors: &[u32]) {
+        assert_eq!(first as usize, self.n, "node inserts must be contiguous");
+        assert_eq!(
+            p.num_nodes(),
+            self.n + colors.len(),
+            "partition out of sync with inserts"
+        );
+        assert_eq!(p.num_colors(), self.k, "inserts cannot change colors");
+        let n_new = self.n + colors.len();
+        if self.track_summaries {
+            let cap = self.cap;
+            self.dout.resize(n_new * cap, 0.0);
+            if !self.symmetric {
+                self.din.resize(n_new * cap, 0.0);
+            }
+        } else {
+            self.sparse_out.resize(n_new, Vec::new());
+            if !self.symmetric {
+                self.sparse_in.resize(n_new, Vec::new());
+            }
+        }
+        self.node_stamp.resize(n_new, 0);
+        self.node_delta.resize(n_new, 0.0);
+        self.n = n_new;
+        if !self.track_summaries {
+            return;
+        }
+        let cap = self.cap;
+        let k = self.k;
+        for (i, &c) in colors.iter().enumerate() {
+            let v = first + i as NodeId;
+            debug_assert_eq!(p.color_of(v), c, "insert color mismatch");
+            let c = c as usize;
+            for j in 0..k {
+                // Out-entry (c, j): the new member contributes an explicit
+                // zero towards every color.
+                let idx = c * cap + j;
+                if 0.0 < self.out_min[idx] {
+                    self.out_min[idx] = 0.0;
+                    self.out_min_arg[idx] = v;
+                }
+                if 0.0 > self.out_max[idx] {
+                    self.out_max[idx] = 0.0;
+                    self.out_max_arg[idx] = v;
+                }
+                if !self.symmetric {
+                    // In-entry (j, c) ranges over P_c's members too.
+                    let idx = j * cap + c;
+                    if 0.0 < self.in_min[idx] {
+                        self.in_min[idx] = 0.0;
+                        self.in_min_arg[idx] = v;
+                    }
+                    if 0.0 > self.in_max[idx] {
+                        self.in_max[idx] = 0.0;
+                        self.in_max_arg[idx] = v;
+                    }
+                }
+            }
+            self.row_err_dirty[c] = true;
+            self.row_best_dirty[c] = true;
+        }
+        // Sizes of the inserted colors *grew* — the reverse of the split
+        // path: with any non-zero β a candidate targeting a grown color
+        // can overtake (β > 0) or fall behind (β < 0) an untouched row's
+        // cached best, so every row's best goes stale. With β = 0 the
+        // weights are size-independent and nothing needs invalidating
+        // beyond the inserted colors' own rows (done above).
+        if self.last_beta != 0.0 {
+            self.row_best_dirty[..k].fill(true);
+        }
+    }
+
+    /// Compact the node axis after removals. The removed nodes must be
+    /// isolated (their incident edges deleted by a preceding
+    /// [`Self::apply_edge_batch`] — their accumulator rows are all-zero);
+    /// `p` is the partition *after* the removal and renumbering
+    /// ([`Partition::apply_node_remap`]), `remap` the mapping the graph
+    /// compaction produced, and `removed_colors` the colors the removed
+    /// nodes belonged to (any order, duplicates fine).
+    ///
+    /// Cost: `O(n)` row compaction + `O(k²)` witness remap + a member-axis
+    /// rebuild (`O(|members| · k)`) per affected color.
+    pub fn apply_node_removals(
+        &mut self,
+        p: &Partition,
+        remap: &NodeRemap,
+        removed_colors: &[u32],
+    ) {
+        assert_eq!(remap.old_len(), self.n, "remap does not match engine");
+        assert_eq!(
+            p.num_nodes(),
+            remap.new_len(),
+            "partition out of sync with removals"
+        );
+        assert_eq!(p.num_colors(), self.k, "removals cannot change colors");
+        let n_old = self.n;
+        let n_new = remap.new_len();
+        let cap = self.cap;
+        if self.track_summaries {
+            #[cfg(debug_assertions)]
+            for v in 0..n_old as NodeId {
+                if remap.is_removed(v) {
+                    let base = v as usize * cap;
+                    debug_assert!(
+                        self.dout[base..base + self.k].iter().all(|&w| w == 0.0),
+                        "removed node {v} still has out-weight"
+                    );
+                    if !self.symmetric {
+                        debug_assert!(
+                            self.din[base..base + self.k].iter().all(|&w| w == 0.0),
+                            "removed node {v} still has in-weight"
+                        );
+                    }
+                }
+            }
+            compact_rows(&mut self.dout, n_old, cap, remap);
+            if !self.symmetric {
+                compact_rows(&mut self.din, n_old, cap, remap);
+            }
+        } else {
+            compact_sparse_rows(&mut self.sparse_out, remap);
+            if !self.symmetric {
+                compact_sparse_rows(&mut self.sparse_in, remap);
+            }
+        }
+        self.node_stamp.clear();
+        self.node_stamp.resize(n_new, 0);
+        self.node_delta.clear();
+        self.node_delta.resize(n_new, 0.0);
+        self.stamp_gen = 0;
+        self.n = n_new;
+        if !self.track_summaries {
+            return;
+        }
+        // Remap the extremum witnesses (attainers of unaffected colors are
+        // survivors; attainers inside affected colors are rebuilt below,
+        // so a defensive NO_ARG for a removed id is fine either way).
+        let k = self.k;
+        for args in [
+            &mut self.out_min_arg,
+            &mut self.out_max_arg,
+            &mut self.in_min_arg,
+            &mut self.in_max_arg,
+        ] {
+            if args.is_empty() {
+                continue;
+            }
+            for i in 0..k {
+                for j in 0..k {
+                    let slot = &mut args[i * cap + j];
+                    if *slot != NO_ARG {
+                        *slot = remap.map(*slot).unwrap_or(NO_ARG);
+                    }
+                }
+            }
+        }
+        // Only the colors that lost members can see entry values change,
+        // and only in one way: the removed rows were all-zero, so an entry
+        // is stale iff a zero extremum just lost its last zero member
+        // (`nz == new size`). Everything else keeps its value — negative
+        // minima / positive maxima are attained by survivors, and a zero
+        // extremum with another zero member stands (its attainer was
+        // remapped to `NO_ARG` above if it was removed). `O(k)` exact
+        // checks per affected color plus a one-column rescan per stale
+        // entry, instead of a full member-axis rebuild.
+        let mut affected: Vec<u32> = removed_colors.to_vec();
+        affected.sort_unstable();
+        affected.dedup();
+        let mut out_rescans = std::mem::take(&mut self.entry_scratch_out);
+        let mut in_rescans = std::mem::take(&mut self.entry_scratch_in);
+        out_rescans.clear();
+        in_rescans.clear();
+        for &c in &affected {
+            let ci = c as usize;
+            let size = p.size(c);
+            for j in 0..k {
+                let idx = ci * cap + j;
+                if (self.out_nz[idx] as usize) == size
+                    && (self.out_min[idx] == 0.0 || self.out_max[idx] == 0.0)
+                {
+                    out_rescans.push((c, j as u32));
+                }
+                if !self.symmetric {
+                    let idx = j * cap + ci;
+                    if (self.in_nz[idx] as usize) == size
+                        && (self.in_min[idx] == 0.0 || self.in_max[idx] == 0.0)
+                    {
+                        in_rescans.push((j as u32, c));
+                    }
+                }
+            }
+            self.row_err_dirty[ci] = true;
+            self.row_best_dirty[ci] = true;
+        }
+        self.rescan_out_entries(p, &out_rescans);
+        self.rescan_in_entries(p, &in_rescans);
+        self.entry_scratch_out = out_rescans;
+        self.entry_scratch_in = in_rescans;
+        if self.last_beta < 0.0 {
+            self.row_best_dirty[..k].fill(true);
+        } else {
+            for s in 0..k {
+                if let Some(best) = &self.row_best[s] {
+                    if affected.binary_search(&best.other).is_ok() {
+                        self.row_best_dirty[s] = true;
+                    }
+                }
+            }
         }
     }
 
@@ -3161,6 +4025,37 @@ pub fn pick_witnesses_scratch(
         .collect()
 }
 
+/// Compact a row-major node-axis matrix through a node remap: survivor
+/// rows slide down in order (in place), removed rows are dropped, and the
+/// vector is truncated to the new node count.
+fn compact_rows(data: &mut Vec<f64>, n_old: usize, cap: usize, remap: &NodeRemap) {
+    if cap == 0 {
+        return;
+    }
+    for v in 0..n_old as NodeId {
+        if let Some(nv) = remap.map(v) {
+            if nv != v {
+                let src = v as usize * cap;
+                let dst = nv as usize * cap;
+                data.copy_within(src..src + cap, dst);
+            }
+        }
+    }
+    data.truncate(remap.new_len() * cap);
+}
+
+/// Compact per-node sparse rows through a node remap (survivors keep their
+/// relative order).
+fn compact_sparse_rows(rows: &mut Vec<Vec<(u32, f64)>>, remap: &NodeRemap) {
+    let old = std::mem::take(rows);
+    *rows = old
+        .into_iter()
+        .enumerate()
+        .filter(|&(v, _)| !remap.is_removed(v as NodeId))
+        .map(|(_, r)| r)
+        .collect();
+}
+
 /// Regrow a row-major matrix from `old_cap` to `new_cap` columns, filling
 /// fresh cells with `fill`.
 fn regrow<T: Copy>(data: &mut Vec<T>, rows: usize, old_cap: usize, new_cap: usize, fill: T) {
@@ -3475,6 +4370,209 @@ mod tests {
         let p = crate::stable::stable_coloring(&g);
         assert_eq!(max_q_error(&g, &p), 0.0);
         assert_eq!(mean_q_error(&g, &p), 0.0);
+    }
+
+    /// Random graph with exactly representable weights.
+    fn half_weight_graph(n: usize, edges: usize, directed: bool, seed: u64) -> Graph {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = if directed {
+            GraphBuilder::new_directed(n)
+        } else {
+            GraphBuilder::new_undirected(n)
+        };
+        for _ in 0..edges {
+            let u = rng.random_range(0..n) as u32;
+            let v = rng.random_range(0..n) as u32;
+            if u != v {
+                b.add_edge(u, v, (rng.random_range(1u32..9) as f64) * 0.5);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn merge_matches_fresh_engine_across_modes() {
+        use rand::prelude::*;
+        for (directed, seed) in [(false, 3u64), (true, 19)] {
+            let g = half_weight_graph(40, 160, directed, seed);
+            let mut p = Partition::unit(40);
+            let mut dense = IncrementalDegrees::new(&g, &p);
+            let mut sparse = IncrementalDegrees::new_degrees_only(&g, &p);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+            // Refine to ~8 colors, then merge random pairs back down,
+            // cross-checking the full state after every merge.
+            for _ in 0..7 {
+                let k = p.num_colors();
+                let candidates: Vec<u32> = (0..k as u32).filter(|&c| p.size(c) >= 2).collect();
+                let Some(&c) = candidates.as_slice().choose(&mut rng) else {
+                    break;
+                };
+                let members: Vec<u32> = p.members(c).to_vec();
+                let pivot = members[rng.random_range(0..members.len())];
+                if let Some(ev) = p.split_color(c, |v| v >= pivot && v != members[0]) {
+                    dense.apply_split(&g, &p, &ev);
+                    sparse.apply_split(&g, &p, &ev);
+                }
+            }
+            while p.num_colors() >= 2 {
+                let k = p.num_colors() as u32;
+                let a = rng.random_range(0..k - 1);
+                let b = rng.random_range(a + 1..k);
+                let ev = p.merge_colors(a, b);
+                dense.apply_merge(&g, &p, &ev);
+                sparse.apply_merge(&g, &p, &ev);
+                assert_eq!(dense.verify_against(&g, &p), Ok(()));
+                assert_eq!(sparse.verify_against(&g, &p), Ok(()));
+                // Witness state equals a freshly built engine bit-for-bit.
+                dense.refresh(&p, 1.0);
+                let mut fresh = IncrementalDegrees::new(&g, &p);
+                fresh.refresh(&p, 1.0);
+                assert_eq!(dense.max_error().to_bits(), fresh.max_error().to_bits());
+                assert_eq!(dense.pick_witness(&p, 1.0), fresh.pick_witness(&p, 1.0));
+                assert_eq!(
+                    dense.pick_merge(f64::INFINITY),
+                    fresh.pick_merge(f64::INFINITY)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_bound_is_sound() {
+        // The picked merge's bound must dominate the actual post-merge
+        // error, and the scratch pick must agree with the engine pick.
+        for (directed, seed) in [(false, 7u64), (true, 29)] {
+            let g = half_weight_graph(36, 150, directed, seed);
+            let mut p = Partition::unit(36);
+            let mut engine = IncrementalDegrees::new(&g, &p);
+            for pivot in [24u32, 12, 30, 6] {
+                if let Some(ev) = p.split_color(p.color_of(pivot), |v| v >= pivot && v != 0) {
+                    engine.apply_split(&g, &p, &ev);
+                }
+            }
+            let m = DegreeMatrices::compute(&g, &p);
+            assert_eq!(
+                engine.pick_merge(f64::INFINITY),
+                pick_merge_scratch(&m, f64::INFINITY)
+            );
+            let cand = engine.pick_merge(f64::INFINITY).expect("k >= 2");
+            let ev = p.merge_colors(cand.winner, cand.loser);
+            engine.apply_merge(&g, &p, &ev);
+            let actual = max_q_error(&g, &p);
+            assert!(
+                actual <= cand.bound + 1e-9,
+                "bound {} below actual {actual}",
+                cand.bound
+            );
+        }
+    }
+
+    #[test]
+    fn beta_weight_growth_invalidates_untouched_rows() {
+        // A merge (or node insert) grows the winner's size. With β > 0 the
+        // weight of candidates *targeting* the grown color rises, so an
+        // untouched row's cached best — pointing elsewhere — can be
+        // silently overtaken. Row A below has edges into W and X but none
+        // into L, so merging L into W leaves row A untouched by the fold;
+        // its best must still flip from X to the grown W.
+        //
+        // Nodes: A = {0, 1}, W = {2, 3}, X = {4, 5}, L = {6}.
+        let mut b = GraphBuilder::new_directed(7);
+        b.add_edge(0, 2, 1.5); // (A, W): error 1.5
+        b.add_edge(0, 4, 1.6); // (A, X): error 1.6
+        let g = b.build();
+        let mut p = Partition::from_classes(7, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6]]);
+        let beta = 1.0;
+        let mut engine = IncrementalDegrees::new(&g, &p);
+        engine.refresh(&p, beta);
+        // Pre-merge best of row A: (A, X) at 1.6 · |X| = 3.2 over (A, W)
+        // at 1.5 · |W| = 3.0.
+        let pre = engine.pick_witness(&p, 0.0).expect("candidates exist");
+        assert_eq!((pre.split_color, pre.other_color), (0, 2));
+        // Merge L into W: |W| = 3, so (A, W) = 4.5 overtakes.
+        let ev = p.merge_colors(1, 3);
+        engine.apply_merge(&g, &p, &ev);
+        engine.refresh(&p, beta);
+        let mut fresh = IncrementalDegrees::new(&g, &p);
+        fresh.refresh(&p, beta);
+        assert_eq!(engine.pick_witness(&p, 0.0), fresh.pick_witness(&p, 0.0));
+        let post = engine.pick_witness(&p, 0.0).expect("candidates exist");
+        assert_eq!((post.split_color, post.other_color), (0, 1));
+
+        // The node-insert path grows a color the same way.
+        let mut engine = IncrementalDegrees::new(&g, &p);
+        engine.refresh(&p, beta);
+        let first = p.num_nodes() as u32;
+        p.insert_node(1);
+        engine.apply_node_inserts(&p, first, &[1]);
+        engine.refresh(&p, beta);
+        let mut fresh = IncrementalDegrees::new(&g2_with_node(&g), &p);
+        fresh.refresh(&p, beta);
+        assert_eq!(engine.pick_witness(&p, 0.0), fresh.pick_witness(&p, 0.0));
+        let post = engine.pick_witness(&p, 0.0).expect("candidates exist");
+        assert_eq!(
+            (post.split_color, post.other_color),
+            (0, 1),
+            "the grown W must overtake X in row A's cached best"
+        );
+    }
+
+    /// The test graph above with one extra isolated node appended.
+    fn g2_with_node(g: &Graph) -> Graph {
+        let mut b = GraphBuilder::new_directed(g.num_nodes() + 1);
+        for (u, v, w) in g.arcs() {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn node_inserts_and_removals_match_fresh_engine() {
+        use qsc_graph::GraphDelta;
+        for (directed, seed) in [(false, 5u64), (true, 13)] {
+            let g = half_weight_graph(30, 120, directed, seed);
+            let mut p = Partition::unit(30);
+            let mut dense = IncrementalDegrees::new(&g, &p);
+            let mut sparse = IncrementalDegrees::new_degrees_only(&g, &p);
+            let ev = p.split_color(0, |v| v >= 15).unwrap();
+            dense.apply_split(&g, &p, &ev);
+            sparse.apply_split(&g, &p, &ev);
+
+            let mut delta = GraphDelta::new(g);
+            // Insert two nodes, wire one, remove an existing node (with its
+            // edges) and the still-isolated insert.
+            let a = delta.insert_node();
+            let b = delta.insert_node();
+            let first = a;
+            p.insert_node(0);
+            p.insert_node(1);
+            dense.apply_node_inserts(&p, first, &[0, 1]);
+            sparse.apply_node_inserts(&p, first, &[0, 1]);
+
+            delta.insert_edge(a, 3, 1.5).unwrap();
+            delta.insert_edge(5, a, 2.0).unwrap();
+            let victim = 7u32;
+            delta.remove_node(victim).unwrap();
+            delta.remove_node(b).unwrap();
+            let events = delta.drain_events();
+            dense.apply_edge_batch(&p, &events);
+            sparse.apply_edge_batch(&p, &events);
+
+            let removed_colors = vec![p.color_of(victim), p.color_of(b)];
+            let (compacted, remap) = delta.compact_renumber();
+            p.apply_node_remap(&remap);
+            dense.apply_node_removals(&p, &remap, &removed_colors);
+            sparse.apply_node_removals(&p, &remap, &removed_colors);
+
+            assert_eq!(dense.verify_against(&compacted, &p), Ok(()));
+            assert_eq!(sparse.verify_against(&compacted, &p), Ok(()));
+            dense.refresh(&p, 0.0);
+            let mut fresh = IncrementalDegrees::new(&compacted, &p);
+            fresh.refresh(&p, 0.0);
+            assert_eq!(dense.max_error().to_bits(), fresh.max_error().to_bits());
+            assert_eq!(dense.pick_witness(&p, 0.0), fresh.pick_witness(&p, 0.0));
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! colors (`O(dirty · k)` per checkpoint) instead of re-derived with a
 //! dense `O(k²)` sweep.
 
-use crate::partition::{Partition, SplitEvent};
+use crate::partition::{MergeEvent, Partition, SplitEvent};
 use crate::q_error::DegreeMatrices;
 use qsc_graph::delta::EdgeEvent;
 use qsc_graph::{Graph, GraphBuilder};
@@ -257,6 +257,78 @@ impl ReducedDelta {
         }
     }
 
+    /// Patch the matrix for one merge — the dual of [`Self::apply_split`]:
+    /// the loser's row and column fold into the winner's, the ex-last
+    /// color relabels into the freed slot, and the matrix shrinks by one.
+    /// `O(k)`. The vacated last row/column is zeroed (future splits assume
+    /// fresh rows). Dirty marks: winner, the (relabeled) loser slot, and
+    /// the *old last id* — emitters treat a dirty id at or past the new
+    /// color count as a column removal.
+    pub fn apply_merge(&mut self, event: &MergeEvent) {
+        let winner = event.winner as usize;
+        let loser = event.loser as usize;
+        assert!(winner < loser && loser < self.k, "bad merge event");
+        let last = self.k - 1;
+        debug_assert_eq!(event.relabeled, (loser != last).then_some(last as u32));
+        let cap = self.cap;
+        // Fold loser into winner. The self entry absorbs all four
+        // quadrants; off entries fold row- and column-wise.
+        let self_sum = self.sum[winner * cap + winner]
+            + self.sum[winner * cap + loser]
+            + self.sum[loser * cap + winner]
+            + self.sum[loser * cap + loser];
+        for j in 0..self.k {
+            if j == winner || j == loser {
+                continue;
+            }
+            self.sum[winner * cap + j] += self.sum[loser * cap + j];
+            self.sum[j * cap + winner] += self.sum[j * cap + loser];
+        }
+        self.sum[winner * cap + winner] = self_sum;
+        self.sizes[winner] += self.sizes[loser];
+        // Relabel last -> loser (row, column, diagonal), then zero the
+        // vacated last row/column.
+        if loser != last {
+            let diag = self.sum[last * cap + last];
+            for j in 0..self.k {
+                if j == last || j == loser {
+                    continue;
+                }
+                self.sum[loser * cap + j] = self.sum[last * cap + j];
+                self.sum[j * cap + loser] = self.sum[j * cap + last];
+            }
+            self.sum[loser * cap + loser] = diag;
+            self.sizes[loser] = self.sizes[last];
+        }
+        for j in 0..self.k {
+            self.sum[last * cap + j] = 0.0;
+            self.sum[j * cap + last] = 0.0;
+        }
+        self.sizes.pop();
+        self.k -= 1;
+        self.mark_dirty(event.winner);
+        if loser != last {
+            self.mark_dirty(event.loser);
+        }
+        self.mark_dirty(last as u32);
+    }
+
+    /// Record a node inserted into color `color` (isolated — the matrix is
+    /// untouched, only the size and the size-dependent weightings change).
+    pub fn apply_node_insert(&mut self, color: u32) {
+        self.sizes[color as usize] += 1;
+        self.mark_dirty(color);
+    }
+
+    /// Record the removal of an isolated node from color `color` (the dual
+    /// of [`Self::apply_node_insert`]; node renumbering does not touch the
+    /// color-indexed matrix).
+    pub fn apply_node_removal(&mut self, color: u32) {
+        assert!(self.sizes[color as usize] > 1, "removal would empty color");
+        self.sizes[color as usize] -= 1;
+        self.mark_dirty(color);
+    }
+
     /// Take the colors whose row/column entries or size changed since the
     /// last call (every changed entry has one of them as an index), in
     /// first-dirtied order, clearing the dirty state. A fresh delta
@@ -421,8 +493,11 @@ impl<F: Fn(usize, usize, f64, usize, usize) -> f64> PatchedReducedGraph<F> {
 
     /// Re-synchronize with the delta: rebuild the rows of colors dirtied
     /// since the last sync (including rows of freshly created colors) and
-    /// patch their columns in every clean row. `O(dirty · k)` — the dense
-    /// `O(k²)` sweep only ever happens in [`Self::new`].
+    /// patch their columns in every clean row. A dirty id at or past the
+    /// current color count marks a color removed by a merge: its row is
+    /// dropped by the resize and its column is deleted from every clean
+    /// row. `O(dirty · k)` — the dense `O(k²)` sweep only ever happens in
+    /// [`Self::new`].
     pub fn sync(&mut self, delta: &mut ReducedDelta) {
         let k = delta.num_colors();
         let dirty = delta.take_dirty_colors();
@@ -432,9 +507,14 @@ impl<F: Fn(usize, usize, f64, usize, usize) -> f64> PatchedReducedGraph<F> {
         self.rows.resize_with(k, Vec::new);
         let mut is_dirty = vec![false; k];
         for &d in &dirty {
-            is_dirty[d as usize] = true;
+            if (d as usize) < k {
+                is_dirty[d as usize] = true;
+            }
         }
         for &d in &dirty {
+            if (d as usize) >= k {
+                continue; // removed color: no row to build
+            }
             let row = self.build_row(delta, d as usize);
             self.rows[d as usize] = row;
         }
@@ -444,11 +524,15 @@ impl<F: Fn(usize, usize, f64, usize, usize) -> f64> PatchedReducedGraph<F> {
             }
             for &d in &dirty {
                 let j = d as usize;
-                let sum = delta.pair_weight(i, j);
-                let w = if sum == 0.0 {
-                    0.0
+                let w = if j >= k {
+                    0.0 // removed color: delete its column
                 } else {
-                    (self.weight)(i, j, sum, delta.size(i), delta.size(j))
+                    let sum = delta.pair_weight(i, j);
+                    if sum == 0.0 {
+                        0.0
+                    } else {
+                        (self.weight)(i, j, sum, delta.size(i), delta.size(j))
+                    }
                 };
                 patch_sorted_row(row, d, w);
             }
@@ -661,6 +745,67 @@ mod tests {
             assert_eq!(delta.verify_against(&g, &p), Ok(()));
         }
         assert!(delta.num_colors() > 4, "growth path not exercised");
+    }
+
+    #[test]
+    fn reduced_delta_merge_matches_scratch_and_patched_emission() {
+        use rand::prelude::*;
+        let g = generators::barabasi_albert(120, 3, 21);
+        let mut run = Rothko::new(RothkoConfig::with_max_colors(12)).start(&g);
+        let mut delta = ReducedDelta::new(&g, run.partition());
+        while run.step() {
+            let event = run.last_event().expect("split");
+            delta.apply_split(&g, run.partition(), event);
+        }
+        let weighting = ReductionWeighting::SqrtNormalized;
+        let mut emitter = PatchedReducedGraph::new(&mut delta, |_i, _j, sum, si, sj| {
+            weighting.apply(sum, si, sj)
+        });
+        let mut p = run.partition().clone();
+        let mut rng = StdRng::seed_from_u64(77);
+        while p.num_colors() > 2 {
+            let k = p.num_colors() as u32;
+            let a = rng.random_range(0..k - 1);
+            let b = rng.random_range(a + 1..k);
+            let ev = p.merge_colors(a, b);
+            delta.apply_merge(&ev);
+            assert_eq!(delta.verify_against(&g, &p), Ok(()));
+            // The patched emission equals the dense re-emission after the
+            // shrink (removed columns deleted from clean rows).
+            emitter.sync(&mut delta);
+            let patched = emitter.to_graph();
+            let dense =
+                delta.reduced_graph_with(|_i, _j, sum, si, sj| weighting.apply(sum, si, sj));
+            assert_eq!(patched.num_nodes(), dense.num_nodes());
+            let pa: Vec<_> = patched.arcs().collect();
+            let da: Vec<_> = dense.arcs().collect();
+            assert_eq!(pa, da, "k = {}", p.num_colors());
+        }
+        // Splits after merges keep working (vacated rows were zeroed).
+        let members: Vec<u32> = p.members(0).to_vec();
+        if members.len() >= 2 {
+            let pivot = members[members.len() / 2];
+            if let Some(ev) = p.split_color(0, |v| v >= pivot) {
+                delta.apply_split(&g, &p, &ev);
+                assert_eq!(delta.verify_against(&g, &p), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_delta_node_sizes_follow_churn() {
+        let g = generators::karate_club();
+        let p = Partition::from_assignment(&(0..34).map(|v| (v % 3) as u32).collect::<Vec<_>>());
+        let mut delta = ReducedDelta::new(&g, &p);
+        delta.take_dirty_colors();
+        delta.apply_node_insert(1);
+        assert_eq!(delta.size(1), p.size(1) + 1);
+        delta.apply_node_removal(1);
+        delta.apply_node_removal(2);
+        assert_eq!(delta.size(2), p.size(2) - 1);
+        // Size-dependent weightings see the churn through the dirty set.
+        let dirty = delta.take_dirty_colors();
+        assert_eq!(dirty, vec![1, 2]);
     }
 
     #[test]

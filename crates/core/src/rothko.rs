@@ -74,28 +74,38 @@
 //! their state in lockstep; [`crate::sweep::ColoringSweep`] packages this
 //! into a checkpointing driver.
 //!
-//! # Dynamic graphs
+//! # Dynamic graphs, bidirectionally
 //!
 //! A run also survives *graph* updates: [`RothkoRun::apply_edge_batch`]
 //! takes a batch of edge insert/delete/reweight events (from
 //! `qsc_graph::delta::GraphDelta`) together with the compacted post-batch
-//! graph, patches the engine in `O(touched)`, and re-opens the run so
-//! [`RothkoRun::maintain`] can re-establish the configured (q, k)
-//! invariant by splitting only where the batch pushed the error above the
-//! target — instead of recomputing the coloring from scratch. Because the
+//! graph, and [`RothkoRun::apply_node_batch`] additionally absorbs node
+//! insertions and removals (isolated-node inserts grow the engine's
+//! accumulators, removals compact the node axis through the compaction's
+//! `NodeRemap`). Both patch the engine in `O(touched)` and re-open the
+//! run so [`RothkoRun::maintain`] can re-establish the configured (q, k)
+//! invariant — *from both sides*: splitting where the batch pushed the
+//! error above the target, and, with [`RothkoConfig::coarsen`], merging
+//! color pairs whose provable post-merge q-error bound fits well inside
+//! it (a hysteresis band at half the target keeps churn from thrashing
+//! freshly merged colors), so long-lived maintained runs shrink `k` back
+//! when churn lowers the error instead of only ever refining. Because the
 //! patched engine state equals a freshly built engine on the compacted
 //! graph (exactly so for exactly-representable weights), the maintenance
-//! splits are bit-identical to what a fresh run *started from the same
-//! coloring* would do; `bench_dynamic` records the resulting
-//! maintain-vs-recompute speedup under sustained churn.
+//! splits *and merges* are bit-identical to what a fresh run *started
+//! from the same coloring* would do; `bench_dynamic` records the
+//! resulting maintain-vs-recompute speedups under sustained edge and
+//! node churn. [`RothkoRun::maintain_with`] delivers every operation as
+//! a [`PartitionEvent`] in lockstep for downstream incremental consumers.
 
 use crate::parallel::default_threads;
-use crate::partition::{Partition, SplitEvent};
+use crate::partition::{ColorId, Partition, PartitionEvent, SplitEvent};
 use crate::q_error::{
-    pick_witnesses_scratch, q_error_report, DegreeMatrices, IncrementalDegrees, WitnessCandidate,
+    pick_merge_scratch, pick_witnesses_scratch, q_error_report, DegreeMatrices, IncrementalDegrees,
+    WitnessCandidate,
 };
-use qsc_graph::delta::EdgeEvent;
-use qsc_graph::Graph;
+use qsc_graph::delta::{EdgeEvent, NodeRemap};
+use qsc_graph::{Graph, NodeId};
 
 /// The graph a [`RothkoRun`] refines: borrowed at start, owned after the
 /// first [`RothkoRun::apply_edge_batch`] swapped in a compacted successor
@@ -160,6 +170,14 @@ pub struct RothkoConfig {
     /// larger batches may pick splits the strict greedy order would have
     /// re-ranked mid-round (see the module docs). Must be at least 1.
     pub batch: usize,
+    /// Allow [`RothkoRun::maintain`] to *coarsen*: when the maintained
+    /// error sits at or below `target_error`, greedily merge the color pair
+    /// with the smallest post-merge q-error bound while that bound stays
+    /// within the target (see [`IncrementalDegrees::pick_merge`]), so
+    /// long-lived maintained runs shrink `k` back when churn lowers the
+    /// error instead of only ever refining. Off by default — one-shot runs
+    /// and budget sweeps are monotone refinements.
+    pub coarsen: bool,
 }
 
 impl Default for RothkoConfig {
@@ -174,6 +192,7 @@ impl Default for RothkoConfig {
             max_iterations: None,
             threads: None,
             batch: 1,
+            coarsen: false,
         }
     }
 }
@@ -266,6 +285,36 @@ impl RothkoConfig {
         self.batch = batch.max(1);
         self
     }
+
+    /// Builder-style setter for bidirectional maintenance (see
+    /// [`Self::coarsen`] — the field).
+    pub fn coarsen(mut self, coarsen: bool) -> Self {
+        self.coarsen = coarsen;
+        self
+    }
+}
+
+/// One round of *node* churn for [`RothkoRun::apply_node_batch`]: the batch
+/// a `qsc_graph::delta::GraphDelta` produced between two compactions, plus
+/// the color assignments for the inserted nodes. The application order is
+/// fixed: inserts grow the id space first, the edge events (which may
+/// reference both fresh and soon-to-be-removed nodes, and always contain
+/// the removals' incident-edge deletes) apply over the grown pre-compaction
+/// id space, and the removals + renumbering land last.
+#[derive(Clone, Debug)]
+pub struct NodeChurnBatch {
+    /// Colors for the nodes appended in order (node `old_n + i` joins
+    /// `inserted_colors[i]`).
+    pub inserted_colors: Vec<ColorId>,
+    /// The edge events of the batch, in mutation order, over the grown
+    /// pre-compaction id space (from `GraphDelta::drain_events`).
+    pub edge_events: Vec<EdgeEvent>,
+    /// The removed nodes (pre-compaction ids; their colors are read from
+    /// the partition before the renumbering).
+    pub removed: Vec<NodeId>,
+    /// The renumbering the graph compaction produced
+    /// (`GraphDelta::compact_renumber`).
+    pub remap: NodeRemap,
 }
 
 /// The result of a Rothko run: a coloring plus its quality metrics.
@@ -344,6 +393,9 @@ pub struct RothkoRun<'g> {
     /// [`Self::split_at_mean`] (no per-step allocation).
     deg_scratch: Vec<f64>,
     iterations: usize,
+    /// Merges performed by coarsening maintenance (separate from the split
+    /// count in `iterations`).
+    merges: usize,
     last_max_error: f64,
     /// The splits of the most recent synchronization round, in application
     /// order (each event's `moved_nodes` vector is moved here, not cloned,
@@ -391,6 +443,7 @@ impl<'g> RothkoRun<'g> {
             engine,
             deg_scratch: vec![0.0; n],
             iterations: 0,
+            merges: 0,
             last_max_error: f64::INFINITY,
             round_events: Vec::new(),
             round_witnesses: Vec::new(),
@@ -412,6 +465,12 @@ impl<'g> RothkoRun<'g> {
     /// Number of splits performed so far.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Number of coarsening merges performed so far (only ever non-zero
+    /// for maintained runs with [`RothkoConfig::coarsen`]).
+    pub fn merges(&self) -> usize {
+        self.merges
     }
 
     /// Whether the run has reached a stopping condition.
@@ -547,16 +606,202 @@ impl<'g> RothkoRun<'g> {
         }
     }
 
+    /// Apply a batch of *node* churn to the running refinement: inserts
+    /// grow the partition and the engine's accumulators (fresh isolated
+    /// nodes), the batch's edge events patch the engine over the grown
+    /// pre-compaction id space (exactly as [`Self::apply_edge_batch`]
+    /// does), and the removals + renumbering compact the node axis — all
+    /// in `O(events + touched)` plus the `O(n)` axis compaction, no graph
+    /// traversal. `compacted` is the post-batch graph from
+    /// `GraphDelta::compact_renumber` (owned by the run from now on), and
+    /// the run re-opens so [`Self::maintain`] can re-establish the (q, k)
+    /// invariant — splitting where the churn raised the error, merging
+    /// (with [`RothkoConfig::coarsen`]) where it lowered it.
+    ///
+    /// Removals must not empty a color (pick victims from colors with at
+    /// least two members, or merge the color away first); directedness
+    /// cannot change.
+    pub fn apply_node_batch(&mut self, compacted: Graph, batch: &NodeChurnBatch) {
+        assert_eq!(
+            compacted.num_nodes(),
+            batch.remap.new_len(),
+            "compacted graph does not match the remap"
+        );
+        assert_eq!(
+            compacted.is_directed(),
+            self.graph.get().is_directed(),
+            "maintenance cannot change directedness"
+        );
+        let first = self.partition.num_nodes() as NodeId;
+        for &c in &batch.inserted_colors {
+            self.partition.insert_node(c);
+        }
+        if let Some(engine) = &mut self.engine {
+            engine.apply_node_inserts(&self.partition, first, &batch.inserted_colors);
+            engine.apply_edge_batch(&self.partition, &batch.edge_events);
+        }
+        let removed_colors: Vec<ColorId> = batch
+            .removed
+            .iter()
+            .map(|&v| self.partition.color_of(v))
+            .collect();
+        self.partition.apply_node_remap(&batch.remap);
+        if let Some(engine) = &mut self.engine {
+            engine.apply_node_removals(&self.partition, &batch.remap, &removed_colors);
+        }
+        self.deg_scratch.resize(self.partition.num_nodes(), 0.0);
+        self.graph = GraphStore::Owned(Box::new(compacted));
+        self.done = self.partition.num_nodes() == 0;
+        #[cfg(debug_assertions)]
+        if let Some(engine) = &self.engine {
+            debug_assert_eq!(
+                engine.verify_against(self.graph.get(), &self.partition),
+                Ok(()),
+                "node batch diverged from the compacted graph"
+            );
+        }
+    }
+
     /// Re-establish the configured (q, k) invariant after
-    /// [`Self::apply_edge_batch`]: run synchronization rounds until the
-    /// error target is met, the color budget or iteration cap is
-    /// exhausted, or no further split is possible. Returns the number of
-    /// splits performed (zero when the batch left every error within
-    /// target).
+    /// [`Self::apply_edge_batch`] / [`Self::apply_node_batch`]: run
+    /// synchronization rounds until the error target is met, the color
+    /// budget or iteration cap is exhausted, or no further split is
+    /// possible — then, with [`RothkoConfig::coarsen`], greedily merge
+    /// color pairs whose post-merge bound stays within the target, so the
+    /// invariant is kept from *both* sides. Returns the number of
+    /// operations performed (splits plus merges; zero when the batch left
+    /// every error within target and no merge fits).
     pub fn maintain(&mut self) -> usize {
-        let before = self.iterations;
+        let before = self.iterations + self.merges;
         while self.step() {}
-        self.iterations - before
+        if self.config.coarsen {
+            self.coarsen_within_target(&mut |_, _| {});
+        }
+        (self.iterations + self.merges) - before
+    }
+
+    /// Like [`Self::maintain`], but delivers every operation to `on_event`
+    /// as a [`PartitionEvent`] in lockstep (the partition argument is the
+    /// state immediately after the event), so incremental consumers
+    /// ([`crate::reduced::ReducedDelta`] and its siblings) can mirror
+    /// bidirectional maintenance the same way they mirror sweep splits.
+    pub fn maintain_with<F>(&mut self, mut on_event: F) -> usize
+    where
+        F: FnMut(&Partition, &PartitionEvent),
+    {
+        let before = self.iterations + self.merges;
+        while self.step_with(|p, ev| on_event(p, &PartitionEvent::Split(ev.clone()))) {}
+        if self.config.coarsen {
+            self.coarsen_within_target(&mut on_event);
+        }
+        (self.iterations + self.merges) - before
+    }
+
+    /// Coarsening: while the current error sits within the target and some
+    /// pair's post-merge bound stays inside the *hysteresis band*
+    /// (`target · COARSEN_HYSTERESIS`), merge it. The band keeps freshly
+    /// merged colors from immediately re-splitting on the next churn round
+    /// — merged entries sit at half the target, so a batch has headroom
+    /// before the invariant is violated; with `target == 0` only
+    /// provably-exact (bound-zero) merges apply.
+    ///
+    /// Incremental engines run *batched validated rounds*: one `O(k³)`
+    /// scan produces the ascending candidate list, and each candidate is
+    /// re-validated in `O(k)` against the live state before applying (its
+    /// stale bound may undershoot after earlier merges in the round), so a
+    /// round of `M` merges costs one scan plus `O(M·k)` instead of `M`
+    /// scans. Every applied merge's *current* bound is within the band, so
+    /// the (q, k) invariant provably survives; each merge shrinks `k` and
+    /// rounds repeat only while they merged something, so the loop
+    /// terminates. Rounds are pure functions of the engine state, so
+    /// maintained and fresh-from-checkpoint runs coarsen identically.
+    /// Reference (engine-less) runs keep the strict greedy order —
+    /// recomputing matrices per merge already dominates there.
+    fn coarsen_within_target<F>(&mut self, on_event: &mut F) -> usize
+    where
+        F: FnMut(&Partition, &PartitionEvent),
+    {
+        /// Fraction of the error target a post-merge bound must stay
+        /// within for the merge to apply (see the method docs).
+        const COARSEN_HYSTERESIS: f64 = 0.5;
+        let target = self.config.target_error;
+        if self.partition.num_colors() < 2 || self.exact_max_error() > target {
+            return 0;
+        }
+        let band = target * COARSEN_HYSTERESIS;
+        let mut count = 0usize;
+        if self.engine.is_none() {
+            // Reference mode: strict greedy, one scratch pick per merge.
+            while self.partition.num_colors() >= 2 {
+                let m = DegreeMatrices::compute(self.graph.get(), &self.partition);
+                let Some(c) = pick_merge_scratch(&m, band) else {
+                    break;
+                };
+                let event = self.partition.merge_colors(c.winner, c.loser);
+                self.merges += 1;
+                count += 1;
+                on_event(&self.partition, &PartitionEvent::Merge(event));
+            }
+            return count;
+        }
+        loop {
+            let k = self.partition.num_colors();
+            if k < 2 {
+                break;
+            }
+            // Refresh before the scan: the candidate prefilter reads the
+            // cached row errors, which the previous round's merges dirtied.
+            let beta = self.config.beta;
+            let engine = self.engine.as_mut().expect("engine mode");
+            engine.refresh(&self.partition, beta);
+            let candidates = engine.merge_candidates(band);
+            if candidates.is_empty() {
+                break;
+            }
+            // Track color movement across the round's merges: `cur_of`
+            // maps a round-start color to the slot its (possibly merged)
+            // class lives in now. Every merge rewrites the whole map —
+            // colors at the loser slot move to the winner (including ones
+            // merged there earlier this round: the mapping must be
+            // transitive) and colors at the relabeled ex-last slot move to
+            // the freed one. `O(k)` per merge, dwarfed by the merge itself.
+            let mut cur_of: Vec<u32> = (0..k as u32).collect();
+            let mut merged_this_round = 0usize;
+            for c in candidates {
+                let ca = cur_of[c.winner as usize];
+                let cb = cur_of[c.loser as usize];
+                if ca == cb {
+                    continue; // already merged together this round
+                }
+                let (w, l) = (ca.min(cb), ca.max(cb));
+                let engine = self.engine.as_ref().expect("engine mode");
+                if engine.merge_bound_pair(w, l) > band {
+                    continue; // stale candidate; the next round re-scans
+                }
+                let last = (self.partition.num_colors() - 1) as u32;
+                let event = self.partition.merge_colors(w, l);
+                self.engine.as_mut().expect("engine mode").apply_merge(
+                    self.graph.get(),
+                    &self.partition,
+                    &event,
+                );
+                for slot in cur_of.iter_mut() {
+                    if *slot == l {
+                        *slot = w;
+                    } else if *slot == last {
+                        *slot = l;
+                    }
+                }
+                self.merges += 1;
+                count += 1;
+                merged_this_round += 1;
+                on_event(&self.partition, &PartitionEvent::Merge(event));
+            }
+            if merged_this_round == 0 {
+                break;
+            }
+        }
+        count
     }
 
     /// One synchronization round bounded by `max_colors` (which is at most

@@ -42,8 +42,8 @@
 //! }
 //! ```
 
-use crate::partition::{Partition, SplitEvent};
-use crate::rothko::{Rothko, RothkoConfig, RothkoRun};
+use crate::partition::{Partition, PartitionEvent, SplitEvent};
+use crate::rothko::{NodeChurnBatch, Rothko, RothkoConfig, RothkoRun};
 use qsc_graph::delta::EdgeEvent;
 use qsc_graph::Graph;
 
@@ -130,6 +130,28 @@ impl<'g> ColoringSweep<'g> {
     /// usual lockstep.
     pub fn apply_edge_batch(&mut self, compacted: Graph, events: &[EdgeEvent]) {
         self.run.apply_edge_batch(compacted, events);
+    }
+
+    /// Thread a batch of *node* churn through the sweep (see
+    /// [`RothkoRun::apply_node_batch`] for the application order).
+    /// Consumers that mirror the refinement take the same batch through
+    /// their own node hooks (`ReducedDelta::apply_node_insert` /
+    /// `apply_node_removal` plus `apply_edge_batch` on the grown id
+    /// space), exactly as with edge batches.
+    pub fn apply_node_batch(&mut self, compacted: Graph, batch: &NodeChurnBatch) {
+        self.run.apply_node_batch(compacted, batch);
+    }
+
+    /// Re-establish the run's (q, k) invariant after churn, delivering
+    /// every split *and* (with [`RothkoConfig::coarsen`]) merge to
+    /// `on_event` in lockstep — the bidirectional generalization of
+    /// [`Self::advance_to`]'s visitor contract. Returns the number of
+    /// operations performed.
+    pub fn maintain_with<F>(&mut self, on_event: F) -> usize
+    where
+        F: FnMut(&Partition, &PartitionEvent),
+    {
+        self.run.maintain_with(on_event)
     }
 
     /// Consume the sweep, returning the underlying run (e.g. to `finish()`

@@ -53,7 +53,7 @@ impl FlowNetwork {
 pub struct FlowResult {
     /// The maximum flow value.
     pub value: f64,
-    /// Per-arc flow, aligned with [`ResidualGraph::original_arcs`] (the arcs
+    /// Per-arc flow, aligned with [`ResidualGraph::num_arcs`] (the arcs
     /// of the input graph in `Graph::arcs()` order).
     pub flows: Vec<f64>,
     /// Number of augmentations / relabel passes performed (algorithm

@@ -3,7 +3,7 @@
 //! The coloring pipeline's graphs are CSR-immutable by design (every hot
 //! loop reads raw adjacency arrays), but the dynamic-graph maintenance path
 //! needs edge churn: live traffic inserts, deletes and reweights edges while
-//! downstream consumers ([`qsc_core`]'s incremental engine, the reduced
+//! downstream consumers (`qsc_core`'s incremental engine, the reduced
 //! quotient matrix, a running `RothkoRun`) patch their state per batch
 //! instead of rebuilding. [`GraphDelta`] provides that layer:
 //!
@@ -41,8 +41,114 @@
 //! inserting with weight `0.0` is rejected (a zero-weight edge is
 //! indistinguishable from an absent one for every consumer), while
 //! reweighting *to* `0.0` is expressed as a delete.
+//!
+//! # Node churn
+//!
+//! The delta layer also absorbs *node* insertions and removals — the other
+//! half of the bidirectional event vocabulary:
+//!
+//! * [`GraphDelta::insert_node`] appends a fresh isolated node at the next
+//!   id (`num_nodes()` grows; the node has no arcs until edges are
+//!   inserted) and records a [`NodeEvent::Insert`].
+//! * [`GraphDelta::remove_node`] first deletes every live incident edge —
+//!   each emitting its ordinary [`EdgeEvent`] delete, a self-loop exactly
+//!   once — then marks the node dead and records a [`NodeEvent::Remove`].
+//!   Dead ids stay allocated (queries treat them as isolated and further
+//!   mutations on them error with [`DeltaError::NodeRemoved`]) until the
+//!   next compaction.
+//! * [`GraphDelta::compact_renumber`] folds the overlay into a fresh CSR
+//!   *and* renumbers: dead ids are dropped, survivors keep their relative
+//!   order, and the returned [`NodeRemap`] maps old ids to new ones so
+//!   consumers (partitions, accumulator engines) can compact their own
+//!   node-indexed state in lockstep. [`GraphDelta::compact`] keeps its
+//!   original contract — it panics if node churn is pending, directing
+//!   callers to the renumbering variant.
+//!
+//! The event ordering contract consumers rely on: within one batch, node
+//! inserts land first (they only grow the id space), edge events apply in
+//! mutation order over the grown pre-compaction id space, and node
+//! removals land last (by then their incident edges are already deleted,
+//! so only isolated nodes are ever removed).
 
 use crate::csr::{Graph, NodeId};
+
+/// One logical node change, the node-axis companion of [`EdgeEvent`].
+/// Removals are always preceded (in the edge-event stream) by deletes of
+/// the node's incident edges, so consumers only ever remove isolated
+/// nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// A fresh isolated node appended at this id.
+    Insert {
+        /// The new node's (pre-compaction) id.
+        node: NodeId,
+    },
+    /// This node was removed (after its incident edges were deleted).
+    Remove {
+        /// The removed node's (pre-compaction) id.
+        node: NodeId,
+    },
+}
+
+/// The old-id → new-id mapping produced by [`GraphDelta::compact_renumber`]:
+/// dead ids are dropped, survivors keep their relative order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeRemap {
+    /// `old_to_new[v] == NodeId::MAX` iff `v` was removed.
+    old_to_new: Vec<NodeId>,
+    new_len: usize,
+}
+
+impl NodeRemap {
+    /// Identity remap over `n` nodes (no removals, no renumbering).
+    pub fn identity(n: usize) -> Self {
+        NodeRemap {
+            old_to_new: (0..n as NodeId).collect(),
+            new_len: n,
+        }
+    }
+
+    /// Number of node ids before the renumbering.
+    #[inline]
+    pub fn old_len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Number of node ids after the renumbering.
+    #[inline]
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// The new id of old node `v`, or `None` if it was removed.
+    #[inline]
+    pub fn map(&self, v: NodeId) -> Option<NodeId> {
+        let m = self.old_to_new[v as usize];
+        (m != NodeId::MAX).then_some(m)
+    }
+
+    /// Whether old node `v` was removed.
+    #[inline]
+    pub fn is_removed(&self, v: NodeId) -> bool {
+        self.old_to_new[v as usize] == NodeId::MAX
+    }
+
+    /// Whether the remap is the identity (no removals and no growth — the
+    /// "compacting an unchanged node set" fast path).
+    pub fn is_identity(&self) -> bool {
+        self.new_len == self.old_to_new.len()
+    }
+
+    /// The removed old ids, ascending.
+    pub fn removed_old_ids(&self) -> Vec<NodeId> {
+        self.old_to_new
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m == NodeId::MAX)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+}
 
 /// One logical-edge weight change: the currency of the dynamic-graph
 /// maintenance path. `delta` is the signed change (`new − old`), so
@@ -72,6 +178,9 @@ pub enum DeltaError {
     NoSuchEdge { source: NodeId, target: NodeId },
     /// A non-finite weight, or an insert/reweight to exactly `0.0`.
     InvalidWeight { weight: f64 },
+    /// An operation referenced a node already removed in this delta (dead
+    /// ids stay allocated until the next [`GraphDelta::compact_renumber`]).
+    NodeRemoved { node: NodeId },
 }
 
 impl std::fmt::Display for DeltaError {
@@ -88,6 +197,9 @@ impl std::fmt::Display for DeltaError {
             }
             DeltaError::InvalidWeight { weight } => {
                 write!(f, "invalid edge weight {weight}")
+            }
+            DeltaError::NodeRemoved { node } => {
+                write!(f, "node id {node} was removed in this delta")
             }
         }
     }
@@ -111,10 +223,21 @@ pub struct GraphDelta {
     /// Per-node overlay of `(neighbor, state)` overrides of the base
     /// out-adjacency, sorted by neighbor. Undirected edges keep an entry in
     /// both endpoints' rows (one for self-loops), mirroring the CSR's
-    /// symmetric-arc storage.
+    /// symmetric-arc storage. Rows beyond the base node count belong to
+    /// nodes inserted since the last compaction (their whole adjacency
+    /// lives in the overlay).
     overlay: Vec<Vec<(NodeId, ArcState)>>,
+    /// Per-node dead flag: removed ids stay allocated until the next
+    /// [`Self::compact_renumber`].
+    dead: Vec<bool>,
+    /// Number of dead ids (node-churn signal for the compaction policy).
+    removed_nodes: usize,
+    /// Nodes appended since the last compaction.
+    inserted_nodes: usize,
     /// Pending logical-edge events since the last [`Self::drain_events`].
     events: Vec<EdgeEvent>,
+    /// Pending node events since the last [`Self::drain_node_events`].
+    node_events: Vec<NodeEvent>,
     /// Current logical edge count (arcs for directed, edges for
     /// undirected).
     num_edges: usize,
@@ -130,16 +253,42 @@ impl GraphDelta {
         GraphDelta {
             base,
             overlay: vec![Vec::new(); n],
+            dead: vec![false; n],
+            removed_nodes: 0,
+            inserted_nodes: 0,
             events: Vec::new(),
+            node_events: Vec::new(),
             num_edges,
             overlay_arcs: 0,
         }
     }
 
-    /// Number of nodes (fixed; the delta layer does not add nodes).
+    /// Size of the node *id space*: every id in `0..num_nodes()` is
+    /// addressable, including ids removed since the last compaction (those
+    /// behave as isolated nodes for queries and reject mutations). Use
+    /// [`Self::num_live_nodes`] for the live count.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.base.num_nodes()
+        self.overlay.len()
+    }
+
+    /// Number of live (non-removed) nodes.
+    #[inline]
+    pub fn num_live_nodes(&self) -> usize {
+        self.overlay.len() - self.removed_nodes
+    }
+
+    /// Whether node id `v` is live (in range and not removed).
+    #[inline]
+    pub fn is_live(&self, v: NodeId) -> bool {
+        (v as usize) < self.overlay.len() && !self.dead[v as usize]
+    }
+
+    /// Whether any node insertions or removals are pending (requiring
+    /// [`Self::compact_renumber`] rather than [`Self::compact`]).
+    #[inline]
+    pub fn node_churn_pending(&self) -> bool {
+        self.inserted_nodes > 0 || self.removed_nodes > 0
     }
 
     /// Current number of logical edges (insertions minus deletions applied
@@ -181,7 +330,7 @@ impl GraphDelta {
         match self.overlay_state(u, v) {
             Some(ArcState::Present(w)) => w,
             Some(ArcState::Absent) => 0.0,
-            None => self.base.weight(u, v),
+            None => self.base_weight(u, v),
         }
     }
 
@@ -190,7 +339,7 @@ impl GraphDelta {
         match self.overlay_state(u, v) {
             Some(ArcState::Present(_)) => true,
             Some(ArcState::Absent) => false,
-            None => self.base.has_edge(u, v),
+            None => self.base_has(u, v),
         }
     }
 
@@ -278,10 +427,60 @@ impl GraphDelta {
         Ok(())
     }
 
+    /// Append a fresh isolated node at the next id and return it. The node
+    /// has no arcs until edges are inserted; records one
+    /// [`NodeEvent::Insert`].
+    pub fn insert_node(&mut self) -> NodeId {
+        let id = self.overlay.len() as NodeId;
+        self.overlay.push(Vec::new());
+        self.dead.push(false);
+        self.inserted_nodes += 1;
+        self.node_events.push(NodeEvent::Insert { node: id });
+        id
+    }
+
+    /// Remove node `v`: delete every live incident edge (each emitting its
+    /// ordinary [`EdgeEvent`] delete — a self-loop exactly once), then mark
+    /// the id dead and record a [`NodeEvent::Remove`]. The id stays
+    /// allocated (isolated, rejecting further mutations) until the next
+    /// [`Self::compact_renumber`].
+    pub fn remove_node(&mut self, v: NodeId) -> Result<(), DeltaError> {
+        self.check_node(v)?;
+        // Outgoing (for undirected graphs this covers every incident edge:
+        // the mirror arcs live in v's own row).
+        let out: Vec<NodeId> = self.live_out_neighbors(v);
+        for t in out {
+            self.delete_edge(v, t)?;
+        }
+        if self.is_directed() {
+            let inc: Vec<NodeId> = self.live_in_neighbors(v);
+            for s in inc {
+                if s != v {
+                    self.delete_edge(s, v)?;
+                }
+            }
+        }
+        self.dead[v as usize] = true;
+        self.removed_nodes += 1;
+        self.node_events.push(NodeEvent::Remove { node: v });
+        Ok(())
+    }
+
     /// Take the pending event batch (in mutation order), leaving the delta
     /// ready to accumulate the next one.
     pub fn drain_events(&mut self) -> Vec<EdgeEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Take the pending node-event batch (in mutation order).
+    pub fn drain_node_events(&mut self) -> Vec<NodeEvent> {
+        std::mem::take(&mut self.node_events)
+    }
+
+    /// Number of pending (undrained) node events.
+    #[inline]
+    pub fn pending_node_events(&self) -> usize {
+        self.node_events.len()
     }
 
     /// Fold the overlay into a fresh CSR graph, reset the overlay, and
@@ -290,40 +489,18 @@ impl GraphDelta {
     /// — both the base arcs and the overlay rows are in neighbor order.
     ///
     /// Pending events are *not* drained: compaction changes the
-    /// representation, not the mutation history.
+    /// representation, not the mutation history. Panics if node churn is
+    /// pending — use [`Self::compact_renumber`], which also renumbers the
+    /// node ids.
     pub fn compact(&mut self) -> Graph {
+        assert!(
+            !self.node_churn_pending(),
+            "node insertions/removals pending; use compact_renumber"
+        );
         if self.overlay_arcs > 0 {
             let n = self.num_nodes();
-            let mut rows: Vec<Vec<(NodeId, f64)>> = Vec::with_capacity(n);
-            for u in 0..n as NodeId {
-                let (targets, weights) = self.base.out_arcs(u);
-                let over = &self.overlay[u as usize];
-                let mut row = Vec::with_capacity(targets.len() + over.len());
-                let mut oi = 0usize;
-                for (idx, &t) in targets.iter().enumerate() {
-                    while oi < over.len() && over[oi].0 < t {
-                        if let (v, ArcState::Present(w)) = over[oi] {
-                            row.push((v, w));
-                        }
-                        oi += 1;
-                    }
-                    if oi < over.len() && over[oi].0 == t {
-                        if let (v, ArcState::Present(w)) = over[oi] {
-                            row.push((v, w));
-                        }
-                        oi += 1;
-                    } else {
-                        row.push((t, weights[idx]));
-                    }
-                }
-                while oi < over.len() {
-                    if let (v, ArcState::Present(w)) = over[oi] {
-                        row.push((v, w));
-                    }
-                    oi += 1;
-                }
-                rows.push(row);
-            }
+            let rows: Vec<Vec<(NodeId, f64)>> =
+                (0..n as NodeId).map(|u| self.live_row(u, None)).collect();
             self.base = Graph::from_row_adjacency(n, self.is_directed(), &rows);
             for row in &mut self.overlay {
                 row.clear();
@@ -334,16 +511,156 @@ impl GraphDelta {
         self.base.clone()
     }
 
-    // ---- internals ----
-
-    fn check_nodes(&self, u: NodeId, v: NodeId) -> Result<(), DeltaError> {
-        let n = self.num_nodes();
-        for node in [u, v] {
-            if node as usize >= n {
-                return Err(DeltaError::NodeOutOfRange { node, n });
+    /// Fold the overlay into a fresh CSR graph *renumbering the node ids*:
+    /// dead ids are dropped, survivors keep their relative order (and new
+    /// nodes their appended positions). Returns the compacted graph and the
+    /// [`NodeRemap`] consumers need to compact their own node-indexed
+    /// state. The delta continues from the new id space. `O(n + m +
+    /// overlay)`; with no node churn pending this equals [`Self::compact`]
+    /// plus an identity remap.
+    pub fn compact_renumber(&mut self) -> (Graph, NodeRemap) {
+        let total = self.num_nodes();
+        let mut old_to_new = vec![NodeId::MAX; total];
+        let mut next = 0u32;
+        for (v, &dead) in self.dead.iter().enumerate() {
+            if !dead {
+                old_to_new[v] = next;
+                next += 1;
             }
         }
+        let new_n = next as usize;
+        let remap = NodeRemap {
+            old_to_new,
+            new_len: new_n,
+        };
+        if self.node_churn_pending() || self.overlay_arcs > 0 {
+            let mut rows: Vec<Vec<(NodeId, f64)>> = Vec::with_capacity(new_n);
+            for u in 0..total as NodeId {
+                if self.dead[u as usize] {
+                    continue;
+                }
+                rows.push(self.live_row(u, Some(&remap)));
+            }
+            self.base = Graph::from_row_adjacency(new_n, self.is_directed(), &rows);
+            self.overlay.clear();
+            self.overlay.resize(new_n, Vec::new());
+            self.dead.clear();
+            self.dead.resize(new_n, false);
+            self.overlay_arcs = 0;
+            self.inserted_nodes = 0;
+            self.removed_nodes = 0;
+        }
+        debug_assert_eq!(self.base.num_edges(), self.num_edges);
+        (self.base.clone(), remap)
+    }
+
+    // ---- internals ----
+
+    /// Guarded base-arc weight: nodes appended since the last compaction
+    /// have no base arcs.
+    #[inline]
+    fn base_weight(&self, u: NodeId, v: NodeId) -> f64 {
+        let n = self.base.num_nodes();
+        if (u as usize) < n && (v as usize) < n {
+            self.base.weight(u, v)
+        } else {
+            0.0
+        }
+    }
+
+    /// Guarded base-arc membership; see [`Self::base_weight`].
+    #[inline]
+    fn base_has(&self, u: NodeId, v: NodeId) -> bool {
+        let n = self.base.num_nodes();
+        (u as usize) < n && (v as usize) < n && self.base.has_edge(u, v)
+    }
+
+    /// The merged (base + overlay) out-row of live node `u`, in neighbor
+    /// order, optionally renumbered through `remap` (which must keep every
+    /// live target; relative order is preserved, so the row stays sorted).
+    fn live_row(&self, u: NodeId, remap: Option<&NodeRemap>) -> Vec<(NodeId, f64)> {
+        let (targets, weights) = if (u as usize) < self.base.num_nodes() {
+            self.base.out_arcs(u)
+        } else {
+            (&[][..], &[][..])
+        };
+        let over = &self.overlay[u as usize];
+        let mut row = Vec::with_capacity(targets.len() + over.len());
+        let mut push = |v: NodeId, w: f64| {
+            let v = match remap {
+                Some(r) => r.map(v).expect("live row targets a removed node"),
+                None => v,
+            };
+            row.push((v, w));
+        };
+        let mut oi = 0usize;
+        for (idx, &t) in targets.iter().enumerate() {
+            while oi < over.len() && over[oi].0 < t {
+                if let (v, ArcState::Present(w)) = over[oi] {
+                    push(v, w);
+                }
+                oi += 1;
+            }
+            if oi < over.len() && over[oi].0 == t {
+                if let (v, ArcState::Present(w)) = over[oi] {
+                    push(v, w);
+                }
+                oi += 1;
+            } else {
+                push(t, weights[idx]);
+            }
+        }
+        while oi < over.len() {
+            if let (v, ArcState::Present(w)) = over[oi] {
+                push(v, w);
+            }
+            oi += 1;
+        }
+        row
+    }
+
+    /// Live out-neighbors of `v` (merged view), in neighbor order.
+    fn live_out_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        self.live_row(v, None).into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Live in-neighbors of `v`: base in-arcs still live, plus
+    /// overlay-inserted arcs found by scanning the overlay rows
+    /// (`O(n + overlay)` — node removal is a rare, batched operation).
+    fn live_in_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut sources = Vec::new();
+        if (v as usize) < self.base.num_nodes() {
+            let (base_srcs, _) = self.base.in_arcs(v);
+            for &s in base_srcs {
+                if self.has_edge(s, v) {
+                    sources.push(s);
+                }
+            }
+        }
+        for (s, row) in self.overlay.iter().enumerate() {
+            if let Ok(i) = row.binary_search_by_key(&v, |&(t, _)| t) {
+                if matches!(row[i].1, ArcState::Present(_)) && !self.base_has(s as NodeId, v) {
+                    sources.push(s as NodeId);
+                }
+            }
+        }
+        sources
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), DeltaError> {
+        let n = self.num_nodes();
+        if v as usize >= n {
+            return Err(DeltaError::NodeOutOfRange { node: v, n });
+        }
+        if self.dead[v as usize] {
+            return Err(DeltaError::NodeRemoved { node: v });
+        }
         Ok(())
+    }
+
+    fn check_nodes(&self, u: NodeId, v: NodeId) -> Result<(), DeltaError> {
+        self.check_node(u)?;
+        self.check_node(v)
     }
 
     fn overlay_state(&self, u: NodeId, v: NodeId) -> Option<ArcState> {
@@ -354,7 +671,7 @@ impl GraphDelta {
     }
 
     fn set_state(&mut self, u: NodeId, v: NodeId, state: ArcState) {
-        let base_has = self.base.has_edge(u, v);
+        let base_has = self.base_has(u, v);
         let row = &mut self.overlay[u as usize];
         match row.binary_search_by_key(&v, |&(t, _)| t) {
             Ok(i) => {
@@ -564,5 +881,159 @@ mod tests {
         let a: Vec<_> = c.arcs().collect();
         let b: Vec<_> = g.arcs().collect();
         assert_eq!(a, b);
+        // The renumbering variant on an unchanged node set is the identity
+        // (empty overlay included).
+        let (c2, remap) = d.compact_renumber();
+        assert!(remap.is_identity());
+        assert_eq!(remap.map(2), Some(2));
+        let a2: Vec<_> = c2.arcs().collect();
+        assert_eq!(a2, b);
+    }
+
+    #[test]
+    fn delete_then_reinsert_in_one_batch() {
+        // Both mutations land in the same event batch: the delete's -w and
+        // the reinsert's +w' must both be visible (consumers fold them per
+        // (node, column) themselves).
+        let mut d = GraphDelta::new(triangle());
+        d.delete_edge(0, 1).unwrap();
+        d.insert_edge(0, 1, 6.0).unwrap();
+        assert_eq!(d.weight(0, 1), 6.0);
+        assert_eq!(d.num_edges(), 3);
+        let events = d.drain_events();
+        assert_eq!(
+            events,
+            vec![
+                EdgeEvent {
+                    source: 0,
+                    target: 1,
+                    delta: -1.0
+                },
+                EdgeEvent {
+                    source: 0,
+                    target: 1,
+                    delta: 6.0
+                },
+            ]
+        );
+        let g = d.compact();
+        assert_eq!(g.weight(1, 0), 6.0);
+    }
+
+    #[test]
+    fn removing_a_nodes_last_edge_leaves_it_isolated() {
+        // Node 3 gains one edge, loses it again: it stays a live, isolated
+        // node (still addressable, still compactable without renumbering).
+        let mut d = GraphDelta::new(triangle());
+        d.insert_edge(0, 3, 2.0).unwrap();
+        d.delete_edge(3, 0).unwrap(); // mirror id order: same logical edge
+        assert!(d.is_live(3));
+        assert!(!d.has_edge(0, 3));
+        assert_eq!(d.num_edges(), 3);
+        let g = d.compact();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn node_insert_remove_round_trip() {
+        let mut d = GraphDelta::new(triangle());
+        let v = d.insert_node();
+        assert_eq!(v, 4);
+        assert_eq!(d.num_nodes(), 5);
+        assert_eq!(d.num_live_nodes(), 5);
+        d.insert_edge(v, 0, 2.0).unwrap();
+        d.insert_edge(v, 2, 3.0).unwrap();
+        // Removing v deletes its incident edges first (two EdgeEvents),
+        // then the node itself.
+        d.remove_node(v).unwrap();
+        assert!(!d.is_live(v));
+        assert_eq!(d.num_live_nodes(), 4);
+        assert_eq!(d.num_edges(), 3);
+        let events = d.drain_events();
+        assert_eq!(events.len(), 4, "2 inserts + 2 removal-driven deletes");
+        assert_eq!(events[2].delta, -2.0);
+        assert_eq!(events[3].delta, -3.0);
+        assert_eq!(
+            d.drain_node_events(),
+            vec![NodeEvent::Insert { node: 4 }, NodeEvent::Remove { node: 4 }]
+        );
+        // Mutations on the dead id are rejected.
+        assert_eq!(
+            d.insert_edge(v, 1, 1.0),
+            Err(DeltaError::NodeRemoved { node: v })
+        );
+        assert_eq!(d.remove_node(v), Err(DeltaError::NodeRemoved { node: v }));
+        let (g, remap) = d.compact_renumber();
+        assert_eq!(g.num_nodes(), 4);
+        assert!(remap.is_removed(4));
+        assert_eq!(remap.map(3), Some(3));
+        let a: Vec<_> = g.arcs().collect();
+        let b: Vec<_> = triangle().arcs().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_loop_on_the_node_removal_path() {
+        // A removed node with a self-loop emits exactly one delete for it
+        // (undirected and directed alike).
+        for directed in [false, true] {
+            let mut b = if directed {
+                GraphBuilder::new_directed(3)
+            } else {
+                GraphBuilder::new_undirected(3)
+            };
+            b.add_edge(0, 1, 1.0);
+            b.add_edge(1, 1, 2.5); // self-loop
+            b.add_edge(2, 1, 3.0);
+            let mut d = GraphDelta::new(b.build());
+            d.remove_node(1).unwrap();
+            let mut deltas: Vec<f64> = d.drain_events().iter().map(|e| e.delta).collect();
+            deltas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(deltas, vec![-3.0, -2.5, -1.0], "directed={directed}");
+            assert_eq!(d.num_edges(), 0);
+            let (g, remap) = d.compact_renumber();
+            assert_eq!(g.num_nodes(), 2);
+            assert_eq!(g.num_edges(), 0);
+            assert_eq!(remap.map(2), Some(1));
+            assert_eq!(remap.removed_old_ids(), vec![1]);
+        }
+    }
+
+    #[test]
+    fn remove_node_with_directed_overlay_in_arcs() {
+        // Overlay-inserted in-arcs (absent from the base in-adjacency) must
+        // be found and deleted by the removal.
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_edge(0, 1, 1.0);
+        let mut d = GraphDelta::new(b.build());
+        d.insert_edge(2, 1, 2.0).unwrap(); // overlay in-arc of 1
+        d.insert_edge(1, 3, 3.0).unwrap(); // overlay out-arc of 1
+        d.remove_node(1).unwrap();
+        assert_eq!(d.num_edges(), 0);
+        let (g, remap) = d.compact_renumber();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(remap.new_len(), 3);
+    }
+
+    #[test]
+    fn renumbered_delta_stays_usable() {
+        // After a renumbering compaction the delta accepts mutations in the
+        // new id space, and a second renumber composes correctly.
+        let mut d = GraphDelta::new(triangle());
+        let v = d.insert_node(); // id 4
+        d.insert_edge(v, 3, 1.5).unwrap();
+        d.remove_node(0).unwrap();
+        let (g, remap) = d.compact_renumber();
+        assert_eq!(g.num_nodes(), 4);
+        // Old 4 -> new 3, old 3 -> new 2.
+        assert_eq!(remap.map(4), Some(3));
+        assert_eq!(g.weight(3, 2), 1.5);
+        d.insert_edge(0, 3, 9.0).unwrap(); // new id space
+        d.drain_events();
+        d.drain_node_events();
+        let g2 = d.compact();
+        assert_eq!(g2.weight(0, 3), 9.0);
     }
 }

@@ -8,7 +8,7 @@
 //!   (DBLP, Astrophysics, Facebook, Deezer, Enron, Epinions stand-ins).
 //! * [`hub_and_spoke`] — airline-style route networks (OpenFlights).
 //! * [`planted_partition`] — community-structured graphs.
-//! * [`grid_flow_network`] (in `qsc-flow`) builds on [`grid`] — stereo-vision
+//! * `grid_flow_network` (in `qsc-flow`) builds on [`grid`] — stereo-vision
 //!   max-flow instances (Tsukuba, Venus, Sawtooth, Cells).
 //! * [`colored_regular`] — the synthetic 1000-node graph of Fig. 2 whose
 //!   stable coloring has exactly `k` colors, used in the robustness

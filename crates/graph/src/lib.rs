@@ -36,7 +36,7 @@ pub mod traversal;
 pub use bipartite::Bipartite;
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
-pub use delta::{DeltaError, EdgeEvent, GraphDelta};
+pub use delta::{DeltaError, EdgeEvent, GraphDelta, NodeEvent, NodeRemap};
 
 /// Errors produced by graph construction and IO.
 #[derive(Debug)]

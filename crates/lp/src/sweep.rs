@@ -21,14 +21,14 @@
 //!
 //! Reduced row/column colors are numbered by first appearance at sweep
 //! start plus appearance order of splits, which can differ from the cold
-//! [`reduce_lp`] numbering — the reduced problems are equal up to that
+//! [`crate::reduce::reduce_lp`] numbering — the reduced problems are equal up to that
 //! permutation, so their optima coincide (within floating-point tolerance;
 //! `tests/tests/sweep_equivalence.rs` pins this down).
 
 use crate::problem::{LpProblem, LpStatus};
 use crate::reduce::{coloring_graph, LpColoringConfig, LpReductionVariant};
 use crate::simplex::{self, SimplexBasis, SimplexConfig};
-use qsc_core::partition::SplitEvent;
+use qsc_core::partition::{MergeEvent, SplitEvent};
 use qsc_core::rothko::RothkoConfig;
 use qsc_core::sweep::ColoringSweep;
 use qsc_linalg::SparseMatrix;
@@ -247,6 +247,105 @@ impl<'p> ReducedLpDelta<'p> {
         }
     }
 
+    /// Patch the aggregates for one merge of the extended-matrix coloring —
+    /// the dual of [`Self::apply_split`]. Both global colors must aggregate
+    /// the same side of the bipartite matrix (two reduced rows or two
+    /// reduced columns; merging across sides or into a pinned color is a
+    /// logic error and panics). `O(k + l)`: the loser's aggregates fold
+    /// into the winner's and the local/global last ids relabel into the
+    /// freed slots. Dirty marks follow the `qsc_core::reduced::ReducedDelta` convention —
+    /// an id at or past the new count marks a removed reduced row/column.
+    pub fn apply_merge(&mut self, event: &MergeEvent) {
+        let m = self.problem.num_rows();
+        let kinds = (
+            self.kind_of_global[event.winner as usize],
+            self.kind_of_global[event.loser as usize],
+        );
+        // Global relabel: swap_remove is exactly "last takes the loser's
+        // slot".
+        debug_assert_eq!(
+            event.relabeled,
+            (event.loser as usize != self.kind_of_global.len() - 1)
+                .then_some(self.kind_of_global.len() as u32 - 1)
+        );
+        self.kind_of_global.swap_remove(event.loser as usize);
+        match kinds {
+            (ColorKind::Row(winner), ColorKind::Row(loser)) => {
+                let w = winner as usize;
+                let l = loser as usize;
+                let last = self.row_sizes.len() - 1;
+                let folded = std::mem::take(&mut self.a_sum[l]);
+                for (slot, v) in self.a_sum[w].iter_mut().zip(folded) {
+                    *slot += v;
+                }
+                self.b_sum[w] += self.b_sum[l];
+                self.row_sizes[w] += self.row_sizes[l];
+                for &node in &event.moved_nodes {
+                    debug_assert!((node as usize) < m, "row merge moved a non-row node");
+                    self.row_local[node as usize] = winner;
+                }
+                // Relabel local last -> l.
+                self.a_sum.swap_remove(l);
+                self.b_sum.swap_remove(l);
+                self.row_sizes.swap_remove(l);
+                if l != last {
+                    for slot in self.row_local.iter_mut() {
+                        if *slot == last as u32 {
+                            *slot = loser;
+                        }
+                    }
+                    // The relabeled local id keeps its global color: fix
+                    // the global record that pointed at the old local last.
+                    for kind in self.kind_of_global.iter_mut() {
+                        if let ColorKind::Row(r) = kind {
+                            if *r == last as u32 {
+                                *r = loser;
+                            }
+                        }
+                    }
+                    self.mark_dirty_row(loser);
+                }
+                self.mark_dirty_row(winner);
+                self.mark_dirty_row(last as u32);
+            }
+            (ColorKind::Col(winner), ColorKind::Col(loser)) => {
+                let w = winner as usize;
+                let l = loser as usize;
+                let last = self.col_sizes.len() - 1;
+                for row in self.a_sum.iter_mut() {
+                    row[w] += row[l];
+                    row.swap_remove(l);
+                }
+                self.c_sum[w] += self.c_sum[l];
+                self.col_sizes[w] += self.col_sizes[l];
+                for &node in &event.moved_nodes {
+                    let j = node as usize - (m + 1);
+                    self.col_local[j] = winner;
+                }
+                self.c_sum.swap_remove(l);
+                self.col_sizes.swap_remove(l);
+                if l != last {
+                    for slot in self.col_local.iter_mut() {
+                        if *slot == last as u32 {
+                            *slot = loser;
+                        }
+                    }
+                    for kind in self.kind_of_global.iter_mut() {
+                        if let ColorKind::Col(s) = kind {
+                            if *s == last as u32 {
+                                *s = loser;
+                            }
+                        }
+                    }
+                    self.mark_dirty_col(loser);
+                }
+                self.mark_dirty_col(winner);
+                self.mark_dirty_col(last as u32);
+            }
+            _ => panic!("LP merges must combine two reduced rows or two reduced columns"),
+        }
+    }
+
     /// Build the reduced problem from the maintained aggregates with the
     /// given weighting variant — `O(k·l)`, no rescan of the original LP.
     /// Same construction as [`crate::reduce::reduce_lp`], modulo the
@@ -369,6 +468,9 @@ impl PatchedReducedLp {
 
     /// Re-synchronize with the delta: rebuild dirty rows (including rows
     /// of freshly split colors) and patch dirty columns in the clean rows.
+    /// A dirty id at or past the current row/column count marks a reduced
+    /// row/column removed by a merge: its row is dropped by the resize and
+    /// its column is deleted from every clean row.
     pub fn sync(&mut self, delta: &mut ReducedLpDelta<'_>) {
         let k = delta.num_rows();
         let l = delta.num_cols();
@@ -378,20 +480,29 @@ impl PatchedReducedLp {
         self.c_hat.resize(l, 0.0);
         let mut row_is_dirty = vec![false; k];
         for &r in &dirty_rows {
+            if (r as usize) >= k {
+                continue; // removed reduced row: dropped by the resize
+            }
             row_is_dirty[r as usize] = true;
             let row = self.build_row(delta, r as usize);
             self.rows[r as usize] = row;
             self.b_hat[r as usize] = delta.scaled_b(self.variant, r as usize);
         }
         for &s in &dirty_cols {
-            self.c_hat[s as usize] = delta.scaled_c(self.variant, s as usize);
+            if (s as usize) < l {
+                self.c_hat[s as usize] = delta.scaled_c(self.variant, s as usize);
+            }
         }
         for (r, row) in self.rows.iter_mut().enumerate() {
             if row_is_dirty[r] {
                 continue;
             }
             for &s in &dirty_cols {
-                let w = delta.scaled_entry(self.variant, r, s as usize);
+                let w = if (s as usize) >= l {
+                    0.0 // removed reduced column: delete it
+                } else {
+                    delta.scaled_entry(self.variant, r, s as usize)
+                };
                 qsc_core::reduced::patch_sorted_row(row, s, w);
             }
         }
@@ -553,6 +664,69 @@ mod tests {
             let sizes: usize = delta.col_sizes.iter().sum();
             assert_eq!(sizes, lp.num_cols());
         }
+    }
+
+    #[test]
+    fn merges_keep_patched_emission_identical_to_dense() {
+        // Refine the extended-matrix coloring, then coarsen it back by
+        // merging row colors and column colors: the patched emitted LP must
+        // stay identical to the dense re-derivation at every step, and the
+        // aggregates must match a from-scratch re-aggregation.
+        let lp = block_problem(13);
+        let (graph, initial) = coloring_graph(&lp);
+        let rothko_config = RothkoConfig {
+            max_colors: usize::MAX,
+            initial: Some(initial),
+            ..Default::default()
+        };
+        let mut sweep = ColoringSweep::new(&graph, rothko_config);
+        let mut delta = ReducedLpDelta::new(&lp);
+        sweep.advance_to(12, |_, ev| delta.apply_split(ev));
+        let mut emitter = PatchedReducedLp::new(&mut delta, LpReductionVariant::SqrtNormalized);
+        let mut p = sweep.partition().clone();
+        // Merge compatible (same-kind, unpinned) global color pairs until
+        // none are left. Kinds mirror ReducedLpDelta's bookkeeping: row
+        // nodes are ids 0..m, column nodes m+1..m+1+n.
+        let m = lp.num_rows();
+        loop {
+            let k = p.num_colors() as u32;
+            let kind_of = |p: &qsc_core::Partition, c: u32| {
+                let node = p.members(c)[0] as usize;
+                if p.size(c) == 1 && (node == m || node == m + 1 + lp.num_cols()) {
+                    2 // pinned objective row / rhs column
+                } else if node < m {
+                    0
+                } else {
+                    1
+                }
+            };
+            let mut pair = None;
+            'outer: for a in 0..k {
+                for b in (a + 1)..k {
+                    let (ka, kb) = (kind_of(&p, a), kind_of(&p, b));
+                    if ka == kb && ka != 2 {
+                        pair = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            let Some((a, b)) = pair else { break };
+            let ev = p.merge_colors(a, b);
+            delta.apply_merge(&ev);
+            assert_eq!(delta.verify(), Ok(()));
+            emitter.sync(&mut delta);
+            let patched = emitter.to_problem(&lp.name);
+            let dense = delta.reduced_problem(LpReductionVariant::SqrtNormalized);
+            assert_eq!(patched.num_rows(), dense.num_rows());
+            assert_eq!(patched.num_cols(), dense.num_cols());
+            assert_eq!(patched.b, dense.b);
+            assert_eq!(patched.c, dense.c);
+            let pt: Vec<_> = patched.a.triplets().collect();
+            let dt: Vec<_> = dense.a.triplets().collect();
+            assert_eq!(pt, dt);
+        }
+        assert_eq!(delta.num_rows(), 1);
+        assert_eq!(delta.num_cols(), 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use qsc_core::q_error::IncrementalDegrees;
 use qsc_core::reduced::{quotient_matrix, PatchedReducedGraph, ReducedDelta};
-use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_core::rothko::{NodeChurnBatch, Rothko, RothkoConfig};
 use qsc_core::sweep::ColoringSweep;
 use qsc_core::Partition;
 use qsc_graph::delta::EdgeEvent;
@@ -285,6 +285,121 @@ fn degrees_only_churn_keeps_sparse_rows_exact() {
             engine.apply_edge_batch(&p, &events);
             current = churner.delta.compact();
             assert_eq!(engine.verify_against(&current, &p), Ok(()));
+        }
+    }
+}
+
+/// One round of random node churn with exactly representable edge weights,
+/// through the shared driver the dynamic bench also uses
+/// ([`qsc_bench::random_node_churn`]).
+fn node_churn_round(
+    delta: &mut GraphDelta,
+    p: &Partition,
+    rng: &mut StdRng,
+    inserts: usize,
+    removes: usize,
+    wire: usize,
+) -> (NodeChurnBatch, Graph) {
+    qsc_bench::random_node_churn(delta, p, rng, inserts, removes, wire, |rng| {
+        (rng.random_range(1u32..9) as f64) * 0.5
+    })
+}
+
+#[test]
+fn node_churn_maintained_run_equals_fresh_run() {
+    for (directed, seed) in [(false, 19u64), (true, 61)] {
+        let mut per_thread: Vec<Vec<Vec<u32>>> = Vec::new();
+        for threads in [1usize, 4] {
+            let g = random_graph(100, 420, directed, seed);
+            let config = RothkoConfig {
+                max_colors: 50,
+                target_error: 3.0,
+                threads: Some(threads),
+                coarsen: true,
+                ..Default::default()
+            };
+            let mut run = Rothko::new(config.clone()).start(&g);
+            run.maintain();
+            let mut delta = GraphDelta::new(g.clone());
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x0DE5);
+            let mut assignments = Vec::new();
+            for round in 0..4 {
+                let (batch, compacted) =
+                    node_churn_round(&mut delta, run.partition(), &mut rng, 4, 3, 3);
+                run.apply_node_batch(compacted.clone(), &batch);
+                let checkpoint = run.partition().clone();
+                let ops = run.maintain();
+                let err = run.exact_max_error();
+                assert!(
+                    err <= 3.0 || run.partition().num_colors() == 50,
+                    "round {round}: error {err} above target with colors to spare"
+                );
+                // A fresh run resumed from the post-batch coloring on the
+                // compacted graph performs identical operations.
+                let fresh_config = RothkoConfig {
+                    initial: Some(checkpoint),
+                    ..config.clone()
+                };
+                let mut fresh = Rothko::new(fresh_config).start(&compacted);
+                let fresh_ops = fresh.maintain();
+                assert_eq!(ops, fresh_ops, "round {round} operation count");
+                assert!(
+                    run.partition().same_as(fresh.partition()),
+                    "round {round}: maintained coloring differs (threads {threads})"
+                );
+                assignments.push(run.partition().canonical_assignment());
+            }
+            per_thread.push(assignments);
+        }
+        assert_eq!(
+            per_thread[0], per_thread[1],
+            "thread counts diverged (directed={directed}, seed={seed})"
+        );
+    }
+}
+
+#[test]
+fn reduced_delta_mirrors_node_churn() {
+    // Drive a ReducedDelta (and its patched emitter) through node churn by
+    // hand: inserts as size bumps, the edge batch over the grown id space,
+    // removals as size drops — the quotient matrix itself is untouched by
+    // isolated-node churn, but the size-dependent weightings must follow.
+    for (directed, seed) in [(false, 37u64), (true, 71)] {
+        let g = random_graph(70, 300, directed, seed);
+        let mut p = Partition::unit(70);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEAD);
+        for _ in 0..5 {
+            random_split(&mut p, &mut rng);
+        }
+        let mut delta = ReducedDelta::new(&g, &p);
+        let weighting =
+            |_: usize, _: usize, sum: f64, si: usize, sj: usize| sum / ((si * sj) as f64).sqrt();
+        let mut emitter = PatchedReducedGraph::new(&mut delta, weighting);
+        let mut gd = GraphDelta::new(g);
+        for round in 0..5 {
+            let (batch, compacted) = node_churn_round(&mut gd, &p, &mut rng, 3, 2, 3);
+            // Mirror into the partition and the reduction layer in batch
+            // order: inserts, edges, removals + renumbering.
+            for &c in &batch.inserted_colors {
+                p.insert_node(c);
+                delta.apply_node_insert(c);
+            }
+            delta.apply_edge_batch(&p, &batch.edge_events);
+            for &v in &batch.removed {
+                delta.apply_node_removal(p.color_of(v));
+            }
+            p.apply_node_remap(&batch.remap);
+            assert_eq!(
+                delta.verify_against(&compacted, &p),
+                Ok(()),
+                "round {round}"
+            );
+            emitter.sync(&mut delta);
+            let patched = emitter.to_graph();
+            let dense = delta.reduced_graph_with(weighting);
+            let a: Vec<_> = patched.arcs().collect();
+            let b: Vec<_> = dense.arcs().collect();
+            assert_eq!(a, b, "round {round}");
         }
     }
 }

@@ -332,3 +332,68 @@ fn full_pipeline_sweep_on_grid_matches_cold_within_tolerance() {
         assert_eq!(point.max_q_error, cold.max_q_error, "budget {budget}");
     }
 }
+
+#[test]
+fn flow_emitter_stays_bit_identical_through_merges() {
+    // The bidirectional event algebra at the flow-reduction layer: after
+    // merges (including the relabel of the ex-last color and the removal
+    // of its row/column from the emitted instance), the patched reduced
+    // network must equal the dense re-emission bit-for-bit, and a warm
+    // solve of it must equal the cold solve of the rebuilt instance.
+    let net = integer_network(60, 320, 13);
+    let graph = &net.graph;
+    let mut run = Rothko::new(RothkoConfig::with_max_colors(14)).start(graph);
+    let mut delta = ReducedDelta::new(graph, run.partition());
+    while run.step() {
+        let ev = run.last_event().expect("split");
+        delta.apply_split(graph, run.partition(), ev);
+    }
+    // The flow sweep's capacity weighting: no self-loops, clamped at zero.
+    let weighting = |i: usize, j: usize, sum: f64, _: usize, _: usize| {
+        if i == j {
+            0.0
+        } else {
+            sum.max(0.0)
+        }
+    };
+    let mut emitter = qsc_core::reduced::PatchedReducedGraph::new(&mut delta, weighting);
+    let mut p = run.partition().clone();
+    let mut solver = WarmFlowSolver::new();
+    let (mut s, mut t) = (p.color_of(net.source), p.color_of(net.sink));
+    while p.num_colors() > 4 {
+        // Merge the first pair that spares the source/sink colors (their
+        // ids stay meaningful for the reduced network; the relabel of the
+        // ex-last color may move them, tracked below).
+        let k = p.num_colors() as u32;
+        let pair = (0..k)
+            .filter(|&c| c != s && c != t)
+            .collect::<Vec<_>>()
+            .windows(2)
+            .map(|w| (w[0], w[1]))
+            .next()
+            .expect("k > 4 leaves a mergeable pair");
+        let (a, b) = pair;
+        let ev = p.merge_colors(a, b);
+        if let Some(old_last) = ev.relabeled {
+            if s == old_last {
+                s = ev.loser;
+            }
+            if t == old_last {
+                t = ev.loser;
+            }
+        }
+        delta.apply_merge(&ev);
+        assert_eq!(delta.verify_against(graph, &p), Ok(()));
+        emitter.sync(&mut delta);
+        let patched = emitter.to_graph();
+        let dense = delta.reduced_graph_with(weighting);
+        let pa: Vec<_> = patched.arcs().collect();
+        let da: Vec<_> = dense.arcs().collect();
+        assert_eq!(pa, da, "k = {}", p.num_colors());
+        // Warm-solving the patched instance equals cold-solving the dense
+        // one (integer capacities: bit-identical).
+        let warm = solver.solve(&FlowNetwork::new(patched, s, t));
+        let cold = qsc_flow::push_relabel::max_flow(&FlowNetwork::new(dense, s, t));
+        assert_eq!(warm.value, cold.value);
+    }
+}

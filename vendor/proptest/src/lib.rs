@@ -164,7 +164,7 @@ impl Strategy for Any<u32> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: either exact or a range.
+    /// Length specification for [`vec()`]: either exact or a range.
     #[derive(Clone, Debug)]
     pub enum SizeRange {
         /// Exactly this many elements.
