@@ -1,0 +1,551 @@
+//! Lane-kernel microbenchmarks and the kernelized engine headline, recorded.
+//!
+//! Measures the `qsc_core::kernels` / `qsc_linalg::lanes` hot-path kernels
+//! two ways:
+//!
+//! * **micro** — each kernel against a straight scalar reference loop on
+//!   hot-path-shaped data (10k member rows over a 200-color / 256-cap
+//!   accumulator block), with the results asserted equal (bit-identical
+//!   for the min/max/gather kernels, canonical-tree-equal for the sums);
+//! * **macro** — the full `Rothko::run` step loop on the 10k-node
+//!   Barabási–Albert / 200-color headline instance, compared against the
+//!   pre-kernel recorded baseline (`BASELINE_SECONDS`, the
+//!   `incremental_seconds` headline of `BENCH_rothko.json` before this
+//!   optimization), plus `merge_candidates` sweeps on the finished
+//!   engine and the warm sweep pipeline's patching loop.
+//!
+//! Full mode writes `BENCH_kernels.json` (per-row raw round timings,
+//! `host_cpus`, `bar_enforced`) and asserts the ≥1.3× headline bar against
+//! the recorded baseline. The baseline is a constant measured on the same
+//! container class as CI; the bar compares two serial runs of the same
+//! instance, so it is enforced on any host (a slower host is slower on
+//! both sides of history — if the bar fails on exotic hardware, re-baseline
+//! both numbers together).
+//!
+//! `fast_math` is benchmarked explicitly: the headline is re-run with
+//! `RothkoConfig::fast_math(true)` and the speedup over the deterministic
+//! kernels is recorded. On the unit-weight benchmark graph the colorings
+//! must still agree exactly (integer sums are associativity-proof), which
+//! is asserted.
+//!
+//! Run with: `cargo run --release -p qsc-bench --bin bench_kernels
+//! [-- --smoke]` — `--smoke` asserts kernel == scalar equivalence on the
+//! full-size data but does not time anything, write JSON, or enforce the
+//! bar (CI).
+
+use qsc_bench::{host_cpus, measure_rounds, Measurement};
+use qsc_core::kernels;
+use qsc_core::q_error::IncrementalDegrees;
+use qsc_core::rothko::{Rothko, RothkoConfig};
+use qsc_graph::generators;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pre-kernel `BENCH_rothko.json` headline (10k-node BA, 200 colors,
+/// incremental engine, serial): the denominator of the headline speedup.
+const BASELINE_SECONDS: f64 = 0.042633;
+
+/// Hot-path shape: member rows over a `k`-color block in a `cap`-wide
+/// accumulator, mirroring the 200-color headline (`cap = next_pow2(200)`).
+const ROWS: usize = 10_000;
+const K: usize = 200;
+const CAP: usize = 256;
+
+struct Row {
+    kernel: &'static str,
+    detail: String,
+    kernel_m: Measurement<f64>,
+    scalar_m: Option<Measurement<f64>>,
+}
+
+impl Row {
+    fn speedup(&self) -> Option<f64> {
+        self.scalar_m
+            .as_ref()
+            .map(|s| s.best() / self.kernel_m.best())
+    }
+
+    fn to_json(&self) -> String {
+        let (scalar_seconds, scalar_rounds, speedup) = match &self.scalar_m {
+            Some(s) => (
+                format!("{:.6}", s.best()),
+                s.rounds_json(),
+                format!("{:.2}", self.speedup().unwrap()),
+            ),
+            None => ("null".into(), "null".into(), "null".into()),
+        };
+        format!(
+            "{{\"kernel\":\"{}\",\"detail\":\"{}\",\"kernel_seconds\":{:.6},\"kernel_rounds\":{},\"scalar_seconds\":{},\"scalar_rounds\":{},\"speedup\":{}}}",
+            self.kernel,
+            self.detail,
+            self.kernel_m.best(),
+            self.kernel_m.rounds_json(),
+            scalar_seconds,
+            scalar_rounds,
+            speedup
+        )
+    }
+
+    fn print(&self) {
+        match self.speedup() {
+            Some(s) => println!(
+                "{:18} {:34} kernel {:.4}s scalar {:.4}s speedup {:.2}x",
+                self.kernel,
+                self.detail,
+                self.kernel_m.best(),
+                self.scalar_m.as_ref().unwrap().best(),
+                s
+            ),
+            None => println!(
+                "{:18} {:34} {:.4}s",
+                self.kernel,
+                self.detail,
+                self.kernel_m.best()
+            ),
+        }
+    }
+}
+
+/// Scalar reference for `fold_minmax_row`: the pre-kernel member loop.
+#[allow(clippy::too_many_arguments)]
+fn scalar_minmax_row(
+    u: u32,
+    row: &[f64],
+    mins: &mut [f64],
+    maxs: &mut [f64],
+    arg_mins: &mut [u32],
+    arg_maxs: &mut [u32],
+    nzs: &mut [u32],
+) {
+    for (j, &o) in row.iter().enumerate() {
+        if o < mins[j] {
+            mins[j] = o;
+            arg_mins[j] = u;
+        }
+        if o > maxs[j] {
+            maxs[j] = o;
+            arg_maxs[j] = u;
+        }
+        if o != 0.0 {
+            nzs[j] += 1;
+        }
+    }
+}
+
+/// Scalar reference for `scan_gather_column`: the pre-kernel entry rescan.
+fn scalar_gather_column(
+    members: &[u32],
+    acc: &[f64],
+    cap: usize,
+    col: usize,
+) -> (f64, f64, u32, u32, u32) {
+    let mut mn = f64::INFINITY;
+    let mut mx = f64::NEG_INFINITY;
+    let mut amn = kernels::NO_ARG;
+    let mut amx = kernels::NO_ARG;
+    let mut nz = 0u32;
+    for &u in members {
+        let o = acc[u as usize * cap + col];
+        if o < mn {
+            mn = o;
+            amn = u;
+        }
+        if o > mx {
+            mx = o;
+            amx = u;
+        }
+        if o != 0.0 {
+            nz += 1;
+        }
+    }
+    (mn, mx, amn, amx, nz)
+}
+
+/// Synthetic accumulator block shaped like the engine's `dout`: `ROWS`
+/// rows, `CAP` columns, the first `K` live, degree-like small values with
+/// structural zeros mixed in.
+fn synthetic_block(rng: &mut StdRng) -> Vec<f64> {
+    let mut acc = vec![0.0f64; ROWS * CAP];
+    for r in 0..ROWS {
+        for j in 0..K {
+            if rng.random_range(0..4u32) != 0 {
+                acc[r * CAP + j] = rng.random_range(0..32u32) as f64;
+            }
+        }
+    }
+    acc
+}
+
+struct MinMaxState {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    arg_mins: Vec<u32>,
+    arg_maxs: Vec<u32>,
+    nzs: Vec<u32>,
+}
+
+impl MinMaxState {
+    fn fresh() -> Self {
+        Self {
+            mins: vec![f64::INFINITY; K],
+            maxs: vec![f64::NEG_INFINITY; K],
+            arg_mins: vec![kernels::NO_ARG; K],
+            arg_maxs: vec![kernels::NO_ARG; K],
+            nzs: vec![0u32; K],
+        }
+    }
+}
+
+/// Run the full member-axis rescan (every row folded into one min/max
+/// state) through `f`, returning a checksum that keeps the work live.
+fn rescan_with(
+    acc: &[f64],
+    mut f: impl FnMut(u32, &[f64], &mut MinMaxState),
+) -> (MinMaxState, f64) {
+    let mut st = MinMaxState::fresh();
+    for r in 0..ROWS {
+        f(r as u32, &acc[r * CAP..r * CAP + K], &mut st);
+    }
+    let checksum = st.maxs.iter().sum::<f64>() - st.mins.iter().sum::<f64>();
+    (st, checksum)
+}
+
+fn assert_states_equal(a: &MinMaxState, b: &MinMaxState, what: &str) {
+    assert!(
+        a.mins
+            .iter()
+            .zip(&b.mins)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+            && a.maxs
+                .iter()
+                .zip(&b.maxs)
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+            && a.arg_mins == b.arg_mins
+            && a.arg_maxs == b.arg_maxs
+            && a.nzs == b.nzs,
+        "{what}: kernel state diverged from the scalar reference"
+    );
+}
+
+fn micro_rows(rng: &mut StdRng, reps: usize, check_only: bool) -> Vec<Row> {
+    let acc = synthetic_block(rng);
+    let members: Vec<u32> = (0..ROWS as u32).collect();
+    let mut rows = Vec::new();
+
+    // fold_minmax_row: the member-axis rescan inner loop.
+    let (kst, _) = rescan_with(&acc, |u, row, st| {
+        kernels::fold_minmax_row(
+            u,
+            row,
+            &mut st.mins,
+            &mut st.maxs,
+            &mut st.arg_mins,
+            &mut st.arg_maxs,
+            &mut st.nzs,
+        )
+    });
+    let (sst, _) = rescan_with(&acc, |u, row, st| {
+        scalar_minmax_row(
+            u,
+            row,
+            &mut st.mins,
+            &mut st.maxs,
+            &mut st.arg_mins,
+            &mut st.arg_maxs,
+            &mut st.nzs,
+        )
+    });
+    assert_states_equal(&kst, &sst, "fold_minmax_row");
+    if !check_only {
+        let kernel_m = measure_rounds(reps, || {
+            rescan_with(&acc, |u, row, st| {
+                kernels::fold_minmax_row(
+                    u,
+                    row,
+                    &mut st.mins,
+                    &mut st.maxs,
+                    &mut st.arg_mins,
+                    &mut st.arg_maxs,
+                    &mut st.nzs,
+                )
+            })
+            .1
+        });
+        let scalar_m = measure_rounds(reps, || {
+            rescan_with(&acc, |u, row, st| {
+                scalar_minmax_row(
+                    u,
+                    row,
+                    &mut st.mins,
+                    &mut st.maxs,
+                    &mut st.arg_mins,
+                    &mut st.arg_maxs,
+                    &mut st.nzs,
+                )
+            })
+            .1
+        });
+        rows.push(Row {
+            kernel: "fold_minmax_row",
+            detail: format!("{ROWS} rows x {K} cols member rescan"),
+            kernel_m,
+            scalar_m: Some(scalar_m),
+        });
+    }
+
+    // scan_gather_column: the entry-rescan gather.
+    let cols: Vec<usize> = (0..K).collect();
+    let kg: Vec<_> = cols
+        .iter()
+        .map(|&c| kernels::scan_gather_column(&members, &acc, CAP, c))
+        .collect();
+    let sg: Vec<_> = cols
+        .iter()
+        .map(|&c| scalar_gather_column(&members, &acc, CAP, c))
+        .collect();
+    for (a, b) in kg.iter().zip(&sg) {
+        assert!(
+            a.0.to_bits() == b.0.to_bits()
+                && a.1.to_bits() == b.1.to_bits()
+                && a.2 == b.2
+                && a.3 == b.3
+                && a.4 == b.4,
+            "scan_gather_column diverged from the scalar reference"
+        );
+    }
+    if !check_only {
+        let kernel_m = measure_rounds(reps, || {
+            cols.iter()
+                .map(|&c| kernels::scan_gather_column(&members, &acc, CAP, c).1)
+                .sum::<f64>()
+        });
+        let scalar_m = measure_rounds(reps, || {
+            cols.iter()
+                .map(|&c| scalar_gather_column(&members, &acc, CAP, c).1)
+                .sum::<f64>()
+        });
+        rows.push(Row {
+            kernel: "scan_gather_column",
+            detail: format!("{K} columns x {ROWS} members gather"),
+            kernel_m,
+            scalar_m: Some(scalar_m),
+        });
+    }
+
+    // sum: canonical blocked tree vs naive sequential fold. These are
+    // *different reduction orders by design* (the one-time re-baseline),
+    // so the equivalence check is exact only on this integer-valued data.
+    let naive: f64 = acc.iter().sum();
+    let tree = kernels::sum(&acc);
+    assert_eq!(
+        naive.to_bits(),
+        tree.to_bits(),
+        "integer-valued data must sum exactly under any reduction order"
+    );
+    if !check_only {
+        let kernel_m = measure_rounds(reps, || kernels::sum(&acc));
+        let scalar_m = measure_rounds(reps, || acc.iter().sum::<f64>());
+        rows.push(Row {
+            kernel: "sum",
+            detail: format!("{} doubles, canonical blocked tree", acc.len()),
+            kernel_m,
+            scalar_m: Some(scalar_m),
+        });
+    }
+
+    // fold_add: the merge column/row fold.
+    let src: Vec<f64> = acc[..ROWS].to_vec();
+    let mut kernel_dst = acc[ROWS..2 * ROWS].to_vec();
+    let mut scalar_dst = kernel_dst.clone();
+    kernels::fold_add(&mut kernel_dst, &src);
+    for (d, s) in scalar_dst.iter_mut().zip(&src) {
+        *d += s;
+    }
+    assert!(
+        kernel_dst
+            .iter()
+            .zip(&scalar_dst)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "fold_add diverged from the scalar reference"
+    );
+    if !check_only {
+        let mut dst = kernel_dst;
+        let kernel_m = measure_rounds(reps, || {
+            for _ in 0..64 {
+                kernels::fold_add(&mut dst, &src);
+            }
+            dst[0]
+        });
+        let scalar_m = measure_rounds(reps, || {
+            for _ in 0..64 {
+                for (d, s) in dst.iter_mut().zip(&src) {
+                    *d += s;
+                }
+            }
+            dst[0]
+        });
+        rows.push(Row {
+            kernel: "fold_add",
+            detail: format!("{ROWS} doubles x 64 folds", ROWS = src.len()),
+            kernel_m,
+            scalar_m: Some(scalar_m),
+        });
+    }
+
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help") {
+        println!("bench_kernels: lane-kernel microbenchmarks + kernelized engine headline");
+        println!(
+            "  --smoke      assert kernel == scalar equivalence only (CI; no timing, no file)"
+        );
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut rng = StdRng::seed_from_u64(0x6b65726e);
+
+    if smoke {
+        micro_rows(&mut rng, 1, true);
+        // The engine-level contract (kernelized hot paths bit-identical at
+        // every thread count) is covered by tests/tests/kernels.rs; the
+        // smoke leg just proves kernel == scalar on full-size data.
+        println!("smoke OK: every kernel matches its scalar reference on hot-path-shaped data");
+        return;
+    }
+
+    let reps = 3; // best-of-3, shared reporting convention
+
+    // Headline first, on a cold core: the 10k-node BA / 200-color step
+    // loop, deterministic kernels, vs the recorded pre-kernel baseline.
+    // Extra rounds here because this is the row the acceptance bar reads —
+    // single-core hosts throttle under sustained load and best-of picks
+    // the unthrottled round.
+    let g = generators::barabasi_albert(10_000, 4, 7);
+    let config = RothkoConfig::with_max_colors(200);
+    // Untimed warm-up: ramp the frequency governor (and fault in the
+    // binary/graph pages) before the timed rounds — an idle core starts
+    // the first round well below its steady clock and takes several
+    // hundred milliseconds of sustained load to reach it.
+    let warm = std::time::Instant::now();
+    while warm.elapsed().as_secs_f64() < 0.75 {
+        let c = Rothko::new(config.clone()).run(&g);
+        assert_eq!(c.partition.num_colors(), 200);
+    }
+    let headline = measure_rounds(5, || {
+        let c = Rothko::new(config.clone()).run(&g);
+        assert_eq!(c.partition.num_colors(), 200);
+        c
+    });
+    let headline_speedup = BASELINE_SECONDS / headline.best();
+    println!(
+        "headline: 10k-node BA / 200 colors {:.4}s vs recorded baseline {:.4}s ({:.2}x)",
+        headline.best(),
+        BASELINE_SECONDS,
+        headline_speedup
+    );
+
+    // fast_math: same instance with relaxed sum order. Off by default
+    // (asserted); on the unit-weight graph the colorings must still agree.
+    assert!(
+        !RothkoConfig::with_max_colors(200).fast_math,
+        "fast_math must be opt-in"
+    );
+    let fast = measure_rounds(reps, || {
+        let c = Rothko::new(config.clone().fast_math(true)).run(&g);
+        assert_eq!(c.partition.num_colors(), 200);
+        c
+    });
+    assert_eq!(
+        fast.value.partition.canonical_assignment(),
+        headline.value.partition.canonical_assignment(),
+        "unit-weight graph: fast_math must not change the coloring"
+    );
+    println!(
+        "fast_math: {:.4}s ({:.2}x vs deterministic kernels; colorings identical)",
+        fast.best(),
+        headline.best() / fast.best()
+    );
+
+    let mut rows = micro_rows(&mut rng, reps, false);
+    for r in &rows {
+        r.print();
+    }
+
+    // merge_candidates: capped column sweeps over the finished 200-color
+    // engine state (the kernelized blocked bound computation).
+    let partition = headline.value.partition.clone();
+    let mut engine = IncrementalDegrees::new(&g, &partition);
+    engine.refresh(&partition, 0.0);
+    let merge = measure_rounds(reps, || {
+        let mut total = 0usize;
+        for _ in 0..8 {
+            total += engine.merge_candidates(f64::INFINITY).len();
+        }
+        total
+    });
+    println!(
+        "merge_candidates: 8 sweeps over k=200 in {:.4}s ({} candidates/sweep)",
+        merge.best(),
+        merge.value / 8
+    );
+    rows.push(Row {
+        kernel: "merge_candidates",
+        detail: "8 full sweeps, k=200 engine".into(),
+        kernel_m: merge_to_f64(merge),
+        scalar_m: None,
+    });
+
+    // Warm sweep patching: the budget-sweep pipeline whose reduction
+    // patching and resumed solves run through the kernelized folds.
+    let (net, _) = qsc_flow::generators::grid_flow_network(60, 60, 3.0, 0.25, 42);
+    let budgets = [10usize, 20, 40, 80];
+    let sweep = measure_rounds(reps, || {
+        qsc_flow::sweep::sweep_max_flow(&net, &budgets, 0.0)
+            .last()
+            .expect("sweep points")
+            .value
+    });
+    println!(
+        "warm sweep: 3.6k-node grid, {} budgets in {:.4}s",
+        budgets.len(),
+        sweep.best()
+    );
+    rows.push(Row {
+        kernel: "warm_sweep",
+        detail: "grid-60x60, 4 budgets, patched".into(),
+        kernel_m: merge_to_f64(sweep),
+        scalar_m: None,
+    });
+
+    let mut json: Vec<String> = rows.iter().map(Row::to_json).collect();
+    json.push(format!(
+        "{{\"summary\":\"kernels_headline\",\"graph\":\"barabasi_albert\",\"nodes\":10000,\"colors\":200,\"baseline_seconds\":{BASELINE_SECONDS:.6},\"headline_seconds\":{:.6},\"headline_rounds\":{},\"headline_speedup\":{headline_speedup:.2},\"fast_math_seconds\":{:.6},\"fast_math_rounds\":{},\"fast_math_speedup\":{:.2},\"host_cpus\":{},\"bar_enforced\":true}}",
+        headline.best(),
+        headline.rounds_json(),
+        fast.best(),
+        fast.rounds_json(),
+        headline.best() / fast.best(),
+        host_cpus()
+    ));
+    std::fs::write("BENCH_kernels.json", json.join("\n") + "\n")
+        .expect("failed to write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+
+    assert!(
+        headline_speedup >= 1.3,
+        "kernelized headline speedup {headline_speedup:.2}x below the 1.3x acceptance bar \
+         (vs the recorded pre-kernel baseline {BASELINE_SECONDS}s)"
+    );
+}
+
+/// Repackage a non-f64 measurement for the shared `Row` record (only the
+/// timings travel; the value already served its assertion).
+fn merge_to_f64<T>(m: Measurement<T>) -> Measurement<f64> {
+    Measurement {
+        value: 0.0,
+        rounds: m.rounds,
+    }
+}

@@ -43,6 +43,7 @@ struct Outcome {
     assignment: Vec<u32>,
     witnesses: Vec<(u32, u32, bool)>,
     seconds: f64,
+    rounds: Vec<f64>,
 }
 
 fn drive(run: &mut RothkoRun) -> Vec<(u32, u32, bool)> {
@@ -58,7 +59,7 @@ fn drive(run: &mut RothkoRun) -> Vec<(u32, u32, bool)> {
 /// Best-of-`reps` step-loop wall time for one configuration (engine
 /// construction excluded — the curve measures the refinement loop).
 fn measure(g: &qsc_graph::Graph, config: &RothkoConfig, reps: usize) -> Outcome {
-    let mut best = f64::INFINITY;
+    let mut rounds = Vec::with_capacity(reps);
     let mut assignment = Vec::new();
     let mut witnesses = Vec::new();
     for _ in 0..reps {
@@ -66,7 +67,7 @@ fn measure(g: &qsc_graph::Graph, config: &RothkoConfig, reps: usize) -> Outcome 
         let mut run = rothko.start(g);
         let start = Instant::now();
         let wit = drive(&mut run);
-        best = best.min(start.elapsed().as_secs_f64());
+        rounds.push(start.elapsed().as_secs_f64());
         assignment = run.partition().canonical_assignment();
         witnesses = wit;
     }
@@ -75,8 +76,16 @@ fn measure(g: &qsc_graph::Graph, config: &RothkoConfig, reps: usize) -> Outcome 
         batch: config.batch,
         assignment,
         witnesses,
-        seconds: best,
+        seconds: rounds.iter().copied().fold(f64::INFINITY, f64::min),
+        rounds,
     }
+}
+
+/// The per-round raw timings as a JSON array fragment (shared reporting
+/// convention — see `qsc_bench::Measurement::rounds_json`).
+fn rounds_json(rounds: &[f64]) -> String {
+    let cells: Vec<String> = rounds.iter().map(|s| format!("{s:.6}")).collect();
+    format!("[{}]", cells.join(","))
 }
 
 fn main() {
@@ -98,10 +107,12 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(7);
 
+    // Best-of-3 in full mode — the shared reporting convention across the
+    // bench bins (per-round raw timings are recorded alongside the best).
     let (n, colors, reps) = if smoke {
         (2_000usize, 64usize, 1usize)
     } else {
-        (10_000, 200, 5)
+        (10_000, 200, 3)
     };
     let g = generators::barabasi_albert(n, 4, seed);
     let base = RothkoConfig::with_max_colors(colors);
@@ -187,10 +198,11 @@ fn main() {
         .iter()
         .map(|o| {
             format!(
-                "{{\"graph\":\"barabasi_albert\",\"nodes\":{n},\"seed\":{seed},\"colors\":{colors},\"threads\":{},\"batch\":{},\"seconds\":{:.6},\"speedup_vs_serial\":{:.3}}}",
+                "{{\"graph\":\"barabasi_albert\",\"nodes\":{n},\"seed\":{seed},\"colors\":{colors},\"threads\":{},\"batch\":{},\"seconds\":{:.6},\"rounds\":{},\"speedup_vs_serial\":{:.3}}}",
                 o.threads,
                 o.batch,
                 o.seconds,
+                rounds_json(&o.rounds),
                 serial_seconds / o.seconds
             )
         })

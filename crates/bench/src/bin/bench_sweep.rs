@@ -28,7 +28,7 @@
 //! asserts is defined by the strict greedy split order, which batched
 //! rounds intentionally relax.
 
-use qsc_bench::timed;
+use qsc_bench::{host_cpus, measure_rounds, Measurement};
 use qsc_flow::reduce::{approximate_max_flow, FlowApproxConfig};
 use qsc_flow::sweep::sweep_max_flow;
 use qsc_flow::FlowNetwork;
@@ -44,45 +44,34 @@ use qsc_lp::{simplex, LpProblem};
 /// budget.
 const BUDGETS: &[usize] = &[5, 10, 15, 20, 30, 40, 50, 60, 80, 100, 120, 150];
 
-/// Best-of-`reps` wall time; returns the last result and the best seconds
-/// (results are deterministic across reps, so any rep's output works).
-fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
-    let mut best = f64::INFINITY;
-    let (mut value, secs) = timed(&mut f);
-    best = best.min(secs);
-    for _ in 1..reps {
-        let (v, secs) = timed(&mut f);
-        best = best.min(secs);
-        value = v;
-    }
-    (value, best)
-}
-
 struct Row {
     task: &'static str,
     instance: String,
     nodes: usize,
     budgets: usize,
-    cold_seconds: f64,
+    cold: Measurement<Vec<f64>>,
     warm_seconds: f64,
+    warm_rounds: String,
     max_rel_diff: f64,
     bit_identical: bool,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
-        self.cold_seconds / self.warm_seconds
+        self.cold.best() / self.warm_seconds
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"task\":\"{}\",\"instance\":\"{}\",\"nodes\":{},\"budgets\":{},\"cold_seconds\":{:.6},\"warm_seconds\":{:.6},\"speedup\":{:.2},\"max_rel_diff\":{:.3e},\"bit_identical\":{}}}",
+            "{{\"task\":\"{}\",\"instance\":\"{}\",\"nodes\":{},\"budgets\":{},\"cold_seconds\":{:.6},\"cold_rounds\":{},\"warm_seconds\":{:.6},\"warm_rounds\":{},\"speedup\":{:.2},\"max_rel_diff\":{:.3e},\"bit_identical\":{}}}",
             self.task,
             self.instance,
             self.nodes,
             self.budgets,
-            self.cold_seconds,
+            self.cold.best(),
+            self.cold.rounds_json(),
             self.warm_seconds,
+            self.warm_rounds,
             self.speedup(),
             self.max_rel_diff,
             self.bit_identical
@@ -95,7 +84,7 @@ impl Row {
             self.task,
             self.instance,
             self.nodes,
-            self.cold_seconds,
+            self.cold.best(),
             self.warm_seconds,
             self.speedup(),
             self.max_rel_diff,
@@ -118,16 +107,17 @@ fn quarter_integer_grid(width: usize, height: usize, seed: u64) -> FlowNetwork {
 
 fn flow_row(width: usize, height: usize, budgets: &[usize], reps: usize) -> Row {
     let net = quarter_integer_grid(width, height, 42);
-    let (cold_values, cold_seconds) = best_of(reps, || {
+    let cold = measure_rounds(reps, || {
         budgets
             .iter()
             .map(|&b| approximate_max_flow(&net, &FlowApproxConfig::with_max_colors(b)).value)
             .collect::<Vec<f64>>()
     });
-    let (points, warm_seconds) = best_of(reps, || sweep_max_flow(&net, budgets, 0.0));
+    let warm = measure_rounds(reps, || sweep_max_flow(&net, budgets, 0.0));
+    let points = &warm.value;
     let mut max_rel_diff = 0.0f64;
     let mut bit_identical = true;
-    for (point, &cold) in points.iter().zip(cold_values.iter()) {
+    for (point, &cold) in points.iter().zip(cold.value.iter()) {
         let diff = (point.value - cold).abs();
         max_rel_diff = max_rel_diff.max(diff / (1.0 + cold.abs()));
         if point.value.to_bits() != cold.to_bits() {
@@ -143,15 +133,16 @@ fn flow_row(width: usize, height: usize, budgets: &[usize], reps: usize) -> Row 
         instance: format!("grid-{width}x{height}-qint"),
         nodes: net.num_nodes(),
         budgets: budgets.len(),
-        cold_seconds,
-        warm_seconds,
+        cold,
+        warm_seconds: warm.best(),
+        warm_rounds: warm.rounds_json(),
         max_rel_diff,
         bit_identical,
     }
 }
 
 fn lp_row(lp: &LpProblem, label: &str, budgets: &[usize], reps: usize) -> Row {
-    let (cold_objectives, cold_seconds) = best_of(reps, || {
+    let cold = measure_rounds(reps, || {
         budgets
             .iter()
             .map(|&b| {
@@ -164,7 +155,7 @@ fn lp_row(lp: &LpProblem, label: &str, budgets: &[usize], reps: usize) -> Row {
             })
             .collect::<Vec<f64>>()
     });
-    let (points, warm_seconds) = best_of(reps, || {
+    let warm = measure_rounds(reps, || {
         sweep_lp(
             lp,
             budgets,
@@ -172,9 +163,10 @@ fn lp_row(lp: &LpProblem, label: &str, budgets: &[usize], reps: usize) -> Row {
             LpReductionVariant::SqrtNormalized,
         )
     });
+    let points = &warm.value;
     let mut max_rel_diff = 0.0f64;
     let mut bit_identical = true;
-    for (point, &cold) in points.iter().zip(cold_objectives.iter()) {
+    for (point, &cold) in points.iter().zip(cold.value.iter()) {
         let rel = (point.objective - cold).abs() / (1.0 + cold.abs());
         max_rel_diff = max_rel_diff.max(rel);
         if point.objective.to_bits() != cold.to_bits() {
@@ -193,8 +185,9 @@ fn lp_row(lp: &LpProblem, label: &str, budgets: &[usize], reps: usize) -> Row {
         instance: label.to_string(),
         nodes: lp.num_rows() + lp.num_cols(),
         budgets: budgets.len(),
-        cold_seconds,
-        warm_seconds,
+        cold,
+        warm_seconds: warm.best(),
+        warm_rounds: warm.rounds_json(),
         max_rel_diff,
         bit_identical,
     }
@@ -252,12 +245,19 @@ fn main() {
     lp_result.print();
 
     let rows = [flow, lp_result];
-    let json: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let mut json: Vec<String> = rows.iter().map(Row::to_json).collect();
+    let headline = &rows[0];
+    // Warm vs cold compares two serial pipelines, so the bar holds on any
+    // host — always enforced.
+    json.push(format!(
+        "{{\"summary\":\"warm_vs_cold\",\"host_cpus\":{},\"headline_speedup\":{:.2},\"bar_enforced\":true}}",
+        host_cpus(),
+        headline.speedup()
+    ));
     std::fs::write("BENCH_sweep.json", json.join("\n") + "\n")
         .expect("failed to write BENCH_sweep.json");
     println!("wrote BENCH_sweep.json");
 
-    let headline = &rows[0];
     assert!(
         headline.speedup() >= 3.0,
         "warm sweep speedup {:.1}x below the 3x acceptance bar",

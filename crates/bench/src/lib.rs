@@ -21,6 +21,53 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (value, start.elapsed().as_secs_f64())
 }
 
+/// A best-of-`reps` measurement that keeps every round's raw wall time —
+/// the shared JSON reporting convention: bench bins record the best
+/// *and* the per-round raw timings (plus `host_cpus`/`bar_enforced` via
+/// [`host_cpus`]), so the perf trajectory is comparable across hosts and
+/// noisy rounds are visible instead of silently folded away.
+pub struct Measurement<T> {
+    /// The last round's result (results are deterministic across rounds).
+    pub value: T,
+    /// Raw wall time of every round, in measurement order.
+    pub rounds: Vec<f64>,
+}
+
+impl<T> Measurement<T> {
+    /// Best (minimum) wall time across rounds.
+    pub fn best(&self) -> f64 {
+        self.rounds.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The rounds as a JSON array fragment, e.g. `[0.041200,0.042913]`.
+    pub fn rounds_json(&self) -> String {
+        let cells: Vec<String> = self.rounds.iter().map(|s| format!("{s:.6}")).collect();
+        format!("[{}]", cells.join(","))
+    }
+}
+
+/// Run `f` `reps` times (at least once), recording every round's wall time.
+pub fn measure_rounds<T>(reps: usize, mut f: impl FnMut() -> T) -> Measurement<T> {
+    let reps = reps.max(1);
+    let mut rounds = Vec::with_capacity(reps);
+    let (mut value, secs) = timed(&mut f);
+    rounds.push(secs);
+    for _ in 1..reps {
+        let (v, secs) = timed(&mut f);
+        rounds.push(secs);
+        value = v;
+    }
+    Measurement { value, rounds }
+}
+
+/// The host's available parallelism (1 when undetectable) — recorded in
+/// every bench JSON so wall-clock bars can be interpreted per host.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Relative-error metric used by the paper for max-flow and LP tasks:
 /// `max(v/v̂, v̂/v)`, ideal value 1.0.
 pub fn relative_error(actual: f64, predicted: f64) -> f64 {
@@ -160,5 +207,15 @@ mod tests {
     #[test]
     fn relative_error_wrapper() {
         assert_eq!(relative_error(2.0, 4.0), 2.0);
+    }
+
+    #[test]
+    fn measure_rounds_records_every_round() {
+        let m = measure_rounds(3, || 7);
+        assert_eq!(m.value, 7);
+        assert_eq!(m.rounds.len(), 3);
+        assert!(m.best() <= m.rounds[0]);
+        assert!(m.rounds_json().starts_with('[') && m.rounds_json().ends_with(']'));
+        assert!(host_cpus() >= 1);
     }
 }

@@ -26,6 +26,12 @@
 //!   for batched edge insert/delete/reweight events without touching the
 //!   graph, and [`RothkoRun::apply_edge_batch`] + `maintain` keep a
 //!   running (q, k) coloring valid under churn instead of recomputing.
+//! * [`kernels`] — the lane-kernel substrate under the engine's hot
+//!   paths: blocked f64 folds, min/max scans with first-attainer
+//!   witnesses, grouped gathers, and blocked sums over the canonical
+//!   reduction tree (shared with `qsc_linalg::lanes`, so the LP solvers
+//!   reduce through the same code). See the module's determinism notes
+//!   and [`q_error`]'s "Lane-kernel hot paths" for measured numbers.
 //! * [`parallel`] — the minimal persistent fork-join pool behind the
 //!   sharded engine (`QSC_THREADS` sets the default worker count).
 //! * [`similarity`] — the `∼` relations of Definition 1 (exact, absolute `q`,
@@ -96,7 +102,12 @@
 //! selection break ties lexicographically; member and touched orderings
 //! are pure functions of the input (never of the thread count); and
 //! color/node renumbering is the fixed relabel-last/order-preserving rule
-//! above. This is what lets maintained runs be cross-checked against
+//! above. Floating-point *sums* follow one canonical blocked reduction
+//! tree (`qsc_linalg::lanes::sum` — fixed lane count, fixed combine
+//! order, independent of thread count and hardware), so "up to float
+//! associativity" never means "up to whatever the optimizer felt like":
+//! the only reassociating variants are the explicit `*_fast` kernels
+//! behind the opt-in `RothkoConfig::fast_math`. This is what lets maintained runs be cross-checked against
 //! fresh-from-checkpoint runs at every churn round
 //! (`tests/tests/dynamic_graph.rs`, `tests/tests/merge_refine.rs`) and
 //! lets warm sweeps stay bit-identical to cold re-emission
@@ -116,6 +127,7 @@
 //! assert!(coloring.max_q_error <= 6.0);
 //! ```
 
+pub mod kernels;
 pub mod parallel;
 pub mod partition;
 pub mod q_error;

@@ -29,6 +29,7 @@
 //! colors (`O(dirty · k)` per checkpoint) instead of re-derived with a
 //! dense `O(k²)` sweep.
 
+use crate::kernels::fold_add;
 use crate::partition::{MergeEvent, Partition, SplitEvent};
 use crate::q_error::DegreeMatrices;
 use qsc_graph::delta::EdgeEvent;
@@ -277,31 +278,53 @@ impl ReducedDelta {
             + self.sum[winner * cap + loser]
             + self.sum[loser * cap + winner]
             + self.sum[loser * cap + loser];
-        for j in 0..self.k {
-            if j == winner || j == loser {
-                continue;
-            }
-            self.sum[winner * cap + j] += self.sum[loser * cap + j];
+        // The skip set `{winner, loser}` (with `winner < loser`) splits the
+        // column range into three contiguous runs, so the row fold becomes
+        // three vectorized `fold_add` calls on disjoint row slices and the
+        // (strided) column fold three branch-free loops — touching exactly
+        // the cells the old skip-branch loop touched.
+        let k = self.k;
+        {
+            let (head, tail) = self.sum.split_at_mut(loser * cap);
+            let wrow = &mut head[winner * cap..winner * cap + k];
+            let lrow = &tail[..k];
+            fold_add(&mut wrow[..winner], &lrow[..winner]);
+            fold_add(&mut wrow[winner + 1..loser], &lrow[winner + 1..loser]);
+            fold_add(&mut wrow[loser + 1..k], &lrow[loser + 1..k]);
+        }
+        for j in 0..winner {
+            self.sum[j * cap + winner] += self.sum[j * cap + loser];
+        }
+        for j in winner + 1..loser {
+            self.sum[j * cap + winner] += self.sum[j * cap + loser];
+        }
+        for j in loser + 1..k {
             self.sum[j * cap + winner] += self.sum[j * cap + loser];
         }
         self.sum[winner * cap + winner] = self_sum;
         self.sizes[winner] += self.sizes[loser];
         // Relabel last -> loser (row, column, diagonal), then zero the
-        // vacated last row/column.
+        // vacated last row/column. Same contiguous-run decomposition: the
+        // row moves are two `copy_within` memmoves.
         if loser != last {
             let diag = self.sum[last * cap + last];
-            for j in 0..self.k {
-                if j == last || j == loser {
-                    continue;
-                }
-                self.sum[loser * cap + j] = self.sum[last * cap + j];
+            self.sum
+                .copy_within(last * cap..last * cap + loser, loser * cap);
+            self.sum.copy_within(
+                last * cap + loser + 1..last * cap + last,
+                loser * cap + loser + 1,
+            );
+            for j in 0..loser {
+                self.sum[j * cap + loser] = self.sum[j * cap + last];
+            }
+            for j in loser + 1..last {
                 self.sum[j * cap + loser] = self.sum[j * cap + last];
             }
             self.sum[loser * cap + loser] = diag;
             self.sizes[loser] = self.sizes[last];
         }
-        for j in 0..self.k {
-            self.sum[last * cap + j] = 0.0;
+        self.sum[last * cap..last * cap + k].fill(0.0);
+        for j in 0..k {
             self.sum[j * cap + last] = 0.0;
         }
         self.sizes.pop();

@@ -98,6 +98,7 @@
 //! node churn. [`RothkoRun::maintain_with`] delivers every operation as
 //! a [`PartitionEvent`] in lockstep for downstream incremental consumers.
 
+use crate::kernels;
 use crate::parallel::default_threads;
 use crate::partition::{ColorId, Partition, PartitionEvent, SplitEvent};
 use crate::q_error::{
@@ -178,6 +179,14 @@ pub struct RothkoConfig {
     /// error instead of only ever refining. Off by default — one-shot runs
     /// and budget sweeps are monotone refinements.
     pub coarsen: bool,
+    /// Relax the canonical summation order in the witness-split threshold
+    /// scan (see [`crate::kernels::gather_stats_fast`]): same values up to
+    /// float associativity, but the reduction order is unspecified, so runs
+    /// are **excluded from the bit-identity determinism contract**
+    /// (colorings may differ in threshold-tie cases between builds). Off by
+    /// default; only opt in for throughput measurements — `bench_kernels`
+    /// records the comparison.
+    pub fast_math: bool,
 }
 
 impl Default for RothkoConfig {
@@ -193,6 +202,7 @@ impl Default for RothkoConfig {
             threads: None,
             batch: 1,
             coarsen: false,
+            fast_math: false,
         }
     }
 }
@@ -290,6 +300,13 @@ impl RothkoConfig {
     /// [`Self::coarsen`] — the field).
     pub fn coarsen(mut self, coarsen: bool) -> Self {
         self.coarsen = coarsen;
+        self
+    }
+
+    /// Builder-style setter for the relaxed-summation mode (see
+    /// [`Self::fast_math`] — the field). Off by default.
+    pub fn fast_math(mut self, fast_math: bool) -> Self {
+        self.fast_math = fast_math;
         self
     }
 }
@@ -947,7 +964,14 @@ impl<'g> RothkoRun<'g> {
 
     /// Stop now and package the current coloring with exact quality metrics.
     pub fn finish(self) -> Coloring {
-        let report = q_error_report(self.graph.get(), &self.partition);
+        // Incremental mode reads the report straight off the engine's pair
+        // summaries (`O(k²)`, same scan order and fold as the from-graph
+        // recomputation — exactly equal on integer weights); reference mode
+        // rebuilds the matrices from the graph.
+        let report = match &self.engine {
+            Some(engine) => engine.q_report(),
+            None => q_error_report(self.graph.get(), &self.partition),
+        };
         Coloring {
             partition: self.partition,
             max_q_error: report.max_q,
@@ -1014,21 +1038,17 @@ impl<'g> RothkoRun<'g> {
         let members = self.partition.members(w.split_color);
         let len = members.len();
         debug_assert!(len >= 2, "witness picked a singleton color");
-        let mut sum = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        let mut log_sum = 0.0f64;
-        let mut positive = 0usize;
-        for &v in members {
-            let d = self.deg_scratch[v as usize];
-            sum += d;
-            min = min.min(d);
-            max = max.max(d);
-            if d > 0.0 {
-                log_sum += d.ln();
-                positive += 1;
-            }
-        }
+        // Sum + min/max in one vectorized gather pass. The deterministic
+        // kernel reduces the sum through the canonical blocked tree (this
+        // is where the engine's determinism pins were re-baselined when the
+        // canonical order switched from the sequential fold); `fast_math`
+        // swaps in the relaxed-order variant.
+        let stats = if self.config.fast_math {
+            kernels::gather_stats_fast(members, &self.deg_scratch)
+        } else {
+            kernels::gather_stats(members, &self.deg_scratch)
+        };
+        let (sum, min, max) = (stats.sum, stats.min, stats.max);
         if min == max {
             // Degenerate: every member has the same degree towards the
             // witness target, so no threshold can separate them. Report the
@@ -1037,17 +1057,33 @@ impl<'g> RothkoRun<'g> {
             return None;
         }
         let arithmetic = sum / len as f64;
-        let geometric = if positive == 0 {
-            arithmetic
-        } else {
-            (log_sum / positive as f64).exp()
-        };
         let mid = (min + max) / 2.0;
-        let thresholds: [f64; 3] = match self.config.split_mean {
-            SplitMean::Arithmetic => [arithmetic, geometric, mid],
-            SplitMean::Geometric => [geometric, arithmetic, mid],
+        // The geometric mean needs a `ln` per positive member — by far the
+        // most expensive part of the old eager scan — so it is computed
+        // lazily, only when a threshold order actually reaches it. The
+        // thresholds are unchanged; only when the work happens moved.
+        let mut geometric: Option<f64> = None;
+        let mut geometric_of = |run: &Self| {
+            *geometric.get_or_insert_with(|| {
+                let members = run.partition.members(w.split_color);
+                let (log_sum, positive) = kernels::gather_log_stats(members, &run.deg_scratch);
+                if positive == 0 {
+                    arithmetic
+                } else {
+                    (log_sum / positive as f64).exp()
+                }
+            })
         };
-        for &threshold in &thresholds {
+        let order: [SplitMean; 2] = match self.config.split_mean {
+            SplitMean::Arithmetic => [SplitMean::Arithmetic, SplitMean::Geometric],
+            SplitMean::Geometric => [SplitMean::Geometric, SplitMean::Arithmetic],
+        };
+        for pick in order.into_iter().map(Some).chain([None]) {
+            let threshold = match pick {
+                Some(SplitMean::Arithmetic) => arithmetic,
+                Some(SplitMean::Geometric) => geometric_of(self),
+                None => mid,
+            };
             let scratch = &self.deg_scratch;
             if let Some(event) = self
                 .partition

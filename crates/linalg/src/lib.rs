@@ -9,9 +9,15 @@
 //! * [`Lu`] — LU factorization with partial pivoting.
 //! * [`SparseMatrix`] — CSR sparse matrices for LP constraint storage.
 //! * [`vec_ops`] — small vector helpers (dot, norms, axpy).
+//! * [`lanes`] — the lane-kernel substrate under `vec_ops` (and under
+//!   `qsc_core::kernels`): fixed-width unrolled f64 blocks that
+//!   autovectorize on stable Rust, with a pinned canonical reduction order
+//!   for sums and sequential-semantics min/max scans (see the module docs
+//!   for the determinism contract).
 
 pub mod cholesky;
 pub mod dense;
+pub mod lanes;
 pub mod lu;
 pub mod sparse;
 pub mod vec_ops;

@@ -1,9 +1,18 @@
 //! Small dense-vector helpers.
+//!
+//! The reductions delegate to the [`crate::lanes`] kernels: [`dot`] (and so
+//! [`norm2`]) reduces through the canonical blocked tree — one fixed order
+//! for every caller, which is what lets the warm LP solvers stay
+//! bit-identical to their cold re-runs — and [`norm_inf`] keeps exact
+//! sequential scan semantics.
 
-/// Dot product of two equal-length slices.
+use crate::lanes;
+
+/// Dot product of two equal-length slices (canonical blocked reduction —
+/// see [`lanes::dot`]).
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    lanes::dot(a, b)
 }
 
 /// Euclidean norm.
@@ -13,15 +22,13 @@ pub fn norm2(a: &[f64]) -> f64 {
 
 /// Infinity norm.
 pub fn norm_inf(a: &[f64]) -> f64 {
-    a.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    lanes::max_abs(a)
 }
 
 /// `y += alpha * x`.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    lanes::axpy(alpha, x, y);
 }
 
 /// Elementwise `a - b`.
@@ -38,9 +45,7 @@ pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
 
 /// Scale a vector in place.
 pub fn scale(a: &mut [f64], alpha: f64) {
-    for x in a.iter_mut() {
-        *x *= alpha;
-    }
+    lanes::scale(a, alpha);
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ use crate::simplex::{self, SimplexBasis, SimplexConfig};
 use qsc_core::partition::{MergeEvent, SplitEvent};
 use qsc_core::rothko::RothkoConfig;
 use qsc_core::sweep::ColoringSweep;
-use qsc_linalg::SparseMatrix;
+use qsc_linalg::{lanes, SparseMatrix};
 use std::time::Instant;
 
 /// One budget point of a warm-started LP sweep.
@@ -275,9 +275,7 @@ impl<'p> ReducedLpDelta<'p> {
                 let l = loser as usize;
                 let last = self.row_sizes.len() - 1;
                 let folded = std::mem::take(&mut self.a_sum[l]);
-                for (slot, v) in self.a_sum[w].iter_mut().zip(folded) {
-                    *slot += v;
-                }
+                lanes::fold_add(&mut self.a_sum[w], &folded);
                 self.b_sum[w] += self.b_sum[l];
                 self.row_sizes[w] += self.row_sizes[l];
                 for &node in &event.moved_nodes {
