@@ -418,11 +418,12 @@ fn main() {
     }
 
     rows.push(format!(
-        "{{\"summary\":\"maintain_vs_recompute\",\"graph\":\"barabasi_albert\",\"nodes\":{n},\"edges\":{m},\"seed\":{seed},\"probe_colors\":{colors},\"target_error\":{q},\"churn\":{churn},\"rounds\":{rounds},\"edge_headline_speedup\":{edge_headline:.3},\"edge_worst_round_speedup\":{:.3},\"node_headline_speedup\":{node_headline:.3},\"node_worst_round_speedup\":{:.3},\"cooldown_k_before\":{k_before},\"cooldown_k_after\":{k_after},\"cooldown_merges\":{cooldown_merges},\"bit_identical_to_resumed_fresh_run\":true,\"threads_cross_checked\":{:?},\"host_cpus\":{},\"bar_enforced\":true}}",
+        "{{\"summary\":\"maintain_vs_recompute\",\"graph\":\"barabasi_albert\",\"nodes\":{n},\"edges\":{m},\"seed\":{seed},\"probe_colors\":{colors},\"target_error\":{q},\"churn\":{churn},\"rounds\":{rounds},\"edge_headline_speedup\":{edge_headline:.3},\"edge_worst_round_speedup\":{:.3},\"node_headline_speedup\":{node_headline:.3},\"node_worst_round_speedup\":{:.3},\"cooldown_k_before\":{k_before},\"cooldown_k_after\":{k_after},\"cooldown_merges\":{cooldown_merges},\"bit_identical_to_resumed_fresh_run\":true,\"threads_cross_checked\":{:?},\"host_cpus\":{},\"peak_rss_bytes\":{},\"bar_enforced\":true}}",
         edge_tally.worst,
         node_tally.worst,
         maintained.iter().map(|m| m.threads).collect::<Vec<_>>(),
-        qsc_bench::host_cpus()
+        qsc_bench::host_cpus(),
+        qsc_bench::peak_rss_json()
     ));
     std::fs::write("BENCH_dynamic.json", rows.join("\n") + "\n")
         .expect("failed to write BENCH_dynamic.json");

@@ -522,13 +522,14 @@ fn main() {
 
     let mut json: Vec<String> = rows.iter().map(Row::to_json).collect();
     json.push(format!(
-        "{{\"summary\":\"kernels_headline\",\"graph\":\"barabasi_albert\",\"nodes\":10000,\"colors\":200,\"baseline_seconds\":{BASELINE_SECONDS:.6},\"headline_seconds\":{:.6},\"headline_rounds\":{},\"headline_speedup\":{headline_speedup:.2},\"fast_math_seconds\":{:.6},\"fast_math_rounds\":{},\"fast_math_speedup\":{:.2},\"host_cpus\":{},\"bar_enforced\":true}}",
+        "{{\"summary\":\"kernels_headline\",\"graph\":\"barabasi_albert\",\"nodes\":10000,\"colors\":200,\"baseline_seconds\":{BASELINE_SECONDS:.6},\"headline_seconds\":{:.6},\"headline_rounds\":{},\"headline_speedup\":{headline_speedup:.2},\"fast_math_seconds\":{:.6},\"fast_math_rounds\":{},\"fast_math_speedup\":{:.2},\"host_cpus\":{},\"peak_rss_bytes\":{},\"bar_enforced\":true}}",
         headline.best(),
         headline.rounds_json(),
         fast.best(),
         fast.rounds_json(),
         headline.best() / fast.best(),
-        host_cpus()
+        host_cpus(),
+        qsc_bench::peak_rss_json()
     ));
     std::fs::write("BENCH_kernels.json", json.join("\n") + "\n")
         .expect("failed to write BENCH_kernels.json");

@@ -1,0 +1,360 @@
+//! Resident memory across the engine's storage tiers, recorded.
+//!
+//! Climbs a Barabási–Albert ladder (10k → 100k → 1M nodes, m = 10, so the
+//! top rung carries ~10⁷ edges) at the 200-color budget and measures, per
+//! [`StorageMode`]:
+//!
+//! * **engine resident bytes** — `IncrementalDegrees::resident_bytes`:
+//!   accumulators, pair summaries, witness caches and scratch actually
+//!   held by the engine (not process RSS; the whole-process `VmHWM` high
+//!   water is recorded separately as `peak_rss_bytes`);
+//! * **step throughput** — the budgeted refinement loop
+//!   (`Rothko::run` to `k = 200`), construction included;
+//! * **maintain throughput** — churn rounds against the finished coloring
+//!   (~0.2% of the edges deleted + reinserted per round through
+//!   `GraphDelta`, patched in with `apply_edge_batch` + `maintain()` on a
+//!   `(q, ∞)` run resumed from the budgeted coloring).
+//!
+//! Dense engines are built only up to the 100k rung (a dense 1M × 256
+//! accumulator is the 2 GB wall this benchmark exists to document); the 1M
+//! rung runs sparse and reports the *analytic* dense footprint
+//! (`IncrementalDegrees::projected_dense_resident_bytes` — the same
+//! accounting with the accumulator tier swapped for dense `n × cap` rows).
+//! The projection is validated against a real dense engine on the rungs
+//! where both run.
+//!
+//! Asserted bars (what the tiered storage claims):
+//!
+//! * **≥ 4× engine resident-memory reduction** at the 1M-node headline
+//!   (projected dense vs measured sparse);
+//! * `Auto` — the shipped default — step+maintain wall time **≤ 1.10×
+//!   dense** on every rung where dense runs: the storage knob must not
+//!   tax the existing 10k / 200 throughput headline, where `Auto`
+//!   resolves dense (a 20 MiB accumulator is exactly what dense rows are
+//!   best at);
+//! * *forced*-sparse step+maintain wall time **≤ dense** at the 100k
+//!   rung (rows there hold ~20 entries against a 256-slot budget — the
+//!   streaming scans flip in sparse storage's favor). On the 10k rung
+//!   forced-sparse is recorded but carries no bar: per-probe cost on an
+//!   LLC-resident matrix is the regime the `Auto` gate exists to avoid,
+//!   and the measured ratio documents the crossover;
+//! * all storage modes are **bit-identical** (colorings and q-error
+//!   bits) on every rung where they run.
+//!
+//! CI runs `--smoke`: a small rung, both modes, the bit-identity assert
+//! and the measured memory ratio — no wall-clock bars, no JSON file. The
+//! full run writes `BENCH_memory.json` (one line per rung × mode plus the
+//! headline summary with `host_cpus` / `peak_rss_bytes`).
+//!
+//! Run with: `cargo run --release -p qsc-bench --bin bench_memory
+//! [-- --smoke] [--rounds R] [--churn F] [--seed S]`.
+
+use qsc_bench::arg_value;
+use qsc_core::rothko::{Rothko, RothkoConfig, RothkoRun};
+use qsc_core::StorageMode;
+use qsc_graph::{generators, Graph, GraphDelta};
+use rand::prelude::*;
+use std::time::Instant;
+
+/// One rung × storage-mode measurement.
+struct Outcome {
+    mode: StorageMode,
+    resident_bytes: usize,
+    projected_dense_bytes: usize,
+    step_seconds: f64,
+    maintain_seconds: f64,
+    q: f64,
+    assignment: Vec<u32>,
+}
+
+/// Deterministic edge churn: per round, `ops` random live edges deleted
+/// and `ops` fresh unit-weight edges inserted (same seed → same event
+/// sequence for every storage mode).
+fn churn_round(
+    delta: &mut GraphDelta,
+    edges: &mut Vec<(u32, u32)>,
+    rng: &mut StdRng,
+    ops: usize,
+) -> (Vec<qsc_graph::delta::EdgeEvent>, Graph) {
+    let n = delta.num_nodes();
+    for _ in 0..ops {
+        let i = rng.random_range(0..edges.len());
+        let (u, v) = edges.swap_remove(i);
+        delta.delete_edge(u, v).expect("tracked edge exists");
+    }
+    for _ in 0..ops {
+        loop {
+            let u = rng.random_range(0..n) as u32;
+            let v = rng.random_range(0..n) as u32;
+            if u != v && !delta.has_edge(u, v) {
+                delta.insert_edge(u, v, 1.0).expect("fresh edge");
+                edges.push((u, v));
+                break;
+            }
+        }
+    }
+    (delta.drain_events(), delta.compact())
+}
+
+/// Run one storage mode over one rung: the budgeted step loop (timed),
+/// then `rounds` churn+maintain rounds on a `(q, ∞)` run resumed from the
+/// budgeted coloring (timed), then the engine memory accounting.
+fn run_mode(
+    g: &Graph,
+    colors: usize,
+    mode: StorageMode,
+    rounds: usize,
+    ops: usize,
+    seed: u64,
+    reps: usize,
+) -> Outcome {
+    let budgeted = RothkoConfig::with_max_colors(colors).storage(mode);
+    let mut step_seconds = f64::INFINITY;
+    let mut coloring = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let c = Rothko::new(budgeted.clone()).run(g);
+        step_seconds = step_seconds.min(start.elapsed().as_secs_f64());
+        coloring = Some(c);
+    }
+    let coloring = coloring.expect("at least one step rep");
+    assert_eq!(coloring.partition.num_colors(), colors);
+    let q = coloring.max_q_error;
+
+    let mut maintain_seconds = f64::INFINITY;
+    let mut last_run: Option<RothkoRun> = None;
+    for _ in 0..reps.max(1) {
+        let maintained = RothkoConfig {
+            max_colors: usize::MAX,
+            target_error: q,
+            initial: Some(coloring.partition.clone()),
+            storage: mode,
+            ..Default::default()
+        };
+        let mut run = Rothko::new(maintained).start(g);
+        run.maintain();
+        let mut delta = GraphDelta::new(g.clone());
+        let mut edges: Vec<(u32, u32)> = g.edges().iter().map(|&(u, v, _)| (u, v)).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3e3);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let (events, compacted) = churn_round(&mut delta, &mut edges, &mut rng, ops);
+            run.apply_edge_batch(compacted, &events);
+            run.maintain();
+        }
+        maintain_seconds = maintain_seconds.min(start.elapsed().as_secs_f64());
+        last_run = Some(run);
+    }
+    let run = last_run.expect("at least one maintain rep");
+    let engine = run.engine().expect("maintained runs keep an engine");
+    Outcome {
+        mode,
+        resident_bytes: engine.resident_bytes(),
+        projected_dense_bytes: engine.projected_dense_resident_bytes(),
+        step_seconds,
+        maintain_seconds,
+        q,
+        assignment: coloring.partition.canonical_assignment(),
+    }
+}
+
+fn mode_name(mode: StorageMode) -> &'static str {
+    match mode {
+        StorageMode::Dense => "dense",
+        StorageMode::Sparse => "sparse",
+        StorageMode::Auto => "auto",
+    }
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help") {
+        println!("bench_memory: engine resident memory across storage tiers");
+        println!("  --smoke      small rung, bit-identity + memory ratio only (CI)");
+        println!("  --rounds R   churn+maintain rounds per rung (default 3)");
+        println!("  --churn F    fraction of edges churned per round (default 0.002)");
+        println!("  --max-nodes N  skip rungs above N nodes (iteration aid; no JSON/bars)");
+        println!("  --seed S     generator + churn seed (default 7; recorded in the JSON)");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let max_nodes: usize = arg_value(&args, "--max-nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let rounds: usize = arg_value(&args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let churn: f64 = arg_value(&args, "--churn")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.002);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
+    // (nodes, colors, run dense too?, step/maintain reps)
+    let ladder: &[(usize, usize, bool, usize)] = if smoke {
+        &[(2_000, 64, true, 1)]
+    } else {
+        &[
+            (10_000, 200, true, 3),
+            (100_000, 200, true, 1),
+            (1_000_000, 200, false, 1),
+        ]
+    };
+
+    let mut json: Vec<String> = Vec::new();
+    let mut headline: Option<(usize, f64, usize, usize)> = None;
+    let mut bars_ok = true;
+    for &(n, colors, with_dense, reps) in ladder {
+        if n > max_nodes {
+            continue;
+        }
+        let g = generators::barabasi_albert(n, 10, seed);
+        let m = g.num_edges();
+        let ops = ((m as f64 * churn).round() as usize).max(1);
+        println!("rung: barabasi_albert n={n} m={m} colors={colors} ({ops} deletes + {ops} inserts x {rounds} rounds)");
+        let sparse = run_mode(&g, colors, StorageMode::Sparse, rounds, ops, seed, reps);
+        let mut outcomes = vec![sparse];
+        if with_dense {
+            let dense = run_mode(&g, colors, StorageMode::Dense, rounds, ops, seed, reps);
+            let auto = run_mode(&g, colors, StorageMode::Auto, rounds, ops, seed, reps);
+            // Bit-identity across storage modes (the equivalence suite pins
+            // this over mixed traces; the benchmark re-checks its own
+            // instances).
+            for o in [&dense, &auto] {
+                assert_eq!(
+                    o.assignment,
+                    outcomes[0].assignment,
+                    "n={n}: {} and sparse colorings diverged",
+                    mode_name(o.mode)
+                );
+                assert_eq!(
+                    o.q.to_bits(),
+                    outcomes[0].q.to_bits(),
+                    "n={n}: {} and sparse q-error bits diverged",
+                    mode_name(o.mode)
+                );
+            }
+            // The analytic dense projection must track a real dense engine.
+            let projected = outcomes[0].projected_dense_bytes as f64;
+            let actual = dense.resident_bytes as f64;
+            assert!(
+                (projected - actual).abs() / actual < 0.05,
+                "n={n}: dense projection {projected:.0}B off measured {actual:.0}B by >5%"
+            );
+            outcomes.push(dense);
+            outcomes.push(auto);
+        }
+        for o in &outcomes {
+            println!(
+                "  {:6}: resident {:8.1} MiB (dense-projected {:8.1} MiB, {:4.2}x) step {:.4}s maintain {:.4}s q={}",
+                mode_name(o.mode),
+                mib(o.resident_bytes),
+                mib(o.projected_dense_bytes),
+                o.projected_dense_bytes as f64 / o.resident_bytes as f64,
+                o.step_seconds,
+                o.maintain_seconds,
+                o.q
+            );
+            json.push(format!(
+                "{{\"graph\":\"barabasi_albert\",\"nodes\":{n},\"edges\":{m},\"seed\":{seed},\"colors\":{colors},\"storage\":\"{}\",\"resident_bytes\":{},\"projected_dense_bytes\":{},\"step_seconds\":{:.6},\"maintain_seconds\":{:.6},\"churn_rounds\":{rounds},\"churn_ops\":{ops},\"q\":{}}}",
+                mode_name(o.mode),
+                o.resident_bytes,
+                o.projected_dense_bytes,
+                o.step_seconds,
+                o.maintain_seconds,
+                o.q
+            ));
+        }
+        let sparse = &outcomes[0];
+        if let (Some(dense), Some(auto)) = (outcomes.get(1), outcomes.get(2)) {
+            let wall = |o: &Outcome| o.step_seconds + o.maintain_seconds;
+            let sparse_ratio = wall(sparse) / wall(dense);
+            let auto_ratio = wall(auto) / wall(dense);
+            // Throughput bars. `Auto` (the shipped default) must stay
+            // within 10% of dense everywhere — that is the "don't tax the
+            // existing headline" guarantee. Forced-sparse must beat dense
+            // outright at 100k, where the rows are two orders of
+            // magnitude sparser than the color budget; on the 10k rung it
+            // is recorded bar-free as the crossover datapoint (an
+            // LLC-resident dense matrix wins per probe, which is exactly
+            // why the `Auto` gate resolves dense at that scale).
+            println!(
+                "  auto   step+maintain {:.4}s vs dense {:.4}s ({auto_ratio:.2}x; bar 1.10x)",
+                wall(auto),
+                wall(dense)
+            );
+            let sparse_bar = if n <= 10_000 {
+                println!(
+                    "  sparse step+maintain {:.4}s vs dense {:.4}s ({sparse_ratio:.2}x; crossover datapoint, no bar at this scale)",
+                    wall(sparse),
+                    wall(dense)
+                );
+                f64::INFINITY
+            } else {
+                println!(
+                    "  sparse step+maintain {:.4}s vs dense {:.4}s ({sparse_ratio:.2}x; bar 1.00x)",
+                    wall(sparse),
+                    wall(dense)
+                );
+                1.0
+            };
+            if smoke {
+                continue; // shared runners: record, don't enforce
+            }
+            if auto_ratio > 1.10 {
+                bars_ok = false;
+                println!("  BAR FAILED: auto {auto_ratio:.2}x dense exceeds 1.10x at n={n}");
+            }
+            if sparse_ratio > sparse_bar {
+                bars_ok = false;
+                println!(
+                    "  BAR FAILED: sparse {sparse_ratio:.2}x dense exceeds {sparse_bar:.2}x at n={n}"
+                );
+            }
+        } else {
+            // The headline rung: dense never built, projection only.
+            headline = Some((
+                n,
+                sparse.projected_dense_bytes as f64 / sparse.resident_bytes as f64,
+                sparse.resident_bytes,
+                sparse.projected_dense_bytes,
+            ));
+        }
+    }
+
+    if smoke {
+        println!("smoke OK: storage modes bit-identical; memory ratio recorded (no JSON, no bars)");
+        return;
+    }
+    let Some((hn, reduction, sparse_bytes, dense_bytes)) = headline else {
+        println!("--max-nodes truncated the ladder before the headline rung (no JSON, no bars)");
+        return;
+    };
+    println!(
+        "headline: n={hn} sparse {:.1} MiB vs projected dense {:.1} MiB — {reduction:.2}x reduction",
+        mib(sparse_bytes),
+        mib(dense_bytes)
+    );
+    json.push(format!(
+        "{{\"summary\":\"memory_headline\",\"graph\":\"barabasi_albert\",\"nodes\":{hn},\"colors\":200,\"seed\":{seed},\"sparse_resident_bytes\":{sparse_bytes},\"projected_dense_bytes\":{dense_bytes},\"memory_reduction\":{reduction:.3},\"host_cpus\":{},\"peak_rss_bytes\":{},\"bar_enforced\":true}}",
+        qsc_bench::host_cpus(),
+        qsc_bench::peak_rss_json()
+    ));
+    std::fs::write("BENCH_memory.json", json.join("\n") + "\n")
+        .expect("failed to write BENCH_memory.json");
+    println!("wrote BENCH_memory.json");
+
+    assert!(
+        reduction >= 4.0,
+        "engine memory reduction {reduction:.2}x at n={hn} below the 4x acceptance bar"
+    );
+    assert!(
+        bars_ok,
+        "a sparse-vs-dense throughput bar failed (see above)"
+    );
+}

@@ -207,8 +207,9 @@ fn main() {
             )
         })
         .collect();
+    let peak_rss = qsc_bench::peak_rss_json();
     json.push(format!(
-        "{{\"summary\":\"threads4_vs_threads1\",\"batch\":{batch},\"seed\":{seed},\"host_cpus\":{host_cpus},\"headline_speedup\":{headline:.3},\"bar_enforced\":{bar_enforced},\"bit_identical_across_threads\":true,\"serial_pin_bit_identical\":true}}"
+        "{{\"summary\":\"threads4_vs_threads1\",\"batch\":{batch},\"seed\":{seed},\"host_cpus\":{host_cpus},\"peak_rss_bytes\":{peak_rss},\"headline_speedup\":{headline:.3},\"bar_enforced\":{bar_enforced},\"bit_identical_across_threads\":true,\"serial_pin_bit_identical\":true}}"
     ));
     std::fs::write("BENCH_parallel.json", json.join("\n") + "\n")
         .expect("failed to write BENCH_parallel.json");

@@ -128,8 +128,9 @@ fn main() {
     // Incremental vs from-scratch compares two serial code paths, so the
     // bar holds regardless of core count — always enforced.
     json.push(format!(
-        "{{\"summary\":\"incremental_vs_from_scratch\",\"host_cpus\":{},\"headline_speedup\":{:.2},\"bar_enforced\":true}}",
+        "{{\"summary\":\"incremental_vs_from_scratch\",\"host_cpus\":{},\"peak_rss_bytes\":{},\"headline_speedup\":{:.2},\"bar_enforced\":true}}",
         host_cpus(),
+        qsc_bench::peak_rss_json(),
         headline.speedup()
     ));
     std::fs::write("BENCH_rothko.json", json.join("\n") + "\n")

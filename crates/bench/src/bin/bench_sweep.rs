@@ -250,8 +250,9 @@ fn main() {
     // Warm vs cold compares two serial pipelines, so the bar holds on any
     // host — always enforced.
     json.push(format!(
-        "{{\"summary\":\"warm_vs_cold\",\"host_cpus\":{},\"headline_speedup\":{:.2},\"bar_enforced\":true}}",
+        "{{\"summary\":\"warm_vs_cold\",\"host_cpus\":{},\"peak_rss_bytes\":{},\"headline_speedup\":{:.2},\"bar_enforced\":true}}",
         host_cpus(),
+        qsc_bench::peak_rss_json(),
         headline.speedup()
     ));
     std::fs::write("BENCH_sweep.json", json.join("\n") + "\n")

@@ -68,6 +68,34 @@ pub fn host_cpus() -> usize {
         .unwrap_or(1)
 }
 
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable — the
+/// allocation high-water every bench JSON records alongside wall time, so
+/// memory regressions show up in the same trajectory as perf regressions.
+/// This is a whole-process high-water mark (it never decreases), distinct
+/// from the per-engine `IncrementalDegrees::resident_bytes` accounting
+/// `bench_memory` compares across storage modes.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// `peak_rss_bytes` as a JSON value fragment: the byte count, or `null`
+/// on hosts without procfs (the portable fallback keeps the field present
+/// so downstream tooling never branches on its absence).
+pub fn peak_rss_json() -> String {
+    match peak_rss_bytes() {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    }
+}
+
 /// Relative-error metric used by the paper for max-flow and LP tasks:
 /// `max(v/v̂, v̂/v)`, ideal value 1.0.
 pub fn relative_error(actual: f64, predicted: f64) -> f64 {
@@ -207,6 +235,19 @@ mod tests {
     #[test]
     fn relative_error_wrapper() {
         assert_eq!(relative_error(2.0, 4.0), 2.0);
+    }
+
+    #[test]
+    fn peak_rss_reads_a_plausible_high_water() {
+        // On Linux procfs is present; elsewhere the portable fallback is
+        // None and the JSON fragment is the literal `null`.
+        match peak_rss_bytes() {
+            Some(bytes) => {
+                assert!(bytes >= 1 << 20, "peak RSS below 1 MiB: {bytes}");
+                assert_eq!(peak_rss_json(), bytes.to_string());
+            }
+            None => assert_eq!(peak_rss_json(), "null"),
+        }
     }
 
     #[test]

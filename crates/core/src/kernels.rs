@@ -13,13 +13,24 @@
 //!   sharded workers (symmetric and directed modes) all route through it,
 //!   which both deduplicates the scan logic and hands LLVM a branch-free
 //!   column loop it can vectorize (compare + blend per lane).
+//! * [`fold_minmax_sparse_row`] — the same member-axis fold over a tiered
+//!   [`RowRep`] accumulator row (sparse engines): nonzero entries fold with
+//!   real attainers, and [`fold_zero_tail`] closes the scan by folding one
+//!   `0.0` (attainer [`NO_ARG`]) into every column that some member left
+//!   implicit — values bit-identical to the dense fold.
 //! * [`scan_gather_column`] — min/max (with first-attainer witnesses and a
 //!   nonzero count) of a strided accumulator column over a member list; the
-//!   shared kernel of every entry rescan.
+//!   shared kernel of every entry rescan. [`scan_gather_column_sparse`] is
+//!   the tiered-row form, bit-identical including attainers (every member
+//!   contributes a value, absent entries read `0.0`).
 //! * [`scan_gather_columns`] — the grouped form: several queued columns of
 //!   one member axis folded in a single member pass (each accumulator row
 //!   is loaded once), bit-identical per column to the one-column scan. The
 //!   parent-axis repair batch after a split runs through this.
+//!   [`scan_gather_columns_sparse`] is the tiered-row form: a merge-join of
+//!   each member's sorted entries against the sorted queued columns,
+//!   `O(nnz + t)` per member instead of `O(t)` random row probes —
+//!   bit-identical per column (including attainers) to the dense gather.
 //! * [`row_err_argmax`] — max spread `max − min` over a summary row with
 //!   the sequential first-attainer index; the β = 0 witness-row scan.
 //! * [`prefetch_read`] — best-effort L1 prefetch hint for pointer-chasing
@@ -54,6 +65,8 @@
 pub use qsc_linalg::lanes::{
     combine_tree, dot, dot_fast, fold_add, fold_sub, max_abs, min_max, sum, sum_fast, LANES,
 };
+
+use crate::storage::RowRep;
 
 /// Sentinel for "no tracked attainer" in extremum-witness aggregates.
 pub const NO_ARG: u32 = u32::MAX;
@@ -148,8 +161,12 @@ pub fn fold_minmax_row(
 ///
 /// The gather is strided, so this stays scalar-width, but the branch-free
 /// select form removes the unpredictable extremum branches and lets the
-/// loads pipeline. Semantics are exactly the sequential scalar scan:
-/// strict compares, first attainer wins ties. Returns
+/// loads pipeline — and because each member's slot sits a full row stride
+/// (`cap · 8` bytes, its own cache line) from the previous one in an order
+/// the hardware prefetcher cannot track, the loop prefetches its own
+/// future slots. The distance covers one slot's load-to-use latency; the
+/// hint never changes results. Semantics are exactly the sequential
+/// scalar scan: strict compares, first attainer wins ties. Returns
 /// `(INFINITY, NEG_INFINITY, NO_ARG, NO_ARG, 0)` on an empty member list.
 #[must_use]
 #[allow(clippy::type_complexity)]
@@ -160,12 +177,16 @@ pub fn scan_gather_column(
     col: usize,
 ) -> (f64, f64, u32, u32, u32) {
     debug_assert!(col < cap);
+    const PREFETCH_AHEAD: usize = 16;
     let mut mn = f64::INFINITY;
     let mut mx = f64::NEG_INFINITY;
     let mut amn = NO_ARG;
     let mut amx = NO_ARG;
     let mut nz = 0u32;
-    for &u in members {
+    for (pos, &u) in members.iter().enumerate() {
+        if let Some(&w) = members.get(pos + PREFETCH_AHEAD) {
+            prefetch_read(acc, w as usize * cap + col);
+        }
         let x = acc[u as usize * cap + col];
         nz += u32::from(x != 0.0);
         let lt = x < mn;
@@ -223,6 +244,248 @@ pub fn scan_gather_columns(
             let gt = x > maxs[s];
             maxs[s] = if gt { x } else { maxs[s] };
             arg_maxs[s] = if gt { u } else { arg_maxs[s] };
+        }
+    }
+}
+
+/// Fold one member's *tiered* accumulator row ([`RowRep`]) into per-color
+/// aggregates over the live `k` columns — the sparse-engine counterpart of
+/// [`fold_minmax_row`].
+///
+/// Sparse rows fold only their nonzero entries (strict compares in call
+/// order, `u` recorded as attainer, nonzero counts bumped); promoted dense
+/// rows delegate to the blocked [`fold_minmax_row`] over their slot array.
+/// Columns a member holds no entry for contribute an implicit `0.0` — the
+/// caller closes the scan with [`fold_zero_tail`] once all members are
+/// folded, which makes the aggregate *values* bit-identical to the dense
+/// fold. Attainers of zero-valued extrema come out as [`NO_ARG`] instead
+/// of a concrete member; the engine treats `NO_ARG` as "rescan to find
+/// out", so this only trades a little laziness, never a value.
+#[allow(clippy::too_many_arguments)]
+pub fn fold_minmax_sparse_row(
+    u: u32,
+    row: &RowRep,
+    k: usize,
+    mins: &mut [f64],
+    maxs: &mut [f64],
+    arg_mins: &mut [u32],
+    arg_maxs: &mut [u32],
+    nzs: &mut [u32],
+) {
+    debug_assert!(
+        mins.len() >= k
+            && maxs.len() >= k
+            && arg_mins.len() >= k
+            && arg_maxs.len() >= k
+            && nzs.len() >= k
+    );
+    match row {
+        RowRep::Sparse(entries) => {
+            for &(c, o) in entries.iter() {
+                let j = c as usize;
+                debug_assert!(j < k, "sparse entry at dead color {c} (k = {k})");
+                nzs[j] += 1;
+                if o < mins[j] {
+                    mins[j] = o;
+                    arg_mins[j] = u;
+                }
+                if o > maxs[j] {
+                    maxs[j] = o;
+                    arg_maxs[j] = u;
+                }
+            }
+        }
+        RowRep::Dense(slots) => {
+            let live = slots.len().min(k);
+            fold_minmax_row(u, &slots[..live], mins, maxs, arg_mins, arg_maxs, nzs);
+        }
+    }
+}
+
+/// Close a sparse member-axis fold: fold one implicit `0.0` (attainer
+/// [`NO_ARG`]) into every column that fewer than `member_count` members
+/// contributed a nonzero value to.
+///
+/// After this, `mins`/`maxs` hold exactly what the dense fold over
+/// explicit-zero rows would — a zero extremum simply carries `NO_ARG`
+/// instead of the first member attaining it (the engine's conservative
+/// "unknown attainer" sentinel, which forces a rescan instead of a wrong
+/// answer). Because the zero fold depends only on `member_count` and the
+/// per-column nonzero counts — not on which worker folded which member —
+/// sharded sparse rebuilds stay deterministic across thread counts.
+pub fn fold_zero_tail(
+    member_count: u32,
+    k: usize,
+    mins: &mut [f64],
+    maxs: &mut [f64],
+    arg_mins: &mut [u32],
+    arg_maxs: &mut [u32],
+    nzs: &[u32],
+) {
+    debug_assert!(
+        mins.len() >= k
+            && maxs.len() >= k
+            && arg_mins.len() >= k
+            && arg_maxs.len() >= k
+            && nzs.len() >= k
+    );
+    for j in 0..k {
+        if nzs[j] < member_count {
+            if 0.0 < mins[j] {
+                mins[j] = 0.0;
+                arg_mins[j] = NO_ARG;
+            }
+            if 0.0 > maxs[j] {
+                maxs[j] = 0.0;
+                arg_maxs[j] = NO_ARG;
+            }
+        }
+    }
+}
+
+/// Prefetch hint for a tiered row's heap payload: the middle of a sparse
+/// row's entry buffer (the binary search's first probe) or a specific
+/// dense slot. Like [`prefetch_read`], never changes results.
+#[inline(always)]
+pub fn prefetch_row_payload(row: &RowRep, col: u32) {
+    match row {
+        RowRep::Sparse(entries) => prefetch_read(entries, entries.len() / 2),
+        RowRep::Dense(slots) => prefetch_read(slots, col as usize),
+    }
+}
+
+/// [`scan_gather_column`] over tiered rows: min/max (first-attainer
+/// witnesses, nonzero count) of `rows[u].get(col)` over the members, in
+/// member order. Every member contributes a value (absent sparse entries
+/// read `0.0`), so values *and* attainers are bit-identical to the dense
+/// strided gather.
+///
+/// Each probe chases two dependent pointers the hardware prefetcher
+/// cannot see coming (the `RowRep` enum, then its heap buffer), so the
+/// loop runs a two-stage software pipeline: the row struct is prefetched
+/// `ROW_AHEAD` members out, and once it has landed its payload buffer
+/// is prefetched `PAYLOAD_AHEAD` members out. Hints only — results are
+/// unchanged.
+#[must_use]
+#[allow(clippy::type_complexity)]
+pub fn scan_gather_column_sparse(
+    members: &[u32],
+    rows: &[RowRep],
+    col: u32,
+) -> (f64, f64, u32, u32, u32) {
+    const ROW_AHEAD: usize = 16;
+    const PAYLOAD_AHEAD: usize = 8;
+    let mut mn = f64::INFINITY;
+    let mut mx = f64::NEG_INFINITY;
+    let mut amn = NO_ARG;
+    let mut amx = NO_ARG;
+    let mut nz = 0u32;
+    for (pos, &u) in members.iter().enumerate() {
+        if let Some(&w) = members.get(pos + ROW_AHEAD) {
+            prefetch_read(rows, w as usize);
+        }
+        if let Some(&w) = members.get(pos + PAYLOAD_AHEAD) {
+            prefetch_row_payload(&rows[w as usize], col);
+        }
+        let x = rows[u as usize].get(col);
+        nz += u32::from(x != 0.0);
+        let lt = x < mn;
+        mn = if lt { x } else { mn };
+        amn = if lt { u } else { amn };
+        let gt = x > mx;
+        mx = if gt { x } else { mx };
+        amx = if gt { u } else { amx };
+    }
+    (mn, mx, amn, amx, nz)
+}
+
+/// [`scan_gather_columns`] over tiered rows: several queued columns of one
+/// member axis folded in a single member pass. Sparse rows merge-join
+/// their sorted entries against the column list (sorted once up front),
+/// `O(nnz + t)` per member; promoted rows probe their slots directly.
+/// Bit-identical per column (values and attainers) to the one-column scan.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_gather_columns_sparse(
+    members: &[u32],
+    rows: &[RowRep],
+    cols: &[u32],
+    mins: &mut [f64],
+    maxs: &mut [f64],
+    arg_mins: &mut [u32],
+    arg_maxs: &mut [u32],
+    nzs: &mut [u32],
+) {
+    let t = cols.len();
+    debug_assert!(
+        mins.len() >= t
+            && maxs.len() >= t
+            && arg_mins.len() >= t
+            && arg_maxs.len() >= t
+            && nzs.len() >= t
+    );
+    mins[..t].fill(f64::INFINITY);
+    maxs[..t].fill(f64::NEG_INFINITY);
+    arg_mins[..t].fill(NO_ARG);
+    arg_maxs[..t].fill(NO_ARG);
+    nzs[..t].fill(0);
+    // (column, output slot), sorted by column for the merge-join.
+    let mut order: Vec<(u32, u32)> = cols
+        .iter()
+        .enumerate()
+        .map(|(s, &j)| (j, s as u32))
+        .collect();
+    order.sort_unstable();
+    // Same two-stage pipeline as `scan_gather_column_sparse` (row struct,
+    // then its heap buffer) — shorter distances, since each member does a
+    // whole merge-join of work. The merge-join consumes the entry buffer
+    // from the front, so the payload hint targets index 0.
+    const ROW_AHEAD: usize = 4;
+    const PAYLOAD_AHEAD: usize = 2;
+    for (pos, &u) in members.iter().enumerate() {
+        if let Some(&w) = members.get(pos + ROW_AHEAD) {
+            prefetch_read(rows, w as usize);
+        }
+        if let Some(&w) = members.get(pos + PAYLOAD_AHEAD) {
+            match &rows[w as usize] {
+                RowRep::Sparse(entries) => prefetch_read(entries, 0),
+                RowRep::Dense(slots) => prefetch_read(slots, 0),
+            }
+        }
+        match &rows[u as usize] {
+            RowRep::Sparse(entries) => {
+                let mut ei = 0usize;
+                for &(c, s) in &order {
+                    while ei < entries.len() && entries[ei].0 < c {
+                        ei += 1;
+                    }
+                    let x = if ei < entries.len() && entries[ei].0 == c {
+                        entries[ei].1
+                    } else {
+                        0.0
+                    };
+                    let s = s as usize;
+                    nzs[s] += u32::from(x != 0.0);
+                    let lt = x < mins[s];
+                    mins[s] = if lt { x } else { mins[s] };
+                    arg_mins[s] = if lt { u } else { arg_mins[s] };
+                    let gt = x > maxs[s];
+                    maxs[s] = if gt { x } else { maxs[s] };
+                    arg_maxs[s] = if gt { u } else { arg_maxs[s] };
+                }
+            }
+            RowRep::Dense(slots) => {
+                for &(c, s) in &order {
+                    let x = slots.get(c as usize).copied().unwrap_or(0.0);
+                    let s = s as usize;
+                    nzs[s] += u32::from(x != 0.0);
+                    let lt = x < mins[s];
+                    mins[s] = if lt { x } else { mins[s] };
+                    arg_mins[s] = if lt { u } else { arg_mins[s] };
+                    let gt = x > maxs[s];
+                    maxs[s] = if gt { x } else { maxs[s] };
+                    arg_maxs[s] = if gt { u } else { arg_maxs[s] };
+                }
+            }
         }
     }
 }

@@ -152,6 +152,42 @@
 //!   engine `O(m)` memory, which keeps near-discrete colorings (`k → n`)
 //!   affordable in both time and space.
 //!
+//! # Storage tiers
+//!
+//! The summary-tracking engine's invariant-1 accumulators themselves come
+//! in two layouts, selected per engine by `RothkoConfig::storage`
+//! ([`crate::storage::StorageMode`]) and resolved once at construction:
+//!
+//! * **Dense** — the historical `n × cap` matrices (`dout`/`din`), 8
+//!   bytes per (node, color) slot. Unbeatable per probe when the matrix
+//!   is cache-resident: a member scan is one strided load per row.
+//! * **Sparse** — per-node tiered rows ([`crate::storage::RowRep`]):
+//!   sorted nonzero `(color, weight)` vectors at 16 bytes per *nonzero*
+//!   entry, with rows that reach half the color capacity promoted to
+//!   plain slot arrays (hot rows keep dense probe cost). All apply paths
+//!   (split/merge/node-churn/edge-batch, serial and sharded), the member
+//!   scans, emission reads and `q_report()` go through
+//!   [`crate::kernels`]' sparse gather variants, which preserve the
+//!   member-order/first-attainer fold contract — so both layouts produce
+//!   bit-identical colorings, witnesses and error bits at every thread
+//!   count (`tests/tests/storage_modes.rs` pins this over mixed traces).
+//!
+//! Measured on the `bench_memory` BA ladder (m = 10, k = 200, engine
+//! resident bytes, avg row ≈ 20 nonzeros ≈ 330 B/node sparse vs 2 KiB
+//! dense):
+//!
+//! | n    | sparse    | dense      | reduction | step+maintain    |
+//! |------|-----------|------------|-----------|------------------|
+//! | 10k  | 5.1 MiB   | 21.6 MiB   | 4.2×      | ~1.6× dense      |
+//! | 100k | 27 MiB    | 199 MiB    | 7.4×      | **0.4× dense**   |
+//! | 1M   | 180 MiB   | 1.93 GiB*  | **11×**   | dense infeasible |
+//!
+//! (*analytic projection, validated within 5% against real dense engines
+//! on the smaller rungs.) The wall-time crossover is why the default
+//! `Auto` mode gates on projected dense footprint: below ~256 MiB the
+//! dense matrix is what caches were built for and `Auto` resolves dense;
+//! past it the sparse tier is both the memory wall's fix *and* faster.
+//!
 //! # Parallel sharded refinement
 //!
 //! Engines built with more than one thread
@@ -253,6 +289,7 @@ use crate::kernels;
 use crate::parallel::{chunk_range, default_threads, SyncSliceMut, ThreadPool};
 use crate::partition::{MergeEvent, Partition, SplitEvent};
 use crate::similarity::Similarity;
+use crate::storage::{ResolvedStorage, RowRep, StorageMode};
 use qsc_graph::delta::{EdgeEvent, NodeRemap};
 use qsc_graph::{Graph, NodeId};
 use std::collections::HashMap;
@@ -852,16 +889,32 @@ pub struct IncrementalDegrees {
     /// Column capacity (stride) of the accumulators and matrices; grows
     /// geometrically as colors are added.
     cap: usize,
-    /// `dout[v * cap + j] = w(v, P_j)` (dense rows; summary mode only).
+    /// `dout[v * cap + j] = w(v, P_j)` (dense rows; dense-storage summary
+    /// mode only — empty when `sparse_accum`).
     dout: Vec<f64>,
-    /// `din[v * cap + j] = w(P_j, v)` (dense rows; summary mode only).
+    /// `din[v * cap + j] = w(P_j, v)` (dense rows; dense-storage summary
+    /// mode only — empty when `sparse_accum`).
     din: Vec<f64>,
-    /// Sparse accumulator rows for the degrees-only mode: per node, the
-    /// non-zero `(color, weight)` pairs sorted by color. `O(deg(v))` per
-    /// node instead of a dense `k`-column row, which keeps near-discrete
-    /// colorings (`k → n`) at `O(m)` memory instead of `O(n·k)`.
-    sparse_out: Vec<Vec<(u32, f64)>>,
-    sparse_in: Vec<Vec<(u32, f64)>>,
+    /// Tiered accumulator rows ([`RowRep`]) — the storage of the
+    /// degrees-only mode *and* of sparse-storage summary engines: per
+    /// node, sorted non-zero `(color, weight)` pairs, with hot rows
+    /// promoted to a dense slot tier (summary mode only; degrees-only
+    /// rows never promote, preserving their `O(deg(v))` bound).
+    /// `O(deg(v))` per node instead of a dense `k`-column row, which
+    /// keeps near-discrete colorings (`k → n`) and large sparse graphs
+    /// at `O(m)` memory instead of `O(n·k)`.
+    sparse_out: Vec<RowRep>,
+    sparse_in: Vec<RowRep>,
+    /// True when the accumulators live in `sparse_out`/`sparse_in`
+    /// (degrees-only engines and sparse-storage summary engines); false
+    /// when they live in the dense `dout`/`din` matrices. Pure storage —
+    /// every maintained *value* is bit-identical between the two.
+    sparse_accum: bool,
+    /// Whether sparse rows may promote to their dense tier (summary-mode
+    /// sparse engines; degrees-only engines never promote). The hint
+    /// passed to [`RowRep::add`] is the live color count `k` when
+    /// enabled, `0` otherwise — see [`Self::promote_k`].
+    promote: bool,
     /// `out_min/out_max[i * cap + j]` over `u ∈ P_i` of `dout[u][j]`.
     out_min: Vec<f64>,
     out_max: Vec<f64>,
@@ -1296,6 +1349,8 @@ impl Clone for IncrementalDegrees {
             din: self.din.clone(),
             sparse_out: self.sparse_out.clone(),
             sparse_in: self.sparse_in.clone(),
+            sparse_accum: self.sparse_accum,
+            promote: self.promote,
             out_min: self.out_min.clone(),
             out_max: self.out_max.clone(),
             in_min: self.in_min.clone(),
@@ -1357,7 +1412,7 @@ impl IncrementalDegrees {
     /// `QSC_THREADS` environment variable (1 when unset); see
     /// [`Self::new_with_threads`] for explicit control.
     pub fn new(g: &Graph, p: &Partition) -> Self {
-        Self::with_mode(g, p, true, default_threads())
+        Self::with_mode(g, p, true, default_threads(), ResolvedStorage::Dense)
     }
 
     /// Build the full engine with an explicit worker count for the sharded
@@ -1365,7 +1420,31 @@ impl IncrementalDegrees {
     /// are bit-identical for every thread count — the shards reduce with
     /// exact min/max/or merges (see the module docs).
     pub fn new_with_threads(g: &Graph, p: &Partition, threads: usize) -> Self {
-        Self::with_mode(g, p, true, threads)
+        Self::with_mode(g, p, true, threads, ResolvedStorage::Dense)
+    }
+
+    /// Build the full engine with an explicit accumulator [`StorageMode`]
+    /// (the `RothkoConfig::storage` knob). `Auto` resolves here, from the
+    /// graph's size and density and `color_hint` — the color budget the
+    /// refinement is expected to reach (the engine pre-reserves capacity
+    /// for it, so the projected dense footprint is computed against the
+    /// same capacity a dense engine would actually allocate). All storage
+    /// modes maintain bit-identical state — sparse storage trades access
+    /// constants for `O(n + m)` instead of `O(n·k)` accumulator memory
+    /// (see the "Tiered accumulator storage" module notes).
+    pub fn new_with_storage(
+        g: &Graph,
+        p: &Partition,
+        threads: usize,
+        storage: StorageMode,
+        color_hint: usize,
+    ) -> Self {
+        let n = g.num_nodes();
+        let k = p.num_colors();
+        let hint_cap = color_hint.clamp(k, n.max(1)).next_power_of_two().max(4);
+        let dirs = if g.is_directed() { 2 } else { 1 };
+        let resolved = storage.resolve(n, g.num_arcs(), hint_cap, dirs);
+        Self::with_mode(g, p, true, threads, resolved)
     }
 
     /// Build a degrees-only engine: per-node *sparse* accumulator rows
@@ -1375,17 +1454,28 @@ impl IncrementalDegrees {
     /// accumulator values and never ask for errors, so near-discrete
     /// colorings (`k → n`) stay affordable in both time and memory.
     pub fn new_degrees_only(g: &Graph, p: &Partition) -> Self {
-        Self::with_mode(g, p, false, 1)
+        Self::with_mode(g, p, false, 1, ResolvedStorage::Sparse)
     }
 
-    fn with_mode(g: &Graph, p: &Partition, track_summaries: bool, threads: usize) -> Self {
+    fn with_mode(
+        g: &Graph,
+        p: &Partition,
+        track_summaries: bool,
+        threads: usize,
+        storage: ResolvedStorage,
+    ) -> Self {
         let n = g.num_nodes();
         assert_eq!(p.num_nodes(), n, "partition does not match graph");
         let symmetric = !g.is_directed();
         let k = p.num_colors();
         let cap = k.next_power_of_two().max(4);
+        let sparse_accum = !track_summaries || storage == ResolvedStorage::Sparse;
         let mat_cap = if track_summaries { cap } else { 0 };
-        let dense_cap = if track_summaries { cap } else { 0 };
+        let dense_cap = if track_summaries && !sparse_accum {
+            cap
+        } else {
+            0
+        };
         let in_cap = if symmetric { 0 } else { dense_cap };
         let in_mat_cap = if symmetric { 0 } else { mat_cap };
         let threads = threads.max(1);
@@ -1397,6 +1487,8 @@ impl IncrementalDegrees {
             din: vec![0.0; n * in_cap],
             sparse_out: Vec::new(),
             sparse_in: Vec::new(),
+            sparse_accum,
+            promote: track_summaries && sparse_accum,
             out_min: vec![0.0; mat_cap * mat_cap],
             out_max: vec![0.0; mat_cap * mat_cap],
             in_min: vec![0.0; in_mat_cap * in_mat_cap],
@@ -1450,7 +1542,22 @@ impl IncrementalDegrees {
             merge_scratch_in: Vec::new(),
         };
 
-        if track_summaries {
+        if sparse_accum {
+            // Tiered accumulator rows: per node, sum the arc weights by
+            // color in arc order (a stable sort preserves that order within
+            // a color, so the sums are bit-identical to the dense
+            // accumulation) and keep the non-zero pairs; summary engines
+            // promote rows that already meet the density bar.
+            let promote_k = if engine.promote { k } else { 0 };
+            engine.sparse_out = (0..n as NodeId)
+                .map(|v| RowRep::from_sorted(sparse_row_from_arcs(g.out_arcs(v), p), promote_k))
+                .collect();
+            if !symmetric {
+                engine.sparse_in = (0..n as NodeId)
+                    .map(|v| RowRep::from_sorted(sparse_row_from_arcs(g.in_arcs(v), p), promote_k))
+                    .collect();
+            }
+        } else {
             // Dense accumulators: one sweep over each adjacency direction.
             let (offs, tgts, wts) = g.out_adjacency();
             for v in 0..n {
@@ -1468,25 +1575,120 @@ impl IncrementalDegrees {
                     }
                 }
             }
+        }
+        if track_summaries {
             // Pair summaries: scan each color's members once.
             for s in 0..k {
                 engine.recompute_color_axis(p, s);
             }
-        } else {
-            // Sparse accumulator rows: per node, sum the arc weights by
-            // color in arc order (a stable sort preserves that order within
-            // a color, so the sums are bit-identical to the dense
-            // accumulation) and keep the non-zero pairs.
-            engine.sparse_out = (0..n as NodeId)
-                .map(|v| sparse_row_from_arcs(g.out_arcs(v), p))
-                .collect();
-            if !symmetric {
-                engine.sparse_in = (0..n as NodeId)
-                    .map(|v| sparse_row_from_arcs(g.in_arcs(v), p))
-                    .collect();
-            }
         }
         engine
+    }
+
+    /// Promotion hint for [`RowRep::add`]: the live color count when
+    /// tiering is active, `0` (never promote) otherwise.
+    #[inline]
+    fn promote_k(&self) -> usize {
+        if self.promote {
+            self.k
+        } else {
+            0
+        }
+    }
+
+    /// Add `delta` to the maintained accumulator value, returning
+    /// `(old, new)` — the one write primitive shared by every event path,
+    /// identical arithmetic in both storage tiers.
+    #[inline]
+    fn accum_add(&mut self, outgoing: bool, v: NodeId, col: usize, delta: f64) -> (f64, f64) {
+        if self.sparse_accum {
+            let promote_k = self.promote_k();
+            let rows = if outgoing || self.symmetric {
+                &mut self.sparse_out
+            } else {
+                &mut self.sparse_in
+            };
+            rows[v as usize].add(col as u32, delta, promote_k)
+        } else {
+            let acc = if outgoing || self.symmetric {
+                &mut self.dout
+            } else {
+                &mut self.din
+            };
+            let slot = &mut acc[v as usize * self.cap + col];
+            let old = *slot;
+            let new = old + delta;
+            *slot = new;
+            (old, new)
+        }
+    }
+
+    /// Heap bytes resident in the engine's long-lived state: accumulators
+    /// (dense matrices or tiered rows), pair summaries, witness caches and
+    /// the per-node scratch. Reusable per-event scratch lists are included
+    /// too — they are part of what the process actually keeps resident.
+    /// This is the number `bench_memory` reports per storage mode.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let rows = |v: &Vec<RowRep>| {
+            v.capacity() * size_of::<RowRep>() + v.iter().map(RowRep::heap_bytes).sum::<usize>()
+        };
+        let mut bytes = self.dout.capacity() * 8 + self.din.capacity() * 8;
+        bytes += rows(&self.sparse_out) + rows(&self.sparse_in);
+        bytes += (self.out_min.capacity()
+            + self.out_max.capacity()
+            + self.in_min.capacity()
+            + self.in_max.capacity())
+            * 8;
+        bytes += (self.out_min_arg.capacity()
+            + self.out_max_arg.capacity()
+            + self.in_min_arg.capacity()
+            + self.in_max_arg.capacity()
+            + self.out_nz.capacity()
+            + self.in_nz.capacity())
+            * 4;
+        bytes += self.row_max_err.capacity() * 8
+            + self.row_best.capacity() * size_of::<Option<RowBest>>()
+            + self.row_err_dirty.capacity()
+            + self.row_best_dirty.capacity();
+        bytes += self.node_stamp.capacity() * 4
+            + self.node_delta.capacity() * 8
+            + self.node_mark.capacity() * 8;
+        bytes += self.touched_nodes.capacity() * 4 + self.touched_deltas.capacity() * 8;
+        bytes += self.color_slot.capacity() * 4
+            + self.touched_colors.capacity() * size_of::<TouchedColor>();
+        bytes += self.row_scratch.capacity() * 8
+            + self.row_arg_scratch.capacity() * 4
+            + self.row_nz_scratch.capacity() * 4;
+        bytes
+    }
+
+    /// What [`Self::resident_bytes`] would report with a *dense*
+    /// accumulator tier at the current `n × cap` shape: the measured
+    /// resident bytes with the accumulator tier swapped for `n · cap`
+    /// `f64` slots per tracked direction. For a dense engine this is the
+    /// measurement itself (within allocator slack); for a sparse engine it
+    /// is the analytic dense projection `bench_memory` compares against at
+    /// scales where a dense engine is deliberately never built.
+    #[must_use]
+    pub fn projected_dense_resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let rows = |v: &Vec<RowRep>| {
+            v.capacity() * size_of::<RowRep>() + v.iter().map(RowRep::heap_bytes).sum::<usize>()
+        };
+        let accum_now = self.dout.capacity() * 8
+            + self.din.capacity() * 8
+            + rows(&self.sparse_out)
+            + rows(&self.sparse_in);
+        let dirs = if self.symmetric { 1 } else { 2 };
+        let dense_accum = if self.track_summaries {
+            self.n * self.cap * 8 * dirs
+        } else {
+            // Degrees-only engines never hold dense accumulators.
+            accum_now
+        };
+        self.resident_bytes() - accum_now + dense_accum
     }
 
     /// Number of colors currently tracked.
@@ -1532,8 +1734,8 @@ impl IncrementalDegrees {
     /// The maintained `w(v, P_j)` accumulator.
     #[inline]
     pub fn out_degree_of(&self, v: NodeId, color: u32) -> f64 {
-        if !self.track_summaries {
-            return sparse_get(&self.sparse_out[v as usize], color);
+        if self.sparse_accum {
+            return self.sparse_out[v as usize].get(color);
         }
         self.dout[v as usize * self.cap + color as usize]
     }
@@ -1544,36 +1746,36 @@ impl IncrementalDegrees {
         if self.symmetric {
             return self.out_degree_of(v, color);
         }
-        if !self.track_summaries {
-            return sparse_get(&self.sparse_in[v as usize], color);
+        if self.sparse_accum {
+            return self.sparse_in[v as usize].get(color);
         }
         self.din[v as usize * self.cap + color as usize]
     }
 
-    /// The full out-degree accumulator row of `v` (length `k`). Dense rows
-    /// exist only in summary-tracking engines; degrees-only engines keep
-    /// sparse rows and panic here — read per-color values through
-    /// [`Self::out_degree_of`] instead.
+    /// The full out-degree accumulator row of `v` (length `k`). Contiguous
+    /// rows exist only in dense-storage summary engines; sparse-storage and
+    /// degrees-only engines keep tiered rows and panic here — read
+    /// per-color values through [`Self::out_degree_of`] instead.
     #[inline]
     pub fn out_row(&self, v: NodeId) -> &[f64] {
         assert!(
-            self.track_summaries,
-            "degrees-only engines keep sparse rows; use out_degree_of"
+            !self.sparse_accum,
+            "sparse-storage engines keep tiered rows; use out_degree_of"
         );
         let base = v as usize * self.cap;
         &self.dout[base..base + self.k]
     }
 
     /// The full in-degree accumulator row of `v` (length `k`); see
-    /// [`Self::out_row`] for the degrees-only caveat.
+    /// [`Self::out_row`] for the sparse-storage caveat.
     #[inline]
     pub fn in_row(&self, v: NodeId) -> &[f64] {
         if self.symmetric {
             return self.out_row(v);
         }
         assert!(
-            self.track_summaries,
-            "degrees-only engines keep sparse rows; use in_degree_of"
+            !self.sparse_accum,
+            "sparse-storage engines keep tiered rows; use in_degree_of"
         );
         let base = v as usize * self.cap;
         &self.din[base..base + self.k]
@@ -1790,8 +1992,8 @@ impl IncrementalDegrees {
                 } else {
                     &mut self.sparse_in[u as usize]
                 };
-                sparse_add(row, c, -d);
-                sparse_add(row, child, d);
+                row.add(c, -d, 0);
+                row.add(child, d, 0);
             }
             self.touched_nodes = touched;
             self.touched_deltas = deltas;
@@ -1821,13 +2023,13 @@ impl IncrementalDegrees {
             for ev in events {
                 let cu = p.color_of(ev.source);
                 let cv = p.color_of(ev.target);
-                sparse_add(&mut self.sparse_out[ev.source as usize], cv, ev.delta);
+                self.sparse_out[ev.source as usize].add(cv, ev.delta, 0);
                 if self.symmetric {
                     if ev.source != ev.target {
-                        sparse_add(&mut self.sparse_out[ev.target as usize], cu, ev.delta);
+                        self.sparse_out[ev.target as usize].add(cu, ev.delta, 0);
                     }
                 } else {
-                    sparse_add(&mut self.sparse_in[ev.target as usize], cu, ev.delta);
+                    self.sparse_in[ev.target as usize].add(cu, ev.delta, 0);
                 }
             }
             return;
@@ -1910,18 +2112,7 @@ impl IncrementalDegrees {
         delta: f64,
     ) {
         let cap = self.cap;
-        let acc_idx = u as usize * cap + other_color as usize;
-        let (old, new) = {
-            let acc = if outgoing {
-                &mut self.dout
-            } else {
-                &mut self.din
-            };
-            let old = acc[acc_idx];
-            let new = old + delta;
-            acc[acc_idx] = new;
-            (old, new)
-        };
+        let (old, new) = self.accum_add(outgoing, u, other_color as usize, delta);
         let (entry_row, entry_col) = if outgoing {
             (member_color, other_color)
         } else {
@@ -2233,7 +2424,24 @@ impl IncrementalDegrees {
                 &mut self.merge_scratch_in
             });
             capture.clear();
-            {
+            if self.sparse_accum {
+                let promote_k = self.promote_k();
+                let rows = if outgoing {
+                    &mut self.sparse_out
+                } else {
+                    &mut self.sparse_in
+                };
+                for &u in &touched {
+                    let row = &mut rows[u as usize];
+                    let lost = row.get(loser as u32);
+                    if lost == 0.0 {
+                        continue;
+                    }
+                    row.add(loser as u32, -lost, promote_k);
+                    let (old, new) = row.add(winner as u32, lost, promote_k);
+                    capture.push((u, old, new));
+                }
+            } else {
                 let acc = if outgoing {
                     &mut self.dout
                 } else {
@@ -2351,10 +2559,10 @@ impl IncrementalDegrees {
                 } else {
                     &mut self.sparse_in[u as usize]
                 };
-                let lost = sparse_get(row, loser);
+                let lost = row.get(loser);
                 if lost != 0.0 {
-                    sparse_add(row, loser, -lost);
-                    sparse_add(row, winner, lost);
+                    row.add(loser, -lost, 0);
+                    row.add(winner, lost, 0);
                 }
             }
             self.touched_nodes = touched;
@@ -2369,11 +2577,7 @@ impl IncrementalDegrees {
                     } else {
                         &mut self.sparse_in[u as usize]
                     };
-                    let w = sparse_get(row, last);
-                    if w != 0.0 {
-                        sparse_add(row, last, -w);
-                        sparse_add(row, loser, w);
-                    }
+                    row.relabel(last, loser);
                 }
                 self.touched_nodes = touched;
             }
@@ -2400,15 +2604,26 @@ impl IncrementalDegrees {
         for &outgoing in directions {
             self.collect_touched(g, p.members(loser as u32), outgoing);
             let touched = std::mem::take(&mut self.touched_nodes);
-            let acc = if outgoing {
-                &mut self.dout
+            if self.sparse_accum {
+                let rows = if outgoing {
+                    &mut self.sparse_out
+                } else {
+                    &mut self.sparse_in
+                };
+                for &u in &touched {
+                    rows[u as usize].relabel(last as u32, loser as u32);
+                }
             } else {
-                &mut self.din
-            };
-            for &u in &touched {
-                let base = u as usize * cap;
-                acc[base + loser] = acc[base + last];
-                acc[base + last] = 0.0;
+                let acc = if outgoing {
+                    &mut self.dout
+                } else {
+                    &mut self.din
+                };
+                for &u in &touched {
+                    let base = u as usize * cap;
+                    acc[base + loser] = acc[base + last];
+                    acc[base + last] = 0.0;
+                }
             }
             self.touched_nodes = touched;
         }
@@ -2543,16 +2758,16 @@ impl IncrementalDegrees {
         );
         assert_eq!(p.num_colors(), self.k, "inserts cannot change colors");
         let n_new = self.n + colors.len();
-        if self.track_summaries {
+        if self.sparse_accum {
+            self.sparse_out.resize(n_new, RowRep::new());
+            if !self.symmetric {
+                self.sparse_in.resize(n_new, RowRep::new());
+            }
+        } else {
             let cap = self.cap;
             self.dout.resize(n_new * cap, 0.0);
             if !self.symmetric {
                 self.din.resize(n_new * cap, 0.0);
-            }
-        } else {
-            self.sparse_out.resize(n_new, Vec::new());
-            if !self.symmetric {
-                self.sparse_in.resize(n_new, Vec::new());
             }
         }
         self.node_stamp.resize(n_new, 0);
@@ -2633,7 +2848,27 @@ impl IncrementalDegrees {
         let n_old = self.n;
         let n_new = remap.new_len();
         let cap = self.cap;
-        if self.track_summaries {
+        if self.sparse_accum {
+            #[cfg(debug_assertions)]
+            for v in 0..n_old as NodeId {
+                if remap.is_removed(v) {
+                    debug_assert!(
+                        self.sparse_out[v as usize].is_all_zero(),
+                        "removed node {v} still has out-weight"
+                    );
+                    if !self.symmetric {
+                        debug_assert!(
+                            self.sparse_in[v as usize].is_all_zero(),
+                            "removed node {v} still has in-weight"
+                        );
+                    }
+                }
+            }
+            compact_sparse_rows(&mut self.sparse_out, remap);
+            if !self.symmetric {
+                compact_sparse_rows(&mut self.sparse_in, remap);
+            }
+        } else {
             #[cfg(debug_assertions)]
             for v in 0..n_old as NodeId {
                 if remap.is_removed(v) {
@@ -2653,11 +2888,6 @@ impl IncrementalDegrees {
             compact_rows(&mut self.dout, n_old, cap, remap);
             if !self.symmetric {
                 compact_rows(&mut self.din, n_old, cap, remap);
-            }
-        } else {
-            compact_sparse_rows(&mut self.sparse_out, remap);
-            if !self.symmetric {
-                compact_sparse_rows(&mut self.sparse_in, remap);
             }
         }
         self.node_stamp.clear();
@@ -2776,12 +3006,31 @@ impl IncrementalDegrees {
             // results.
             const PREFETCH_AHEAD: usize = 16;
             let colors = p.assignment();
+            let promote_k = self.promote_k();
             for (pos, (&u, &d)) in touched.iter().zip(deltas.iter()).enumerate() {
                 if let Some(&w) = touched.get(pos + PREFETCH_AHEAD) {
                     kernels::prefetch_read(colors, w as usize);
                 }
                 let base = u as usize * cap;
-                let (old, new, child_val) = {
+                let (old, new, child_val) = if self.sparse_accum {
+                    let rows = if outgoing {
+                        &mut self.sparse_out
+                    } else {
+                        &mut self.sparse_in
+                    };
+                    // Same two-stage pipeline as the sparse gather
+                    // kernels: the row struct well ahead, its heap
+                    // payload closer in (hints only — results are
+                    // unaffected).
+                    if let Some(&w) = touched.get(pos + PREFETCH_AHEAD) {
+                        kernels::prefetch_read(rows.as_slice(), w as usize);
+                    }
+                    if let Some(&w) = touched.get(pos + PREFETCH_AHEAD / 2) {
+                        kernels::prefetch_row_payload(&rows[w as usize], c as u32);
+                    }
+                    let row = &mut rows[u as usize];
+                    row.split_shift(c as u32, child as u32, d, promote_k)
+                } else {
                     let acc = if outgoing {
                         &mut self.dout
                     } else {
@@ -2942,7 +3191,52 @@ impl IncrementalDegrees {
             }
             s.records.clear();
         }
-        {
+        if self.sparse_accum {
+            let promote_k = self.promote_k();
+            let (rows, emin, emax, amin, amax) = if outgoing {
+                (
+                    &mut self.sparse_out,
+                    &self.out_min,
+                    &self.out_max,
+                    &self.out_min_arg,
+                    &self.out_max_arg,
+                )
+            } else {
+                (
+                    &mut self.sparse_in,
+                    &self.in_min,
+                    &self.in_max,
+                    &self.in_min_arg,
+                    &self.in_max_arg,
+                )
+            };
+            let rows = SyncSliceMut::new(rows);
+            let scratch = SyncSliceMut::new(&mut self.shard_scratch);
+            pool.run(|slot| {
+                let (lo, hi) = chunk_range(touched.len(), shards, slot);
+                // SAFETY: each slot touches only its own scratch entry.
+                let shard = unsafe { scratch.get_mut(slot) };
+                for (&u, &d) in touched[lo..hi].iter().zip(&deltas[lo..hi]) {
+                    // SAFETY: every touched node appears exactly once
+                    // across all chunks, so each tiered row is mutated by
+                    // exactly one worker — and its mutation order within
+                    // the chunk equals the serial order, so promotion
+                    // decisions are thread-count independent too.
+                    let row = unsafe { rows.get_mut(u as usize) };
+                    let (old, new, child_val) =
+                        row.split_shift(c as u32, child as u32, d, promote_k);
+                    let i = p.color_of(u) as usize;
+                    if i == c || i == child {
+                        continue;
+                    }
+                    let idx = if outgoing { i * cap + c } else { c * cap + i };
+                    shard.fold(
+                        i as u32, u, old, new, child_val, emin[idx], emax[idx], amin[idx],
+                        amax[idx],
+                    );
+                }
+            });
+        } else {
             let (acc, emin, emax, amin, amax) = if outgoing {
                 (
                     &mut self.dout,
@@ -3387,26 +3681,16 @@ impl IncrementalDegrees {
                         }
                     }
                     // Tracked extremum witnesses, when known, must attain
-                    // their entry's value and belong to the member axis.
-                    for (name, arg, val, member_color, acc) in [
-                        (
-                            "out_min_arg",
-                            self.out_min_arg[idx],
-                            self.out_min[idx],
-                            i,
-                            &self.dout,
-                        ),
-                        (
-                            "out_max_arg",
-                            self.out_max_arg[idx],
-                            self.out_max[idx],
-                            i,
-                            &self.dout,
-                        ),
+                    // their entry's value and belong to the member axis
+                    // (read through the storage-routed accessors, so the
+                    // check covers both dense matrices and tiered rows).
+                    for (name, arg, val) in [
+                        ("out_min_arg", self.out_min_arg[idx], self.out_min[idx]),
+                        ("out_max_arg", self.out_max_arg[idx], self.out_max[idx]),
                     ] {
                         if arg != NO_ARG {
-                            let attained = acc[arg as usize * self.cap + j];
-                            if p.color_of(arg) as usize != member_color || attained != val {
+                            let attained = self.out_degree_of(arg, j as u32);
+                            if p.color_of(arg) as usize != i || attained != val {
                                 return Err(format!(
                                     "{name}[{i}][{j}]: witness {arg} (color {}, value {attained}) does not attain {val}",
                                     p.color_of(arg)
@@ -3420,7 +3704,7 @@ impl IncrementalDegrees {
                             ("in_max_arg", self.in_max_arg[idx], self.in_max[idx]),
                         ] {
                             if arg != NO_ARG {
-                                let attained = self.din[arg as usize * self.cap + i];
+                                let attained = self.in_degree_of(arg, i as u32);
                                 if p.color_of(arg) as usize != j || attained != val {
                                     return Err(format!(
                                         "{name}[{i}][{j}]: witness {arg} (color {}, value {attained}) does not attain {val}",
@@ -3443,9 +3727,8 @@ impl IncrementalDegrees {
             for i in 0..self.k {
                 let mut counts = vec![0u32; self.k];
                 for &u in p.members(i as u32) {
-                    let base = u as usize * self.cap;
                     for (j, count) in counts.iter_mut().enumerate() {
-                        *count += u32::from(self.dout[base + j] != 0.0);
+                        *count += u32::from(self.out_degree_of(u, j as u32) != 0.0);
                     }
                 }
                 for (j, &count) in counts.iter().enumerate() {
@@ -3462,9 +3745,8 @@ impl IncrementalDegrees {
                 for j in 0..self.k {
                     let mut counts = vec![0u32; self.k];
                     for &v in p.members(j as u32) {
-                        let base = v as usize * self.cap;
                         for (i, count) in counts.iter_mut().enumerate() {
-                            *count += u32::from(self.din[base + i] != 0.0);
+                            *count += u32::from(self.in_degree_of(v, i as u32) != 0.0);
                         }
                     }
                     for (i, &count) in counts.iter().enumerate() {
@@ -3555,20 +3837,52 @@ impl IncrementalDegrees {
         // One member loop for both modes: the dense out scan and (directed
         // only) the in scan route through the same vectorized row kernel —
         // exactly the scalar member-order scan, bit for bit (see
-        // `kernels::fold_minmax_row`).
-        for &u in p.members(s as u32) {
-            let base = u as usize * cap;
-            kernels::fold_minmax_row(u, &self.dout[base..base + k], omin, omax, aomin, aomax, onz);
+        // `kernels::fold_minmax_row`). Sparse-storage engines fold only the
+        // stored (nonzero) entries per member and account for the implicit
+        // zeros afterwards with one `fold_zero_tail` pass: any column some
+        // member misses folds a 0.0 with the `NO_ARG` witness. The min/max
+        // *values* equal the dense scan's exactly; only the zero-extremum
+        // attainers differ (NO_ARG instead of the first zero-valued member),
+        // which is unobservable — attainers gate rescans, never values, and
+        // NO_ARG forces the conservative rescan.
+        if self.sparse_accum {
+            let members = p.members(s as u32);
+            for &u in members {
+                let row = &self.sparse_out[u as usize];
+                kernels::fold_minmax_sparse_row(u, row, k, omin, omax, aomin, aomax, onz);
+                if !self.symmetric {
+                    let row = &self.sparse_in[u as usize];
+                    kernels::fold_minmax_sparse_row(u, row, k, imin, imax, aimin, aimax, inz);
+                }
+            }
+            let count = members.len() as u32;
+            kernels::fold_zero_tail(count, k, omin, omax, aomin, aomax, onz);
             if !self.symmetric {
+                kernels::fold_zero_tail(count, k, imin, imax, aimin, aimax, inz);
+            }
+        } else {
+            for &u in p.members(s as u32) {
+                let base = u as usize * cap;
                 kernels::fold_minmax_row(
                     u,
-                    &self.din[base..base + k],
-                    imin,
-                    imax,
-                    aimin,
-                    aimax,
-                    inz,
+                    &self.dout[base..base + k],
+                    omin,
+                    omax,
+                    aomin,
+                    aomax,
+                    onz,
                 );
+                if !self.symmetric {
+                    kernels::fold_minmax_row(
+                        u,
+                        &self.din[base..base + k],
+                        imin,
+                        imax,
+                        aimin,
+                        aimax,
+                        inz,
+                    );
+                }
             }
         }
         for j in 0..k {
@@ -3611,6 +3925,9 @@ impl IncrementalDegrees {
         {
             let dout = &self.dout;
             let din = &self.din;
+            let sparse_out = &self.sparse_out;
+            let sparse_in = &self.sparse_in;
+            let sparse_accum = self.sparse_accum;
             let scratch = SyncSliceMut::new(&mut self.shard_scratch);
             pool.run(|slot| {
                 let (lo, hi) = chunk_range(members.len(), shards, slot);
@@ -3637,27 +3954,52 @@ impl IncrementalDegrees {
                 }
                 // Same row kernel as the serial scan — the shard's partial
                 // aggregates are the serial member-order scan of its chunk.
-                for &u in &members[lo..hi] {
-                    let base = u as usize * cap;
-                    kernels::fold_minmax_row(
-                        u,
-                        &dout[base..base + k],
-                        omin,
-                        omax,
-                        aomin,
-                        aomax,
-                        onz,
-                    );
+                // Sparse storage folds the stored entries per member and
+                // closes each chunk with a zero tail over the chunk's own
+                // member count: a column some chunk member misses folds a
+                // 0.0/NO_ARG into that shard's partial, so the shard-order
+                // merge below reproduces the serial sparse scan's *values*
+                // exactly (zero-extremum attainers may stay NO_ARG — the
+                // usual conservative-rescan sentinel).
+                if sparse_accum {
+                    for &u in &members[lo..hi] {
+                        let row = &sparse_out[u as usize];
+                        kernels::fold_minmax_sparse_row(u, row, k, omin, omax, aomin, aomax, onz);
+                        if !symmetric {
+                            let row = &sparse_in[u as usize];
+                            kernels::fold_minmax_sparse_row(
+                                u, row, k, imin, imax, aimin, aimax, inz,
+                            );
+                        }
+                    }
+                    let count = (hi - lo) as u32;
+                    kernels::fold_zero_tail(count, k, omin, omax, aomin, aomax, onz);
                     if !symmetric {
+                        kernels::fold_zero_tail(count, k, imin, imax, aimin, aimax, inz);
+                    }
+                } else {
+                    for &u in &members[lo..hi] {
+                        let base = u as usize * cap;
                         kernels::fold_minmax_row(
                             u,
-                            &din[base..base + k],
-                            imin,
-                            imax,
-                            aimin,
-                            aimax,
-                            inz,
+                            &dout[base..base + k],
+                            omin,
+                            omax,
+                            aomin,
+                            aomax,
+                            onz,
                         );
+                        if !symmetric {
+                            kernels::fold_minmax_row(
+                                u,
+                                &din[base..base + k],
+                                imin,
+                                imax,
+                                aimin,
+                                aimax,
+                                inz,
+                            );
+                        }
                     }
                 }
             });
@@ -3967,11 +4309,35 @@ impl IncrementalDegrees {
         }
     }
 
+    /// One-entry column scan routed by storage: the dense strided gather or
+    /// the tiered-row probe fold — same member order, same strict compares,
+    /// same first-attainer rule, so values *and* witnesses agree between the
+    /// two (an absent sparse entry reads the same `+0.0` the dense row
+    /// stores).
+    fn scan_col(
+        &self,
+        outgoing: bool,
+        members: &[NodeId],
+        col: usize,
+    ) -> (f64, f64, u32, u32, u32) {
+        if self.sparse_accum {
+            let rows = if outgoing || self.symmetric {
+                &self.sparse_out
+            } else {
+                &self.sparse_in
+            };
+            kernels::scan_gather_column_sparse(members, rows, col as u32)
+        } else {
+            let acc = if outgoing { &self.dout } else { &self.din };
+            scan_entry_column(members, acc, self.cap, col)
+        }
+    }
+
     /// Recompute out-entry `(i, j)` from `P_i`'s members (values and
     /// extremum witnesses; first attainer in member order wins ties).
     fn rescan_out_entry(&mut self, p: &Partition, i: usize, j: usize) {
         let cap = self.cap;
-        let (mn, mx, amn, amx, nz) = scan_entry_column(p.members(i as u32), &self.dout, cap, j);
+        let (mn, mx, amn, amx, nz) = self.scan_col(true, p.members(i as u32), j);
         self.out_min[i * cap + j] = mn;
         self.out_max[i * cap + j] = mx;
         self.out_min_arg[i * cap + j] = amn;
@@ -3982,7 +4348,7 @@ impl IncrementalDegrees {
     /// Recompute in-entry `(i, j)` from `P_j`'s members.
     fn rescan_in_entry(&mut self, p: &Partition, i: usize, j: usize) {
         let cap = self.cap;
-        let (mn, mx, amn, amx, nz) = scan_entry_column(p.members(j as u32), &self.din, cap, i);
+        let (mn, mx, amn, amx, nz) = self.scan_col(false, p.members(j as u32), i);
         self.in_min[i * cap + j] = mn;
         self.in_max[i * cap + j] = mx;
         self.in_min_arg[i * cap + j] = amn;
@@ -4014,6 +4380,8 @@ impl IncrementalDegrees {
         let pool = self.pool.clone().expect("checked above");
         let shards = pool.slots();
         let dout = &self.dout;
+        let sparse_out = &self.sparse_out;
+        let sparse_accum = self.sparse_accum;
         let emin = SyncSliceMut::new(&mut self.out_min);
         let emax = SyncSliceMut::new(&mut self.out_max);
         let amin = SyncSliceMut::new(&mut self.out_min_arg);
@@ -4022,7 +4390,11 @@ impl IncrementalDegrees {
         pool.run(|slot| {
             let (lo, hi) = chunk_range(entries.len(), shards, slot);
             for &(i, j) in &entries[lo..hi] {
-                let (mn, mx, an, ax, nz) = scan_entry_column(p.members(i), dout, cap, j as usize);
+                let (mn, mx, an, ax, nz) = if sparse_accum {
+                    kernels::scan_gather_column_sparse(p.members(i), sparse_out, j)
+                } else {
+                    scan_entry_column(p.members(i), dout, cap, j as usize)
+                };
                 let idx = i as usize * cap + j as usize;
                 // SAFETY: the entry list is duplicate-free and chunks are
                 // disjoint, so each index is written by one worker.
@@ -4058,6 +4430,8 @@ impl IncrementalDegrees {
         let pool = self.pool.clone().expect("checked above");
         let shards = pool.slots();
         let din = &self.din;
+        let sparse_in = &self.sparse_in;
+        let sparse_accum = self.sparse_accum;
         let emin = SyncSliceMut::new(&mut self.in_min);
         let emax = SyncSliceMut::new(&mut self.in_max);
         let amin = SyncSliceMut::new(&mut self.in_min_arg);
@@ -4066,7 +4440,11 @@ impl IncrementalDegrees {
         pool.run(|slot| {
             let (lo, hi) = chunk_range(entries.len(), shards, slot);
             for &(i, j) in &entries[lo..hi] {
-                let (mn, mx, an, ax, nz) = scan_entry_column(p.members(j), din, cap, i as usize);
+                let (mn, mx, an, ax, nz) = if sparse_accum {
+                    kernels::scan_gather_column_sparse(p.members(j), sparse_in, i)
+                } else {
+                    scan_entry_column(p.members(j), din, cap, i as usize)
+                };
                 let idx = i as usize * cap + j as usize;
                 // SAFETY: disjoint duplicate-free chunks (see
                 // rescan_out_entries).
@@ -4094,17 +4472,30 @@ impl IncrementalDegrees {
         {
             let (mn, mx) = self.row_scratch.split_at_mut(cap);
             let (amn, amx) = self.row_arg_scratch.split_at_mut(cap);
-            kernels::scan_gather_columns(
-                p.members(i),
-                &self.dout,
-                cap,
-                &cols,
-                mn,
-                &mut mx[..cap],
-                amn,
-                &mut amx[..cap],
-                &mut self.row_nz_scratch[..cap],
-            );
+            if self.sparse_accum {
+                kernels::scan_gather_columns_sparse(
+                    p.members(i),
+                    &self.sparse_out,
+                    &cols,
+                    mn,
+                    &mut mx[..cap],
+                    amn,
+                    &mut amx[..cap],
+                    &mut self.row_nz_scratch[..cap],
+                );
+            } else {
+                kernels::scan_gather_columns(
+                    p.members(i),
+                    &self.dout,
+                    cap,
+                    &cols,
+                    mn,
+                    &mut mx[..cap],
+                    amn,
+                    &mut amx[..cap],
+                    &mut self.row_nz_scratch[..cap],
+                );
+            }
         }
         // Scratch layout after the scan: mins at [s], maxs at [cap + s]
         // (arg slices likewise), counts at [s].
@@ -4129,17 +4520,30 @@ impl IncrementalDegrees {
         {
             let (mn, mx) = self.row_scratch.split_at_mut(cap);
             let (amn, amx) = self.row_arg_scratch.split_at_mut(cap);
-            kernels::scan_gather_columns(
-                p.members(j),
-                &self.din,
-                cap,
-                &cols,
-                mn,
-                &mut mx[..cap],
-                amn,
-                &mut amx[..cap],
-                &mut self.row_nz_scratch[..cap],
-            );
+            if self.sparse_accum {
+                kernels::scan_gather_columns_sparse(
+                    p.members(j),
+                    &self.sparse_in,
+                    &cols,
+                    mn,
+                    &mut mx[..cap],
+                    amn,
+                    &mut amx[..cap],
+                    &mut self.row_nz_scratch[..cap],
+                );
+            } else {
+                kernels::scan_gather_columns(
+                    p.members(j),
+                    &self.din,
+                    cap,
+                    &cols,
+                    mn,
+                    &mut mx[..cap],
+                    amn,
+                    &mut amx[..cap],
+                    &mut self.row_nz_scratch[..cap],
+                );
+            }
         }
         for (s, &(i, _)) in entries.iter().enumerate() {
             let idx = i as usize * cap + j as usize;
@@ -4151,9 +4555,16 @@ impl IncrementalDegrees {
         }
     }
 
-    /// Grow the column capacity to hold `needed` colors (amortized).
-    /// Degrees-only engines keep sparse rows, so only the capacity itself
-    /// changes there.
+    /// Grow the column capacity to hold `needed` colors. Capacity doubles
+    /// (`next_power_of_two`), so a long split sequence pays `O(log k)`
+    /// regrowths — amortized `O(1)` copies per new color, not `O(k²)` copy
+    /// traffic per shortfall — and each matrix regrows straight to its
+    /// final `new_rows × new_cap` footprint in one allocation + one prefix
+    /// copy (see [`regrow`]; square summary matrices used to restride to
+    /// `old × new` and then resize again). Engines with tiered sparse rows
+    /// (degrees-only *and* sparse-storage summary engines) skip the
+    /// accumulator restride entirely: colors are entry keys there, so the
+    /// rows never depend on `cap`.
     fn ensure_capacity(&mut self, needed: usize) {
         if needed <= self.cap {
             return;
@@ -4161,31 +4572,51 @@ impl IncrementalDegrees {
         let new_cap = needed.next_power_of_two();
         let old_cap = self.cap;
         if self.track_summaries {
-            regrow(&mut self.dout, self.n, old_cap, new_cap, 0.0);
-            if !self.symmetric {
-                regrow(&mut self.din, self.n, old_cap, new_cap, 0.0);
+            if !self.sparse_accum {
+                regrow(&mut self.dout, self.n, self.n, old_cap, new_cap, 0.0);
+                if !self.symmetric {
+                    regrow(&mut self.din, self.n, self.n, old_cap, new_cap, 0.0);
+                }
             }
-            regrow(&mut self.out_min, old_cap, old_cap, new_cap, 0.0);
-            regrow(&mut self.out_max, old_cap, old_cap, new_cap, 0.0);
-            regrow(&mut self.out_min_arg, old_cap, old_cap, new_cap, NO_ARG);
-            regrow(&mut self.out_max_arg, old_cap, old_cap, new_cap, NO_ARG);
-            regrow(&mut self.out_nz, old_cap, old_cap, new_cap, 0);
-            self.out_min.resize(new_cap * new_cap, 0.0);
-            self.out_max.resize(new_cap * new_cap, 0.0);
-            self.out_min_arg.resize(new_cap * new_cap, NO_ARG);
-            self.out_max_arg.resize(new_cap * new_cap, NO_ARG);
-            self.out_nz.resize(new_cap * new_cap, 0);
+            regrow(&mut self.out_min, old_cap, new_cap, old_cap, new_cap, 0.0);
+            regrow(&mut self.out_max, old_cap, new_cap, old_cap, new_cap, 0.0);
+            regrow(
+                &mut self.out_min_arg,
+                old_cap,
+                new_cap,
+                old_cap,
+                new_cap,
+                NO_ARG,
+            );
+            regrow(
+                &mut self.out_max_arg,
+                old_cap,
+                new_cap,
+                old_cap,
+                new_cap,
+                NO_ARG,
+            );
+            regrow(&mut self.out_nz, old_cap, new_cap, old_cap, new_cap, 0);
             if !self.symmetric {
-                regrow(&mut self.in_min, old_cap, old_cap, new_cap, 0.0);
-                regrow(&mut self.in_max, old_cap, old_cap, new_cap, 0.0);
-                regrow(&mut self.in_min_arg, old_cap, old_cap, new_cap, NO_ARG);
-                regrow(&mut self.in_max_arg, old_cap, old_cap, new_cap, NO_ARG);
-                regrow(&mut self.in_nz, old_cap, old_cap, new_cap, 0);
-                self.in_min.resize(new_cap * new_cap, 0.0);
-                self.in_max.resize(new_cap * new_cap, 0.0);
-                self.in_min_arg.resize(new_cap * new_cap, NO_ARG);
-                self.in_max_arg.resize(new_cap * new_cap, NO_ARG);
-                self.in_nz.resize(new_cap * new_cap, 0);
+                regrow(&mut self.in_min, old_cap, new_cap, old_cap, new_cap, 0.0);
+                regrow(&mut self.in_max, old_cap, new_cap, old_cap, new_cap, 0.0);
+                regrow(
+                    &mut self.in_min_arg,
+                    old_cap,
+                    new_cap,
+                    old_cap,
+                    new_cap,
+                    NO_ARG,
+                );
+                regrow(
+                    &mut self.in_max_arg,
+                    old_cap,
+                    new_cap,
+                    old_cap,
+                    new_cap,
+                    NO_ARG,
+                );
+                regrow(&mut self.in_nz, old_cap, new_cap, old_cap, new_cap, 0);
             }
             self.row_max_err.resize(new_cap, 0.0);
             self.row_best.resize(new_cap, None);
@@ -4301,9 +4732,9 @@ fn compact_rows(data: &mut Vec<f64>, n_old: usize, cap: usize, remap: &NodeRemap
     data.truncate(remap.new_len() * cap);
 }
 
-/// Compact per-node sparse rows through a node remap (survivors keep their
+/// Compact per-node tiered rows through a node remap (survivors keep their
 /// relative order).
-fn compact_sparse_rows(rows: &mut Vec<Vec<(u32, f64)>>, remap: &NodeRemap) {
+fn compact_sparse_rows(rows: &mut Vec<RowRep>, remap: &NodeRemap) {
     let old = std::mem::take(rows);
     *rows = old
         .into_iter()
@@ -4313,10 +4744,27 @@ fn compact_sparse_rows(rows: &mut Vec<Vec<(u32, f64)>>, remap: &NodeRemap) {
         .collect();
 }
 
-/// Regrow a row-major matrix from `old_cap` to `new_cap` columns, filling
-/// fresh cells with `fill`.
-fn regrow<T: Copy>(data: &mut Vec<T>, rows: usize, old_cap: usize, new_cap: usize, fill: T) {
-    let mut grown = vec![fill; rows * new_cap];
+/// Regrow a row-major matrix from `rows × old_cap` to `new_rows × new_cap`
+/// columns, filling fresh cells with `fill`. One geometric allocation to
+/// the final footprint (both axes at once — no intermediate copy through
+/// an `old_rows × new_cap` shape), then only the old `rows × old_cap`
+/// prefix of each row is copied. The fresh allocation is deliberate:
+/// zero-filled matrices come from `alloc_zeroed` (lazy kernel zero pages —
+/// the dominant regrowth, a 10k-row accumulator growing its column axis,
+/// never writes the ~95% of the target that starts as fill), where an
+/// in-place `resize` + restride would stream the whole footprint through
+/// the store buffers twice.
+fn regrow<T: Copy>(
+    data: &mut Vec<T>,
+    rows: usize,
+    new_rows: usize,
+    old_cap: usize,
+    new_cap: usize,
+    fill: T,
+) {
+    debug_assert!(new_cap >= old_cap && new_rows >= rows);
+    debug_assert_eq!(data.len(), rows * old_cap);
+    let mut grown = vec![fill; new_rows * new_cap];
     for r in 0..rows {
         grown[r * new_cap..r * new_cap + old_cap]
             .copy_from_slice(&data[r * old_cap..(r + 1) * old_cap]);
@@ -4416,36 +4864,6 @@ fn accumulate_edge(
         std::collections::hash_map::Entry::Vacant(e) => {
             e.insert(list.len());
             list.push((u, col, delta));
-        }
-    }
-}
-
-/// Read a sparse accumulator row entry (0.0 when absent).
-#[inline]
-fn sparse_get(row: &[(u32, f64)], color: u32) -> f64 {
-    match row.binary_search_by_key(&color, |&(c, _)| c) {
-        Ok(i) => row[i].1,
-        Err(_) => 0.0,
-    }
-}
-
-/// Add `delta` to a sparse row's `color` entry (inserting or removing as
-/// needed; an exact zero is dropped, matching the "no entry reads as 0.0"
-/// convention).
-fn sparse_add(row: &mut Vec<(u32, f64)>, color: u32, delta: f64) {
-    match row.binary_search_by_key(&color, |&(c, _)| c) {
-        Ok(i) => {
-            let w = row[i].1 + delta;
-            if w == 0.0 {
-                row.remove(i);
-            } else {
-                row[i].1 = w;
-            }
-        }
-        Err(i) => {
-            if delta != 0.0 {
-                row.insert(i, (color, delta));
-            }
         }
     }
 }

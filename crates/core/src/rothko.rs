@@ -105,6 +105,7 @@ use crate::q_error::{
     pick_merge_scratch, pick_witnesses_scratch, q_error_report, DegreeMatrices, IncrementalDegrees,
     WitnessCandidate,
 };
+use crate::storage::StorageMode;
 use qsc_graph::delta::{EdgeEvent, NodeRemap};
 use qsc_graph::{Graph, NodeId};
 
@@ -187,6 +188,14 @@ pub struct RothkoConfig {
     /// default; only opt in for throughput measurements — `bench_kernels`
     /// records the comparison.
     pub fast_math: bool,
+    /// Accumulator storage for the incremental engine (see
+    /// [`StorageMode`]): dense `n × k` matrices, tiered sparse rows, or the
+    /// default `Auto` density heuristic (dense until the projected dense
+    /// footprint crosses the [`crate::storage::AUTO_DENSE_BYTES`] wall on a
+    /// sufficiently sparse graph). Every mode produces bit-identical
+    /// colorings, witness sequences and error values — the knob trades
+    /// resident bytes against the dense rows' streaming scans.
+    pub storage: StorageMode,
 }
 
 impl Default for RothkoConfig {
@@ -203,6 +212,7 @@ impl Default for RothkoConfig {
             batch: 1,
             coarsen: false,
             fast_math: false,
+            storage: StorageMode::Auto,
         }
     }
 }
@@ -307,6 +317,13 @@ impl RothkoConfig {
     /// [`Self::fast_math`] — the field). Off by default.
     pub fn fast_math(mut self, fast_math: bool) -> Self {
         self.fast_math = fast_math;
+        self
+    }
+
+    /// Builder-style setter for the engine's accumulator storage mode (see
+    /// [`Self::storage`] — the field). `Auto` by default.
+    pub fn storage(mut self, storage: StorageMode) -> Self {
+        self.storage = storage;
         self
     }
 }
@@ -438,7 +455,15 @@ impl<'g> RothkoRun<'g> {
             None
         } else {
             let threads = config.threads.unwrap_or_else(default_threads);
-            let mut engine = IncrementalDegrees::new_with_threads(graph, &partition, threads);
+            // The color budget doubles as the density hint for `Auto`
+            // storage resolution (capped inside `new_with_storage`).
+            let mut engine = IncrementalDegrees::new_with_storage(
+                graph,
+                &partition,
+                threads,
+                config.storage,
+                config.max_colors,
+            );
             // A modest finite color budget is a capacity hint: allocate
             // the accumulator rows and summary matrices once instead of
             // regrowing them several times mid-run. Large or unbounded
@@ -471,6 +496,13 @@ impl<'g> RothkoRun<'g> {
     /// The current coloring.
     pub fn partition(&self) -> &Partition {
         &self.partition
+    }
+
+    /// The run's incremental engine (`None` in from-scratch reference
+    /// mode) — read-only access for instrumentation like `bench_memory`'s
+    /// [`IncrementalDegrees::resident_bytes`] accounting.
+    pub fn engine(&self) -> Option<&IncrementalDegrees> {
+        self.engine.as_ref()
     }
 
     /// Maximum q-error observed at the start of the last step (∞ before the
