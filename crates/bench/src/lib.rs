@@ -79,11 +79,28 @@ pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-            return Some(kb * 1024);
+            // Degrade to None on anything unexpected (missing value,
+            // non-numeric junk, a unit other than kB) rather than
+            // guessing: hosts without a Linux-shaped procfs simply
+            // record `rss_available: false`.
+            let mut fields = rest.split_whitespace();
+            let kb: u64 = fields.next()?.parse().ok()?;
+            match fields.next() {
+                Some(unit) if !unit.eq_ignore_ascii_case("kB") => return None,
+                _ => {}
+            }
+            return Some(kb.saturating_mul(1024));
         }
     }
     None
+}
+
+/// Whether [`peak_rss_bytes`] works on this host — recorded in bench
+/// JSON so a `null`/absent RSS reads as "not measurable here" rather
+/// than a silent measurement failure.
+#[must_use]
+pub fn rss_available() -> bool {
+    peak_rss_bytes().is_some()
 }
 
 /// `peak_rss_bytes` as a JSON value fragment: the byte count, or `null`

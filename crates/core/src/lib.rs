@@ -113,6 +113,27 @@
 //! footprint vs density), so existing small-scale callers keep dense
 //! behavior bit for bit.
 //!
+//! **Persistence layer.** Everything the pipeline maintains is also
+//! *checkpointable*: [`IncrementalDegrees::snapshot`],
+//! [`RothkoRun::snapshot`], [`ReducedDelta::snapshot`] (and
+//! `qsc_lp::sweep::ReducedLpDelta::snapshot`) capture each layer's exact
+//! logical state — accumulators, pair summaries with their witnesses,
+//! partition member order, pending dirty sets — as plain columnar
+//! structs, and the matching `from_snapshot` constructors rebuild the
+//! layer bit-identically (derived caches restart dirty and are
+//! recomputed; strides and thread pools are reconstructed, neither is
+//! observable). The `qsc-persist` crate turns those snapshots into an
+//! on-disk format: a columnar checkpoint (delta+varint encoded,
+//! CRC-guarded blocks) plus a write-ahead log of the *input* event
+//! batches ([`qsc_graph::delta::EdgeEvent`] / node churn / maintain
+//! calls) appended as they are applied. A warm restart loads the
+//! checkpoint columns straight back into `Graph` / [`Partition`] /
+//! [`IncrementalDegrees`] / [`ReducedDelta`] state and replays the WAL
+//! tail through the same public API the writer used — the determinism
+//! contract below is what makes the replayed state bit-identical to the
+//! writer's, so restart skips the full build at the cost of reading a
+//! file.
+//!
 //! **Determinism contract.** Every event consumer must uphold what the
 //! engine guarantees: applying an event sequence leaves state *bit
 //! identical* (for exactly representable weights; up to float
@@ -161,10 +182,13 @@ pub mod sweep;
 
 pub use partition::{MergeEvent, Partition, PartitionEvent, SplitEvent};
 pub use q_error::{
-    max_q_error, mean_q_error, IncrementalDegrees, MergeCandidate, QErrorReport, WitnessCandidate,
+    max_q_error, mean_q_error, EngineSnapshot, IncrementalDegrees, MergeCandidate, QErrorReport,
+    RowsSnapshot, WitnessCandidate,
 };
-pub use reduced::{reduced_graph, PatchedReducedGraph, ReducedDelta, ReductionWeighting};
-pub use rothko::{Coloring, NodeChurnBatch, Rothko, RothkoConfig, RothkoRun};
+pub use reduced::{
+    reduced_graph, PatchedReducedGraph, ReducedDelta, ReducedSnapshot, ReductionWeighting,
+};
+pub use rothko::{Coloring, NodeChurnBatch, Rothko, RothkoConfig, RothkoRun, RunSnapshot};
 pub use similarity::{Absolute, Bisimulation, Clamped, Exact, Relative, Similarity};
 pub use stable::stable_coloring;
 pub use stats::{coloring_stats, ColoringStats};

@@ -1034,6 +1034,109 @@ pub struct IncrementalDegrees {
     merge_scratch_in: Vec<(NodeId, f64, f64)>,
 }
 
+/// One direction's tiered accumulator rows in columnar form — the shape
+/// [`IncrementalDegrees::snapshot`] emits and the checkpoint writer
+/// serializes directly (per-field arrays, no per-row framing). Row `v`'s
+/// nonzero `(color, weight)` entries, ascending by color, occupy
+/// `offsets[v]..offsets[v + 1]` of the parallel `colors`/`weights`
+/// arrays; `dense[v]` records whether the row lives in the promoted
+/// dense tier. All fields are empty for engines whose accumulators are
+/// dense matrices instead.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RowsSnapshot {
+    /// `n + 1` entry offsets (empty when this direction has no tiered
+    /// rows).
+    pub offsets: Vec<usize>,
+    /// Entry colors, concatenated across rows.
+    pub colors: Vec<u32>,
+    /// Entry weights, index-parallel to `colors`.
+    pub weights: Vec<f64>,
+    /// Per-row promoted-tier flag.
+    pub dense: Vec<bool>,
+}
+
+impl RowsSnapshot {
+    /// Whether this direction holds any rows (false for dense-storage
+    /// engines and for the in direction of symmetric engines).
+    #[must_use]
+    pub fn is_present(&self) -> bool {
+        !self.offsets.is_empty()
+    }
+}
+
+/// The engine's complete *logical* state, captured by
+/// [`IncrementalDegrees::snapshot`] and restored bit-exactly by
+/// [`IncrementalDegrees::from_snapshot`] — the persistence layer's view
+/// of the engine.
+///
+/// What is **included**: the accumulators (exact `f64` bits, tight
+/// `n × k` for dense engines, columnar tiered rows for sparse ones), the
+/// pair-summary min/max matrices with their extremum witnesses and
+/// nonzero-member counts (tight `k × k`), and the mode flags + `last_beta`.
+/// The nonzero counts are semantic (they drive the dominant rescan-skip
+/// rule), so they are serialized exactly rather than recomputed.
+///
+/// What is deliberately **excluded** (derivable, so restoring it would
+/// only bloat checkpoints): the witness-row caches (`row_max_err` /
+/// `row_best`), which a restored engine marks all-dirty — the next
+/// [`IncrementalDegrees::refresh`] recomputes them from the summary
+/// entries, a pure function, so the recomputed values are bit-identical
+/// to the writer's; every per-event scratch buffer; and the thread pool
+/// (rebuilt from the restore-time thread count — the determinism
+/// contract makes results independent of it).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineSnapshot {
+    /// Node count.
+    pub n: usize,
+    /// Live color count.
+    pub k: usize,
+    /// Whether the graph is undirected (in-direction state omitted — it
+    /// mirrors the out direction exactly; see the module docs).
+    pub symmetric: bool,
+    /// Whether pair summaries are maintained (false for degrees-only
+    /// engines).
+    pub track_summaries: bool,
+    /// Whether the accumulators are tiered rows (true) or dense matrices
+    /// (false).
+    pub sparse_accum: bool,
+    /// Whether sparse rows may promote (always `track_summaries &&
+    /// sparse_accum`; recorded for validation).
+    pub promote: bool,
+    /// β exponent of the last refresh (voids the best-pointed-at-parent
+    /// shortcut when negative; see the field docs).
+    pub last_beta: f64,
+    /// Dense out-accumulators, tight `n × k` row-major (empty when
+    /// `sparse_accum`).
+    pub dout: Vec<f64>,
+    /// Dense in-accumulators (empty when `sparse_accum` or `symmetric`).
+    pub din: Vec<f64>,
+    /// Tiered out rows (empty when `!sparse_accum`).
+    pub rows_out: RowsSnapshot,
+    /// Tiered in rows (empty when `!sparse_accum` or `symmetric`).
+    pub rows_in: RowsSnapshot,
+    /// Pair-summary matrices, tight `k × k` row-major (empty when
+    /// `!track_summaries`; the `in_*` halves also when `symmetric`).
+    pub out_min: Vec<f64>,
+    /// See [`Self::out_min`].
+    pub out_max: Vec<f64>,
+    /// See [`Self::out_min`].
+    pub in_min: Vec<f64>,
+    /// See [`Self::out_min`].
+    pub in_max: Vec<f64>,
+    /// Extremum witnesses, tight `k × k` ([`NO_ARG`] = unknown attainer).
+    pub out_min_arg: Vec<u32>,
+    /// See [`Self::out_min_arg`].
+    pub out_max_arg: Vec<u32>,
+    /// See [`Self::out_min_arg`].
+    pub in_min_arg: Vec<u32>,
+    /// See [`Self::out_min_arg`].
+    pub in_max_arg: Vec<u32>,
+    /// Nonzero-member counts, tight `k × k`.
+    pub out_nz: Vec<u32>,
+    /// See [`Self::out_nz`].
+    pub in_nz: Vec<u32>,
+}
+
 /// Per-worker scratch used by the parallel split/refresh phases.
 #[derive(Clone, Debug, Default)]
 struct ShardScratch {
@@ -1583,6 +1686,317 @@ impl IncrementalDegrees {
             }
         }
         engine
+    }
+
+    /// Capture the engine's complete logical state for persistence.
+    ///
+    /// The snapshot holds *tight* columns — `n × k` accumulators and
+    /// `k × k` summaries with the capacity padding stripped — so the
+    /// on-disk size tracks the live state, not the power-of-two stride.
+    /// [`Self::from_snapshot`] re-pads on load; the stride itself is
+    /// unobservable (it is recomputed from `k` the same way
+    /// construction computes it), so round-tripping through a snapshot
+    /// is bit-exact. See [`EngineSnapshot`] for what is included vs.
+    /// recomputed.
+    #[must_use]
+    pub fn snapshot(&self) -> EngineSnapshot {
+        fn tight<T: Copy>(padded: &[T], rows: usize, cols: usize, stride: usize) -> Vec<T> {
+            let mut out = Vec::with_capacity(rows * cols);
+            for r in 0..rows {
+                out.extend_from_slice(&padded[r * stride..r * stride + cols]);
+            }
+            out
+        }
+        fn rows_snapshot(rows: &[RowRep]) -> RowsSnapshot {
+            if rows.is_empty() {
+                // Absent direction (dense storage, symmetric in-side, or
+                // an empty graph): all columns empty, `is_present` false.
+                return RowsSnapshot::default();
+            }
+            let mut snap = RowsSnapshot {
+                offsets: Vec::with_capacity(rows.len() + 1),
+                colors: Vec::new(),
+                weights: Vec::new(),
+                dense: Vec::with_capacity(rows.len()),
+            };
+            snap.offsets.push(0);
+            let mut buf = Vec::new();
+            for row in rows {
+                buf.clear();
+                row.push_nonzero_entries(&mut buf);
+                for &(c, w) in &buf {
+                    snap.colors.push(c);
+                    snap.weights.push(w);
+                }
+                snap.offsets.push(snap.colors.len());
+                snap.dense.push(row.is_dense());
+            }
+            snap
+        }
+        let (n, k, cap) = (self.n, self.k, self.cap);
+        EngineSnapshot {
+            n,
+            k,
+            symmetric: self.symmetric,
+            track_summaries: self.track_summaries,
+            sparse_accum: self.sparse_accum,
+            promote: self.promote,
+            last_beta: self.last_beta,
+            dout: tight(&self.dout, if self.dout.is_empty() { 0 } else { n }, k, cap),
+            din: tight(&self.din, if self.din.is_empty() { 0 } else { n }, k, cap),
+            rows_out: rows_snapshot(&self.sparse_out),
+            rows_in: rows_snapshot(&self.sparse_in),
+            out_min: tight(
+                &self.out_min,
+                if self.out_min.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            out_max: tight(
+                &self.out_max,
+                if self.out_max.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            in_min: tight(
+                &self.in_min,
+                if self.in_min.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            in_max: tight(
+                &self.in_max,
+                if self.in_max.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            out_min_arg: tight(
+                &self.out_min_arg,
+                if self.out_min_arg.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            out_max_arg: tight(
+                &self.out_max_arg,
+                if self.out_max_arg.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            in_min_arg: tight(
+                &self.in_min_arg,
+                if self.in_min_arg.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            in_max_arg: tight(
+                &self.in_max_arg,
+                if self.in_max_arg.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            out_nz: tight(
+                &self.out_nz,
+                if self.out_nz.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+            in_nz: tight(
+                &self.in_nz,
+                if self.in_nz.is_empty() { 0 } else { k },
+                k,
+                cap,
+            ),
+        }
+    }
+
+    /// Rebuild an engine from a snapshot, bit-identical to the one that
+    /// produced it.
+    ///
+    /// The capacity stride, scratch buffers, and thread pool are
+    /// reconstructed exactly as the engine constructor would build them;
+    /// the witness-row caches start all-dirty and the first refresh
+    /// recomputes them deterministically. `threads` may differ from the
+    /// writer's — results do not depend on it.
+    ///
+    /// # Panics
+    /// On snapshots whose column lengths are inconsistent with their
+    /// header fields. The persistence layer validates untrusted bytes
+    /// before constructing a snapshot; this is a backstop against
+    /// programmer error, not a parser.
+    #[must_use]
+    pub fn from_snapshot(snap: &EngineSnapshot, threads: usize) -> Self {
+        let EngineSnapshot {
+            n,
+            k,
+            symmetric,
+            track_summaries,
+            sparse_accum,
+            promote,
+            ..
+        } = *snap;
+        assert_eq!(
+            promote,
+            track_summaries && sparse_accum,
+            "snapshot promote flag inconsistent with its mode flags"
+        );
+        let cap = k.next_power_of_two().max(4);
+        let mat_cap = if track_summaries { cap } else { 0 };
+        let dense_cap = if track_summaries && !sparse_accum {
+            cap
+        } else {
+            0
+        };
+        let in_cap = if symmetric { 0 } else { dense_cap };
+        let in_mat_cap = if symmetric { 0 } else { mat_cap };
+        let threads = threads.max(1);
+
+        // Re-pad a tight rows×cols column back into the full strided
+        // buffer construction would allocate (`alloc_rows × stride`;
+        // matrices are `cap × cap`, so rows `k..cap` exist and hold
+        // background values — splits that grow `k` within capacity index
+        // them before writing). `alloc_rows == 0` marks an absent buffer.
+        fn pad<T: Copy>(
+            tight: &[T],
+            rows: usize,
+            cols: usize,
+            alloc_rows: usize,
+            stride: usize,
+            fill: T,
+        ) -> Vec<T> {
+            if alloc_rows == 0 {
+                assert!(
+                    tight.is_empty(),
+                    "snapshot column for absent matrix is non-empty"
+                );
+                return Vec::new();
+            }
+            assert_eq!(tight.len(), rows * cols, "snapshot column length mismatch");
+            let mut out = vec![fill; alloc_rows * stride];
+            for r in 0..rows {
+                out[r * stride..r * stride + cols]
+                    .copy_from_slice(&tight[r * cols..(r + 1) * cols]);
+            }
+            out
+        }
+        fn rows_restore(snap: &RowsSnapshot, n: usize, promote_k: usize) -> Vec<RowRep> {
+            if !snap.is_present() {
+                assert_eq!(
+                    n, 0,
+                    "row snapshot absent for a direction that needs {n} rows"
+                );
+                return Vec::new();
+            }
+            assert_eq!(
+                snap.offsets.len(),
+                n + 1,
+                "row snapshot offsets length mismatch"
+            );
+            assert_eq!(
+                snap.dense.len(),
+                n,
+                "row snapshot tier-flag length mismatch"
+            );
+            assert_eq!(
+                *snap.offsets.last().unwrap(),
+                snap.colors.len(),
+                "row snapshot entry count mismatch"
+            );
+            assert_eq!(
+                snap.colors.len(),
+                snap.weights.len(),
+                "row snapshot column mismatch"
+            );
+            (0..n)
+                .map(|v| {
+                    let (lo, hi) = (snap.offsets[v], snap.offsets[v + 1]);
+                    let entries: Vec<(u32, f64)> = snap.colors[lo..hi]
+                        .iter()
+                        .copied()
+                        .zip(snap.weights[lo..hi].iter().copied())
+                        .collect();
+                    if snap.dense[v] {
+                        RowRep::dense_from_sorted(&entries, promote_k)
+                    } else {
+                        RowRep::Sparse(entries)
+                    }
+                })
+                .collect()
+        }
+
+        let promote_k = if promote { k } else { 0 };
+        IncrementalDegrees {
+            n,
+            k,
+            cap,
+            dout: pad(
+                &snap.dout,
+                n,
+                k,
+                if dense_cap > 0 { n } else { 0 },
+                cap,
+                0.0,
+            ),
+            din: pad(&snap.din, n, k, if in_cap > 0 { n } else { 0 }, cap, 0.0),
+            sparse_out: rows_restore(&snap.rows_out, if sparse_accum { n } else { 0 }, promote_k),
+            sparse_in: rows_restore(
+                &snap.rows_in,
+                if sparse_accum && !symmetric { n } else { 0 },
+                promote_k,
+            ),
+            sparse_accum,
+            promote,
+            out_min: pad(&snap.out_min, k, k, mat_cap, cap, 0.0),
+            out_max: pad(&snap.out_max, k, k, mat_cap, cap, 0.0),
+            in_min: pad(&snap.in_min, k, k, in_mat_cap, cap, 0.0),
+            in_max: pad(&snap.in_max, k, k, in_mat_cap, cap, 0.0),
+            out_min_arg: pad(&snap.out_min_arg, k, k, mat_cap, cap, NO_ARG),
+            out_max_arg: pad(&snap.out_max_arg, k, k, mat_cap, cap, NO_ARG),
+            in_min_arg: pad(&snap.in_min_arg, k, k, in_mat_cap, cap, NO_ARG),
+            in_max_arg: pad(&snap.in_max_arg, k, k, in_mat_cap, cap, NO_ARG),
+            out_nz: pad(&snap.out_nz, k, k, mat_cap, cap, 0),
+            in_nz: pad(&snap.in_nz, k, k, in_mat_cap, cap, 0),
+            symmetric,
+            track_summaries,
+            last_beta: snap.last_beta,
+            row_max_err: vec![0.0; mat_cap],
+            row_best: vec![None; mat_cap],
+            row_err_dirty: vec![true; mat_cap],
+            row_best_dirty: vec![true; mat_cap],
+            node_stamp: vec![0; n],
+            node_delta: vec![0.0; n],
+            stamp_gen: 0,
+            node_mark: vec![0; n],
+            mark_gen: 0,
+            touched_nodes: Vec::new(),
+            touched_deltas: Vec::new(),
+            color_slot: vec![0; mat_cap],
+            touched_colors: Vec::new(),
+            row_scratch: vec![0.0; 4 * mat_cap],
+            row_arg_scratch: vec![NO_ARG; 4 * mat_cap],
+            row_nz_scratch: vec![0; 2 * mat_cap],
+            pool: (track_summaries && threads > 1).then(|| Arc::new(ThreadPool::new(threads))),
+            shard_scratch: if track_summaries && threads > 1 {
+                vec![ShardScratch::default(); threads]
+            } else {
+                Vec::new()
+            },
+            par_min_touched: PAR_MIN_TOUCHED,
+            par_min_scan_work: PAR_MIN_SCAN_WORK,
+            entry_scratch_out: Vec::new(),
+            entry_scratch_in: Vec::new(),
+            dirty_scratch: Vec::new(),
+            edge_patches_out: Vec::new(),
+            edge_patches_in: Vec::new(),
+            edge_slot_out: HashMap::new(),
+            edge_slot_in: HashMap::new(),
+            edge_acc_out: Vec::new(),
+            edge_acc_in: Vec::new(),
+            edge_acc_slot_out: HashMap::new(),
+            edge_acc_slot_in: HashMap::new(),
+            chunk_out: Vec::new(),
+            merge_scratch: Vec::new(),
+            merge_scratch_in: Vec::new(),
+        }
     }
 
     /// Promotion hint for [`RowRep::add`]: the live color count when

@@ -144,6 +144,29 @@ pub struct ReducedDelta {
     dirty_flag: Vec<bool>,
 }
 
+/// A [`ReducedDelta`]'s complete logical state, captured by
+/// [`ReducedDelta::snapshot`] and restored by
+/// [`ReducedDelta::from_snapshot`]. The sum matrix is stored *tight*
+/// (`k × k`, capacity padding stripped — the stride is recomputed on
+/// load and is unobservable). The pending dirty set is included in its
+/// exact order: colors not yet drained by
+/// [`ReducedDelta::take_dirty_colors`] must still be reported after a
+/// restore, or the first post-restore re-emission would silently miss
+/// updates the writer had buffered.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReducedSnapshot {
+    /// Color count.
+    pub k: usize,
+    /// Tight `k × k` row-major quotient matrix.
+    pub sum: Vec<f64>,
+    /// Color sizes, length `k`.
+    pub sizes: Vec<usize>,
+    /// Whether the source graph was undirected.
+    pub symmetric: bool,
+    /// Pending dirty colors, in accumulation order.
+    pub dirty: Vec<u32>,
+}
+
 impl ReducedDelta {
     /// Build the quotient matrix of `p` on `g` in `O(n + m)` time.
     pub fn new(g: &Graph, p: &Partition) -> Self {
@@ -170,6 +193,68 @@ impl ReducedDelta {
                 flags[..k].fill(true);
                 flags
             },
+        }
+    }
+
+    /// Capture the complete logical state for persistence; see
+    /// [`ReducedSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> ReducedSnapshot {
+        let k = self.k;
+        let mut sum = Vec::with_capacity(k * k);
+        for i in 0..k {
+            sum.extend_from_slice(&self.sum[i * self.cap..i * self.cap + k]);
+        }
+        ReducedSnapshot {
+            k,
+            sum,
+            sizes: self.sizes.clone(),
+            symmetric: self.symmetric,
+            dirty: self.dirty.clone(),
+        }
+    }
+
+    /// Rebuild from a snapshot, bit-identical to the instance that
+    /// produced it (same pair weights, same pending dirty set).
+    ///
+    /// # Panics
+    /// On snapshots with inconsistent column lengths or out-of-range
+    /// dirty colors (the persistence layer validates untrusted bytes
+    /// before constructing a snapshot; this is a backstop).
+    #[must_use]
+    pub fn from_snapshot(snap: &ReducedSnapshot) -> Self {
+        let k = snap.k;
+        assert_eq!(
+            snap.sum.len(),
+            k * k,
+            "reduced snapshot matrix length mismatch"
+        );
+        assert_eq!(
+            snap.sizes.len(),
+            k,
+            "reduced snapshot sizes length mismatch"
+        );
+        let cap = k.next_power_of_two().max(4);
+        let mut sum = vec![0.0f64; cap * cap];
+        for i in 0..k {
+            sum[i * cap..i * cap + k].copy_from_slice(&snap.sum[i * k..(i + 1) * k]);
+        }
+        let mut dirty_flag = vec![false; cap];
+        for &c in &snap.dirty {
+            assert!(
+                (c as usize) < k,
+                "reduced snapshot dirty color out of range"
+            );
+            dirty_flag[c as usize] = true;
+        }
+        ReducedDelta {
+            k,
+            cap,
+            sum,
+            sizes: snap.sizes.clone(),
+            symmetric: snap.symmetric,
+            dirty: snap.dirty.clone(),
+            dirty_flag,
         }
     }
 

@@ -102,8 +102,8 @@ use crate::kernels;
 use crate::parallel::default_threads;
 use crate::partition::{ColorId, Partition, PartitionEvent, SplitEvent};
 use crate::q_error::{
-    pick_merge_scratch, pick_witnesses_scratch, q_error_report, DegreeMatrices, IncrementalDegrees,
-    WitnessCandidate,
+    pick_merge_scratch, pick_witnesses_scratch, q_error_report, DegreeMatrices, EngineSnapshot,
+    IncrementalDegrees, WitnessCandidate,
 };
 use crate::storage::StorageMode;
 use qsc_graph::delta::{EdgeEvent, NodeRemap};
@@ -375,6 +375,33 @@ impl Coloring {
     }
 }
 
+/// A [`RothkoRun`]'s complete resumable state, captured by
+/// [`RothkoRun::snapshot`] and restored by [`RothkoRun::from_snapshot`] —
+/// what the persistence layer writes into a checkpoint alongside the
+/// graph and config.
+///
+/// Holds the partition (member order included — split scans walk members
+/// in stored order, so order is semantic), the engine state, and the
+/// run's progress counters. The last-round diagnostics
+/// ([`RothkoRun::last_round_events`] / witnesses) and the degree scratch
+/// are *not* captured: they never influence future steps, and a restored
+/// run reports an empty last round until it performs one.
+#[derive(Clone, Debug)]
+pub struct RunSnapshot {
+    /// The coloring, with exact member order.
+    pub partition: Partition,
+    /// Engine state (`None` for from-scratch reference runs).
+    pub engine: Option<EngineSnapshot>,
+    /// Split count so far.
+    pub iterations: usize,
+    /// Coarsening-merge count so far.
+    pub merges: usize,
+    /// Max q-error observed at the start of the last step.
+    pub last_max_error: f64,
+    /// Whether the run has reached a stopping condition.
+    pub done: bool,
+}
+
 /// The Rothko quasi-stable coloring algorithm.
 #[derive(Clone, Debug, Default)]
 pub struct Rothko {
@@ -533,6 +560,85 @@ impl<'g> RothkoRun<'g> {
         self.graph.get()
     }
 
+    /// The configuration this run was started with (the persistence layer
+    /// serializes it next to the run state so a restore can rebuild the
+    /// run without out-of-band knowledge).
+    pub fn config(&self) -> &RothkoConfig {
+        &self.config
+    }
+
+    /// Capture the run's complete resumable state; see [`RunSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> RunSnapshot {
+        RunSnapshot {
+            partition: self.partition.clone(),
+            engine: self.engine.as_ref().map(IncrementalDegrees::snapshot),
+            iterations: self.iterations,
+            merges: self.merges,
+            last_max_error: self.last_max_error,
+            done: self.done,
+        }
+    }
+
+    /// Rebuild a run from a snapshot plus the graph and config it was
+    /// captured with, bit-identical in all future behaviour to the run
+    /// that produced it (same splits, witnesses, q-error bits, and
+    /// maintenance events — the determinism contract).
+    ///
+    /// The graph is taken by value (a restore owns its graph; there is no
+    /// borrowed original), so the returned run is `'static`. The engine's
+    /// thread pool is rebuilt from `config.threads` exactly as
+    /// [`Rothko::start`] would, including the capacity pre-reservation
+    /// for modest color budgets — restored engines have the same stride
+    /// as freshly built ones.
+    ///
+    /// # Panics
+    /// If the snapshot's dimensions disagree with the graph (the
+    /// persistence layer validates untrusted bytes before constructing a
+    /// snapshot; this is a backstop against programmer error).
+    #[must_use]
+    pub fn from_snapshot(
+        graph: Graph,
+        config: RothkoConfig,
+        snap: &RunSnapshot,
+    ) -> RothkoRun<'static> {
+        let n = graph.num_nodes();
+        assert!(config.batch >= 1, "batch size must be at least 1");
+        assert_eq!(
+            snap.partition.num_nodes(),
+            n,
+            "snapshot partition does not match graph"
+        );
+        let engine = snap.engine.as_ref().map(|e| {
+            assert_eq!(e.n, n, "snapshot engine does not match graph");
+            assert_eq!(
+                e.k,
+                snap.partition.num_colors(),
+                "snapshot engine does not match partition"
+            );
+            let threads = config.threads.unwrap_or_else(default_threads);
+            let mut engine = IncrementalDegrees::from_snapshot(e, threads);
+            const RESERVE_BUDGET_LIMIT: usize = 4096;
+            if config.max_colors <= RESERVE_BUDGET_LIMIT {
+                engine.reserve_colors(config.max_colors);
+            }
+            engine
+        });
+        RothkoRun {
+            graph: GraphStore::Owned(Box::new(graph)),
+            config,
+            partition: snap.partition.clone(),
+            engine,
+            deg_scratch: vec![0.0; n],
+            iterations: snap.iterations,
+            merges: snap.merges,
+            last_max_error: snap.last_max_error,
+            round_events: Vec::new(),
+            round_witnesses: Vec::new(),
+            done: snap.done,
+        }
+    }
+
     /// The [`SplitEvent`] of the most recent successful split, or `None`
     /// before the first split. Incremental consumers that only ever run
     /// with `batch = 1` read this after every step; batched consumers use
@@ -628,6 +734,20 @@ impl<'g> RothkoRun<'g> {
     /// change. Debug builds cross-check the patched engine against
     /// [`DegreeMatrices`] rebuilt from `compacted`.
     pub fn apply_edge_batch(&mut self, compacted: Graph, events: &[EdgeEvent]) {
+        self.apply_edge_batches(&[events], compacted);
+    }
+
+    /// Apply a *run* of consecutive edge batches that share one
+    /// compaction. Each batch's events go through the engine as its own
+    /// [`Self::apply_edge_batch`]-equivalent step — the engine folds each
+    /// batch separately, so the accumulator arithmetic (and therefore
+    /// every restored f64 bit) matches a writer that applied the batches
+    /// one call at a time. `compacted` must be the graph after *all* of
+    /// them; it is swapped in once at the end. The WAL replay path leans
+    /// on this to rebuild the CSR once per run of logged edge batches
+    /// instead of once per batch — the graph is only read at maintenance
+    /// boundaries, never between event applications.
+    pub fn apply_edge_batches(&mut self, batches: &[&[EdgeEvent]], compacted: Graph) {
         assert_eq!(
             compacted.num_nodes(),
             self.partition.num_nodes(),
@@ -639,7 +759,9 @@ impl<'g> RothkoRun<'g> {
             "maintenance cannot change directedness"
         );
         if let Some(engine) = &mut self.engine {
-            engine.apply_edge_batch(&self.partition, events);
+            for events in batches {
+                engine.apply_edge_batch(&self.partition, events);
+            }
         }
         // Reference mode recomputes its matrices from the graph each
         // round, so swapping the graph is all it needs.

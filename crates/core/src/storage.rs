@@ -165,6 +165,51 @@ impl RowRep {
         row
     }
 
+    /// Rebuild a *promoted* (dense-tier) row from its nonzero entries —
+    /// the checkpoint restore path, which records each row's tier so a
+    /// restored engine keeps the writer's representation (tier choice is
+    /// unobservable in values, but it is what the resident-bytes
+    /// accounting and access constants reflect). The slot width follows
+    /// the same rule as promotion under the *current* color count; a row
+    /// promoted long ago under a smaller `k` may get a different width,
+    /// which only changes when the array next grows.
+    #[must_use]
+    pub fn dense_from_sorted(entries: &[(u32, f64)], promote_k: usize) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let width = promote_k.next_power_of_two();
+        let top = entries.last().map_or(0, |&(c, _)| c as usize + 1);
+        let mut slots = vec![0.0f64; width.max(top.next_power_of_two()).max(4)].into_boxed_slice();
+        for &(c, w) in entries {
+            slots[c as usize] = w;
+        }
+        RowRep::Dense(slots)
+    }
+
+    /// Whether this row lives in the promoted dense tier.
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        matches!(self, RowRep::Dense(_))
+    }
+
+    /// Append this row's nonzero entries to `out` in ascending color order
+    /// (the serialization sweep; dense rows scan their slots). Exact `0.0`
+    /// slots of a dense row are skipped — by the module's read semantics
+    /// they are indistinguishable from absent entries.
+    pub fn push_nonzero_entries(&self, out: &mut Vec<(u32, f64)>) {
+        match self {
+            RowRep::Sparse(entries) => out.extend_from_slice(entries),
+            RowRep::Dense(slots) => {
+                out.extend(
+                    slots
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &w)| w != 0.0)
+                        .map(|(c, &w)| (c as u32, w)),
+                );
+            }
+        }
+    }
+
     /// Weight toward `color` (`0.0` when absent).
     #[inline]
     #[must_use]

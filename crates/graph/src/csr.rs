@@ -121,6 +121,92 @@ impl Graph {
         }
     }
 
+    /// Rebuild a graph from its out-CSR arrays alone (the checkpoint
+    /// restore path — a checkpoint stores only the out direction because
+    /// the in direction is derivable). The arcs of node `v` must occupy
+    /// `out_offsets[v]..out_offsets[v+1]` of the parallel
+    /// `out_targets`/`out_weights` arrays, sorted strictly ascending by
+    /// target within each row, and for undirected graphs every edge
+    /// `{u, v}` must appear in both rows — exactly the invariants the CSR
+    /// maintains, so feeding back [`Self::out_adjacency`] round-trips.
+    ///
+    /// The in-adjacency is reconstructed deterministically: undirected
+    /// graphs copy the out arrays verbatim (symmetric storage with
+    /// ascending neighbors makes the two directions bit-identical), and
+    /// directed graphs run the same counting sort by target as
+    /// [`Self::from_row_adjacency`], so the rebuilt graph's arrays are
+    /// bit-identical to the writer's. `O(n + arcs)`.
+    pub fn from_out_csr(
+        n: usize,
+        directed: bool,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        out_weights: Vec<f64>,
+    ) -> Self {
+        assert_eq!(out_offsets.len(), n + 1, "offsets must have n + 1 entries");
+        assert_eq!(out_targets.len(), out_weights.len());
+        assert_eq!(*out_offsets.last().expect("n + 1 >= 1"), out_targets.len());
+        let arcs = out_targets.len();
+        let mut m = 0usize;
+        for u in 0..n {
+            debug_assert!(out_offsets[u] <= out_offsets[u + 1], "offsets not monotone");
+            for e in out_offsets[u]..out_offsets[u + 1] {
+                let v = out_targets[e];
+                debug_assert!((v as usize) < n, "target {v} out of range");
+                debug_assert!(
+                    e == out_offsets[u] || out_targets[e - 1] < v,
+                    "row {u} not strictly sorted by target"
+                );
+                if directed || u as NodeId <= v {
+                    m += 1;
+                }
+            }
+        }
+        let (in_offsets, in_sources, in_weights) = if directed {
+            // Counting sort by target: sources within a row come out
+            // ascending, matching `from_row_adjacency` exactly.
+            let mut in_offsets = vec![0usize; n + 1];
+            for &v in &out_targets {
+                in_offsets[v as usize + 1] += 1;
+            }
+            for i in 0..n {
+                in_offsets[i + 1] += in_offsets[i];
+            }
+            let mut cursor = in_offsets.clone();
+            let mut in_sources = vec![0 as NodeId; arcs];
+            let mut in_weights = vec![0f64; arcs];
+            for u in 0..n {
+                for e in out_offsets[u]..out_offsets[u + 1] {
+                    let pos = cursor[out_targets[e] as usize];
+                    in_sources[pos] = u as NodeId;
+                    in_weights[pos] = out_weights[e];
+                    cursor[out_targets[e] as usize] += 1;
+                }
+            }
+            (in_offsets, in_sources, in_weights)
+        } else {
+            // Symmetric storage: the in-adjacency of `v` is its neighbor
+            // set again, ascending — the exact arrays the counting sort
+            // would produce, without the random-access pass.
+            (
+                out_offsets.clone(),
+                out_targets.clone(),
+                out_weights.clone(),
+            )
+        };
+        Graph {
+            n,
+            m,
+            directed,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
     /// Create an empty graph with `n` isolated nodes.
     pub fn empty(n: usize, directed: bool) -> Self {
         Graph {
@@ -468,6 +554,30 @@ mod tests {
         let g = triangle();
         let e = g.edges();
         assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn from_out_csr_roundtrips_both_directions() {
+        let mut b = GraphBuilder::new_directed(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 2.5);
+        b.add_edge(3, 0, 5.0);
+        b.add_edge(4, 4, -1.5);
+        for g in [triangle(), b.build()] {
+            let (offs, tgts, wts) = g.out_adjacency();
+            let r = Graph::from_out_csr(
+                g.num_nodes(),
+                g.is_directed(),
+                offs.to_vec(),
+                tgts.to_vec(),
+                wts.to_vec(),
+            );
+            assert_eq!(r.num_nodes(), g.num_nodes());
+            assert_eq!(r.num_edges(), g.num_edges());
+            assert_eq!(r.is_directed(), g.is_directed());
+            assert_eq!(r.out_adjacency(), g.out_adjacency());
+            assert_eq!(r.in_adjacency(), g.in_adjacency());
+        }
     }
 
     #[test]

@@ -498,10 +498,52 @@ impl GraphDelta {
             "node insertions/removals pending; use compact_renumber"
         );
         if self.overlay_arcs > 0 {
+            // Build the new out-CSR directly: rows without overlay entries
+            // (the overwhelming majority after a small batch) are bulk
+            // span copies from the old CSR; only touched rows pay the
+            // merge. `Graph::from_out_csr` then derives the in direction
+            // bit-identically to the row-by-row reference rebuild.
             let n = self.num_nodes();
-            let rows: Vec<Vec<(NodeId, f64)>> =
-                (0..n as NodeId).map(|u| self.live_row(u, None)).collect();
-            self.base = Graph::from_row_adjacency(n, self.is_directed(), &rows);
+            let arc_cap = self.base.num_arcs() + self.overlay_arcs;
+            let mut offsets = Vec::with_capacity(n + 1);
+            offsets.push(0usize);
+            let mut targets: Vec<NodeId> = Vec::with_capacity(arc_cap);
+            let mut weights: Vec<f64> = Vec::with_capacity(arc_cap);
+            for u in 0..n {
+                let (base_ts, base_ws) = self.base.out_arcs(u as NodeId);
+                let over = &self.overlay[u];
+                if over.is_empty() {
+                    targets.extend_from_slice(base_ts);
+                    weights.extend_from_slice(base_ws);
+                } else {
+                    // Same merge as `live_row`, writing in place.
+                    let mut oi = 0usize;
+                    let push_over =
+                        |targets: &mut Vec<NodeId>, weights: &mut Vec<f64>, oi: &mut usize| {
+                            if let (v, ArcState::Present(w)) = over[*oi] {
+                                targets.push(v);
+                                weights.push(w);
+                            }
+                            *oi += 1;
+                        };
+                    for (idx, &t) in base_ts.iter().enumerate() {
+                        while oi < over.len() && over[oi].0 < t {
+                            push_over(&mut targets, &mut weights, &mut oi);
+                        }
+                        if oi < over.len() && over[oi].0 == t {
+                            push_over(&mut targets, &mut weights, &mut oi);
+                        } else {
+                            targets.push(t);
+                            weights.push(base_ws[idx]);
+                        }
+                    }
+                    while oi < over.len() {
+                        push_over(&mut targets, &mut weights, &mut oi);
+                    }
+                }
+                offsets.push(targets.len());
+            }
+            self.base = Graph::from_out_csr(n, self.is_directed(), offsets, targets, weights);
             for row in &mut self.overlay {
                 row.clear();
             }

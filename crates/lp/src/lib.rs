@@ -55,4 +55,4 @@ pub mod sweep;
 pub use problem::{LpProblem, LpSolution, LpStatus};
 pub use reduce::{reduce_with_rothko, LpColoringConfig, LpReductionVariant, ReducedLp};
 pub use simplex::{BasicVar, SimplexBasis, SimplexConfig, WarmSolve};
-pub use sweep::{sweep_lp, LpSweepPoint, ReducedLpDelta};
+pub use sweep::{sweep_lp, LpDeltaSnapshot, LpSweepPoint, ReducedLpColorKind, ReducedLpDelta};

@@ -70,6 +70,50 @@ enum ColorKind {
     Pinned,
 }
 
+/// Public mirror of the global-color classification, exposed through
+/// [`LpDeltaSnapshot`] so the persistence layer can serialize it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReducedLpColorKind {
+    /// Reduced row with this local index.
+    Row(u32),
+    /// Reduced column with this local index.
+    Col(u32),
+    /// The pinned objective row / rhs column (never split).
+    Pinned,
+}
+
+/// A [`ReducedLpDelta`]'s complete logical state minus the problem it
+/// borrows, captured by [`ReducedLpDelta::snapshot`] and restored by
+/// [`ReducedLpDelta::from_snapshot`] against the *same* [`LpProblem`]
+/// (the column-major copy of `A` is rebuilt from the problem rather than
+/// stored — it is redundant with it). The pending dirty rows/columns are
+/// included in exact order, for the same reason as
+/// `qsc_core::reduced::ReducedSnapshot`: un-drained dirtiness must
+/// survive a restore or the next re-emission misses updates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LpDeltaSnapshot {
+    /// Per original row: its reduced (local) row color.
+    pub row_local: Vec<u32>,
+    /// Per original column: its reduced (local) column color.
+    pub col_local: Vec<u32>,
+    /// Per global partition color: what it aggregates.
+    pub kind_of_global: Vec<ReducedLpColorKind>,
+    /// Tight row-major `num_rows × num_cols` aggregate of `A`.
+    pub a_sum: Vec<f64>,
+    /// Per reduced row: aggregate of `b`.
+    pub b_sum: Vec<f64>,
+    /// Per reduced column: aggregate of `c`.
+    pub c_sum: Vec<f64>,
+    /// Original rows per reduced row.
+    pub row_sizes: Vec<usize>,
+    /// Original columns per reduced column.
+    pub col_sizes: Vec<usize>,
+    /// Pending dirty reduced rows, in first-dirtied order.
+    pub dirty_rows: Vec<u32>,
+    /// Pending dirty reduced columns, in first-dirtied order.
+    pub dirty_cols: Vec<u32>,
+}
+
 /// Incrementally maintained reduced-LP aggregates: `A`, `b`, `c` summed by
 /// (row color × column color), patched per [`SplitEvent`] of the
 /// extended-matrix coloring in `O(nnz(moved))`.
@@ -135,6 +179,114 @@ impl<'p> ReducedLpDelta<'p> {
             dirty_row_flag: vec![true],
             dirty_cols: vec![0],
             dirty_col_flag: vec![true],
+        }
+    }
+
+    /// Capture the complete logical state for persistence; see
+    /// [`LpDeltaSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> LpDeltaSnapshot {
+        let cols = self.col_sizes.len();
+        let mut a_sum = Vec::with_capacity(self.row_sizes.len() * cols);
+        for row in &self.a_sum {
+            debug_assert_eq!(row.len(), cols);
+            a_sum.extend_from_slice(row);
+        }
+        LpDeltaSnapshot {
+            row_local: self.row_local.clone(),
+            col_local: self.col_local.clone(),
+            kind_of_global: self
+                .kind_of_global
+                .iter()
+                .map(|k| match k {
+                    ColorKind::Row(r) => ReducedLpColorKind::Row(*r),
+                    ColorKind::Col(s) => ReducedLpColorKind::Col(*s),
+                    ColorKind::Pinned => ReducedLpColorKind::Pinned,
+                })
+                .collect(),
+            a_sum,
+            b_sum: self.b_sum.clone(),
+            c_sum: self.c_sum.clone(),
+            row_sizes: self.row_sizes.clone(),
+            col_sizes: self.col_sizes.clone(),
+            dirty_rows: self.dirty_rows.clone(),
+            dirty_cols: self.dirty_cols.clone(),
+        }
+    }
+
+    /// Rebuild from a snapshot against the problem it was captured from,
+    /// bit-identical to the instance that produced it. The column-major
+    /// copy of `A` is re-derived from `problem` exactly as [`Self::new`]
+    /// builds it.
+    ///
+    /// # Panics
+    /// On snapshots whose dimensions disagree with each other or with
+    /// `problem` (the persistence layer validates untrusted bytes before
+    /// constructing a snapshot; this is a backstop).
+    #[must_use]
+    pub fn from_snapshot(problem: &'p LpProblem, snap: &LpDeltaSnapshot) -> Self {
+        let m = problem.num_rows();
+        let n = problem.num_cols();
+        assert_eq!(
+            snap.row_local.len(),
+            m,
+            "lp snapshot row map length mismatch"
+        );
+        assert_eq!(
+            snap.col_local.len(),
+            n,
+            "lp snapshot column map length mismatch"
+        );
+        let rows = snap.row_sizes.len();
+        let cols = snap.col_sizes.len();
+        assert_eq!(
+            snap.a_sum.len(),
+            rows * cols,
+            "lp snapshot aggregate length mismatch"
+        );
+        assert_eq!(snap.b_sum.len(), rows, "lp snapshot b length mismatch");
+        assert_eq!(snap.c_sum.len(), cols, "lp snapshot c length mismatch");
+        let mut csc: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for (i, j, v) in problem.a.triplets() {
+            csc[j as usize].push((i, v));
+        }
+        let mut dirty_row_flag = vec![false; rows];
+        for &r in &snap.dirty_rows {
+            assert!((r as usize) < rows, "lp snapshot dirty row out of range");
+            dirty_row_flag[r as usize] = true;
+        }
+        let mut dirty_col_flag = vec![false; cols];
+        for &s in &snap.dirty_cols {
+            assert!((s as usize) < cols, "lp snapshot dirty column out of range");
+            dirty_col_flag[s as usize] = true;
+        }
+        ReducedLpDelta {
+            problem,
+            row_local: snap.row_local.clone(),
+            col_local: snap.col_local.clone(),
+            kind_of_global: snap
+                .kind_of_global
+                .iter()
+                .map(|k| match k {
+                    ReducedLpColorKind::Row(r) => ColorKind::Row(*r),
+                    ReducedLpColorKind::Col(s) => ColorKind::Col(*s),
+                    ReducedLpColorKind::Pinned => ColorKind::Pinned,
+                })
+                .collect(),
+            a_sum: snap
+                .a_sum
+                .chunks(cols.max(1))
+                .map(<[f64]>::to_vec)
+                .collect(),
+            b_sum: snap.b_sum.clone(),
+            c_sum: snap.c_sum.clone(),
+            row_sizes: snap.row_sizes.clone(),
+            col_sizes: snap.col_sizes.clone(),
+            csc,
+            dirty_rows: snap.dirty_rows.clone(),
+            dirty_row_flag,
+            dirty_cols: snap.dirty_cols.clone(),
+            dirty_col_flag,
         }
     }
 

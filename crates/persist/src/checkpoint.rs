@@ -1,0 +1,994 @@
+//! The columnar checkpoint: one file holding the complete engine stack
+//! state — graph CSR, coloring, accumulator rows, pair summaries,
+//! reduced instance, run config and counters — as independently
+//! CRC-guarded, individually encoded column blocks.
+//!
+//! See the crate docs for the full format specification. The writer is
+//! [`write_checkpoint_file`] (atomic: temp file + rename + fsync); the
+//! reader is [`read_checkpoint_file`]. Both go through the in-memory
+//! [`encode_checkpoint`] / [`decode_checkpoint`] pair, which the tests
+//! corrupt byte-by-byte.
+//!
+//! Decoding **validates before constructing**: every length, offset
+//! monotonicity, id range and flag consistency is checked with typed
+//! [`PersistError`]s while the data is still plain columns, so the
+//! panicking constructors downstream (`Graph::from_out_csr`,
+//! `Partition::from_classes`, the `from_snapshot` family) only ever see
+//! witnessed-consistent input.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use qsc_core::partition::Partition;
+use qsc_core::q_error::{EngineSnapshot, RowsSnapshot};
+use qsc_core::reduced::ReducedSnapshot;
+use qsc_core::rothko::{RothkoConfig, RunSnapshot, SplitMean};
+use qsc_core::storage::StorageMode;
+use qsc_graph::{Graph, NodeId};
+
+use crate::codec::{
+    crc32, decode_bools, decode_f64s, decode_u32s, decode_u64s, encode_bools, encode_f64s,
+    encode_u32s, encode_u64s, natural_bytes, ENC_RAW,
+};
+use crate::error::PersistError;
+
+/// Checkpoint file magic.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"QSC_CKPT";
+/// Current checkpoint format version. Readers accept exactly the
+/// versions they know; see the crate docs for the versioning policy.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// `u32::MAX` — the "no attainer recorded" witness sentinel mirrored
+/// from the engine.
+const NO_ARG: u32 = u32::MAX;
+
+// Block ids, fixed per format version. New columns get new ids in a new
+// version; ids are never reused with a different meaning.
+const BLK_SCALARS: u16 = 0;
+const BLK_GRAPH_OFFSETS: u16 = 1;
+const BLK_GRAPH_TARGETS: u16 = 2;
+const BLK_GRAPH_WEIGHTS: u16 = 3;
+const BLK_PART_OFFSETS: u16 = 4;
+const BLK_PART_MEMBERS: u16 = 5;
+const BLK_ENG_DOUT: u16 = 6;
+const BLK_ENG_DIN: u16 = 7;
+const BLK_ROWS_OUT_OFFSETS: u16 = 8;
+const BLK_ROWS_OUT_COLORS: u16 = 9;
+const BLK_ROWS_OUT_WEIGHTS: u16 = 10;
+const BLK_ROWS_OUT_DENSE: u16 = 11;
+const BLK_ROWS_IN_OFFSETS: u16 = 12;
+const BLK_ROWS_IN_COLORS: u16 = 13;
+const BLK_ROWS_IN_WEIGHTS: u16 = 14;
+const BLK_ROWS_IN_DENSE: u16 = 15;
+const BLK_OUT_MIN: u16 = 16;
+const BLK_OUT_MAX: u16 = 17;
+const BLK_IN_MIN: u16 = 18;
+const BLK_IN_MAX: u16 = 19;
+const BLK_OUT_MIN_ARG: u16 = 20;
+const BLK_OUT_MAX_ARG: u16 = 21;
+const BLK_IN_MIN_ARG: u16 = 22;
+const BLK_IN_MAX_ARG: u16 = 23;
+const BLK_OUT_NZ: u16 = 24;
+const BLK_IN_NZ: u16 = 25;
+const BLK_RED_SUM: u16 = 26;
+const BLK_RED_SIZES: u16 = 27;
+const BLK_RED_DIRTY: u16 = 28;
+
+/// Everything a checkpoint holds: the state needed to rebuild a
+/// [`qsc_core::rothko::RothkoRun`] (and optionally its lockstep
+/// [`qsc_core::reduced::ReducedDelta`]) bit-identically.
+#[derive(Clone, Debug)]
+pub struct CheckpointData {
+    /// The compacted graph the run currently refines.
+    pub graph: Graph,
+    /// The run's configuration. `initial` is not persisted (it only
+    /// matters at construction; restore rebuilds from the snapshot's
+    /// partition) and comes back as `None`.
+    pub config: RothkoConfig,
+    /// The run's resumable state.
+    pub run: RunSnapshot,
+    /// The reduced-instance state, when the writer maintained one.
+    pub reduced: Option<ReducedSnapshot>,
+    /// WAL sequence number this checkpoint covers: every record with
+    /// `seq <= wal_seq` is already folded into this state, and recovery
+    /// replays strictly newer records only.
+    pub wal_seq: u64,
+}
+
+/// Size accounting for one encoded checkpoint — the numbers
+/// `BENCH_persist.json` reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckpointStats {
+    /// Total file bytes (header + block headers + payloads).
+    pub file_bytes: u64,
+    /// Natural (fixed-width, uncompressed) bytes of every column — the
+    /// compression-ratio baseline.
+    pub natural_bytes: u64,
+    /// Encoded payload bytes across all blocks.
+    pub encoded_bytes: u64,
+    /// Number of blocks written.
+    pub blocks: u32,
+}
+
+impl CheckpointStats {
+    /// Natural bytes over encoded payload bytes (∞-safe: 0 when empty).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            0.0
+        } else {
+            self.natural_bytes as f64 / self.encoded_bytes as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar blob (block 0)
+// ---------------------------------------------------------------------------
+
+struct ScalarWriter {
+    buf: Vec<u8>,
+}
+
+impl ScalarWriter {
+    fn new() -> Self {
+        ScalarWriter { buf: Vec::new() }
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn flag(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.buf.push(1);
+                self.u64(x);
+            }
+            None => self.buf.push(0),
+        }
+    }
+}
+
+struct ScalarReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ScalarReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ScalarReader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(PersistError::Truncated {
+                context: "scalar block ended early",
+            })?;
+        self.pos += n;
+        Ok(s)
+    }
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+    fn flag(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(PersistError::Corrupt {
+                context: "boolean scalar is neither 0 nor 1",
+            }),
+        }
+    }
+    fn opt_u64(&mut self) -> Result<Option<u64>, PersistError> {
+        if self.flag()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+    fn usize(&mut self) -> Result<usize, PersistError> {
+        usize::try_from(self.u64()?).map_err(|_| PersistError::Corrupt {
+            context: "scalar value overflows usize",
+        })
+    }
+    fn finish(self) -> Result<(), PersistError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt {
+                context: "scalar block has trailing bytes",
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct BlockSink {
+    out: Vec<u8>,
+    stats: CheckpointStats,
+}
+
+impl BlockSink {
+    fn push_block(&mut self, id: u16, enc: u8, count: usize, payload: &[u8], natural: usize) {
+        self.out.extend_from_slice(&id.to_le_bytes());
+        self.out.push(enc);
+        self.out.push(0); // reserved
+        self.out.extend_from_slice(&(count as u64).to_le_bytes());
+        self.out
+            .extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.out.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.out.extend_from_slice(payload);
+        self.stats.blocks += 1;
+        self.stats.encoded_bytes += payload.len() as u64;
+        self.stats.natural_bytes += natural as u64;
+    }
+    fn u64s(&mut self, id: u16, vals: &[u64]) {
+        let (enc, payload) = encode_u64s(vals);
+        self.push_block(id, enc, vals.len(), &payload, natural_bytes(vals.len(), 8));
+    }
+    fn usizes(&mut self, id: u16, vals: &[usize]) {
+        let wide: Vec<u64> = vals.iter().map(|&v| v as u64).collect();
+        self.u64s(id, &wide);
+    }
+    fn u32s(&mut self, id: u16, vals: &[u32]) {
+        let (enc, payload) = encode_u32s(vals);
+        self.push_block(id, enc, vals.len(), &payload, natural_bytes(vals.len(), 4));
+    }
+    fn f64s(&mut self, id: u16, vals: &[f64]) {
+        let (enc, payload) = encode_f64s(vals);
+        self.push_block(id, enc, vals.len(), &payload, natural_bytes(vals.len(), 8));
+    }
+    fn bools(&mut self, id: u16, vals: &[bool]) {
+        let (enc, payload) = encode_bools(vals);
+        self.push_block(id, enc, vals.len(), &payload, natural_bytes(vals.len(), 1));
+    }
+}
+
+fn split_mean_tag(m: SplitMean) -> u8 {
+    match m {
+        SplitMean::Arithmetic => 0,
+        SplitMean::Geometric => 1,
+    }
+}
+
+fn storage_tag(s: StorageMode) -> u8 {
+    match s {
+        StorageMode::Dense => 0,
+        StorageMode::Sparse => 1,
+        StorageMode::Auto => 2,
+    }
+}
+
+/// Encode a checkpoint into bytes plus its size accounting.
+#[must_use]
+pub fn encode_checkpoint(data: &CheckpointData) -> (Vec<u8>, CheckpointStats) {
+    let g = &data.graph;
+    let p = &data.run.partition;
+    let n = g.num_nodes();
+    let k = p.num_colors();
+
+    // Scalar blob first: everything fixed-size, one block.
+    let mut s = ScalarWriter::new();
+    s.u64(n as u64);
+    s.flag(g.is_directed());
+    let c = &data.config;
+    s.u64(c.max_colors as u64);
+    s.f64(c.target_error);
+    s.f64(c.alpha);
+    s.f64(c.beta);
+    s.u8(split_mean_tag(c.split_mean));
+    s.opt_u64(c.max_iterations.map(|v| v as u64));
+    s.opt_u64(c.threads.map(|v| v as u64));
+    s.u64(c.batch as u64);
+    s.flag(c.coarsen);
+    s.flag(c.fast_math);
+    s.u8(storage_tag(c.storage));
+    s.u64(data.run.iterations as u64);
+    s.u64(data.run.merges as u64);
+    s.f64(data.run.last_max_error);
+    s.flag(data.run.done);
+    s.u64(k as u64);
+    let eng = data.run.engine.as_ref();
+    s.flag(eng.is_some());
+    if let Some(e) = eng {
+        s.u64(e.k as u64);
+        s.flag(e.symmetric);
+        s.flag(e.track_summaries);
+        s.flag(e.sparse_accum);
+        s.flag(e.promote);
+        s.f64(e.last_beta);
+    }
+    s.flag(data.reduced.is_some());
+    if let Some(r) = &data.reduced {
+        s.u64(r.k as u64);
+        s.flag(r.symmetric);
+    }
+    s.u64(data.wal_seq);
+
+    let mut sink = BlockSink {
+        out: Vec::new(),
+        stats: CheckpointStats::default(),
+    };
+    sink.push_block(BLK_SCALARS, ENC_RAW, s.buf.len(), &s.buf, s.buf.len());
+
+    // Graph CSR (out direction only — symmetric in-arrays are its clone,
+    // directed in-arrays a counting sort; both recomputed on load).
+    let (offs, tgts, wts) = g.out_adjacency();
+    sink.usizes(BLK_GRAPH_OFFSETS, offs);
+    sink.u32s(BLK_GRAPH_TARGETS, tgts);
+    sink.f64s(BLK_GRAPH_WEIGHTS, wts);
+
+    // Partition member lists, columnar: class offsets + concatenated
+    // members in stored (semantic) order.
+    let mut part_offsets = Vec::with_capacity(k + 1);
+    let mut part_members: Vec<u32> = Vec::with_capacity(n);
+    part_offsets.push(0usize);
+    for color in 0..k {
+        part_members.extend_from_slice(p.members(color as u32));
+        part_offsets.push(part_members.len());
+    }
+    sink.usizes(BLK_PART_OFFSETS, &part_offsets);
+    sink.u32s(BLK_PART_MEMBERS, &part_members);
+
+    if let Some(e) = eng {
+        sink.f64s(BLK_ENG_DOUT, &e.dout);
+        sink.f64s(BLK_ENG_DIN, &e.din);
+        for (snap, ids) in [
+            (
+                &e.rows_out,
+                [
+                    BLK_ROWS_OUT_OFFSETS,
+                    BLK_ROWS_OUT_COLORS,
+                    BLK_ROWS_OUT_WEIGHTS,
+                    BLK_ROWS_OUT_DENSE,
+                ],
+            ),
+            (
+                &e.rows_in,
+                [
+                    BLK_ROWS_IN_OFFSETS,
+                    BLK_ROWS_IN_COLORS,
+                    BLK_ROWS_IN_WEIGHTS,
+                    BLK_ROWS_IN_DENSE,
+                ],
+            ),
+        ] {
+            sink.usizes(ids[0], &snap.offsets);
+            sink.u32s(ids[1], &snap.colors);
+            sink.f64s(ids[2], &snap.weights);
+            sink.bools(ids[3], &snap.dense);
+        }
+        sink.f64s(BLK_OUT_MIN, &e.out_min);
+        sink.f64s(BLK_OUT_MAX, &e.out_max);
+        sink.f64s(BLK_IN_MIN, &e.in_min);
+        sink.f64s(BLK_IN_MAX, &e.in_max);
+        sink.u32s(BLK_OUT_MIN_ARG, &e.out_min_arg);
+        sink.u32s(BLK_OUT_MAX_ARG, &e.out_max_arg);
+        sink.u32s(BLK_IN_MIN_ARG, &e.in_min_arg);
+        sink.u32s(BLK_IN_MAX_ARG, &e.in_max_arg);
+        sink.u32s(BLK_OUT_NZ, &e.out_nz);
+        sink.u32s(BLK_IN_NZ, &e.in_nz);
+    }
+
+    if let Some(r) = &data.reduced {
+        sink.f64s(BLK_RED_SUM, &r.sum);
+        sink.usizes(BLK_RED_SIZES, &r.sizes);
+        sink.u32s(BLK_RED_DIRTY, &r.dirty);
+    }
+
+    // File = header (magic, version, block count, header CRC) + blocks.
+    let mut file = Vec::with_capacity(20 + sink.out.len());
+    file.extend_from_slice(CHECKPOINT_MAGIC);
+    file.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    file.extend_from_slice(&sink.stats.blocks.to_le_bytes());
+    let hcrc = crc32(&file);
+    file.extend_from_slice(&hcrc.to_le_bytes());
+    file.extend_from_slice(&sink.out);
+    let mut stats = sink.stats;
+    stats.file_bytes = file.len() as u64;
+    (file, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct RawBlock<'a> {
+    enc: u8,
+    count: usize,
+    payload: &'a [u8],
+}
+
+struct BlockMap<'a> {
+    blocks: Vec<(u16, RawBlock<'a>)>,
+}
+
+impl<'a> BlockMap<'a> {
+    fn get(&self, id: u16) -> Result<&RawBlock<'a>, PersistError> {
+        self.blocks
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, b)| b)
+            .ok_or(PersistError::Corrupt {
+                context: "checkpoint is missing a required block",
+            })
+    }
+    fn u64s(&self, id: u16) -> Result<Vec<u64>, PersistError> {
+        let b = self.get(id)?;
+        decode_u64s(b.enc, b.payload, b.count)
+    }
+    fn usizes(&self, id: u16) -> Result<Vec<usize>, PersistError> {
+        self.u64s(id)?
+            .into_iter()
+            .map(|v| {
+                usize::try_from(v).map_err(|_| PersistError::Corrupt {
+                    context: "offset column element overflows usize",
+                })
+            })
+            .collect()
+    }
+    fn u32s(&self, id: u16) -> Result<Vec<u32>, PersistError> {
+        let b = self.get(id)?;
+        decode_u32s(b.enc, b.payload, b.count)
+    }
+    fn f64s(&self, id: u16) -> Result<Vec<f64>, PersistError> {
+        let b = self.get(id)?;
+        decode_f64s(b.enc, b.payload, b.count)
+    }
+    fn bools(&self, id: u16) -> Result<Vec<bool>, PersistError> {
+        let b = self.get(id)?;
+        decode_bools(b.enc, b.payload, b.count)
+    }
+}
+
+fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
+    if bytes.len() < 20 {
+        return Err(PersistError::Truncated {
+            context: "checkpoint shorter than its header",
+        });
+    }
+    if &bytes[0..8] != CHECKPOINT_MAGIC {
+        return Err(PersistError::BadMagic { kind: "checkpoint" });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != CHECKPOINT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    let block_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let hcrc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    if crc32(&bytes[0..16]) != hcrc {
+        return Err(PersistError::CrcMismatch {
+            context: "checkpoint header",
+        });
+    }
+    let mut pos = 20usize;
+    let mut blocks = Vec::with_capacity(block_count as usize);
+    for _ in 0..block_count {
+        let hdr = bytes.get(pos..pos + 24).ok_or(PersistError::Truncated {
+            context: "checkpoint block header",
+        })?;
+        let id = u16::from_le_bytes(hdr[0..2].try_into().unwrap());
+        let enc = hdr[2];
+        let count =
+            usize::try_from(u64::from_le_bytes(hdr[4..12].try_into().unwrap())).map_err(|_| {
+                PersistError::Corrupt {
+                    context: "block element count overflows usize",
+                }
+            })?;
+        let len =
+            usize::try_from(u64::from_le_bytes(hdr[12..20].try_into().unwrap())).map_err(|_| {
+                PersistError::Corrupt {
+                    context: "block payload length overflows usize",
+                }
+            })?;
+        let pcrc = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
+        pos += 24;
+        let payload = bytes.get(pos..pos + len).ok_or(PersistError::Truncated {
+            context: "checkpoint block payload",
+        })?;
+        pos += len;
+        if crc32(payload) != pcrc {
+            return Err(PersistError::CrcMismatch {
+                context: "checkpoint block payload",
+            });
+        }
+        if blocks.iter().any(|(i, _)| *i == id) {
+            return Err(PersistError::Corrupt {
+                context: "duplicate block id in checkpoint",
+            });
+        }
+        blocks.push((
+            id,
+            RawBlock {
+                enc,
+                count,
+                payload,
+            },
+        ));
+    }
+    if pos != bytes.len() {
+        return Err(PersistError::Corrupt {
+            context: "checkpoint has trailing bytes after the last block",
+        });
+    }
+    Ok(BlockMap { blocks })
+}
+
+fn check_offsets(
+    offsets: &[usize],
+    entries: usize,
+    context: &'static str,
+) -> Result<(), PersistError> {
+    if offsets.first() != Some(&0) || offsets.last() != Some(&entries) {
+        return Err(PersistError::Corrupt { context });
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(PersistError::Corrupt { context });
+    }
+    Ok(())
+}
+
+fn decode_rows(
+    map: &BlockMap<'_>,
+    ids: [u16; 4],
+    expect_rows: Option<usize>,
+) -> Result<RowsSnapshot, PersistError> {
+    let offsets = map.usizes(ids[0])?;
+    let colors = map.u32s(ids[1])?;
+    let weights = map.f64s(ids[2])?;
+    let dense = map.bools(ids[3])?;
+    match expect_rows {
+        None => {
+            if !offsets.is_empty() || !colors.is_empty() || !weights.is_empty() || !dense.is_empty()
+            {
+                return Err(PersistError::Corrupt {
+                    context: "accumulator row columns present for a direction that has none",
+                });
+            }
+        }
+        Some(n) => {
+            if offsets.len() != n + 1 || dense.len() != n {
+                return Err(PersistError::Corrupt {
+                    context: "accumulator row column count does not match node count",
+                });
+            }
+            check_offsets(
+                &offsets,
+                colors.len(),
+                "accumulator row offsets are not monotone",
+            )?;
+            if colors.len() != weights.len() {
+                return Err(PersistError::Corrupt {
+                    context: "accumulator row colors/weights lengths differ",
+                });
+            }
+            // Entries must be sorted ascending (strictly) per row — the
+            // tier contract — and index live colors only.
+            for v in 0..n {
+                let row = &colors[offsets[v]..offsets[v + 1]];
+                if row.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(PersistError::Corrupt {
+                        context: "accumulator row entries are not strictly ascending",
+                    });
+                }
+            }
+        }
+    }
+    Ok(RowsSnapshot {
+        offsets,
+        colors,
+        weights,
+        dense,
+    })
+}
+
+fn check_matrix(
+    vals_len: usize,
+    expect: Option<usize>,
+    context: &'static str,
+) -> Result<(), PersistError> {
+    let want = expect.unwrap_or(0);
+    if vals_len != want {
+        return Err(PersistError::Corrupt { context });
+    }
+    Ok(())
+}
+
+/// Decode a checkpoint from bytes, validating every structural
+/// invariant before touching a panicking constructor.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
+    let map = parse_blocks(bytes)?;
+
+    // Scalars.
+    let blk = map.get(BLK_SCALARS)?;
+    if blk.enc != ENC_RAW || blk.count != blk.payload.len() {
+        return Err(PersistError::Corrupt {
+            context: "scalar block has a non-raw encoding",
+        });
+    }
+    let mut s = ScalarReader::new(blk.payload);
+    let n = s.usize()?;
+    let directed = s.flag()?;
+    let config = RothkoConfig {
+        max_colors: s.usize()?,
+        target_error: s.f64()?,
+        alpha: s.f64()?,
+        beta: s.f64()?,
+        split_mean: match s.u8()? {
+            0 => SplitMean::Arithmetic,
+            1 => SplitMean::Geometric,
+            _ => {
+                return Err(PersistError::Corrupt {
+                    context: "unknown split-mean tag",
+                })
+            }
+        },
+        initial: None,
+        max_iterations: s.opt_u64()?.map(|v| v as usize),
+        threads: s.opt_u64()?.map(|v| v as usize),
+        batch: s.usize()?,
+        coarsen: s.flag()?,
+        fast_math: s.flag()?,
+        storage: match s.u8()? {
+            0 => StorageMode::Dense,
+            1 => StorageMode::Sparse,
+            2 => StorageMode::Auto,
+            _ => {
+                return Err(PersistError::Corrupt {
+                    context: "unknown storage-mode tag",
+                })
+            }
+        },
+    };
+    if config.batch == 0 {
+        return Err(PersistError::Corrupt {
+            context: "checkpoint config has batch size 0",
+        });
+    }
+    let iterations = s.usize()?;
+    let merges = s.usize()?;
+    let last_max_error = s.f64()?;
+    let done = s.flag()?;
+    let k = s.usize()?;
+    let engine_present = s.flag()?;
+    let engine_scalars = if engine_present {
+        let ek = s.usize()?;
+        let symmetric = s.flag()?;
+        let track_summaries = s.flag()?;
+        let sparse_accum = s.flag()?;
+        let promote = s.flag()?;
+        let last_beta = s.f64()?;
+        Some((
+            ek,
+            symmetric,
+            track_summaries,
+            sparse_accum,
+            promote,
+            last_beta,
+        ))
+    } else {
+        None
+    };
+    let reduced_present = s.flag()?;
+    let reduced_scalars = if reduced_present {
+        let rk = s.usize()?;
+        let rsym = s.flag()?;
+        Some((rk, rsym))
+    } else {
+        None
+    };
+    let wal_seq = s.u64()?;
+    s.finish()?;
+
+    // Graph.
+    let offsets = map.usizes(BLK_GRAPH_OFFSETS)?;
+    let targets = map.u32s(BLK_GRAPH_TARGETS)?;
+    let weights = map.f64s(BLK_GRAPH_WEIGHTS)?;
+    if offsets.len() != n + 1 {
+        return Err(PersistError::Corrupt {
+            context: "graph offsets length does not match node count",
+        });
+    }
+    check_offsets(&offsets, targets.len(), "graph offsets are not monotone")?;
+    if targets.len() != weights.len() {
+        return Err(PersistError::Corrupt {
+            context: "graph targets/weights lengths differ",
+        });
+    }
+    if targets.iter().any(|&t| t as usize >= n) {
+        return Err(PersistError::Corrupt {
+            context: "graph target id out of range",
+        });
+    }
+    let graph = Graph::from_out_csr(n, directed, offsets, targets, weights);
+
+    // Partition.
+    let part_offsets = map.usizes(BLK_PART_OFFSETS)?;
+    let part_members = map.u32s(BLK_PART_MEMBERS)?;
+    if part_offsets.len() != k + 1 {
+        return Err(PersistError::Corrupt {
+            context: "partition offsets length does not match color count",
+        });
+    }
+    check_offsets(
+        &part_offsets,
+        part_members.len(),
+        "partition offsets are not monotone",
+    )?;
+    if part_members.len() != n {
+        return Err(PersistError::Corrupt {
+            context: "partition member count does not match node count",
+        });
+    }
+    let mut seen = vec![false; n];
+    for &v in &part_members {
+        let slot = seen.get_mut(v as usize).ok_or(PersistError::Corrupt {
+            context: "partition member id out of range",
+        })?;
+        if *slot {
+            return Err(PersistError::Corrupt {
+                context: "partition member appears twice",
+            });
+        }
+        *slot = true;
+    }
+    // n members, none twice, all in range => exact cover of 0..n.
+    let classes: Vec<Vec<NodeId>> = (0..k)
+        .map(|c| part_members[part_offsets[c]..part_offsets[c + 1]].to_vec())
+        .collect();
+    let partition = Partition::from_classes(n, classes);
+
+    // Engine.
+    let engine = if let Some((ek, symmetric, track_summaries, sparse_accum, promote, last_beta)) =
+        engine_scalars
+    {
+        if ek != k {
+            return Err(PersistError::Corrupt {
+                context: "engine color count disagrees with partition",
+            });
+        }
+        if symmetric == directed {
+            return Err(PersistError::Corrupt {
+                context: "engine symmetry flag disagrees with graph direction",
+            });
+        }
+        if promote != (track_summaries && sparse_accum) {
+            return Err(PersistError::Corrupt {
+                context: "engine promote flag inconsistent with its mode flags",
+            });
+        }
+        let dout = map.f64s(BLK_ENG_DOUT)?;
+        let din = map.f64s(BLK_ENG_DIN)?;
+        let dense_expect = if sparse_accum { None } else { Some(n * k) };
+        check_matrix(
+            dout.len(),
+            dense_expect,
+            "dense accumulator length mismatch",
+        )?;
+        check_matrix(
+            din.len(),
+            if sparse_accum || symmetric {
+                None
+            } else {
+                Some(n * k)
+            },
+            "dense in-accumulator length mismatch",
+        )?;
+        let rows_out = decode_rows(
+            &map,
+            [
+                BLK_ROWS_OUT_OFFSETS,
+                BLK_ROWS_OUT_COLORS,
+                BLK_ROWS_OUT_WEIGHTS,
+                BLK_ROWS_OUT_DENSE,
+            ],
+            (sparse_accum && n > 0).then_some(n),
+        )?;
+        let rows_in = decode_rows(
+            &map,
+            [
+                BLK_ROWS_IN_OFFSETS,
+                BLK_ROWS_IN_COLORS,
+                BLK_ROWS_IN_WEIGHTS,
+                BLK_ROWS_IN_DENSE,
+            ],
+            (sparse_accum && !symmetric && n > 0).then_some(n),
+        )?;
+        if sparse_accum {
+            // Entry colors must index live colors (the split-correctness
+            // writer invariant: columns >= k are zero, hence absent).
+            if rows_out
+                .colors
+                .iter()
+                .chain(rows_in.colors.iter())
+                .any(|&c| c as usize >= k)
+            {
+                return Err(PersistError::Corrupt {
+                    context: "accumulator row entry color out of range",
+                });
+            }
+        }
+        let mat_expect = if track_summaries { Some(k * k) } else { None };
+        let in_mat_expect = if track_summaries && !symmetric {
+            Some(k * k)
+        } else {
+            None
+        };
+        let out_min = map.f64s(BLK_OUT_MIN)?;
+        let out_max = map.f64s(BLK_OUT_MAX)?;
+        let in_min = map.f64s(BLK_IN_MIN)?;
+        let in_max = map.f64s(BLK_IN_MAX)?;
+        let out_min_arg = map.u32s(BLK_OUT_MIN_ARG)?;
+        let out_max_arg = map.u32s(BLK_OUT_MAX_ARG)?;
+        let in_min_arg = map.u32s(BLK_IN_MIN_ARG)?;
+        let in_max_arg = map.u32s(BLK_IN_MAX_ARG)?;
+        let out_nz = map.u32s(BLK_OUT_NZ)?;
+        let in_nz = map.u32s(BLK_IN_NZ)?;
+        for (vals, expect) in [
+            (out_min.len(), mat_expect),
+            (out_max.len(), mat_expect),
+            (in_min.len(), in_mat_expect),
+            (in_max.len(), in_mat_expect),
+            (out_min_arg.len(), mat_expect),
+            (out_max_arg.len(), mat_expect),
+            (in_min_arg.len(), in_mat_expect),
+            (in_max_arg.len(), in_mat_expect),
+            (out_nz.len(), mat_expect),
+            (in_nz.len(), in_mat_expect),
+        ] {
+            check_matrix(vals, expect, "pair-summary matrix length mismatch")?;
+        }
+        for &a in out_min_arg
+            .iter()
+            .chain(&out_max_arg)
+            .chain(&in_min_arg)
+            .chain(&in_max_arg)
+        {
+            if a != NO_ARG && a as usize >= n {
+                return Err(PersistError::Corrupt {
+                    context: "pair-summary witness id out of range",
+                });
+            }
+        }
+        Some(EngineSnapshot {
+            n,
+            k,
+            symmetric,
+            track_summaries,
+            sparse_accum,
+            promote,
+            last_beta,
+            dout,
+            din,
+            rows_out,
+            rows_in,
+            out_min,
+            out_max,
+            in_min,
+            in_max,
+            out_min_arg,
+            out_max_arg,
+            in_min_arg,
+            in_max_arg,
+            out_nz,
+            in_nz,
+        })
+    } else {
+        None
+    };
+
+    // Reduced instance.
+    let reduced = if let Some((rk, rsym)) = reduced_scalars {
+        if rk != k {
+            return Err(PersistError::Corrupt {
+                context: "reduced color count disagrees with partition",
+            });
+        }
+        let sum = map.f64s(BLK_RED_SUM)?;
+        let sizes = map.usizes(BLK_RED_SIZES)?;
+        let dirty = map.u32s(BLK_RED_DIRTY)?;
+        if sum.len() != rk * rk || sizes.len() != rk {
+            return Err(PersistError::Corrupt {
+                context: "reduced matrix length mismatch",
+            });
+        }
+        if dirty.iter().any(|&c| c as usize >= rk) {
+            return Err(PersistError::Corrupt {
+                context: "reduced dirty color out of range",
+            });
+        }
+        let mut flagged = vec![false; rk];
+        for &c in &dirty {
+            if flagged[c as usize] {
+                return Err(PersistError::Corrupt {
+                    context: "reduced dirty color listed twice",
+                });
+            }
+            flagged[c as usize] = true;
+        }
+        Some(ReducedSnapshot {
+            k: rk,
+            sum,
+            sizes,
+            symmetric: rsym,
+            dirty,
+        })
+    } else {
+        None
+    };
+
+    Ok(CheckpointData {
+        graph,
+        config,
+        run: RunSnapshot {
+            partition,
+            engine,
+            iterations,
+            merges,
+            last_max_error,
+            done,
+        },
+        reduced,
+        wal_seq,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+/// Write a checkpoint atomically: encode, write to a sibling temp file,
+/// fsync it, rename over `path`, fsync the parent directory. A crash at
+/// any point leaves either the old checkpoint or the new one, never a
+/// torn file.
+pub fn write_checkpoint_file(
+    path: &Path,
+    data: &CheckpointData,
+) -> Result<CheckpointStats, PersistError> {
+    let (bytes, stats) = encode_checkpoint(data);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself. Directory fsync is best-effort on
+        // platforms where opening a directory for write is not allowed.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(stats)
+}
+
+/// Read and fully validate a checkpoint file.
+pub fn read_checkpoint_file(path: &Path) -> Result<CheckpointData, PersistError> {
+    let bytes = fs::read(path)?;
+    decode_checkpoint(&bytes)
+}

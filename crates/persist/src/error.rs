@@ -1,0 +1,93 @@
+//! Typed persistence errors. Every way on-disk bytes can be wrong maps
+//! to a variant here — corrupt input is an error value, never a panic.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong reading or writing persistent state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with the expected magic bytes — not a
+    /// checkpoint / WAL segment at all.
+    BadMagic {
+        /// Which kind of file was being opened.
+        kind: &'static str,
+    },
+    /// The format version is one this build does not understand.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// A CRC check failed: the bytes were damaged after being written.
+    CrcMismatch {
+        /// What the CRC guarded (block name or WAL record).
+        context: &'static str,
+    },
+    /// The file ended before a complete structure could be read.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// Structurally invalid content (lengths that disagree, ids out of
+    /// range, unknown tags) with a CRC that still matched — either a
+    /// writer bug or deliberate tampering.
+    Corrupt {
+        /// What was found to be inconsistent.
+        context: &'static str,
+    },
+    /// A WAL record's sequence number broke continuity (gap or
+    /// duplicate) — a segment is missing or was reordered.
+    SequenceGap {
+        /// Sequence number expected next.
+        expected: u64,
+        /// Sequence number found.
+        found: u64,
+    },
+    /// The checkpoint and the state it is being combined with disagree
+    /// (e.g. a WAL written by a different run).
+    Mismatch {
+        /// What disagreed.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic { kind } => write!(f, "bad magic: not a {kind} file"),
+            PersistError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads ≤ {supported})"
+                )
+            }
+            PersistError::CrcMismatch { context } => write!(f, "CRC mismatch in {context}"),
+            PersistError::Truncated { context } => write!(f, "truncated input: {context}"),
+            PersistError::Corrupt { context } => write!(f, "corrupt input: {context}"),
+            PersistError::SequenceGap { expected, found } => {
+                write!(f, "WAL sequence gap: expected {expected}, found {found}")
+            }
+            PersistError::Mismatch { context } => write!(f, "state mismatch: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}

@@ -1,0 +1,110 @@
+//! Columnar checkpoints + WAL replay for the incremental engine: warm
+//! restarts that restore `RothkoRun` / `ReducedDelta` state bit-identical
+//! to the writer, instead of recomputing it from scratch.
+//!
+//! Two artifacts live in a store directory (see [`store::Store`]):
+//! a **checkpoint** (full columnar snapshot of the stack) and a **WAL**
+//! (the input batches logged since that snapshot). Recovery loads the
+//! checkpoint columns straight into engine state and replays the WAL
+//! tail through the public API.
+//!
+//! # Checkpoint format (`CHECKPOINT`, version 1)
+//!
+//! All integers little-endian. The file is a 20-byte header followed by
+//! `block_count` self-describing blocks:
+//!
+//! ```text
+//! header:  magic  b"QSC_CKPT"            8 bytes
+//!          version u32                   4 bytes   (= 1)
+//!          block_count u32               4 bytes
+//!          crc32 over the 16 bytes above 4 bytes
+//! block:   id u16 | enc u8 | reserved u8 (= 0)
+//!          count u64                     logical element count
+//!          payload_len u64               encoded payload bytes
+//!          crc32 u32                     over the payload
+//!          payload                       payload_len bytes
+//! ```
+//!
+//! Block ids are assigned once per version and **never reused**:
+//!
+//! | id    | column                                   | element |
+//! |-------|------------------------------------------|---------|
+//! | 0     | scalars (header blob, see below)         | bytes   |
+//! | 1–3   | graph CSR: out offsets / targets / weights | u64 / u32 / f64 |
+//! | 4–5   | partition: member offsets / member lists | u64 / u32 |
+//! | 6–7   | engine accumulators: dout / din          | f64     |
+//! | 8–11  | sparse rows out: offsets / colors / weights / dense flags | u64 / u32 / f64 / bool |
+//! | 12–15 | sparse rows in: same four columns        |         |
+//! | 16–19 | summaries: out\_min / out\_max / in\_min / in\_max | f64 |
+//! | 20–23 | witness args for the four summaries      | u32     |
+//! | 24–25 | nonzero counts: out / in                 | u32     |
+//! | 26–28 | reduced instance: sums / sizes / dirty queue | f64 / u64 / u32 |
+//!
+//! The scalar blob (block 0) packs dimensions, the full `RothkoConfig`
+//! (minus the non-persistable `initial` partition), run counters, engine
+//! mode flags, and the WAL coverage sequence, each as varints / raw f64
+//! bits in a fixed order. Blocks for absent state (no engine, dense
+//! storage, symmetric graphs) are simply omitted; presence flags in the
+//! scalar blob say which to expect.
+//!
+//! # Column encodings
+//!
+//! Each block's `enc` byte names how its payload was encoded. Encoders
+//! pick whichever applicable scheme is smallest for that column:
+//!
+//! * **raw (0)** — native little-endian bytes.
+//! * **varint (1)** — LEB128, 7 bits per byte. Small magnitudes (sizes,
+//!   counts) shrink to 1–2 bytes.
+//! * **delta (2)** — consecutive differences, zigzag-mapped to unsigned,
+//!   then varint. Sorted columns (CSR offsets, member offsets) become
+//!   streams of tiny gaps.
+//! * **shuffle (3)** — f64 columns split into 8 byte planes (all byte 0s,
+//!   then all byte 1s, …) and run/literal RLE-compressed per plane.
+//!   Uniform weights and repeated exponents collapse to runs.
+//! * **bitmap (4)** — bools packed LSB-first, 8 per byte.
+//!
+//! Floats round-trip through `to_bits`, so `-0.0`, infinities and NaN
+//! payloads survive exactly; restored state is bit-identical.
+//!
+//! # WAL format (`wal-<first_seq>.seg`, version 1)
+//!
+//! A segment is a 24-byte header (`b"QSC_WAL\0"`, version u32, first
+//! sequence u64, crc32) followed by length-prefixed records:
+//! `len u32 | crc32 u32 | seq u64 | type u8 | payload`. Records are
+//! **inputs** — edge batches, node-churn batches, maintain markers —
+//! replayed through the same public calls the writer made. Sequence
+//! numbers are global and contiguous across segments; an unparseable
+//! tail in the *last* segment is dropped cleanly (a torn write), while
+//! damage in a sealed segment is a hard error. See [`wal`] for details.
+//!
+//! # Versioning policy
+//!
+//! Readers accept exactly the versions they know (currently: 1) and
+//! reject anything else with [`PersistError::UnsupportedVersion`] — no
+//! silent best-effort parsing of future formats. Format evolution adds
+//! new block ids / record types under a bumped version number; existing
+//! ids keep their meaning forever and are never reassigned. Unknown
+//! block ids under a known version are an error, not ignorable padding:
+//! version 1 files contain exactly the blocks documented here.
+//!
+//! # Corruption handling
+//!
+//! Every failure mode maps to a typed [`PersistError`]; decoding never
+//! panics on hostile bytes. Structural validation (offset monotonicity,
+//! id ranges, partition coverage, flag consistency) runs before any
+//! state constructor with invariants is called, so a CRC-valid but
+//! semantically poisoned file is caught as [`PersistError::Corrupt`].
+
+pub mod checkpoint;
+pub mod codec;
+pub mod error;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_file,
+    CheckpointData, CheckpointStats, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
+pub use error::PersistError;
+pub use store::{Recovered, Store, StoreOptions, CHECKPOINT_FILE};
+pub use wal::{last_wal_seq, read_wal, WalRecord, WalWriter, WAL_MAGIC, WAL_VERSION};

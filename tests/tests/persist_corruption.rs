@@ -1,0 +1,521 @@
+//! Corruption robustness suite: hostile bytes are **typed errors, never
+//! panics**.
+//!
+//! Checkpoints: every single-bit flip over the *entire* file (header,
+//! every block header field, every payload byte) must either fail with a
+//! typed [`qsc_persist::PersistError`] or decode to the exact original
+//! state (flips landing in ignored padding); every strict prefix
+//! truncation must fail typed. Targeted cases pin the specific error
+//! variants for bad magic, unknown versions, and header CRC damage.
+//!
+//! WAL: damage in a *sealed* segment is a hard error; any truncation or
+//! flip in the *last* (open) segment recovers cleanly to the longest
+//! prefix of complete records — the recover-to-last-complete-batch
+//! guarantee, exercised at every byte boundary of the open segment.
+//! CRC-valid but semantically poisoned records (out-of-range colors,
+//! color-emptying removals, dangling node ids) must surface as
+//! [`qsc_persist::PersistError::Corrupt`] from replay, not panics.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use qsc_core::reduced::ReducedDelta;
+use qsc_core::rothko::{NodeChurnBatch, Rothko, RothkoConfig, RothkoRun};
+use qsc_graph::{Graph, GraphBuilder, GraphDelta, NodeRemap};
+use qsc_persist::{
+    decode_checkpoint, encode_checkpoint, read_wal, CheckpointData, PersistError, Store,
+    StoreOptions,
+};
+use rand::prelude::*;
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "qsc-persist-corrupt-{}-{}-{}",
+        std::process::id(),
+        tag,
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// Small deterministic graph with exactly representable weights.
+fn small_graph(n: usize, edges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new_undirected(n);
+    for _ in 0..edges {
+        let u = rng.random_range(0..n) as u32;
+        let v = rng.random_range(0..n) as u32;
+        if u != v {
+            b.add_edge(u, v, (rng.random_range(1u32..9) as f64) * 0.5);
+        }
+    }
+    b.build()
+}
+
+/// A maintained run + reduced pair over a small graph.
+fn small_stack(seed: u64) -> (Graph, RothkoRun<'static>, ReducedDelta) {
+    let g = small_graph(30, 110, seed);
+    let config = RothkoConfig {
+        max_colors: 12,
+        target_error: 3.0,
+        threads: Some(1),
+        ..Default::default()
+    };
+    let mut run = Rothko::new(config.clone()).start(&g);
+    run.maintain();
+    let reduced = ReducedDelta::new(&g, run.partition());
+    let snap = run.snapshot();
+    (
+        g.clone(),
+        RothkoRun::from_snapshot(g, config, &snap),
+        reduced,
+    )
+}
+
+fn checkpoint_bytes(seed: u64) -> Vec<u8> {
+    let (g, run, reduced) = small_stack(seed);
+    let data = CheckpointData {
+        graph: g,
+        config: run.config().clone(),
+        run: run.snapshot(),
+        reduced: Some(reduced.snapshot()),
+        wal_seq: 7,
+    };
+    encode_checkpoint(&data).0
+}
+
+#[test]
+fn every_checkpoint_bit_flip_is_detected_or_inert() {
+    let bytes = checkpoint_bytes(3);
+    let baseline = encode_checkpoint(&decode_checkpoint(&bytes).unwrap()).0;
+    assert_eq!(baseline, bytes, "decode→encode must be the identity");
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << bit;
+            // Must never panic. Ok is tolerated only when the flip landed
+            // in bytes the format ignores (reserved padding) — the
+            // decoded state must then re-encode to the pristine bytes.
+            if let Ok(data) = decode_checkpoint(&mutated) {
+                assert_eq!(
+                    encode_checkpoint(&data).0,
+                    baseline,
+                    "byte {i} bit {bit}: flip decoded Ok to a different state"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_checkpoint_truncation_fails_typed() {
+    let bytes = checkpoint_bytes(4);
+    for len in 0..bytes.len() {
+        let err = decode_checkpoint(&bytes[..len]).expect_err("strict prefix must not decode");
+        assert!(
+            matches!(
+                err,
+                PersistError::Truncated { .. }
+                    | PersistError::Corrupt { .. }
+                    | PersistError::CrcMismatch { .. }
+                    | PersistError::BadMagic { .. }
+            ),
+            "truncation to {len} gave unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_header_fields_fail_with_specific_errors() {
+    let bytes = checkpoint_bytes(5);
+    // Magic.
+    let mut m = bytes.clone();
+    m[0] = b'X';
+    assert!(matches!(
+        decode_checkpoint(&m),
+        Err(PersistError::BadMagic { kind: "checkpoint" })
+    ));
+    // Version (future version, header CRC fixed up to isolate the check).
+    let mut v = bytes.clone();
+    v[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let crc = qsc_persist::codec::crc32(&v[0..16]);
+    v[16..20].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        decode_checkpoint(&v),
+        Err(PersistError::UnsupportedVersion {
+            found: 99,
+            supported: 1
+        })
+    ));
+    // Block count (header CRC catches the edit).
+    let mut c = bytes.clone();
+    c[12] ^= 0xff;
+    assert!(matches!(
+        decode_checkpoint(&c),
+        Err(PersistError::CrcMismatch { .. })
+    ));
+    // Header CRC itself.
+    let mut h = bytes.clone();
+    h[19] ^= 0x01;
+    assert!(matches!(
+        decode_checkpoint(&h),
+        Err(PersistError::CrcMismatch { .. })
+    ));
+    // A payload byte (first block's payload starts at 20 + 24).
+    let mut p = bytes;
+    p[44] ^= 0x10;
+    assert!(decode_checkpoint(&p).is_err());
+}
+
+/// Build a store with one checkpoint and `batches` logged edge batches,
+/// returning (dir, per-batch state bytes) where entry `i` is the state
+/// after batch `i` (entry 0 = checkpoint-only state).
+fn store_with_batches(tag: &str, batches: usize) -> (PathBuf, Vec<Vec<u8>>) {
+    let dir = temp_store_dir(tag);
+    let (g, mut run, mut reduced) = small_stack(11);
+    let mut store = Store::create(
+        &dir,
+        StoreOptions {
+            segment_bytes: u64::MAX,
+            sync_every_bytes: 0,
+        },
+    )
+    .unwrap();
+    store.checkpoint(&run, Some(&reduced)).unwrap();
+    let mut delta = GraphDelta::new(g);
+    let mut rng = StdRng::seed_from_u64(77);
+    let state = |run: &RothkoRun<'_>, reduced: &ReducedDelta| {
+        let data = CheckpointData {
+            graph: run.graph().clone(),
+            config: run.config().clone(),
+            run: run.snapshot(),
+            reduced: Some(reduced.snapshot()),
+            wal_seq: 0,
+        };
+        encode_checkpoint(&data).0
+    };
+    let mut states = vec![state(&run, &reduced)];
+    for _ in 0..batches {
+        let n = delta.num_nodes();
+        let mut events = Vec::new();
+        for _ in 0..6 {
+            for _ in 0..20 {
+                let u = rng.random_range(0..n) as u32;
+                let v = rng.random_range(0..n) as u32;
+                if u != v && !delta.has_edge(u, v) {
+                    delta
+                        .insert_edge(u, v, (rng.random_range(1u32..9) as f64) * 0.5)
+                        .unwrap();
+                    break;
+                }
+            }
+        }
+        events.extend(delta.drain_events());
+        store.log_edge_batch(&events).unwrap();
+        let compacted = delta.compact();
+        run.apply_edge_batch(compacted, &events);
+        reduced.apply_edge_batch(run.partition(), &events);
+        states.push(state(&run, &reduced));
+    }
+    store.sync().unwrap();
+    (dir, states)
+}
+
+/// The single open WAL segment in `dir` (the one recovery treats as last).
+fn open_segment(dir: &PathBuf) -> PathBuf {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segs.sort();
+    segs.pop().unwrap()
+}
+
+/// Byte offsets of record boundaries in a segment (24-byte header, then
+/// `len u32 | crc u32 | body(len)` frames).
+fn record_boundaries(seg: &[u8]) -> Vec<usize> {
+    let mut bounds = vec![24usize];
+    let mut pos = 24usize;
+    while pos + 8 <= seg.len() {
+        let len = u32::from_le_bytes(seg[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 8 + len;
+        bounds.push(pos);
+    }
+    assert_eq!(*bounds.last().unwrap(), seg.len(), "trailing garbage");
+    bounds
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_last_complete_batch() {
+    let (dir, states) = store_with_batches("torn", 3);
+    let seg_path = open_segment(&dir);
+    let pristine = fs::read(&seg_path).unwrap();
+    let bounds = record_boundaries(&pristine);
+    assert_eq!(bounds.len(), 4, "3 records expected");
+    // Truncate the open segment at EVERY byte length: recovery must
+    // succeed and land exactly on the last complete record's state.
+    for cut in 0..pristine.len() {
+        fs::write(&seg_path, &pristine[..cut]).unwrap();
+        let rec = Store::recover(&dir, None)
+            .unwrap_or_else(|e| panic!("cut at {cut} failed recovery: {e}"));
+        let complete = bounds.iter().filter(|&&b| b <= cut && b > 24).count();
+        assert_eq!(rec.replayed, complete, "cut at {cut}");
+        let data = CheckpointData {
+            graph: rec.run.graph().clone(),
+            config: rec.run.config().clone(),
+            run: rec.run.snapshot(),
+            reduced: rec.reduced.as_ref().map(ReducedDelta::snapshot),
+            wal_seq: 0,
+        };
+        assert_eq!(
+            encode_checkpoint(&data).0,
+            states[complete],
+            "cut at {cut}: wrong recovered state"
+        );
+    }
+    fs::write(&seg_path, &pristine).unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flips_in_open_segment_records_drop_the_tail_not_the_process() {
+    let (dir, states) = store_with_batches("tailflip", 3);
+    let seg_path = open_segment(&dir);
+    let pristine = fs::read(&seg_path).unwrap();
+    let bounds = record_boundaries(&pristine);
+    // Flip one byte inside each record: everything from that record on
+    // is dropped as a torn tail; earlier records survive.
+    for (i, w) in bounds.windows(2).enumerate() {
+        let mut mutated = pristine.clone();
+        mutated[w[0] + (w[1] - w[0]) / 2] ^= 0x40;
+        fs::write(&seg_path, &mutated).unwrap();
+        let rec = Store::recover(&dir, None).unwrap();
+        assert_eq!(rec.replayed, i, "flip in record {i}");
+        let data = CheckpointData {
+            graph: rec.run.graph().clone(),
+            config: rec.run.config().clone(),
+            run: rec.run.snapshot(),
+            reduced: rec.reduced.as_ref().map(ReducedDelta::snapshot),
+            wal_seq: 0,
+        };
+        assert_eq!(encode_checkpoint(&data).0, states[i]);
+    }
+    // A flip in the open segment's *header* is a hard error: headers are
+    // written whole before any record is acknowledged.
+    let mut mutated = pristine.clone();
+    mutated[13] ^= 0x01;
+    fs::write(&seg_path, &mutated).unwrap();
+    assert!(Store::recover(&dir, None).is_err());
+    fs::write(&seg_path, &pristine).unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damage_in_sealed_segments_is_a_hard_error() {
+    // Tiny segment budget: every record rotates into its own segment, so
+    // all but the newest are sealed.
+    let dir = temp_store_dir("sealed");
+    let (g, mut run, mut reduced) = small_stack(21);
+    let mut store = Store::create(
+        &dir,
+        StoreOptions {
+            segment_bytes: 64,
+            sync_every_bytes: 0,
+        },
+    )
+    .unwrap();
+    store.checkpoint(&run, Some(&reduced)).unwrap();
+    let mut delta = GraphDelta::new(g);
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..6 {
+        let n = delta.num_nodes();
+        loop {
+            let u = rng.random_range(0..n) as u32;
+            let v = rng.random_range(0..n) as u32;
+            if u != v && !delta.has_edge(u, v) {
+                delta.insert_edge(u, v, 1.5).unwrap();
+                break;
+            }
+        }
+        let events = delta.drain_events();
+        store.log_edge_batch(&events).unwrap();
+        let compacted = delta.compact();
+        run.apply_edge_batch(compacted, &events);
+        reduced.apply_edge_batch(run.partition(), &events);
+    }
+    store.sync().unwrap();
+    let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segs.sort();
+    assert!(segs.len() >= 2, "rotation did not produce sealed segments");
+    let sealed = &segs[0];
+    let pristine = fs::read(sealed).unwrap();
+
+    // Record CRC damage in a sealed segment.
+    let mut m = pristine.clone();
+    let last = m.len() - 1;
+    m[last] ^= 0x02;
+    fs::write(sealed, &m).unwrap();
+    assert!(matches!(
+        Store::recover(&dir, None),
+        Err(PersistError::CrcMismatch { .. }) | Err(PersistError::Corrupt { .. })
+    ));
+
+    // Truncated sealed segment.
+    fs::write(sealed, &pristine[..pristine.len() - 3]).unwrap();
+    assert!(Store::recover(&dir, None).is_err());
+
+    // Missing sealed segment: sequence gap.
+    fs::remove_file(sealed).unwrap();
+    assert!(matches!(
+        Store::recover(&dir, None),
+        Err(PersistError::SequenceGap { .. })
+    ));
+
+    fs::write(sealed, &pristine).unwrap();
+    assert!(Store::recover(&dir, None).is_ok());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_segment_header_fields_fail_typed() {
+    let (dir, _) = store_with_batches("walhdr", 2);
+    // Seal the segment by making it non-last: recovery treats the only
+    // segment as the open one, so damage must be tested via read_wal on
+    // a segment forced into sealed position — easiest is a second, later
+    // segment created by reopening the store.
+    let mut store = Store::open(&dir).unwrap();
+    store.log_maintain().unwrap();
+    store.sync().unwrap();
+    drop(store);
+    let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segs.sort();
+    assert!(segs.len() >= 2);
+    let sealed = &segs[0];
+    let pristine = fs::read(sealed).unwrap();
+
+    let mut m = pristine.clone();
+    m[0] = b'Z';
+    fs::write(sealed, &m).unwrap();
+    assert!(matches!(
+        read_wal(&dir, 0),
+        Err(PersistError::BadMagic {
+            kind: "WAL segment"
+        })
+    ));
+
+    let mut m = pristine.clone();
+    m[8..12].copy_from_slice(&7u32.to_le_bytes());
+    fs::write(sealed, &m).unwrap();
+    assert!(matches!(
+        read_wal(&dir, 0),
+        Err(PersistError::UnsupportedVersion { found: 7, .. })
+    ));
+
+    let mut m = pristine.clone();
+    m[15] ^= 0x20; // first_seq field: header CRC catches it
+    fs::write(sealed, &m).unwrap();
+    assert!(matches!(
+        read_wal(&dir, 0),
+        Err(PersistError::CrcMismatch { .. })
+    ));
+
+    fs::write(sealed, &pristine).unwrap();
+    assert!(read_wal(&dir, 0).is_ok());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn semantically_poisoned_wal_records_fail_replay_without_panicking() {
+    // CRC-valid records whose content violates engine invariants must be
+    // rejected by replay validation as Corrupt — these are exactly the
+    // inputs that would otherwise panic inside Partition / GraphDelta.
+    let make = |tag: &str| {
+        let dir = temp_store_dir(tag);
+        let (g, run, reduced) = small_stack(31);
+        let mut store = Store::create(&dir, StoreOptions::default()).unwrap();
+        store.checkpoint(&run, Some(&reduced)).unwrap();
+        (dir, g, run, store)
+    };
+    // Replay recomputes the remap from the logged mutations, so the
+    // poisoned batches can carry any placeholder.
+    let remap = NodeRemap::identity(0);
+
+    // Insert into a color that does not exist.
+    let (dir, _, run, mut store) = make("poison-color");
+    let k = run.partition().num_colors() as u32;
+    store
+        .log_node_batch(&NodeChurnBatch {
+            inserted_colors: vec![k + 3],
+            edge_events: vec![],
+            removed: vec![],
+            remap: remap.clone(),
+        })
+        .unwrap();
+    store.sync().unwrap();
+    assert!(matches!(
+        Store::recover(&dir, None),
+        Err(PersistError::Corrupt { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+
+    // Remove every member of a color.
+    let (dir, _, run, mut store) = make("poison-empty");
+    let victims: Vec<u32> = run.partition().members(0).to_vec();
+    store
+        .log_node_batch(&NodeChurnBatch {
+            inserted_colors: vec![],
+            edge_events: vec![],
+            removed: victims,
+            remap: remap.clone(),
+        })
+        .unwrap();
+    store.sync().unwrap();
+    assert!(matches!(
+        Store::recover(&dir, None),
+        Err(PersistError::Corrupt { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+
+    // Edge event with an out-of-range endpoint.
+    let (dir, g, _, mut store) = make("poison-endpoint");
+    store
+        .log_edge_batch(&[qsc_graph::delta::EdgeEvent {
+            source: g.num_nodes() as u32 + 5,
+            target: 0,
+            delta: 1.0,
+        }])
+        .unwrap();
+    store.sync().unwrap();
+    assert!(matches!(
+        Store::recover(&dir, None),
+        Err(PersistError::Corrupt { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+
+    // Node removal out of range.
+    let (dir, g, _, mut store) = make("poison-remove");
+    store
+        .log_node_batch(&NodeChurnBatch {
+            inserted_colors: vec![],
+            edge_events: vec![],
+            removed: vec![g.num_nodes() as u32 + 9],
+            remap,
+        })
+        .unwrap();
+    store.sync().unwrap();
+    assert!(matches!(
+        Store::recover(&dir, None),
+        Err(PersistError::Corrupt { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
