@@ -1,0 +1,508 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The audit rules are *lexical*: they match shapes in the token stream, so
+//! the only correctness requirement on this lexer is that it never confuses
+//! code with non-code. Concretely it must classify, with exact line
+//! numbers:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments
+//!   (`/* /* */ */`),
+//! * string-ish literals — plain strings with escapes, raw strings
+//!   `r"…"` / `r#"…"#` with any hash count, byte and C-string variants
+//!   (`b"…"`, `br#"…"#`, `c"…"`, `cr"…"`),
+//! * char literals vs. lifetimes (`'x'` / `'\n'` vs. `'a` in `&'a T`),
+//! * raw identifiers (`r#match` is an identifier, `r#"…"#` is a string).
+//!
+//! Everything the rules match on (`unsafe`, `HashMap`, `.sum::<f64>()`, …)
+//! that appears inside a comment or literal is therefore invisible to them
+//! — which is also what lets the fixture suite embed violating snippets as
+//! raw strings without tripping the audit on its own test file.
+//!
+//! No external parser dependency: the build environment is offline, and a
+//! token stream is all the rules need.
+
+/// Token classification. `Ident` covers keywords too — rules match on the
+/// token text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String-ish literal: plain/raw/byte/C strings.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`), including the leading quote in `text`.
+    Lifetime,
+    /// `//`-to-end-of-line comment, text includes the `//` prefix.
+    LineComment,
+    /// `/* … */` comment (nesting handled), text includes delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its source span (1-based lines).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// Line the token starts on (1-based).
+    pub line: u32,
+    /// Line the token ends on (equals `line` except for multi-line
+    /// literals and block comments).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream. Comments are kept (the
+/// `unsafe-safety-comment` rule and the suppression syntax read them);
+/// whitespace is dropped. The lexer is total: any byte sequence produces
+/// *some* token stream, so a syntactically broken file degrades to noisy
+/// tokens rather than a crash.
+pub fn lex(src: &str) -> Vec<Token> {
+    let cs: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < cs.len() {
+            if cs[i + 1] == '/' {
+                let start = i;
+                while i < cs.len() && cs[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::LineComment,
+                    text: cs[start..i].iter().collect(),
+                    line,
+                    end_line: line,
+                });
+                continue;
+            }
+            if cs[i + 1] == '*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < cs.len() && depth > 0 {
+                    if cs[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if cs[i] == '/' && i + 1 < cs.len() && cs[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if cs[i] == '*' && i + 1 < cs.len() && cs[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::BlockComment,
+                    text: cs[start..i].iter().collect(),
+                    line: start_line,
+                    end_line: line,
+                });
+                continue;
+            }
+        }
+        // String-ish literal prefixes: r"…", r#"…"#, b"…", br"…", c"…",
+        // cr"…", b'…'. A raw *identifier* (`r#match`) is the non-string
+        // case of `r#`.
+        if is_ident_start(c) {
+            // Try the string-prefix cases first.
+            if let Some(tok) = try_prefixed_literal(&cs, &mut i, &mut line) {
+                toks.push(tok);
+                continue;
+            }
+            let start = i;
+            while i < cs.len() && is_ident_continue(cs[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: cs[start..i].iter().collect(),
+                line,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '"' {
+            let tok = lex_plain_string(&cs, &mut i, &mut line);
+            toks.push(tok);
+            continue;
+        }
+        if c == '\'' {
+            let tok = lex_quote(&cs, &mut i, &mut line);
+            toks.push(tok);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < cs.len() {
+                let d = cs[i];
+                if is_ident_continue(d) {
+                    i += 1;
+                } else if d == '.' && i + 1 < cs.len() && cs[i + 1].is_ascii_digit() {
+                    // Fractional part — but not the `..` of a range.
+                    i += 1;
+                } else if (d == '+' || d == '-')
+                    && matches!(cs[i - 1], 'e' | 'E')
+                    && cs[start..i].contains(&'.')
+                {
+                    // Signed exponent of a float (`1.5e-3`).
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Num,
+                text: cs[start..i].iter().collect(),
+                line,
+                end_line: line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation char.
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            end_line: line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Handle `r` / `b` / `c` prefixed literals and raw identifiers. Returns
+/// `None` when the ident at `i` is a plain identifier (caller lexes it).
+fn try_prefixed_literal(cs: &[char], i: &mut usize, line: &mut u32) -> Option<Token> {
+    let c = cs[*i];
+    let next = cs.get(*i + 1).copied();
+    match (c, next) {
+        // b'x' byte char.
+        ('b', Some('\'')) => {
+            *i += 1;
+            let mut tok = lex_quote(cs, i, line);
+            tok.text.insert(0, 'b');
+            Some(tok)
+        }
+        // b"…" / c"…" strings.
+        ('b' | 'c', Some('"')) => {
+            *i += 1;
+            let mut tok = lex_plain_string(cs, i, line);
+            tok.text.insert(0, c);
+            Some(tok)
+        }
+        // br"…" / cr"…" / br#"…"# / cr#"…"#.
+        ('b' | 'c', Some('r')) => {
+            let after = cs.get(*i + 2).copied();
+            if matches!(after, Some('"') | Some('#')) && raw_string_follows(cs, *i + 1) {
+                *i += 1;
+                let mut tok = lex_raw_string(cs, i, line)?;
+                tok.text.insert(0, c);
+                Some(tok)
+            } else {
+                None
+            }
+        }
+        // r"…" / r#"…"# raw strings — but r#ident is a raw identifier.
+        ('r', Some('"') | Some('#')) if raw_string_follows(cs, *i) => lex_raw_string(cs, i, line),
+        ('r', Some('#')) => {
+            // Raw identifier: skip `r#`, lex the ident proper.
+            let start_line = *line;
+            *i += 2;
+            let start = *i;
+            while *i < cs.len() && is_ident_continue(cs[*i]) {
+                *i += 1;
+            }
+            Some(Token {
+                kind: TokKind::Ident,
+                text: cs[start..*i].iter().collect(),
+                line: start_line,
+                end_line: start_line,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Whether `cs[at..]` (positioned on the `r`) starts a raw *string* —
+/// i.e. `r` followed by zero or more `#` and then `"`.
+fn raw_string_follows(cs: &[char], at: usize) -> bool {
+    let mut j = at + 1;
+    while j < cs.len() && cs[j] == '#' {
+        j += 1;
+    }
+    j < cs.len() && cs[j] == '"'
+}
+
+/// Lex `r##"…"##` with `i` on the `r`. Returns `None` only on a malformed
+/// prefix (caller falls back to ident lexing).
+fn lex_raw_string(cs: &[char], i: &mut usize, line: &mut u32) -> Option<Token> {
+    let start = *i;
+    let start_line = *line;
+    let mut j = *i + 1;
+    let mut hashes = 0usize;
+    while j < cs.len() && cs[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= cs.len() || cs[j] != '"' {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    loop {
+        if j >= cs.len() {
+            break; // unterminated: consume to EOF, stay total
+        }
+        if cs[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if cs[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < cs.len() && seen < hashes && cs[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                j = k;
+                break;
+            }
+        }
+        j += 1;
+    }
+    *i = j;
+    Some(Token {
+        kind: TokKind::Str,
+        text: cs[start..*i].iter().collect(),
+        line: start_line,
+        end_line: *line,
+    })
+}
+
+/// Lex a plain `"…"` string with `i` on the opening quote.
+fn lex_plain_string(cs: &[char], i: &mut usize, line: &mut u32) -> Token {
+    let start = *i;
+    let start_line = *line;
+    *i += 1;
+    while *i < cs.len() {
+        match cs[*i] {
+            '\\' => *i += 2,
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            '"' => {
+                *i += 1;
+                break;
+            }
+            _ => *i += 1,
+        }
+    }
+    *i = (*i).min(cs.len());
+    Token {
+        kind: TokKind::Str,
+        text: cs[start..*i].iter().collect(),
+        line: start_line,
+        end_line: *line,
+    }
+}
+
+/// Lex a `'`-introduced token: char literal or lifetime, with `i` on the
+/// quote.
+fn lex_quote(cs: &[char], i: &mut usize, line: &mut u32) -> Token {
+    let start = *i;
+    let start_line = *line;
+    let next = cs.get(*i + 1).copied();
+    match next {
+        // Escaped char literal: '\n', '\u{1F600}', '\''.
+        Some('\\') => {
+            *i += 2;
+            while *i < cs.len() && cs[*i] != '\'' {
+                if cs[*i] == '\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+            *i = (*i + 1).min(cs.len());
+            Token {
+                kind: TokKind::Char,
+                text: cs[start..*i].iter().collect(),
+                line: start_line,
+                end_line: *line,
+            }
+        }
+        // 'x' char literal (any single char followed by a closing quote).
+        Some(_) if cs.get(*i + 2) == Some(&'\'') => {
+            *i += 3;
+            Token {
+                kind: TokKind::Char,
+                text: cs[start..*i].iter().collect(),
+                line: start_line,
+                end_line: start_line,
+            }
+        }
+        // Lifetime: quote followed by an identifier.
+        Some(c) if is_ident_start(c) => {
+            *i += 1;
+            let istart = *i;
+            while *i < cs.len() && is_ident_continue(cs[*i]) {
+                *i += 1;
+            }
+            let mut text = String::from("'");
+            text.extend(&cs[istart..*i]);
+            Token {
+                kind: TokKind::Lifetime,
+                text,
+                line: start_line,
+                end_line: start_line,
+            }
+        }
+        // Stray quote: emit as punctuation, stay total.
+        _ => {
+            *i += 1;
+            Token {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line: start_line,
+                end_line: start_line,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        let toks = kinds("// unsafe { }\nlet x = 1; /* HashMap */");
+        assert_eq!(toks[0].0, TokKind::LineComment);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "unsafe"));
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ fn");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "fn");
+    }
+
+    #[test]
+    fn raw_strings_swallow_contents() {
+        let toks = kinds("let s = r#\"unsafe { HashMap }\"#;");
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "unsafe"));
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_string() {
+        let toks = kinds("r#match x r\"str\"");
+        assert_eq!(toks[0], (TokKind::Ident, "match".to_string())); // raw ident
+        assert_eq!(toks[1], (TokKind::Ident, "x".to_string()));
+        assert_eq!(toks[2].0, TokKind::Str);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' &'a T '\\n' 'static");
+        assert_eq!(toks[0].0, TokKind::Char);
+        assert_eq!(toks[1].0, TokKind::Punct); // &
+        assert_eq!(toks[2], (TokKind::Lifetime, "'a".to_string()));
+        assert_eq!(toks[3].0, TokKind::Ident); // T
+        assert_eq!(toks[4].0, TokKind::Char); // '\n'
+        assert_eq!(toks[5], (TokKind::Lifetime, "'static".to_string()));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_quotes() {
+        let toks = kinds(r#"let s = "a \" unsafe \\"; done"#);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert_eq!(toks.last().unwrap().1, "done");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "unsafe"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds("b\"bytes\" br#\"raw\"# c\"cstr\" b'q'");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2].0, TokKind::Str);
+        assert_eq!(toks[3].0, TokKind::Char);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("0.0f64 1..10 1.5e-3 0x1F");
+        assert_eq!(toks[0], (TokKind::Num, "0.0f64".to_string()));
+        assert_eq!(toks[1], (TokKind::Num, "1".to_string()));
+        assert_eq!(toks[2].1, ".");
+        assert_eq!(toks[3].1, ".");
+        assert_eq!(toks[4], (TokKind::Num, "10".to_string()));
+        assert_eq!(toks[5], (TokKind::Num, "1.5e-3".to_string()));
+        assert_eq!(toks[6], (TokKind::Num, "0x1F".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* x\ny */\nb \"s\n t\" c";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].end_line, 3);
+        assert_eq!(toks[2].line, 4); // b
+        assert_eq!(toks[3].end_line, 5); // string spanning a newline
+        assert_eq!(toks[4].line, 5); // c
+    }
+}

@@ -1,0 +1,105 @@
+#![forbid(unsafe_code)]
+//! CLI for the workspace audit. See the library docs (`qsc_audit`) for the
+//! rule set; this binary is the CI leg:
+//!
+//! ```text
+//! cargo run -p qsc-audit -- --deny-warnings --json AUDIT_report.json
+//! ```
+//!
+//! Exit status: 0 when the tree is audit-clean (no unsuppressed errors —
+//! and, under `--deny-warnings`, no warnings either), 1 otherwise, 2 on
+//! usage or IO failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: qsc-audit [--root PATH] [--json PATH] [--deny-warnings] \
+     [--show-suppressed] [--list-rules]"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut show_suppressed = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-warnings" => deny_warnings = true,
+            "--show-suppressed" => show_suppressed = true,
+            "--list-rules" => {
+                for (id, summary) in qsc_audit::RULE_IDS
+                    .iter()
+                    .zip(qsc_audit::RULE_SUMMARIES.iter())
+                {
+                    println!("{id:24} {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match qsc_audit::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "no workspace root found above {} (try --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match qsc_audit::audit_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_human(show_suppressed));
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("qsc-audit: JSON report written to {}", path.display());
+    }
+
+    let failed = report.errors() > 0 || (deny_warnings && report.warnings() > 0);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

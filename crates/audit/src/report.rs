@@ -1,0 +1,147 @@
+//! Machine-readable (JSON) and human-readable rendering of audit results.
+//!
+//! The JSON writer is hand-rolled (the workspace is offline — no serde):
+//! a fixed schema, string escaping per RFC 8259, deterministic field and
+//! finding order so reports diff cleanly across runs.
+
+use crate::rules::{Finding, Level};
+
+/// Aggregated result of auditing a file tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Unsuppressed error-level findings — these fail the audit.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| !f.suppressed && f.level == Level::Error)
+            .count()
+    }
+
+    /// Unsuppressed warnings — these fail only under `--deny-warnings`.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| !f.suppressed && f.level == Level::Warning)
+            .count()
+    }
+
+    /// Findings silenced by a justified inline suppression.
+    pub fn suppressed(&self) -> usize {
+        self.findings.iter().filter(|f| f.suppressed).count()
+    }
+
+    /// Render the full JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.findings.len() * 160);
+        out.push_str("{\n  \"version\": 1,\n  \"summary\": {");
+        out.push_str(&format!(
+            "\"files_scanned\": {}, \"errors\": {}, \"warnings\": {}, \"suppressed\": {}",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressed()
+        ));
+        out.push_str("},\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"rule\": {}, \"file\": {}, \"line\": {}, \"level\": {}, \
+                 \"suppressed\": {}, \"message\": {}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(match f.level {
+                    Level::Error => "error",
+                    Level::Warning => "warning",
+                }),
+                f.suppressed,
+                json_str(&f.message),
+            ));
+            if let Some(j) = &f.justification {
+                out.push_str(&format!(", \"justification\": {}", json_str(j)));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// One human diagnostic line per finding plus a summary tail.
+    pub fn render_human(&self, show_suppressed: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.suppressed && !show_suppressed {
+                continue;
+            }
+            let tag = match (f.suppressed, f.level) {
+                (true, _) => "allowed",
+                (false, Level::Error) => "error",
+                (false, Level::Warning) => "warning",
+            };
+            out.push_str(&format!(
+                "{}:{}: {tag}[{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+            if let (true, Some(j)) = (f.suppressed, &f.justification) {
+                out.push_str(&format!("    justified: {j}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "qsc-audit: {} files scanned, {} errors, {} warnings, {} suppressed\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressed()
+        ));
+        out
+    }
+}
+
+/// Escape a string as a JSON literal (with surrounding quotes).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\"errors\": 0"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,759 @@
+//! The audit rule set and the suppression machinery.
+//!
+//! Every rule here mechanizes a prose contract from the workspace docs
+//! (see the "Checked invariants" section of `qsc-core`'s crate docs):
+//!
+//! * **unsafe-safety-comment** — every `unsafe` block/fn/impl must be
+//!   immediately preceded (within [`SAFETY_WINDOW`] lines) by a comment
+//!   containing `SAFETY:` stating why the site is sound.
+//! * **hash-iter-determinism** — in the crates whose output feeds
+//!   colorings (core, graph, flow, lp, persist), iterating / draining /
+//!   extending-from a `HashMap`/`HashSet` is forbidden: iteration order is
+//!   per-process and leaks straight into results. Point queries (`get`,
+//!   `entry`, `insert`, `contains`, …) stay allowed.
+//! * **canonical-float-sum** — no raw `.sum::<f64>()` / `fold(0.0, +)`
+//!   outside `qsc_linalg::lanes`: the workspace has exactly one sanctioned
+//!   f64 reduction order (the canonical blocked tree) so that dense/sparse
+//!   storage, thread counts, and persist/recover all fold bit-identically.
+//! * **no-wallclock-in-results** — `Instant::now` / `SystemTime` are
+//!   confined to bench/report code; engine results must be a pure function
+//!   of inputs.
+//! * **no-panic-on-input** — `unwrap`/`expect`/`panic!`-family calls in
+//!   IO/parser modules must become typed errors (malformed bytes are an
+//!   expected input, not a bug).
+//!
+//! The rules are *lexical* (see [`crate::lexer`]): they match token shapes,
+//! not types. The hash rule therefore tracks names that were visibly bound
+//! or declared with a `HashMap`/`HashSet` type in the same file; a hash
+//! container smuggled through a type alias or an inference-only binding is
+//! out of reach, as is an f64 `.sum()` whose element type never appears in
+//! the statement. Those limits are accepted: the rules are a ratchet over
+//! the workspace's actual idioms, not a soundness proof.
+//!
+//! ## Suppressions
+//!
+//! A finding is silenced by an inline comment on the same or the
+//! immediately preceding line:
+//!
+//! ```text
+//! // qsc-audit: allow(rule-name) -- justification for why this is sound
+//! ```
+//!
+//! The justification after `--` is mandatory; a suppression without one
+//! (or naming an unknown rule) is itself an error
+//! (`suppression-syntax`), and a suppression that silences nothing is a
+//! warning (`unused-suppression`) so stale allowances rot out of the tree.
+//! The two meta rules cannot themselves be suppressed.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Lines above an `unsafe` token within which a `SAFETY:` comment counts
+/// as covering it (attributes and item prefixes may sit between).
+pub const SAFETY_WINDOW: u32 = 8;
+
+/// Severity of a finding. Errors fail the audit; warnings fail it only
+/// under `--deny-warnings`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    Error,
+    Warning,
+}
+
+/// One diagnostic produced by the audit.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULE_IDS`] or a meta rule).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    pub message: String,
+    pub level: Level,
+    /// Whether an inline suppression covers this finding.
+    pub suppressed: bool,
+    /// The suppression's justification, when suppressed.
+    pub justification: Option<String>,
+}
+
+/// The five contract rules (meta rules `suppression-syntax` and
+/// `unused-suppression` are always active and not listed here).
+pub const RULE_IDS: [&str; 5] = [
+    "unsafe-safety-comment",
+    "hash-iter-determinism",
+    "canonical-float-sum",
+    "no-wallclock-in-results",
+    "no-panic-on-input",
+];
+
+/// Short human summaries, aligned with [`RULE_IDS`].
+pub const RULE_SUMMARIES: [&str; 5] = [
+    "every unsafe block/fn/impl needs a preceding SAFETY: comment",
+    "no HashMap/HashSet iteration in coloring-feeding crates (point queries allowed)",
+    "f64 sum reductions go through qsc_linalg::lanes' canonical tree",
+    "Instant::now/SystemTime confined to bench/report code",
+    "IO/parser modules return typed errors instead of panicking",
+];
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+fn norm(path: &str) -> String {
+    path.replace('\\', "/")
+}
+
+fn is_vendored(p: &str) -> bool {
+    p.contains("vendor/") || p.contains("target/")
+}
+
+/// Crates whose emitted values feed colorings/witnesses/q-error bits.
+fn in_hash_scope(p: &str) -> bool {
+    ["core", "graph", "flow", "lp", "persist"]
+        .iter()
+        .any(|c| p.contains(&format!("crates/{c}/src/")))
+}
+
+/// Library crates bound by the canonical-sum-tree rule. Bench drivers and
+/// the audit tool itself are report code; `lanes.rs` is the sanctioned
+/// implementation.
+fn in_float_scope(p: &str) -> bool {
+    p.contains("crates/")
+        && p.contains("/src/")
+        && !p.contains("crates/bench/")
+        && !p.contains("crates/audit/")
+        && !p.ends_with("linalg/src/lanes.rs")
+}
+
+/// Everything except bench/report/test/example code must stay off the
+/// wall clock.
+fn in_wallclock_scope(p: &str) -> bool {
+    !p.contains("crates/bench/")
+        && !p.contains("crates/audit/")
+        && !p.starts_with("tests/")
+        && !p.contains("/tests/")
+        && !p.starts_with("examples/")
+        && !p.contains("examples/")
+}
+
+/// IO/parser modules: everything that decodes external bytes.
+fn in_panic_scope(p: &str) -> bool {
+    p.ends_with("graph/src/io.rs")
+        || p.ends_with("lp/src/mps.rs")
+        || p.contains("persist/src/")
+        || p.contains("datasets/src/")
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Lint one source file. `rel_path` selects which rules apply (see the
+/// scoping functions above); `src` is the file contents. Returns every
+/// finding, including suppressed ones (marked as such).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let path = norm(rel_path);
+    if is_vendored(&path) {
+        return Vec::new();
+    }
+    let toks = lex(src);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let test_regions = find_test_regions(&toks, &code);
+    let in_test = |line: u32| {
+        test_regions
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    };
+
+    let mut findings = Vec::new();
+    rule_unsafe_safety(&path, &toks, &code, &mut findings);
+    if in_hash_scope(&path) {
+        rule_hash_iter(&path, &toks, &code, &in_test, &mut findings);
+    }
+    if in_float_scope(&path) {
+        rule_float_sum(&path, &toks, &code, &in_test, &mut findings);
+    }
+    if in_wallclock_scope(&path) {
+        rule_wallclock(&path, &toks, &code, &in_test, &mut findings);
+    }
+    if in_panic_scope(&path) {
+        rule_panic_input(&path, &toks, &code, &in_test, &mut findings);
+    }
+
+    apply_suppressions(&path, &toks, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
+/// Rules about *result-feeding* code skip these; the unsafe rule does not.
+fn find_test_regions(toks: &[Token], code: &[usize]) -> Vec<(u32, u32)> {
+    let text = |j: usize| toks[code[j]].text.as_str();
+    let mut regions = Vec::new();
+    let mut j = 0usize;
+    while j + 6 < code.len() {
+        let is_cfg_test = text(j) == "#"
+            && text(j + 1) == "["
+            && text(j + 2) == "cfg"
+            && text(j + 3) == "("
+            && text(j + 4) == "test"
+            && text(j + 5) == ")"
+            && text(j + 6) == "]";
+        let is_test_attr =
+            text(j) == "#" && text(j + 1) == "[" && text(j + 2) == "test" && text(j + 3) == "]";
+        if !is_cfg_test && !is_test_attr {
+            j += 1;
+            continue;
+        }
+        let mut k = j + if is_cfg_test { 7 } else { 4 };
+        // Skip further attributes between the marker and the item.
+        while k + 1 < code.len() && text(k) == "#" && text(k + 1) == "[" {
+            let mut depth = 0usize;
+            k += 1;
+            while k < code.len() {
+                match text(k) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // Scan to the item's opening brace (a `;` first means no body).
+        let start_line = toks[code[j]].line;
+        let mut open = None;
+        while k < code.len() {
+            match text(k) {
+                "{" => {
+                    open = Some(k);
+                    break;
+                }
+                ";" => break,
+                _ => k += 1,
+            }
+        }
+        if let Some(open) = open {
+            let mut depth = 0usize;
+            let mut end = open;
+            for (kk, item) in code.iter().enumerate().skip(open) {
+                match toks[*item].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = kk;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            regions.push((start_line, toks[code[end]].end_line));
+            j = end + 1;
+        } else {
+            j = k + 1;
+        }
+    }
+    regions
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unsafe-safety-comment
+// ---------------------------------------------------------------------------
+
+fn rule_unsafe_safety(path: &str, toks: &[Token], code: &[usize], out: &mut Vec<Finding>) {
+    let safety_lines: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.is_comment() && t.text.contains("SAFETY:"))
+        .map(|t| t.end_line)
+        .collect();
+    for &i in code {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            let covered = safety_lines
+                .iter()
+                .any(|&end| end <= t.line && t.line - end <= SAFETY_WINDOW);
+            if !covered {
+                out.push(Finding {
+                    rule: "unsafe-safety-comment",
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`unsafe` without a `// SAFETY:` comment within the preceding \
+                         {SAFETY_WINDOW} lines — state why this site is sound"
+                    ),
+                    level: Level::Error,
+                    suppressed: false,
+                    justification: None,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hash-iter-determinism
+// ---------------------------------------------------------------------------
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+fn rule_hash_iter(
+    path: &str,
+    toks: &[Token],
+    code: &[usize],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let text = |j: usize| toks[code[j]].text.as_str();
+    let kind = |j: usize| toks[code[j]].kind;
+    let n = code.len();
+
+    // Pass 1: names visibly bound or declared with a hash type. Lexical,
+    // file-global (no scope tracking): a name that is hashy anywhere is
+    // treated as hashy everywhere in the file, which errs on the loud side.
+    let mut hashy: Vec<String> = Vec::new();
+    let mut note = |name: &str| {
+        if !hashy.iter().any(|h| h == name) {
+            hashy.push(name.to_string());
+        }
+    };
+    for j in 0..n {
+        // `let [mut] NAME = … HashMap/HashSet … ;` (inferred binding) and
+        // `let [mut] NAME : … HashMap …` (ascribed binding).
+        if text(j) == "let" && kind(j) == TokKind::Ident {
+            let mut k = j + 1;
+            if k < n && text(k) == "mut" {
+                k += 1;
+            }
+            if k < n && kind(k) == TokKind::Ident {
+                let name = text(k).to_string();
+                let mut saw_hash = false;
+                for p in (k + 1)..n.min(k + 40) {
+                    match text(p) {
+                        ";" => break,
+                        t if HASH_TYPES.contains(&t) => {
+                            saw_hash = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if saw_hash {
+                    note(&name);
+                }
+            }
+        }
+        // `NAME : … HashMap/HashSet …` — struct fields and fn params.
+        if kind(j) == TokKind::Ident && j + 2 < n && text(j + 1) == ":" {
+            for p in (j + 2)..n.min(j + 14) {
+                match text(p) {
+                    "," | ")" | ";" | "=" | "{" | "}" => break,
+                    t if HASH_TYPES.contains(&t) => {
+                        note(text(j));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Pass 2: flag iteration constructs over hashy names.
+    let mut push = |line: u32, what: String| {
+        if !in_test(line) {
+            out.push(Finding {
+                rule: "hash-iter-determinism",
+                file: path.to_string(),
+                line,
+                message: format!(
+                    "{what} — hash iteration order is per-process and leaks into \
+                     results; drain through a sorted Vec or use BTreeMap/BTreeSet \
+                     (point queries are fine)"
+                ),
+                level: Level::Error,
+                suppressed: false,
+                justification: None,
+            });
+        }
+    };
+    for j in 0..n {
+        if kind(j) != TokKind::Ident || !hashy.iter().any(|h| h == text(j)) {
+            continue;
+        }
+        let name = text(j);
+        // `for PAT in [&][mut] NAME {` — direct loop over the container.
+        let mut p = j;
+        while p > 0 && matches!(text(p - 1), "&" | "mut") {
+            p -= 1;
+        }
+        if p > 0 && text(p - 1) == "in" && j + 1 < n && text(j + 1) == "{" {
+            push(
+                toks[code[j]].line,
+                format!("`for … in {name}` iterates a hash container"),
+            );
+            continue;
+        }
+        // `NAME.iter() / keys() / values() / drain() / …`.
+        if j + 2 < n && text(j + 1) == "." && ITER_METHODS.contains(&text(j + 2)) {
+            push(
+                toks[code[j + 2]].line,
+                format!("`{name}.{}()` iterates a hash container", text(j + 2)),
+            );
+        }
+        // `other.extend(NAME)` — order-sensitive bulk feed.
+        if j >= 2 && text(j - 1) == "(" && text(j - 2) == "extend"
+            || j >= 3 && text(j - 1) == "&" && text(j - 2) == "(" && text(j - 3) == "extend"
+        {
+            push(
+                toks[code[j]].line,
+                format!("`extend({name})` feeds hash-ordered elements into a sequence"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: canonical-float-sum
+// ---------------------------------------------------------------------------
+
+fn rule_float_sum(
+    path: &str,
+    toks: &[Token],
+    code: &[usize],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let text = |j: usize| toks[code[j]].text.as_str();
+    let kind = |j: usize| toks[code[j]].kind;
+    let n = code.len();
+    let mut push = |line: u32, what: &str| {
+        if !in_test(line) {
+            out.push(Finding {
+                rule: "canonical-float-sum",
+                file: path.to_string(),
+                line,
+                message: format!(
+                    "{what} — hot-path f64 reductions must go through \
+                     qsc_linalg::lanes (sum/dot/fold_add): one canonical blocked \
+                     reduction tree keeps storage modes, thread counts and \
+                     persist/recover bit-identical"
+                ),
+                level: Level::Error,
+                suppressed: false,
+                justification: None,
+            });
+        }
+    };
+    for j in 0..n {
+        if text(j) != "." {
+            continue;
+        }
+        // `.sum::<f64>()`
+        if j + 5 < n
+            && text(j + 1) == "sum"
+            && text(j + 2) == ":"
+            && text(j + 3) == ":"
+            && text(j + 4) == "<"
+            && text(j + 5) == "f64"
+        {
+            push(toks[code[j + 1]].line, "raw `.sum::<f64>()`");
+            continue;
+        }
+        // Bare `.sum()` whose statement mentions f64 (e.g.
+        // `let total: f64 = xs.iter().sum();`).
+        if j + 3 < n && text(j + 1) == "sum" && text(j + 2) == "(" && text(j + 3) == ")" {
+            let mut p = j;
+            let mut saw_f64 = false;
+            while p > 0 {
+                p -= 1;
+                match text(p) {
+                    ";" | "{" | "}" => break,
+                    "f64" => {
+                        saw_f64 = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if saw_f64 {
+                push(toks[code[j + 1]].line, "raw f64 `.sum()`");
+            }
+            continue;
+        }
+        // `.fold(0.0, …+…)` — an additive float fold.
+        if j + 2 < n && text(j + 1) == "fold" && text(j + 2) == "(" && j + 3 < n {
+            let arg0 = text(j + 3);
+            let is_float_zero = kind(j + 3) == TokKind::Num
+                && (arg0.starts_with("0.") || (arg0.starts_with('0') && arg0.ends_with("f64")));
+            if !is_float_zero {
+                continue;
+            }
+            let mut depth = 1usize;
+            let mut p = j + 4;
+            let mut additive = false;
+            while p < n && depth > 0 {
+                match text(p) {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "+" => additive = true,
+                    "add" => additive = true,
+                    _ => {}
+                }
+                p += 1;
+            }
+            if additive {
+                push(toks[code[j + 1]].line, "additive `fold(0.0, …)` over f64");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-wallclock-in-results
+// ---------------------------------------------------------------------------
+
+fn rule_wallclock(
+    path: &str,
+    toks: &[Token],
+    code: &[usize],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let text = |j: usize| toks[code[j]].text.as_str();
+    let n = code.len();
+    let in_use_stmt = |j: usize| {
+        let mut p = j;
+        while p > 0 {
+            p -= 1;
+            match text(p) {
+                ";" | "{" | "}" => return false,
+                "use" => return true,
+                _ => {}
+            }
+        }
+        false
+    };
+    let mut push = |line: u32, what: &str| {
+        if !in_test(line) {
+            out.push(Finding {
+                rule: "no-wallclock-in-results",
+                file: path.to_string(),
+                line,
+                message: format!(
+                    "{what} outside bench/report code — results must be a pure \
+                     function of inputs; move the timing into qsc-bench or \
+                     suppress with a justification that the value only feeds \
+                     reported metrics"
+                ),
+                level: Level::Error,
+                suppressed: false,
+                justification: None,
+            });
+        }
+    };
+    for j in 0..n {
+        if text(j) == "Instant"
+            && j + 3 < n
+            && text(j + 1) == ":"
+            && text(j + 2) == ":"
+            && text(j + 3) == "now"
+            && !in_use_stmt(j)
+        {
+            push(toks[code[j]].line, "`Instant::now()`");
+        }
+        if text(j) == "SystemTime" && !in_use_stmt(j) {
+            push(toks[code[j]].line, "`SystemTime`");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-panic-on-input
+// ---------------------------------------------------------------------------
+
+fn rule_panic_input(
+    path: &str,
+    toks: &[Token],
+    code: &[usize],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let text = |j: usize| toks[code[j]].text.as_str();
+    let n = code.len();
+    let mut push = |line: u32, what: String| {
+        if !in_test(line) {
+            out.push(Finding {
+                rule: "no-panic-on-input",
+                file: path.to_string(),
+                line,
+                message: format!(
+                    "{what} in an IO/parser module — malformed input is expected, \
+                     not exceptional; surface it as a typed error"
+                ),
+                level: Level::Error,
+                suppressed: false,
+                justification: None,
+            });
+        }
+    };
+    for j in 0..n {
+        if text(j) == "."
+            && j + 2 < n
+            && matches!(text(j + 1), "unwrap" | "expect")
+            && text(j + 2) == "("
+        {
+            push(toks[code[j + 1]].line, format!("`.{}(…)`", text(j + 1)));
+        }
+        if matches!(text(j), "panic" | "unreachable" | "todo" | "unimplemented")
+            && j + 1 < n
+            && text(j + 1) == "!"
+        {
+            push(toks[code[j]].line, format!("`{}!(…)`", text(j)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+    line: u32,
+    end_line: u32,
+    rules: Vec<String>,
+    justification: String,
+    used: bool,
+}
+
+/// Parse `// qsc-audit: allow(rule, …) -- justification` comments, mark
+/// matching findings suppressed, and emit `suppression-syntax` /
+/// `unused-suppression` meta findings.
+fn apply_suppressions(path: &str, toks: &[Token], findings: &mut Vec<Finding>) {
+    let mut sups: Vec<Suppression> = Vec::new();
+    let mut meta: Vec<Finding> = Vec::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        // Doc comments never carry suppressions — they document APIs (and
+        // may legitimately *quote* the suppression syntax, as this crate's
+        // own docs do). Only operational `//` / `/*` comments count.
+        if t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = t.text.find("qsc-audit:") else {
+            continue;
+        };
+        let rest = t.text[at + "qsc-audit:".len()..].trim_start();
+        let mut bad = |msg: String| {
+            meta.push(Finding {
+                rule: "suppression-syntax",
+                file: path.to_string(),
+                line: t.line,
+                message: msg,
+                level: Level::Error,
+                suppressed: false,
+                justification: None,
+            });
+        };
+        let Some(args) = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('('))
+        else {
+            bad(
+                "malformed suppression: expected `qsc-audit: allow(<rule>) -- <justification>`"
+                    .to_string(),
+            );
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad("malformed suppression: missing `)` after rule list".to_string());
+            continue;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad("suppression names no rule".to_string());
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| !RULE_IDS.contains(&r.as_str())) {
+            bad(format!(
+                "suppression names unknown rule `{unknown}` (known: {})",
+                RULE_IDS.join(", ")
+            ));
+            continue;
+        }
+        let after = args[close + 1..].trim_start();
+        let Some(justification) = after.strip_prefix("--").map(str::trim) else {
+            bad("suppression is missing the mandatory `-- <justification>`".to_string());
+            continue;
+        };
+        // Block comments may carry a trailing `*/`.
+        let justification = justification.trim_end_matches("*/").trim();
+        if justification.is_empty() {
+            bad("suppression justification is empty — say why the finding is sound".to_string());
+            continue;
+        }
+        sups.push(Suppression {
+            line: t.line,
+            end_line: t.end_line,
+            rules,
+            justification: justification.to_string(),
+            used: false,
+        });
+    }
+
+    for f in findings.iter_mut() {
+        if matches!(f.rule, "suppression-syntax" | "unused-suppression") {
+            continue;
+        }
+        for s in sups.iter_mut() {
+            if s.rules.iter().any(|r| r == f.rule) && f.line >= s.line && f.line <= s.end_line + 1 {
+                f.suppressed = true;
+                f.justification = Some(s.justification.clone());
+                s.used = true;
+            }
+        }
+    }
+    for s in sups.iter().filter(|s| !s.used) {
+        meta.push(Finding {
+            rule: "unused-suppression",
+            file: path.to_string(),
+            line: s.line,
+            message: format!(
+                "suppression for `{}` matches no finding — remove it so stale \
+                 allowances don't accumulate",
+                s.rules.join(", ")
+            ),
+            level: Level::Warning,
+            suppressed: false,
+            justification: None,
+        });
+    }
+    findings.extend(meta);
+}

@@ -9,6 +9,8 @@
 //! This library crate holds the small amount of shared harness code: wall
 //! clock timing, text-table rendering, and serializable result records.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 pub mod experiments;

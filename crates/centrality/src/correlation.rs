@@ -47,8 +47,8 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() {
         return 1.0;
     }
-    let mean_a = a.iter().sum::<f64>() / n;
-    let mean_b = b.iter().sum::<f64>() / n;
+    let mean_a = qsc_linalg::lanes::sum(a) / n;
+    let mean_b = qsc_linalg::lanes::sum(b) / n;
     let mut cov = 0.0;
     let mut var_a = 0.0;
     let mut var_b = 0.0;

@@ -26,6 +26,8 @@
 //! assert!(rho > 0.7);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod approx;
 pub mod brandes;
 pub mod correlation;

@@ -97,9 +97,12 @@ pub fn betweenness_sampling(g: &Graph, config: &SamplingConfig) -> Vec<f64> {
         // Walk back from t choosing each predecessor with probability
         // sigma(pred)/sigma(current): this samples a shortest path uniformly.
         let mut v = t;
+        let mut sigma_buf: Vec<f64> = Vec::new();
         while v != s {
             let preds = &dag.preds[v as usize];
-            let total: f64 = preds.iter().map(|&p| dag.sigma[p as usize]).sum();
+            sigma_buf.clear();
+            sigma_buf.extend(preds.iter().map(|&p| dag.sigma[p as usize]));
+            let total = qsc_linalg::lanes::sum(&sigma_buf);
             let mut pick = rng.random::<f64>() * total;
             let mut chosen = preds[0];
             for &p in preds {

@@ -1,0 +1,164 @@
+//! Dynamic disjointness checker for [`SyncSliceMut`] claims (the runtime
+//! half of the `qsc-audit` contract tooling; the static half is the
+//! `qsc-audit` crate's lint pass).
+//!
+//! [`SyncSliceMut`]'s accessors are `unsafe` because their soundness rests
+//! on a *value-level* argument — "each touched node appears in exactly one
+//! shard" — that neither the borrow checker nor the lint pass can see.
+//! With the `audit` feature enabled, this module checks that argument at
+//! runtime: every `get_mut` / `slice_mut` call publishes the claimed byte
+//! range into a global lock-free interval log, and a claim that overlaps a
+//! live claim from a *different* thread aborts the process with both call
+//! sites in the message. The existing parallel suites then double as
+//! soundness tests: run them with `--features audit` and any sharding bug
+//! that produces aliased `&mut`s dies loudly instead of corrupting floats.
+//!
+//! Scoping: claims live for the duration of a fork-join *region*
+//! ([`ThreadPool::run`] bumps a global epoch at entry, and the join
+//! barrier guarantees worker references are dead by return), so only
+//! same-epoch claims are compared. Same-thread overlapping claims are
+//! deliberately exempt: sequential re-borrows from one thread (claim,
+//! drop, claim again) are the common legitimate pattern and are
+//! indistinguishable from genuine same-thread aliasing without tracking
+//! reference lifetimes.
+//!
+//! The checker is best-effort by design — publish-then-scan over a
+//! fixed-size ring means detection is guaranteed only while a region's
+//! claim count stays within [`LOG_LEN`] (engine regions make one claim
+//! per worker slot, so the ring is ~64× oversized in practice) — but it
+//! never false-positives: entries are seqlock-validated, so a torn read
+//! is discarded, not reported.
+//!
+//! [`SyncSliceMut`]: crate::parallel::SyncSliceMut
+//! [`ThreadPool::run`]: crate::parallel::ThreadPool::run
+
+use std::cell::Cell;
+use std::panic::Location;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+/// Ring capacity. Detection is exhaustive while at most this many claims
+/// are made per region; engine regions make one per worker slot.
+const LOG_LEN: usize = 256;
+
+/// One published claim. `meta` packs `(epoch << 32) | thread_token` and is
+/// written last / read first (seqlock): a scanner re-reads `meta` after
+/// `lo` / `hi` / `loc` and discards the entry if it changed underneath.
+struct Entry {
+    meta: AtomicU64,
+    lo: AtomicU64,
+    hi: AtomicU64,
+    loc: AtomicPtr<Location<'static>>,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY: Entry = Entry {
+    meta: AtomicU64::new(0),
+    lo: AtomicU64::new(0),
+    hi: AtomicU64::new(0),
+    loc: AtomicPtr::new(std::ptr::null_mut()),
+};
+
+static LOG: [Entry; LOG_LEN] = [EMPTY; LOG_LEN];
+/// Next ring slot; monotonically increasing, wrapped mod [`LOG_LEN`].
+static CURSOR: AtomicU64 = AtomicU64::new(0);
+/// Current fork-join region epoch. Starts at 1 so a packed `meta` of 0
+/// always means "slot never written". Stored truncated to 32 bits in
+/// `meta`; a stale entry masquerading as current needs 2³² intervening
+/// regions *and* a surviving ring slot, which the 256-slot ring recycles
+/// after 256 claims.
+static REGION_EPOCH: AtomicU64 = AtomicU64::new(1);
+/// Thread-token allocator; 0 is reserved for "not yet assigned".
+static NEXT_TOKEN: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static TOKEN: Cell<u32> = const { Cell::new(0) };
+}
+
+fn thread_token() -> u32 {
+    TOKEN.with(|t| {
+        let mut tok = t.get();
+        if tok == 0 {
+            tok = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+            t.set(tok);
+        }
+        tok
+    })
+}
+
+/// Start a new fork-join region: claims published before this call are no
+/// longer live and stop participating in overlap checks. Called by
+/// [`ThreadPool::run`](crate::parallel::ThreadPool::run) on entry; the
+/// join barrier it returns through is what makes the retired claims'
+/// references provably dead.
+pub(crate) fn begin_region() {
+    REGION_EPOCH.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Publish a claim over the byte range `[lo, hi)` and abort if it overlaps
+/// a live same-epoch claim from a different thread.
+///
+/// Publish-then-scan with `SeqCst` metadata stores gives two genuinely
+/// concurrent overlapping claims a total order: whichever publishes second
+/// is guaranteed to observe the first during its scan, so a real overlap
+/// cannot slip through the check-then-record window.
+#[track_caller]
+pub(crate) fn claim(lo: u64, hi: u64) {
+    if lo >= hi {
+        return; // empty ranges cannot alias anything
+    }
+    let here: &'static Location<'static> = Location::caller();
+    let tok = thread_token();
+    let epoch32 = REGION_EPOCH.load(Ordering::SeqCst) as u32;
+    let meta = (u64::from(epoch32) << 32) | u64::from(tok);
+
+    // Publish first (see above).
+    let slot = (CURSOR.fetch_add(1, Ordering::Relaxed) as usize) % LOG_LEN;
+    let own = &LOG[slot];
+    own.meta.store(0, Ordering::SeqCst);
+    own.lo.store(lo, Ordering::Relaxed);
+    own.hi.store(hi, Ordering::Relaxed);
+    own.loc.store(
+        here as *const Location<'static> as *mut _,
+        Ordering::Relaxed,
+    );
+    own.meta.store(meta, Ordering::SeqCst);
+
+    for (i, entry) in LOG.iter().enumerate() {
+        if i == slot {
+            continue;
+        }
+        let m = entry.meta.load(Ordering::SeqCst);
+        if m == 0 || (m >> 32) as u32 != epoch32 || (m & 0xffff_ffff) as u32 == tok {
+            continue; // empty, retired epoch, or our own thread
+        }
+        let (other_lo, other_hi) = (
+            entry.lo.load(Ordering::Relaxed),
+            entry.hi.load(Ordering::Relaxed),
+        );
+        let other_loc = entry.loc.load(Ordering::Relaxed);
+        if entry.meta.load(Ordering::SeqCst) != m {
+            continue; // torn read: the slot was recycled mid-scan
+        }
+        if other_lo < hi && lo < other_hi {
+            // SAFETY-critical diagnostic path: two threads hold (or are
+            // about to hold) `&mut`s over intersecting bytes. Unwinding
+            // could let the aliased references keep running; die instead.
+            let other_site = if other_loc.is_null() {
+                "<unknown>".to_string()
+            } else {
+                // SAFETY: non-null `loc` values are only ever stored from
+                // `Location::caller()`, which yields `&'static Location`,
+                // and the seqlock re-check above proved the slot was not
+                // recycled between the loads.
+                unsafe { (*other_loc).to_string() }
+            };
+            eprintln!(
+                "qsc-audit: overlapping claim: bytes [{lo:#x}, {hi:#x}) claimed at {here} \
+                 overlap live claim [{other_lo:#x}, {other_hi:#x}) from another thread \
+                 at {other_site}; SyncSliceMut shards must be pairwise disjoint \
+                 within a parallel region"
+            );
+            std::process::abort();
+        }
+    }
+}

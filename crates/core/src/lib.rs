@@ -154,6 +154,31 @@
 //! lets warm sweeps stay bit-identical to cold re-emission
 //! (`tests/tests/sweep_equivalence.rs`).
 //!
+//! ## Checked invariants
+//!
+//! The determinism and unsafety contracts above are *mechanically
+//! enforced*, not aspirational:
+//!
+//! * **Statically** — the workspace's own lint pass (`cargo run -p
+//!   qsc-audit`) scans every crate for contract violations: `unsafe`
+//!   without an adjacent `// SAFETY:` argument, iteration over hash
+//!   containers in result-feeding crates (ordering leaks), raw f64 sums
+//!   outside `qsc_linalg::lanes` (reduction-tree leaks), wall-clock reads
+//!   outside bench/report code, and panicking input handling in
+//!   IO/parser modules. CI runs it with `--deny-warnings`; exceptions
+//!   require an inline `// qsc-audit: allow(<rule>) -- <justification>`
+//!   with a written justification.
+//! * **Dynamically** — with the `audit` feature enabled, every
+//!   [`parallel::SyncSliceMut`] claim is published to a lock-free
+//!   interval log and cross-thread overlapping claims abort the process
+//!   with both call sites. The ordinary parallel test suites, run with
+//!   `--features audit`, thereby double as soundness tests for the
+//!   "shards write provably disjoint index sets" arguments.
+//! * This crate and `qsc-linalg` set `#![deny(unsafe_op_in_unsafe_fn)]`;
+//!   every other workspace crate is `#![forbid(unsafe_code)]`. The only
+//!   unsafe in the tree is this crate's fork-join pool and
+//!   [`parallel::SyncSliceMut`].
+//!
 //! ## Quick example
 //!
 //! ```
@@ -168,6 +193,10 @@
 //! assert!(coloring.max_q_error <= 6.0);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
+#[cfg(feature = "audit")]
+mod audit;
 pub mod kernels;
 pub mod parallel;
 pub mod partition;

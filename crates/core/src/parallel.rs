@@ -135,6 +135,11 @@ impl ThreadPool {
     /// (the protocol serves one broadcast at a time; overlapping calls
     /// could otherwise free a borrowed closure under a running worker).
     pub fn run<F: Fn(usize) + Sync>(&self, f: F) {
+        // New fork-join region: SyncSliceMut claims from earlier regions
+        // are retired (their references are dead — the previous `run`
+        // returned through the join barrier before this one started).
+        #[cfg(feature = "audit")]
+        crate::audit::begin_region();
         if self.slots == 1 {
             f(0);
             return;
@@ -282,10 +287,19 @@ impl<'a, T> SyncSliceMut<'a, T> {
     /// No two concurrently live references returned by this handle (from any
     /// thread) may target the same index.
     #[inline]
+    #[track_caller]
     #[allow(clippy::mut_from_ref)]
+    // SAFETY: soundness is delegated to the caller's disjointness promise
+    // (the contract above); with the `audit` feature that promise is
+    // checked at runtime by the claim below.
     pub unsafe fn get_mut(&self, index: usize) -> &mut T {
         debug_assert!(index < self.len);
-        &mut *self.ptr.add(index)
+        #[cfg(feature = "audit")]
+        self.record_claim(index, index + 1);
+        // SAFETY: `index < self.len` keeps the offset inside the wrapped
+        // allocation, and the caller's contract (no concurrently live
+        // reference to the same index) rules out aliasing the `&mut`.
+        unsafe { &mut *self.ptr.add(index) }
     }
 
     /// Exclusive access to the subslice `lo..hi`.
@@ -293,10 +307,30 @@ impl<'a, T> SyncSliceMut<'a, T> {
     /// # Safety
     /// Concurrent callers must use pairwise disjoint ranges.
     #[inline]
+    #[track_caller]
     #[allow(clippy::mut_from_ref)]
+    // SAFETY: soundness is delegated to the caller's disjointness promise
+    // (the contract above); with the `audit` feature that promise is
+    // checked at runtime by the claim below.
     pub unsafe fn slice_mut(&self, lo: usize, hi: usize) -> &mut [T] {
         debug_assert!(lo <= hi && hi <= self.len);
-        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+        #[cfg(feature = "audit")]
+        self.record_claim(lo, hi);
+        // SAFETY: `lo <= hi <= self.len` keeps the range inside the
+        // wrapped allocation, and the caller's contract (pairwise disjoint
+        // concurrent ranges) rules out aliasing the returned `&mut [T]`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
+    }
+
+    /// Publish the claimed element range `[lo, hi)` to the global interval
+    /// log as a byte range, aborting on cross-thread overlap. See the
+    /// [`crate::audit`] module docs for the exact guarantees.
+    #[cfg(feature = "audit")]
+    #[track_caller]
+    fn record_claim(&self, lo: usize, hi: usize) {
+        let base = self.ptr as usize as u64;
+        let size = std::mem::size_of::<T>() as u64;
+        crate::audit::claim(base + lo as u64 * size, base + hi as u64 * size);
     }
 }
 

@@ -15,6 +15,8 @@
 //!   hours; the paper's absolute sizes are listed in the descriptors for
 //!   reference).
 
+#![forbid(unsafe_code)]
+
 pub mod registry;
 
 pub use registry::{

@@ -35,6 +35,8 @@
 //! assert!(relative_error(exact, approx.value) < 3.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dinic;
 pub mod edmonds_karp;
 pub mod generators;

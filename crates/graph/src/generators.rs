@@ -49,7 +49,10 @@ pub fn erdos_renyi_nm(n: usize, m: usize, seed: u64) -> Graph {
         chosen.insert(key);
     }
     let mut b = GraphBuilder::new_undirected(n);
-    for (u, v) in chosen {
+    // qsc-audit: allow(hash-iter-determinism) -- drained into a Vec and sorted on the next line; the hash order never reaches the builder
+    let mut edges: Vec<(NodeId, NodeId)> = chosen.into_iter().collect();
+    edges.sort_unstable();
+    for (u, v) in edges {
         b.add_edge(u, v, 1.0);
     }
     b.build()
@@ -187,6 +190,7 @@ pub fn hub_and_spoke(n: usize, hubs: usize, spokes_per_node: usize, seed: u64) -
     }
     // Zipf-ish hub popularity: hub h gets weight 1/(h+1).
     let weights: Vec<f64> = (0..hubs).map(|h| 1.0 / (h as f64 + 1.0)).collect();
+    // qsc-audit: allow(canonical-float-sum) -- one-shot serial sum over a tiny fixed-order Vec at graph-generation time; qsc-graph sits below qsc-linalg in the crate DAG so lanes::sum is unreachable here
     let total: f64 = weights.iter().sum();
     let pick_hub = |rng: &mut StdRng| -> NodeId {
         let mut x = rng.random::<f64>() * total;
@@ -203,7 +207,10 @@ pub fn hub_and_spoke(n: usize, hubs: usize, spokes_per_node: usize, seed: u64) -
         while seen.len() < spokes_per_node.min(hubs) {
             seen.insert(pick_hub(&mut rng));
         }
-        for h in seen {
+        // qsc-audit: allow(hash-iter-determinism) -- drained into a Vec and sorted before any edge is added; the hash order never reaches the builder
+        let mut picked: Vec<NodeId> = seen.into_iter().collect();
+        picked.sort_unstable();
+        for h in picked {
             b.add_edge(v as NodeId, h, 1.0);
         }
         // Occasional point-to-point route.

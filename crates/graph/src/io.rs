@@ -71,6 +71,7 @@ pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph> {
     if ids.len() > u32::MAX as usize {
         return Err(parse_err(0, "more than u32::MAX distinct node ids"));
     }
+    // qsc-audit: allow(no-panic-on-input) -- internal invariant, not an input condition: `ids` was built from exactly these raw endpoints four lines up, so the lookup cannot miss
     let remap = |raw: u64| ids.binary_search(&raw).expect("id collected above") as u32;
     let n = ids.len();
     let mut b = if directed {

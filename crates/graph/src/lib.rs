@@ -24,6 +24,8 @@
 //!
 //! All node identifiers are dense `u32` indices in `0..n`.
 
+#![forbid(unsafe_code)]
+
 pub mod bipartite;
 pub mod builder;
 pub mod csr;

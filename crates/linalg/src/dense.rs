@@ -151,7 +151,7 @@ impl DenseMatrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        crate::lanes::dot(&self.data, &self.data).sqrt()
     }
 }
 

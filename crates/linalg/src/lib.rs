@@ -15,6 +15,9 @@
 //!   for sums and sequential-semantics min/max scans (see the module docs
 //!   for the determinism contract).
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cholesky;
 pub mod dense;
 pub mod lanes;

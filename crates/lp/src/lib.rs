@@ -44,6 +44,8 @@
 //! assert!(relative_error < 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod generators;
 pub mod interior_point;
 pub mod mps;

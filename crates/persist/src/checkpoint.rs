@@ -178,12 +178,10 @@ impl<'a> ScalarReader<'a> {
         Ok(s)
     }
     fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        crate::le::le_u64(self.take(8)?)
     }
     fn f64(&mut self) -> Result<f64, PersistError> {
-        Ok(f64::from_bits(u64::from_le_bytes(
-            self.take(8)?.try_into().unwrap(),
-        )))
+        crate::le::le_f64(self.take(8)?)
     }
     fn u8(&mut self) -> Result<u8, PersistError> {
         Ok(self.take(1)?[0])
@@ -471,15 +469,15 @@ fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
     if &bytes[0..8] != CHECKPOINT_MAGIC {
         return Err(PersistError::BadMagic { kind: "checkpoint" });
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = crate::le::le_u32(&bytes[8..12])?;
     if version != CHECKPOINT_VERSION {
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: CHECKPOINT_VERSION,
         });
     }
-    let block_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
-    let hcrc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let block_count = crate::le::le_u32(&bytes[12..16])?;
+    let hcrc = crate::le::le_u32(&bytes[16..20])?;
     if crc32(&bytes[0..16]) != hcrc {
         return Err(PersistError::CrcMismatch {
             context: "checkpoint header",
@@ -491,21 +489,19 @@ fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
         let hdr = bytes.get(pos..pos + 24).ok_or(PersistError::Truncated {
             context: "checkpoint block header",
         })?;
-        let id = u16::from_le_bytes(hdr[0..2].try_into().unwrap());
+        let id = crate::le::le_u16(&hdr[0..2])?;
         let enc = hdr[2];
-        let count =
-            usize::try_from(u64::from_le_bytes(hdr[4..12].try_into().unwrap())).map_err(|_| {
-                PersistError::Corrupt {
-                    context: "block element count overflows usize",
-                }
-            })?;
-        let len =
-            usize::try_from(u64::from_le_bytes(hdr[12..20].try_into().unwrap())).map_err(|_| {
-                PersistError::Corrupt {
-                    context: "block payload length overflows usize",
-                }
-            })?;
-        let pcrc = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
+        let count = usize::try_from(crate::le::le_u64(&hdr[4..12])?).map_err(|_| {
+            PersistError::Corrupt {
+                context: "block element count overflows usize",
+            }
+        })?;
+        let len = usize::try_from(crate::le::le_u64(&hdr[12..20])?).map_err(|_| {
+            PersistError::Corrupt {
+                context: "block payload length overflows usize",
+            }
+        })?;
+        let pcrc = crate::le::le_u32(&hdr[20..24])?;
         pos += 24;
         let payload = bytes.get(pos..pos + len).ok_or(PersistError::Truncated {
             context: "checkpoint block payload",

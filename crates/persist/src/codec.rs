@@ -167,9 +167,13 @@ fn rle_encode(bytes: &[u8], out: &mut Vec<u8>) {
         // word compare turns that scan into 1/8th the loads.
         if j + 8 <= bytes.len() && bytes[j] == b {
             let word = u64::from_ne_bytes([b; 8]);
-            while j + 8 <= bytes.len()
-                && u64::from_ne_bytes(bytes[j..j + 8].try_into().unwrap()) == word
+            while let Some(Ok(w)) = bytes
+                .get(j..j + 8)
+                .map(|s| <[u8; 8]>::try_from(s).map(u64::from_ne_bytes))
             {
+                if w != word {
+                    break;
+                }
                 j += 8;
             }
         }
@@ -339,7 +343,7 @@ pub fn decode_u64s(enc: u8, payload: &[u8], count: usize) -> Result<Vec<u64>, Pe
     match enc {
         ENC_RAW => {
             for chunk in payload.chunks_exact(8) {
-                out.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+                out.push(crate::le::le_u64(chunk)?);
             }
         }
         ENC_VARINT => {
@@ -429,10 +433,11 @@ pub fn decode_u32s(enc: u8, payload: &[u8], count: usize) -> Result<Vec<u32>, Pe
                     context: "raw u32 column has wrong byte length",
                 });
             }
-            return Ok(payload
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                .collect());
+            let mut raw = Vec::with_capacity(count);
+            for c in payload.chunks_exact(4) {
+                raw.push(crate::le::le_u32(c)?);
+            }
+            return Ok(raw);
         }
         ENC_VARINT | ENC_DELTA if count > payload.len() => {
             return Err(PersistError::Corrupt {
@@ -506,10 +511,11 @@ pub fn decode_f64s(enc: u8, payload: &[u8], count: usize) -> Result<Vec<f64>, Pe
                     context: "raw f64 column has wrong byte length",
                 });
             }
-            Ok(payload
-                .chunks_exact(8)
-                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-                .collect())
+            let mut raw = Vec::with_capacity(count);
+            for c in payload.chunks_exact(8) {
+                raw.push(crate::le::le_f64(c)?);
+            }
+            Ok(raw)
         }
         ENC_SHUFFLE => {
             let mut pos = 0;

@@ -1,0 +1,67 @@
+//! Typed-error fixed-width little-endian reads.
+//!
+//! Every decode path in this crate reads scalars out of length-checked
+//! subslices, where `try_into().unwrap()` would be infallible *today* —
+//! but an unwrap in a parser is a panic waiting for the refactor that
+//! breaks its guarding bounds check. These helpers make the conversion
+//! itself return [`PersistError`], so the no-panic contract of the decode
+//! layer (`qsc-audit`'s `no-panic-on-input` rule) holds by construction:
+//! a short slice surfaces as `Truncated`, never as a panic.
+
+use crate::error::PersistError;
+
+fn arr<const N: usize>(b: &[u8]) -> Result<[u8; N], PersistError> {
+    b.get(..N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(PersistError::Truncated {
+            context: "fixed-width scalar ended early",
+        })
+}
+
+/// Read a `u16` from the first two bytes of `b`.
+pub(crate) fn le_u16(b: &[u8]) -> Result<u16, PersistError> {
+    Ok(u16::from_le_bytes(arr::<2>(b)?))
+}
+
+/// Read a `u32` from the first four bytes of `b`.
+pub(crate) fn le_u32(b: &[u8]) -> Result<u32, PersistError> {
+    Ok(u32::from_le_bytes(arr::<4>(b)?))
+}
+
+/// Read a `u64` from the first eight bytes of `b`.
+pub(crate) fn le_u64(b: &[u8]) -> Result<u64, PersistError> {
+    Ok(u64::from_le_bytes(arr::<8>(b)?))
+}
+
+/// Read an `f64` (bit pattern preserved exactly) from the first eight
+/// bytes of `b`.
+pub(crate) fn le_f64(b: &[u8]) -> Result<f64, PersistError> {
+    Ok(f64::from_bits(le_u64(b)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_input_is_a_typed_error_not_a_panic() {
+        assert!(le_u16(&[1]).is_err());
+        assert!(le_u32(&[1, 2, 3]).is_err());
+        assert!(le_u64(&[0; 7]).is_err());
+        assert!(le_f64(&[]).is_err());
+    }
+
+    #[test]
+    fn values_round_trip() {
+        assert_eq!(le_u16(&0x1234u16.to_le_bytes()).unwrap(), 0x1234);
+        assert_eq!(le_u32(&0xdeadbeefu32.to_le_bytes()).unwrap(), 0xdeadbeef);
+        assert_eq!(le_u64(&u64::MAX.to_le_bytes()).unwrap(), u64::MAX);
+        let x = -0.0f64;
+        assert_eq!(
+            le_f64(&x.to_bits().to_le_bytes()).unwrap().to_bits(),
+            x.to_bits()
+        );
+        // Longer slices read their prefix.
+        assert_eq!(le_u16(&[1, 0, 99]).unwrap(), 1);
+    }
+}

@@ -95,9 +95,12 @@
 //! state constructor with invariants is called, so a CRC-valid but
 //! semantically poisoned file is caught as [`PersistError::Corrupt`].
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod codec;
 pub mod error;
+mod le;
 pub mod store;
 pub mod wal;
 

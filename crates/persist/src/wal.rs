@@ -128,7 +128,7 @@ fn decode_edge_events(buf: &[u8], pos: &mut usize) -> Result<Vec<EdgeEvent>, Per
         events.push(EdgeEvent {
             source: sources[i],
             target: targets[i],
-            delta: f64::from_bits(u64::from_le_bytes(raw.try_into().unwrap())),
+            delta: crate::le::le_f64(raw)?,
         });
     }
     Ok(events)
@@ -407,15 +407,15 @@ pub fn read_wal(dir: &Path, after_seq: u64) -> Result<Vec<(u64, WalRecord)>, Per
                 kind: "WAL segment",
             });
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let version = crate::le::le_u32(&bytes[8..12])?;
         if version != WAL_VERSION {
             return Err(PersistError::UnsupportedVersion {
                 found: version,
                 supported: WAL_VERSION,
             });
         }
-        let header_seq = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-        let hcrc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        let header_seq = crate::le::le_u64(&bytes[12..20])?;
+        let hcrc = crate::le::le_u32(&bytes[20..24])?;
         if crc32(&bytes[0..20]) != hcrc {
             return Err(PersistError::CrcMismatch {
                 context: "WAL segment header",
@@ -474,8 +474,8 @@ fn parse_one_record(bytes: &[u8], pos: usize) -> Result<(u64, WalRecord, usize),
     let frame = bytes.get(pos..pos + 8).ok_or(PersistError::Truncated {
         context: "WAL record frame header",
     })?;
-    let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+    let len = crate::le::le_u32(&frame[0..4])? as usize;
+    let crc = crate::le::le_u32(&frame[4..8])?;
     if len < 9 {
         return Err(PersistError::Corrupt {
             context: "WAL record shorter than its fixed fields",
@@ -491,7 +491,7 @@ fn parse_one_record(bytes: &[u8], pos: usize) -> Result<(u64, WalRecord, usize),
             context: "WAL record",
         });
     }
-    let seq = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let seq = crate::le::le_u64(&body[0..8])?;
     let kind = body[8];
     let rec = decode_record(kind, &body[9..])?;
     Ok((seq, rec, pos + 8 + len))

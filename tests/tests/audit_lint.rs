@@ -1,0 +1,401 @@
+//! Fixture suite for the `qsc-audit` lint engine: one violating and one
+//! clean snippet per rule, the suppression machinery (mandatory
+//! justifications, unknown rules, unused suppressions, doc-comment
+//! immunity), scope routing by path, and test-region skipping.
+//!
+//! Every fixture lives in a raw string, so this file itself stays
+//! invisible to the lint pass that scans the real tree (rules never look
+//! inside string literals). The final test runs the real `audit_tree`
+//! over the workspace and asserts the merged tree is audit-clean.
+
+use qsc_audit::{audit_tree, find_workspace_root, lint_source, Finding, Level};
+use std::path::Path;
+
+/// Unsuppressed findings for `rule` in `findings`.
+fn hits<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.suppressed)
+        .collect()
+}
+
+const CORE_PATH: &str = "crates/core/src/fixture.rs";
+const PERSIST_PATH: &str = "crates/persist/src/fixture.rs";
+
+// ---------------------------------------------------------------------------
+// unsafe-safety-comment
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    let src = r#"
+pub unsafe fn poke(p: *mut u8) {
+    unsafe { *p = 0 };
+}
+"#;
+    let f = lint_source(CORE_PATH, src);
+    let found = hits(&f, "unsafe-safety-comment");
+    assert_eq!(found.len(), 2, "both unsafe tokens are uncovered: {f:?}");
+    assert_eq!(found[0].line, 2);
+    assert_eq!(found[0].level, Level::Error);
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_clean() {
+    let src = r#"
+// SAFETY: the caller hands us a valid, exclusive pointer.
+pub unsafe fn poke(p: *mut u8) {
+    // SAFETY: validity delegated to the fn contract above.
+    unsafe { *p = 0 };
+}
+"#;
+    let f = lint_source(CORE_PATH, src);
+    assert!(hits(&f, "unsafe-safety-comment").is_empty(), "{f:?}");
+}
+
+#[test]
+fn unsafe_rule_applies_even_inside_test_regions() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = 0u8;
+        let p = &x as *const u8;
+        let _ = unsafe { *p };
+    }
+}
+"#;
+    let f = lint_source(CORE_PATH, src);
+    assert_eq!(hits(&f, "unsafe-safety-comment").len(), 1, "{f:?}");
+}
+
+// ---------------------------------------------------------------------------
+// hash-iter-determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hash_iteration_fires_in_scope() {
+    let src = r#"
+use std::collections::HashMap;
+fn leak() -> Vec<u32> {
+    let mut m: HashMap<u32, f64> = HashMap::new();
+    m.insert(1, 2.0);
+    let mut out = Vec::new();
+    for (k, _v) in &m {
+        out.push(*k);
+    }
+    out.extend(m.keys());
+    out
+}
+"#;
+    let f = lint_source(CORE_PATH, src);
+    let found = hits(&f, "hash-iter-determinism");
+    // Three: the for-loop, `.keys()`, and `extend(` each report (the last
+    // line deliberately trips both the method and the extend pattern).
+    assert_eq!(found.len(), 3, "{f:?}");
+    assert_eq!(found[0].line, 7);
+}
+
+#[test]
+fn hash_point_queries_are_clean() {
+    let src = r#"
+use std::collections::HashMap;
+fn fine(m: &mut HashMap<u32, f64>) -> Option<f64> {
+    m.insert(7, 1.0);
+    if m.contains_key(&7) {
+        m.get(&1).copied()
+    } else {
+        None
+    }
+}
+"#;
+    let f = lint_source(CORE_PATH, src);
+    assert!(hits(&f, "hash-iter-determinism").is_empty(), "{f:?}");
+}
+
+#[test]
+fn hash_rule_is_scoped_to_result_feeding_crates() {
+    let src = r#"
+use std::collections::HashSet;
+fn report(s: HashSet<u32>) {
+    for x in &s {
+        println!("{x}");
+    }
+}
+"#;
+    // Same source: flagged in a coloring-feeding crate, ignored elsewhere.
+    assert_eq!(
+        hits(&lint_source(CORE_PATH, src), "hash-iter-determinism").len(),
+        1
+    );
+    let elsewhere = lint_source("crates/centrality/src/fixture.rs", src);
+    assert!(hits(&elsewhere, "hash-iter-determinism").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// canonical-float-sum
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raw_float_sums_fire() {
+    let src = r#"
+fn reductions(xs: &[f64]) -> f64 {
+    let a = xs.iter().sum::<f64>();
+    let b: f64 = xs.iter().copied().sum();
+    let c = xs.iter().fold(0.0, |acc, x| acc + x);
+    a + b + c
+}
+"#;
+    let f = lint_source(CORE_PATH, src);
+    let found = hits(&f, "canonical-float-sum");
+    assert_eq!(found.len(), 3, "turbofish, typed bare sum, fold: {f:?}");
+}
+
+#[test]
+fn non_additive_and_integer_reductions_are_clean() {
+    let src = r#"
+fn fine(xs: &[f64], ns: &[u64]) -> (f64, u64) {
+    let hi = xs.iter().copied().fold(0.0, f64::max);
+    let n = ns.iter().sum::<u64>();
+    (hi, n)
+}
+"#;
+    let f = lint_source(CORE_PATH, src);
+    assert!(hits(&f, "canonical-float-sum").is_empty(), "{f:?}");
+}
+
+#[test]
+fn lanes_module_is_the_sanctioned_exception() {
+    let src = r#"
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+"#;
+    let f = lint_source("crates/linalg/src/lanes.rs", src);
+    assert!(hits(&f, "canonical-float-sum").is_empty(), "{f:?}");
+    // The same code anywhere else in linalg is a violation.
+    let f = lint_source("crates/linalg/src/dense.rs", src);
+    assert_eq!(hits(&f, "canonical-float-sum").len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// no-wallclock-in-results
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wallclock_reads_fire_outside_bench() {
+    let src = r#"
+fn jittery() -> f64 {
+    let t = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::UNIX_EPOCH;
+    t.elapsed().as_secs_f64()
+}
+"#;
+    let f = lint_source(CORE_PATH, src);
+    assert_eq!(hits(&f, "no-wallclock-in-results").len(), 2, "{f:?}");
+}
+
+#[test]
+fn wallclock_is_fine_in_bench_and_use_statements() {
+    let clean = r#"
+use std::time::Instant;
+fn shape() -> usize {
+    1
+}
+"#;
+    let f = lint_source(CORE_PATH, clean);
+    assert!(hits(&f, "no-wallclock-in-results").is_empty(), "{f:?}");
+
+    let timed = r#"
+fn timed() -> f64 {
+    std::time::Instant::now().elapsed().as_secs_f64()
+}
+"#;
+    let f = lint_source("crates/bench/src/fixture.rs", timed);
+    assert!(hits(&f, "no-wallclock-in-results").is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------------------
+// no-panic-on-input
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panics_in_parser_modules_fire() {
+    let src = r#"
+fn decode(b: &[u8]) -> u32 {
+    if b.is_empty() {
+        panic!("empty input");
+    }
+    let arr: [u8; 4] = b[0..4].try_into().unwrap();
+    u32::from_le_bytes(arr)
+}
+"#;
+    let f = lint_source(PERSIST_PATH, src);
+    assert_eq!(hits(&f, "no-panic-on-input").len(), 2, "{f:?}");
+}
+
+#[test]
+fn typed_errors_in_parser_modules_are_clean() {
+    let src = r#"
+fn decode(b: &[u8]) -> Result<u32, &'static str> {
+    let arr: [u8; 4] = b.get(0..4).and_then(|s| s.try_into().ok()).ok_or("short")?;
+    Ok(u32::from_le_bytes(arr))
+}
+"#;
+    let f = lint_source(PERSIST_PATH, src);
+    assert!(hits(&f, "no-panic-on-input").is_empty(), "{f:?}");
+}
+
+#[test]
+fn panic_rule_is_scoped_to_parser_modules() {
+    let src = r#"
+fn internal() -> u32 {
+    let v = vec![1u32];
+    v.first().copied().unwrap()
+}
+"#;
+    // Engine-internal unwraps are the compiler-checked-invariant idiom and
+    // stay legal outside IO/parser modules.
+    let f = lint_source(CORE_PATH, src);
+    assert!(hits(&f, "no-panic-on-input").is_empty(), "{f:?}");
+}
+
+#[test]
+fn result_feeding_rules_skip_test_regions() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let xs = [1.0f64, 2.0];
+        let s = xs.iter().sum::<f64>();
+        let v: Vec<u32> = Vec::new();
+        assert_eq!(v.first().copied().unwrap_or(0) as f64 + s, 3.0);
+        let _ = std::time::Instant::now();
+    }
+}
+"#;
+    let f = lint_source(PERSIST_PATH, src);
+    assert!(hits(&f, "canonical-float-sum").is_empty(), "{f:?}");
+    assert!(hits(&f, "no-wallclock-in-results").is_empty(), "{f:?}");
+    assert!(hits(&f, "no-panic-on-input").is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Suppression machinery
+// ---------------------------------------------------------------------------
+
+/// A persist-scope snippet with one unwrap, prefixed by `comment`.
+fn suppressible(comment: &str) -> String {
+    format!(
+        "fn decode(b: &[u8]) -> u32 {{\n    {comment}\n    let arr: [u8; 4] = \
+         b[0..4].try_into().unwrap();\n    u32::from_le_bytes(arr)\n}}\n"
+    )
+}
+
+#[test]
+fn suppression_with_justification_silences_the_finding() {
+    let src = suppressible(
+        "// qsc-audit: allow(no-panic-on-input) -- fixture: guarded by a length check upstream",
+    );
+    let f = lint_source(PERSIST_PATH, &src);
+    assert!(hits(&f, "no-panic-on-input").is_empty(), "{f:?}");
+    let suppressed: Vec<_> = f.iter().filter(|x| x.suppressed).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(
+        suppressed[0].justification.as_deref(),
+        Some("fixture: guarded by a length check upstream")
+    );
+    assert!(hits(&f, "suppression-syntax").is_empty());
+    assert!(hits(&f, "unused-suppression").is_empty());
+}
+
+#[test]
+fn suppression_without_justification_is_an_error() {
+    let src = suppressible("// qsc-audit: allow(no-panic-on-input)");
+    let f = lint_source(PERSIST_PATH, &src);
+    // The malformed suppression is rejected AND the finding stays live.
+    assert_eq!(hits(&f, "suppression-syntax").len(), 1, "{f:?}");
+    assert_eq!(hits(&f, "no-panic-on-input").len(), 1, "{f:?}");
+}
+
+#[test]
+fn suppression_with_empty_justification_is_an_error() {
+    let src = suppressible("// qsc-audit: allow(no-panic-on-input) -- ");
+    let f = lint_source(PERSIST_PATH, &src);
+    assert_eq!(hits(&f, "suppression-syntax").len(), 1, "{f:?}");
+    assert_eq!(hits(&f, "no-panic-on-input").len(), 1, "{f:?}");
+}
+
+#[test]
+fn suppression_naming_unknown_rule_is_an_error() {
+    let src = suppressible("// qsc-audit: allow(not-a-rule) -- misdirected");
+    let f = lint_source(PERSIST_PATH, &src);
+    assert_eq!(hits(&f, "suppression-syntax").len(), 1, "{f:?}");
+    assert_eq!(hits(&f, "no-panic-on-input").len(), 1, "{f:?}");
+}
+
+#[test]
+fn meta_rules_are_not_suppressible() {
+    // `suppression-syntax` is not in RULE_IDS, so naming it is itself a
+    // syntax error — the meta rules cannot be allowed away.
+    let src = suppressible("// qsc-audit: allow(suppression-syntax) -- nice try");
+    let f = lint_source(PERSIST_PATH, &src);
+    assert_eq!(hits(&f, "suppression-syntax").len(), 1, "{f:?}");
+}
+
+#[test]
+fn unused_suppression_warns() {
+    let src = "// qsc-audit: allow(no-panic-on-input) -- nothing here to silence\n\
+               fn fine() -> u32 {\n    7\n}\n";
+    let f = lint_source(PERSIST_PATH, src);
+    let found = hits(&f, "unused-suppression");
+    assert_eq!(found.len(), 1, "{f:?}");
+    assert_eq!(found[0].level, Level::Warning);
+}
+
+#[test]
+fn doc_comments_never_carry_suppressions() {
+    let src = suppressible("/// qsc-audit: allow(no-panic-on-input) -- docs only quote the syntax");
+    let f = lint_source(PERSIST_PATH, &src);
+    // Neither a suppression nor a syntax error: doc comments are inert.
+    assert_eq!(hits(&f, "no-panic-on-input").len(), 1, "{f:?}");
+    assert!(hits(&f, "suppression-syntax").is_empty(), "{f:?}");
+    assert!(hits(&f, "unused-suppression").is_empty(), "{f:?}");
+}
+
+#[test]
+fn violations_inside_string_literals_are_invisible() {
+    let src = r##"
+fn render() -> &'static str {
+    r#"
+    let x = xs.iter().sum::<f64>();
+    unsafe { boom() }
+    "#
+}
+"##;
+    let f = lint_source(CORE_PATH, src);
+    assert!(f.is_empty(), "strings are data, not code: {f:?}");
+}
+
+// ---------------------------------------------------------------------------
+// The merged tree is audit-clean
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_tree_is_audit_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above tests/");
+    let report = audit_tree(&root).expect("scan workspace sources");
+    assert!(report.files_scanned > 50, "scan looks truncated");
+    let live: Vec<_> = report.findings.iter().filter(|f| !f.suppressed).collect();
+    assert!(
+        live.is_empty(),
+        "unsuppressed audit findings in the tree:\n{}",
+        live.iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
