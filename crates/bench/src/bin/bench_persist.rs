@@ -33,7 +33,9 @@ use qsc_core::reduced::ReducedDelta;
 use qsc_core::rothko::{Rothko, RothkoConfig, RothkoRun};
 use qsc_core::StorageMode;
 use qsc_graph::{generators, GraphBuilder, GraphDelta};
-use qsc_persist::{encode_checkpoint, CheckpointData, Store, StoreOptions};
+use qsc_persist::{
+    encode_checkpoint, encode_checkpoint_with, CheckpointData, Layout, Store, StoreOptions,
+};
 use rand::prelude::*;
 
 /// Canonical byte encoding of a stack's state, for bit-identity checks.
@@ -80,9 +82,17 @@ fn main() {
         println!("  --nodes N    graph size (default 1_000_000; smoke 5_000)");
         println!("  --threads T  engine threads (default 1)");
         println!("  --seed S     generator + churn seed (default 7)");
+        println!(
+            "  --layout L   checkpoint layout for the store: packed | mapped (default packed)"
+        );
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
+    let layout = match arg_value(&args, "--layout").as_deref() {
+        None | Some("packed") => Layout::Packed,
+        Some("mapped") => Layout::MappedRaw,
+        Some(other) => panic!("unknown --layout {other:?} (expected packed | mapped)"),
+    };
     let threads: usize = arg_value(&args, "--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
@@ -149,7 +159,14 @@ fn main() {
 
     // ---------------- Checkpoint + a small WAL tail ----------------
     let dir = std::env::temp_dir().join(format!("qsc-bench-persist-{}", std::process::id()));
-    let mut store = Store::create(&dir, StoreOptions::default()).expect("create store");
+    let mut store = Store::create(
+        &dir,
+        StoreOptions {
+            layout,
+            ..StoreOptions::default()
+        },
+    )
+    .expect("create store");
     if warm_bytes > 0 {
         warm_pages(warm_bytes);
     }
@@ -157,11 +174,35 @@ fn main() {
     let stats = store.checkpoint(&run, Some(&reduced)).expect("checkpoint");
     let encode_s = t1.elapsed().as_secs_f64();
     println!(
-        "checkpoint: {} bytes on disk, {} natural column bytes ({:.2}x compression), {encode_s:.3}s",
+        "checkpoint: {} bytes on disk ({layout:?} layout), {} natural column bytes \
+         ({:.2}x compression), {encode_s:.3}s",
         stats.file_bytes,
         stats.natural_bytes,
         stats.compression_ratio()
     );
+
+    // Honest per-layout numbers: encode the same state in both layouts
+    // so the JSON reports each one's real footprint — the mapped layout
+    // pins the big columns raw and *loses* compression on them; that
+    // trade is the point, not something to hide.
+    let snapshot_data = CheckpointData {
+        graph: g.clone(),
+        config: run.config().clone(),
+        run: run.snapshot(),
+        reduced: Some(reduced.snapshot()),
+        wal_seq: store.last_seq(),
+    };
+    let layout_stats = [Layout::Packed, Layout::MappedRaw].map(|l| {
+        let t = Instant::now();
+        let (bytes, s) = encode_checkpoint_with(&snapshot_data, l);
+        let secs = t.elapsed().as_secs_f64();
+        println!(
+            "layout {l:?}: {} bytes, {:.2}x compression, encode {secs:.3}s",
+            bytes.len(),
+            s.compression_ratio()
+        );
+        (bytes.len(), s.compression_ratio(), secs)
+    });
 
     // A realistic restart tail: a couple of logged batches + maintenance.
     let mut delta = GraphDelta::new(g.clone());
@@ -216,7 +257,7 @@ fn main() {
 
     if smoke {
         assert!(
-            stats.compression_ratio() > 1.0,
+            layout_stats[0].1 > 1.0,
             "columnar encoding failed to beat natural bytes"
         );
         println!("smoke OK (bit-identity + compression asserts, no timing bars, no JSON)");
@@ -225,8 +266,21 @@ fn main() {
 
     let decode_mb_s = stats.file_bytes as f64 / 1e6 / warm_s;
     let encode_mb_s = stats.natural_bytes as f64 / 1e6 / encode_s;
+    let layouts_json = format!(
+        "{{\"packed\":{{\"file_bytes\":{},\"compression_ratio\":{:.3},\"encode_s\":{:.4}}},\"mapped_raw\":{{\"file_bytes\":{},\"compression_ratio\":{:.3},\"encode_s\":{:.4}}}}}",
+        layout_stats[0].0,
+        layout_stats[0].1,
+        layout_stats[0].2,
+        layout_stats[1].0,
+        layout_stats[1].1,
+        layout_stats[1].2
+    );
+    let layout_name = match layout {
+        Layout::Packed => "packed",
+        Layout::MappedRaw => "mapped_raw",
+    };
     let row = format!(
-        "{{\"summary\":\"warm_restart_vs_cold_rebuild\",\"graph\":\"barabasi_albert\",\"nodes\":{n},\"edges\":{m},\"seed\":{seed},\"colors\":{colors},\"threads\":{threads},\"cold_rebuild_s\":{cold_s:.4},\"warm_restart_s\":{warm_s:.4},\"speedup\":{speedup:.2},\"checkpoint_file_bytes\":{},\"wal_file_bytes\":{wal_bytes},\"natural_column_bytes\":{},\"compression_ratio\":{:.3},\"encode_s\":{encode_s:.4},\"encode_mb_per_s\":{encode_mb_s:.1},\"restore_mb_per_s\":{decode_mb_s:.1},\"wal_records_replayed\":{},\"bit_identical\":true,\"host_cpus\":{},\"rss_available\":{},\"peak_rss_bytes\":{},\"bars\":{{\"speedup_min\":20.0,\"compression_min\":2.0}},\"bar_enforced\":true}}",
+        "{{\"summary\":\"warm_restart_vs_cold_rebuild\",\"graph\":\"barabasi_albert\",\"nodes\":{n},\"edges\":{m},\"seed\":{seed},\"colors\":{colors},\"threads\":{threads},\"layout\":\"{layout_name}\",\"cold_rebuild_s\":{cold_s:.4},\"warm_restart_s\":{warm_s:.4},\"speedup\":{speedup:.2},\"checkpoint_file_bytes\":{},\"wal_file_bytes\":{wal_bytes},\"natural_column_bytes\":{},\"compression_ratio\":{:.3},\"layouts\":{layouts_json},\"encode_s\":{encode_s:.4},\"encode_mb_per_s\":{encode_mb_s:.1},\"restore_mb_per_s\":{decode_mb_s:.1},\"wal_records_replayed\":{},\"bit_identical\":true,\"host_cpus\":{},\"rss_available\":{},\"peak_rss_bytes\":{},\"bars\":{{\"speedup_min\":20.0,\"compression_min\":2.0}},\"bar_enforced\":true}}",
         stats.file_bytes,
         stats.natural_bytes,
         stats.compression_ratio(),
@@ -244,9 +298,11 @@ fn main() {
         speedup >= 20.0,
         "warm restart speedup {speedup:.1}x below the 20x bar"
     );
+    // The compression bar is a property of the packed layout; the mapped
+    // layout intentionally pins the big columns raw.
     assert!(
-        stats.compression_ratio() >= 2.0,
-        "compression ratio {:.2}x below the 2x bar",
-        stats.compression_ratio()
+        layout_stats[0].1 >= 2.0,
+        "packed compression ratio {:.2}x below the 2x bar",
+        layout_stats[0].1
     );
 }

@@ -134,6 +134,24 @@
 //! writer's, so restart skips the full build at the cost of reading a
 //! file.
 //!
+//! **Borrowed columns.** The restore path does not even have to *read*
+//! the file eagerly: every `Graph` column and the engine's persisted
+//! accumulator planes are [`qsc_graph::ColumnBuf`]s — owned `Vec`s for
+//! built graphs, or shared views into a checkpoint mapped by this
+//! crate's [`mmap`] module (`MappedFile` wraps the raw
+//! `mmap`/`munmap`/`madvise` syscalls behind a safe API; `MappedSlice`
+//! implements [`qsc_graph::SharedColumn`], carrying the map's lifetime
+//! in an `Arc`). `qsc-persist`'s raw-layout checkpoints pin aligned
+//! uncompressed encodings for exactly these columns, so a warm restart
+//! borrows the CSR and `dout`/`din` planes in place and the OS page
+//! cache — not the heap — bounds the working set: graphs whose CSR
+//! exceeds RAM still open in O(1). Owned and mapped stacks run the same
+//! code paths (`Deref<Target = [T]>`) and are bit-identical at every
+//! thread count; the engine hints paging (`advise`) ahead of whole-axis
+//! sweeps and touched-list scans, and the first mutation after a mapped
+//! restart compacts to owned columns at the `GraphStore` swap boundary
+//! (copy-on-write), leaving the mutation path untouched.
+//!
 //! **Determinism contract.** Every event consumer must uphold what the
 //! engine guarantees: applying an event sequence leaves state *bit
 //! identical* (for exactly representable weights; up to float
@@ -198,6 +216,7 @@
 #[cfg(feature = "audit")]
 mod audit;
 pub mod kernels;
+pub mod mmap;
 pub mod parallel;
 pub mod partition;
 pub mod q_error;

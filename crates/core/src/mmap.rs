@@ -1,0 +1,678 @@
+//! Minimal memory-mapped file support for zero-copy checkpoint reads.
+//!
+//! This module is the **only** place in the workspace that talks to the
+//! kernel's memory-mapping interface, keeping `unsafe` confined to
+//! `qsc-core` per the audit contract. The build environment vendors no
+//! `libc`, so on Linux the three syscalls we need (`mmap`, `munmap`,
+//! `madvise`) are issued directly via `core::arch::asm!` on x86_64 and
+//! aarch64; every other platform (and any mapping failure) falls back to
+//! reading the file into a 64-byte-aligned heap buffer, so callers get
+//! identical semantics everywhere — only paging behavior differs.
+//! [`MappedFile::is_mapped`] reports which backing is live so benches can
+//! record it honestly.
+//!
+//! The public surface is safe:
+//!
+//! * [`MappedFile`] — a read-only byte image of a file, `mmap`'d
+//!   (`PROT_READ`, `MAP_PRIVATE`) or heap-loaded, unmapped on drop. The
+//!   base address is page-aligned when mapped and 64-byte-aligned when
+//!   heap-backed, so any payload offset that is 64-byte-aligned in the
+//!   file is at least 64-byte-aligned in memory.
+//! * [`MappedSlice<T>`] — a typed `&[T]` view into an `Arc<MappedFile>`
+//!   with bounds, alignment, and size checked at construction. `T` is
+//!   restricted to the sealed [`Pod`] plain-old-data set (`u32`, `u64`,
+//!   `f64`, `usize`), for which any bit pattern is a valid value, making
+//!   the transmute-by-view sound. It implements
+//!   [`qsc_graph::SharedColumn`], so a [`qsc_graph::ColumnBuf`] can sit
+//!   directly on mapped checkpoint bytes (see `qsc-persist`'s
+//!   `MappedStore` for the format-validation layer on top).
+//!
+//! Typed views additionally require a little-endian target: the
+//! checkpoint format stores native little-endian words, and reinterpreting
+//! them on a big-endian machine would read garbage. Construction fails
+//! cleanly there ([`MapError::Unsupported`]) and callers fall back to the
+//! owned decode path.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Why a mapping or typed view could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// Offset/length out of bounds of the mapped file.
+    OutOfBounds {
+        /// Requested byte offset.
+        offset: usize,
+        /// Requested byte length.
+        len: usize,
+        /// Total mapped bytes.
+        mapped: usize,
+    },
+    /// The view's base address is not aligned for the element type.
+    Misaligned {
+        /// Requested byte offset.
+        offset: usize,
+        /// Required alignment in bytes.
+        align: usize,
+    },
+    /// The byte length is not a multiple of the element size.
+    BadLength {
+        /// Requested byte length.
+        len: usize,
+        /// Element size in bytes.
+        elem: usize,
+    },
+    /// The target cannot support typed mapped views (e.g. big-endian, or
+    /// `usize` narrower than the stored 8-byte words).
+    Unsupported,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::OutOfBounds {
+                offset,
+                len,
+                mapped,
+            } => write!(
+                f,
+                "mapped view {offset}..+{len} out of bounds of {mapped} mapped bytes"
+            ),
+            MapError::Misaligned { offset, align } => {
+                write!(f, "mapped view at offset {offset} not {align}-byte aligned")
+            }
+            MapError::BadLength { len, elem } => {
+                write!(f, "mapped view length {len} not a multiple of {elem}")
+            }
+            MapError::Unsupported => write!(f, "typed mapped views unsupported on this target"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Paging advice constants, mirroring `MADV_*`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Advice {
+    Normal = 0,
+    Sequential = 2,
+    WillNeed = 3,
+}
+
+// ---------------------------------------------------------------------------
+// Raw syscalls. Linux-only; numbers come from the kernel's per-arch tables
+// (arch/x86/entry/syscalls/syscall_64.tbl, include/uapi/asm-generic/unistd.h).
+// ---------------------------------------------------------------------------
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MADVISE: usize = 28;
+
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MADVISE: usize = 233;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Issue a raw 6-argument Linux syscall.
+    ///
+    /// # Safety
+    /// The caller must pass arguments valid for the requested syscall
+    /// number; the asm block itself only moves values into the registers
+    /// the kernel ABI names and touches no memory.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    // SAFETY: soundness is delegated to the caller's contract above.
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        // SAFETY: register assignments follow the x86_64 syscall ABI
+        // exactly (number in rax, args in rdi/rsi/rdx/r10/r8/r9, return
+        // in rax, rcx/r11 clobbered by `syscall`); the caller's contract
+        // covers argument validity.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") n => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Issue a raw 6-argument Linux syscall.
+    ///
+    /// # Safety
+    /// As for the x86_64 variant: arguments must be valid for the syscall
+    /// number; registers follow the aarch64 `svc #0` convention (number
+    /// in x8, args in x0..x5, return in x0).
+    #[cfg(target_arch = "aarch64")]
+    #[inline]
+    // SAFETY: soundness is delegated to the caller's contract above.
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        // SAFETY: register assignments follow the aarch64 syscall ABI
+        // exactly; the asm touches no memory itself.
+        unsafe {
+            core::arch::asm!(
+                "svc #0",
+                in("x8") n,
+                inlateout("x0") a => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Map `len` bytes of the open file `fd` read-only. Returns the
+    /// mapped base address or `None` on any kernel error.
+    pub(super) fn mmap_file(fd: i32, len: usize) -> Option<*const u8> {
+        if len == 0 {
+            return None;
+        }
+        // SAFETY: mmap with addr=0 lets the kernel pick a free range;
+        // PROT_READ|MAP_PRIVATE over a file descriptor we hold open
+        // cannot alias any Rust-visible memory. A failed call returns a
+        // small negative errno which is rejected below.
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        if ret < 0 || !(ret as usize).is_multiple_of(4096) {
+            return None;
+        }
+        Some(ret as *const u8)
+    }
+
+    /// Unmap a range previously returned by [`mmap_file`].
+    ///
+    /// # Safety
+    /// `(ptr, len)` must be exactly a live mapping produced by
+    /// [`mmap_file`], with no outstanding references into it.
+    // SAFETY: soundness is delegated to the caller's contract above.
+    pub(super) unsafe fn munmap(ptr: *const u8, len: usize) {
+        // SAFETY: per this function's contract the range is a live
+        // private mapping owned by the caller; unmapping it only
+        // invalidates addresses the caller promised are unreferenced.
+        let _ = unsafe { syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0) };
+    }
+
+    /// Best-effort `madvise` over a subrange of a live mapping; kernel
+    /// errors are ignored (advice is only a hint).
+    pub(super) fn madvise(ptr: *const u8, len: usize, advice: usize) {
+        if len == 0 {
+            return;
+        }
+        // madvise requires a page-aligned start: align down and widen.
+        let addr = ptr as usize;
+        let page_off = addr % 4096;
+        // SAFETY: the range lies within a mapping the caller keeps alive
+        // for the duration of the call (MappedFile owns it); madvise
+        // never writes user memory, and failure only drops the hint.
+        let _ = unsafe {
+            syscall6(
+                SYS_MADVISE,
+                addr - page_off,
+                len + page_off,
+                advice,
+                0,
+                0,
+                0,
+            )
+        };
+    }
+}
+
+/// How the file image is held in memory.
+enum Backing {
+    /// A live kernel mapping: `(base, len)` to `munmap` on drop.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Read-whole-file fallback, 64-byte-aligned via a `u64` allocation.
+    Heap { buf: Vec<u64>, len: usize },
+}
+
+/// A read-only image of a file: memory-mapped where the platform allows,
+/// heap-loaded otherwise. See the module docs for the full story.
+pub struct MappedFile {
+    backing: Backing,
+}
+
+// SAFETY: the backing memory is immutable for the life of the value — a
+// PROT_READ private mapping or an owned heap buffer nobody writes — so
+// shared references from any thread are sound, and Drop (munmap) requires
+// only that the value itself is no longer referenced.
+unsafe impl Send for MappedFile {}
+// SAFETY: as above; all access is through `&self` returning `&[u8]`.
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Open `path` read-only and map (or load) its entire contents.
+    pub fn open(path: &Path) -> std::io::Result<MappedFile> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "file too large to map on this target",
+            ));
+        }
+        let len = len as usize;
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            use std::os::fd::AsRawFd;
+            if len > 0 {
+                if let Some(ptr) = sys::mmap_file(file.as_raw_fd(), len) {
+                    // The fd can close now; the mapping keeps the pages.
+                    return Ok(MappedFile {
+                        backing: Backing::Mapped { ptr, len },
+                    });
+                }
+            }
+        }
+        // Fallback: read the whole file into a 64-byte-aligned buffer
+        // (Vec<u64> guarantees 8-byte alignment; its allocations from the
+        // global allocator are at least 16-byte aligned in practice, but
+        // we only *promise* what we check: MappedSlice re-validates the
+        // actual address alignment at construction).
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        {
+            // View the u64 buffer as bytes for reading. This is the one
+            // place the heap fallback needs unsafe; the buffer is freshly
+            // owned and exactly `words * 8 >= len` bytes.
+            // SAFETY: `buf` owns `words * 8` initialized bytes; casting
+            // *mut u64 to *mut u8 only loosens alignment. The slice is
+            // dropped before `buf` moves.
+            let bytes =
+                unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), len) };
+            file.read_exact(bytes)?;
+        }
+        Ok(MappedFile {
+            backing: Backing::Heap { buf, len },
+        })
+    }
+
+    /// The file contents.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: `(ptr, len)` is the live PROT_READ mapping owned
+                // by this value; it stays valid until Drop, and nothing
+                // ever writes through it.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Heap { buf, len } => {
+                // SAFETY: `buf` owns at least `len` initialized bytes
+                // (allocated as ceil(len/8) u64 words); casting to bytes
+                // only loosens alignment.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), *len) }
+            }
+        }
+    }
+
+    /// Whether a real kernel mapping is live (vs. the heap fallback).
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Backing::Mapped { .. } => true,
+            Backing::Heap { .. } => false,
+        }
+    }
+
+    /// Whether this target can hand out typed little-endian 8-byte-word
+    /// views at all (little-endian, 64-bit `usize`).
+    #[inline]
+    #[must_use]
+    pub fn zero_copy_eligible() -> bool {
+        cfg!(target_endian = "little") && std::mem::size_of::<usize>() == 8
+    }
+
+    fn advise_bytes(&self, offset: usize, len: usize, advice: Advice) {
+        let _ = (offset, len, advice);
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Backing::Mapped { ptr, len: total } = &self.backing {
+            if offset < *total {
+                let len = len.min(*total - offset);
+                // SAFETY-adjacent note: sys::madvise is a safe fn; range
+                // validity is guaranteed by the bounds clamp above.
+                sys::madvise(ptr.wrapping_add(offset), len, advice as usize);
+            }
+        }
+    }
+
+    /// Advise sequential access over the whole file (aggressive
+    /// read-ahead, early page reclaim behind the scan). Best-effort.
+    pub fn advise_sequential(&self) {
+        self.advise_bytes(0, usize::MAX, Advice::Sequential);
+    }
+
+    /// Advise that `offset..offset + len` (bytes) will be needed soon,
+    /// starting fault-ahead now. Best-effort.
+    pub fn advise_willneed(&self, offset: usize, len: usize) {
+        self.advise_bytes(offset, len, Advice::WillNeed);
+    }
+
+    /// Reset paging behavior to the default over the whole file.
+    pub fn advise_normal(&self) {
+        self.advise_bytes(0, usize::MAX, Advice::Normal);
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Backing::Mapped { ptr, len } = &self.backing {
+            // SAFETY: we are in Drop, so no references into the mapping
+            // remain (MappedSlice holds the Arc that keeps us alive), and
+            // `(ptr, len)` is exactly the mapping mmap_file returned.
+            unsafe { sys::munmap(*ptr, *len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f64 {}
+    impl Sealed for usize {}
+}
+
+/// Plain-old-data element types for typed mapped views: every bit pattern
+/// is a valid value and the on-disk representation is the native
+/// little-endian layout. Sealed — the soundness of [`MappedSlice`] rests
+/// on this list staying exactly these types.
+pub trait Pod: sealed::Sealed + Copy + Send + Sync + 'static {}
+impl Pod for u32 {}
+impl Pod for u64 {}
+impl Pod for f64 {}
+impl Pod for usize {}
+
+/// A typed read-only view into an [`Arc<MappedFile>`]: `len` elements of
+/// `T` starting `offset` bytes into the file. Bounds, alignment, and
+/// element-size divisibility are checked at construction; the `Arc` keeps
+/// the mapping alive for the view's lifetime, so the view is `'static`.
+#[derive(Clone)]
+pub struct MappedSlice<T: Pod> {
+    file: Arc<MappedFile>,
+    offset: usize,
+    len: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> MappedSlice<T> {
+    /// Create a view of `len` elements at byte `offset`. Fails with a
+    /// typed [`MapError`] (never panics) if the range is out of bounds,
+    /// misaligned for `T`, or the target cannot support typed views
+    /// (big-endian, or `usize` narrower than 8 bytes when `T = usize`).
+    pub fn new(file: Arc<MappedFile>, offset: usize, len: usize) -> Result<Self, MapError> {
+        if !cfg!(target_endian = "little") {
+            return Err(MapError::Unsupported);
+        }
+        let elem = std::mem::size_of::<T>();
+        // The checkpoint format stores usize columns as 8-byte words; a
+        // 32-bit target must take the owned decode path instead.
+        if std::any::TypeId::of::<T>() == std::any::TypeId::of::<usize>() && elem != 8 {
+            return Err(MapError::Unsupported);
+        }
+        let bytes = file.bytes();
+        let byte_len = len
+            .checked_mul(elem)
+            .ok_or(MapError::BadLength { len, elem })?;
+        if offset > bytes.len() || byte_len > bytes.len() - offset {
+            return Err(MapError::OutOfBounds {
+                offset,
+                len: byte_len,
+                mapped: bytes.len(),
+            });
+        }
+        let align = std::mem::align_of::<T>();
+        if !(bytes.as_ptr() as usize + offset).is_multiple_of(align) {
+            return Err(MapError::Misaligned { offset, align });
+        }
+        Ok(MappedSlice {
+            file,
+            offset,
+            len,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        let bytes = self.file.bytes();
+        // SAFETY: construction checked that `offset..offset + len *
+        // size_of::<T>()` is in bounds of the immutable file image and
+        // that the base address is aligned for `T`; `T: Pod` guarantees
+        // every bit pattern is a valid `T`, and the Arc keeps the backing
+        // alive for the lifetime of `self` (and thus of the borrow).
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(self.offset).cast::<T>(), self.len) }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing file.
+    #[inline]
+    pub fn file(&self) -> &Arc<MappedFile> {
+        &self.file
+    }
+}
+
+impl<T: Pod> std::ops::Deref for MappedSlice<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for MappedSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedSlice")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T: Pod> qsc_graph::SharedColumn<T> for MappedSlice<T> {
+    fn as_slice(&self) -> &[T] {
+        self.as_slice()
+    }
+
+    fn advise(&self, advice: qsc_graph::ColumnAdvice) {
+        self.advise_range(advice, 0, self.len);
+    }
+
+    fn advise_range(&self, advice: qsc_graph::ColumnAdvice, lo: usize, hi: usize) {
+        let elem = std::mem::size_of::<T>();
+        let lo = lo.min(self.len);
+        let hi = hi.min(self.len);
+        if lo >= hi {
+            return;
+        }
+        let (off, len) = (self.offset + lo * elem, (hi - lo) * elem);
+        match advice {
+            qsc_graph::ColumnAdvice::Normal => self.file.advise_bytes(off, len, Advice::Normal),
+            qsc_graph::ColumnAdvice::Sequential => {
+                self.file.advise_bytes(off, len, Advice::Sequential);
+            }
+            qsc_graph::ColumnAdvice::WillNeed => self.file.advise_willneed(off, len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("qsc-mmap-{}-{tag}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_and_reads_back() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let path = temp_file("basic", &data);
+        let f = MappedFile::open(&path).unwrap();
+        assert_eq!(f.bytes(), &data[..]);
+        f.advise_sequential();
+        f.advise_willneed(0, 64);
+        f.advise_normal();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn typed_views_check_bounds_and_alignment() {
+        let mut data = Vec::new();
+        for i in 0..8u64 {
+            data.extend_from_slice(&(i * 3).to_le_bytes());
+        }
+        let path = temp_file("typed", &data);
+        let f = Arc::new(MappedFile::open(&path).unwrap());
+        let v = MappedSlice::<u64>::new(Arc::clone(&f), 0, 8).unwrap();
+        assert_eq!(&v[..], &[0, 3, 6, 9, 12, 15, 18, 21]);
+        // Out of bounds.
+        assert!(matches!(
+            MappedSlice::<u64>::new(Arc::clone(&f), 0, 9),
+            Err(MapError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            MappedSlice::<u64>::new(Arc::clone(&f), 64, 1),
+            Err(MapError::OutOfBounds { .. })
+        ));
+        // Misaligned offset for u64.
+        assert!(matches!(
+            MappedSlice::<u64>::new(Arc::clone(&f), 4, 1),
+            Err(MapError::Misaligned { .. })
+        ));
+        // u32 view of the same bytes is fine at offset 4.
+        let v32 = MappedSlice::<u32>::new(Arc::clone(&f), 4, 2).unwrap();
+        assert_eq!(&v32[..], &[0, 3]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn slice_keeps_file_alive() {
+        let data = 7u64.to_le_bytes().to_vec();
+        let path = temp_file("alive", &data);
+        let f = Arc::new(MappedFile::open(&path).unwrap());
+        let v = MappedSlice::<u64>::new(f, 0, 1).unwrap();
+        // The original Arc is gone; the slice's clone keeps the map live.
+        assert_eq!(v[0], 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_heap_backed() {
+        let path = temp_file("empty", &[]);
+        let f = MappedFile::open(&path).unwrap();
+        assert!(f.bytes().is_empty());
+        let v = MappedSlice::<f64>::new(Arc::new(f), 0, 0).unwrap();
+        assert!(v.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_column_impl_feeds_columnbuf() {
+        use qsc_graph::{ColumnAdvice, ColumnBuf, SharedColumn};
+        let mut data = Vec::new();
+        for x in [1.5f64, -0.0, f64::INFINITY] {
+            data.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        let path = temp_file("column", &data);
+        let f = Arc::new(MappedFile::open(&path).unwrap());
+        let v = MappedSlice::<f64>::new(f, 0, 3).unwrap();
+        let col: ColumnBuf<f64> = ColumnBuf::Shared(Arc::new(v) as Arc<dyn SharedColumn<f64>>);
+        assert_eq!(col[0], 1.5);
+        assert!(col[1] == 0.0 && col[1].is_sign_negative());
+        assert!(col[2].is_infinite());
+        col.advise(ColumnAdvice::WillNeed);
+        col.advise_range(ColumnAdvice::Sequential, 0, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

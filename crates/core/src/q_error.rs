@@ -291,7 +291,7 @@ use crate::partition::{MergeEvent, Partition, SplitEvent};
 use crate::similarity::Similarity;
 use crate::storage::{ResolvedStorage, RowRep, StorageMode};
 use qsc_graph::delta::{EdgeEvent, NodeRemap};
-use qsc_graph::{Graph, NodeId};
+use qsc_graph::{ColumnAdvice, ColumnBuf, Graph, NodeId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -1106,10 +1106,12 @@ pub struct EngineSnapshot {
     /// shortcut when negative; see the field docs).
     pub last_beta: f64,
     /// Dense out-accumulators, tight `n × k` row-major (empty when
-    /// `sparse_accum`).
-    pub dout: Vec<f64>,
+    /// `sparse_accum`). A [`ColumnBuf`] so a mapped-layout checkpoint
+    /// restore can hand the plane in as a borrowed view of the file;
+    /// [`IncrementalDegrees::from_snapshot`] reads it exactly once.
+    pub dout: ColumnBuf<f64>,
     /// Dense in-accumulators (empty when `sparse_accum` or `symmetric`).
-    pub din: Vec<f64>,
+    pub din: ColumnBuf<f64>,
     /// Tiered out rows (empty when `!sparse_accum`).
     pub rows_out: RowsSnapshot,
     /// Tiered in rows (empty when `!sparse_accum` or `symmetric`).
@@ -1645,6 +1647,10 @@ impl IncrementalDegrees {
             merge_scratch_in: Vec::new(),
         };
 
+        // Whole-axis initialization sweeps every arc front to back; on a
+        // mapped graph let the kernel stream the cold pages in ahead of
+        // the scan instead of faulting them one miss at a time.
+        g.advise(ColumnAdvice::Sequential);
         if sparse_accum {
             // Tiered accumulator rows: per node, sum the arc weights by
             // color in arc order (a stable sort preserves that order within
@@ -1742,8 +1748,8 @@ impl IncrementalDegrees {
             sparse_accum: self.sparse_accum,
             promote: self.promote,
             last_beta: self.last_beta,
-            dout: tight(&self.dout, if self.dout.is_empty() { 0 } else { n }, k, cap),
-            din: tight(&self.din, if self.din.is_empty() { 0 } else { n }, k, cap),
+            dout: tight(&self.dout, if self.dout.is_empty() { 0 } else { n }, k, cap).into(),
+            din: tight(&self.din, if self.din.is_empty() { 0 } else { n }, k, cap).into(),
             rows_out: rows_snapshot(&self.sparse_out),
             rows_in: rows_snapshot(&self.sparse_in),
             out_min: tight(
@@ -1924,6 +1930,10 @@ impl IncrementalDegrees {
         }
 
         let promote_k = if promote { k } else { 0 };
+        // Mapped-restore path: the planes are read exactly once below,
+        // front to back — let the pages stream in ahead of the copy.
+        snap.dout.advise(ColumnAdvice::Sequential);
+        snap.din.advise(ColumnAdvice::Sequential);
         IncrementalDegrees {
             n,
             k,
@@ -4492,6 +4502,10 @@ impl IncrementalDegrees {
     /// Below the threshold a single sequential scan runs, which is the
     /// one-chunk case of the same grouping.
     fn collect_touched(&mut self, g: &Graph, moved: &[NodeId], incoming: bool) {
+        // Mapped graphs: start faulting the moved nodes' arc span in now,
+        // so the batched scan below overlaps page-in with compute (no-op
+        // for owned graphs).
+        g.advise_arcs_will_need(moved);
         let chunk_size = self.par_min_touched;
         if moved.len() < chunk_size.max(2) {
             self.mark_gen = self.mark_gen.wrapping_add(1);

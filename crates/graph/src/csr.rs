@@ -8,6 +8,8 @@
 //! report logical edge counts.
 
 use crate::builder::GraphBuilder;
+use crate::column::{ColumnAdvice, ColumnBuf};
+use crate::GraphError;
 
 /// Dense node identifier. All nodes of a graph with `n` nodes are `0..n`.
 pub type NodeId = u32;
@@ -15,6 +17,11 @@ pub type NodeId = u32;
 /// An immutable weighted directed graph in CSR form.
 ///
 /// Construct via [`GraphBuilder`] or one of the [`crate::generators`].
+/// Columns are [`ColumnBuf`]s: owned vectors for every built graph, or
+/// shared views into a memory-mapped checkpoint when constructed through
+/// [`Graph::from_mapped_columns`] — the read paths are identical either
+/// way, and mutation always goes through delta compaction into fresh
+/// owned columns (copy-on-write at the compaction boundary).
 #[derive(Clone, Debug)]
 pub struct Graph {
     n: usize,
@@ -22,12 +29,12 @@ pub struct Graph {
     /// for undirected graphs.
     m: usize,
     directed: bool,
-    out_offsets: Vec<usize>,
-    out_targets: Vec<NodeId>,
-    out_weights: Vec<f64>,
-    in_offsets: Vec<usize>,
-    in_sources: Vec<NodeId>,
-    in_weights: Vec<f64>,
+    out_offsets: ColumnBuf<usize>,
+    out_targets: ColumnBuf<NodeId>,
+    out_weights: ColumnBuf<f64>,
+    in_offsets: ColumnBuf<usize>,
+    in_sources: ColumnBuf<NodeId>,
+    in_weights: ColumnBuf<f64>,
 }
 
 impl Graph {
@@ -52,12 +59,12 @@ impl Graph {
             n,
             m,
             directed,
-            out_offsets,
-            out_targets,
-            out_weights,
-            in_offsets,
-            in_sources,
-            in_weights,
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            out_weights: out_weights.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+            in_weights: in_weights.into(),
         }
     }
 
@@ -112,12 +119,12 @@ impl Graph {
             n,
             m,
             directed,
-            out_offsets,
-            out_targets,
-            out_weights,
-            in_offsets,
-            in_sources,
-            in_weights,
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            out_weights: out_weights.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+            in_weights: in_weights.into(),
         }
     }
 
@@ -146,7 +153,6 @@ impl Graph {
         assert_eq!(out_offsets.len(), n + 1, "offsets must have n + 1 entries");
         assert_eq!(out_targets.len(), out_weights.len());
         assert_eq!(*out_offsets.last().expect("n + 1 >= 1"), out_targets.len());
-        let arcs = out_targets.len();
         let mut m = 0usize;
         for u in 0..n {
             debug_assert!(out_offsets[u] <= out_offsets[u + 1], "offsets not monotone");
@@ -162,11 +168,117 @@ impl Graph {
                 }
             }
         }
+        Self::from_out_columns(
+            n,
+            m,
+            directed,
+            out_offsets.into(),
+            out_targets.into(),
+            out_weights.into(),
+        )
+    }
+
+    /// Build a graph over already-shared (typically memory-mapped) out-CSR
+    /// columns **without copying them**. Same CSR invariants as
+    /// [`Self::from_out_csr`], but validated with typed errors instead of
+    /// panics — this is the checkpoint zero-copy restore entry point, and
+    /// the columns come from an untrusted file.
+    ///
+    /// The validation pass touches only `out_offsets` plus one sequential
+    /// scan of `out_targets` (range + row-sortedness + logical edge
+    /// count); shared columns are advised [`ColumnAdvice::Sequential`]
+    /// first so the faults stream. For undirected graphs the in-columns
+    /// are the out-columns again (an `Arc` clone — still zero-copy); for
+    /// directed graphs the in-adjacency is rebuilt owned by the same
+    /// counting sort as [`Self::from_out_csr`], bit-identical to the
+    /// writer's arrays. `out_weights` is never read here; weight pages
+    /// fault in lazily on first use.
+    pub fn from_mapped_columns(
+        n: usize,
+        directed: bool,
+        out_offsets: ColumnBuf<usize>,
+        out_targets: ColumnBuf<NodeId>,
+        out_weights: ColumnBuf<f64>,
+    ) -> Result<Self, GraphError> {
+        fn bad(message: impl Into<String>) -> GraphError {
+            GraphError::InvalidCsr {
+                message: message.into(),
+            }
+        }
+        if out_offsets.len() != n + 1 {
+            return Err(bad(format!(
+                "offsets must have n + 1 = {} entries, got {}",
+                n + 1,
+                out_offsets.len()
+            )));
+        }
+        if out_targets.len() != out_weights.len() {
+            return Err(bad(format!(
+                "targets/weights length mismatch: {} vs {}",
+                out_targets.len(),
+                out_weights.len()
+            )));
+        }
+        out_offsets.advise(ColumnAdvice::Sequential);
+        out_targets.advise(ColumnAdvice::Sequential);
+        let offsets = out_offsets.as_slice();
+        let targets = out_targets.as_slice();
+        if offsets[0] != 0 || offsets[n] != targets.len() {
+            return Err(bad(format!(
+                "offsets must span 0..{} (arcs), got {}..{}",
+                targets.len(),
+                offsets[0],
+                offsets[n]
+            )));
+        }
+        let mut m = 0usize;
+        for u in 0..n {
+            let (lo, hi) = (offsets[u], offsets[u + 1]);
+            if lo > hi {
+                return Err(bad(format!("offsets not monotone at node {u}")));
+            }
+            for e in lo..hi {
+                let v = targets[e];
+                if v as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, n });
+                }
+                if e > lo && targets[e - 1] >= v {
+                    return Err(bad(format!("row {u} not strictly sorted by target")));
+                }
+                if directed || u as NodeId <= v {
+                    m += 1;
+                }
+            }
+        }
+        Ok(Self::from_out_columns(
+            n,
+            m,
+            directed,
+            out_offsets,
+            out_targets,
+            out_weights,
+        ))
+    }
+
+    /// Shared construction tail: derive the in-adjacency from validated
+    /// out-columns. Undirected graphs reuse the out-columns (symmetric
+    /// storage with ascending neighbors makes the directions
+    /// bit-identical — for shared columns this is an `Arc` clone, not a
+    /// copy); directed graphs counting-sort into owned in-columns.
+    fn from_out_columns(
+        n: usize,
+        m: usize,
+        directed: bool,
+        out_offsets: ColumnBuf<usize>,
+        out_targets: ColumnBuf<NodeId>,
+        out_weights: ColumnBuf<f64>,
+    ) -> Self {
+        let arcs = out_targets.len();
         let (in_offsets, in_sources, in_weights) = if directed {
             // Counting sort by target: sources within a row come out
             // ascending, matching `from_row_adjacency` exactly.
             let mut in_offsets = vec![0usize; n + 1];
-            for &v in &out_targets {
+            for &v in out_targets.iter() {
                 in_offsets[v as usize + 1] += 1;
             }
             for i in 0..n {
@@ -183,11 +295,8 @@ impl Graph {
                     cursor[out_targets[e] as usize] += 1;
                 }
             }
-            (in_offsets, in_sources, in_weights)
+            (in_offsets.into(), in_sources.into(), in_weights.into())
         } else {
-            // Symmetric storage: the in-adjacency of `v` is its neighbor
-            // set again, ascending — the exact arrays the counting sort
-            // would produce, without the random-access pass.
             (
                 out_offsets.clone(),
                 out_targets.clone(),
@@ -213,12 +322,72 @@ impl Graph {
             n,
             m: 0,
             directed,
-            out_offsets: vec![0; n + 1],
-            out_targets: Vec::new(),
-            out_weights: Vec::new(),
-            in_offsets: vec![0; n + 1],
-            in_sources: Vec::new(),
-            in_weights: Vec::new(),
+            out_offsets: vec![0; n + 1].into(),
+            out_targets: ColumnBuf::default(),
+            out_weights: ColumnBuf::default(),
+            in_offsets: vec![0; n + 1].into(),
+            in_sources: ColumnBuf::default(),
+            in_weights: ColumnBuf::default(),
+        }
+    }
+
+    /// Whether any column borrows shared (mapped) memory. Owned graphs
+    /// skip the paging-advice bookkeeping entirely via this check.
+    #[inline]
+    pub fn has_shared_columns(&self) -> bool {
+        self.out_offsets.is_shared()
+            || self.out_targets.is_shared()
+            || self.out_weights.is_shared()
+            || self.in_offsets.is_shared()
+            || self.in_sources.is_shared()
+            || self.in_weights.is_shared()
+    }
+
+    /// Forward paging advice to every shared column (no-op for owned
+    /// graphs). Call with [`ColumnAdvice::Sequential`] before a
+    /// whole-graph sweep so cold page faults stream instead of thrashing.
+    pub fn advise(&self, advice: ColumnAdvice) {
+        if !self.has_shared_columns() {
+            return;
+        }
+        self.out_offsets.advise(advice);
+        self.out_targets.advise(advice);
+        self.out_weights.advise(advice);
+        self.in_offsets.advise(advice);
+        self.in_sources.advise(advice);
+        self.in_weights.advise(advice);
+    }
+
+    /// Hint that the out- and in-arcs of `nodes` will be read soon: one
+    /// [`ColumnAdvice::WillNeed`] per direction over the arc span
+    /// `min..max` of the listed nodes. Cheap (two `madvise` calls over a
+    /// contiguous range, `O(|nodes|)` to find the span) and a no-op for
+    /// owned graphs, so callers can hint unconditionally ahead of batched
+    /// touched-list scans.
+    pub fn advise_arcs_will_need(&self, nodes: &[NodeId]) {
+        if nodes.is_empty() || !self.has_shared_columns() {
+            return;
+        }
+        let (mut out_lo, mut out_hi) = (usize::MAX, 0usize);
+        let (mut in_lo, mut in_hi) = (usize::MAX, 0usize);
+        for &v in nodes {
+            let u = v as usize;
+            out_lo = out_lo.min(self.out_offsets[u]);
+            out_hi = out_hi.max(self.out_offsets[u + 1]);
+            in_lo = in_lo.min(self.in_offsets[u]);
+            in_hi = in_hi.max(self.in_offsets[u + 1]);
+        }
+        if out_lo < out_hi {
+            self.out_targets
+                .advise_range(ColumnAdvice::WillNeed, out_lo, out_hi);
+            self.out_weights
+                .advise_range(ColumnAdvice::WillNeed, out_lo, out_hi);
+        }
+        if in_lo < in_hi {
+            self.in_sources
+                .advise_range(ColumnAdvice::WillNeed, in_lo, in_hi);
+            self.in_weights
+                .advise_range(ColumnAdvice::WillNeed, in_lo, in_hi);
         }
     }
 
@@ -270,14 +439,22 @@ impl Graph {
     /// per-node accessor calls.
     #[inline]
     pub fn out_adjacency(&self) -> (&[usize], &[NodeId], &[f64]) {
-        (&self.out_offsets, &self.out_targets, &self.out_weights)
+        (
+            self.out_offsets.as_slice(),
+            self.out_targets.as_slice(),
+            self.out_weights.as_slice(),
+        )
     }
 
     /// The raw in-CSR arrays `(offsets, sources, weights)`; see
     /// [`Self::out_adjacency`].
     #[inline]
     pub fn in_adjacency(&self) -> (&[usize], &[NodeId], &[f64]) {
-        (&self.in_offsets, &self.in_sources, &self.in_weights)
+        (
+            self.in_offsets.as_slice(),
+            self.in_sources.as_slice(),
+            self.in_weights.as_slice(),
+        )
     }
 
     /// Iterate the outgoing arcs `(target, weight)` of `v`.
@@ -578,6 +755,65 @@ mod tests {
             assert_eq!(r.out_adjacency(), g.out_adjacency());
             assert_eq!(r.in_adjacency(), g.in_adjacency());
         }
+    }
+
+    #[test]
+    fn from_mapped_columns_shares_undirected_in_adjacency() {
+        use crate::column::SharedColumn;
+        use std::sync::Arc;
+
+        struct Col<T: Send + Sync + 'static>(Vec<T>);
+        impl<T: Send + Sync> SharedColumn<T> for Col<T> {
+            fn as_slice(&self) -> &[T] {
+                &self.0
+            }
+        }
+        fn shared<T: Send + Sync + Clone>(v: &[T]) -> ColumnBuf<T> {
+            ColumnBuf::Shared(Arc::new(Col(v.to_vec())) as Arc<dyn SharedColumn<T>>)
+        }
+
+        let g = triangle();
+        let (offs, tgts, wts) = g.out_adjacency();
+        let r = Graph::from_mapped_columns(
+            g.num_nodes(),
+            g.is_directed(),
+            shared(offs),
+            shared(tgts),
+            shared(wts),
+        )
+        .unwrap();
+        assert!(r.has_shared_columns());
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.out_adjacency(), g.out_adjacency());
+        assert_eq!(r.in_adjacency(), g.in_adjacency());
+        r.advise(ColumnAdvice::Sequential);
+        r.advise_arcs_will_need(&[0, 2]);
+
+        // Invalid columns must surface typed errors, never panic.
+        assert!(Graph::from_mapped_columns(
+            3,
+            false,
+            shared(&[0usize, 1]), // wrong offsets length
+            shared(tgts),
+            shared(wts),
+        )
+        .is_err());
+        assert!(Graph::from_mapped_columns(
+            2,
+            true,
+            shared(&[0usize, 1, 2]),
+            shared(&[5u32, 0]), // target out of range
+            shared(&[1.0f64, 1.0]),
+        )
+        .is_err());
+        assert!(Graph::from_mapped_columns(
+            1,
+            true,
+            shared(&[0usize, 2]),
+            shared(&[0u32, 0]), // row not strictly sorted
+            shared(&[1.0f64, 1.0]),
+        )
+        .is_err());
     }
 
     #[test]

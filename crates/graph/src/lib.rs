@@ -28,6 +28,7 @@
 
 pub mod bipartite;
 pub mod builder;
+pub mod column;
 pub mod csr;
 pub mod delta;
 pub mod generators;
@@ -37,6 +38,7 @@ pub mod traversal;
 
 pub use bipartite::Bipartite;
 pub use builder::GraphBuilder;
+pub use column::{ColumnAdvice, ColumnBuf, SharedColumn};
 pub use csr::{Graph, NodeId};
 pub use delta::{DeltaError, EdgeEvent, GraphDelta, NodeEvent, NodeRemap};
 
@@ -48,6 +50,10 @@ pub enum GraphError {
     /// An edge weight was not finite or was negative where a capacity was
     /// expected.
     InvalidWeight { weight: f64 },
+    /// CSR columns handed to [`csr::Graph::from_mapped_columns`] violated
+    /// a structural invariant (offset monotonicity / span, row sortedness,
+    /// or parallel-array length mismatch).
+    InvalidCsr { message: String },
     /// Parsing a textual graph format failed.
     Parse { line: usize, message: String },
     /// An IO error while reading or writing a graph file.
@@ -61,6 +67,7 @@ impl std::fmt::Display for GraphError {
                 write!(f, "node id {node} out of range for graph with {n} nodes")
             }
             GraphError::InvalidWeight { weight } => write!(f, "invalid edge weight {weight}"),
+            GraphError::InvalidCsr { message } => write!(f, "invalid CSR columns: {message}"),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }

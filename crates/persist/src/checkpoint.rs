@@ -25,7 +25,7 @@ use qsc_core::q_error::{EngineSnapshot, RowsSnapshot};
 use qsc_core::reduced::ReducedSnapshot;
 use qsc_core::rothko::{RothkoConfig, RunSnapshot, SplitMean};
 use qsc_core::storage::StorageMode;
-use qsc_graph::{Graph, NodeId};
+use qsc_graph::{ColumnBuf, Graph, NodeId};
 
 use crate::codec::{
     crc32, decode_bools, decode_f64s, decode_u32s, decode_u64s, encode_bools, encode_f64s,
@@ -35,9 +35,41 @@ use crate::error::PersistError;
 
 /// Checkpoint file magic.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"QSC_CKPT";
-/// Current checkpoint format version. Readers accept exactly the
+/// Packed checkpoint format version. Readers accept exactly the
 /// versions they know; see the crate docs for the versioning policy.
 pub const CHECKPOINT_VERSION: u32 = 1;
+/// Mapped (raw-layout) checkpoint format version: mappable columns are
+/// pinned to [`ENC_RAW`] and 64-byte-aligned so a reader can serve them
+/// as zero-copy views straight out of a memory map.
+pub const CHECKPOINT_VERSION_MAPPED: u32 = 2;
+
+/// On-disk layout a checkpoint is written in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Layout {
+    /// Version-1 packed layout: every column goes through size-first
+    /// encoding selection (varint / delta / shuffle / raw, whichever is
+    /// smallest). Smallest files; restore decodes every column.
+    #[default]
+    Packed,
+    /// Version-2 mapped layout: the large mappable columns (graph CSR,
+    /// partition, accumulator planes, reduced sum) are stored as raw
+    /// little-endian values with their payloads 64-byte-aligned in the
+    /// file, so [`crate::MappedStore`] can hand out borrowed slices
+    /// without decoding. Small or irregular columns stay packed.
+    MappedRaw,
+}
+
+/// File header length: magic + version + block count + header CRC.
+const FILE_HEADER: usize = 20;
+/// v1 block header: id, enc, reserved, count, payload_len, pcrc.
+const BLOCK_HEADER_V1: usize = 24;
+/// v2 block header: v1 fields + a CRC over the 24 bytes before it, so a
+/// damaged header (most importantly the `enc` byte, which v1 leaves
+/// unguarded) is caught at open rather than misdirecting a decoder.
+const BLOCK_HEADER_V2: usize = 28;
+/// Alignment every mappable payload starts on in a v2 file — enough for
+/// any scalar column plus full-width SIMD loads.
+pub(crate) const MAP_ALIGN: usize = 64;
 
 /// `u32::MAX` — the "no attainer recorded" witness sentinel mirrored
 /// from the engine.
@@ -45,35 +77,59 @@ const NO_ARG: u32 = u32::MAX;
 
 // Block ids, fixed per format version. New columns get new ids in a new
 // version; ids are never reused with a different meaning.
-const BLK_SCALARS: u16 = 0;
-const BLK_GRAPH_OFFSETS: u16 = 1;
-const BLK_GRAPH_TARGETS: u16 = 2;
-const BLK_GRAPH_WEIGHTS: u16 = 3;
-const BLK_PART_OFFSETS: u16 = 4;
-const BLK_PART_MEMBERS: u16 = 5;
-const BLK_ENG_DOUT: u16 = 6;
-const BLK_ENG_DIN: u16 = 7;
-const BLK_ROWS_OUT_OFFSETS: u16 = 8;
-const BLK_ROWS_OUT_COLORS: u16 = 9;
-const BLK_ROWS_OUT_WEIGHTS: u16 = 10;
-const BLK_ROWS_OUT_DENSE: u16 = 11;
-const BLK_ROWS_IN_OFFSETS: u16 = 12;
-const BLK_ROWS_IN_COLORS: u16 = 13;
-const BLK_ROWS_IN_WEIGHTS: u16 = 14;
-const BLK_ROWS_IN_DENSE: u16 = 15;
-const BLK_OUT_MIN: u16 = 16;
-const BLK_OUT_MAX: u16 = 17;
-const BLK_IN_MIN: u16 = 18;
-const BLK_IN_MAX: u16 = 19;
-const BLK_OUT_MIN_ARG: u16 = 20;
-const BLK_OUT_MAX_ARG: u16 = 21;
-const BLK_IN_MIN_ARG: u16 = 22;
-const BLK_IN_MAX_ARG: u16 = 23;
-const BLK_OUT_NZ: u16 = 24;
-const BLK_IN_NZ: u16 = 25;
-const BLK_RED_SUM: u16 = 26;
-const BLK_RED_SIZES: u16 = 27;
-const BLK_RED_DIRTY: u16 = 28;
+pub(crate) const BLK_SCALARS: u16 = 0;
+pub(crate) const BLK_GRAPH_OFFSETS: u16 = 1;
+pub(crate) const BLK_GRAPH_TARGETS: u16 = 2;
+pub(crate) const BLK_GRAPH_WEIGHTS: u16 = 3;
+pub(crate) const BLK_PART_OFFSETS: u16 = 4;
+pub(crate) const BLK_PART_MEMBERS: u16 = 5;
+pub(crate) const BLK_ENG_DOUT: u16 = 6;
+pub(crate) const BLK_ENG_DIN: u16 = 7;
+pub(crate) const BLK_ROWS_OUT_OFFSETS: u16 = 8;
+pub(crate) const BLK_ROWS_OUT_COLORS: u16 = 9;
+pub(crate) const BLK_ROWS_OUT_WEIGHTS: u16 = 10;
+pub(crate) const BLK_ROWS_OUT_DENSE: u16 = 11;
+pub(crate) const BLK_ROWS_IN_OFFSETS: u16 = 12;
+pub(crate) const BLK_ROWS_IN_COLORS: u16 = 13;
+pub(crate) const BLK_ROWS_IN_WEIGHTS: u16 = 14;
+pub(crate) const BLK_ROWS_IN_DENSE: u16 = 15;
+pub(crate) const BLK_OUT_MIN: u16 = 16;
+pub(crate) const BLK_OUT_MAX: u16 = 17;
+pub(crate) const BLK_IN_MIN: u16 = 18;
+pub(crate) const BLK_IN_MAX: u16 = 19;
+pub(crate) const BLK_OUT_MIN_ARG: u16 = 20;
+pub(crate) const BLK_OUT_MAX_ARG: u16 = 21;
+pub(crate) const BLK_IN_MIN_ARG: u16 = 22;
+pub(crate) const BLK_IN_MAX_ARG: u16 = 23;
+pub(crate) const BLK_OUT_NZ: u16 = 24;
+pub(crate) const BLK_IN_NZ: u16 = 25;
+pub(crate) const BLK_RED_SUM: u16 = 26;
+pub(crate) const BLK_RED_SIZES: u16 = 27;
+pub(crate) const BLK_RED_DIRTY: u16 = 28;
+/// v2-only padding block: `count == payload_len` zero bytes inserted so
+/// the next (mappable) payload lands on a [`MAP_ALIGN`] boundary.
+pub(crate) const BLK_PAD: u16 = 0xFFFF;
+
+/// Element width (bytes) of a block pinned to raw encoding and aligned
+/// in the mapped layout, or `None` for blocks that stay packed. The
+/// mappable set is the columns a [`crate::MappedStore`] serves as
+/// borrowed slices: the graph CSR, the partition (so a coloring can be
+/// answered without decoding), the accumulator degree planes, and the
+/// reduced weight matrix (so a quotient weight can be answered without
+/// decoding).
+pub(crate) fn mappable_width(id: u16) -> Option<usize> {
+    match id {
+        BLK_GRAPH_OFFSETS | BLK_PART_OFFSETS => Some(8),
+        BLK_GRAPH_TARGETS | BLK_PART_MEMBERS => Some(4),
+        BLK_GRAPH_WEIGHTS | BLK_ENG_DOUT | BLK_ENG_DIN | BLK_RED_SUM => Some(8),
+        _ => None,
+    }
+}
+
+/// Whether a block id is raw-pinned and aligned in the mapped layout.
+pub(crate) fn is_mappable(id: u16) -> bool {
+    mappable_width(id).is_some()
+}
 
 /// Everything a checkpoint holds: the state needed to rebuild a
 /// [`qsc_core::rothko::RothkoRun`] (and optionally its lockstep
@@ -225,10 +281,16 @@ impl<'a> ScalarReader<'a> {
 struct BlockSink {
     out: Vec<u8>,
     stats: CheckpointStats,
+    layout: Layout,
 }
 
 impl BlockSink {
-    fn push_block(&mut self, id: u16, enc: u8, count: usize, payload: &[u8], natural: usize) {
+    /// Append one block: header, then payload. v2 headers carry a CRC
+    /// over their own first 24 bytes so a damaged header field (id,
+    /// enc, count, length, even the payload CRC itself) is caught at
+    /// open instead of misdirecting a decoder.
+    fn emit(&mut self, id: u16, enc: u8, count: usize, payload: &[u8], natural: usize) {
+        let start = self.out.len();
         self.out.extend_from_slice(&id.to_le_bytes());
         self.out.push(enc);
         self.out.push(0); // reserved
@@ -236,13 +298,49 @@ impl BlockSink {
         self.out
             .extend_from_slice(&(payload.len() as u64).to_le_bytes());
         self.out.extend_from_slice(&crc32(payload).to_le_bytes());
+        if self.layout == Layout::MappedRaw {
+            let hcrc = crc32(&self.out[start..start + BLOCK_HEADER_V1]);
+            self.out.extend_from_slice(&hcrc.to_le_bytes());
+        }
         self.out.extend_from_slice(payload);
         self.stats.blocks += 1;
         self.stats.encoded_bytes += payload.len() as u64;
         self.stats.natural_bytes += natural as u64;
     }
+    /// Append a block, first inserting a padding block if the mapped
+    /// layout needs this payload on a [`MAP_ALIGN`] boundary.
+    fn push_block(&mut self, id: u16, enc: u8, count: usize, payload: &[u8], natural: usize) {
+        if self.layout == Layout::MappedRaw && is_mappable(id) {
+            let payload_at = FILE_HEADER + self.out.len() + BLOCK_HEADER_V2;
+            if !payload_at.is_multiple_of(MAP_ALIGN) {
+                // A pad block shifts the next payload by its own header
+                // plus `pad` zero bytes; solve for the shift that lands
+                // the payload on the boundary.
+                let pad = (MAP_ALIGN - ((payload_at + BLOCK_HEADER_V2) % MAP_ALIGN)) % MAP_ALIGN;
+                let zeros = [0u8; MAP_ALIGN];
+                self.emit(BLK_PAD, ENC_RAW, pad, &zeros[..pad], 0);
+            }
+            debug_assert!(
+                (FILE_HEADER + self.out.len() + BLOCK_HEADER_V2).is_multiple_of(MAP_ALIGN)
+            );
+        }
+        self.emit(id, enc, count, payload, natural);
+    }
+    /// Is this column pinned to raw little-endian encoding (no
+    /// size-first selection) under the current layout?
+    fn raw_pinned(&self, id: u16) -> bool {
+        self.layout == Layout::MappedRaw && is_mappable(id)
+    }
     fn u64s(&mut self, id: u16, vals: &[u64]) {
-        let (enc, payload) = encode_u64s(vals);
+        let (enc, payload) = if self.raw_pinned(id) {
+            let mut raw = Vec::with_capacity(vals.len() * 8);
+            for &v in vals {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            (ENC_RAW, raw)
+        } else {
+            encode_u64s(vals)
+        };
         self.push_block(id, enc, vals.len(), &payload, natural_bytes(vals.len(), 8));
     }
     fn usizes(&mut self, id: u16, vals: &[usize]) {
@@ -250,11 +348,27 @@ impl BlockSink {
         self.u64s(id, &wide);
     }
     fn u32s(&mut self, id: u16, vals: &[u32]) {
-        let (enc, payload) = encode_u32s(vals);
+        let (enc, payload) = if self.raw_pinned(id) {
+            let mut raw = Vec::with_capacity(vals.len() * 4);
+            for &v in vals {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            (ENC_RAW, raw)
+        } else {
+            encode_u32s(vals)
+        };
         self.push_block(id, enc, vals.len(), &payload, natural_bytes(vals.len(), 4));
     }
     fn f64s(&mut self, id: u16, vals: &[f64]) {
-        let (enc, payload) = encode_f64s(vals);
+        let (enc, payload) = if self.raw_pinned(id) {
+            let mut raw = Vec::with_capacity(vals.len() * 8);
+            for &v in vals {
+                raw.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            (ENC_RAW, raw)
+        } else {
+            encode_f64s(vals)
+        };
         self.push_block(id, enc, vals.len(), &payload, natural_bytes(vals.len(), 8));
     }
     fn bools(&mut self, id: u16, vals: &[bool]) {
@@ -278,9 +392,16 @@ fn storage_tag(s: StorageMode) -> u8 {
     }
 }
 
-/// Encode a checkpoint into bytes plus its size accounting.
+/// Encode a checkpoint in the default packed layout.
 #[must_use]
 pub fn encode_checkpoint(data: &CheckpointData) -> (Vec<u8>, CheckpointStats) {
+    encode_checkpoint_with(data, Layout::Packed)
+}
+
+/// Encode a checkpoint in the given layout, returning the file bytes
+/// plus size accounting.
+#[must_use]
+pub fn encode_checkpoint_with(data: &CheckpointData, layout: Layout) -> (Vec<u8>, CheckpointStats) {
     let g = &data.graph;
     let p = &data.run.partition;
     let n = g.num_nodes();
@@ -323,10 +444,16 @@ pub fn encode_checkpoint(data: &CheckpointData) -> (Vec<u8>, CheckpointStats) {
         s.flag(r.symmetric);
     }
     s.u64(data.wal_seq);
+    if layout == Layout::MappedRaw {
+        // v2 appends the edge count so a mapped reader can cross-check
+        // the CSR it serves without re-deriving it eagerly.
+        s.u64(g.num_edges() as u64);
+    }
 
     let mut sink = BlockSink {
         out: Vec::new(),
         stats: CheckpointStats::default(),
+        layout,
     };
     sink.push_block(BLK_SCALARS, ENC_RAW, s.buf.len(), &s.buf, s.buf.len());
 
@@ -396,9 +523,13 @@ pub fn encode_checkpoint(data: &CheckpointData) -> (Vec<u8>, CheckpointStats) {
     }
 
     // File = header (magic, version, block count, header CRC) + blocks.
-    let mut file = Vec::with_capacity(20 + sink.out.len());
+    let version = match layout {
+        Layout::Packed => CHECKPOINT_VERSION,
+        Layout::MappedRaw => CHECKPOINT_VERSION_MAPPED,
+    };
+    let mut file = Vec::with_capacity(FILE_HEADER + sink.out.len());
     file.extend_from_slice(CHECKPOINT_MAGIC);
-    file.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    file.extend_from_slice(&version.to_le_bytes());
     file.extend_from_slice(&sink.stats.blocks.to_le_bytes());
     let hcrc = crc32(&file);
     file.extend_from_slice(&hcrc.to_le_bytes());
@@ -419,6 +550,7 @@ struct RawBlock<'a> {
 }
 
 struct BlockMap<'a> {
+    version: u32,
     blocks: Vec<(u16, RawBlock<'a>)>,
 }
 
@@ -432,10 +564,24 @@ impl<'a> BlockMap<'a> {
                 context: "checkpoint is missing a required block",
             })
     }
-    fn u64s(&self, id: u16) -> Result<Vec<u64>, PersistError> {
-        let b = self.get(id)?;
-        decode_u64s(b.enc, b.payload, b.count)
-    }
+}
+
+/// Column access the checkpoint assembler is generic over. The packed
+/// path ([`BlockMap`]) decodes owned vectors from encoded payloads; the
+/// mapped path ([`crate::MappedStore`]) serves raw-pinned columns as
+/// borrowed slices straight out of a memory map. The `*_col` hooks are
+/// where zero-copy plugs in — their defaults fall back to owned
+/// decoding, so a source only overrides the columns it can actually
+/// map.
+pub(crate) trait ColumnSource {
+    /// Format version the bytes declared (validated by the source).
+    fn version(&self) -> u32;
+    /// The raw scalar blob (block 0), already CRC-checked.
+    fn scalar_payload(&self) -> Result<&[u8], PersistError>;
+    fn u64s(&self, id: u16) -> Result<Vec<u64>, PersistError>;
+    fn u32s(&self, id: u16) -> Result<Vec<u32>, PersistError>;
+    fn f64s(&self, id: u16) -> Result<Vec<f64>, PersistError>;
+    fn bools(&self, id: u16) -> Result<Vec<bool>, PersistError>;
     fn usizes(&self, id: u16) -> Result<Vec<usize>, PersistError> {
         self.u64s(id)?
             .into_iter()
@@ -445,6 +591,34 @@ impl<'a> BlockMap<'a> {
                 })
             })
             .collect()
+    }
+    fn usize_col(&self, id: u16) -> Result<ColumnBuf<usize>, PersistError> {
+        Ok(self.usizes(id)?.into())
+    }
+    fn u32_col(&self, id: u16) -> Result<ColumnBuf<NodeId>, PersistError> {
+        Ok(self.u32s(id)?.into())
+    }
+    fn f64_col(&self, id: u16) -> Result<ColumnBuf<f64>, PersistError> {
+        Ok(self.f64s(id)?.into())
+    }
+}
+
+impl ColumnSource for BlockMap<'_> {
+    fn version(&self) -> u32 {
+        self.version
+    }
+    fn scalar_payload(&self) -> Result<&[u8], PersistError> {
+        let b = self.get(BLK_SCALARS)?;
+        if b.enc != ENC_RAW || b.count != b.payload.len() {
+            return Err(PersistError::Corrupt {
+                context: "scalar block has a non-raw encoding",
+            });
+        }
+        Ok(b.payload)
+    }
+    fn u64s(&self, id: u16) -> Result<Vec<u64>, PersistError> {
+        let b = self.get(id)?;
+        decode_u64s(b.enc, b.payload, b.count)
     }
     fn u32s(&self, id: u16) -> Result<Vec<u32>, PersistError> {
         let b = self.get(id)?;
@@ -461,7 +635,7 @@ impl<'a> BlockMap<'a> {
 }
 
 fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
-    if bytes.len() < 20 {
+    if bytes.len() < FILE_HEADER {
         return Err(PersistError::Truncated {
             context: "checkpoint shorter than its header",
         });
@@ -470,10 +644,10 @@ fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
         return Err(PersistError::BadMagic { kind: "checkpoint" });
     }
     let version = crate::le::le_u32(&bytes[8..12])?;
-    if version != CHECKPOINT_VERSION {
+    if version != CHECKPOINT_VERSION && version != CHECKPOINT_VERSION_MAPPED {
         return Err(PersistError::UnsupportedVersion {
             found: version,
-            supported: CHECKPOINT_VERSION,
+            supported: CHECKPOINT_VERSION_MAPPED,
         });
     }
     let block_count = crate::le::le_u32(&bytes[12..16])?;
@@ -483,12 +657,19 @@ fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
             context: "checkpoint header",
         });
     }
-    let mut pos = 20usize;
+    let block_header = if version == CHECKPOINT_VERSION {
+        BLOCK_HEADER_V1
+    } else {
+        BLOCK_HEADER_V2
+    };
+    let mut pos = FILE_HEADER;
     let mut blocks = Vec::with_capacity(block_count as usize);
     for _ in 0..block_count {
-        let hdr = bytes.get(pos..pos + 24).ok_or(PersistError::Truncated {
-            context: "checkpoint block header",
-        })?;
+        let hdr = bytes
+            .get(pos..pos + block_header)
+            .ok_or(PersistError::Truncated {
+                context: "checkpoint block header",
+            })?;
         let id = crate::le::le_u16(&hdr[0..2])?;
         let enc = hdr[2];
         let count = usize::try_from(crate::le::le_u64(&hdr[4..12])?).map_err(|_| {
@@ -502,7 +683,19 @@ fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
             }
         })?;
         let pcrc = crate::le::le_u32(&hdr[20..24])?;
-        pos += 24;
+        if version == CHECKPOINT_VERSION_MAPPED {
+            // v2 headers guard themselves: the CRC covers id, enc,
+            // count, length and the payload CRC, so no header flip can
+            // misdirect the decoder (v1 leaves `enc` unguarded).
+            let want = crate::le::le_u32(&hdr[24..28])?;
+            if crc32(&hdr[..BLOCK_HEADER_V1]) != want {
+                return Err(PersistError::CrcMismatch {
+                    context: "checkpoint block header",
+                });
+            }
+        }
+        pos += block_header;
+        let payload_at = pos;
         let payload = bytes.get(pos..pos + len).ok_or(PersistError::Truncated {
             context: "checkpoint block payload",
         })?;
@@ -511,6 +704,35 @@ fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
             return Err(PersistError::CrcMismatch {
                 context: "checkpoint block payload",
             });
+        }
+        if version == CHECKPOINT_VERSION_MAPPED {
+            if id == BLK_PAD {
+                // Alignment filler: must be exactly its declared zero
+                // bytes, and never looked up by id.
+                if count != len || payload.iter().any(|&b| b != 0) {
+                    return Err(PersistError::Corrupt {
+                        context: "padding block holds nonzero bytes",
+                    });
+                }
+                continue;
+            }
+            if let Some(width) = mappable_width(id) {
+                if enc != ENC_RAW {
+                    return Err(PersistError::Corrupt {
+                        context: "mappable block is not raw-encoded in the mapped layout",
+                    });
+                }
+                if count.checked_mul(width) != Some(len) {
+                    return Err(PersistError::Corrupt {
+                        context: "mappable block length disagrees with its element count",
+                    });
+                }
+                if !payload_at.is_multiple_of(MAP_ALIGN) {
+                    return Err(PersistError::Misaligned {
+                        context: "mappable block payload is off its alignment boundary",
+                    });
+                }
+            }
         }
         if blocks.iter().any(|(i, _)| *i == id) {
             return Err(PersistError::Corrupt {
@@ -531,7 +753,7 @@ fn parse_blocks(bytes: &[u8]) -> Result<BlockMap<'_>, PersistError> {
             context: "checkpoint has trailing bytes after the last block",
         });
     }
-    Ok(BlockMap { blocks })
+    Ok(BlockMap { version, blocks })
 }
 
 fn check_offsets(
@@ -548,15 +770,15 @@ fn check_offsets(
     Ok(())
 }
 
-fn decode_rows(
-    map: &BlockMap<'_>,
+fn decode_rows<S: ColumnSource>(
+    src: &S,
     ids: [u16; 4],
     expect_rows: Option<usize>,
 ) -> Result<RowsSnapshot, PersistError> {
-    let offsets = map.usizes(ids[0])?;
-    let colors = map.u32s(ids[1])?;
-    let weights = map.f64s(ids[2])?;
-    let dense = map.bools(ids[3])?;
+    let offsets = src.usizes(ids[0])?;
+    let colors = src.u32s(ids[1])?;
+    let weights = src.f64s(ids[2])?;
+    let dense = src.bools(ids[3])?;
     match expect_rows {
         None => {
             if !offsets.is_empty() || !colors.is_empty() || !weights.is_empty() || !dense.is_empty()
@@ -614,19 +836,48 @@ fn check_matrix(
     Ok(())
 }
 
-/// Decode a checkpoint from bytes, validating every structural
-/// invariant before touching a panicking constructor.
-pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
-    let map = parse_blocks(bytes)?;
+/// The engine presence scalars: enough to know which blocks must exist
+/// and how long their columns have to be.
+pub(crate) struct EngineScalars {
+    pub k: usize,
+    pub symmetric: bool,
+    pub track_summaries: bool,
+    pub sparse_accum: bool,
+    pub promote: bool,
+    pub last_beta: f64,
+}
 
-    // Scalars.
-    let blk = map.get(BLK_SCALARS)?;
-    if blk.enc != ENC_RAW || blk.count != blk.payload.len() {
-        return Err(PersistError::Corrupt {
-            context: "scalar block has a non-raw encoding",
-        });
-    }
-    let mut s = ScalarReader::new(blk.payload);
+/// The reduced-instance presence scalars.
+pub(crate) struct ReducedScalars {
+    pub k: usize,
+    pub symmetric: bool,
+}
+
+/// The decoded scalar blob (block 0): run config, counters, presence
+/// flags and cross-check values — everything fixed-size. A mapped
+/// store parses this once at open; full assembly reuses the same
+/// parse.
+pub(crate) struct ScalarState {
+    pub n: usize,
+    pub directed: bool,
+    pub config: RothkoConfig,
+    pub iterations: usize,
+    pub merges: usize,
+    pub last_max_error: f64,
+    pub done: bool,
+    pub k: usize,
+    pub engine: Option<EngineScalars>,
+    pub reduced: Option<ReducedScalars>,
+    pub wal_seq: u64,
+    /// v2 only: the writer's edge count, cross-checked against the CSR
+    /// during assembly.
+    pub num_edges: Option<u64>,
+}
+
+/// Parse the scalar blob for the given (already validated) format
+/// version.
+pub(crate) fn parse_scalars(version: u32, payload: &[u8]) -> Result<ScalarState, PersistError> {
+    let mut s = ScalarReader::new(payload);
     let n = s.usize()?;
     let directed = s.flag()?;
     let config = RothkoConfig {
@@ -670,61 +921,86 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
     let last_max_error = s.f64()?;
     let done = s.flag()?;
     let k = s.usize()?;
-    let engine_present = s.flag()?;
-    let engine_scalars = if engine_present {
-        let ek = s.usize()?;
-        let symmetric = s.flag()?;
-        let track_summaries = s.flag()?;
-        let sparse_accum = s.flag()?;
-        let promote = s.flag()?;
-        let last_beta = s.f64()?;
-        Some((
-            ek,
-            symmetric,
-            track_summaries,
-            sparse_accum,
-            promote,
-            last_beta,
-        ))
+    let engine = if s.flag()? {
+        Some(EngineScalars {
+            k: s.usize()?,
+            symmetric: s.flag()?,
+            track_summaries: s.flag()?,
+            sparse_accum: s.flag()?,
+            promote: s.flag()?,
+            last_beta: s.f64()?,
+        })
     } else {
         None
     };
-    let reduced_present = s.flag()?;
-    let reduced_scalars = if reduced_present {
-        let rk = s.usize()?;
-        let rsym = s.flag()?;
-        Some((rk, rsym))
+    let reduced = if s.flag()? {
+        Some(ReducedScalars {
+            k: s.usize()?,
+            symmetric: s.flag()?,
+        })
     } else {
         None
     };
     let wal_seq = s.u64()?;
+    let num_edges = if version == CHECKPOINT_VERSION_MAPPED {
+        Some(s.u64()?)
+    } else {
+        None
+    };
     s.finish()?;
+    Ok(ScalarState {
+        n,
+        directed,
+        config,
+        iterations,
+        merges,
+        last_max_error,
+        done,
+        k,
+        engine,
+        reduced,
+        wal_seq,
+        num_edges,
+    })
+}
 
-    // Graph.
-    let offsets = map.usizes(BLK_GRAPH_OFFSETS)?;
-    let targets = map.u32s(BLK_GRAPH_TARGETS)?;
-    let weights = map.f64s(BLK_GRAPH_WEIGHTS)?;
-    if offsets.len() != n + 1 {
-        return Err(PersistError::Corrupt {
-            context: "graph offsets length does not match node count",
-        });
+/// Assemble a fully validated [`CheckpointData`] from any column
+/// source, checking every structural invariant with typed errors while
+/// the data is still plain columns — the panicking constructors
+/// downstream (`Partition::from_classes`, the `from_snapshot` family)
+/// only ever see witnessed-consistent input.
+pub(crate) fn assemble_checkpoint<S: ColumnSource>(
+    src: &S,
+) -> Result<CheckpointData, PersistError> {
+    let sc = parse_scalars(src.version(), src.scalar_payload()?)?;
+    let (n, k) = (sc.n, sc.k);
+
+    // Graph: the columns flow into the typed-error CSR constructor,
+    // which validates lengths, offset monotonicity, target range and
+    // row order before any panicking code can see them. A mapped
+    // source hands borrowed columns here, so the CSR sits on the page
+    // cache instead of being copied out.
+    let graph = Graph::from_mapped_columns(
+        n,
+        sc.directed,
+        src.usize_col(BLK_GRAPH_OFFSETS)?,
+        src.u32_col(BLK_GRAPH_TARGETS)?,
+        src.f64_col(BLK_GRAPH_WEIGHTS)?,
+    )
+    .map_err(|_| PersistError::Corrupt {
+        context: "graph CSR columns failed validation",
+    })?;
+    if let Some(m) = sc.num_edges {
+        if graph.num_edges() as u64 != m {
+            return Err(PersistError::Corrupt {
+                context: "graph edge count disagrees with the scalar block",
+            });
+        }
     }
-    check_offsets(&offsets, targets.len(), "graph offsets are not monotone")?;
-    if targets.len() != weights.len() {
-        return Err(PersistError::Corrupt {
-            context: "graph targets/weights lengths differ",
-        });
-    }
-    if targets.iter().any(|&t| t as usize >= n) {
-        return Err(PersistError::Corrupt {
-            context: "graph target id out of range",
-        });
-    }
-    let graph = Graph::from_out_csr(n, directed, offsets, targets, weights);
 
     // Partition.
-    let part_offsets = map.usizes(BLK_PART_OFFSETS)?;
-    let part_members = map.u32s(BLK_PART_MEMBERS)?;
+    let part_offsets = src.usizes(BLK_PART_OFFSETS)?;
+    let part_members = src.u32s(BLK_PART_MEMBERS)?;
     if part_offsets.len() != k + 1 {
         return Err(PersistError::Corrupt {
             context: "partition offsets length does not match color count",
@@ -759,15 +1035,21 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
     let partition = Partition::from_classes(n, classes);
 
     // Engine.
-    let engine = if let Some((ek, symmetric, track_summaries, sparse_accum, promote, last_beta)) =
-        engine_scalars
-    {
+    let engine = if let Some(es) = &sc.engine {
+        let EngineScalars {
+            k: ek,
+            symmetric,
+            track_summaries,
+            sparse_accum,
+            promote,
+            last_beta,
+        } = *es;
         if ek != k {
             return Err(PersistError::Corrupt {
                 context: "engine color count disagrees with partition",
             });
         }
-        if symmetric == directed {
+        if symmetric == sc.directed {
             return Err(PersistError::Corrupt {
                 context: "engine symmetry flag disagrees with graph direction",
             });
@@ -777,8 +1059,10 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
                 context: "engine promote flag inconsistent with its mode flags",
             });
         }
-        let dout = map.f64s(BLK_ENG_DOUT)?;
-        let din = map.f64s(BLK_ENG_DIN)?;
+        // Accumulator planes: whole-axis columns a mapped source can
+        // serve zero-copy (restore advises them sequential).
+        let dout = src.f64_col(BLK_ENG_DOUT)?;
+        let din = src.f64_col(BLK_ENG_DIN)?;
         let dense_expect = if sparse_accum { None } else { Some(n * k) };
         check_matrix(
             dout.len(),
@@ -795,7 +1079,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
             "dense in-accumulator length mismatch",
         )?;
         let rows_out = decode_rows(
-            &map,
+            src,
             [
                 BLK_ROWS_OUT_OFFSETS,
                 BLK_ROWS_OUT_COLORS,
@@ -805,7 +1089,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
             (sparse_accum && n > 0).then_some(n),
         )?;
         let rows_in = decode_rows(
-            &map,
+            src,
             [
                 BLK_ROWS_IN_OFFSETS,
                 BLK_ROWS_IN_COLORS,
@@ -834,16 +1118,16 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
         } else {
             None
         };
-        let out_min = map.f64s(BLK_OUT_MIN)?;
-        let out_max = map.f64s(BLK_OUT_MAX)?;
-        let in_min = map.f64s(BLK_IN_MIN)?;
-        let in_max = map.f64s(BLK_IN_MAX)?;
-        let out_min_arg = map.u32s(BLK_OUT_MIN_ARG)?;
-        let out_max_arg = map.u32s(BLK_OUT_MAX_ARG)?;
-        let in_min_arg = map.u32s(BLK_IN_MIN_ARG)?;
-        let in_max_arg = map.u32s(BLK_IN_MAX_ARG)?;
-        let out_nz = map.u32s(BLK_OUT_NZ)?;
-        let in_nz = map.u32s(BLK_IN_NZ)?;
+        let out_min = src.f64s(BLK_OUT_MIN)?;
+        let out_max = src.f64s(BLK_OUT_MAX)?;
+        let in_min = src.f64s(BLK_IN_MIN)?;
+        let in_max = src.f64s(BLK_IN_MAX)?;
+        let out_min_arg = src.u32s(BLK_OUT_MIN_ARG)?;
+        let out_max_arg = src.u32s(BLK_OUT_MAX_ARG)?;
+        let in_min_arg = src.u32s(BLK_IN_MIN_ARG)?;
+        let in_max_arg = src.u32s(BLK_IN_MAX_ARG)?;
+        let out_nz = src.u32s(BLK_OUT_NZ)?;
+        let in_nz = src.u32s(BLK_IN_NZ)?;
         for (vals, expect) in [
             (out_min.len(), mat_expect),
             (out_max.len(), mat_expect),
@@ -898,15 +1182,16 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
     };
 
     // Reduced instance.
-    let reduced = if let Some((rk, rsym)) = reduced_scalars {
+    let reduced = if let Some(rs) = &sc.reduced {
+        let (rk, rsym) = (rs.k, rs.symmetric);
         if rk != k {
             return Err(PersistError::Corrupt {
                 context: "reduced color count disagrees with partition",
             });
         }
-        let sum = map.f64s(BLK_RED_SUM)?;
-        let sizes = map.usizes(BLK_RED_SIZES)?;
-        let dirty = map.u32s(BLK_RED_DIRTY)?;
+        let sum = src.f64s(BLK_RED_SUM)?;
+        let sizes = src.usizes(BLK_RED_SIZES)?;
+        let dirty = src.u32s(BLK_RED_DIRTY)?;
         if sum.len() != rk * rk || sizes.len() != rk {
             return Err(PersistError::Corrupt {
                 context: "reduced matrix length mismatch",
@@ -939,18 +1224,25 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
 
     Ok(CheckpointData {
         graph,
-        config,
+        config: sc.config,
         run: RunSnapshot {
             partition,
             engine,
-            iterations,
-            merges,
-            last_max_error,
-            done,
+            iterations: sc.iterations,
+            merges: sc.merges,
+            last_max_error: sc.last_max_error,
+            done: sc.done,
         },
         reduced,
-        wal_seq,
+        wal_seq: sc.wal_seq,
     })
+}
+
+/// Decode a checkpoint from bytes (either layout), validating every
+/// structural invariant before touching a panicking constructor.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
+    let map = parse_blocks(bytes)?;
+    assemble_checkpoint(&map)
 }
 
 // ---------------------------------------------------------------------------
@@ -965,7 +1257,16 @@ pub fn write_checkpoint_file(
     path: &Path,
     data: &CheckpointData,
 ) -> Result<CheckpointStats, PersistError> {
-    let (bytes, stats) = encode_checkpoint(data);
+    write_checkpoint_file_with(path, data, Layout::Packed)
+}
+
+/// [`write_checkpoint_file`], with an explicit on-disk layout.
+pub fn write_checkpoint_file_with(
+    path: &Path,
+    data: &CheckpointData,
+    layout: Layout,
+) -> Result<CheckpointStats, PersistError> {
+    let (bytes, stats) = encode_checkpoint_with(data, layout);
     let tmp = path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp)?;

@@ -53,6 +53,13 @@ pub enum PersistError {
         /// What disagreed.
         context: &'static str,
     },
+    /// A mapped-layout payload does not sit on its required alignment
+    /// boundary — the file was not written by the raw-layout encoder (or
+    /// was shifted), so zero-copy views cannot be handed out safely.
+    Misaligned {
+        /// Which payload was misaligned.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -73,6 +80,9 @@ impl fmt::Display for PersistError {
                 write!(f, "WAL sequence gap: expected {expected}, found {found}")
             }
             PersistError::Mismatch { context } => write!(f, "state mismatch: {context}"),
+            PersistError::Misaligned { context } => {
+                write!(f, "misaligned mapped payload: {context}")
+            }
         }
     }
 }

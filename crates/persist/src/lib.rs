@@ -8,20 +8,21 @@
 //! checkpoint columns straight into engine state and replays the WAL
 //! tail through the public API.
 //!
-//! # Checkpoint format (`CHECKPOINT`, version 1)
+//! # Checkpoint format (`CHECKPOINT`, versions 1 and 2)
 //!
 //! All integers little-endian. The file is a 20-byte header followed by
 //! `block_count` self-describing blocks:
 //!
 //! ```text
 //! header:  magic  b"QSC_CKPT"            8 bytes
-//!          version u32                   4 bytes   (= 1)
+//!          version u32                   4 bytes   (1 = packed, 2 = mapped)
 //!          block_count u32               4 bytes
 //!          crc32 over the 16 bytes above 4 bytes
 //! block:   id u16 | enc u8 | reserved u8 (= 0)
 //!          count u64                     logical element count
 //!          payload_len u64               encoded payload bytes
 //!          crc32 u32                     over the payload
+//!          crc32 u32                     over the 24 header bytes above (v2 only)
 //!          payload                       payload_len bytes
 //! ```
 //!
@@ -66,6 +67,36 @@
 //! Floats round-trip through `to_bits`, so `-0.0`, infinities and NaN
 //! payloads survive exactly; restored state is bit-identical.
 //!
+//! # Mapped layout (version 2)
+//!
+//! Version 2 ([`checkpoint::Layout::MappedRaw`]) holds the same blocks
+//! with three changes, so a reader can serve the large columns straight
+//! out of a memory map ([`MappedStore`]):
+//!
+//! * **Raw pinning.** The *mappable* columns — graph CSR (ids 1–3),
+//!   partition (4–5), accumulator planes (6–7), reduced sums (26) — are
+//!   always stored as `enc = 0` (raw little-endian), never compressed,
+//!   so their payload bytes *are* the in-memory representation
+//!   (`u64`-widened offsets, `u32` ids, `f64` bit images). Small or
+//!   irregular columns keep size-first encoding selection.
+//! * **Alignment.** Every mappable payload starts at a file offset that
+//!   is a multiple of 64. The writer inserts explicit padding blocks
+//!   (id `0xFFFF`, `count == payload_len` zero bytes) to get there;
+//!   readers verify the zeros and skip them.
+//! * **Guarded headers.** Each v2 block header ends with a CRC over its
+//!   own first 24 bytes, so no single header flip (id, enc, count,
+//!   length, or the payload CRC itself) can misdirect a decoder —
+//!   version 1 leaves the `enc` byte unguarded and relies on the
+//!   payload CRC alone.
+//!
+//! The v2 scalar blob additionally appends the graph's edge count
+//! (u64) after `wal_seq`, cross-checked against the served CSR during
+//! full assembly. Payload CRCs still guard every block; a
+//! [`MappedStore`] verifies each one **lazily on the block's first
+//! touch** (headers and scalars eagerly at open), which keeps
+//! open-to-first-query cost proportional to the columns actually
+//! touched instead of the file size.
+//!
 //! # WAL format (`wal-<first_seq>.seg`, version 1)
 //!
 //! A segment is a 24-byte header (`b"QSC_WAL\0"`, version u32, first
@@ -79,7 +110,7 @@
 //!
 //! # Versioning policy
 //!
-//! Readers accept exactly the versions they know (currently: 1) and
+//! Readers accept exactly the versions they know (currently: 1, 2) and
 //! reject anything else with [`PersistError::UnsupportedVersion`] — no
 //! silent best-effort parsing of future formats. Format evolution adds
 //! new block ids / record types under a bumped version number; existing
@@ -101,13 +132,16 @@ pub mod checkpoint;
 pub mod codec;
 pub mod error;
 mod le;
+pub mod mapped;
 pub mod store;
 pub mod wal;
 
 pub use checkpoint::{
-    decode_checkpoint, encode_checkpoint, read_checkpoint_file, write_checkpoint_file,
-    CheckpointData, CheckpointStats, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    decode_checkpoint, encode_checkpoint, encode_checkpoint_with, read_checkpoint_file,
+    write_checkpoint_file, write_checkpoint_file_with, CheckpointData, CheckpointStats, Layout,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION, CHECKPOINT_VERSION_MAPPED,
 };
 pub use error::PersistError;
+pub use mapped::MappedStore;
 pub use store::{Recovered, Store, StoreOptions, CHECKPOINT_FILE};
 pub use wal::{last_wal_seq, read_wal, WalRecord, WalWriter, WAL_MAGIC, WAL_VERSION};

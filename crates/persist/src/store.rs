@@ -37,9 +37,11 @@ use qsc_core::rothko::{NodeChurnBatch, RothkoRun};
 use qsc_graph::delta::{EdgeEvent, GraphDelta};
 
 use crate::checkpoint::{
-    read_checkpoint_file, write_checkpoint_file, CheckpointData, CheckpointStats,
+    read_checkpoint_file, write_checkpoint_file_with, CheckpointData, CheckpointStats, Layout,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION_MAPPED,
 };
 use crate::error::PersistError;
+use crate::mapped::MappedStore;
 use crate::wal::{last_wal_seq, read_wal, WalRecord, WalWriter};
 
 /// File name of the checkpoint inside a store directory.
@@ -54,6 +56,10 @@ pub struct StoreOptions {
     /// Fsync after this many buffered WAL bytes (fsync batching). `0`
     /// fsyncs every append.
     pub sync_every_bytes: u64,
+    /// On-disk layout for checkpoints this store writes. Recovery
+    /// auto-detects the layout from the file, so stores can switch
+    /// freely between checkpoints.
+    pub layout: Layout,
 }
 
 impl Default for StoreOptions {
@@ -61,6 +67,7 @@ impl Default for StoreOptions {
         StoreOptions {
             segment_bytes: 64 << 20,
             sync_every_bytes: 1 << 20,
+            layout: Layout::Packed,
         }
     }
 }
@@ -195,13 +202,16 @@ impl Store {
         }
         // qsc-audit: allow(no-wallclock-in-results) -- QSC_PERSIST_PHASES diagnostics; feeds eprintln only
         let t1 = std::time::Instant::now();
-        let stats = write_checkpoint_file(&self.dir.join(CHECKPOINT_FILE), &data)?;
+        let stats = write_checkpoint_file_with(
+            &self.dir.join(CHECKPOINT_FILE),
+            &data,
+            self.options.layout,
+        )?;
         if phases {
             eprintln!("[persist] encode+write: {:.3}s", t1.elapsed().as_secs_f64());
         }
         self.wal.rotate()?;
         self.wal.truncate_covered(data.wal_seq)?;
-        let _ = self.options;
         Ok(stats)
     }
 
@@ -209,11 +219,19 @@ impl Store {
     /// replay the WAL tail through the public engine API. `threads`
     /// overrides the checkpointed thread count when given (results are
     /// thread-count independent; the pool is rebuilt either way).
+    ///
+    /// The checkpoint's layout is auto-detected from its header:
+    /// mapped-layout (v2) files restore through a [`MappedStore`], so
+    /// the graph CSR and accumulator planes come back as borrowed
+    /// views over the page cache instead of decoded copies. Packed
+    /// (v1) files — and any platform where zero-copy reinterpretation
+    /// is unsound — take the owned decode path. Either way the
+    /// recovered state is bit-identical.
     pub fn recover(dir: &Path, threads: Option<usize>) -> Result<Recovered, PersistError> {
         let phases = std::env::var_os("QSC_PERSIST_PHASES").is_some();
         // qsc-audit: allow(no-wallclock-in-results) -- QSC_PERSIST_PHASES diagnostics; recovery timing feeds eprintln only, never the recovered state
         let t0 = std::time::Instant::now();
-        let ck = read_checkpoint_file(&dir.join(CHECKPOINT_FILE))?;
+        let ck = load_checkpoint_auto(&dir.join(CHECKPOINT_FILE))?;
         if phases {
             eprintln!(
                 "[persist] checkpoint read+decode: {:.3}s",
@@ -244,6 +262,33 @@ impl Store {
             eprintln!("[persist] replay: {:.3}s", t2.elapsed().as_secs_f64());
         }
         out
+    }
+}
+
+/// Load a checkpoint choosing the read path by its header version:
+/// v2 + a zero-copy-capable platform goes through [`MappedStore`]
+/// (borrowed columns), everything else through the owned decoder.
+fn load_checkpoint_auto(path: &Path) -> Result<CheckpointData, PersistError> {
+    use std::io::Read as _;
+    let head = {
+        let mut f = fs::File::open(path)?;
+        let mut h = [0u8; 12];
+        match f.read_exact(&mut h) {
+            Ok(()) => Some(h),
+            // Shorter than a header: let the owned path produce its
+            // usual Truncated error.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => None,
+            Err(e) => return Err(e.into()),
+        }
+    };
+    let mapped = head.is_some_and(|h| {
+        h[0..8] == *CHECKPOINT_MAGIC
+            && crate::le::le_u32(&h[8..12]).is_ok_and(|v| v == CHECKPOINT_VERSION_MAPPED)
+    });
+    if mapped && qsc_core::mmap::MappedFile::zero_copy_eligible() {
+        MappedStore::open(path)?.checkpoint_data()
+    } else {
+        read_checkpoint_file(path)
     }
 }
 

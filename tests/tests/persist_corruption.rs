@@ -24,8 +24,8 @@ use qsc_core::reduced::ReducedDelta;
 use qsc_core::rothko::{NodeChurnBatch, Rothko, RothkoConfig, RothkoRun};
 use qsc_graph::{Graph, GraphBuilder, GraphDelta, NodeRemap};
 use qsc_persist::{
-    decode_checkpoint, encode_checkpoint, read_wal, CheckpointData, PersistError, Store,
-    StoreOptions,
+    decode_checkpoint, encode_checkpoint, encode_checkpoint_with, read_wal, CheckpointData, Layout,
+    MappedStore, PersistError, Store, StoreOptions,
 };
 use rand::prelude::*;
 
@@ -145,7 +145,7 @@ fn checkpoint_header_fields_fail_with_specific_errors() {
         decode_checkpoint(&v),
         Err(PersistError::UnsupportedVersion {
             found: 99,
-            supported: 1
+            supported: 2
         })
     ));
     // Block count (header CRC catches the edit).
@@ -179,6 +179,7 @@ fn store_with_batches(tag: &str, batches: usize) -> (PathBuf, Vec<Vec<u8>>) {
         StoreOptions {
             segment_bytes: u64::MAX,
             sync_every_bytes: 0,
+            ..StoreOptions::default()
         },
     )
     .unwrap();
@@ -323,6 +324,7 @@ fn damage_in_sealed_segments_is_a_hard_error() {
         StoreOptions {
             segment_bytes: 64,
             sync_every_bytes: 0,
+            ..StoreOptions::default()
         },
     )
     .unwrap();
@@ -518,4 +520,278 @@ fn semantically_poisoned_wal_records_fail_replay_without_panicking() {
         Err(PersistError::Corrupt { .. })
     ));
     let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Mapped layout (version 2): the raw-pinned format must be exactly as
+// hostile-byte-proof as the packed one, through both the owned decoder
+// and the zero-copy `MappedStore` reader.
+// ---------------------------------------------------------------------
+
+fn mapped_checkpoint_bytes(seed: u64) -> Vec<u8> {
+    let (g, run, reduced) = small_stack(seed);
+    let data = CheckpointData {
+        graph: g,
+        config: run.config().clone(),
+        run: run.snapshot(),
+        reduced: Some(reduced.snapshot()),
+        wal_seq: 7,
+    };
+    encode_checkpoint_with(&data, Layout::MappedRaw).0
+}
+
+/// A block's position inside a v2 file: (id, header offset, payload
+/// offset, payload length).
+fn v2_blocks(bytes: &[u8]) -> Vec<(u16, usize, usize, usize)> {
+    const FILE_HEADER: usize = 20;
+    const BLOCK_HEADER: usize = 28;
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut at = FILE_HEADER;
+    for _ in 0..count {
+        let id = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[at + 12..at + 20].try_into().unwrap()) as usize;
+        out.push((id, at, at + BLOCK_HEADER, len));
+        at += BLOCK_HEADER + len;
+    }
+    assert_eq!(at, bytes.len(), "header walk must cover the whole file");
+    out
+}
+
+/// Recompute a v2 block's payload CRC and header CRC after a test
+/// mutated its payload, isolating the structural check under test.
+fn fix_v2_block_crcs(bytes: &mut [u8], header_at: usize) {
+    let len =
+        u64::from_le_bytes(bytes[header_at + 12..header_at + 20].try_into().unwrap()) as usize;
+    let payload_at = header_at + 28;
+    let pcrc = qsc_persist::codec::crc32(&bytes[payload_at..payload_at + len]);
+    bytes[header_at + 20..header_at + 24].copy_from_slice(&pcrc.to_le_bytes());
+    let hcrc = qsc_persist::codec::crc32(&bytes[header_at..header_at + 24]);
+    bytes[header_at + 24..header_at + 28].copy_from_slice(&hcrc.to_le_bytes());
+}
+
+/// Write `bytes` as a checkpoint file in a fresh temp dir, returning the
+/// dir and file path.
+fn mapped_file_with(tag: &str, bytes: &[u8]) -> (PathBuf, PathBuf) {
+    let dir = temp_store_dir(tag);
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(qsc_persist::CHECKPOINT_FILE);
+    fs::write(&path, bytes).unwrap();
+    (dir, path)
+}
+
+fn zero_copy_available() -> bool {
+    qsc_core::mmap::MappedFile::zero_copy_eligible()
+}
+
+#[test]
+fn every_mapped_checkpoint_bit_flip_is_detected_or_inert() {
+    let bytes = mapped_checkpoint_bytes(3);
+    let baseline = encode_checkpoint_with(&decode_checkpoint(&bytes).unwrap(), Layout::MappedRaw).0;
+    assert_eq!(baseline, bytes, "decode→encode must be the identity");
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << bit;
+            if let Ok(data) = decode_checkpoint(&mutated) {
+                assert_eq!(
+                    encode_checkpoint_with(&data, Layout::MappedRaw).0,
+                    baseline,
+                    "byte {i} bit {bit}: flip decoded Ok to a different state"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_mapped_checkpoint_truncation_fails_typed() {
+    let bytes = mapped_checkpoint_bytes(4);
+    for len in 0..bytes.len() {
+        let err = decode_checkpoint(&bytes[..len]).expect_err("strict prefix must not decode");
+        assert!(
+            matches!(
+                err,
+                PersistError::Truncated { .. }
+                    | PersistError::Corrupt { .. }
+                    | PersistError::CrcMismatch { .. }
+                    | PersistError::BadMagic { .. }
+            ),
+            "truncation to {len} gave unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn mapped_store_rejects_truncated_maps_typed() {
+    if !zero_copy_available() {
+        return;
+    }
+    let bytes = mapped_checkpoint_bytes(6);
+    // Every header-walk boundary plus a sample of interior cuts: open
+    // must fail typed, never panic and never hand out a short column.
+    let mut cuts: Vec<usize> = v2_blocks(&bytes)
+        .iter()
+        .flat_map(|&(_, h, p, len)| [h, h + 1, p, p + 1, p + len - 1])
+        .collect();
+    cuts.extend([0, 1, 8, 12, 19]);
+    cuts.retain(|&c| c < bytes.len());
+    for cut in cuts {
+        let (dir, path) = mapped_file_with("trunc", &bytes[..cut]);
+        let err = MappedStore::open(&path).expect_err("truncated map must not open");
+        assert!(
+            matches!(
+                err,
+                PersistError::Truncated { .. }
+                    | PersistError::Corrupt { .. }
+                    | PersistError::CrcMismatch { .. }
+                    | PersistError::BadMagic { .. }
+                    | PersistError::Io { .. }
+            ),
+            "truncation to {cut} gave unexpected error {err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn mapped_store_surfaces_payload_damage_on_first_touch() {
+    if !zero_copy_available() {
+        return;
+    }
+    let bytes = mapped_checkpoint_bytes(8);
+    let blocks = v2_blocks(&bytes);
+
+    // Damage the partition members payload (id 5): open succeeds (lazy
+    // payload validation), the coloring query that touches it fails.
+    let (_, header_at, payload_at, len) = *blocks.iter().find(|b| b.0 == 5).unwrap();
+    assert!(len > 0);
+    let mut m = bytes.clone();
+    m[payload_at + len / 2] ^= 0x04;
+    let (dir, path) = mapped_file_with("flip-members", &m);
+    let store = MappedStore::open(&path).expect("payload damage must not fail open");
+    assert!(matches!(
+        store.coloring(),
+        Err(PersistError::CrcMismatch { .. })
+    ));
+    drop(store);
+    let _ = fs::remove_dir_all(&dir);
+
+    // Damage the graph targets payload (id 2): queries that never touch
+    // the CSR still answer; full assembly fails on first touch.
+    let (_, _, tpayload_at, tlen) = *blocks.iter().find(|b| b.0 == 2).unwrap();
+    let mut m = bytes.clone();
+    m[tpayload_at + tlen / 2] ^= 0x80;
+    let (dir, path) = mapped_file_with("flip-targets", &m);
+    let store = MappedStore::open(&path).expect("payload damage must not fail open");
+    store
+        .coloring()
+        .expect("undamaged columns must still serve");
+    assert!(matches!(
+        store.checkpoint_data(),
+        Err(PersistError::CrcMismatch { .. })
+    ));
+    drop(store);
+    let _ = fs::remove_dir_all(&dir);
+
+    // Damage a header byte instead: caught eagerly at open.
+    let mut m = bytes;
+    m[header_at + 4] ^= 0x01; // count field of the members block
+    let (dir, path) = mapped_file_with("flip-header", &m);
+    assert!(matches!(
+        MappedStore::open(&path),
+        Err(PersistError::CrcMismatch { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Grow one padding block by `extra` zero bytes (fixing its header and
+/// CRCs) so every later payload shifts by `extra`.
+fn grow_pad(bytes: &[u8], extra: usize) -> Vec<u8> {
+    let blocks = v2_blocks(bytes);
+    let &(_, header_at, payload_at, len) = blocks
+        .iter()
+        .find(|b| b.0 == 0xFFFF)
+        .expect("v2 file must contain a padding block");
+    let mut out = Vec::with_capacity(bytes.len() + extra);
+    out.extend_from_slice(&bytes[..payload_at + len]);
+    out.extend(std::iter::repeat_n(0u8, extra));
+    out.extend_from_slice(&bytes[payload_at + len..]);
+    let new_len = (len + extra) as u64;
+    out[header_at + 4..header_at + 12].copy_from_slice(&new_len.to_le_bytes());
+    out[header_at + 12..header_at + 20].copy_from_slice(&new_len.to_le_bytes());
+    fix_v2_block_crcs(&mut out, header_at);
+    out
+}
+
+#[test]
+fn mapped_misaligned_payload_is_rejected() {
+    let bytes = mapped_checkpoint_bytes(9);
+    // Growing a pad by one byte shifts the next mappable payload off its
+    // 64-byte boundary: both readers must answer Misaligned, proving the
+    // alignment contract is checked rather than assumed.
+    let skewed = grow_pad(&bytes, 1);
+    assert!(matches!(
+        decode_checkpoint(&skewed),
+        Err(PersistError::Misaligned { .. })
+    ));
+    if zero_copy_available() {
+        let (dir, path) = mapped_file_with("misaligned", &skewed);
+        assert!(matches!(
+            MappedStore::open(&path),
+            Err(PersistError::Misaligned { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+    // Growing by a full alignment quantum keeps every payload aligned:
+    // the file stays readable and decodes to the identical state.
+    let padded = grow_pad(&bytes, 64);
+    let data = decode_checkpoint(&padded).expect("aligned growth must stay readable");
+    assert_eq!(encode_checkpoint_with(&data, Layout::MappedRaw).0, bytes);
+}
+
+#[test]
+fn mapped_nonzero_padding_is_rejected() {
+    let bytes = mapped_checkpoint_bytes(10);
+    let blocks = v2_blocks(&bytes);
+    let &(_, header_at, payload_at, len) = blocks
+        .iter()
+        .find(|b| b.0 == 0xFFFF && b.3 > 0)
+        .expect("v2 file must contain a non-empty padding block");
+    let mut m = bytes.clone();
+    m[payload_at + len - 1] = 1;
+    fix_v2_block_crcs(&mut m, header_at); // CRC-valid, semantically bad
+    assert!(matches!(
+        decode_checkpoint(&m),
+        Err(PersistError::Corrupt { .. })
+    ));
+    if zero_copy_available() {
+        let (dir, path) = mapped_file_with("nonzero-pad", &m);
+        assert!(matches!(
+            MappedStore::open(&path),
+            Err(PersistError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn mapped_store_rejects_packed_files_and_vice_versa() {
+    if !zero_copy_available() {
+        return;
+    }
+    // A v1 (packed) file through MappedStore: typed Mismatch, not a
+    // misparse.
+    let packed = checkpoint_bytes(12);
+    let (dir, path) = mapped_file_with("packed-as-mapped", &packed);
+    assert!(matches!(
+        MappedStore::open(&path),
+        Err(PersistError::Mismatch { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    // The owned decoder accepts both layouts and agrees on the state.
+    let mapped = mapped_checkpoint_bytes(12);
+    let a = decode_checkpoint(&packed).unwrap();
+    let b = decode_checkpoint(&mapped).unwrap();
+    assert_eq!(encode_checkpoint(&a).0, encode_checkpoint(&b).0);
 }

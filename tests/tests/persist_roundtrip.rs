@@ -26,7 +26,7 @@ use qsc_core::rothko::{Rothko, RothkoConfig, RothkoRun};
 use qsc_core::StorageMode;
 use qsc_graph::delta::EdgeEvent;
 use qsc_graph::{Graph, GraphBuilder, GraphDelta};
-use qsc_persist::{encode_checkpoint, CheckpointData, Store, StoreOptions};
+use qsc_persist::{encode_checkpoint, CheckpointData, Layout, Store, StoreOptions};
 use rand::prelude::*;
 
 /// Fresh scratch directory under the system temp dir.
@@ -184,7 +184,14 @@ fn live_maintain(
 /// Drive a full trace for one (storage, threads, directed, seed) cell,
 /// recovering and comparing after every round and once more after
 /// advancing the recovered stack in lockstep with the live one.
-fn roundtrip_trace(storage: StorageMode, threads: usize, directed: bool, seed: u64, rounds: usize) {
+fn roundtrip_trace(
+    storage: StorageMode,
+    threads: usize,
+    directed: bool,
+    seed: u64,
+    rounds: usize,
+    layout: Layout,
+) {
     let dir = temp_store_dir("trace");
     let g = random_graph(70, 300, directed, seed);
     let config = RothkoConfig {
@@ -204,6 +211,7 @@ fn roundtrip_trace(storage: StorageMode, threads: usize, directed: bool, seed: u
         StoreOptions {
             segment_bytes: 512,
             sync_every_bytes: 0,
+            layout,
         },
     )
     .unwrap();
@@ -269,10 +277,152 @@ fn restored_stack_is_bit_identical_across_modes_and_threads() {
     for storage in [StorageMode::Dense, StorageMode::Sparse, StorageMode::Auto] {
         for threads in [1usize, 4] {
             for (directed, seed) in [(false, 17u64), (true, 53)] {
-                roundtrip_trace(storage, threads, directed, seed, 3);
+                roundtrip_trace(storage, threads, directed, seed, 3, Layout::Packed);
             }
         }
     }
+}
+
+#[test]
+fn restored_stack_is_bit_identical_from_mapped_checkpoints() {
+    // Same grid as the packed sweep, but the store writes version-2
+    // (mapped raw) checkpoints and recovery serves the large columns
+    // zero-copy out of the map. Bit-identity must hold regardless.
+    for storage in [StorageMode::Dense, StorageMode::Sparse, StorageMode::Auto] {
+        for threads in [1usize, 4] {
+            for (directed, seed) in [(false, 17u64), (true, 53)] {
+                roundtrip_trace(storage, threads, directed, seed, 3, Layout::MappedRaw);
+            }
+        }
+    }
+}
+
+/// Mapped restore and owned restore of the same store, advanced through
+/// identical churn rounds, must stay bit-identical at every step — the
+/// engine must not be able to observe which memory its columns sit on.
+fn mapped_vs_owned_equivalence(threads: usize) {
+    let dir = temp_store_dir("mapped-eq");
+    let g = random_graph(70, 300, false, 29);
+    let config = RothkoConfig {
+        max_colors: 36,
+        target_error: 3.0,
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let mut run = Rothko::new(config).start(&g);
+    run.maintain();
+    let reduced = ReducedDelta::new(&g, run.partition());
+    let mut store = Store::create(
+        &dir,
+        StoreOptions {
+            layout: Layout::MappedRaw,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    store.checkpoint(&run, Some(&reduced)).unwrap();
+    drop(store);
+
+    // Owned restore: decode the same v2 file eagerly into owned columns.
+    let path = dir.join(qsc_persist::CHECKPOINT_FILE);
+    let bytes = std::fs::read(&path).unwrap();
+    let owned = qsc_persist::decode_checkpoint(&bytes).unwrap();
+    let mut owned_run = RothkoRun::from_snapshot(owned.graph.clone(), owned.config, &owned.run);
+    let mut owned_reduced = ReducedDelta::from_snapshot(owned.reduced.as_ref().unwrap());
+
+    // Mapped restore: recovery auto-detects v2 and borrows the columns.
+    let rec = Store::recover(&dir, None).unwrap();
+    let mut rec_run = rec.run;
+    let mut rec_reduced = rec.reduced.unwrap();
+    assert_eq!(
+        state_bytes(&owned_run, Some(&owned_reduced)),
+        state_bytes(&rec_run, Some(&rec_reduced)),
+        "mapped and owned restores diverged before any churn (threads {threads})"
+    );
+
+    // Three rounds of identical churn + maintenance applied to both.
+    let mut delta = GraphDelta::new(rec_run.graph().clone());
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for round in 0..3 {
+        let events = edge_churn(&mut delta, &mut rng, 12);
+        let compacted = delta.compact();
+        rec_run.apply_edge_batch(compacted.clone(), &events);
+        rec_reduced.apply_edge_batch(rec_run.partition(), &events);
+        owned_run.apply_edge_batch(compacted.clone(), &events);
+        owned_reduced.apply_edge_batch(owned_run.partition(), &events);
+        rec_run.maintain_with(|p, ev| match ev {
+            PartitionEvent::Split(s) => rec_reduced.apply_split(&compacted, p, s),
+            PartitionEvent::Merge(m) => rec_reduced.apply_merge(m),
+            _ => {}
+        });
+        owned_run.maintain_with(|p, ev| match ev {
+            PartitionEvent::Split(s) => owned_reduced.apply_split(&compacted, p, s),
+            PartitionEvent::Merge(m) => owned_reduced.apply_merge(m),
+            _ => {}
+        });
+        assert_eq!(
+            state_bytes(&owned_run, Some(&owned_reduced)),
+            state_bytes(&rec_run, Some(&rec_reduced)),
+            "mapped and owned stacks diverged after churn round {round} (threads {threads})"
+        );
+    }
+    assert_eq!(
+        rec_reduced.verify_against(&rec_run.graph().clone(), rec_run.partition()),
+        Ok(())
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mapped_restore_matches_owned_restore_under_churn() {
+    mapped_vs_owned_equivalence(1);
+    mapped_vs_owned_equivalence(4);
+}
+
+#[test]
+fn mapped_store_queries_match_recovered_run() {
+    // MappedStore's direct queries (coloring, quotient weights) must agree
+    // with the fully recovered stack without assembling the engine.
+    let dir = temp_store_dir("mapped-query");
+    let g = random_graph(60, 260, false, 41);
+    let config = RothkoConfig {
+        max_colors: 24,
+        target_error: 3.0,
+        threads: Some(1),
+        ..Default::default()
+    };
+    let mut run = Rothko::new(config).start(&g);
+    run.maintain();
+    let reduced = ReducedDelta::new(&g, run.partition());
+    let mut store = Store::create(
+        &dir,
+        StoreOptions {
+            layout: Layout::MappedRaw,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
+    store.checkpoint(&run, Some(&reduced)).unwrap();
+    drop(store);
+
+    let mapped = qsc_persist::MappedStore::open_dir(&dir).unwrap();
+    assert!(mapped.is_mapped());
+    assert_eq!(mapped.num_nodes(), g.num_nodes());
+    let coloring = mapped.coloring().unwrap();
+    let k = mapped.num_colors();
+    for (v, &c) in coloring.iter().enumerate() {
+        assert_eq!(c, run.partition().color_of(v as u32));
+    }
+    for a in 0..k {
+        for b in 0..k {
+            assert_eq!(
+                mapped.quotient_weight(a, b).unwrap().to_bits(),
+                reduced.pair_weight(a, b).to_bits(),
+                "quotient weight ({a},{b}) disagrees with the live reduced instance"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -385,6 +535,22 @@ proptest! {
     ) {
         let storage = [StorageMode::Dense, StorageMode::Sparse, StorageMode::Auto][storage_idx];
         let threads = [1usize, 4][threads_idx];
-        roundtrip_trace(storage, threads, directed, seed, rounds);
+        roundtrip_trace(storage, threads, directed, seed, rounds, Layout::Packed);
+    }
+
+    /// The same fuzzed schedules against version-2 mapped checkpoints:
+    /// recovery borrows the large columns from the map instead of
+    /// decoding, and must remain byte-identical to the live stack.
+    #[test]
+    fn fuzzed_traces_roundtrip_mapped(
+        seed in any::<u64>(),
+        storage_idx in 0usize..3,
+        threads_idx in 0usize..2,
+        directed in any::<bool>(),
+        rounds in 1usize..4,
+    ) {
+        let storage = [StorageMode::Dense, StorageMode::Sparse, StorageMode::Auto][storage_idx];
+        let threads = [1usize, 4][threads_idx];
+        roundtrip_trace(storage, threads, directed, seed, rounds, Layout::MappedRaw);
     }
 }
